@@ -1,0 +1,143 @@
+// Command dissent runs one Dissent client over TCP, exposing the §4.1
+// application interfaces: an HTTP API for posting raw anonymous
+// messages and (optionally) a SOCKS v5 entry proxy tunneling TCP flows
+// through the group.
+//
+// Usage:
+//
+//	dissent -group group.json -key client-0.key -roster roster.json \
+//	        -listen :7101 -http :8080 [-socks :1080] [-exit]
+//
+// With -exit the client additionally acts as the group's (single,
+// non-anonymous) SOCKS exit node, forwarding tunneled flows to the
+// public network (§4.1).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"dissent/internal/cli"
+	"dissent/internal/core"
+	"dissent/internal/socks"
+	"dissent/internal/transport"
+)
+
+func main() {
+	groupPath := flag.String("group", "group.json", "group definition file")
+	keyPath := flag.String("key", "", "client key file (from keygen)")
+	rosterPath := flag.String("roster", "roster.json", "node address roster")
+	listen := flag.String("listen", ":7100", "protocol listen address")
+	httpAddr := flag.String("http", "", "HTTP API listen address (empty = disabled)")
+	socksAddr := flag.String("socks", "", "SOCKS5 proxy listen address (empty = disabled)")
+	exitNode := flag.Bool("exit", false, "act as the group's SOCKS exit node")
+	post := flag.String("post", "", "post one message after the schedule is ready, then keep running")
+	flag.Parse()
+	log.SetPrefix("dissent: ")
+
+	def, err := cli.LoadGroup(*groupPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	roster, err := cli.LoadRoster(*rosterPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kp, _, err := cli.LoadKeyFile(*keyPath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := core.NewClient(def, kp, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var node *transport.Node
+	var sendMu sync.Mutex
+	send := func(data []byte) {
+		// Send is safe to call concurrently with engine activity only
+		// under the node's engine lock.
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		node.WithEngine(func(core.Engine) (*core.Output, error) {
+			client.Send(data)
+			return nil, nil
+		})
+	}
+
+	api := socks.NewAPI(send, 0)
+	entry := socks.NewEntry(send)
+	var exit *socks.Exit
+	if *exitNode {
+		exit = socks.NewExit(send)
+	}
+
+	// Per-slot reassembly buffers for SOCKS frames.
+	slotBufs := map[int][]byte{}
+
+	node, err = transport.Listen(client.ID(), *listen, roster, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	node.OnDelivery = func(d core.Delivery) {
+		api.Record(d.Round, d.Slot, d.Data)
+		buf := append(slotBufs[d.Slot], d.Data...)
+		frames, rest, err := socks.DecodeFrames(buf)
+		if err != nil {
+			slotBufs[d.Slot] = nil
+			return
+		}
+		slotBufs[d.Slot] = rest
+		if len(frames) == 0 {
+			return
+		}
+		entry.Deliver(frames)
+		if exit != nil {
+			exit.Deliver(frames)
+		}
+	}
+	posted := false
+	node.OnEvent = func(e core.Event) {
+		log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
+		if e.Kind == core.EventScheduleReady && *post != "" && !posted {
+			posted = true
+			client.Send([]byte(*post)) // called under the engine lock
+		}
+	}
+	node.OnError = func(err error) { log.Printf("error: %v", err) }
+
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("HTTP API on %s (POST /send, GET /messages)", *httpAddr)
+			log.Fatal(http.ListenAndServe(*httpAddr, api.Handler()))
+		}()
+	}
+	if *socksAddr != "" {
+		ln, err := net.Listen("tcp", *socksAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("SOCKS5 proxy on %s", *socksAddr)
+		go entry.Serve(ln)
+	}
+
+	gid := def.GroupID()
+	log.Printf("client %s (index %d) in group %x, upstream server %d",
+		client.ID(), client.Index(), gid[:8], def.UpstreamServer(client.Index()))
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+}

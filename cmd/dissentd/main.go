@@ -1,0 +1,77 @@
+// Command dissentd runs one Dissent server over TCP.
+//
+// Usage:
+//
+//	dissentd -group group.json -key server-0.key -roster roster.json -listen :7000
+//
+// roster.json maps every member's node ID (hex) to a dialable address:
+//
+//	{"0a1b2c3d4e5f6071": "server0.example.org:7000", ...}
+//
+// All servers and clients of a group must share the same group.json
+// and roster. The daemon logs round completions, participation counts,
+// blame verdicts, and protocol violations.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dissent/internal/cli"
+	"dissent/internal/core"
+	"dissent/internal/transport"
+)
+
+func main() {
+	groupPath := flag.String("group", "group.json", "group definition file")
+	keyPath := flag.String("key", "", "server key file (from keygen)")
+	rosterPath := flag.String("roster", "roster.json", "node address roster")
+	listen := flag.String("listen", ":7000", "listen address")
+	flag.Parse()
+	log.SetPrefix("dissentd: ")
+
+	def, err := cli.LoadGroup(*groupPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	roster, err := cli.LoadRoster(*rosterPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kp, msgKP, err := cli.LoadKeyFile(*keyPath, def.MsgGroup())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if msgKP == nil {
+		log.Fatal("key file lacks a message-shuffle key (is this a server key?)")
+	}
+
+	srv, err := core.NewServer(def, kp, msgKP, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := transport.Listen(srv.ID(), *listen, roster, srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	node.OnEvent = func(e core.Event) {
+		log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
+	}
+	node.OnError = func(err error) { log.Printf("error: %v", err) }
+
+	gid := def.GroupID()
+	log.Printf("server %s (index %d) in group %x listening on %s",
+		srv.ID(), srv.Index(), gid[:8], node.Addr())
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+}

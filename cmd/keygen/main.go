@@ -1,0 +1,118 @@
+// Command keygen generates Dissent identities and group definition
+// files (§3.2): one keypair file per participant plus a group.json
+// whose hash is the group's self-certifying identifier, and a roster
+// template for the TCP transport.
+//
+// Usage:
+//
+//	keygen -servers 3 -clients 8 -out ./groupdir [-name mygroup]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dissent/internal/cli"
+	"dissent/internal/crypto"
+	"dissent/internal/group"
+	"dissent/internal/transport"
+)
+
+func main() {
+	servers := flag.Int("servers", 3, "number of servers")
+	clients := flag.Int("clients", 8, "number of clients")
+	out := flag.String("out", ".", "output directory")
+	name := flag.String("name", "dissent-group", "group name")
+	msgGroup := flag.String("msggroup", "modp-2048", "message-shuffle group (modp-2048 or modp-512-test)")
+	basePort := flag.Int("baseport", 7000, "first port for the roster template")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o700); err != nil {
+		log.Fatal(err)
+	}
+	keyGrp := crypto.P256()
+	mg, err := crypto.GroupByName(*msgGroup)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	serverKeys := make([]crypto.Element, *servers)
+	serverMsgKeys := make([]crypto.Element, *servers)
+	for i := 0; i < *servers; i++ {
+		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mkp, err := crypto.GenerateKeyPair(mg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serverKeys[i] = kp.Public
+		serverMsgKeys[i] = mkp.Public
+		err = cli.WriteKeyFile(filepath.Join(*out, fmt.Sprintf("server-%d.key", i)), cli.KeyFile{
+			Role:       "server",
+			Private:    kp.Private.Text(16),
+			Public:     hex.EncodeToString(keyGrp.Encode(kp.Public)),
+			MsgPrivate: mkp.Private.Text(16),
+			MsgPublic:  hex.EncodeToString(mg.Encode(mkp.Public)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	clientKeys := make([]crypto.Element, *clients)
+	for i := 0; i < *clients; i++ {
+		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clientKeys[i] = kp.Public
+		err = cli.WriteKeyFile(filepath.Join(*out, fmt.Sprintf("client-%d.key", i)), cli.KeyFile{
+			Role:    "client",
+			Private: kp.Private.Text(16),
+			Public:  hex.EncodeToString(keyGrp.Encode(kp.Public)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	policy := group.DefaultPolicy()
+	policy.MessageGroup = *msgGroup
+	def, err := group.NewDefinition(*name, serverKeys, serverMsgKeys, clientKeys, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := def.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(*out, "group.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// Roster template: localhost addresses in member order.
+	roster := transport.Roster{}
+	port := *basePort
+	for _, m := range def.Servers {
+		roster[m.ID] = fmt.Sprintf("127.0.0.1:%d", port)
+		port++
+	}
+	for _, m := range def.Clients {
+		roster[m.ID] = fmt.Sprintf("127.0.0.1:%d", port)
+		port++
+	}
+	if err := cli.WriteRoster(filepath.Join(*out, "roster.json"), roster); err != nil {
+		log.Fatal(err)
+	}
+
+	gid := def.GroupID()
+	fmt.Printf("wrote %s (group ID %x)\n", path, gid[:])
+	fmt.Printf("wrote roster.json template and %d server / %d client key files to %s\n",
+		*servers, *clients, *out)
+}

@@ -1,0 +1,22 @@
+// Package dissent is a from-scratch Go implementation of Dissent, the
+// scalable traffic-analysis-resistant anonymous group communication
+// system of "Dissent in Numbers: Making Strong Anonymity Scale"
+// (Wolinsky, Corrigan-Gibbs, Ford, Johnson — OSDI 2012).
+//
+// The library lives under internal/: the anytrust client/server DC-net
+// engines (internal/core), the DC-net slot machinery (internal/dcnet),
+// verifiable shuffles (internal/shuffle), the crypto substrate
+// (internal/crypto), group definitions (internal/group), TCP and
+// simulated transports (internal/transport, internal/simnet), the
+// application interfaces (internal/socks), the evaluation baselines
+// and workloads (internal/relay, internal/browse), and the experiment
+// harnesses regenerating every figure of the paper (internal/bench).
+//
+// Entry points: cmd/dissentd (server daemon), cmd/dissent (client with
+// HTTP API and SOCKS proxy), cmd/keygen (group creation), and
+// cmd/dissent-bench (the evaluation). Runnable walkthroughs live in
+// examples/.
+package dissent
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,37 @@
+// Webbrowse: the §5.4 local-area anonymous browsing comparison — pages
+// from an Alexa-Top-100-like corpus downloaded directly, through the
+// onion-relay baseline, through a real local-area Dissent group
+// (SOCKS-style streaming via the exit client), and through the
+// Dissent+relay composition. A miniature of Figures 10–11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dissent/internal/bench"
+)
+
+func main() {
+	pages := flag.Int("pages", 8, "pages to download per configuration")
+	flag.Parse()
+
+	cfg := bench.QuickFig10Config()
+	cfg.Pages = *pages
+	fmt.Printf("webbrowse: %d pages, %d-server/%d-client Dissent group on a 24 Mbit/s WLAN\n\n",
+		cfg.Pages, cfg.Servers, cfg.Clients)
+
+	results, err := bench.Fig10(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %-10s %-10s %-10s\n", "config", "mean", "median", "p90")
+	for _, r := range results {
+		fmt.Printf("%-14s %-10v %-10v %-10v\n", r.Config,
+			r.Stats.Mean().Round(1e7),
+			r.Stats.Percentile(50).Round(1e7),
+			r.Stats.Percentile(90).Round(1e7))
+	}
+	fmt.Println("\nexpected shape (paper §5.4): direct ≪ tor ≈ dissent < dissent+tor")
+}

@@ -1,0 +1,252 @@
+// Package browse models the web-browsing workload of the paper's §5.4:
+// an Alexa-Top-100-like corpus of index pages (HTML plus dependent
+// assets, with 2012-era page weights) and a fetch engine that downloads
+// a page over an abstract transport — direct, through the relay
+// baseline, through a Dissent group, or through their composition —
+// with bounded request parallelism like a contemporary browser.
+package browse
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dissent/internal/simnet"
+)
+
+// Asset is one dependent resource of a page.
+type Asset struct {
+	Size int // bytes
+}
+
+// Page is one synthetic "index page": the HTML document plus the
+// assets discovered by parsing it.
+type Page struct {
+	Name     string
+	HTMLSize int
+	Assets   []Asset
+	// OriginRTT is the round-trip latency to this site's origin from
+	// the vantage network's exit point.
+	OriginRTT time.Duration
+}
+
+// TotalBytes returns the page's full transfer size.
+func (p *Page) TotalBytes() int {
+	n := p.HTMLSize
+	for _, a := range p.Assets {
+		n += a.Size
+	}
+	return n
+}
+
+// CorpusParams shape the synthetic corpus.
+type CorpusParams struct {
+	Pages int
+	// HTMLMedian/AssetMedian are log-normal medians in bytes.
+	HTMLMedian  float64
+	HTMLSigma   float64
+	AssetMedian float64
+	AssetSigma  float64
+	// AssetsMin/Max bound the per-page asset count.
+	AssetsMin, AssetsMax int
+	// RTTMin/Max bound origin round-trip latencies.
+	RTTMin, RTTMax time.Duration
+	Seed           int64
+}
+
+// Alexa2012 returns parameters matching published 2012 page-weight
+// statistics for popular index pages: ~1 MB total, dozens of assets of
+// ~10–30 KB, wide-area origins.
+func Alexa2012() CorpusParams {
+	return CorpusParams{
+		Pages:       100,
+		HTMLMedian:  45 << 10,
+		HTMLSigma:   0.7,
+		AssetMedian: 14 << 10,
+		AssetSigma:  1.0,
+		AssetsMin:   15,
+		AssetsMax:   90,
+		RTTMin:      30 * time.Millisecond,
+		RTTMax:      200 * time.Millisecond,
+		Seed:        2012,
+	}
+}
+
+// GenerateCorpus draws a deterministic page corpus.
+func GenerateCorpus(p CorpusParams) []Page {
+	rng := rand.New(rand.NewSource(p.Seed))
+	logn := func(median, sigma float64) int {
+		v := median * math.Exp(sigma*rng.NormFloat64())
+		if v < 256 {
+			v = 256
+		}
+		return int(v)
+	}
+	pages := make([]Page, p.Pages)
+	for i := range pages {
+		nAssets := p.AssetsMin
+		if p.AssetsMax > p.AssetsMin {
+			nAssets += rng.Intn(p.AssetsMax - p.AssetsMin + 1)
+		}
+		assets := make([]Asset, nAssets)
+		for j := range assets {
+			assets[j] = Asset{Size: logn(p.AssetMedian, p.AssetSigma)}
+		}
+		rttSpan := p.RTTMax - p.RTTMin
+		pages[i] = Page{
+			Name:      pageName(i),
+			HTMLSize:  logn(p.HTMLMedian, p.HTMLSigma),
+			Assets:    assets,
+			OriginRTT: p.RTTMin + time.Duration(rng.Int63n(int64(rttSpan)+1)),
+		}
+	}
+	return pages
+}
+
+func pageName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	return "site-" + string(letters[i%26]) + string(letters[(i/26)%26])
+}
+
+// Fetcher abstracts "issue one HTTP request of reqLen bytes, receive
+// respLen bytes, call done at completion" over some anonymizing (or
+// direct) transport. Implementations schedule their own events on the
+// shared network.
+type Fetcher interface {
+	Fetch(net *simnet.Network, reqLen, respLen int, originRTT time.Duration, done func(at time.Time))
+}
+
+// DownloadPage fetches the HTML, then the assets with the given
+// parallelism (browsers of the era used ~6 connections), and calls
+// done with the completion time of the last asset.
+func DownloadPage(net *simnet.Network, f Fetcher, page Page, parallel int, done func(at time.Time)) {
+	DownloadPageProgress(net, f, page, parallel, nil, done)
+}
+
+// DownloadPageProgress is DownloadPage with a per-resource progress
+// callback: onChunk fires as each resource (HTML, then every asset)
+// finishes, with its byte count. The Dissent browsing harness uses
+// this to stream fetched bytes into the anonymity channel as they
+// arrive at the exit node.
+func DownloadPageProgress(net *simnet.Network, f Fetcher, page Page, parallel int, onChunk func(at time.Time, bytes int), done func(at time.Time)) {
+	if parallel <= 0 {
+		parallel = 6
+	}
+	const reqLen = 400 // typical GET with headers
+	f.Fetch(net, reqLen, page.HTMLSize, page.OriginRTT, func(at time.Time) {
+		if onChunk != nil {
+			onChunk(at, page.HTMLSize)
+		}
+		// HTML parsed; fetch assets with a bounded worker pool.
+		remaining := len(page.Assets)
+		if remaining == 0 {
+			done(at)
+			return
+		}
+		var last time.Time
+		next := 0
+		var launch func(now time.Time)
+		finish := func(size int) func(time.Time) {
+			return func(at2 time.Time) {
+				if onChunk != nil {
+					onChunk(at2, size)
+				}
+				if at2.After(last) {
+					last = at2
+				}
+				remaining--
+				if remaining == 0 {
+					done(last)
+					return
+				}
+				if next < len(page.Assets) {
+					launch(at2)
+				}
+			}
+		}
+		launch = func(now time.Time) {
+			a := page.Assets[next]
+			next++
+			net.Schedule(now, func(time.Time) {
+				f.Fetch(net, reqLen, a.Size, page.OriginRTT, finish(a.Size))
+			})
+		}
+		for k := 0; k < parallel && next < len(page.Assets); k++ {
+			launch(at)
+		}
+	})
+}
+
+// DirectFetcher models an un-anonymized client on an access link: one
+// origin RTT plus transfer at the effective per-connection bandwidth.
+type DirectFetcher struct {
+	// Access is the client's access link.
+	Access simnet.Link
+	// PerConn caps a single connection's effective throughput
+	// (TCP-of-the-era over a WAN path), in bytes/sec.
+	PerConn float64
+	uplink  simnet.Uplink
+}
+
+// NewDirectFetcher builds a direct fetcher over an access link.
+func NewDirectFetcher(access simnet.Link, perConn float64) *DirectFetcher {
+	return &DirectFetcher{Access: access, PerConn: perConn,
+		uplink: simnet.Uplink{Bandwidth: access.Bandwidth}}
+}
+
+// Fetch implements Fetcher.
+func (d *DirectFetcher) Fetch(net *simnet.Network, reqLen, respLen int, originRTT time.Duration, done func(at time.Time)) {
+	t := net.Now()
+	t = d.uplink.Reserve(t, reqLen)
+	t = t.Add(d.Access.Latency).Add(originRTT)
+	// Response constrained by both the share of the access link and the
+	// per-connection ceiling.
+	bw := d.Access.Bandwidth
+	if d.PerConn > 0 && (bw <= 0 || d.PerConn < bw) {
+		bw = d.PerConn
+	}
+	resp := simnet.Link{Bandwidth: bw}
+	t = t.Add(resp.TransferTime(respLen)).Add(d.Access.Latency)
+	net.Schedule(t, done)
+}
+
+// Stats summarizes a set of download times.
+type Stats struct {
+	Times []time.Duration
+}
+
+// Add records one sample.
+func (s *Stats) Add(d time.Duration) { s.Times = append(s.Times, d) }
+
+// Mean returns the average.
+func (s *Stats) Mean() time.Duration {
+	if len(s.Times) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.Times {
+		sum += d
+	}
+	return sum / time.Duration(len(s.Times))
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest rank.
+func (s *Stats) Percentile(p float64) time.Duration {
+	if len(s.Times) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Times...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,133 @@
+package browse
+
+import (
+	"testing"
+	"time"
+
+	"dissent/internal/simnet"
+)
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(Alexa2012())
+	b := GenerateCorpus(Alexa2012())
+	if len(a) != 100 {
+		t.Fatalf("corpus size %d, want 100", len(a))
+	}
+	for i := range a {
+		if a[i].HTMLSize != b[i].HTMLSize || len(a[i].Assets) != len(b[i].Assets) {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	pages := GenerateCorpus(Alexa2012())
+	var totalBytes, totalAssets int
+	p := Alexa2012()
+	for _, pg := range pages {
+		if len(pg.Assets) < p.AssetsMin || len(pg.Assets) > p.AssetsMax {
+			t.Fatalf("page %s has %d assets", pg.Name, len(pg.Assets))
+		}
+		if pg.OriginRTT < p.RTTMin || pg.OriginRTT > p.RTTMax {
+			t.Fatalf("page %s RTT %v out of range", pg.Name, pg.OriginRTT)
+		}
+		totalBytes += pg.TotalBytes()
+		totalAssets += len(pg.Assets)
+	}
+	avg := totalBytes / len(pages)
+	// 2012-era average page weight: roughly 0.3–2.5 MB.
+	if avg < 300<<10 || avg > 2500<<10 {
+		t.Errorf("average page weight %d bytes implausible for 2012", avg)
+	}
+}
+
+func TestDirectFetcherTiming(t *testing.T) {
+	net := simnet.New(time.Unix(0, 0))
+	f := NewDirectFetcher(simnet.Link{Latency: 10 * time.Millisecond, Bandwidth: simnet.Mbps(24)}, simnet.Mbps(2))
+	var at time.Time
+	f.Fetch(net, 400, 250_000, 100*time.Millisecond, func(t2 time.Time) { at = t2 })
+	net.Run(0)
+	elapsed := at.Sub(time.Unix(0, 0))
+	// Floor: 2x10ms access latency + 100ms origin RTT + 250k/2Mbps = 1s.
+	if elapsed < 1100*time.Millisecond {
+		t.Errorf("fetch %v below floor", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("fetch %v implausibly slow", elapsed)
+	}
+}
+
+func TestDownloadPageCompletesAllAssets(t *testing.T) {
+	net := simnet.New(time.Unix(0, 0))
+	f := NewDirectFetcher(simnet.Link{Latency: 5 * time.Millisecond, Bandwidth: simnet.Mbps(24)}, simnet.Mbps(4))
+	page := Page{
+		Name:      "test",
+		HTMLSize:  40 << 10,
+		Assets:    []Asset{{10 << 10}, {20 << 10}, {30 << 10}, {5 << 10}, {50 << 10}, {15 << 10}, {8 << 10}},
+		OriginRTT: 50 * time.Millisecond,
+	}
+	var at time.Time
+	DownloadPage(net, f, page, 3, func(t2 time.Time) { at = t2 })
+	net.Run(0)
+	if at.IsZero() {
+		t.Fatal("download never completed")
+	}
+	// Floor: at least HTML fetch + ceil(7/3) asset waves of origin RTT.
+	floor := 3 * (50 * time.Millisecond)
+	if at.Sub(time.Unix(0, 0)) < floor {
+		t.Errorf("download %v below RTT floor %v", at.Sub(time.Unix(0, 0)), floor)
+	}
+}
+
+func TestDownloadPageNoAssets(t *testing.T) {
+	net := simnet.New(time.Unix(0, 0))
+	f := NewDirectFetcher(simnet.Link{Latency: time.Millisecond, Bandwidth: simnet.Mbps(24)}, 0)
+	page := Page{Name: "bare", HTMLSize: 1024, OriginRTT: 10 * time.Millisecond}
+	done := false
+	DownloadPage(net, f, page, 6, func(time.Time) { done = true })
+	net.Run(0)
+	if !done {
+		t.Error("asset-free page never completed")
+	}
+}
+
+func TestParallelismSpeedsDownload(t *testing.T) {
+	page := Page{Name: "p", HTMLSize: 10 << 10, OriginRTT: 80 * time.Millisecond}
+	for i := 0; i < 24; i++ {
+		page.Assets = append(page.Assets, Asset{Size: 8 << 10})
+	}
+	run := func(par int) time.Duration {
+		net := simnet.New(time.Unix(0, 0))
+		f := NewDirectFetcher(simnet.Link{Latency: 5 * time.Millisecond, Bandwidth: simnet.Mbps(100)}, simnet.Mbps(50))
+		var at time.Time
+		DownloadPage(net, f, page, par, func(t2 time.Time) { at = t2 })
+		net.Run(0)
+		return at.Sub(time.Unix(0, 0))
+	}
+	if run(6) >= run(1) {
+		t.Error("parallel download not faster than serial")
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	for _, v := range []int{5, 1, 3, 2, 4} {
+		s.Add(time.Duration(v) * time.Second)
+	}
+	if s.Mean() != 3*time.Second {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Percentile(50) != 3*time.Second {
+		t.Errorf("p50 = %v", s.Percentile(50))
+	}
+	if s.Percentile(100) != 5*time.Second {
+		t.Errorf("p100 = %v", s.Percentile(100))
+	}
+	if s.Percentile(1) != time.Second {
+		t.Errorf("p1 = %v", s.Percentile(1))
+	}
+	var empty Stats
+	if empty.Mean() != 0 || empty.Percentile(50) != 0 {
+		t.Error("empty stats should be zero")
+	}
+}

@@ -1,0 +1,128 @@
+package cli
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dissent/internal/crypto"
+	"dissent/internal/group"
+	"dissent/internal/transport"
+)
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	keyGrp := crypto.P256()
+	msgGrp := crypto.ModP512Test()
+	kp, _ := crypto.GenerateKeyPair(keyGrp, nil)
+	mkp, _ := crypto.GenerateKeyPair(msgGrp, nil)
+
+	path := filepath.Join(dir, "server.key")
+	err := WriteKeyFile(path, KeyFile{
+		Role:       "server",
+		Private:    kp.Private.Text(16),
+		Public:     hex.EncodeToString(keyGrp.Encode(kp.Public)),
+		MsgPrivate: mkp.Private.Text(16),
+		MsgPublic:  hex.EncodeToString(msgGrp.Encode(mkp.Public)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotMsg, err := LoadKeyFile(path, msgGrp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyGrp.Equal(got.Public, kp.Public) {
+		t.Error("identity key changed")
+	}
+	if gotMsg == nil || !msgGrp.Equal(gotMsg.Public, mkp.Public) {
+		t.Error("message key changed")
+	}
+	// Client-style load (no message group).
+	got2, gotMsg2, err := LoadKeyFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 == nil || gotMsg2 != nil {
+		t.Error("nil msg group should skip the message key")
+	}
+}
+
+func TestLoadKeyFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadKeyFile(filepath.Join(dir, "missing.key"), nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.key")
+	if err := WriteKeyFile(bad, KeyFile{Private: "zz-not-hex"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadKeyFile(bad, nil); err == nil {
+		t.Error("bad private key accepted")
+	}
+}
+
+func TestRosterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	keyGrp := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(keyGrp, nil)
+	id := group.IDFromKey(keyGrp, kp.Public)
+	roster := transport.Roster{id: "127.0.0.1:7000"}
+	path := filepath.Join(dir, "roster.json")
+	if err := WriteRoster(path, roster); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRoster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[id] != "127.0.0.1:7000" {
+		t.Errorf("roster round trip: %v", got)
+	}
+}
+
+func TestLoadGroup(t *testing.T) {
+	dir := t.TempDir()
+	keyGrp := crypto.P256()
+	msgGrp := crypto.ModP512Test()
+	var sKeys, sMsgKeys, cKeys []crypto.Element
+	for i := 0; i < 2; i++ {
+		kp, _ := crypto.GenerateKeyPair(keyGrp, nil)
+		mkp, _ := crypto.GenerateKeyPair(msgGrp, nil)
+		sKeys = append(sKeys, kp.Public)
+		sMsgKeys = append(sMsgKeys, mkp.Public)
+	}
+	for i := 0; i < 3; i++ {
+		kp, _ := crypto.GenerateKeyPair(keyGrp, nil)
+		cKeys = append(cKeys, kp.Public)
+	}
+	policy := group.DefaultPolicy()
+	policy.MessageGroup = "modp-512-test"
+	def, err := group.NewDefinition("cli-test", sKeys, sMsgKeys, cKeys, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := def.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "group.json")
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGroup(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GroupID() != def.GroupID() {
+		t.Error("group ID changed through file round trip")
+	}
+	if _, err := LoadGroup(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing group accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,665 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+	"dissent/internal/group"
+	"dissent/internal/shuffle"
+)
+
+// The accusation protocol (§3.9), server side. A disruption victim
+// signals via the shuffle-request field; the servers then run a
+// general message shuffle in the mod-p group through which the victim
+// anonymously transmits a signed accusation naming a witness bit.
+// Tracing publishes the single PRNG bit every pair contributed at that
+// position and pins the unmatched 1 on a client or server.
+
+// blameWindowFactor scales Policy.WindowMin into the blame submission
+// window and the rebuttal deadline.
+const blameWindowFactor = 4
+
+// accusationBytes renders an accusation for embedding.
+func accusationBytes(round uint64, slot, bit int, sig []byte) []byte {
+	var e encBuf
+	e.u64(round)
+	e.u32(uint32(slot))
+	e.u32(uint32(bit))
+	e.b = append(e.b, sig...)
+	return e.b
+}
+
+// accusationDigest is what the pseudonym key signs.
+func accusationDigest(grpID [32]byte, round uint64, slot, bit int) []byte {
+	return crypto.Hash("dissent/accusation", grpID[:],
+		crypto.HashUint64(round), crypto.HashUint64(uint64(slot)), crypto.HashUint64(uint64(bit)))
+}
+
+// parseAccusation splits an accusation message; bit is still
+// slot-relative here.
+func parseAccusation(keyGrp crypto.Group, msg []byte) (round uint64, slot, bit int, sig []byte, ok bool) {
+	want := accusationLen(keyGrp)
+	if len(msg) != want {
+		return 0, 0, 0, nil, false
+	}
+	d := decBuf{msg}
+	r, _ := d.u64()
+	sl, _ := d.u32()
+	b, _ := d.u32()
+	return r, int(sl), int(b), d.b, true
+}
+
+// serverMsgKeys returns the servers' message-shuffle public keys.
+func (s *Server) serverMsgKeys() []crypto.Element {
+	pubs := make([]crypto.Element, len(s.def.Servers))
+	for i, srv := range s.def.Servers {
+		pubs[i] = srv.MsgPubKey
+	}
+	return pubs
+}
+
+// blameWidth is the ciphertext vector width of accusations in the
+// message group.
+func (s *Server) blameWidth() int {
+	return shuffle.VecWidth(s.msgGrp, accusationLen(s.keyGrp))
+}
+
+// startBlame opens an accusation shuffle session.
+func (s *Server) startBlame(now time.Time) (*Output, error) {
+	s.phase = phaseBlame
+	s.blameSession++
+	s.blame = &blameState{
+		session: s.blameSession,
+		phase:   bpCollect,
+		closeAt: now.Add(blameWindowFactor * s.def.Policy.WindowMin),
+		subs:    make(map[int][]byte),
+		lists:   make(map[int]*BlameList),
+		traces:  make(map[int]*TraceBits),
+		flagged: -1,
+	}
+	out := &Output{
+		Timer:  s.blame.closeAt,
+		Events: []Event{{Kind: EventBlameStarted, Round: s.roundNum, Detail: fmt.Sprintf("session %d", s.blameSession)}},
+	}
+	body := (&BlameStart{Session: s.blameSession}).Encode()
+	if err := s.broadcastClients(MsgBlameStart, s.roundNum, body, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Server) blameTick(now time.Time) (*Output, error) {
+	b := s.blame
+	if b == nil {
+		return &Output{}, nil
+	}
+	switch b.phase {
+	case bpCollect:
+		if !now.Before(b.closeAt) {
+			return s.sendBlameList(now)
+		}
+		return &Output{Timer: b.closeAt}, nil
+	case bpRebuttal:
+		if !now.Before(b.rebutAt) {
+			// No rebuttal: the flagged client is the disruptor.
+			return s.blameVerdict(now, s.def.Clients[b.flagged].ID, 1)
+		}
+		return &Output{Timer: b.rebutAt}, nil
+	default:
+		return &Output{}, nil
+	}
+}
+
+func (s *Server) onBlameSubmit(now time.Time, m *Message) (*Output, error) {
+	b := s.blame
+	if b == nil || b.phase != bpCollect {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, false); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	p, err := DecodeBlameSubmit(m.Body)
+	if err != nil || p.Session != b.session {
+		return &Output{}, nil
+	}
+	ci := s.def.ClientIndex(m.From)
+	if s.excluded[ci] {
+		return &Output{}, nil
+	}
+	if _, dup := b.subs[ci]; dup {
+		return &Output{}, nil
+	}
+	b.subs[ci] = p.CT
+	// Early close once all attached, non-excluded clients answered.
+	for _, mine := range s.myClients {
+		if s.excluded[mine] {
+			continue
+		}
+		if _, ok := b.subs[mine]; !ok {
+			return &Output{}, nil
+		}
+	}
+	return s.sendBlameList(now)
+}
+
+func (s *Server) sendBlameList(now time.Time) (*Output, error) {
+	b := s.blame
+	if b.phase != bpCollect {
+		return &Output{}, nil
+	}
+	b.phase = bpShuffle
+	list := &BlameList{Session: b.session}
+	for _, ci := range sortedKeys(b.subs) {
+		list.Clients = append(list.Clients, int32(ci))
+		list.CTs = append(list.CTs, b.subs[ci])
+	}
+	out := &Output{}
+	if err := s.broadcastServers(MsgBlameList, s.roundNum, list.Encode(), out); err != nil {
+		return nil, err
+	}
+	b.lists[s.idx] = list
+	more, err := s.maybeStartBlameShuffle(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onBlameList(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	p, err := DecodeBlameList(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	b := s.blame
+	if b == nil || p.Session > b.session {
+		if p.Session > s.blameSession {
+			return s.stashMsg(m), nil
+		}
+		return &Output{}, nil
+	}
+	if p.Session != b.session {
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if _, dup := b.lists[si]; dup {
+		return &Output{}, nil
+	}
+	b.lists[si] = p
+	// Another server closed its window; close ours too if still open.
+	out := &Output{}
+	if b.phase == bpCollect {
+		o, err := s.sendBlameList(now)
+		if err != nil {
+			return nil, err
+		}
+		out.merge(o)
+		return out, nil
+	}
+	o, err := s.maybeStartBlameShuffle(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(o)
+	return out, nil
+}
+
+func (s *Server) maybeStartBlameShuffle(now time.Time) (*Output, error) {
+	b := s.blame
+	if len(b.lists) < len(s.def.Servers) || b.order != nil {
+		return &Output{}, nil
+	}
+	byClient := make(map[int][]byte)
+	for _, si := range sortedKeys(b.lists) {
+		list := b.lists[si]
+		for k, ci := range list.Clients {
+			if _, ok := byClient[int(ci)]; !ok {
+				byClient[int(ci)] = list.CTs[k]
+			}
+		}
+	}
+	b.order = sortedKeys(byClient)
+	if len(b.order) == 0 {
+		// Nobody submitted: close the session with no verdict.
+		return s.blameVerdict(now, group.NodeID{}, 0)
+	}
+	width := s.blameWidth()
+	ctLen := 2 * s.msgGrp.ElementLen()
+	b.cur = make([]shuffle.Vec, 0, len(b.order))
+	for _, ci := range b.order {
+		raw := byClient[ci]
+		if len(raw) != width*ctLen {
+			// Malformed submission: drop the client's entry.
+			continue
+		}
+		v := make(shuffle.Vec, width)
+		bad := false
+		for c := 0; c < width; c++ {
+			ct, err := crypto.DecodeCiphertext(s.msgGrp, raw[c*ctLen:(c+1)*ctLen])
+			if err != nil {
+				bad = true
+				break
+			}
+			v[c] = ct
+		}
+		if !bad {
+			b.cur = append(b.cur, v)
+		}
+	}
+	if len(b.cur) == 0 {
+		return s.blameVerdict(now, group.NodeID{}, 0)
+	}
+	b.stage = 0
+	return s.maybeRunBlameStage(now)
+}
+
+func (s *Server) maybeRunBlameStage(now time.Time) (*Output, error) {
+	b := s.blame
+	out := &Output{}
+	if b.stage == len(s.def.Servers) {
+		return s.finishBlameShuffle(now)
+	}
+	if b.stage != s.idx {
+		return out, nil
+	}
+	remaining := crypto.AggregateKeys(s.msgGrp, s.serverMsgKeys()[s.idx:])
+	step, err := shuffle.Step(s.msgGrp, s.msgKP, remaining, b.cur, s.def.Policy.Shadows, s.rand)
+	if err != nil {
+		return nil, fmt.Errorf("core: blame shuffle step: %w", err)
+	}
+	body := (&ShuffleStep{Session: b.session, Stage: int32(s.idx), Data: shuffle.EncodeStepOutput(s.msgGrp, step)}).Encode()
+	if err := s.broadcastServers(MsgBlameStep, s.roundNum, body, out); err != nil {
+		return nil, err
+	}
+	b.cur = step.Stripped
+	b.stage++
+	more, err := s.maybeRunBlameStage(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onBlameStep(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	p, err := DecodeShuffleStep(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	b := s.blame
+	if b == nil || b.order == nil || p.Session > b.session ||
+		(p.Session == b.session && int(p.Stage) > b.stage) {
+		if p.Session >= s.blameSession {
+			return s.stashMsg(m), nil
+		}
+		return &Output{}, nil
+	}
+	if p.Session != b.session {
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if int(p.Stage) != si || int(p.Stage) != b.stage {
+		return &Output{}, nil
+	}
+	step, err := shuffle.DecodeStepOutput(s.msgGrp, p.Data)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	remaining := crypto.AggregateKeys(s.msgGrp, s.serverMsgKeys()[si:])
+	if err := shuffle.VerifyStep(s.msgGrp, s.def.Servers[si].MsgPubKey, remaining, b.cur, step); err != nil {
+		return s.violation(s.roundNum, fmt.Errorf("server %d blame shuffle step invalid: %w", si, err)), nil
+	}
+	b.cur = step.Stripped
+	b.stage++
+	return s.maybeRunBlameStage(now)
+}
+
+// finishBlameShuffle extracts accusations from the shuffled output and
+// starts tracing the first valid one.
+func (s *Server) finishBlameShuffle(now time.Time) (*Output, error) {
+	b := s.blame
+	if b.phase != bpShuffle {
+		return &Output{}, nil
+	}
+	for _, v := range b.cur {
+		elems := make([]crypto.Element, len(v))
+		for c, ct := range v {
+			elems[c] = ct.C2
+		}
+		msg, err := shuffle.ExtractMessage(s.msgGrp, elems)
+		if err != nil || len(msg) == 0 {
+			continue // null message or garbage
+		}
+		round, slot, bitInSlot, sigBytes, ok := parseAccusation(s.keyGrp, msg)
+		if !ok {
+			continue
+		}
+		acc := s.validateAccusation(round, slot, bitInSlot, sigBytes)
+		if acc == nil {
+			continue
+		}
+		b.acc = acc
+		break
+	}
+	if b.acc == nil {
+		// No valid accusation survived (victim squashed or none sent):
+		// resume rounds; the victim will re-request (§3.9).
+		return s.blameVerdict(now, group.NodeID{}, 0)
+	}
+	b.phase = bpTrace
+	out := &Output{}
+	tb := s.buildTraceBits(b.acc)
+	if err := s.broadcastServers(MsgTraceBits, s.roundNum, tb.Encode(), out); err != nil {
+		return nil, err
+	}
+	b.traces[s.idx] = tb
+	more, err := s.maybeEvaluateTrace(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+// validateAccusation checks signature and witness-bit plausibility and
+// translates the slot-relative bit into a global bit index.
+func (s *Server) validateAccusation(round uint64, slot, bitInSlot int, sigBytes []byte) *accusation {
+	hist := s.history[round]
+	if hist == nil || slot < 0 || slot >= len(s.slotKeys) {
+		return nil
+	}
+	if bitInSlot < 0 || bitInSlot >= hist.slotLen[slot]*8 {
+		return nil
+	}
+	sig, err := crypto.DecodeSignature(s.keyGrp, sigBytes)
+	if err != nil {
+		return nil
+	}
+	if err := crypto.Verify(s.keyGrp, s.slotKeys[slot], "dissent/accusation",
+		accusationDigest(s.grpID, round, slot, bitInSlot), sig); err != nil {
+		return nil
+	}
+	globalBit := hist.slotOff[slot]*8 + bitInSlot
+	if dcnet.Bit(hist.cleartext, globalBit) != 1 {
+		return nil // the claimed witness bit was not 1
+	}
+	return &accusation{round: round, slot: slot, bit: globalBit}
+}
+
+// buildTraceBits assembles this server's published bits for tracing.
+func (s *Server) buildTraceBits(acc *accusation) *TraceBits {
+	hist := s.history[acc.round]
+	tb := &TraceBits{
+		Session:   s.blame.session,
+		ServerBit: dcnet.Bit(hist.shares[s.idx], acc.bit),
+	}
+	tb.ClientBits = make([]byte, len(hist.included))
+	for pos, ci := range hist.included {
+		bit := s.pad.StreamBit(s.clientSeeds[ci], acc.round, acc.bit)
+		if s.testTraceBit != nil {
+			bit = s.testTraceBit(acc.round, ci, bit)
+		}
+		tb.ClientBits[pos] = bit
+	}
+	for _, ci := range hist.directSets[s.idx] {
+		sub := hist.subs[ci]
+		p, _ := DecodeClientSubmit(sub.Body)
+		tb.Direct = append(tb.Direct, int32(ci))
+		tb.DirectBits = append(tb.DirectBits, dcnet.Bit(p.CT, acc.bit))
+		tb.Evidence = append(tb.Evidence, EncodeMessage(sub))
+	}
+	return tb
+}
+
+func (s *Server) onTraceBits(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	p, err := DecodeTraceBits(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	b := s.blame
+	if b == nil || b.phase < bpTrace || p.Session > b.session {
+		if p.Session >= s.blameSession {
+			return s.stashMsg(m), nil
+		}
+		return &Output{}, nil
+	}
+	if b.phase != bpTrace || p.Session != b.session {
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if _, dup := b.traces[si]; dup {
+		return &Output{}, nil
+	}
+	b.traces[si] = p
+	return s.maybeEvaluateTrace(now)
+}
+
+// maybeEvaluateTrace runs the paper's three checks once all trace
+// contributions are in:
+//
+//	(a) a server did not publish the full bit set;
+//	(b) a server's published bits do not XOR to the share it sent;
+//	(c) a client's ciphertext bit does not match the XOR of the
+//	    per-server bits — ask the client for a rebuttal.
+func (s *Server) maybeEvaluateTrace(now time.Time) (*Output, error) {
+	b := s.blame
+	if b.phase != bpTrace || len(b.traces) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	hist := s.history[b.acc.round]
+	k := b.acc.bit
+	n := len(hist.included)
+	pos := make(map[int]int, n) // client index -> position in included
+	for p, ci := range hist.included {
+		pos[ci] = p
+	}
+
+	directBit := make(map[int]byte, n) // client index -> c_i[k]
+	for si := 0; si < len(s.def.Servers); si++ {
+		tb := b.traces[si]
+		// (a) completeness.
+		if len(tb.ClientBits) != n ||
+			len(tb.Direct) != len(hist.directSets[si]) ||
+			len(tb.DirectBits) != len(tb.Direct) ||
+			len(tb.Evidence) != len(tb.Direct) {
+			return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+		}
+		// Evidence: each direct entry must match the agreed dedup set
+		// and carry the client's signed ciphertext with that bit.
+		acc := byte(0)
+		for idx, ci32 := range tb.Direct {
+			ci := int(ci32)
+			if ci != hist.directSets[si][idx] {
+				return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+			}
+			ev, err := DecodeMessage(tb.Evidence[idx])
+			if err != nil || ev.Type != MsgClientSubmit || ev.Round != b.acc.round ||
+				ev.From != s.def.Clients[ci].ID {
+				return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+			}
+			if err := s.verify(ev, false); err != nil {
+				return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+			}
+			sub, err := DecodeClientSubmit(ev.Body)
+			if err != nil || k/8 >= len(sub.CT) {
+				return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+			}
+			bit := dcnet.Bit(sub.CT, k)
+			if bit != tb.DirectBits[idx] {
+				return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+			}
+			directBit[ci] = bit
+			acc ^= bit
+		}
+		// (b) the bits must recombine into the share it distributed.
+		for _, cb := range tb.ClientBits {
+			acc ^= cb
+		}
+		if acc != dcnet.Bit(hist.shares[si], k) {
+			return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+		}
+	}
+
+	// (c) per-client consistency.
+	for p, ci := range hist.included {
+		var x byte
+		for si := 0; si < len(s.def.Servers); si++ {
+			x ^= b.traces[si].ClientBits[p]
+		}
+		cb, ok := directBit[ci]
+		if !ok {
+			// Unreachable: every included client is in exactly one
+			// direct set.
+			continue
+		}
+		// A bit of cleartext message in position k is legitimate only
+		// for the accused slot's owner... who signed an accusation
+		// saying it sent 0. Any mismatch flags the client.
+		if x != cb {
+			b.flagged = ci
+			b.phase = bpRebuttal
+			b.rebutAt = now.Add(blameWindowFactor * s.def.Policy.WindowMin)
+			out := &Output{Timer: b.rebutAt}
+			// The flagged client's upstream server relays the request.
+			if s.def.UpstreamServer(ci) == s.idx {
+				bits := make([]byte, len(s.def.Servers))
+				for si := 0; si < len(s.def.Servers); si++ {
+					bits[si] = b.traces[si].ClientBits[p]
+				}
+				req := &RebuttalRequest{
+					Session:    b.session,
+					AccRound:   b.acc.round,
+					AccBit:     uint32(k),
+					ServerBits: bits,
+				}
+				msg, err := s.sign(MsgRebuttalRequest, s.roundNum, req.Encode())
+				if err != nil {
+					return nil, err
+				}
+				out.Send = append(out.Send, Envelope{To: s.def.Clients[ci].ID, Msg: msg})
+			}
+			return out, nil
+		}
+	}
+	// All bits consistent: impossible for a verified witness bit; emit
+	// an inconclusive verdict defensively.
+	return s.blameVerdict(now, group.NodeID{}, 0)
+}
+
+func (s *Server) onRebuttal(now time.Time, m *Message) (*Output, error) {
+	b := s.blame
+	if b != nil && b.phase < bpRebuttal {
+		return s.stashMsg(m), nil
+	}
+	if b == nil || b.phase != bpRebuttal {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, false); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	ci := s.def.ClientIndex(m.From)
+	if ci != b.flagged {
+		return &Output{}, nil
+	}
+	p, err := DecodeRebuttal(m.Body)
+	if err != nil || p.Session != b.session {
+		return &Output{}, nil
+	}
+	out := &Output{}
+	// The upstream server relays the client's signed rebuttal to peers.
+	if s.def.UpstreamServer(ci) == s.idx {
+		for i, srv := range s.def.Servers {
+			if i != s.idx {
+				out.Send = append(out.Send, Envelope{To: srv.ID, Msg: m})
+			}
+		}
+	}
+
+	verdictOut, err := s.judgeRebuttal(now, ci, p)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(verdictOut)
+	return out, nil
+}
+
+// judgeRebuttal decides between the flagged client and the server it
+// accuses of publishing a wrong pairwise bit.
+func (s *Server) judgeRebuttal(now time.Time, ci int, p *Rebuttal) (*Output, error) {
+	b := s.blame
+	si := int(p.ServerIdx)
+	if si < 0 || si >= len(s.def.Servers) {
+		return s.blameVerdict(now, s.def.Clients[ci].ID, 1)
+	}
+	secret, err := s.keyGrp.Decode(p.Secret)
+	if err != nil {
+		return s.blameVerdict(now, s.def.Clients[ci].ID, 1)
+	}
+	proof := crypto.DLEQProof{C: new(big.Int).SetBytes(p.ProofC), Z: new(big.Int).SetBytes(p.ProofZ)}
+	clientPub := s.def.Clients[ci].PubKey
+	serverPub := s.def.Servers[si].PubKey
+	ctx := crypto.Hash("dissent/rebuttal", s.grpID[:], crypto.HashUint64(uint64(ci)), crypto.HashUint64(uint64(si)))
+	// Statement: log_G(clientPub) == log_serverPub(secret), i.e. the
+	// revealed point is the true DH secret between the two keys.
+	if err := crypto.VerifyDLEQ(s.keyGrp, serverPub, clientPub, secret, proof, ctx); err != nil {
+		return s.blameVerdict(now, s.def.Clients[ci].ID, 1)
+	}
+	seed := crypto.SecretSeed(s.keyGrp, secret, clientPub, serverPub)
+	trueBit := s.pad.StreamBit(seed, b.acc.round, b.acc.bit)
+	hist := s.history[b.acc.round]
+	var posCI int
+	for p2, c := range hist.included {
+		if c == ci {
+			posCI = p2
+			break
+		}
+	}
+	if b.traces[si].ClientBits[posCI] != trueBit {
+		// The server lied about the shared bit: server exposed.
+		return s.blameVerdict(now, s.def.Servers[si].ID, 2)
+	}
+	// The server told the truth: the client's mismatch stands.
+	return s.blameVerdict(now, s.def.Clients[ci].ID, 1)
+}
+
+// blameVerdict closes the blame session, applies expulsion, notifies
+// clients, and resumes DC-net rounds.
+func (s *Server) blameVerdict(now time.Time, culprit group.NodeID, verdict byte) (*Output, error) {
+	b := s.blame
+	out := &Output{}
+	switch verdict {
+	case 1:
+		ci := s.def.ClientIndex(culprit)
+		if ci >= 0 {
+			s.excluded[ci] = true
+		}
+		out.Events = append(out.Events, Event{Kind: EventBlameVerdict, Round: s.roundNum,
+			Culprit: culprit, Detail: "client expelled"})
+	case 2:
+		out.Events = append(out.Events, Event{Kind: EventBlameVerdict, Round: s.roundNum,
+			Culprit: culprit, Detail: "server exposed"})
+	default:
+		out.Events = append(out.Events, Event{Kind: EventBlameVerdict, Round: s.roundNum,
+			Detail: "inconclusive"})
+	}
+	body := (&BlameDone{Session: b.session, Verdict: verdict, Culprit: culprit}).Encode()
+	if err := s.broadcastClients(MsgBlameDone, s.roundNum, body, out); err != nil {
+		return nil, err
+	}
+	s.blame = nil
+	s.phase = phaseRunning
+	s.startRound(now, out)
+	return out, nil
+}

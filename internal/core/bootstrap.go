@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+)
+
+// Trusted-bootstrap entry points. Benchmark harnesses reproducing the
+// paper's Figures 7–8 measure DC-net round behaviour at thousands of
+// clients; running the full verifiable scheduling shuffle there would
+// measure Figure 9's subject instead (and costs O(k·N·M²) public-key
+// operations). InstallSchedule lets a harness inject a pre-agreed slot
+// assignment so the engines start directly in the running phase. The
+// production path remains Start + the shuffle protocol.
+
+// InstallSchedule (server) installs slot pseudonym keys directly and
+// begins round 0. It must be called instead of Start.
+func (s *Server) InstallSchedule(now time.Time, slotKeys []crypto.Element) (*Output, error) {
+	if s.phase != phaseSetupCollect && s.sched != nil {
+		return nil, errors.New("core: schedule already established")
+	}
+	if len(slotKeys) == 0 {
+		return nil, errors.New("core: empty slot key list")
+	}
+	s.slotKeys = slotKeys
+	cfg := dcnet.Config{
+		NumSlots:        len(slotKeys),
+		DefaultOpenLen:  s.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      s.def.Policy.MaxSlotLen,
+		IdleCloseRounds: s.def.Policy.IdleCloseRounds,
+	}
+	sched, err := dcnet.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+	s.prevCount = len(slotKeys)
+	s.phase = phaseRunning
+	out := &Output{Events: []Event{{Kind: EventScheduleReady,
+		Detail: fmt.Sprintf("%d slots (trusted bootstrap)", len(slotKeys))}}}
+	s.startRound(now, out)
+	return out, nil
+}
+
+// InstallSchedule (client) installs the slot assignment and pseudonym
+// keypair and submits round 0. It must be called instead of Start.
+func (c *Client) InstallSchedule(now time.Time, numSlots, mySlot int, pseudonym *crypto.KeyPair) (*Output, error) {
+	if c.ready {
+		return nil, errors.New("core: schedule already established")
+	}
+	if mySlot < 0 || mySlot >= numSlots {
+		return nil, fmt.Errorf("core: slot %d out of range [0,%d)", mySlot, numSlots)
+	}
+	if pseudonym == nil {
+		kp, err := crypto.GenerateKeyPair(c.keyGrp, c.rand)
+		if err != nil {
+			return nil, err
+		}
+		pseudonym = kp
+	}
+	c.pseudonym = pseudonym
+	c.mySlot = mySlot
+	cfg := dcnet.Config{
+		NumSlots:        numSlots,
+		DefaultOpenLen:  c.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      c.def.Policy.MaxSlotLen,
+		IdleCloseRounds: c.def.Policy.IdleCloseRounds,
+	}
+	sched, err := dcnet.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.sched = sched
+	c.ready = true
+	out := &Output{Events: []Event{{Kind: EventScheduleReady,
+		Detail: fmt.Sprintf("slot %d of %d (trusted bootstrap)", mySlot, numSlots)}}}
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}

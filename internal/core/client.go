@@ -1,0 +1,540 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+	"dissent/internal/group"
+	"dissent/internal/shuffle"
+)
+
+// witnessInfo records a detected disruption pending accusation: the
+// round, our slot, and a slot-relative bit we sent as 0 that came out 1.
+type witnessInfo struct {
+	round uint64
+	bit   int
+}
+
+// Client is the Dissent client engine (Algorithm 1). Applications
+// queue payloads with Send; the engine requests a slot, transmits, and
+// surfaces every slot's decoded payload as Deliveries.
+type Client struct {
+	node
+	idx      int
+	upstream group.NodeID
+
+	serverSeeds [][]byte // pairwise DC-net seeds, by server index
+	pad         *dcnet.Pad
+
+	pseudonym *crypto.KeyPair
+	mySlot    int
+	sched     *dcnet.Schedule
+	ready     bool
+
+	round         uint64 // next round to submit
+	outbox        [][]byte
+	lastVec       []byte // message vector submitted for `round` (resend on failure)
+	sentSlot      []byte // our encoded slot region this round (nil if closed)
+	reqPending    bool   // we have an unserved slot request in flight
+	awaitingBlame bool
+
+	witness          *witnessInfo
+	accusedInSession int32
+}
+
+// NewClient builds a client engine for the given identity key.
+func NewClient(def *group.Definition, kp *crypto.KeyPair, opts Options) (*Client, error) {
+	c := &Client{node: newNode(def, kp, opts)}
+	c.idx = def.ClientIndex(c.id)
+	if c.idx < 0 {
+		return nil, errors.New("core: key is not a client in this group")
+	}
+	c.upstream = def.Servers[def.UpstreamServer(c.idx)].ID
+	c.serverSeeds = make([][]byte, len(def.Servers))
+	for j, srv := range def.Servers {
+		if opts.PairSeed != nil {
+			c.serverSeeds[j] = opts.PairSeed(c.idx, j)
+		} else {
+			seed, err := c.pairSeed(srv.PubKey)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d seed: %w", j, err)
+			}
+			c.serverSeeds[j] = seed
+		}
+	}
+	c.pad = dcnet.NewPad(c.prng)
+	c.mySlot = -1
+	return c, nil
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() group.NodeID { return c.id }
+
+// Index returns the client's index in the group definition.
+func (c *Client) Index() int { return c.idx }
+
+// Slot returns the client's anonymous slot index, or -1 before setup.
+func (c *Client) Slot() int { return c.mySlot }
+
+// Ready reports whether the schedule is established.
+func (c *Client) Ready() bool { return c.ready }
+
+// Round returns the next round the client will submit for.
+func (c *Client) Round() uint64 { return c.round }
+
+// Send queues an application payload for anonymous transmission. Large
+// payloads are fragmented across rounds up to the slot-length cap;
+// reassembly is the application's concern.
+func (c *Client) Send(data []byte) {
+	c.outbox = append(c.outbox, append([]byte(nil), data...))
+}
+
+// Pending returns the number of queued outbound payloads.
+func (c *Client) Pending() int { return len(c.outbox) }
+
+// Start generates the pseudonym key and submits it for scheduling.
+func (c *Client) Start(now time.Time) (*Output, error) {
+	pseu, err := crypto.GenerateKeyPair(c.keyGrp, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	c.pseudonym = pseu
+	in, err := shuffle.PrepareInput(c.keyGrp, c.serverIdentityKeys(), []crypto.Element{pseu.Public}, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	body := (&PseudonymSubmit{CT: crypto.EncodeCiphertext(c.keyGrp, in[0])}).Encode()
+	m, err := c.sign(MsgPseudonymSubmit, 0, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
+}
+
+func (c *Client) serverIdentityKeys() []crypto.Element {
+	pubs := make([]crypto.Element, len(c.def.Servers))
+	for j, srv := range c.def.Servers {
+		pubs[j] = srv.PubKey
+	}
+	return pubs
+}
+
+// Handle processes one incoming message.
+func (c *Client) Handle(now time.Time, m *Message) (*Output, error) {
+	switch m.Type {
+	case MsgSchedule:
+		return c.onSchedule(now, m)
+	case MsgOutput:
+		return c.onOutput(now, m)
+	case MsgBlameStart:
+		return c.onBlameStart(now, m)
+	case MsgBlameDone:
+		return c.onBlameDone(now, m)
+	case MsgRebuttalRequest:
+		return c.onRebuttalRequest(now, m)
+	default:
+		return nil, fmt.Errorf("core: client got unexpected %s", m.Type)
+	}
+}
+
+// Tick is a no-op for clients (they are purely reactive).
+func (c *Client) Tick(now time.Time) (*Output, error) { return &Output{}, nil }
+
+func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
+	if c.ready {
+		return &Output{}, nil
+	}
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	p, err := DecodeSchedule(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if len(p.Sigs) != len(c.def.Servers) {
+		return c.violation(errors.New("schedule lacks a signature per server")), nil
+	}
+	signed := scheduleSignedBytes(c.grpID, p.Keys)
+	for j, srv := range c.def.Servers {
+		sig, err := crypto.DecodeSignature(c.keyGrp, p.Sigs[j])
+		if err != nil {
+			return c.violation(err), nil
+		}
+		if err := crypto.Verify(c.keyGrp, srv.PubKey, "dissent/schedule", signed, sig); err != nil {
+			return c.violation(fmt.Errorf("schedule cert %d: %w", j, err)), nil
+		}
+	}
+	myKey := c.keyGrp.Encode(c.pseudonym.Public)
+	c.mySlot = -1
+	for i, k := range p.Keys {
+		if bytes.Equal(k, myKey) {
+			c.mySlot = i
+			break
+		}
+	}
+	if c.mySlot < 0 {
+		return nil, errors.New("core: our pseudonym key is missing from the schedule")
+	}
+	cfg := dcnet.Config{
+		NumSlots:        len(p.Keys),
+		DefaultOpenLen:  c.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      c.def.Policy.MaxSlotLen,
+		IdleCloseRounds: c.def.Policy.IdleCloseRounds,
+	}
+	sched, err := dcnet.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.sched = sched
+	c.ready = true
+	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("slot %d of %d", c.mySlot, len(p.Keys))}}}
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}
+
+// composeVector lays out this round's message vector (Algorithm 1
+// step 2) and records what we transmitted for disruption detection.
+func (c *Client) composeVector() ([]byte, error) {
+	vec := make([]byte, c.sched.Len())
+	slotLen := c.sched.SlotLen(c.mySlot)
+	c.sentSlot = nil
+	if slotLen == 0 {
+		if len(c.outbox) > 0 || c.witness != nil {
+			bit := true
+			if c.reqPending {
+				// §3.8: randomize retries so a disruptor cannot keep
+				// cancelling our request bit.
+				bit = randBit(c.rand)
+			}
+			c.sched.SetReqBit(vec, c.mySlot, bit)
+			c.reqPending = true
+		}
+		return vec, nil
+	}
+	payload := dcnet.SlotPayload{}
+	capacity := dcnet.SlotCapacity(slotLen)
+	// Drain as many queued payloads as fit: the slot is a byte stream,
+	// so consecutive payloads concatenate (framing is the
+	// application's concern, as with any SOCKS byte tunnel).
+	var data []byte
+	for len(c.outbox) > 0 && len(data) < capacity {
+		msg := c.outbox[0]
+		take := capacity - len(data)
+		if len(msg) <= take {
+			data = append(data, msg...)
+			c.outbox = c.outbox[1:]
+		} else {
+			data = append(data, msg[:take]...)
+			c.outbox[0] = msg[take:]
+		}
+	}
+	payload.Data = data
+	remaining := 0
+	for _, msg := range c.outbox {
+		remaining += len(msg)
+	}
+	switch {
+	case remaining > 0:
+		next := dcnet.SlotLenFor(remaining)
+		if next > c.def.Policy.MaxSlotLen {
+			next = c.def.Policy.MaxSlotLen
+		}
+		payload.NextLen = next
+	case c.witness != nil:
+		payload.NextLen = slotLen // keep the slot open to carry requests
+	default:
+		payload.NextLen = 0
+	}
+	if c.witness != nil {
+		payload.ShuffleReq = randNonzeroByte(c.rand)
+	}
+	off, n := c.sched.SlotRange(c.mySlot)
+	if err := dcnet.EncodeSlot(vec[off:off+n], payload, c.rand); err != nil {
+		return nil, err
+	}
+	c.sentSlot = append([]byte(nil), vec[off:off+n]...)
+	return vec, nil
+}
+
+// submitRound builds and sends the ciphertext for the current round.
+func (c *Client) submitRound(now time.Time) (*Output, error) {
+	vec, err := c.composeVector()
+	if err != nil {
+		return nil, err
+	}
+	c.lastVec = vec
+	return c.submitVector(now, vec)
+}
+
+func (c *Client) submitVector(now time.Time, vec []byte) (*Output, error) {
+	ct := c.pad.ClientCiphertext(c.serverSeeds, c.round, vec)
+	body := (&ClientSubmit{CT: ct}).Encode()
+	m, err := c.sign(MsgClientSubmit, c.round, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
+}
+
+func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
+	if !c.ready || m.Round != c.round {
+		return &Output{}, nil
+	}
+	p, err := DecodeRoundOutput(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if len(p.Sigs) != len(c.def.Servers) {
+		return c.violation(errors.New("round output lacks a signature per server")), nil
+	}
+	signed := cleartextSignedBytes(c.grpID, m.Round, int(p.Count), p.Cleartext)
+	for j, srv := range c.def.Servers {
+		sig, err := crypto.DecodeSignature(c.keyGrp, p.Sigs[j])
+		if err != nil {
+			return c.violation(err), nil
+		}
+		if err := crypto.Verify(c.keyGrp, srv.PubKey, "dissent/cleartext", signed, sig); err != nil {
+			return c.violation(fmt.Errorf("round %d cert %d: %w", m.Round, j, err)), nil
+		}
+	}
+	if p.Failed {
+		// Hard-timeout round: ciphertexts discarded; resubmit the same
+		// vector under the next round number (§3.7).
+		c.round = m.Round + 1
+		out := &Output{Events: []Event{{Kind: EventRoundFailed, Round: m.Round,
+			Detail: fmt.Sprintf("participation %d", p.Count)}}}
+		sub, err := c.submitVector(now, c.lastVec)
+		if err != nil {
+			return nil, err
+		}
+		out.merge(sub)
+		return out, nil
+	}
+
+	out := &Output{}
+	// Disruption detection (§3.9): compare our slot region against the
+	// certified output.
+	if c.sentSlot != nil && c.witness == nil {
+		off, n := c.sched.SlotRange(c.mySlot)
+		got := p.Cleartext[off : off+n]
+		if !bytes.Equal(got, c.sentSlot) {
+			if bit := findWitnessBit(c.sentSlot, got); bit >= 0 {
+				c.witness = &witnessInfo{round: m.Round, bit: bit}
+				out.Events = append(out.Events, Event{Kind: EventDisruptionDetected, Round: m.Round,
+					Detail: fmt.Sprintf("slot %d bit %d", c.mySlot, bit)})
+			}
+		}
+	}
+
+	wasClosed := c.sched.SlotLen(c.mySlot) == 0
+	res, err := c.sched.Advance(p.Cleartext)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule advance: %w", err)
+	}
+	if wasClosed && c.sched.SlotLen(c.mySlot) > 0 {
+		c.reqPending = false
+	}
+	for slot, pl := range res.Payloads {
+		if pl != nil && len(pl.Data) > 0 {
+			out.Deliveries = append(out.Deliveries, Delivery{Round: m.Round, Slot: slot, Data: pl.Data})
+		}
+	}
+	c.round = m.Round + 1
+	if res.ShuffleRequested {
+		// Servers will open an accusation shuffle before the next
+		// round; hold our submission until MsgBlameDone.
+		c.awaitingBlame = true
+		return out, nil
+	}
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}
+
+func (c *Client) onBlameStart(now time.Time, m *Message) (*Output, error) {
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	p, err := DecodeBlameStart(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	var msg []byte
+	if c.witness != nil {
+		// The witness bit travels slot-relative; servers translate.
+		sig, err := c.pseudonym.Sign("dissent/accusation",
+			accusationDigest(c.grpID, c.witness.round, c.mySlot, c.witness.bit), c.rand)
+		if err != nil {
+			return nil, err
+		}
+		msg = accusationBytes(c.witness.round, c.mySlot, c.witness.bit,
+			crypto.EncodeSignature(c.keyGrp, sig))
+		c.accusedInSession = p.Session
+	}
+	width := shuffle.VecWidth(c.msgGrp, accusationLen(c.keyGrp))
+	elems, err := shuffle.EmbedMessage(c.msgGrp, msg, width, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	vec, err := shuffle.PrepareInput(c.msgGrp, c.serverMsgKeys(), elems, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	var ctBytes []byte
+	for _, ct := range vec {
+		ctBytes = append(ctBytes, crypto.EncodeCiphertext(c.msgGrp, ct)...)
+	}
+	body := (&BlameSubmit{Session: p.Session, CT: ctBytes}).Encode()
+	sm, err := c.sign(MsgBlameSubmit, m.Round, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Send: []Envelope{{To: c.upstream, Msg: sm}}}, nil
+}
+
+func (c *Client) serverMsgKeys() []crypto.Element {
+	pubs := make([]crypto.Element, len(c.def.Servers))
+	for j, srv := range c.def.Servers {
+		pubs[j] = srv.MsgPubKey
+	}
+	return pubs
+}
+
+func (c *Client) onBlameDone(now time.Time, m *Message) (*Output, error) {
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	p, err := DecodeBlameDone(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	out := &Output{}
+	if p.Verdict != 0 {
+		out.Events = append(out.Events, Event{Kind: EventBlameVerdict, Round: m.Round, Culprit: p.Culprit})
+	}
+	if c.witness != nil && c.accusedInSession == p.Session && p.Verdict != 0 {
+		// Our accusation was carried and judged; stop re-requesting.
+		c.witness = nil
+	}
+	if !c.awaitingBlame {
+		return out, nil
+	}
+	c.awaitingBlame = false
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}
+
+func (c *Client) onRebuttalRequest(now time.Time, m *Message) (*Output, error) {
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	p, err := DecodeRebuttalRequest(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if len(p.ServerBits) != len(c.def.Servers) {
+		return c.violation(errors.New("rebuttal request with wrong bit count")), nil
+	}
+	// Find the server whose published pairwise bit disagrees with the
+	// truth we can compute from our own seeds.
+	target := -1
+	for j := range c.def.Servers {
+		trueBit := c.pad.StreamBit(c.serverSeeds[j], p.AccRound, int(p.AccBit))
+		if trueBit != p.ServerBits[j] {
+			target = j
+			break
+		}
+	}
+	if target < 0 {
+		// All bits are genuine; we cannot rebut (an honest client never
+		// reaches this state). Stay silent.
+		return &Output{}, nil
+	}
+	serverPub := c.def.Servers[target].PubKey
+	secret, err := c.kp.SharedSecret(serverPub)
+	if err != nil {
+		return nil, err
+	}
+	ctx := crypto.Hash("dissent/rebuttal", c.grpID[:],
+		crypto.HashUint64(uint64(c.idx)), crypto.HashUint64(uint64(target)))
+	proof, err := crypto.ProveDLEQ(c.keyGrp, c.kp.Private, serverPub, c.kp.Public, secret, ctx, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	body := (&Rebuttal{
+		Session:   p.Session,
+		ServerIdx: int32(target),
+		Secret:    c.keyGrp.Encode(secret),
+		ProofC:    proof.C.Bytes(),
+		ProofZ:    proof.Z.Bytes(),
+	}).Encode()
+	rm, err := c.sign(MsgRebuttal, m.Round, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Send: []Envelope{{To: c.upstream, Msg: rm}}}, nil
+}
+
+func (c *Client) violation(err error) *Output {
+	return &Output{Events: []Event{{Kind: EventProtocolViolation, Detail: err.Error()}}}
+}
+
+// findWitnessBit returns the first bit index where sent is 0 but got is
+// 1, or -1 (LSB-first within bytes, matching dcnet.Bit).
+func findWitnessBit(sent, got []byte) int {
+	for i := range sent {
+		if d := ^sent[i] & got[i]; d != 0 {
+			for b := 0; b < 8; b++ {
+				if d&(1<<uint(b)) != 0 {
+					return i*8 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// randBit draws a uniform bit.
+func randBit(r io.Reader) bool {
+	var b [1]byte
+	readRand(r, b[:])
+	return b[0]&1 == 1
+}
+
+// randNonzeroByte draws a uniform nonzero byte for the k-bit
+// shuffle-request field (§3.9).
+func randNonzeroByte(r io.Reader) byte {
+	var b [1]byte
+	for {
+		readRand(r, b[:])
+		if b[0] != 0 {
+			return b[0]
+		}
+	}
+}
+
+func readRand(r io.Reader, p []byte) {
+	if r == nil {
+		r = rand.Reader
+	}
+	if _, err := io.ReadFull(r, p); err != nil {
+		panic("core: randomness source failed: " + err.Error())
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dissent/internal/crypto"
+	"dissent/internal/group"
+)
+
+// Envelope is one outbound message with its destination.
+type Envelope struct {
+	To  group.NodeID
+	Msg *Message
+}
+
+// EventKind classifies engine events surfaced to the application.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventScheduleReady fires when the slot schedule is established.
+	EventScheduleReady EventKind = iota + 1
+	// EventRoundComplete fires at a server when a round certifies.
+	EventRoundComplete
+	// EventRoundFailed fires when a round hits the hard timeout.
+	EventRoundFailed
+	// EventDisruptionDetected fires at a client whose slot was garbled.
+	EventDisruptionDetected
+	// EventBlameStarted fires when an accusation shuffle begins.
+	EventBlameStarted
+	// EventBlameVerdict fires when tracing identifies a disruptor.
+	EventBlameVerdict
+	// EventProtocolViolation fires when a signed message fails
+	// verification or a shuffle proof is invalid.
+	EventProtocolViolation
+	// EventWindowClosed fires at a server when it closes a round's
+	// submission window — the boundary between "client submission" and
+	// "server processing" time in the paper's Figures 7–8.
+	EventWindowClosed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventScheduleReady:
+		return "schedule-ready"
+	case EventRoundComplete:
+		return "round-complete"
+	case EventRoundFailed:
+		return "round-failed"
+	case EventDisruptionDetected:
+		return "disruption-detected"
+	case EventBlameStarted:
+		return "blame-started"
+	case EventBlameVerdict:
+		return "blame-verdict"
+	case EventProtocolViolation:
+		return "protocol-violation"
+	case EventWindowClosed:
+		return "window-closed"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is a notable state transition.
+type Event struct {
+	Kind    EventKind
+	Round   uint64
+	Culprit group.NodeID // blame verdict only
+	Detail  string
+}
+
+// Delivery is one decoded anonymous message handed to the application:
+// slot identifies the anonymous sender's pseudonym slot, not a client.
+type Delivery struct {
+	Round uint64
+	Slot  int
+	Data  []byte
+}
+
+// Output aggregates everything an engine produced during one call.
+type Output struct {
+	// Send lists messages to transmit.
+	Send []Envelope
+	// Timer requests a Tick at (or soon after) the given time; zero
+	// means no timer is needed.
+	Timer time.Time
+	// Deliveries are decoded slot messages (clients and servers both
+	// observe the anonymous channel's cleartext).
+	Deliveries []Delivery
+	// Events are notable transitions.
+	Events []Event
+}
+
+func (o *Output) merge(other *Output) {
+	if other == nil {
+		return
+	}
+	o.Send = append(o.Send, other.Send...)
+	o.Deliveries = append(o.Deliveries, other.Deliveries...)
+	o.Events = append(o.Events, other.Events...)
+	if o.Timer.IsZero() || (!other.Timer.IsZero() && other.Timer.Before(o.Timer)) {
+		o.Timer = other.Timer
+	}
+}
+
+// node is state common to client and server engines.
+type node struct {
+	def     *group.Definition
+	grpID   [32]byte
+	keyGrp  crypto.Group // identity/pseudonym key group (P-256)
+	msgGrp  crypto.Group // message shuffle group (modp-2048 by default)
+	kp      *crypto.KeyPair
+	id      group.NodeID
+	rand    io.Reader
+	prng    crypto.PRNGMaker
+	signing bool
+}
+
+func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
+	msgGrp := opts.MessageGroup
+	if msgGrp == nil {
+		msgGrp = crypto.ModP2048()
+	}
+	prng := opts.PRNG
+	if prng == nil {
+		prng = crypto.NewAESPRNG
+	}
+	return node{
+		def:     def,
+		grpID:   def.GroupID(),
+		keyGrp:  def.Group(),
+		msgGrp:  msgGrp,
+		kp:      kp,
+		id:      group.IDFromKey(def.Group(), kp.Public),
+		rand:    opts.Rand,
+		prng:    prng,
+		signing: def.Policy.SignMessages,
+	}
+}
+
+// Options tunes engine construction.
+type Options struct {
+	// Rand is the randomness source (nil = crypto/rand).
+	Rand io.Reader
+	// PRNG builds DC-net streams (nil = crypto.NewAESPRNG; benchmarks
+	// may pass crypto.NewFastPRNG, see internal/bench).
+	PRNG crypto.PRNGMaker
+	// MessageGroup is the accusation-shuffle group (nil = modp-2048).
+	// Tests substitute a small Schnorr group for speed.
+	MessageGroup crypto.Group
+	// PairSeed, when non-nil, supplies the (clientIdx, serverIdx)
+	// pairwise DC-net seed directly instead of deriving it from a
+	// Diffie–Hellman exchange. Benchmark harnesses use this to skip
+	// O(N·M) scalar multiplications at setup; both sides must use the
+	// same function. Production deployments leave it nil.
+	PairSeed func(clientIdx, serverIdx int) []byte
+}
+
+// sign builds a Message, signing it when the policy requires.
+func (n *node) sign(t MsgType, round uint64, body []byte) (*Message, error) {
+	m := &Message{From: n.id, Type: t, Round: round, Body: body}
+	if n.signing {
+		sig, err := n.kp.Sign("dissent/msg", signedBytes(n.grpID, m), n.rand)
+		if err != nil {
+			return nil, err
+		}
+		m.Sig = crypto.EncodeSignature(n.keyGrp, sig)
+	}
+	return m, nil
+}
+
+// verify checks a message's signature against the sender's registered
+// key and confirms the sender holds the expected role.
+func (n *node) verify(m *Message, wantServer bool) error {
+	var pub crypto.Element
+	if si := n.def.ServerIndex(m.From); si >= 0 {
+		if !wantServer {
+			return fmt.Errorf("core: %s from server %s not allowed", m.Type, m.From)
+		}
+		pub = n.def.Servers[si].PubKey
+	} else if ci := n.def.ClientIndex(m.From); ci >= 0 {
+		if wantServer {
+			return fmt.Errorf("core: %s from client %s not allowed", m.Type, m.From)
+		}
+		pub = n.def.Clients[ci].PubKey
+	} else {
+		return fmt.Errorf("core: message from unknown node %s", m.From)
+	}
+	if !n.signing {
+		return nil
+	}
+	sig, err := crypto.DecodeSignature(n.keyGrp, m.Sig)
+	if err != nil {
+		return fmt.Errorf("core: %s from %s: %w", m.Type, m.From, err)
+	}
+	if err := crypto.Verify(n.keyGrp, pub, "dissent/msg", signedBytes(n.grpID, m), sig); err != nil {
+		return fmt.Errorf("core: %s from %s: %w", m.Type, m.From, err)
+	}
+	return nil
+}
+
+// pairSeed derives the DC-net pairwise seed between this node and peer.
+func (n *node) pairSeed(peerPub crypto.Element) ([]byte, error) {
+	shared, err := n.kp.SharedSecret(peerPub)
+	if err != nil {
+		return nil, err
+	}
+	return crypto.SecretSeed(n.keyGrp, shared, n.kp.Public, peerPub), nil
+}

@@ -1,0 +1,821 @@
+package core
+
+import (
+	"fmt"
+
+	"dissent/internal/crypto"
+	"dissent/internal/group"
+)
+
+// MsgType enumerates the protocol's wire messages.
+type MsgType byte
+
+// Message types. Setup messages establish the shuffled slot schedule;
+// round messages implement Algorithms 1–2; blame messages implement
+// the accusation protocol of §3.9.
+const (
+	// MsgPseudonymSubmit: client → upstream server; onion-encrypted
+	// pseudonym key for the scheduling shuffle.
+	MsgPseudonymSubmit MsgType = iota + 1
+	// MsgPseudonymList: server → all servers; collected submissions.
+	MsgPseudonymList
+	// MsgShuffleStep: server j → all servers; its shuffle step output.
+	MsgShuffleStep
+	// MsgSchedule: server → its clients; final slot key list + server
+	// signatures.
+	MsgSchedule
+	// MsgClientSubmit: client → upstream server; round ciphertext.
+	MsgClientSubmit
+	// MsgInventory: server → all servers; clients heard this round.
+	MsgInventory
+	// MsgCommit: server → all servers; hash commit of its ciphertext.
+	MsgCommit
+	// MsgShare: server → all servers; its ciphertext.
+	MsgShare
+	// MsgCertify: server → all servers; signature over the cleartext.
+	MsgCertify
+	// MsgOutput: server → its clients; signed round output.
+	MsgOutput
+	// MsgBlameStart: server → its clients; an accusation shuffle opens.
+	MsgBlameStart
+	// MsgBlameSubmit: client → upstream server; encrypted accusation
+	// (or null message) for the accusation shuffle.
+	MsgBlameSubmit
+	// MsgBlameList: server → all servers; collected blame submissions.
+	MsgBlameList
+	// MsgBlameStep: server j → all servers; blame shuffle step output.
+	MsgBlameStep
+	// MsgTraceBits: server → all servers; per-client PRNG bits at the
+	// witness position, for disruptor tracing.
+	MsgTraceBits
+	// MsgRebuttalRequest: upstream server → flagged client.
+	MsgRebuttalRequest
+	// MsgRebuttal: client → all servers (via upstream); reveals the
+	// pairwise secret shared with an equivocating server.
+	MsgRebuttal
+	// MsgScheduleCert: server → all servers; signature certifying the
+	// scheduling shuffle's output key list.
+	MsgScheduleCert
+	// MsgBlameDone: server → its clients; the accusation session ended
+	// (with or without a verdict) and DC-net rounds resume.
+	MsgBlameDone
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgPseudonymSubmit: "pseudonym-submit",
+	MsgPseudonymList:   "pseudonym-list",
+	MsgShuffleStep:     "shuffle-step",
+	MsgSchedule:        "schedule",
+	MsgClientSubmit:    "client-submit",
+	MsgInventory:       "inventory",
+	MsgCommit:          "commit",
+	MsgShare:           "share",
+	MsgCertify:         "certify",
+	MsgOutput:          "output",
+	MsgBlameStart:      "blame-start",
+	MsgBlameSubmit:     "blame-submit",
+	MsgBlameList:       "blame-list",
+	MsgBlameStep:       "blame-step",
+	MsgTraceBits:       "trace-bits",
+	MsgRebuttalRequest: "rebuttal-request",
+	MsgRebuttal:        "rebuttal",
+	MsgScheduleCert:    "schedule-cert",
+	MsgBlameDone:       "blame-done",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgtype(%d)", byte(t))
+}
+
+// Message is one signed protocol message. Body is the canonical
+// payload encoding; Sig covers (GroupID, Type, Round, From, Body).
+type Message struct {
+	From  group.NodeID
+	Type  MsgType
+	Round uint64
+	Body  []byte
+	Sig   []byte
+}
+
+// signedBytes is the byte string a message signature covers.
+func signedBytes(groupID [32]byte, m *Message) []byte {
+	var e encBuf
+	e.b = append(e.b, groupID[:]...)
+	e.u8(byte(m.Type))
+	e.u64(m.Round)
+	e.b = append(e.b, m.From[:]...)
+	e.bytes(m.Body)
+	return e.b
+}
+
+// WireSize returns the message's approximate on-the-wire size in
+// bytes, used by the network simulator for bandwidth accounting:
+// header (type, round, from, body length) + body + signature.
+func (m *Message) WireSize() int {
+	n := 1 + 8 + 8 + 4 + len(m.Body)
+	if m.Sig != nil {
+		n += len(m.Sig)
+	} else {
+		n += 64 // unsigned simulation mode still accounts a signature
+	}
+	return n
+}
+
+// EncodeMessage serializes a complete message for transport framing or
+// for inclusion as evidence in tracing.
+func EncodeMessage(m *Message) []byte {
+	var e encBuf
+	e.u8(byte(m.Type))
+	e.u64(m.Round)
+	e.b = append(e.b, m.From[:]...)
+	e.bytes(m.Body)
+	e.bytes(m.Sig)
+	return e.b
+}
+
+// DecodeMessage parses a message serialized by EncodeMessage.
+func DecodeMessage(data []byte) (*Message, error) {
+	d := decBuf{data}
+	t, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	round, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) < 8 {
+		return nil, errTruncated
+	}
+	var from group.NodeID
+	copy(from[:], d.b[:8])
+	d.b = d.b[8:]
+	body, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	m := &Message{From: from, Type: MsgType(t), Round: round, Body: body}
+	if len(sig) > 0 {
+		m.Sig = sig
+	}
+	return m, nil
+}
+
+// --- Payload codecs -------------------------------------------------
+
+// PseudonymSubmit carries a client's onion-encrypted pseudonym key.
+type PseudonymSubmit struct {
+	CT []byte // encoded ElGamal ciphertext (width-1 vector)
+}
+
+// Encode serializes the payload.
+func (p *PseudonymSubmit) Encode() []byte {
+	var e encBuf
+	e.bytes(p.CT)
+	return e.b
+}
+
+// DecodePseudonymSubmit parses a PseudonymSubmit payload.
+func DecodePseudonymSubmit(b []byte) (*PseudonymSubmit, error) {
+	d := decBuf{b}
+	ct, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &PseudonymSubmit{CT: ct}, nil
+}
+
+// PseudonymList carries the submissions a server collected, keyed by
+// client index in the group definition.
+type PseudonymList struct {
+	Clients []int32
+	CTs     [][]byte
+}
+
+// Encode serializes the payload.
+func (p *PseudonymList) Encode() []byte {
+	var e encBuf
+	e.ints(p.Clients)
+	e.byteSlices(p.CTs)
+	return e.b
+}
+
+// DecodePseudonymList parses a PseudonymList payload.
+func DecodePseudonymList(b []byte) (*PseudonymList, error) {
+	d := decBuf{b}
+	cs, err := d.ints()
+	if err != nil {
+		return nil, err
+	}
+	cts, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
+	if len(cs) != len(cts) {
+		return nil, fmt.Errorf("core: pseudonym list shape mismatch")
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &PseudonymList{Clients: cs, CTs: cts}, nil
+}
+
+// ShuffleStep carries one server's shuffle step for stage (its server
+// index) of a shuffle session. Blame and scheduling shuffles share
+// this format; Session is 0 for scheduling.
+type ShuffleStep struct {
+	Session int32
+	Stage   int32
+	Data    []byte // encoded shuffle.StepOutput
+}
+
+// Encode serializes the payload.
+func (p *ShuffleStep) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.u32(uint32(p.Stage))
+	e.bytes(p.Data)
+	return e.b
+}
+
+// DecodeShuffleStep parses a ShuffleStep payload.
+func DecodeShuffleStep(b []byte) (*ShuffleStep, error) {
+	d := decBuf{b}
+	session, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	stage, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	data, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &ShuffleStep{Session: int32(session), Stage: int32(stage), Data: data}, nil
+}
+
+// Schedule carries the final slot schedule: pseudonym keys in slot
+// order plus every server's signature over the key list.
+type Schedule struct {
+	Keys [][]byte // encoded pseudonym public keys, slot order
+	Sigs [][]byte // per server index, Schnorr over scheduleSignedBytes
+}
+
+// Encode serializes the payload.
+func (p *Schedule) Encode() []byte {
+	var e encBuf
+	e.byteSlices(p.Keys)
+	e.byteSlices(p.Sigs)
+	return e.b
+}
+
+// DecodeSchedule parses a Schedule payload.
+func DecodeSchedule(b []byte) (*Schedule, error) {
+	d := decBuf{b}
+	keys, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
+	sigs, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Schedule{Keys: keys, Sigs: sigs}, nil
+}
+
+// scheduleSignedBytes is the byte string servers sign to certify a
+// schedule.
+func scheduleSignedBytes(groupID [32]byte, keys [][]byte) []byte {
+	var e encBuf
+	e.b = append(e.b, groupID[:]...)
+	e.byteSlices(keys)
+	return crypto.Hash("dissent/schedule-cert", e.b)
+}
+
+// ClientSubmit carries a client's DC-net ciphertext for a round.
+type ClientSubmit struct {
+	CT []byte
+}
+
+// Encode serializes the payload.
+func (p *ClientSubmit) Encode() []byte {
+	var e encBuf
+	e.bytes(p.CT)
+	return e.b
+}
+
+// DecodeClientSubmit parses a ClientSubmit payload.
+func DecodeClientSubmit(b []byte) (*ClientSubmit, error) {
+	d := decBuf{b}
+	ct, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &ClientSubmit{CT: ct}, nil
+}
+
+// Inventory is a server's list of client indices heard this round, per
+// α-threshold attempt (§3.7: servers may re-open the window and retry).
+type Inventory struct {
+	Attempt int32
+	Clients []int32
+}
+
+// Encode serializes the payload.
+func (p *Inventory) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Attempt))
+	e.ints(p.Clients)
+	return e.b
+}
+
+// DecodeInventory parses an Inventory payload.
+func DecodeInventory(b []byte) (*Inventory, error) {
+	d := decBuf{b}
+	at, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := d.ints()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Inventory{Attempt: int32(at), Clients: cs}, nil
+}
+
+// Commit is a server's hash commitment to its ciphertext (Algorithm 2
+// step 3), preventing dishonest servers from adapting their share to
+// others'.
+type Commit struct {
+	Attempt int32
+	Hash    []byte
+}
+
+// Encode serializes the payload.
+func (p *Commit) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Attempt))
+	e.bytes(p.Hash)
+	return e.b
+}
+
+// DecodeCommit parses a Commit payload.
+func DecodeCommit(b []byte) (*Commit, error) {
+	d := decBuf{b}
+	at, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Commit{Attempt: int32(at), Hash: h}, nil
+}
+
+// Share is a server's ciphertext, revealed after all commits.
+type Share struct {
+	Attempt int32
+	CT      []byte
+}
+
+// Encode serializes the payload.
+func (p *Share) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Attempt))
+	e.bytes(p.CT)
+	return e.b
+}
+
+// DecodeShare parses a Share payload.
+func DecodeShare(b []byte) (*Share, error) {
+	d := decBuf{b}
+	at, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	ct, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Share{Attempt: int32(at), CT: ct}, nil
+}
+
+// Certify is a server's signature over the assembled cleartext.
+type Certify struct {
+	Attempt int32
+	Sig     []byte
+}
+
+// Encode serializes the payload.
+func (p *Certify) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Attempt))
+	e.bytes(p.Sig)
+	return e.b
+}
+
+// DecodeCertify parses a Certify payload.
+func DecodeCertify(b []byte) (*Certify, error) {
+	d := decBuf{b}
+	at, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Certify{Attempt: int32(at), Sig: sig}, nil
+}
+
+// cleartextSignedBytes is the byte string certifying signatures cover.
+func cleartextSignedBytes(groupID [32]byte, round uint64, count int, cleartext []byte) []byte {
+	var e encBuf
+	e.b = append(e.b, groupID[:]...)
+	e.u64(round)
+	e.u32(uint32(count))
+	e.bytes(cleartext)
+	return crypto.Hash("dissent/cleartext-cert", e.b)
+}
+
+// RoundOutput carries the certified round result to clients. Failed
+// indicates a hard-timeout round whose ciphertexts were discarded; its
+// Count resets the participation baseline (§3.7).
+type RoundOutput struct {
+	Cleartext []byte
+	Sigs      [][]byte // per server index
+	Count     int32
+	Failed    bool
+}
+
+// Encode serializes the payload.
+func (p *RoundOutput) Encode() []byte {
+	var e encBuf
+	e.bytes(p.Cleartext)
+	e.byteSlices(p.Sigs)
+	e.u32(uint32(p.Count))
+	if p.Failed {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	return e.b
+}
+
+// DecodeRoundOutput parses a RoundOutput payload.
+func DecodeRoundOutput(b []byte) (*RoundOutput, error) {
+	d := decBuf{b}
+	ct, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sigs, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
+	count, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	failed, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &RoundOutput{Cleartext: ct, Sigs: sigs, Count: int32(count), Failed: failed != 0}, nil
+}
+
+// BlameStart announces an accusation shuffle session to clients.
+type BlameStart struct {
+	Session int32
+}
+
+// Encode serializes the payload.
+func (p *BlameStart) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	return e.b
+}
+
+// DecodeBlameStart parses a BlameStart payload.
+func DecodeBlameStart(b []byte) (*BlameStart, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &BlameStart{Session: int32(s)}, nil
+}
+
+// BlameSubmit carries a client's encrypted accusation vector (or an
+// encrypted null message) for an accusation shuffle.
+type BlameSubmit struct {
+	Session int32
+	CT      []byte // encoded modp ciphertext vector
+}
+
+// Encode serializes the payload.
+func (p *BlameSubmit) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.bytes(p.CT)
+	return e.b
+}
+
+// DecodeBlameSubmit parses a BlameSubmit payload.
+func DecodeBlameSubmit(b []byte) (*BlameSubmit, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	ct, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &BlameSubmit{Session: int32(s), CT: ct}, nil
+}
+
+// BlameList carries a server's collected blame submissions.
+type BlameList struct {
+	Session int32
+	Clients []int32
+	CTs     [][]byte
+}
+
+// Encode serializes the payload.
+func (p *BlameList) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.ints(p.Clients)
+	e.byteSlices(p.CTs)
+	return e.b
+}
+
+// DecodeBlameList parses a BlameList payload.
+func DecodeBlameList(b []byte) (*BlameList, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := d.ints()
+	if err != nil {
+		return nil, err
+	}
+	cts, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
+	if len(cs) != len(cts) {
+		return nil, fmt.Errorf("core: blame list shape mismatch")
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &BlameList{Session: int32(s), Clients: cs, CTs: cts}, nil
+}
+
+// TraceBits carries one server's contribution to disruptor tracing
+// (§3.9): for each client included in the accused round, the PRNG bit
+// s_ij[k] it shares with that client at the witness position; its own
+// server-ciphertext bit; and for its direct clients, the client
+// ciphertext bit it received.
+type TraceBits struct {
+	Session    int32
+	ClientBits []byte  // s_ij[k] for each included client, in inventory order
+	ServerBit  byte    // s_j[k] as derivable from its published share
+	Direct     []int32 // client indices whose ciphertexts this server received
+	DirectBits []byte  // c_i[k] for each of Direct
+	// Evidence holds the original signed ClientSubmit messages for
+	// each entry of Direct (encoded with EncodeMessage), letting every
+	// server verify the published ciphertext bits itself.
+	Evidence [][]byte
+}
+
+// Encode serializes the payload.
+func (p *TraceBits) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.bytes(p.ClientBits)
+	e.u8(p.ServerBit)
+	e.ints(p.Direct)
+	e.bytes(p.DirectBits)
+	e.byteSlices(p.Evidence)
+	return e.b
+}
+
+// DecodeTraceBits parses a TraceBits payload.
+func DecodeTraceBits(b []byte) (*TraceBits, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cb, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sb, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	direct, err := d.ints()
+	if err != nil {
+		return nil, err
+	}
+	db, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &TraceBits{Session: int32(s), ClientBits: cb, ServerBit: sb, Direct: direct, DirectBits: db, Evidence: ev}, nil
+}
+
+// RebuttalRequest asks a flagged client to explain a ciphertext-bit
+// mismatch by identifying the equivocating server.
+type RebuttalRequest struct {
+	Session int32
+	// AccRound and AccBit locate the witness bit: the disrupted round
+	// and the global bit index within its cleartext vector.
+	AccRound uint64
+	AccBit   uint32
+	// ServerBits are the s_ij[k] bits each server claimed for this
+	// client, in server-index order.
+	ServerBits []byte
+}
+
+// Encode serializes the payload.
+func (p *RebuttalRequest) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.u64(p.AccRound)
+	e.u32(p.AccBit)
+	e.bytes(p.ServerBits)
+	return e.b
+}
+
+// DecodeRebuttalRequest parses a RebuttalRequest payload.
+func DecodeRebuttalRequest(b []byte) (*RebuttalRequest, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	round, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	bit, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	bits, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &RebuttalRequest{Session: int32(s), AccRound: round, AccBit: bit, ServerBits: bits}, nil
+}
+
+// Rebuttal reveals the pairwise DH point a client shares with the
+// server it says equivocated, with a DLEQ proof that the point matches
+// both public keys. Every server can then recompute s_ij[k] itself.
+type Rebuttal struct {
+	Session   int32
+	ServerIdx int32
+	Secret    []byte // encoded DH point
+	ProofC    []byte
+	ProofZ    []byte
+}
+
+// Encode serializes the payload.
+func (p *Rebuttal) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.u32(uint32(p.ServerIdx))
+	e.bytes(p.Secret)
+	e.bytes(p.ProofC)
+	e.bytes(p.ProofZ)
+	return e.b
+}
+
+// DecodeRebuttal parses a Rebuttal payload.
+func DecodeRebuttal(b []byte) (*Rebuttal, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	secret, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	pc, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	pz, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Rebuttal{Session: int32(s), ServerIdx: int32(idx), Secret: secret, ProofC: pc, ProofZ: pz}, nil
+}
+
+// BlameDone reports an accusation session's outcome to clients. Round
+// in the enclosing message is the next DC-net round to submit for.
+type BlameDone struct {
+	Session int32
+	// Verdict is 0 (inconclusive), 1 (client expelled), 2 (server
+	// exposed).
+	Verdict byte
+	Culprit group.NodeID
+}
+
+// Encode serializes the payload.
+func (p *BlameDone) Encode() []byte {
+	var e encBuf
+	e.u32(uint32(p.Session))
+	e.u8(p.Verdict)
+	e.b = append(e.b, p.Culprit[:]...)
+	return e.b
+}
+
+// DecodeBlameDone parses a BlameDone payload.
+func DecodeBlameDone(b []byte) (*BlameDone, error) {
+	d := decBuf{b}
+	s, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	v, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) != 8 {
+		return nil, errTruncated
+	}
+	var c group.NodeID
+	copy(c[:], d.b)
+	return &BlameDone{Session: int32(s), Verdict: v, Culprit: c}, nil
+}

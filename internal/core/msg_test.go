@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dissent/internal/group"
+)
+
+func TestEncDecPrimitives(t *testing.T) {
+	var e encBuf
+	e.u8(7)
+	e.u32(1 << 30)
+	e.u64(1 << 60)
+	e.bytes([]byte("hello"))
+	e.byteSlices([][]byte{[]byte("a"), nil, []byte("ccc")})
+	e.ints([]int32{3, -1, 99})
+
+	d := decBuf{e.b}
+	if v, _ := d.u8(); v != 7 {
+		t.Fatal("u8")
+	}
+	if v, _ := d.u32(); v != 1<<30 {
+		t.Fatal("u32")
+	}
+	if v, _ := d.u64(); v != 1<<60 {
+		t.Fatal("u64")
+	}
+	if v, _ := d.bytes(); string(v) != "hello" {
+		t.Fatal("bytes")
+	}
+	bs, err := d.byteSlices()
+	if err != nil || len(bs) != 3 || string(bs[2]) != "ccc" {
+		t.Fatal("byteSlices")
+	}
+	is, err := d.ints()
+	if err != nil || len(is) != 3 || is[1] != -1 {
+		t.Fatal("ints")
+	}
+	if err := d.done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecBufTruncation(t *testing.T) {
+	var e encBuf
+	e.bytes([]byte("payload"))
+	for cut := 0; cut < len(e.b); cut++ {
+		d := decBuf{e.b[:cut]}
+		if v, err := d.bytes(); err == nil && len(v) == 7 {
+			t.Fatalf("truncation at %d yielded full payload", cut)
+		}
+	}
+}
+
+func TestDecBufRejectsHugeCounts(t *testing.T) {
+	// A length prefix claiming 2^31 elements must not allocate.
+	var e encBuf
+	e.u32(1 << 31)
+	d := decBuf{e.b}
+	if _, err := d.byteSlices(); err == nil {
+		t.Error("huge byteSlices count accepted")
+	}
+	d = decBuf{e.b}
+	if _, err := d.ints(); err == nil {
+		t.Error("huge ints count accepted")
+	}
+}
+
+func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
+	var from group.NodeID
+	copy(from[:], []byte("abcdefgh"))
+	m := &Message{From: from, Type: MsgClientSubmit, Round: 42, Body: []byte("body"), Sig: []byte("sig")}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != m.From || got.Type != m.Type || got.Round != m.Round ||
+		!bytes.Equal(got.Body, m.Body) || !bytes.Equal(got.Sig, m.Sig) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	// Unsigned message round-trips with nil sig.
+	m2 := &Message{From: from, Type: MsgOutput, Round: 1, Body: []byte("x")}
+	got2, err := DecodeMessage(EncodeMessage(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Sig != nil {
+		t.Error("empty sig decoded as non-nil")
+	}
+}
+
+func TestMessageDecodeRejectsTruncated(t *testing.T) {
+	m := &Message{Type: MsgCommit, Round: 3, Body: []byte("abc")}
+	enc := EncodeMessage(m)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeMessage(enc[:cut]); err == nil {
+			t.Fatalf("truncated message at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeMessage(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestPayloadCodecsRoundTrip(t *testing.T) {
+	checks := []struct {
+		name   string
+		encode func() []byte
+		decode func([]byte) error
+	}{
+		{"PseudonymSubmit", func() []byte { return (&PseudonymSubmit{CT: []byte("ct")}).Encode() },
+			func(b []byte) error {
+				p, err := DecodePseudonymSubmit(b)
+				if err == nil && string(p.CT) != "ct" {
+					t.Error("CT mismatch")
+				}
+				return err
+			}},
+		{"PseudonymList", func() []byte {
+			return (&PseudonymList{Clients: []int32{1, 5}, CTs: [][]byte{[]byte("a"), []byte("b")}}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodePseudonymList(b)
+			if err == nil && (len(p.Clients) != 2 || p.Clients[1] != 5) {
+				t.Error("clients mismatch")
+			}
+			return err
+		}},
+		{"ShuffleStep", func() []byte {
+			return (&ShuffleStep{Session: 2, Stage: 1, Data: []byte("step")}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeShuffleStep(b)
+			if err == nil && (p.Session != 2 || p.Stage != 1) {
+				t.Error("fields mismatch")
+			}
+			return err
+		}},
+		{"Schedule", func() []byte {
+			return (&Schedule{Keys: [][]byte{[]byte("k1")}, Sigs: [][]byte{[]byte("s1"), []byte("s2")}}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeSchedule(b)
+			if err == nil && (len(p.Keys) != 1 || len(p.Sigs) != 2) {
+				t.Error("fields mismatch")
+			}
+			return err
+		}},
+		{"ClientSubmit", func() []byte { return (&ClientSubmit{CT: []byte("ciphertext")}).Encode() },
+			func(b []byte) error { _, err := DecodeClientSubmit(b); return err }},
+		{"Inventory", func() []byte { return (&Inventory{Attempt: 3, Clients: []int32{0, 2}}).Encode() },
+			func(b []byte) error {
+				p, err := DecodeInventory(b)
+				if err == nil && p.Attempt != 3 {
+					t.Error("attempt mismatch")
+				}
+				return err
+			}},
+		{"Commit", func() []byte { return (&Commit{Attempt: 1, Hash: []byte("h")}).Encode() },
+			func(b []byte) error { _, err := DecodeCommit(b); return err }},
+		{"Share", func() []byte { return (&Share{Attempt: 1, CT: []byte("share")}).Encode() },
+			func(b []byte) error { _, err := DecodeShare(b); return err }},
+		{"Certify", func() []byte { return (&Certify{Attempt: 0, Sig: []byte("sig")}).Encode() },
+			func(b []byte) error { _, err := DecodeCertify(b); return err }},
+		{"RoundOutput", func() []byte {
+			return (&RoundOutput{Cleartext: []byte("clear"), Sigs: [][]byte{[]byte("s")}, Count: 9, Failed: true}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeRoundOutput(b)
+			if err == nil && (!p.Failed || p.Count != 9) {
+				t.Error("fields mismatch")
+			}
+			return err
+		}},
+		{"BlameStart", func() []byte { return (&BlameStart{Session: 7}).Encode() },
+			func(b []byte) error { _, err := DecodeBlameStart(b); return err }},
+		{"BlameSubmit", func() []byte { return (&BlameSubmit{Session: 7, CT: []byte("ct")}).Encode() },
+			func(b []byte) error { _, err := DecodeBlameSubmit(b); return err }},
+		{"BlameList", func() []byte {
+			return (&BlameList{Session: 7, Clients: []int32{1}, CTs: [][]byte{[]byte("x")}}).Encode()
+		}, func(b []byte) error { _, err := DecodeBlameList(b); return err }},
+		{"TraceBits", func() []byte {
+			return (&TraceBits{Session: 7, ClientBits: []byte{1, 0}, ServerBit: 1,
+				Direct: []int32{0}, DirectBits: []byte{1}, Evidence: [][]byte{[]byte("ev")}}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeTraceBits(b)
+			if err == nil && (p.ServerBit != 1 || len(p.Evidence) != 1) {
+				t.Error("fields mismatch")
+			}
+			return err
+		}},
+		{"RebuttalRequest", func() []byte {
+			return (&RebuttalRequest{Session: 7, AccRound: 3, AccBit: 99, ServerBits: []byte{0, 1}}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeRebuttalRequest(b)
+			if err == nil && (p.AccRound != 3 || p.AccBit != 99) {
+				t.Error("fields mismatch")
+			}
+			return err
+		}},
+		{"Rebuttal", func() []byte {
+			return (&Rebuttal{Session: 7, ServerIdx: 2, Secret: []byte("k"), ProofC: []byte("c"), ProofZ: []byte("z")}).Encode()
+		}, func(b []byte) error { _, err := DecodeRebuttal(b); return err }},
+		{"BlameDone", func() []byte {
+			return (&BlameDone{Session: 7, Verdict: 2, Culprit: group.NodeID{1, 2}}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeBlameDone(b)
+			if err == nil && p.Verdict != 2 {
+				t.Error("verdict mismatch")
+			}
+			return err
+		}},
+	}
+	for _, c := range checks {
+		enc := c.encode()
+		if err := c.decode(enc); err != nil {
+			t.Errorf("%s: decode failed: %v", c.name, err)
+		}
+		// Every codec must reject truncation of the final byte.
+		if len(enc) > 0 {
+			if err := c.decode(enc[:len(enc)-1]); err == nil {
+				t.Errorf("%s: truncated payload accepted", c.name)
+			}
+		}
+		// And trailing garbage.
+		if err := c.decode(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+			t.Errorf("%s: trailing garbage accepted", c.name)
+		}
+	}
+}
+
+func TestInventoryCodecProperty(t *testing.T) {
+	f := func(attempt int32, clients []int32) bool {
+		p := &Inventory{Attempt: attempt, Clients: clients}
+		got, err := DecodeInventory(p.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Attempt != attempt || len(got.Clients) != len(clients) {
+			return false
+		}
+		for i := range clients {
+			if got.Clients[i] != clients[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireSizeAccountsSignature(t *testing.T) {
+	m := &Message{Type: MsgCommit, Body: make([]byte, 100)}
+	unsigned := m.WireSize()
+	m.Sig = make([]byte, 64)
+	signed := m.WireSize()
+	if unsigned != signed {
+		t.Errorf("unsigned %d vs signed %d: simulation mode should account the same", unsigned, signed)
+	}
+	if signed < 100+64 {
+		t.Error("wire size below payload+sig")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := MsgPseudonymSubmit; mt <= MsgBlameDone; mt++ {
+		if s := mt.String(); s == "" || s[:3] == "msg" && s != "msgtype(0)" && len(s) > 8 && s[:8] == "msgtype(" {
+			t.Errorf("missing name for type %d", mt)
+		}
+	}
+	if MsgType(200).String() != "msgtype(200)" {
+		t.Error("unknown type formatting")
+	}
+}

@@ -1,0 +1,1117 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+	"dissent/internal/group"
+	"dissent/internal/shuffle"
+)
+
+// maxAttempts bounds α-threshold window reopenings per round so the
+// reopen decision is deterministic across servers (§3.7).
+const maxAttempts = 3
+
+// serverPhase tracks a server's top-level protocol phase.
+type serverPhase int
+
+const (
+	phaseSetupCollect serverPhase = iota
+	phaseSetupShuffle
+	phaseRunning
+	phaseBlame
+	phaseHalted
+)
+
+// roundPhase tracks the per-round state machine of Algorithm 2.
+type roundPhase int
+
+const (
+	rpCollect roundPhase = iota
+	rpInventory
+	rpCommit
+	rpShare
+	rpCertify
+	rpDone
+)
+
+// roundState is one in-flight round at a server.
+type roundState struct {
+	r       uint64
+	attempt int32
+	phase   roundPhase
+
+	start   time.Time
+	closeAt time.Time // adaptive window close (zero until threshold)
+	hardAt  time.Time
+
+	subs map[int]*Message // client index -> signed submission (evidence)
+	cts  map[int][]byte   // client index -> ciphertext
+
+	invs    map[int]*Inventory // server index -> inventory (current attempt)
+	commits map[int][]byte
+	shares  map[int][]byte
+	certs   map[int][]byte
+
+	included   []int   // union l, sorted
+	directSets [][]int // l'_j per server after dedup
+	myShare    []byte
+	cleartext  []byte
+	failed     bool
+}
+
+// roundHistory is the retained state needed for accusation tracing.
+type roundHistory struct {
+	included   []int
+	directSets [][]int
+	shares     [][]byte
+	cleartext  []byte
+	subs       map[int]*Message
+	slotOff    []int // slot byte offsets in the round's layout
+	slotLen    []int
+}
+
+// blamePhase tracks the accusation sub-protocol (§3.9).
+type blamePhase int
+
+const (
+	bpCollect blamePhase = iota
+	bpShuffle
+	bpTrace
+	bpRebuttal
+)
+
+// blameState is one accusation shuffle + trace session.
+type blameState struct {
+	session int32
+	phase   blamePhase
+
+	closeAt time.Time
+	subs    map[int][]byte     // client index -> encoded ct vector
+	lists   map[int]*BlameList // server index -> list
+	stage   int                // next shuffle stage
+	cur     []shuffle.Vec      // current ciphertext list
+	order   []int              // input client order (for bookkeeping)
+	traces  map[int]*TraceBits // server index -> trace bits
+	acc     *accusation        // the accusation being traced
+	flagged int                // client index awaiting rebuttal, -1 none
+	rebutAt time.Time
+}
+
+// accusation is a parsed, verified accusation message.
+type accusation struct {
+	round uint64
+	slot  int
+	bit   int // global bit index in the round's cleartext vector
+}
+
+// accusationLen is the wire length of an accusation message inside the
+// blame shuffle: round(8) + slot(4) + bitInSlot(4) + Schnorr signature.
+func accusationLen(keyGrp crypto.Group) int {
+	return 16 + crypto.SignatureLen(keyGrp)
+}
+
+// Server is the Dissent server engine (Algorithm 2 plus scheduling and
+// accusation sub-protocols). It is sans-I/O: callers feed it messages
+// and ticks with timestamps and transmit the envelopes it returns.
+type Server struct {
+	node
+	idx   int
+	msgKP *crypto.KeyPair // message-shuffle (mod-p) keypair
+
+	clientSeeds [][]byte // pairwise DC-net seeds, by client index
+	myClients   []int    // client indices attached to this server
+
+	phase serverPhase
+
+	// Setup state.
+	setupDeadline time.Time
+	pseuSubs      map[int][]byte
+	pseuSent      bool
+	pseuLists     map[int]*PseudonymList
+	shufOrder     []int // client index per shuffle input position
+	shufCur       []shuffle.Vec
+	shufStage     int
+	slotKeys      []crypto.Element
+	schedCerts    map[int][]byte
+
+	// DC-net state.
+	sched     *dcnet.Schedule
+	pad       *dcnet.Pad
+	roundNum  uint64
+	prevCount int
+	round     *roundState
+	history   map[uint64]*roundHistory
+	excluded  map[int]bool
+
+	blame        *blameState
+	blameSession int32
+	pendingBlame bool
+
+	// stash buffers messages that arrived ahead of our local phase
+	// (e.g. a peer's inventory for round r+1 while we still certify r);
+	// they replay after each state transition.
+	stash []*Message
+
+	// Test hooks, nil in production: testCorruptShare lets a test
+	// server disrupt the channel by mutating its ciphertext before
+	// committing; testTraceBit lets it lie during accusation tracing.
+	testCorruptShare func(round uint64, share []byte)
+	testTraceBit     func(round uint64, clientIdx int, trueBit byte) byte
+}
+
+// NewServer builds a server engine. kp is the P-256 identity key
+// (matching the group definition); msgKP is the mod-p message-shuffle
+// key.
+func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (*Server, error) {
+	s := &Server{
+		node:  newNode(def, kp, opts),
+		msgKP: msgKP,
+	}
+	s.idx = def.ServerIndex(s.id)
+	if s.idx < 0 {
+		return nil, errors.New("core: key is not a server in this group")
+	}
+	if !s.msgGrp.Equal(msgKP.Public, def.Servers[s.idx].MsgPubKey) {
+		return nil, errors.New("core: message-shuffle key mismatch with definition")
+	}
+	s.clientSeeds = make([][]byte, len(def.Clients))
+	for i, c := range def.Clients {
+		if opts.PairSeed != nil {
+			s.clientSeeds[i] = opts.PairSeed(i, s.idx)
+		} else {
+			seed, err := s.pairSeed(c.PubKey)
+			if err != nil {
+				return nil, fmt.Errorf("core: client %d seed: %w", i, err)
+			}
+			s.clientSeeds[i] = seed
+		}
+		if def.UpstreamServer(i) == s.idx {
+			s.myClients = append(s.myClients, i)
+		}
+	}
+	s.pad = dcnet.NewPad(s.prng)
+	s.history = make(map[uint64]*roundHistory)
+	s.excluded = make(map[int]bool)
+	s.pseuSubs = make(map[int][]byte)
+	s.pseuLists = make(map[int]*PseudonymList)
+	s.schedCerts = make(map[int][]byte)
+	return s, nil
+}
+
+// ID returns the server's node ID.
+func (s *Server) ID() group.NodeID { return s.id }
+
+// Index returns the server's index in the group definition.
+func (s *Server) Index() int { return s.idx }
+
+// Round returns the current DC-net round number.
+func (s *Server) Round() uint64 { return s.roundNum }
+
+// Participation returns the previous round's participation count.
+func (s *Server) Participation() int { return s.prevCount }
+
+// Excluded reports whether a client index has been expelled.
+func (s *Server) Excluded(clientIdx int) bool { return s.excluded[clientIdx] }
+
+// Start begins the setup phase: waiting for pseudonym submissions.
+func (s *Server) Start(now time.Time) (*Output, error) {
+	s.phase = phaseSetupCollect
+	s.setupDeadline = now.Add(s.def.Policy.HardTimeout)
+	return &Output{Timer: s.setupDeadline}, nil
+}
+
+// Handle processes one incoming message, then replays any stashed
+// early messages that the resulting state transitions unblocked.
+func (s *Server) Handle(now time.Time, m *Message) (*Output, error) {
+	out, err := s.dispatch(now, m)
+	if err != nil {
+		return out, err
+	}
+	if err := s.drainStash(now, out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// drainStash replays stashed early messages until no more progress is
+// made, merging their outputs into out.
+func (s *Server) drainStash(now time.Time, out *Output) error {
+	for len(s.stash) > 0 {
+		pending := s.stash
+		s.stash = nil
+		for _, pm := range pending {
+			o, err := s.dispatch(now, pm)
+			if err != nil {
+				return err
+			}
+			out.merge(o)
+		}
+		if len(s.stash) >= len(pending) {
+			break // no progress; keep waiting
+		}
+	}
+	return nil
+}
+
+// stashMsg buffers an early message for replay, bounding memory.
+func (s *Server) stashMsg(m *Message) *Output {
+	const stashCap = 4096
+	if len(s.stash) >= stashCap {
+		return s.violation(m.Round, fmt.Errorf("stash overflow dropping %s from %s", m.Type, m.From))
+	}
+	s.stash = append(s.stash, m)
+	return &Output{}
+}
+
+func (s *Server) dispatch(now time.Time, m *Message) (*Output, error) {
+	switch m.Type {
+	case MsgPseudonymSubmit:
+		return s.onPseudonymSubmit(now, m)
+	case MsgPseudonymList:
+		return s.onPseudonymList(now, m)
+	case MsgShuffleStep:
+		return s.onShuffleStep(now, m)
+	case MsgScheduleCert:
+		return s.onScheduleCert(now, m)
+	case MsgClientSubmit:
+		return s.onClientSubmit(now, m)
+	case MsgInventory:
+		return s.onInventory(now, m)
+	case MsgCommit:
+		return s.onCommit(now, m)
+	case MsgShare:
+		return s.onShare(now, m)
+	case MsgCertify:
+		return s.onCertify(now, m)
+	case MsgBlameSubmit:
+		return s.onBlameSubmit(now, m)
+	case MsgBlameList:
+		return s.onBlameList(now, m)
+	case MsgBlameStep:
+		return s.onBlameStep(now, m)
+	case MsgTraceBits:
+		return s.onTraceBits(now, m)
+	case MsgRebuttal:
+		return s.onRebuttal(now, m)
+	default:
+		return nil, fmt.Errorf("core: server got unexpected %s", m.Type)
+	}
+}
+
+// Tick handles timer expiry, then replays stashed messages the
+// resulting transitions unblocked (a window can close on a timer while
+// every peer's next-phase message already waits in the stash).
+func (s *Server) Tick(now time.Time) (*Output, error) {
+	var out *Output
+	var err error
+	switch s.phase {
+	case phaseSetupCollect:
+		if !now.Before(s.setupDeadline) {
+			out, err = s.sendPseudonymList(now)
+		} else {
+			out, err = &Output{Timer: s.setupDeadline}, nil
+		}
+	case phaseRunning:
+		out, err = s.roundTick(now)
+	case phaseBlame:
+		out, err = s.blameTick(now)
+	default:
+		out, err = &Output{}, nil
+	}
+	if err != nil {
+		return out, err
+	}
+	if err := s.drainStash(now, out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// broadcastServers wraps a payload in a signed message addressed to
+// every other server.
+func (s *Server) broadcastServers(t MsgType, round uint64, body []byte, out *Output) error {
+	m, err := s.sign(t, round, body)
+	if err != nil {
+		return err
+	}
+	for i, srv := range s.def.Servers {
+		if i == s.idx {
+			continue
+		}
+		out.Send = append(out.Send, Envelope{To: srv.ID, Msg: m})
+	}
+	return nil
+}
+
+// broadcastClients sends a signed message to every attached client.
+func (s *Server) broadcastClients(t MsgType, round uint64, body []byte, out *Output) error {
+	m, err := s.sign(t, round, body)
+	if err != nil {
+		return err
+	}
+	for _, ci := range s.myClients {
+		out.Send = append(out.Send, Envelope{To: s.def.Clients[ci].ID, Msg: m})
+	}
+	return nil
+}
+
+// --- Setup: pseudonym collection and scheduling shuffle ---------------
+
+func (s *Server) onPseudonymSubmit(now time.Time, m *Message) (*Output, error) {
+	if s.phase != phaseSetupCollect {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, false); err != nil {
+		return s.violation(0, err), nil
+	}
+	ci := s.def.ClientIndex(m.From)
+	p, err := DecodePseudonymSubmit(m.Body)
+	if err != nil {
+		return s.violation(0, err), nil
+	}
+	if _, dup := s.pseuSubs[ci]; dup {
+		return &Output{}, nil
+	}
+	s.pseuSubs[ci] = p.CT
+	// Early close: all our attached clients have submitted.
+	done := true
+	for _, mine := range s.myClients {
+		if _, ok := s.pseuSubs[mine]; !ok {
+			done = false
+			break
+		}
+	}
+	if done {
+		return s.sendPseudonymList(now)
+	}
+	return &Output{Timer: s.setupDeadline}, nil
+}
+
+func (s *Server) sendPseudonymList(now time.Time) (*Output, error) {
+	if s.pseuSent {
+		return &Output{}, nil
+	}
+	s.pseuSent = true
+	s.phase = phaseSetupShuffle
+	list := &PseudonymList{}
+	for _, ci := range sortedKeys(s.pseuSubs) {
+		list.Clients = append(list.Clients, int32(ci))
+		list.CTs = append(list.CTs, s.pseuSubs[ci])
+	}
+	out := &Output{}
+	if err := s.broadcastServers(MsgPseudonymList, 0, list.Encode(), out); err != nil {
+		return nil, err
+	}
+	s.pseuLists[s.idx] = list
+	more, err := s.maybeStartShuffle(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onPseudonymList(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(0, err), nil
+	}
+	si := s.def.ServerIndex(m.From)
+	list, err := DecodePseudonymList(m.Body)
+	if err != nil {
+		return s.violation(0, err), nil
+	}
+	if _, dup := s.pseuLists[si]; dup {
+		return &Output{}, nil
+	}
+	s.pseuLists[si] = list
+	// Keep collecting our own clients' submissions until they all
+	// arrive or our deadline passes; the shuffle starts only once our
+	// own list is in (maybeStartShuffle requires all M lists).
+	return s.maybeStartShuffle(now)
+}
+
+// maybeStartShuffle assembles the canonical shuffle input once all
+// server lists are present and runs stage 0 if this server is first.
+func (s *Server) maybeStartShuffle(now time.Time) (*Output, error) {
+	if len(s.pseuLists) < len(s.def.Servers) || s.shufOrder != nil {
+		return &Output{}, nil
+	}
+	// Union with lowest-server-index-wins dedup, then canonical client
+	// index order.
+	byClient := make(map[int][]byte)
+	for _, si := range sortedKeys(s.pseuLists) {
+		list := s.pseuLists[si]
+		for k, ci := range list.Clients {
+			if _, ok := byClient[int(ci)]; !ok {
+				byClient[int(ci)] = list.CTs[k]
+			}
+		}
+	}
+	s.shufOrder = sortedKeys(byClient)
+	if len(s.shufOrder) == 0 {
+		return nil, errors.New("core: no pseudonym submissions at setup deadline")
+	}
+	s.shufCur = make([]shuffle.Vec, 0, len(s.shufOrder))
+	for _, ci := range s.shufOrder {
+		ct, err := crypto.DecodeCiphertext(s.keyGrp, byClient[ci])
+		if err != nil {
+			return nil, fmt.Errorf("core: client %d pseudonym ciphertext: %w", ci, err)
+		}
+		s.shufCur = append(s.shufCur, shuffle.Vec{ct})
+	}
+	s.shufStage = 0
+	return s.maybeRunShuffleStage(now)
+}
+
+// serverIdentityKeys returns the server identity public keys.
+func (s *Server) serverIdentityKeys() []crypto.Element {
+	pubs := make([]crypto.Element, len(s.def.Servers))
+	for i, srv := range s.def.Servers {
+		pubs[i] = srv.PubKey
+	}
+	return pubs
+}
+
+// maybeRunShuffleStage runs this server's shuffle step if it is next.
+func (s *Server) maybeRunShuffleStage(now time.Time) (*Output, error) {
+	out := &Output{}
+	if s.shufStage == len(s.def.Servers) {
+		return s.finishScheduleShuffle(now)
+	}
+	if s.shufStage != s.idx {
+		return out, nil
+	}
+	remaining := crypto.AggregateKeys(s.keyGrp, s.serverIdentityKeys()[s.idx:])
+	step, err := shuffle.Step(s.keyGrp, s.kp, remaining, s.shufCur, s.def.Policy.Shadows, s.rand)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling shuffle step: %w", err)
+	}
+	body := (&ShuffleStep{Stage: int32(s.idx), Data: shuffle.EncodeStepOutput(s.keyGrp, step)}).Encode()
+	if err := s.broadcastServers(MsgShuffleStep, 0, body, out); err != nil {
+		return nil, err
+	}
+	s.shufCur = step.Stripped
+	s.shufStage++
+	more, err := s.maybeRunShuffleStage(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onShuffleStep(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(0, err), nil
+	}
+	p, err := DecodeShuffleStep(m.Body)
+	if err != nil {
+		return s.violation(0, err), nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if s.shufOrder == nil || int(p.Stage) > s.shufStage {
+		return s.stashMsg(m), nil
+	}
+	if int(p.Stage) != si || int(p.Stage) != s.shufStage {
+		return &Output{}, nil
+	}
+	step, err := shuffle.DecodeStepOutput(s.keyGrp, p.Data)
+	if err != nil {
+		return s.violation(0, err), nil
+	}
+	remaining := crypto.AggregateKeys(s.keyGrp, s.serverIdentityKeys()[si:])
+	if err := shuffle.VerifyStep(s.keyGrp, s.def.Servers[si].PubKey, remaining, s.shufCur, step); err != nil {
+		return s.violation(0, fmt.Errorf("server %d shuffle step invalid: %w", si, err)), nil
+	}
+	s.shufCur = step.Stripped
+	s.shufStage++
+	return s.maybeRunShuffleStage(now)
+}
+
+// finishScheduleShuffle extracts the slot keys and certifies them.
+func (s *Server) finishScheduleShuffle(now time.Time) (*Output, error) {
+	if s.slotKeys != nil {
+		return &Output{}, nil
+	}
+	s.slotKeys = make([]crypto.Element, len(s.shufCur))
+	for i, v := range s.shufCur {
+		s.slotKeys[i] = v[0].C2
+	}
+	sig, err := s.kp.Sign("dissent/schedule", scheduleSignedBytes(s.grpID, s.encodedSlotKeys()), s.rand)
+	if err != nil {
+		return nil, err
+	}
+	sigBytes := crypto.EncodeSignature(s.keyGrp, sig)
+	out := &Output{}
+	body := (&Certify{Attempt: 0, Sig: sigBytes}).Encode()
+	if err := s.broadcastServers(MsgScheduleCert, 0, body, out); err != nil {
+		return nil, err
+	}
+	s.schedCerts[s.idx] = sigBytes
+	more, err := s.maybeFinishSetup(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) encodedSlotKeys() [][]byte {
+	keys := make([][]byte, len(s.slotKeys))
+	for i, k := range s.slotKeys {
+		keys[i] = s.keyGrp.Encode(k)
+	}
+	return keys
+}
+
+func (s *Server) onScheduleCert(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(0, err), nil
+	}
+	p, err := DecodeCertify(m.Body)
+	if err != nil {
+		return s.violation(0, err), nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if s.slotKeys == nil {
+		// Certificates can only be validated once our own shuffle
+		// replica finishes; buffer until then.
+		return s.stashMsg(m), nil
+	}
+	sig, err := crypto.DecodeSignature(s.keyGrp, p.Sig)
+	if err != nil {
+		return s.violation(0, err), nil
+	}
+	if err := crypto.Verify(s.keyGrp, s.def.Servers[si].PubKey, "dissent/schedule",
+		scheduleSignedBytes(s.grpID, s.encodedSlotKeys()), sig); err != nil {
+		return s.violation(0, fmt.Errorf("server %d schedule cert: %w", si, err)), nil
+	}
+	s.schedCerts[si] = p.Sig
+	return s.maybeFinishSetup(now)
+}
+
+// maybeFinishSetup distributes the schedule and starts round 0 once
+// every server has certified.
+func (s *Server) maybeFinishSetup(now time.Time) (*Output, error) {
+	if s.phase != phaseSetupShuffle || len(s.schedCerts) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	cfg := dcnet.Config{
+		NumSlots:        len(s.slotKeys),
+		DefaultOpenLen:  s.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      s.def.Policy.MaxSlotLen,
+		IdleCloseRounds: s.def.Policy.IdleCloseRounds,
+	}
+	sched, err := dcnet.NewSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+	s.prevCount = len(s.slotKeys)
+	s.phase = phaseRunning
+
+	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("%d slots", len(s.slotKeys))}}}
+	sigs := make([][]byte, len(s.def.Servers))
+	for i := range sigs {
+		sigs[i] = s.schedCerts[i]
+	}
+	body := (&Schedule{Keys: s.encodedSlotKeys(), Sigs: sigs}).Encode()
+	if err := s.broadcastClients(MsgSchedule, 0, body, out); err != nil {
+		return nil, err
+	}
+	s.startRound(now, out)
+	return out, nil
+}
+
+// --- DC-net rounds (Algorithm 2) --------------------------------------
+
+// expectedClients counts clients not yet expelled.
+func (s *Server) expectedClients() int {
+	n := len(s.def.Clients)
+	for range s.excluded {
+		n--
+	}
+	return n
+}
+
+// myExpected counts this server's attached, non-expelled clients — the
+// population whose submissions drive its window-closure policy (each
+// client submits to its upstream server only, §3.5).
+func (s *Server) myExpected() int {
+	n := 0
+	for _, ci := range s.myClients {
+		if !s.excluded[ci] {
+			n++
+		}
+	}
+	return n
+}
+
+// startRound initializes round state and opens the submission window.
+func (s *Server) startRound(now time.Time, out *Output) {
+	s.round = &roundState{
+		r:       s.roundNum,
+		phase:   rpCollect,
+		start:   now,
+		hardAt:  now.Add(s.def.Policy.HardTimeout),
+		subs:    make(map[int]*Message),
+		cts:     make(map[int][]byte),
+		invs:    make(map[int]*Inventory),
+		commits: make(map[int][]byte),
+		shares:  make(map[int][]byte),
+		certs:   make(map[int][]byte),
+	}
+	out.merge(&Output{Timer: s.round.hardAt})
+}
+
+func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
+	if s.phase != phaseRunning && s.phase != phaseBlame {
+		return &Output{}, nil
+	}
+	rs := s.round
+	if rs == nil || m.Round != rs.r || rs.phase > rpInventory {
+		return &Output{}, nil // stale or too late for this round
+	}
+	if err := s.verify(m, false); err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	ci := s.def.ClientIndex(m.From)
+	if s.excluded[ci] {
+		return &Output{}, nil
+	}
+	p, err := DecodeClientSubmit(m.Body)
+	if err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	if len(p.CT) != s.sched.Len() {
+		return s.violation(rs.r, fmt.Errorf("client %d ciphertext length %d, want %d", ci, len(p.CT), s.sched.Len())), nil
+	}
+	if _, dup := rs.subs[ci]; dup {
+		return &Output{}, nil
+	}
+	rs.subs[ci] = m
+	rs.cts[ci] = p.CT
+
+	if rs.phase != rpCollect {
+		return &Output{}, nil
+	}
+	expected := s.myExpected()
+	if len(rs.subs) >= expected {
+		return s.closeWindow(now)
+	}
+	threshold := int(float64(expected)*s.def.Policy.WindowThreshold + 0.5)
+	if threshold < 1 {
+		threshold = 1
+	}
+	if rs.closeAt.IsZero() && len(rs.subs) >= threshold {
+		elapsed := now.Sub(rs.start)
+		window := time.Duration(float64(elapsed) * s.def.Policy.WindowMultiplier)
+		if window < s.def.Policy.WindowMin {
+			window = s.def.Policy.WindowMin
+		}
+		rs.closeAt = rs.start.Add(window)
+		if rs.closeAt.After(rs.hardAt) {
+			rs.closeAt = rs.hardAt
+		}
+		if !rs.closeAt.After(now) {
+			return s.closeWindow(now)
+		}
+		return &Output{Timer: rs.closeAt}, nil
+	}
+	return &Output{}, nil
+}
+
+// roundTick fires window deadlines.
+func (s *Server) roundTick(now time.Time) (*Output, error) {
+	rs := s.round
+	if rs == nil {
+		return &Output{}, nil
+	}
+	if rs.phase == rpCollect {
+		if !rs.closeAt.IsZero() && !now.Before(rs.closeAt) {
+			return s.closeWindow(now)
+		}
+		if !now.Before(rs.hardAt) {
+			return s.closeWindow(now)
+		}
+		t := rs.hardAt
+		if !rs.closeAt.IsZero() && rs.closeAt.Before(t) {
+			t = rs.closeAt
+		}
+		return &Output{Timer: t}, nil
+	}
+	return &Output{}, nil
+}
+
+// closeWindow ends the collection phase and broadcasts the inventory.
+func (s *Server) closeWindow(now time.Time) (*Output, error) {
+	rs := s.round
+	rs.phase = rpInventory
+	inv := &Inventory{Attempt: rs.attempt}
+	for _, ci := range sortedKeys(rs.subs) {
+		inv.Clients = append(inv.Clients, int32(ci))
+	}
+	out := &Output{Events: []Event{{Kind: EventWindowClosed, Round: rs.r,
+		Detail: fmt.Sprintf("%d submissions", len(rs.subs))}}}
+	if err := s.broadcastServers(MsgInventory, rs.r, inv.Encode(), out); err != nil {
+		return nil, err
+	}
+	rs.invs[s.idx] = inv
+	more, err := s.maybeCommit(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onInventory(now time.Time, m *Message) (*Output, error) {
+	rs := s.round
+	if rs == nil || m.Round > rs.r || (rs.phase == rpDone && m.Round == rs.r+1) {
+		return s.stashMsg(m), nil
+	}
+	if m.Round != rs.r {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, true); err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	p, err := DecodeInventory(m.Body)
+	if err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	if p.Attempt != rs.attempt {
+		// Inventories from a newer attempt can arrive while we are
+		// still collecting for it; only same-attempt ones are used.
+		if p.Attempt > rs.attempt {
+			si := s.def.ServerIndex(m.From)
+			// Buffer by replacing: we'll re-request via our own send.
+			_ = si
+		}
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if _, dup := rs.invs[si]; dup {
+		return &Output{}, nil
+	}
+	rs.invs[si] = p
+	return s.maybeCommit(now)
+}
+
+// maybeCommit runs once all inventories for the attempt are in: apply
+// the α-policy, then compute and commit this server's ciphertext.
+func (s *Server) maybeCommit(now time.Time) (*Output, error) {
+	rs := s.round
+	if rs.phase != rpInventory || len(rs.invs) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	// Union and dedup (lowest server index keeps a duplicate client).
+	claimed := make(map[int]int) // client -> owning server
+	for si := 0; si < len(s.def.Servers); si++ {
+		for _, ci := range rs.invs[si].Clients {
+			c := int(ci)
+			if s.excluded[c] {
+				continue
+			}
+			if _, ok := claimed[c]; !ok {
+				claimed[c] = si
+			}
+		}
+	}
+	rs.included = sortedKeys(claimed)
+	rs.directSets = make([][]int, len(s.def.Servers))
+	for _, ci := range rs.included {
+		si := claimed[ci]
+		rs.directSets[si] = append(rs.directSets[si], ci)
+	}
+
+	// α-policy (§3.7): too few participants → reopen the window, a
+	// bounded number of times.
+	floor := int(float64(s.prevCount)*s.def.Policy.Alpha + 0.999999)
+	if len(rs.included) < floor && rs.attempt < maxAttempts {
+		rs.attempt++
+		rs.phase = rpCollect
+		rs.closeAt = now.Add(s.def.Policy.WindowMin)
+		if rs.closeAt.After(rs.hardAt) {
+			rs.closeAt = rs.hardAt
+		}
+		rs.invs = make(map[int]*Inventory)
+		return &Output{Timer: rs.closeAt}, nil
+	}
+	if len(rs.included) < floor || len(rs.included) == 0 {
+		// Round failed: discard ciphertexts, certify a failure output
+		// carrying the fresh participation count (§3.7).
+		rs.failed = true
+		rs.cleartext = nil
+		return s.sendCertify(now)
+	}
+
+	// Compute s_j = (⊕_{i∈l} PRNG(K_ij)) ⊕ (⊕_{i∈l'_j} c_i).
+	length := s.sched.Len()
+	seeds := make([][]byte, 0, len(rs.included))
+	for _, ci := range rs.included {
+		seeds = append(seeds, s.clientSeeds[ci])
+	}
+	share := s.pad.ServerPad(seeds, rs.r, length)
+	for _, ci := range rs.directSets[s.idx] {
+		crypto.XORBytes(share, rs.cts[ci])
+	}
+	if s.testCorruptShare != nil {
+		s.testCorruptShare(rs.r, share)
+	}
+	rs.myShare = share
+	rs.phase = rpCommit
+
+	out := &Output{}
+	commit := &Commit{Attempt: rs.attempt, Hash: crypto.Hash("dissent/share-commit", share)}
+	if err := s.broadcastServers(MsgCommit, rs.r, commit.Encode(), out); err != nil {
+		return nil, err
+	}
+	rs.commits[s.idx] = commit.Hash
+	more, err := s.maybeShare(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onCommit(now time.Time, m *Message) (*Output, error) {
+	rs := s.round
+	if rs == nil || m.Round != rs.r {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, true); err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	p, err := DecodeCommit(m.Body)
+	if err != nil || p.Attempt != rs.attempt {
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if _, dup := rs.commits[si]; dup {
+		return &Output{}, nil
+	}
+	rs.commits[si] = p.Hash
+	return s.maybeShare(now)
+}
+
+func (s *Server) maybeShare(now time.Time) (*Output, error) {
+	rs := s.round
+	if rs.phase != rpCommit || len(rs.commits) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	rs.phase = rpShare
+	out := &Output{}
+	body := (&Share{Attempt: rs.attempt, CT: rs.myShare}).Encode()
+	if err := s.broadcastServers(MsgShare, rs.r, body, out); err != nil {
+		return nil, err
+	}
+	rs.shares[s.idx] = rs.myShare
+	more, err := s.maybeCombine(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onShare(now time.Time, m *Message) (*Output, error) {
+	rs := s.round
+	if rs == nil || m.Round != rs.r {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, true); err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	p, err := DecodeShare(m.Body)
+	if err != nil || p.Attempt != rs.attempt {
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if _, dup := rs.shares[si]; dup {
+		return &Output{}, nil
+	}
+	rs.shares[si] = p.CT
+	return s.maybeCombine(now)
+}
+
+// maybeCombine verifies commitments and assembles the cleartext.
+func (s *Server) maybeCombine(now time.Time) (*Output, error) {
+	rs := s.round
+	if rs.phase != rpShare || len(rs.shares) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	for si := 0; si < len(s.def.Servers); si++ {
+		want := rs.commits[si]
+		got := crypto.Hash("dissent/share-commit", rs.shares[si])
+		if !bytes.Equal(want, got) {
+			return s.violation(rs.r, fmt.Errorf("server %d share does not match its commitment", si)), nil
+		}
+	}
+	cleartext := make([]byte, s.sched.Len())
+	for si := 0; si < len(s.def.Servers); si++ {
+		crypto.XORBytes(cleartext, rs.shares[si])
+	}
+	rs.cleartext = cleartext
+	return s.sendCertify(now)
+}
+
+func (s *Server) sendCertify(now time.Time) (*Output, error) {
+	rs := s.round
+	rs.phase = rpCertify
+	sig, err := s.kp.Sign("dissent/cleartext",
+		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext), s.rand)
+	if err != nil {
+		return nil, err
+	}
+	sigBytes := crypto.EncodeSignature(s.keyGrp, sig)
+	out := &Output{}
+	body := (&Certify{Attempt: rs.attempt, Sig: sigBytes}).Encode()
+	if err := s.broadcastServers(MsgCertify, rs.r, body, out); err != nil {
+		return nil, err
+	}
+	rs.certs[s.idx] = sigBytes
+	more, err := s.maybeOutput(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onCertify(now time.Time, m *Message) (*Output, error) {
+	rs := s.round
+	if rs == nil || m.Round != rs.r {
+		return &Output{}, nil
+	}
+	if err := s.verify(m, true); err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	p, err := DecodeCertify(m.Body)
+	if err != nil || p.Attempt > rs.attempt {
+		return &Output{}, nil
+	}
+	if rs.phase < rpCertify {
+		// A peer can certify before our own combine completes (its
+		// copy of a slow share may arrive before ours under link
+		// serialization); verify once we have the cleartext.
+		return s.stashMsg(m), nil
+	}
+	if p.Attempt != rs.attempt {
+		return &Output{}, nil
+	}
+	si := s.def.ServerIndex(m.From)
+	sig, err := crypto.DecodeSignature(s.keyGrp, p.Sig)
+	if err != nil {
+		return s.violation(rs.r, err), nil
+	}
+	if err := crypto.Verify(s.keyGrp, s.def.Servers[si].PubKey, "dissent/cleartext",
+		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext), sig); err != nil {
+		return s.violation(rs.r, fmt.Errorf("server %d certify: %w", si, err)), nil
+	}
+	if _, dup := rs.certs[si]; dup {
+		return &Output{}, nil
+	}
+	rs.certs[si] = p.Sig
+	return s.maybeOutput(now)
+}
+
+// maybeOutput completes the round: distribute the certified output,
+// advance the schedule, and begin the next round or a blame session.
+func (s *Server) maybeOutput(now time.Time) (*Output, error) {
+	rs := s.round
+	if rs.phase != rpCertify || len(rs.certs) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	rs.phase = rpDone
+	out := &Output{}
+	sigs := make([][]byte, len(s.def.Servers))
+	for i := range sigs {
+		sigs[i] = rs.certs[i]
+	}
+	body := (&RoundOutput{
+		Cleartext: rs.cleartext,
+		Sigs:      sigs,
+		Count:     int32(len(rs.included)),
+		Failed:    rs.failed,
+	}).Encode()
+	if err := s.broadcastClients(MsgOutput, rs.r, body, out); err != nil {
+		return nil, err
+	}
+
+	s.prevCount = len(rs.included)
+	s.roundNum++
+	if rs.failed {
+		out.Events = append(out.Events, Event{Kind: EventRoundFailed, Round: rs.r,
+			Detail: fmt.Sprintf("participation %d", len(rs.included))})
+		s.startRound(now, out)
+		return out, nil
+	}
+
+	// Record history for accusation tracing before advancing layout.
+	hist := &roundHistory{
+		included:   rs.included,
+		directSets: rs.directSets,
+		cleartext:  rs.cleartext,
+		subs:       rs.subs,
+		slotOff:    make([]int, s.sched.NumSlots()),
+		slotLen:    make([]int, s.sched.NumSlots()),
+	}
+	hist.shares = make([][]byte, len(s.def.Servers))
+	for i := range hist.shares {
+		hist.shares[i] = rs.shares[i]
+	}
+	for i := 0; i < s.sched.NumSlots(); i++ {
+		hist.slotOff[i], hist.slotLen[i] = s.sched.SlotRange(i)
+	}
+	s.history[rs.r] = hist
+	if old := rs.r; old >= uint64(s.def.Policy.RetainRounds) {
+		delete(s.history, old-uint64(s.def.Policy.RetainRounds))
+	}
+
+	res, err := s.sched.Advance(rs.cleartext)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule advance: %w", err)
+	}
+	for slot, p := range res.Payloads {
+		if p != nil && len(p.Data) > 0 {
+			out.Deliveries = append(out.Deliveries, Delivery{Round: rs.r, Slot: slot, Data: p.Data})
+		}
+	}
+	out.Events = append(out.Events, Event{Kind: EventRoundComplete, Round: rs.r,
+		Detail: fmt.Sprintf("participation %d", len(rs.included))})
+
+	if res.ShuffleRequested || s.pendingBlame {
+		s.pendingBlame = false
+		more, err := s.startBlame(now)
+		if err != nil {
+			return nil, err
+		}
+		out.merge(more)
+		return out, nil
+	}
+	s.startRound(now, out)
+	return out, nil
+}
+
+// violation wraps a protocol violation into an event output.
+func (s *Server) violation(round uint64, err error) *Output {
+	return &Output{Events: []Event{{Kind: EventProtocolViolation, Round: round, Detail: err.Error()}}}
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,108 @@
+package crypto
+
+import (
+	"errors"
+	"io"
+	"math/big"
+)
+
+// Ciphertext is an ElGamal ciphertext (C1, C2) = (rG, M + rY) where Y
+// is the (possibly aggregated) public key. Dissent's shuffles encrypt
+// under the sum of all server keys; each server later strips its own
+// layer (§3.10).
+type Ciphertext struct {
+	C1, C2 Element
+}
+
+// Encrypt encrypts message element m under public key y with fresh
+// randomness from r (crypto/rand if nil).
+func Encrypt(g Group, y, m Element, r io.Reader) (Ciphertext, *big.Int, error) {
+	k, err := g.RandomScalar(r)
+	if err != nil {
+		return Ciphertext{}, nil, err
+	}
+	return EncryptWith(g, y, m, k), k, nil
+}
+
+// EncryptWith encrypts m under y with explicit randomness k.
+func EncryptWith(g Group, y, m Element, k *big.Int) Ciphertext {
+	return Ciphertext{
+		C1: g.BaseMult(k),
+		C2: g.Add(m, g.ScalarMult(y, k)),
+	}
+}
+
+// Reencrypt rerandomizes ct under public key y with fresh randomness,
+// returning the new ciphertext and the randomness used (needed by
+// shuffle proofs).
+func Reencrypt(g Group, y Element, ct Ciphertext, r io.Reader) (Ciphertext, *big.Int, error) {
+	k, err := g.RandomScalar(r)
+	if err != nil {
+		return Ciphertext{}, nil, err
+	}
+	return ReencryptWith(g, y, ct, k), k, nil
+}
+
+// ReencryptWith rerandomizes ct under y with explicit randomness k.
+func ReencryptWith(g Group, y Element, ct Ciphertext, k *big.Int) Ciphertext {
+	return Ciphertext{
+		C1: g.Add(ct.C1, g.BaseMult(k)),
+		C2: g.Add(ct.C2, g.ScalarMult(y, k)),
+	}
+}
+
+// Decrypt fully decrypts ct with private key x (where y = xG).
+func Decrypt(g Group, x *big.Int, ct Ciphertext) Element {
+	return g.Add(ct.C2, g.Neg(g.ScalarMult(ct.C1, x)))
+}
+
+// DecryptShare computes a server's decryption share x*C1 for layered
+// decryption: subtracting every server's share from C2 recovers the
+// plaintext when the ciphertext was encrypted under the sum of the
+// server keys.
+func DecryptShare(g Group, x *big.Int, ct Ciphertext) Element {
+	return g.ScalarMult(ct.C1, x)
+}
+
+// StripLayer removes one server's layer from ct: C2 -= share. C1 is
+// unchanged, so the result is a valid ciphertext under the remaining
+// aggregate key.
+func StripLayer(g Group, ct Ciphertext, share Element) Ciphertext {
+	return Ciphertext{C1: ct.C1, C2: g.Add(ct.C2, g.Neg(share))}
+}
+
+// AggregateKeys sums a set of public keys; encrypting under the sum
+// requires every corresponding private key to decrypt, which is what
+// gives the shuffle its anytrust property.
+func AggregateKeys(g Group, keys []Element) Element {
+	acc := g.Identity()
+	for _, k := range keys {
+		acc = g.Add(acc, k)
+	}
+	return acc
+}
+
+// EncodeCiphertext serializes ct.
+func EncodeCiphertext(g Group, ct Ciphertext) []byte {
+	buf := make([]byte, 0, 2*g.ElementLen())
+	buf = append(buf, g.Encode(ct.C1)...)
+	buf = append(buf, g.Encode(ct.C2)...)
+	return buf
+}
+
+// DecodeCiphertext parses a ciphertext serialized by EncodeCiphertext.
+func DecodeCiphertext(g Group, data []byte) (Ciphertext, error) {
+	n := g.ElementLen()
+	if len(data) != 2*n {
+		return Ciphertext{}, errors.New("crypto: bad ciphertext length")
+	}
+	c1, err := g.Decode(data[:n])
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	c2, err := g.Decode(data[n:])
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return Ciphertext{C1: c1, C2: c2}, nil
+}

@@ -1,0 +1,137 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestElGamalRoundTrip(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			kp, _ := GenerateKeyPair(g, nil)
+			m, _ := g.RandomElement(nil)
+			ct, _, err := Encrypt(g, kp.Public, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(Decrypt(g, kp.Private, ct), m) {
+				t.Error("decrypt(encrypt(m)) != m")
+			}
+		})
+	}
+}
+
+func TestElGamalReencryptPreservesPlaintext(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			kp, _ := GenerateKeyPair(g, nil)
+			m, _ := g.RandomElement(nil)
+			ct, _, _ := Encrypt(g, kp.Public, m, nil)
+			ct2, _, err := Reencrypt(g, kp.Public, ct, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Equal(ct.C1, ct2.C1) && g.Equal(ct.C2, ct2.C2) {
+				t.Error("reencryption did not change the ciphertext")
+			}
+			if !g.Equal(Decrypt(g, kp.Private, ct2), m) {
+				t.Error("reencryption changed the plaintext")
+			}
+		})
+	}
+}
+
+func TestElGamalLayeredDecryption(t *testing.T) {
+	// Encrypt under the sum of three keys, strip layers one at a time —
+	// exactly the shuffle pipeline's decryption structure.
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			const servers = 3
+			kps := make([]*KeyPair, servers)
+			pubs := make([]Element, servers)
+			for i := range kps {
+				kps[i], _ = GenerateKeyPair(g, nil)
+				pubs[i] = kps[i].Public
+			}
+			agg := AggregateKeys(g, pubs)
+			m, _ := g.RandomElement(nil)
+			ct, _, _ := Encrypt(g, agg, m, nil)
+			for i := 0; i < servers; i++ {
+				share := DecryptShare(g, kps[i].Private, ct)
+				ct = StripLayer(g, ct, share)
+			}
+			if !g.Equal(ct.C2, m) {
+				t.Error("layered decryption did not recover plaintext")
+			}
+		})
+	}
+}
+
+func TestElGamalLayeredWithReencryption(t *testing.T) {
+	// Interleave re-encryption under the remaining aggregate key with
+	// layer stripping, as the shuffle servers do.
+	g := P256()
+	const servers = 4
+	kps := make([]*KeyPair, servers)
+	pubs := make([]Element, servers)
+	for i := range kps {
+		kps[i], _ = GenerateKeyPair(g, nil)
+		pubs[i] = kps[i].Public
+	}
+	m, _ := g.RandomElement(nil)
+	ct, _, _ := Encrypt(g, AggregateKeys(g, pubs), m, nil)
+	for i := 0; i < servers; i++ {
+		remaining := AggregateKeys(g, pubs[i:])
+		var err error
+		ct, _, err = Reencrypt(g, remaining, ct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct = StripLayer(g, ct, DecryptShare(g, kps[i].Private, ct))
+	}
+	if !g.Equal(ct.C2, m) {
+		t.Error("pipeline decryption did not recover plaintext")
+	}
+}
+
+func TestCiphertextEncodeDecode(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			kp, _ := GenerateKeyPair(g, nil)
+			m, _ := g.RandomElement(nil)
+			ct, _, _ := Encrypt(g, kp.Public, m, nil)
+			enc := EncodeCiphertext(g, ct)
+			dec, err := DecodeCiphertext(g, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(dec.C1, ct.C1) || !g.Equal(dec.C2, ct.C2) {
+				t.Error("ciphertext round-trip mismatch")
+			}
+			if _, err := DecodeCiphertext(g, enc[:len(enc)-1]); err == nil {
+				t.Error("short ciphertext accepted")
+			}
+		})
+	}
+}
+
+func TestElGamalEmbeddedMessage(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			kp, _ := GenerateKeyPair(g, nil)
+			msg := []byte("anonymous accusation payload")
+			m, err := g.Embed(msg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, _, _ := Encrypt(g, kp.Public, m, nil)
+			out, err := g.Extract(Decrypt(g, kp.Private, ct))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, msg) {
+				t.Errorf("extracted %q, want %q", out, msg)
+			}
+		})
+	}
+}

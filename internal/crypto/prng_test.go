@@ -1,0 +1,160 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func prngMakers() map[string]PRNGMaker {
+	return map[string]PRNGMaker{
+		"aes":  NewAESPRNG,
+		"fast": NewFastPRNG,
+	}
+}
+
+func TestPRNGDeterministic(t *testing.T) {
+	for name, mk := range prngMakers() {
+		t.Run(name, func(t *testing.T) {
+			seed := Hash("seed", []byte("a"))
+			a := make([]byte, 1024)
+			b := make([]byte, 1024)
+			mk(seed).Read(a)
+			mk(seed).Read(b)
+			if !bytes.Equal(a, b) {
+				t.Error("same seed produced different streams")
+			}
+			c := make([]byte, 1024)
+			mk(Hash("seed", []byte("b"))).Read(c)
+			if bytes.Equal(a, c) {
+				t.Error("different seeds produced identical streams")
+			}
+		})
+	}
+}
+
+func TestPRNGReadChunkingConsistent(t *testing.T) {
+	// Reading in odd-sized chunks must produce the same stream as one
+	// big read — the DC-net layers slice streams at arbitrary offsets.
+	for name, mk := range prngMakers() {
+		t.Run(name, func(t *testing.T) {
+			seed := Hash("seed", []byte("chunk"))
+			whole := make([]byte, 257)
+			mk(seed).Read(whole)
+
+			p := mk(seed)
+			var parts []byte
+			for _, n := range []int{1, 2, 3, 5, 7, 11, 13, 64, 151} {
+				buf := make([]byte, n)
+				p.Read(buf)
+				parts = append(parts, buf...)
+			}
+			if !bytes.Equal(whole, parts[:len(whole)]) {
+				t.Error("chunked reads diverge from contiguous read")
+			}
+		})
+	}
+}
+
+func TestPRNGXORKeyStreamMatchesRead(t *testing.T) {
+	for name, mk := range prngMakers() {
+		t.Run(name, func(t *testing.T) {
+			seed := Hash("seed", []byte("xor"))
+			stream := make([]byte, 300)
+			mk(seed).Read(stream)
+
+			src := make([]byte, 300)
+			for i := range src {
+				src[i] = byte(i * 7)
+			}
+			dst := make([]byte, 300)
+			mk(seed).XORKeyStream(dst, src)
+			for i := range dst {
+				if dst[i] != src[i]^stream[i] {
+					t.Fatalf("byte %d: got %#x want %#x", i, dst[i], src[i]^stream[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPRNGXORCancels(t *testing.T) {
+	// The DC-net invariant: XORing the same seeded stream twice is a
+	// no-op.
+	for name, mk := range prngMakers() {
+		t.Run(name, func(t *testing.T) {
+			seed := Hash("seed", []byte("cancel"))
+			msg := []byte("the medium is the message")
+			buf := append([]byte(nil), msg...)
+			mk(seed).XORKeyStream(buf, buf)
+			mk(seed).XORKeyStream(buf, buf)
+			if !bytes.Equal(buf, msg) {
+				t.Error("double-XOR did not cancel")
+			}
+		})
+	}
+}
+
+func TestXORBytes(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	b := []byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	dst := append([]byte(nil), a...)
+	n := XORBytes(dst, b)
+	if n != len(a) {
+		t.Fatalf("n = %d, want %d", n, len(a))
+	}
+	for i := range dst {
+		if dst[i] != a[i]^b[i] {
+			t.Fatalf("byte %d wrong", i)
+		}
+	}
+	// Shorter src.
+	dst = append([]byte(nil), a...)
+	if n := XORBytes(dst, b[:3]); n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	if dst[3] != a[3] {
+		t.Error("XORBytes wrote past src length")
+	}
+}
+
+func TestXORBytesProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		dst := append([]byte(nil), a...)
+		XORBytes(dst, b)
+		XORBytes(dst, b)
+		return bytes.Equal(dst[:n], a[:n])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashInjective(t *testing.T) {
+	// Length prefixing must distinguish ("ab","c") from ("a","bc").
+	h1 := Hash("d", []byte("ab"), []byte("c"))
+	h2 := Hash("d", []byte("a"), []byte("bc"))
+	if bytes.Equal(h1, h2) {
+		t.Error("hash not injective across part boundaries")
+	}
+	if bytes.Equal(Hash("d1", []byte("x")), Hash("d2", []byte("x"))) {
+		t.Error("hash ignores domain")
+	}
+}
+
+func TestHashToScalarInRange(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 16; i++ {
+				s := HashToScalar(g, "d", HashUint64(uint64(i)))
+				if s.Sign() < 0 || s.Cmp(g.Order()) >= 0 {
+					t.Fatalf("scalar out of range: %v", s)
+				}
+			}
+		})
+	}
+}

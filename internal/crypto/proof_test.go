@@ -1,0 +1,167 @@
+package crypto
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestDLEQProofRoundTrip(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			x, _ := g.RandomScalar(nil)
+			y := g.BaseMult(x)
+			b, _ := g.RandomElement(nil)
+			d := g.ScalarMult(b, x)
+			ctx := []byte("test-ctx")
+			proof, err := ProveDLEQ(g, x, b, y, d, ctx, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyDLEQ(g, b, y, d, proof, ctx); err != nil {
+				t.Errorf("valid proof rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestDLEQProofRejectsWrongStatement(t *testing.T) {
+	g := P256()
+	x, _ := g.RandomScalar(nil)
+	y := g.BaseMult(x)
+	b, _ := g.RandomElement(nil)
+	d := g.ScalarMult(b, x)
+	ctx := []byte("ctx")
+	proof, _ := ProveDLEQ(g, x, b, y, d, ctx, nil)
+
+	// Wrong d.
+	wrongD, _ := g.RandomElement(nil)
+	if err := VerifyDLEQ(g, b, y, wrongD, proof, ctx); err == nil {
+		t.Error("proof accepted for wrong d")
+	}
+	// Wrong context.
+	if err := VerifyDLEQ(g, b, y, d, proof, []byte("other")); err == nil {
+		t.Error("proof accepted under different context")
+	}
+	// Tampered response.
+	bad := proof
+	bad.Z = new(big.Int).Add(proof.Z, big.NewInt(1))
+	if err := VerifyDLEQ(g, b, y, d, bad, ctx); err == nil {
+		t.Error("tampered proof accepted")
+	}
+	// Incomplete proof.
+	if err := VerifyDLEQ(g, b, y, d, DLEQProof{}, ctx); err == nil {
+		t.Error("empty proof accepted")
+	}
+	// Out-of-range values.
+	huge := DLEQProof{C: g.Order(), Z: proof.Z}
+	if err := VerifyDLEQ(g, b, y, d, huge, ctx); err == nil {
+		t.Error("out-of-range challenge accepted")
+	}
+}
+
+func TestDLEQBatchProof(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			const n = 8
+			x, _ := g.RandomScalar(nil)
+			y := g.BaseMult(x)
+			bs := make([]Element, n)
+			ds := make([]Element, n)
+			for i := range bs {
+				bs[i], _ = g.RandomElement(nil)
+				ds[i] = g.ScalarMult(bs[i], x)
+			}
+			ctx := []byte("batch")
+			proof, err := ProveDLEQBatch(g, x, bs, ds, y, ctx, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyDLEQBatch(g, bs, ds, y, proof, ctx); err != nil {
+				t.Errorf("valid batch proof rejected: %v", err)
+			}
+			// Corrupt one share: verification must fail.
+			ds[3], _ = g.RandomElement(nil)
+			if err := VerifyDLEQBatch(g, bs, ds, y, proof, ctx); err == nil {
+				t.Error("batch proof accepted with corrupted share")
+			}
+		})
+	}
+}
+
+func TestDLEQBatchLengthMismatch(t *testing.T) {
+	g := P256()
+	x, _ := g.RandomScalar(nil)
+	y := g.BaseMult(x)
+	b, _ := g.RandomElement(nil)
+	if _, err := ProveDLEQBatch(g, x, []Element{b}, nil, y, nil, nil); err == nil {
+		t.Error("mismatched batch lengths accepted by prover")
+	}
+	if err := VerifyDLEQBatch(g, []Element{b}, nil, y, DLEQProof{}, nil); err == nil {
+		t.Error("mismatched batch lengths accepted by verifier")
+	}
+}
+
+func TestSchnorrSignatureRoundTrip(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			kp, _ := GenerateKeyPair(g, nil)
+			msg := []byte("signed protocol message")
+			sig, err := kp.Sign("test", msg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(g, kp.Public, "test", msg, sig); err != nil {
+				t.Errorf("valid signature rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestSchnorrSignatureRejections(t *testing.T) {
+	g := P256()
+	kp, _ := GenerateKeyPair(g, nil)
+	other, _ := GenerateKeyPair(g, nil)
+	msg := []byte("msg")
+	sig, _ := kp.Sign("d", msg, nil)
+
+	if err := Verify(g, kp.Public, "d", []byte("other msg"), sig); err == nil {
+		t.Error("signature accepted for different message")
+	}
+	if err := Verify(g, kp.Public, "other-domain", msg, sig); err == nil {
+		t.Error("signature accepted under different domain")
+	}
+	if err := Verify(g, other.Public, "d", msg, sig); err == nil {
+		t.Error("signature accepted under different key")
+	}
+	bad := sig
+	bad.Z = new(big.Int).Add(sig.Z, big.NewInt(1))
+	if err := Verify(g, kp.Public, "d", msg, bad); err == nil {
+		t.Error("tampered signature accepted")
+	}
+	if err := Verify(g, kp.Public, "d", msg, Signature{}); err == nil {
+		t.Error("empty signature accepted")
+	}
+}
+
+func TestSignatureEncodeDecode(t *testing.T) {
+	for name, g := range testGroups() {
+		t.Run(name, func(t *testing.T) {
+			kp, _ := GenerateKeyPair(g, nil)
+			sig, _ := kp.Sign("d", []byte("m"), nil)
+			enc := EncodeSignature(g, sig)
+			if len(enc) != SignatureLen(g) {
+				t.Fatalf("encoded length %d, want %d", len(enc), SignatureLen(g))
+			}
+			dec, err := DecodeSignature(g, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(g, kp.Public, "d", []byte("m"), dec); err != nil {
+				t.Errorf("decoded signature invalid: %v", err)
+			}
+			if _, err := DecodeSignature(g, enc[:3]); err == nil {
+				t.Error("short signature accepted")
+			}
+		})
+	}
+}

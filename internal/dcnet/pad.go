@@ -1,0 +1,78 @@
+package dcnet
+
+import (
+	"dissent/internal/crypto"
+)
+
+// Pad derives the per-round pseudo-random strings a node shares with
+// its peers and combines them into DC-net ciphertexts. A client's Pad
+// holds one seed per server (M seeds); a server's Pad holds one seed
+// per client (N seeds) but normally expands only the subset that
+// submitted in a given round (§3.4, §3.6).
+type Pad struct {
+	maker crypto.PRNGMaker
+}
+
+// NewPad returns a Pad using maker for stream expansion. Production
+// code passes crypto.NewAESPRNG; the large-scale benchmark harness
+// passes crypto.NewFastPRNG and accounts AES cost analytically.
+func NewPad(maker crypto.PRNGMaker) *Pad {
+	if maker == nil {
+		maker = crypto.NewAESPRNG
+	}
+	return &Pad{maker: maker}
+}
+
+// RoundSeed derives the (pair, round) stream seed from a pairwise
+// secret seed. Both ends of the pair derive the same value.
+func RoundSeed(pairSeed []byte, round uint64) []byte {
+	return crypto.Hash("dissent/round-stream", pairSeed, crypto.HashUint64(round))
+}
+
+// XORStream XORs the (pairSeed, round) stream of the given length into
+// dst (which must be at least length bytes).
+func (p *Pad) XORStream(dst []byte, pairSeed []byte, round uint64, length int) {
+	s := p.maker(RoundSeed(pairSeed, round))
+	s.XORKeyStream(dst[:length], dst[:length])
+}
+
+// ClientCiphertext builds client ciphertext c_i = m ⊕ ⊕_j PRNG(K_ij)
+// for a round: the message vector XORed with one stream per server
+// (Algorithm 1 step 2). msg must already be laid out as a full
+// cleartext-length vector (zeros outside the client's own slots); it is
+// not modified.
+func (p *Pad) ClientCiphertext(serverSeeds [][]byte, round uint64, msg []byte) []byte {
+	ct := append([]byte(nil), msg...)
+	for _, seed := range serverSeeds {
+		p.XORStream(ct, seed, round, len(ct))
+	}
+	return ct
+}
+
+// ServerPad computes ⊕_i PRNG(K_ij) over the given client seeds — the
+// server's contribution for exactly the clients included in the round
+// (Algorithm 2 step 3). The result has the given length.
+func (p *Pad) ServerPad(clientSeeds [][]byte, round uint64, length int) []byte {
+	pad := make([]byte, length)
+	for _, seed := range clientSeeds {
+		p.XORStream(pad, seed, round, length)
+	}
+	return pad
+}
+
+// StreamBit recomputes a single bit of the (pairSeed, round) stream:
+// the accusation trace publishes exactly these bits so the servers can
+// find who XORed an unmatched 1 into the witness position (§3.9).
+func (p *Pad) StreamBit(pairSeed []byte, round uint64, bitIndex int) byte {
+	byteIndex := bitIndex / 8
+	buf := make([]byte, byteIndex+1)
+	s := p.maker(RoundSeed(pairSeed, round))
+	s.XORKeyStream(buf, buf)
+	return (buf[byteIndex] >> (uint(bitIndex) % 8)) & 1
+}
+
+// Bit extracts bit bitIndex from a byte vector (LSB-first within each
+// byte, matching StreamBit).
+func Bit(buf []byte, bitIndex int) byte {
+	return (buf[bitIndex/8] >> (uint(bitIndex) % 8)) & 1
+}

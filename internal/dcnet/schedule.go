@@ -1,0 +1,216 @@
+// Package dcnet implements the DC-net layer of Dissent: the
+// deterministic slot schedule S(r, π(i), H) derived from a verifiable
+// shuffle and prior round outputs (§3.3, §3.8), OAEP-like unpredictable
+// slot payloads (§3.9), client and server ciphertext pads built from
+// pairwise client/server secrets (§3.4), and per-bit stream tracing for
+// the accusation protocol (§3.9).
+//
+// The package is purely computational — no I/O. internal/core drives it
+// with the round protocol.
+package dcnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config fixes the schedule parameters agreed at group creation.
+type Config struct {
+	// NumSlots is the number of pseudonym slots (one per client in the
+	// shuffled schedule).
+	NumSlots int
+	// DefaultOpenLen is the slot length, in bytes, assigned when a
+	// request bit opens a slot. Must be at least MinSlotLen.
+	DefaultOpenLen int
+	// MaxSlotLen caps a slot's self-requested length, bounding the
+	// damage a malicious owner (or a disrupted length field) can do to
+	// the round size.
+	MaxSlotLen int
+	// IdleCloseRounds closes a slot whose owner has produced all-zero
+	// output for this many consecutive rounds (owner likely offline).
+	IdleCloseRounds int
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: 1 KiB initial slots, 256 KiB cap (large enough for the
+// 128 KB data-sharing scenario plus overhead), close after 4 idle
+// rounds.
+func DefaultConfig(numSlots int) Config {
+	return Config{
+		NumSlots:        numSlots,
+		DefaultOpenLen:  1024,
+		MaxSlotLen:      256 << 10,
+		IdleCloseRounds: 4,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSlots <= 0:
+		return errors.New("dcnet: NumSlots must be positive")
+	case c.DefaultOpenLen < MinSlotLen:
+		return fmt.Errorf("dcnet: DefaultOpenLen %d below minimum %d", c.DefaultOpenLen, MinSlotLen)
+	case c.MaxSlotLen < c.DefaultOpenLen:
+		return errors.New("dcnet: MaxSlotLen below DefaultOpenLen")
+	case c.IdleCloseRounds <= 0:
+		return errors.New("dcnet: IdleCloseRounds must be positive")
+	}
+	return nil
+}
+
+// Schedule tracks the per-slot state that determines each round's
+// cleartext layout. All nodes advance identical Schedule replicas from
+// identical round outputs, so the layout never needs negotiation.
+type Schedule struct {
+	cfg   Config
+	round uint64
+	lens  []int // current message-slot lengths, 0 = closed
+	idle  []int // consecutive all-zero rounds per open slot
+}
+
+// NewSchedule creates the round-0 schedule: all slots closed.
+func NewSchedule(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		cfg:  cfg,
+		lens: make([]int, cfg.NumSlots),
+		idle: make([]int, cfg.NumSlots),
+	}, nil
+}
+
+// Config returns the schedule's configuration.
+func (s *Schedule) Config() Config { return s.cfg }
+
+// Round returns the current round number.
+func (s *Schedule) Round() uint64 { return s.round }
+
+// NumSlots returns the slot count.
+func (s *Schedule) NumSlots() int { return s.cfg.NumSlots }
+
+// SlotLen returns slot i's current message length (0 when closed).
+func (s *Schedule) SlotLen(i int) int { return s.lens[i] }
+
+// reqBytes returns the size of the request-bit region.
+func (s *Schedule) reqBytes() int { return (s.cfg.NumSlots + 7) / 8 }
+
+// Len returns the total cleartext vector length for the current round.
+func (s *Schedule) Len() int {
+	n := s.reqBytes()
+	for _, l := range s.lens {
+		n += l
+	}
+	return n
+}
+
+// ReqBitRange returns the byte range holding the request bits.
+func (s *Schedule) ReqBitRange() (off, n int) { return 0, s.reqBytes() }
+
+// SlotRange returns the byte range of slot i's message region in the
+// current round's cleartext vector. n is zero for closed slots.
+func (s *Schedule) SlotRange(i int) (off, n int) {
+	off = s.reqBytes()
+	for j := 0; j < i; j++ {
+		off += s.lens[j]
+	}
+	return off, s.lens[i]
+}
+
+// SetReqBit sets slot i's request bit in a cleartext-sized message
+// vector (XOR semantics: writing 1 toggles the channel bit).
+func (s *Schedule) SetReqBit(buf []byte, slot int, v bool) {
+	if v {
+		buf[slot/8] |= 1 << (uint(slot) % 8)
+	}
+}
+
+// ReqBit reads slot i's request bit from a round's cleartext output.
+func (s *Schedule) ReqBit(cleartext []byte, slot int) bool {
+	return cleartext[slot/8]&(1<<(uint(slot)%8)) != 0
+}
+
+// RoundResult summarizes schedule transitions caused by one round's
+// output.
+type RoundResult struct {
+	// Opened and Closed list slots that changed state for next round.
+	Opened, Closed []int
+	// ShuffleRequested is true when any open slot's shuffle-request
+	// field was nonzero: the servers must run an accusation shuffle
+	// before the next DC-net round (§3.9).
+	ShuffleRequested bool
+	// Payloads holds each open slot's decoded payload (nil entry for
+	// closed or idle slots).
+	Payloads []*SlotPayload
+}
+
+// Advance consumes round r's cleartext output, decodes every open
+// slot, and moves the schedule to round r+1. Undecodable slots (owner
+// disrupted or garbled) keep their length and count as idle; this is
+// deliberate: a disruptor must not be able to collapse the schedule.
+func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
+	if len(cleartext) != s.Len() {
+		return nil, fmt.Errorf("dcnet: cleartext length %d, want %d", len(cleartext), s.Len())
+	}
+	res := &RoundResult{Payloads: make([]*SlotPayload, s.cfg.NumSlots)}
+	next := make([]int, s.cfg.NumSlots)
+	for i := 0; i < s.cfg.NumSlots; i++ {
+		off, n := s.SlotRange(i)
+		if n == 0 {
+			// Closed slot: a set request bit opens it next round.
+			if s.ReqBit(cleartext, i) {
+				next[i] = s.cfg.DefaultOpenLen
+				s.idle[i] = 0
+				res.Opened = append(res.Opened, i)
+			}
+			continue
+		}
+		region := cleartext[off : off+n]
+		payload, idle, err := DecodeSlot(region)
+		switch {
+		case idle:
+			s.idle[i]++
+			if s.idle[i] >= s.cfg.IdleCloseRounds {
+				next[i] = 0
+				s.idle[i] = 0
+				res.Closed = append(res.Closed, i)
+			} else {
+				next[i] = n
+			}
+		case err != nil:
+			// Garbled (possibly disrupted) slot: hold the length.
+			s.idle[i] = 0
+			next[i] = n
+		default:
+			s.idle[i] = 0
+			res.Payloads[i] = payload
+			if payload.ShuffleReq != 0 {
+				res.ShuffleRequested = true
+			}
+			nl := payload.NextLen
+			if nl != 0 && nl < MinSlotLen {
+				nl = MinSlotLen
+			}
+			if nl > s.cfg.MaxSlotLen {
+				nl = s.cfg.MaxSlotLen
+			}
+			next[i] = nl
+			if nl == 0 {
+				res.Closed = append(res.Closed, i)
+			}
+		}
+	}
+	s.lens = next
+	s.round++
+	return res, nil
+}
+
+// Clone returns an independent copy of the schedule, used by clients
+// probing "what would the layout be if this round's output were X".
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{cfg: s.cfg, round: s.round}
+	c.lens = append([]int(nil), s.lens...)
+	c.idle = append([]int(nil), s.idle...)
+	return c
+}

@@ -1,0 +1,304 @@
+package dcnet
+
+import (
+	"testing"
+)
+
+func mustSchedule(t *testing.T, cfg Config) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{NumSlots: 0, DefaultOpenLen: 64, MaxSlotLen: 128, IdleCloseRounds: 1},
+		{NumSlots: 4, DefaultOpenLen: 3, MaxSlotLen: 128, IdleCloseRounds: 1},
+		{NumSlots: 4, DefaultOpenLen: 64, MaxSlotLen: 32, IdleCloseRounds: 1},
+		{NumSlots: 4, DefaultOpenLen: 64, MaxSlotLen: 128, IdleCloseRounds: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleInitialLayout(t *testing.T) {
+	s := mustSchedule(t, testConfig(10))
+	if s.Len() != 2 { // ceil(10/8) request bytes, all slots closed
+		t.Errorf("initial length %d, want 2", s.Len())
+	}
+	off, n := s.ReqBitRange()
+	if off != 0 || n != 2 {
+		t.Errorf("req bit range (%d,%d)", off, n)
+	}
+	for i := 0; i < 10; i++ {
+		if _, n := s.SlotRange(i); n != 0 {
+			t.Errorf("slot %d open at start", i)
+		}
+	}
+}
+
+func TestScheduleOpenViaRequestBit(t *testing.T) {
+	s := mustSchedule(t, testConfig(4))
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 2, true)
+	res, err := s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Opened) != 1 || res.Opened[0] != 2 {
+		t.Fatalf("Opened = %v, want [2]", res.Opened)
+	}
+	if s.SlotLen(2) != 64 {
+		t.Errorf("slot 2 length %d, want 64", s.SlotLen(2))
+	}
+	if s.Round() != 1 {
+		t.Errorf("round %d, want 1", s.Round())
+	}
+	// Layout: reqBits(1) + slot2(64).
+	if s.Len() != 1+64 {
+		t.Errorf("round-1 length %d, want 65", s.Len())
+	}
+	off, n := s.SlotRange(2)
+	if off != 1 || n != 64 {
+		t.Errorf("slot 2 range (%d,%d), want (1,64)", off, n)
+	}
+}
+
+func TestScheduleResizeAndClose(t *testing.T) {
+	s := mustSchedule(t, testConfig(2))
+	// Open slot 0.
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	if _, err := s.Advance(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Send a payload asking for a bigger slot next round.
+	buf = make([]byte, s.Len())
+	off, n := s.SlotRange(0)
+	if err := EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 200, Data: []byte("x")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payloads[0] == nil || string(res.Payloads[0].Data) != "x" {
+		t.Fatal("payload not decoded")
+	}
+	if s.SlotLen(0) != 200 {
+		t.Errorf("slot resized to %d, want 200", s.SlotLen(0))
+	}
+	// Now close it with NextLen 0.
+	buf = make([]byte, s.Len())
+	off, n = s.SlotRange(0)
+	if err := EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Closed) != 1 || res.Closed[0] != 0 {
+		t.Errorf("Closed = %v, want [0]", res.Closed)
+	}
+	if s.SlotLen(0) != 0 {
+		t.Error("slot still open after close request")
+	}
+}
+
+func TestScheduleClampsNextLen(t *testing.T) {
+	cfg := testConfig(1)
+	s := mustSchedule(t, cfg)
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	s.Advance(buf)
+
+	// Ask for far more than MaxSlotLen.
+	buf = make([]byte, s.Len())
+	off, n := s.SlotRange(0)
+	EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 1 << 20}, nil)
+	s.Advance(buf)
+	if s.SlotLen(0) != cfg.MaxSlotLen {
+		t.Errorf("slot length %d, want clamped to %d", s.SlotLen(0), cfg.MaxSlotLen)
+	}
+
+	// Ask for a tiny nonzero length: clamped up to MinSlotLen.
+	buf = make([]byte, s.Len())
+	off, n = s.SlotRange(0)
+	EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 3}, nil)
+	s.Advance(buf)
+	if s.SlotLen(0) != MinSlotLen {
+		t.Errorf("slot length %d, want %d", s.SlotLen(0), MinSlotLen)
+	}
+}
+
+func TestScheduleIdleClose(t *testing.T) {
+	cfg := testConfig(1) // IdleCloseRounds = 3
+	s := mustSchedule(t, cfg)
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	s.Advance(buf)
+
+	for i := 0; i < 2; i++ {
+		res, err := s.Advance(make([]byte, s.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Closed) != 0 {
+			t.Fatalf("slot closed after %d idle rounds, want 3", i+1)
+		}
+	}
+	res, err := s.Advance(make([]byte, s.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Closed) != 1 {
+		t.Error("slot not closed after IdleCloseRounds idle rounds")
+	}
+}
+
+func TestScheduleIdleResetOnActivity(t *testing.T) {
+	s := mustSchedule(t, testConfig(1))
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	s.Advance(buf)
+
+	// Two idle rounds, then activity, then two more idle: must stay open.
+	s.Advance(make([]byte, s.Len()))
+	s.Advance(make([]byte, s.Len()))
+	buf = make([]byte, s.Len())
+	off, n := s.SlotRange(0)
+	EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 64}, nil)
+	s.Advance(buf)
+	s.Advance(make([]byte, s.Len()))
+	res, _ := s.Advance(make([]byte, s.Len()))
+	if len(res.Closed) != 0 {
+		t.Error("idle counter not reset by activity")
+	}
+}
+
+func TestScheduleShuffleRequestDetected(t *testing.T) {
+	s := mustSchedule(t, testConfig(1))
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	s.Advance(buf)
+
+	buf = make([]byte, s.Len())
+	off, n := s.SlotRange(0)
+	EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 64, ShuffleReq: 0xA7}, nil)
+	res, err := s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ShuffleRequested {
+		t.Error("nonzero shuffle-request field not detected")
+	}
+}
+
+func TestScheduleAdvanceWrongLength(t *testing.T) {
+	s := mustSchedule(t, testConfig(4))
+	if _, err := s.Advance(make([]byte, s.Len()+1)); err == nil {
+		t.Error("wrong-length cleartext accepted")
+	}
+}
+
+func TestScheduleDeterministicReplicas(t *testing.T) {
+	// Two replicas fed identical cleartexts must stay identical — the
+	// property that lets every node derive the layout independently.
+	a := mustSchedule(t, testConfig(3))
+	b := mustSchedule(t, testConfig(3))
+	buf := make([]byte, a.Len())
+	a.SetReqBit(buf, 1, true)
+	a.Advance(buf)
+	b.Advance(buf)
+	for r := 0; r < 5; r++ {
+		if a.Len() != b.Len() {
+			t.Fatal("replicas diverged in layout")
+		}
+		buf = make([]byte, a.Len())
+		off, n := a.SlotRange(1)
+		if n > 0 {
+			EncodeSlot(buf[off:off+n], SlotPayload{NextLen: 64 + r}, nil)
+		}
+		a.Advance(buf)
+		b.Advance(buf)
+		for i := 0; i < 3; i++ {
+			if a.SlotLen(i) != b.SlotLen(i) {
+				t.Fatal("replicas diverged in slot lengths")
+			}
+		}
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	s := mustSchedule(t, testConfig(2))
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	s.Advance(buf)
+	c := s.Clone()
+	// Mutating the clone must not affect the original.
+	c.Advance(make([]byte, c.Len()))
+	if s.Round() == c.Round() {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestScheduleGarbledSlotHoldsLength(t *testing.T) {
+	s := mustSchedule(t, testConfig(1))
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 0, true)
+	s.Advance(buf)
+	want := s.SlotLen(0)
+
+	// Craft a garbled slot: nonzero seed, body decoding to an
+	// impossible data length. Random garbage usually decodes to *some*
+	// payload; to force the error path deterministically, encode a
+	// valid slot then corrupt the masked DataLen bytes to 0xFFFF.
+	buf = make([]byte, s.Len())
+	off, _ := s.SlotRange(0)
+	EncodeSlot(buf[off:off+want], SlotPayload{}, nil)
+	// Flip DataLen (body bytes 5:7) to huge by XORing mask output: we
+	// don't know the mask, so instead overwrite with values that decode
+	// to dataLen > capacity with probability 1 by brute force: try all
+	// 256*256 combos until DecodeSlot errors.
+	forced := false
+	region := buf[off : off+want]
+	for hi := 0; hi < 256 && !forced; hi++ {
+		for lo := 0; lo < 256 && !forced; lo++ {
+			region[SeedLen+5] = byte(hi) | 0x80 // force a huge DataLen
+			region[SeedLen+6] = byte(lo)
+			if _, idle, err := DecodeSlot(region); err != nil && !idle {
+				forced = true
+			}
+		}
+	}
+	if !forced {
+		t.Skip("could not force a garbled slot")
+	}
+	res, err := s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payloads[0] != nil {
+		t.Error("garbled slot produced a payload")
+	}
+	if s.SlotLen(0) != want {
+		t.Errorf("garbled slot length changed: %d -> %d", want, s.SlotLen(0))
+	}
+}

@@ -1,0 +1,330 @@
+// Package group defines Dissent group membership: the static list of
+// server and client public keys that constitutes a group, the policy
+// knobs fixed at group creation, and the self-certifying group
+// identifier (the hash of the definition file, §3.2).
+package group
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dissent/internal/crypto"
+)
+
+// NodeID identifies a member: the first 8 bytes of the SHA-256 of its
+// encoded public key, so identities are self-certifying.
+type NodeID [8]byte
+
+// String returns the hex form of the ID.
+func (id NodeID) String() string { return hex.EncodeToString(id[:]) }
+
+// IDFromKey derives a member's NodeID from its public key.
+func IDFromKey(g crypto.Group, pub crypto.Element) NodeID {
+	h := crypto.Hash("dissent/node-id", []byte(g.Name()), g.Encode(pub))
+	var id NodeID
+	copy(id[:], h[:8])
+	return id
+}
+
+// Member is one group participant.
+type Member struct {
+	ID     NodeID
+	PubKey crypto.Element
+	// MsgPubKey is a server's public key in the message-shuffle group
+	// (general message shuffles run in a mod-p group whose cheap
+	// embedding suits arbitrary byte strings, §3.10). Nil for clients.
+	MsgPubKey crypto.Element
+}
+
+// Policy holds the group-creation-time protocol constants.
+type Policy struct {
+	// Alpha is the participation floor: round r does not complete until
+	// at least Alpha * (round r-1 participation) clients submit (§3.7).
+	Alpha float64
+	// WindowThreshold is the client fraction that must submit before
+	// the adaptive window starts closing (the paper uses 0.95, §5.1).
+	WindowThreshold float64
+	// WindowMultiplier scales the time-to-threshold to set the final
+	// window (the paper evaluates 1.1, 1.2 and 2.0; default 1.1).
+	WindowMultiplier float64
+	// WindowMin is a lower bound on the submission window.
+	WindowMin time.Duration
+	// HardTimeout fails the round outright (the paper's 120 s).
+	HardTimeout time.Duration
+	// Shadows is the shuffle proof's cut-and-choose parameter.
+	Shadows int
+	// DefaultOpenLen, MaxSlotLen, IdleCloseRounds configure the DC-net
+	// slot schedule (see internal/dcnet).
+	DefaultOpenLen  int
+	MaxSlotLen      int
+	IdleCloseRounds int
+	// RetainRounds bounds per-round state kept for accusation tracing.
+	RetainRounds int
+	// MessageGroup names the group used for general message shuffles
+	// (accusations): "modp-2048" in production, "modp-512-test" in
+	// tests. See crypto.GroupByName.
+	MessageGroup string
+	// SignMessages controls per-message Schnorr signatures. Production
+	// deployments leave this on; very large single-process simulations
+	// may disable it and account signature cost analytically.
+	SignMessages bool
+}
+
+// DefaultPolicy returns the policy used in the paper's evaluation.
+func DefaultPolicy() Policy {
+	return Policy{
+		Alpha:            0.95,
+		WindowThreshold:  0.95,
+		WindowMultiplier: 1.1,
+		WindowMin:        50 * time.Millisecond,
+		HardTimeout:      120 * time.Second,
+		Shadows:          16,
+		DefaultOpenLen:   1024,
+		MaxSlotLen:       256 << 10,
+		IdleCloseRounds:  4,
+		RetainRounds:     8,
+		MessageGroup:     "modp-2048",
+		SignMessages:     true,
+	}
+}
+
+// Validate checks policy sanity.
+func (p Policy) Validate() error {
+	switch {
+	case p.Alpha < 0 || p.Alpha > 1:
+		return errors.New("group: Alpha outside [0,1]")
+	case p.WindowThreshold <= 0 || p.WindowThreshold > 1:
+		return errors.New("group: WindowThreshold outside (0,1]")
+	case p.WindowMultiplier < 1:
+		return errors.New("group: WindowMultiplier below 1")
+	case p.HardTimeout <= 0:
+		return errors.New("group: HardTimeout must be positive")
+	case p.Shadows <= 0:
+		return errors.New("group: Shadows must be positive")
+	case p.RetainRounds <= 0:
+		return errors.New("group: RetainRounds must be positive")
+	}
+	if _, err := crypto.GroupByName(p.MessageGroup); err != nil {
+		return fmt.Errorf("group: %w", err)
+	}
+	return nil
+}
+
+// Definition is a complete group definition: the static membership
+// lists and policy. Its hash is the group's self-certifying ID.
+type Definition struct {
+	Name    string
+	Servers []Member
+	Clients []Member
+	Policy  Policy
+}
+
+// Group returns the identity-key group (fixed to P-256).
+func (d *Definition) Group() crypto.Group { return crypto.P256() }
+
+// MsgGroup returns the message-shuffle group named by the policy.
+func (d *Definition) MsgGroup() crypto.Group {
+	g, err := crypto.GroupByName(d.Policy.MessageGroup)
+	if err != nil {
+		panic("group: validated policy has unknown message group")
+	}
+	return g
+}
+
+// Validate checks structural validity: non-empty member lists, valid
+// policy, unique IDs consistent with keys.
+func (d *Definition) Validate() error {
+	if len(d.Servers) == 0 {
+		return errors.New("group: no servers")
+	}
+	if len(d.Clients) == 0 {
+		return errors.New("group: no clients")
+	}
+	if err := d.Policy.Validate(); err != nil {
+		return err
+	}
+	g := d.Group()
+	mg := d.MsgGroup()
+	for _, m := range d.Servers {
+		if m.MsgPubKey == nil {
+			return fmt.Errorf("group: server %s lacks a message-shuffle key", m.ID)
+		}
+		if mg.IsIdentity(m.MsgPubKey) {
+			return fmt.Errorf("group: server %s has identity message key", m.ID)
+		}
+	}
+	seen := make(map[NodeID]bool)
+	for _, m := range append(append([]Member(nil), d.Servers...), d.Clients...) {
+		if m.PubKey == nil {
+			return fmt.Errorf("group: member %s has no key", m.ID)
+		}
+		if IDFromKey(g, m.PubKey) != m.ID {
+			return fmt.Errorf("group: member %s ID does not match key", m.ID)
+		}
+		if seen[m.ID] {
+			return fmt.Errorf("group: duplicate member %s", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	return nil
+}
+
+// GroupID returns the self-certifying identifier: the hash of the
+// canonical encoding of the definition.
+func (d *Definition) GroupID() [32]byte {
+	enc, err := d.MarshalJSON()
+	if err != nil {
+		// Marshal of a validated definition cannot fail.
+		panic("group: marshal: " + err.Error())
+	}
+	var id [32]byte
+	copy(id[:], crypto.Hash("dissent/group-id", enc))
+	return id
+}
+
+// ServerIndex returns the index of server id, or -1.
+func (d *Definition) ServerIndex(id NodeID) int {
+	for i, m := range d.Servers {
+		if m.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClientIndex returns the index of client id, or -1.
+func (d *Definition) ClientIndex(id NodeID) int {
+	for i, m := range d.Clients {
+		if m.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// UpstreamServer returns the server a client connects to by default:
+// clients spread uniformly over servers by index.
+func (d *Definition) UpstreamServer(clientIndex int) int {
+	return clientIndex % len(d.Servers)
+}
+
+// jsonDef is the serialized form: keys as hex strings.
+type jsonDef struct {
+	Name    string       `json:"name"`
+	Servers []jsonMember `json:"servers"`
+	Clients []jsonMember `json:"clients"`
+	Policy  Policy       `json:"policy"`
+}
+
+type jsonMember struct {
+	PubKey string `json:"pubkey"`
+	MsgKey string `json:"msgkey,omitempty"`
+}
+
+// MarshalJSON encodes the definition canonically (members in list
+// order, keys hex-encoded; IDs are derived, not stored).
+func (d *Definition) MarshalJSON() ([]byte, error) {
+	g := d.Group()
+	jd := jsonDef{Name: d.Name, Policy: d.Policy}
+	mg := d.MsgGroup()
+	for _, m := range d.Servers {
+		jm := jsonMember{PubKey: hex.EncodeToString(g.Encode(m.PubKey))}
+		if m.MsgPubKey != nil {
+			jm.MsgKey = hex.EncodeToString(mg.Encode(m.MsgPubKey))
+		}
+		jd.Servers = append(jd.Servers, jm)
+	}
+	for _, m := range d.Clients {
+		jd.Clients = append(jd.Clients, jsonMember{PubKey: hex.EncodeToString(g.Encode(m.PubKey))})
+	}
+	return json.Marshal(jd)
+}
+
+// UnmarshalJSON decodes and re-derives member IDs.
+func (d *Definition) UnmarshalJSON(data []byte) error {
+	var jd jsonDef
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return err
+	}
+	g := crypto.P256()
+	decode := func(jm jsonMember) (Member, error) {
+		raw, err := hex.DecodeString(jm.PubKey)
+		if err != nil {
+			return Member{}, fmt.Errorf("group: bad key hex: %w", err)
+		}
+		pub, err := g.Decode(raw)
+		if err != nil {
+			return Member{}, fmt.Errorf("group: bad key: %w", err)
+		}
+		return Member{ID: IDFromKey(g, pub), PubKey: pub}, nil
+	}
+	d.Name = jd.Name
+	d.Policy = jd.Policy
+	mg, err := crypto.GroupByName(jd.Policy.MessageGroup)
+	if err != nil {
+		return fmt.Errorf("group: %w", err)
+	}
+	d.Servers, d.Clients = nil, nil
+	for _, jm := range jd.Servers {
+		m, err := decode(jm)
+		if err != nil {
+			return err
+		}
+		if jm.MsgKey != "" {
+			raw, err := hex.DecodeString(jm.MsgKey)
+			if err != nil {
+				return fmt.Errorf("group: bad msg key hex: %w", err)
+			}
+			if m.MsgPubKey, err = mg.Decode(raw); err != nil {
+				return fmt.Errorf("group: bad msg key: %w", err)
+			}
+		}
+		d.Servers = append(d.Servers, m)
+	}
+	for _, jm := range jd.Clients {
+		m, err := decode(jm)
+		if err != nil {
+			return err
+		}
+		d.Clients = append(d.Clients, m)
+	}
+	return nil
+}
+
+// NewDefinition assembles a definition from raw public keys, deriving
+// IDs and sorting members by ID for canonical ordering. serverMsgKeys
+// are the servers' message-shuffle-group keys, parallel to serverKeys.
+func NewDefinition(name string, serverKeys, serverMsgKeys, clientKeys []crypto.Element, policy Policy) (*Definition, error) {
+	if len(serverMsgKeys) != len(serverKeys) {
+		return nil, errors.New("group: server key list lengths differ")
+	}
+	g := crypto.P256()
+	servers := make([]Member, len(serverKeys))
+	for i, k := range serverKeys {
+		servers[i] = Member{ID: IDFromKey(g, k), PubKey: k, MsgPubKey: serverMsgKeys[i]}
+	}
+	sort.Slice(servers, func(a, b int) bool {
+		return string(servers[a].ID[:]) < string(servers[b].ID[:])
+	})
+	clients := make([]Member, len(clientKeys))
+	for i, k := range clientKeys {
+		clients[i] = Member{ID: IDFromKey(g, k), PubKey: k}
+	}
+	sort.Slice(clients, func(a, b int) bool {
+		return string(clients[a].ID[:]) < string(clients[b].ID[:])
+	})
+	d := &Definition{
+		Name:    name,
+		Servers: servers,
+		Clients: clients,
+		Policy:  policy,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,178 @@
+// Package relay implements an onion-routing baseline — a small
+// Tor-like circuit simulator used as the comparison point in the
+// paper's web-browsing evaluation (Figures 10–11). It is deliberately
+// minimal: three-hop circuits, layered AES sealing, store-and-forward
+// relays over the simnet link model. The comparison needs a relaying
+// anonymity system with realistic per-hop costs, not a full Tor.
+package relay
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"time"
+
+	"dissent/internal/crypto"
+	"dissent/internal/simnet"
+)
+
+// Hop is one relay in a circuit.
+type Hop struct {
+	// Link models the path from the previous hop (or the client).
+	Link simnet.Link
+	// Uplink is the relay's access link, shared across circuits.
+	Uplink *simnet.Uplink
+	key    []byte
+}
+
+// Circuit is a three-hop (by convention) onion circuit. Payloads are
+// sealed under one AES-CTR layer per hop; each relay strips its layer
+// and forwards after serialization on its uplink.
+type Circuit struct {
+	Hops []Hop
+	// Exit models the final leg: exit relay to the origin server.
+	Exit simnet.Link
+	// CellSize is the fixed relay cell granularity (Tor uses 512 B).
+	CellSize int
+}
+
+// NewCircuit builds a circuit with per-hop keys.
+func NewCircuit(hops []Hop, exit simnet.Link, cellSize int) (*Circuit, error) {
+	if cellSize <= 0 {
+		cellSize = 512
+	}
+	c := &Circuit{Hops: hops, Exit: exit, CellSize: cellSize}
+	for i := range c.Hops {
+		key := make([]byte, 32)
+		if _, err := io.ReadFull(rand.Reader, key); err != nil {
+			return nil, err
+		}
+		c.Hops[i].key = key
+	}
+	return c, nil
+}
+
+// Seal applies all hop layers (innermost = exit hop) to a payload —
+// exercising the real cipher work a client performs per cell.
+func (c *Circuit) Seal(payload []byte) []byte {
+	out := append([]byte(nil), payload...)
+	for i := len(c.Hops) - 1; i >= 0; i-- {
+		crypto.NewAESPRNG(c.Hops[i].key).XORKeyStream(out, out)
+	}
+	return out
+}
+
+// Unseal strips layer i from a sealed payload in place.
+func (c *Circuit) Unseal(i int, payload []byte) {
+	crypto.NewAESPRNG(c.Hops[i].key).XORKeyStream(payload, payload)
+}
+
+// cells returns the number of fixed-size cells covering n bytes.
+func (c *Circuit) cells(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + c.CellSize - 1) / c.CellSize
+}
+
+// wireBytes is the padded on-wire size of n payload bytes.
+func (c *Circuit) wireBytes(n int) int { return c.cells(n) * c.CellSize }
+
+// RoundTrip schedules a request/response exchange over the circuit on
+// net, calling done with the completion time. reqLen travels outward
+// through every hop; the origin "thinks" for originDelay; respLen
+// travels back. Bytes are serialized on each relay's shared uplink, so
+// concurrent circuits through a busy relay contend — the effect that
+// gives relay systems their tail.
+func (c *Circuit) RoundTrip(net *simnet.Network, reqLen, respLen int, originDelay time.Duration, done func(at time.Time)) {
+	// Outward: client seals reqLen; each hop forwards.
+	sealed := c.Seal(make([]byte, c.wireBytes(reqLen)))
+	t := net.Now()
+	for i := range c.Hops {
+		hop := &c.Hops[i]
+		t = t.Add(hop.Link.Latency).Add(hop.Link.TransferTime(len(sealed)))
+		if hop.Uplink != nil {
+			t = hop.Uplink.Reserve(t, len(sealed))
+		}
+		c.Unseal(i, sealed)
+	}
+	// Exit leg and origin processing.
+	t = t.Add(c.Exit.Latency).Add(c.Exit.TransferTime(c.wireBytes(reqLen))).Add(originDelay)
+	// Response: origin to exit, then back through the hops.
+	resp := c.wireBytes(respLen)
+	t = t.Add(c.Exit.Latency).Add(c.Exit.TransferTime(resp))
+	for i := len(c.Hops) - 1; i >= 0; i-- {
+		hop := &c.Hops[i]
+		if hop.Uplink != nil {
+			t = hop.Uplink.Reserve(t, resp)
+		}
+		t = t.Add(hop.Link.Latency).Add(hop.Link.TransferTime(resp))
+	}
+	net.Schedule(t, done)
+}
+
+// Network is a pool of relays from which circuits are drawn, standing
+// in for the public Tor network's volunteer relays.
+type Network struct {
+	relays []relayNode
+	rng    *mrand.Rand
+}
+
+type relayNode struct {
+	link   simnet.Link
+	uplink *simnet.Uplink
+}
+
+// NetworkParams sizes a relay pool.
+type NetworkParams struct {
+	Relays int
+	// LatencyMin/Max bound per-hop WAN latencies.
+	LatencyMin, LatencyMax time.Duration
+	// RelayBandwidth is each relay's access-link bandwidth (bytes/s).
+	RelayBandwidth float64
+	Seed           int64
+}
+
+// DefaultTorParams models a 2012-era public relay path: wide-area
+// hops of 30–120 ms and relays pushing a few megabits per second per
+// client flow.
+func DefaultTorParams() NetworkParams {
+	return NetworkParams{
+		Relays:         40,
+		LatencyMin:     30 * time.Millisecond,
+		LatencyMax:     120 * time.Millisecond,
+		RelayBandwidth: simnet.Mbps(6),
+		Seed:           1,
+	}
+}
+
+// NewNetwork builds the relay pool.
+func NewNetwork(p NetworkParams) *Network {
+	rng := mrand.New(mrand.NewSource(p.Seed))
+	n := &Network{rng: rng}
+	for i := 0; i < p.Relays; i++ {
+		span := p.LatencyMax - p.LatencyMin
+		lat := p.LatencyMin + time.Duration(rng.Int63n(int64(span)+1))
+		n.relays = append(n.relays, relayNode{
+			link:   simnet.Link{Latency: lat, Bandwidth: p.RelayBandwidth},
+			uplink: &simnet.Uplink{Bandwidth: p.RelayBandwidth},
+		})
+	}
+	return n
+}
+
+// BuildCircuit samples a 3-hop circuit and an exit leg to an origin
+// with the given latency.
+func (n *Network) BuildCircuit(exitLatency time.Duration) (*Circuit, error) {
+	if len(n.relays) < 3 {
+		return nil, fmt.Errorf("relay: pool too small (%d)", len(n.relays))
+	}
+	idx := n.rng.Perm(len(n.relays))[:3]
+	hops := make([]Hop, 3)
+	for i, k := range idx {
+		hops[i] = Hop{Link: n.relays[k].link, Uplink: n.relays[k].uplink}
+	}
+	exit := simnet.Link{Latency: exitLatency, Bandwidth: simnet.Mbps(50)}
+	return NewCircuit(hops, exit, 512)
+}

@@ -1,0 +1,147 @@
+package relay
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dissent/internal/simnet"
+)
+
+func testCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	hops := make([]Hop, 3)
+	for i := range hops {
+		hops[i] = Hop{
+			Link:   simnet.Link{Latency: 50 * time.Millisecond, Bandwidth: simnet.Mbps(10)},
+			Uplink: &simnet.Uplink{Bandwidth: simnet.Mbps(10)},
+		}
+	}
+	c, err := NewCircuit(hops, simnet.Link{Latency: 30 * time.Millisecond, Bandwidth: simnet.Mbps(50)}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSealUnsealLayers(t *testing.T) {
+	c := testCircuit(t)
+	payload := []byte("GET / HTTP/1.1")
+	padded := make([]byte, c.wireBytes(len(payload)))
+	copy(padded, payload)
+	sealed := c.Seal(padded)
+	if bytes.Equal(sealed, padded) {
+		t.Fatal("sealing did not change the payload")
+	}
+	for i := 0; i < 3; i++ {
+		c.Unseal(i, sealed)
+	}
+	if !bytes.Equal(sealed, padded) {
+		t.Fatal("stripping all layers did not recover the payload")
+	}
+}
+
+func TestCellPadding(t *testing.T) {
+	c := testCircuit(t)
+	cases := []struct{ n, want int }{
+		{0, 512}, {1, 512}, {512, 512}, {513, 1024}, {2000, 2048},
+	}
+	for _, tc := range cases {
+		if got := c.wireBytes(tc.n); got != tc.want {
+			t.Errorf("wireBytes(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestRoundTripLatencyFloor(t *testing.T) {
+	c := testCircuit(t)
+	net := simnet.New(time.Unix(0, 0))
+	var doneAt time.Time
+	c.RoundTrip(net, 200, 10_000, 20*time.Millisecond, func(at time.Time) { doneAt = at })
+	net.Run(0)
+	if doneAt.IsZero() {
+		t.Fatal("round trip never completed")
+	}
+	// Lower bound: 2x (3 hop latencies + exit latency) + origin delay =
+	// 2*(150+30)ms + 20ms = 380ms.
+	elapsed := doneAt.Sub(time.Unix(0, 0))
+	if elapsed < 380*time.Millisecond {
+		t.Errorf("round trip %v below propagation floor", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("round trip %v implausibly slow", elapsed)
+	}
+}
+
+func TestRoundTripBandwidthMatters(t *testing.T) {
+	fast := testCircuit(t)
+	slowHops := make([]Hop, 3)
+	for i := range slowHops {
+		slowHops[i] = Hop{
+			Link:   simnet.Link{Latency: 50 * time.Millisecond, Bandwidth: simnet.Mbps(0.5)},
+			Uplink: &simnet.Uplink{Bandwidth: simnet.Mbps(0.5)},
+		}
+	}
+	slow, _ := NewCircuit(slowHops, simnet.Link{Latency: 30 * time.Millisecond, Bandwidth: simnet.Mbps(50)}, 512)
+
+	run := func(c *Circuit) time.Duration {
+		net := simnet.New(time.Unix(0, 0))
+		var doneAt time.Time
+		c.RoundTrip(net, 200, 500_000, 0, func(at time.Time) { doneAt = at })
+		net.Run(0)
+		return doneAt.Sub(time.Unix(0, 0))
+	}
+	if run(slow) <= run(fast) {
+		t.Error("slow circuit not slower than fast circuit for a bulk response")
+	}
+}
+
+func TestRelayContention(t *testing.T) {
+	// Two circuits sharing the same relays contend on uplinks: two
+	// concurrent bulk transfers must take longer than one.
+	c := testCircuit(t)
+	one := func(k int) time.Duration {
+		net := simnet.New(time.Unix(0, 0))
+		var last time.Time
+		for i := 0; i < k; i++ {
+			c.RoundTrip(net, 200, 2_000_000, 0, func(at time.Time) {
+				if at.After(last) {
+					last = at
+				}
+			})
+		}
+		net.Run(0)
+		return last.Sub(time.Unix(0, 0))
+	}
+	t1 := one(1)
+	// Fresh circuit for fair state.
+	c = testCircuit(t)
+	t2 := one(2)
+	if t2 <= t1 {
+		t.Errorf("2 concurrent transfers (%v) not slower than 1 (%v)", t2, t1)
+	}
+}
+
+func TestNetworkBuildCircuit(t *testing.T) {
+	n := NewNetwork(DefaultTorParams())
+	c, err := n.BuildCircuit(40 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Hops) != 3 {
+		t.Fatalf("circuit has %d hops, want 3", len(c.Hops))
+	}
+	p := DefaultTorParams()
+	for _, h := range c.Hops {
+		if h.Link.Latency < p.LatencyMin || h.Link.Latency > p.LatencyMax {
+			t.Errorf("hop latency %v outside configured range", h.Link.Latency)
+		}
+	}
+}
+
+func TestNetworkTooSmall(t *testing.T) {
+	n := NewNetwork(NetworkParams{Relays: 2, LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond})
+	if _, err := n.BuildCircuit(0); err == nil {
+		t.Error("circuit built from a 2-relay pool")
+	}
+}

@@ -1,0 +1,201 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+
+	"dissent/internal/crypto"
+)
+
+// Wire encoding for StepOutput, used when shuffle steps travel between
+// servers (internal/core MsgShuffleStep / MsgBlameStep).
+
+var errTruncated = errors.New("shuffle: truncated encoding")
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+type rbuf struct{ b []byte }
+
+func (r *rbuf) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, errTruncated
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *rbuf) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.b)) < n {
+		return nil, errTruncated
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func encodeVecList(w *wbuf, g crypto.Group, vs []Vec) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.u32(uint32(len(v)))
+		for _, ct := range v {
+			w.b = append(w.b, crypto.EncodeCiphertext(g, ct)...)
+		}
+	}
+}
+
+func decodeVecList(r *rbuf, g crypto.Group) ([]Vec, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	ctLen := 2 * g.ElementLen()
+	if uint64(n)*4 > uint64(len(r.b))+4 {
+		return nil, errTruncated
+	}
+	out := make([]Vec, n)
+	for i := range out {
+		w, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(w)*uint64(ctLen) > uint64(len(r.b)) {
+			return nil, errTruncated
+		}
+		out[i] = make(Vec, w)
+		for c := range out[i] {
+			ct, err := crypto.DecodeCiphertext(g, r.b[:ctLen])
+			if err != nil {
+				return nil, err
+			}
+			r.b = r.b[ctLen:]
+			out[i][c] = ct
+		}
+	}
+	return out, nil
+}
+
+// EncodeStepOutput serializes a StepOutput for transmission.
+func EncodeStepOutput(g crypto.Group, s *StepOutput) []byte {
+	var w wbuf
+	encodeVecList(&w, g, s.Shuffled)
+	encodeVecList(&w, g, s.Stripped)
+	encodeVecList(&w, g, s.Shares)
+	// Proof.
+	w.u32(uint32(len(s.Proof.Shadows)))
+	for t := range s.Proof.Shadows {
+		encodeVecList(&w, g, s.Proof.Shadows[t])
+		perm := s.Proof.Perms[t]
+		w.u32(uint32(len(perm)))
+		for _, p := range perm {
+			w.u32(uint32(p))
+		}
+		rnd := s.Proof.Rands[t]
+		w.u32(uint32(len(rnd)))
+		for _, row := range rnd {
+			w.u32(uint32(len(row)))
+			for _, k := range row {
+				w.bytes(k.Bytes())
+			}
+		}
+	}
+	// DLEQ.
+	w.bytes(s.DLEQ.C.Bytes())
+	w.bytes(s.DLEQ.Z.Bytes())
+	return w.b
+}
+
+// DecodeStepOutput parses an encoded StepOutput.
+func DecodeStepOutput(g crypto.Group, data []byte) (*StepOutput, error) {
+	r := rbuf{data}
+	out := &StepOutput{Proof: &Proof{}}
+	var err error
+	if out.Shuffled, err = decodeVecList(&r, g); err != nil {
+		return nil, err
+	}
+	if out.Stripped, err = decodeVecList(&r, g); err != nil {
+		return nil, err
+	}
+	if out.Shares, err = decodeVecList(&r, g); err != nil {
+		return nil, err
+	}
+	nShadows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nShadows) > uint64(len(r.b)) {
+		return nil, errTruncated
+	}
+	out.Proof.Shadows = make([][]Vec, nShadows)
+	out.Proof.Perms = make([][]int, nShadows)
+	out.Proof.Rands = make([][][]*big.Int, nShadows)
+	for t := range out.Proof.Shadows {
+		if out.Proof.Shadows[t], err = decodeVecList(&r, g); err != nil {
+			return nil, err
+		}
+		np, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(np)*4 > uint64(len(r.b)) {
+			return nil, errTruncated
+		}
+		out.Proof.Perms[t] = make([]int, np)
+		for i := range out.Proof.Perms[t] {
+			v, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			out.Proof.Perms[t][i] = int(v)
+		}
+		nr, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(nr)*4 > uint64(len(r.b))+4 {
+			return nil, errTruncated
+		}
+		out.Proof.Rands[t] = make([][]*big.Int, nr)
+		for i := range out.Proof.Rands[t] {
+			nc, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if uint64(nc)*4 > uint64(len(r.b))+4 {
+				return nil, errTruncated
+			}
+			out.Proof.Rands[t][i] = make([]*big.Int, nc)
+			for c := range out.Proof.Rands[t][i] {
+				kb, err := r.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Proof.Rands[t][i][c] = new(big.Int).SetBytes(kb)
+			}
+		}
+	}
+	cb, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	zb, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	out.DLEQ = crypto.DLEQProof{C: new(big.Int).SetBytes(cb), Z: new(big.Int).SetBytes(zb)}
+	if len(r.b) != 0 {
+		return nil, errors.New("shuffle: trailing bytes in step encoding")
+	}
+	return out, nil
+}

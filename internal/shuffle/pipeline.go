@@ -1,0 +1,154 @@
+package shuffle
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dissent/internal/crypto"
+)
+
+// StepOutput is everything server j publishes for its turn in the mix:
+// the re-encrypted permuted list, the permutation proof, the stripped
+// list (its decryption layer removed), the decryption shares, and a
+// batch Chaum–Pedersen proof that the shares match its public key.
+type StepOutput struct {
+	Shuffled []Vec
+	Proof    *Proof
+	Stripped []Vec
+	Shares   []Vec // share vectors: Shares[i][c].C1 unused; kept as Ciphertext for shape symmetry
+	DLEQ     crypto.DLEQProof
+}
+
+// shareElements flattens C1 bases and share values for batch DLEQ.
+func flattenForDLEQ(g crypto.Group, cts []Vec, shares []Vec) (bs, ds []crypto.Element) {
+	for i := range cts {
+		for c := range cts[i] {
+			bs = append(bs, cts[i][c].C1)
+			ds = append(ds, shares[i][c].C2)
+		}
+	}
+	return bs, ds
+}
+
+// Step runs one server's turn: re-encrypt+permute under remainingKey
+// (the aggregate of this and all later servers' public keys), prove the
+// permutation with the given shadow count, then verifiably strip this
+// server's layer.
+func Step(g crypto.Group, key *crypto.KeyPair, remainingKey crypto.Element, in []Vec, shadows int, r io.Reader) (*StepOutput, error) {
+	if key.Private == nil {
+		return nil, errors.New("shuffle: server step requires a private key")
+	}
+	shuffled, _, proof, err := Prove(g, remainingKey, in, shadows, r)
+	if err != nil {
+		return nil, err
+	}
+	out := &StepOutput{Shuffled: shuffled, Proof: proof}
+	out.Stripped = make([]Vec, len(shuffled))
+	out.Shares = make([]Vec, len(shuffled))
+	for i, v := range shuffled {
+		out.Stripped[i] = make(Vec, len(v))
+		out.Shares[i] = make(Vec, len(v))
+		for c, ct := range v {
+			share := crypto.DecryptShare(g, key.Private, ct)
+			out.Shares[i][c] = crypto.Ciphertext{C1: ct.C1, C2: share}
+			out.Stripped[i][c] = crypto.StripLayer(g, ct, share)
+		}
+	}
+	bs, ds := flattenForDLEQ(g, shuffled, out.Shares)
+	ctx := crypto.Hash("dissent/shuffle-strip", g.Encode(key.Public), encodeVecs(g, shuffled))
+	dleq, err := crypto.ProveDLEQBatch(g, key.Private, bs, ds, key.Public, ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	out.DLEQ = dleq
+	return out, nil
+}
+
+// VerifyStep checks one server's published StepOutput against its
+// input list, public key, and the remaining aggregate key.
+func VerifyStep(g crypto.Group, serverPub, remainingKey crypto.Element, in []Vec, out *StepOutput) error {
+	if out == nil {
+		return ErrShape
+	}
+	if err := Verify(g, remainingKey, in, out.Shuffled, out.Proof); err != nil {
+		return err
+	}
+	n := len(out.Shuffled)
+	if len(out.Stripped) != n || len(out.Shares) != n {
+		return ErrShape
+	}
+	// Check the stripped list is consistent with the published shares
+	// and that the shares carry the server's key exponent.
+	for i := 0; i < n; i++ {
+		if len(out.Stripped[i]) != len(out.Shuffled[i]) || len(out.Shares[i]) != len(out.Shuffled[i]) {
+			return ErrShape
+		}
+		for c := range out.Shuffled[i] {
+			want := crypto.StripLayer(g, out.Shuffled[i][c], out.Shares[i][c].C2)
+			got := out.Stripped[i][c]
+			if !g.Equal(want.C1, got.C1) || !g.Equal(want.C2, got.C2) {
+				return fmt.Errorf("%w: stripped list inconsistent at %d/%d", ErrBadShares, i, c)
+			}
+		}
+	}
+	bs, ds := flattenForDLEQ(g, out.Shuffled, out.Shares)
+	ctx := crypto.Hash("dissent/shuffle-strip", g.Encode(serverPub), encodeVecs(g, out.Shuffled))
+	if err := crypto.VerifyDLEQBatch(g, bs, ds, serverPub, out.DLEQ, ctx); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadShares, err)
+	}
+	return nil
+}
+
+// Run executes a complete mix locally: every server shuffles and strips
+// in order, each step verified by the caller on behalf of all other
+// servers. It returns the final plaintext vectors (as elements) plus
+// each step's output for auditing. Run is used by tests and by the
+// in-process session bootstrap; the networked protocol in internal/core
+// performs the same steps across transports.
+func Run(g crypto.Group, servers []*crypto.KeyPair, inputs []Vec, shadows int, r io.Reader) ([][]crypto.Element, []*StepOutput, error) {
+	if len(servers) == 0 {
+		return nil, nil, errors.New("shuffle: no servers")
+	}
+	pubs := make([]crypto.Element, len(servers))
+	for i, s := range servers {
+		pubs[i] = s.Public
+	}
+	cur := inputs
+	steps := make([]*StepOutput, 0, len(servers))
+	for j, srv := range servers {
+		remaining := crypto.AggregateKeys(g, pubs[j:])
+		out, err := Step(g, srv, remaining, cur, shadows, r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shuffle: server %d: %w", j, err)
+		}
+		if err := VerifyStep(g, srv.Public, remaining, cur, out); err != nil {
+			return nil, nil, fmt.Errorf("shuffle: server %d: %w", j, err)
+		}
+		steps = append(steps, out)
+		cur = out.Stripped
+	}
+	plain := make([][]crypto.Element, len(cur))
+	for i, v := range cur {
+		plain[i] = make([]crypto.Element, len(v))
+		for c, ct := range v {
+			plain[i][c] = ct.C2
+		}
+	}
+	return plain, steps, nil
+}
+
+// PrepareInput onion-encrypts a vector of plaintext elements under the
+// aggregate of all server keys, producing a shuffle input.
+func PrepareInput(g crypto.Group, serverPubs []crypto.Element, plain []crypto.Element, r io.Reader) (Vec, error) {
+	agg := crypto.AggregateKeys(g, serverPubs)
+	v := make(Vec, len(plain))
+	for c, m := range plain {
+		ct, _, err := crypto.Encrypt(g, agg, m, r)
+		if err != nil {
+			return nil, err
+		}
+		v[c] = ct
+	}
+	return v, nil
+}

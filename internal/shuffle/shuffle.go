@@ -1,0 +1,285 @@
+// Package shuffle implements Dissent's verifiable shuffle (§3.10): a
+// serial ElGamal re-encryption/decryption mix over an anytrust server
+// set. Each server in turn re-randomizes and permutes the ciphertext
+// list, proves the permutation with a shadow-mix (cut-and-choose)
+// proof, and verifiably strips its own decryption layer with a batch
+// Chaum–Pedersen proof. If at least one server is honest, no coalition
+// of the others learns the permutation; if any server cheats, every
+// honest server detects it.
+//
+// The shuffle operates on fixed-width vectors of ciphertexts so that
+// multi-element messages (general message shuffles, e.g. accusations)
+// travel as units; pseudonym-key shuffles use width 1.
+package shuffle
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"dissent/internal/crypto"
+)
+
+// Vec is one shuffle input: a fixed-width vector of ElGamal
+// ciphertexts that is permuted as a unit.
+type Vec []crypto.Ciphertext
+
+// Errors returned by shuffle verification.
+var (
+	ErrBadProof  = errors.New("shuffle: proof verification failed")
+	ErrBadShares = errors.New("shuffle: decryption share proof failed")
+	ErrShape     = errors.New("shuffle: inconsistent input shape")
+)
+
+// DefaultShadows is the default shadow count k for the cut-and-choose
+// permutation proof: a cheating server escapes detection with
+// probability 2^-k.
+const DefaultShadows = 16
+
+// Permutation returns a uniform permutation of [0,n) using randomness
+// from r (crypto/rand if nil).
+func Permutation(n int, r io.Reader) ([]int, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Fisher–Yates with rejection-free uniform draws.
+	for i := n - 1; i > 0; i-- {
+		jBig, err := rand.Int(r, big.NewInt(int64(i+1)))
+		if err != nil {
+			return nil, err
+		}
+		j := int(jBig.Int64())
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}
+
+// invertPerm returns the inverse permutation.
+func invertPerm(p []int) []int {
+	inv := make([]int, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// isPerm reports whether p is a permutation of [0,len(p)).
+func isPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// reencVec re-encrypts every component of v under key y with explicit
+// randomness ks (one scalar per component).
+func reencVec(g crypto.Group, y crypto.Element, v Vec, ks []*big.Int) Vec {
+	out := make(Vec, len(v))
+	for i, ct := range v {
+		out[i] = crypto.ReencryptWith(g, y, ct, ks[i])
+	}
+	return out
+}
+
+// shuffleOnce applies output[i] = reenc(input[perm[i]], rnd[i]) across
+// a whole list of vectors.
+func shuffleOnce(g crypto.Group, y crypto.Element, in []Vec, perm []int, rnd [][]*big.Int) []Vec {
+	out := make([]Vec, len(in))
+	for i := range out {
+		out[i] = reencVec(g, y, in[perm[i]], rnd[i])
+	}
+	return out
+}
+
+// randMatrix draws a len(in) x width matrix of scalars.
+func randMatrix(g crypto.Group, n, width int, r io.Reader) ([][]*big.Int, error) {
+	m := make([][]*big.Int, n)
+	for i := range m {
+		m[i] = make([]*big.Int, width)
+		for j := range m[i] {
+			k, err := g.RandomScalar(r)
+			if err != nil {
+				return nil, err
+			}
+			m[i][j] = k
+		}
+	}
+	return m, nil
+}
+
+// Proof is a shadow-mix proof that an output list is a re-encrypted
+// permutation of an input list under a known public key. For each of k
+// independent "shadow" shuffles the Fiat–Shamir challenge bit selects
+// which side to open: the shadow's own permutation (left), or the
+// composition taking the shadow to the real output (right). A prover
+// who does not know a valid permutation fails each challenge with
+// probability 1/2.
+type Proof struct {
+	Shadows [][]Vec        // k shadow shuffles of the input
+	Perms   [][]int        // revealed permutation per shadow (σ or ρ)
+	Rands   [][][]*big.Int // revealed randomness per shadow (s or u)
+}
+
+// Prove shuffles in under key y and returns the output list, the
+// permutation and randomness used (needed later for decryption
+// bookkeeping by callers that are also the prover), and the proof.
+func Prove(g crypto.Group, y crypto.Element, in []Vec, shadows int, r io.Reader) (out []Vec, perm []int, proof *Proof, err error) {
+	n := len(in)
+	if n == 0 {
+		return nil, nil, nil, errors.New("shuffle: empty input")
+	}
+	width := len(in[0])
+	for _, v := range in {
+		if len(v) != width {
+			return nil, nil, nil, ErrShape
+		}
+	}
+	perm, err = Permutation(n, r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rnd, err := randMatrix(g, n, width, r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out = shuffleOnce(g, y, in, perm, rnd)
+
+	proof = &Proof{
+		Shadows: make([][]Vec, shadows),
+		Perms:   make([][]int, shadows),
+		Rands:   make([][][]*big.Int, shadows),
+	}
+	sigma := make([][]int, shadows)
+	srnd := make([][][]*big.Int, shadows)
+	for t := 0; t < shadows; t++ {
+		sigma[t], err = Permutation(n, r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srnd[t], err = randMatrix(g, n, width, r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		proof.Shadows[t] = shuffleOnce(g, y, in, sigma[t], srnd[t])
+	}
+
+	challenge := challengeBits(g, y, in, out, proof.Shadows)
+	q := g.Order()
+	for t := 0; t < shadows; t++ {
+		if challenge[t] == 0 {
+			// Open the shadow itself.
+			proof.Perms[t] = sigma[t]
+			proof.Rands[t] = srnd[t]
+			continue
+		}
+		// Open the composition shadow→output:
+		// out[i] = reenc(in[perm[i]]); shadow[m] = reenc(in[sigma[m]]).
+		// Choose m with sigma[m] = perm[i], i.e. m = sigmaInv[perm[i]].
+		// Then out[i] = reenc(shadow[rho[i]], u[i]) with
+		// u[i][c] = rnd[i][c] - srnd[rho[i]][c].
+		sigmaInv := invertPerm(sigma[t])
+		rho := make([]int, n)
+		u := make([][]*big.Int, n)
+		for i := 0; i < n; i++ {
+			rho[i] = sigmaInv[perm[i]]
+			u[i] = make([]*big.Int, width)
+			for c := 0; c < width; c++ {
+				d := new(big.Int).Sub(rnd[i][c], srnd[t][rho[i]][c])
+				u[i][c] = d.Mod(d, q)
+			}
+		}
+		proof.Perms[t] = rho
+		proof.Rands[t] = u
+	}
+	return out, perm, proof, nil
+}
+
+// Verify checks that out is a valid re-encrypted permutation of in
+// under key y according to proof.
+func Verify(g crypto.Group, y crypto.Element, in, out []Vec, proof *Proof) error {
+	n := len(in)
+	if n == 0 || len(out) != n || proof == nil {
+		return ErrShape
+	}
+	width := len(in[0])
+	for _, v := range in {
+		if len(v) != width {
+			return ErrShape
+		}
+	}
+	for _, v := range out {
+		if len(v) != width {
+			return ErrShape
+		}
+	}
+	k := len(proof.Shadows)
+	if len(proof.Perms) != k || len(proof.Rands) != k || k == 0 {
+		return ErrBadProof
+	}
+	challenge := challengeBits(g, y, in, out, proof.Shadows)
+	for t := 0; t < k; t++ {
+		shadow := proof.Shadows[t]
+		p := proof.Perms[t]
+		rnd := proof.Rands[t]
+		if len(shadow) != n || len(p) != n || len(rnd) != n || !isPerm(p) {
+			return ErrBadProof
+		}
+		var src, dst []Vec
+		if challenge[t] == 0 {
+			src, dst = in, shadow // shadow[i] = reenc(in[p[i]], rnd[i])
+		} else {
+			src, dst = shadow, out // out[i] = reenc(shadow[p[i]], rnd[i])
+		}
+		for i := 0; i < n; i++ {
+			if len(rnd[i]) != width || len(dst[i]) != width {
+				return ErrBadProof
+			}
+			want := reencVec(g, y, src[p[i]], rnd[i])
+			for c := 0; c < width; c++ {
+				if !g.Equal(want[c].C1, dst[i][c].C1) || !g.Equal(want[c].C2, dst[i][c].C2) {
+					return fmt.Errorf("%w: shadow %d item %d", ErrBadProof, t, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// challengeBits derives one Fiat–Shamir bit per shadow from the full
+// transcript (key, input, output, all shadow lists).
+func challengeBits(g crypto.Group, y crypto.Element, in, out []Vec, shadows [][]Vec) []byte {
+	parts := [][]byte{g.Encode(y), encodeVecs(g, in), encodeVecs(g, out)}
+	for _, s := range shadows {
+		parts = append(parts, encodeVecs(g, s))
+	}
+	seed := crypto.Hash("dissent/shuffle-challenge", parts...)
+	bits := make([]byte, len(shadows))
+	for t := range bits {
+		if t/8 >= len(seed) {
+			// Extend the digest for k > 256 shadows.
+			seed = append(seed, crypto.Hash("dissent/shuffle-challenge-ext", seed)...)
+		}
+		bits[t] = (seed[t/8] >> (uint(t) % 8)) & 1
+	}
+	return bits
+}
+
+func encodeVecs(g crypto.Group, vs []Vec) []byte {
+	var buf []byte
+	for _, v := range vs {
+		for _, ct := range v {
+			buf = append(buf, crypto.EncodeCiphertext(g, ct)...)
+		}
+	}
+	return buf
+}

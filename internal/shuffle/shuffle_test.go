@@ -1,0 +1,344 @@
+package shuffle
+
+import (
+	"math/big"
+	"sort"
+	"testing"
+
+	"dissent/internal/crypto"
+)
+
+const testShadows = 6
+
+func TestPermutationUniform(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17} {
+		p, err := Permutation(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isPerm(p) {
+			t.Fatalf("Permutation(%d) = %v not a permutation", n, p)
+		}
+	}
+	// Statistical smoke test: over many draws of n=3, each of the 6
+	// orders should appear.
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		p, _ := Permutation(3, nil)
+		seen[string([]byte{byte(p[0]), byte(p[1]), byte(p[2])})] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("saw %d/6 permutations of 3 elements in 200 draws", len(seen))
+	}
+}
+
+func TestInvertPerm(t *testing.T) {
+	p := []int{2, 0, 3, 1}
+	inv := invertPerm(p)
+	for i := range p {
+		if inv[p[i]] != i {
+			t.Fatalf("invertPerm wrong at %d", i)
+		}
+	}
+}
+
+func TestIsPerm(t *testing.T) {
+	cases := []struct {
+		p  []int
+		ok bool
+	}{
+		{[]int{0}, true},
+		{[]int{1, 0, 2}, true},
+		{[]int{0, 0, 2}, false},
+		{[]int{0, 3, 1}, false},
+		{[]int{-1, 0, 1}, false},
+		{nil, true},
+	}
+	for _, c := range cases {
+		if got := isPerm(c.p); got != c.ok {
+			t.Errorf("isPerm(%v) = %v, want %v", c.p, got, c.ok)
+		}
+	}
+}
+
+// makeInputs builds n width-w shuffle inputs of random elements under a
+// single keypair, returning the plaintexts for later comparison.
+func makeInputs(t *testing.T, g crypto.Group, key crypto.Element, n, w int) ([]Vec, [][]crypto.Element) {
+	t.Helper()
+	in := make([]Vec, n)
+	plain := make([][]crypto.Element, n)
+	for i := range in {
+		in[i] = make(Vec, w)
+		plain[i] = make([]crypto.Element, w)
+		for c := 0; c < w; c++ {
+			m, err := g.RandomElement(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain[i][c] = m
+			ct, _, err := crypto.Encrypt(g, key, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in[i][c] = ct
+		}
+	}
+	return in, plain
+}
+
+func TestProveVerify(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	for _, shape := range []struct{ n, w int }{{1, 1}, {4, 1}, {5, 3}} {
+		in, _ := makeInputs(t, g, kp.Public, shape.n, shape.w)
+		out, perm, proof, err := Prove(g, kp.Public, in, testShadows, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isPerm(perm) {
+			t.Fatal("Prove returned a non-permutation")
+		}
+		if err := Verify(g, kp.Public, in, out, proof); err != nil {
+			t.Errorf("n=%d w=%d: valid proof rejected: %v", shape.n, shape.w, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedOutput(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 4, 1)
+	out, _, proof, err := Prove(g, kp.Public, in, testShadows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace one output ciphertext with an encryption of a different
+	// message; all challenge bits that open the right side now fail.
+	evil, _ := g.RandomElement(nil)
+	ct, _, _ := crypto.Encrypt(g, kp.Public, evil, nil)
+	out[2][0] = ct
+	if err := Verify(g, kp.Public, in, out, proof); err == nil {
+		t.Error("tampered output accepted")
+	}
+}
+
+func TestVerifyRejectsShapeMismatch(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 3, 1)
+	out, _, proof, _ := Prove(g, kp.Public, in, testShadows, nil)
+
+	if err := Verify(g, kp.Public, in[:2], out, proof); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Verify(g, kp.Public, in, out, nil); err == nil {
+		t.Error("nil proof accepted")
+	}
+	bad := *proof
+	bad.Perms = bad.Perms[:1]
+	if err := Verify(g, kp.Public, in, out, &bad); err == nil {
+		t.Error("truncated proof accepted")
+	}
+}
+
+func TestVerifyRejectsForgedPermutationReveal(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 4, 1)
+	out, _, proof, _ := Prove(g, kp.Public, in, testShadows, nil)
+	proof.Perms[0] = []int{0, 0, 1, 2} // not a permutation
+	if err := Verify(g, kp.Public, in, out, proof); err == nil {
+		t.Error("non-permutation reveal accepted")
+	}
+}
+
+func TestStepAndVerifyStep(t *testing.T) {
+	g := crypto.P256()
+	srv, _ := crypto.GenerateKeyPair(g, nil)
+	in, plain := makeInputs(t, g, srv.Public, 4, 2)
+	out, err := Step(g, srv, srv.Public, in, testShadows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyStep(g, srv.Public, srv.Public, in, out); err != nil {
+		t.Fatalf("valid step rejected: %v", err)
+	}
+	// Single server: stripped C2 values are the plaintexts, permuted.
+	got := encodeSorted(g, flattenPlain(out))
+	want := encodeSorted(g, plain)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("stripped plaintexts differ from inputs")
+		}
+	}
+}
+
+func flattenPlain(out *StepOutput) [][]crypto.Element {
+	res := make([][]crypto.Element, len(out.Stripped))
+	for i, v := range out.Stripped {
+		res[i] = make([]crypto.Element, len(v))
+		for c, ct := range v {
+			res[i][c] = ct.C2
+		}
+	}
+	return res
+}
+
+func encodeSorted(g crypto.Group, vs [][]crypto.Element) []string {
+	var ss []string
+	for _, v := range vs {
+		var s string
+		for _, e := range v {
+			s += string(g.Encode(e))
+		}
+		ss = append(ss, s)
+	}
+	sort.Strings(ss)
+	return ss
+}
+
+func TestVerifyStepRejectsWrongShare(t *testing.T) {
+	g := crypto.P256()
+	srv, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, srv.Public, 3, 1)
+	out, _ := Step(g, srv, srv.Public, in, testShadows, nil)
+
+	// A malicious server publishes a corrupted share (and a matching
+	// stripped value so the consistency check alone can't catch it);
+	// the DLEQ batch proof must fail.
+	forged, _ := g.RandomElement(nil)
+	out.Shares[1][0].C2 = forged
+	out.Stripped[1][0] = crypto.StripLayer(g, out.Shuffled[1][0], forged)
+	if err := VerifyStep(g, srv.Public, srv.Public, in, out); err == nil {
+		t.Error("forged decryption share accepted")
+	}
+}
+
+func TestRunMultiServer(t *testing.T) {
+	g := crypto.P256()
+	const m, n = 3, 5
+	servers := make([]*crypto.KeyPair, m)
+	pubs := make([]crypto.Element, m)
+	for i := range servers {
+		servers[i], _ = crypto.GenerateKeyPair(g, nil)
+		pubs[i] = servers[i].Public
+	}
+	plain := make([][]crypto.Element, n)
+	in := make([]Vec, n)
+	for i := range in {
+		e, _ := g.RandomElement(nil)
+		plain[i] = []crypto.Element{e}
+		v, err := PrepareInput(g, pubs, plain[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in[i] = v
+	}
+	outPlain, steps, err := Run(g, servers, in, testShadows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != m {
+		t.Fatalf("got %d steps, want %d", len(steps), m)
+	}
+	got := encodeSorted(g, outPlain)
+	want := encodeSorted(g, plain)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("multi-server shuffle lost or corrupted a message")
+		}
+	}
+}
+
+func TestRunNoServers(t *testing.T) {
+	g := crypto.P256()
+	if _, _, err := Run(g, nil, nil, testShadows, nil); err == nil {
+		t.Error("Run with no servers succeeded")
+	}
+}
+
+func TestProveEmptyInput(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	if _, _, _, err := Prove(g, kp.Public, nil, testShadows, nil); err == nil {
+		t.Error("Prove of empty input succeeded")
+	}
+}
+
+func TestProofSoundnessStatistical(t *testing.T) {
+	// A forged proof for an unrelated output list should be rejected;
+	// with k shadows the accept probability is 2^-k, so build the proof
+	// honestly for (in -> out1) but present out2.
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 3, 1)
+	_, _, proof, _ := Prove(g, kp.Public, in, 12, nil)
+	other, _ := makeInputs(t, g, kp.Public, 3, 1)
+	if err := Verify(g, kp.Public, in, other, proof); err == nil {
+		t.Error("proof transplanted to unrelated output accepted")
+	}
+}
+
+func TestShadowRandomnessInRange(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 3, 1)
+	_, _, proof, _ := Prove(g, kp.Public, in, testShadows, nil)
+	q := g.Order()
+	for t2, rnd := range proof.Rands {
+		for _, row := range rnd {
+			for _, k := range row {
+				if k.Sign() < 0 || k.Cmp(q) >= 0 {
+					t.Fatalf("shadow %d randomness out of range", t2)
+				}
+			}
+		}
+	}
+}
+
+func TestChallengeBitsDeterministic(t *testing.T) {
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 2, 1)
+	out, _, proof, _ := Prove(g, kp.Public, in, testShadows, nil)
+	b1 := challengeBits(g, kp.Public, in, out, proof.Shadows)
+	b2 := challengeBits(g, kp.Public, in, out, proof.Shadows)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("challenge bits not deterministic")
+		}
+	}
+	// Changing the output must change the challenge (with overwhelming
+	// probability at least one bit among many trials — here just check
+	// the byte strings differ).
+	out2 := append([]Vec(nil), out...)
+	out2[0] = out[1]
+	out2[1] = out[0]
+	b3 := challengeBits(g, kp.Public, in, out2, proof.Shadows)
+	same := true
+	for i := range b1 {
+		if b1[i] != b3[i] {
+			same = false
+		}
+	}
+	if same && len(b1) >= 6 {
+		t.Log("warning: challenge unchanged after output swap (possible but unlikely)")
+	}
+}
+
+func TestManyShadowsChallengeExtension(t *testing.T) {
+	// Exercise the digest-extension path (k > 256 would need it; use a
+	// smaller k but confirm bits exist for each shadow).
+	g := crypto.P256()
+	kp, _ := crypto.GenerateKeyPair(g, nil)
+	in, _ := makeInputs(t, g, kp.Public, 1, 1)
+	out, _, proof, err := Prove(g, kp.Public, in, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, kp.Public, in, out, proof); err != nil {
+		t.Errorf("k=20 proof rejected: %v", err)
+	}
+}
+
+var _ = big.NewInt // keep math/big import if edits drop usages

@@ -1,0 +1,228 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func t0() time.Time { return time.Unix(1_000_000, 0) }
+
+func TestEventOrdering(t *testing.T) {
+	n := New(t0())
+	var got []int
+	n.Schedule(t0().Add(3*time.Second), func(time.Time) { got = append(got, 3) })
+	n.Schedule(t0().Add(1*time.Second), func(time.Time) { got = append(got, 1) })
+	n.Schedule(t0().Add(2*time.Second), func(time.Time) { got = append(got, 2) })
+	n.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if n.Now() != t0().Add(3*time.Second) {
+		t.Errorf("clock = %v", n.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	n := New(t0())
+	var got []int
+	at := t0().Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		n.Schedule(at, func(time.Time) { got = append(got, i) })
+	}
+	n.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	n := New(t0())
+	n.Schedule(t0().Add(time.Second), func(now time.Time) {
+		n.Schedule(t0(), func(now2 time.Time) {
+			if now2.Before(now) {
+				t.Error("event ran in the past")
+			}
+		})
+	})
+	n.Run(0)
+}
+
+func TestNestedScheduling(t *testing.T) {
+	n := New(t0())
+	count := 0
+	var chain func(now time.Time)
+	chain = func(now time.Time) {
+		count++
+		if count < 10 {
+			n.After(time.Millisecond, chain)
+		}
+	}
+	n.After(0, chain)
+	n.Run(0)
+	if count != 10 {
+		t.Errorf("chain ran %d times", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := New(t0())
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		n.Schedule(t0().Add(time.Duration(i)*time.Second), func(time.Time) { ran++ })
+	}
+	n.RunUntil(t0().Add(3 * time.Second))
+	if ran != 3 {
+		t.Errorf("ran %d events, want 3", ran)
+	}
+	if n.Pending() != 2 {
+		t.Errorf("pending %d, want 2", n.Pending())
+	}
+	if !n.Now().Equal(t0().Add(3 * time.Second)) {
+		t.Errorf("clock %v", n.Now())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	n := New(t0())
+	for i := 0; i < 10; i++ {
+		n.Schedule(t0(), func(time.Time) {})
+	}
+	if got := n.Run(4); got != 4 {
+		t.Errorf("Run(4) executed %d", got)
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: 10 * time.Millisecond, Bandwidth: Mbps(100)}
+	// 12500 bytes at 100 Mbit/s = 1 ms.
+	if got := l.TransferTime(12500); got != time.Millisecond {
+		t.Errorf("TransferTime = %v, want 1ms", got)
+	}
+	inf := Link{}
+	if inf.TransferTime(1<<30) != 0 {
+		t.Error("infinite link should transfer instantly")
+	}
+}
+
+func TestUplinkSerialization(t *testing.T) {
+	u := &Uplink{Bandwidth: 1000} // 1000 B/s
+	start := t0()
+	d1 := u.Reserve(start, 500) // 0.5s
+	if d1 != start.Add(500*time.Millisecond) {
+		t.Errorf("first reservation done at %v", d1)
+	}
+	// Second message queues behind the first.
+	d2 := u.Reserve(start, 500)
+	if d2 != start.Add(time.Second) {
+		t.Errorf("second reservation done at %v", d2)
+	}
+	// After idle time, no queueing.
+	d3 := u.Reserve(start.Add(5*time.Second), 1000)
+	if d3 != start.Add(6*time.Second) {
+		t.Errorf("third reservation done at %v", d3)
+	}
+}
+
+func TestUplinkInfinite(t *testing.T) {
+	u := &Uplink{}
+	if got := u.Reserve(t0(), 1<<30); !got.Equal(t0()) {
+		t.Errorf("infinite uplink delayed to %v", got)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if Mbps(8) != 1e6 {
+		t.Errorf("Mbps(8) = %v, want 1e6 B/s", Mbps(8))
+	}
+}
+
+func TestDelayModelSampleRanges(t *testing.T) {
+	m := PlanetLabModel()
+	rng := rand.New(rand.NewSource(42))
+	drops := 0
+	tail := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d, dropped := m.Sample(rng)
+		if dropped {
+			drops++
+			continue
+		}
+		if d < 0 || d > m.Cap {
+			t.Fatalf("delay %v out of range", d)
+		}
+		if d > 10*time.Second {
+			tail++
+		}
+	}
+	if drops == 0 {
+		t.Error("no drops sampled")
+	}
+	if frac := float64(drops) / n; frac > 0.02 {
+		t.Errorf("drop fraction %f too high", frac)
+	}
+	if tail == 0 {
+		t.Error("no straggler tail sampled")
+	}
+}
+
+func TestDelayModelBodyMedian(t *testing.T) {
+	m := LANModel()
+	rng := rand.New(rand.NewSource(7))
+	var below, above int
+	for i := 0; i < 10000; i++ {
+		d, _ := m.Sample(rng)
+		if d < time.Duration(m.Median*float64(time.Second)) {
+			below++
+		} else {
+			above++
+		}
+	}
+	ratio := float64(below) / float64(below+above)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("median miscentered: %f below", ratio)
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a := GenerateTrace(PlanetLabModel(), 5, 100, 1)
+	b := GenerateTrace(PlanetLabModel(), 5, 100, 1)
+	for r := range a.Delays {
+		for i := range a.Delays[r] {
+			if a.Delays[r][i] != b.Delays[r][i] {
+				t.Fatal("same seed produced different traces")
+			}
+		}
+	}
+	c := GenerateTrace(PlanetLabModel(), 5, 100, 2)
+	same := true
+	for r := range a.Delays {
+		for i := range a.Delays[r] {
+			if a.Delays[r][i] != c.Delays[r][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTraceWraps(t *testing.T) {
+	tr := GenerateTrace(LANModel(), 2, 3, 9)
+	d0, ok0 := tr.Delay(0, 1)
+	d2, ok2 := tr.Delay(2, 1) // wraps to round 0
+	if d0 != d2 || ok0 != ok2 {
+		t.Error("trace wrap mismatch")
+	}
+	// Client index wraps too.
+	d, _ := tr.Delay(0, 4)
+	dWant, _ := tr.Delay(0, 1)
+	if d != dWant {
+		t.Error("client wrap mismatch")
+	}
+}

@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DelayModel generates synthetic client submission delays standing in
+// for the paper's 24-hour PlanetLab trace (§5.1). The bulk of clients
+// respond quickly (log-normal body); a small fraction are stragglers
+// with Pareto-tail delays of tens of seconds; a further fraction drop
+// out of a round entirely — the behaviours that motivate Dissent's
+// window-closure policies.
+type DelayModel struct {
+	// Median and Sigma parameterize the log-normal body (seconds).
+	Median float64
+	Sigma  float64
+	// TailFrac is the fraction of submissions drawn from the straggler
+	// tail instead of the body.
+	TailFrac float64
+	// TailScale and TailShape parameterize the Pareto tail (seconds).
+	TailScale float64
+	TailShape float64
+	// DropFrac is the per-round probability a client submits nothing.
+	DropFrac float64
+	// Cap bounds any sampled delay.
+	Cap time.Duration
+}
+
+// PlanetLabModel returns parameters fit to the paper's observations:
+// ~95% of clients submit within a couple of seconds, a straggler tail
+// stretches past 100 s, and a small fraction vanish per round.
+func PlanetLabModel() DelayModel {
+	return DelayModel{
+		Median:    0.45,
+		Sigma:     0.55,
+		TailFrac:  0.045,
+		TailScale: 2.0,
+		TailShape: 0.85,
+		DropFrac:  0.004,
+		Cap:       10 * time.Minute,
+	}
+}
+
+// LANModel returns a low-variance model for DeterLab-style controlled
+// topologies: client delays are dominated by the link, not the host.
+func LANModel() DelayModel {
+	return DelayModel{
+		Median: 0.015,
+		Sigma:  0.25,
+		Cap:    5 * time.Second,
+	}
+}
+
+// Sample draws one submission delay; dropped means the client never
+// submits this round.
+func (m DelayModel) Sample(rng *rand.Rand) (delay time.Duration, dropped bool) {
+	if m.DropFrac > 0 && rng.Float64() < m.DropFrac {
+		return 0, true
+	}
+	var sec float64
+	if m.TailFrac > 0 && rng.Float64() < m.TailFrac {
+		// Pareto: scale * U^(-1/shape).
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		sec = m.TailScale * math.Pow(u, -1.0/m.TailShape)
+	} else {
+		sec = m.Median * math.Exp(m.Sigma*rng.NormFloat64())
+	}
+	d := time.Duration(sec * float64(time.Second))
+	if m.Cap > 0 && d > m.Cap {
+		d = m.Cap
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, false
+}
+
+// Trace is a pre-drawn delay matrix: Delays[r][i] is client i's
+// submission delay in round r (negative = dropped). Pre-drawing makes
+// window-policy comparisons paired: every policy faces the same
+// client behaviour, as in the paper's replayed PlanetLab trace.
+type Trace struct {
+	Delays [][]time.Duration
+}
+
+// GenerateTrace draws a rounds x clients trace from the model.
+func GenerateTrace(m DelayModel, rounds, clients int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Delays: make([][]time.Duration, rounds)}
+	for r := range tr.Delays {
+		row := make([]time.Duration, clients)
+		for i := range row {
+			d, dropped := m.Sample(rng)
+			if dropped {
+				row[i] = -1
+			} else {
+				row[i] = d
+			}
+		}
+		tr.Delays[r] = row
+	}
+	return tr
+}
+
+// Delay returns client i's delay in round r, wrapping the trace if r
+// exceeds the generated rounds. ok is false if the client dropped.
+func (t *Trace) Delay(r uint64, i int) (time.Duration, bool) {
+	row := t.Delays[int(r)%len(t.Delays)]
+	d := row[i%len(row)]
+	if d < 0 {
+		return 0, false
+	}
+	return d, true
+}

@@ -1,0 +1,74 @@
+package socks
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// API is the HTTP interface of §4.1: applications POST raw byte
+// strings into the protocol session and poll delivered messages — the
+// interface the anonymous microblogging prototype used (§4.2).
+type API struct {
+	send SendFunc
+
+	mu       sync.Mutex
+	messages []APIMessage
+	limit    int
+}
+
+// APIMessage is one delivered anonymous message.
+type APIMessage struct {
+	Round uint64 `json:"round"`
+	Slot  int    `json:"slot"`
+	Data  string `json:"data"`
+}
+
+// NewAPI builds the HTTP API posting via send and retaining up to
+// limit delivered messages (0 = 1024).
+func NewAPI(send SendFunc, limit int) *API {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &API{send: send, limit: limit}
+}
+
+// Record stores a delivered message for later polling.
+func (a *API) Record(round uint64, slot int, data []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.messages = append(a.messages, APIMessage{Round: round, Slot: slot, Data: string(data)})
+	if len(a.messages) > a.limit {
+		a.messages = a.messages[len(a.messages)-a.limit:]
+	}
+}
+
+// Handler returns the API's HTTP mux:
+//
+//	POST /send      — body posted into the session verbatim
+//	GET  /messages  — JSON array of delivered messages
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/send", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil || len(body) == 0 {
+			http.Error(w, "empty body", http.StatusBadRequest)
+			return
+		}
+		a.send(body)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/messages", func(w http.ResponseWriter, r *http.Request) {
+		a.mu.Lock()
+		msgs := append([]APIMessage(nil), a.messages...)
+		a.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(msgs)
+	})
+	return mux
+}

@@ -1,0 +1,325 @@
+// Package socks implements the application interfaces of §4.1: a
+// SOCKS v5 entry proxy that frames TCP flows into the anonymous
+// channel, the exit-node flow handler that forwards tunneled traffic
+// to the public network, and a small HTTP API for posting raw messages
+// into a protocol session. The entry and exit sides communicate only
+// through an opaque "send bytes anonymously / deliver bytes" pair of
+// functions, so they run over any Dissent session (in-process, TCP, or
+// simulated).
+package socks
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Frame kinds for flow multiplexing inside the anonymous channel.
+const (
+	FrameOpen  = byte(1) // payload: destination "host:port"
+	FrameData  = byte(2) // payload: flow bytes
+	FrameClose = byte(3)
+)
+
+// Frame is one flow-multiplexing unit: every tunneled TCP flow gets a
+// random identifier so the exit can demultiplex many flows arriving
+// through the shared channel (§4.1).
+type Frame struct {
+	FlowID uint32
+	Kind   byte
+	Data   []byte
+}
+
+// EncodeFrame serializes a frame.
+func EncodeFrame(f Frame) []byte {
+	buf := make([]byte, 9+len(f.Data))
+	binary.BigEndian.PutUint32(buf[0:4], f.FlowID)
+	buf[4] = f.Kind
+	binary.BigEndian.PutUint32(buf[5:9], uint32(len(f.Data)))
+	copy(buf[9:], f.Data)
+	return buf
+}
+
+// DecodeFrames parses zero or more concatenated frames from a byte
+// stream, returning any trailing partial bytes for the next call
+// (slot payloads may split frames arbitrarily).
+func DecodeFrames(buf []byte) (frames []Frame, rest []byte, err error) {
+	for {
+		if len(buf) < 9 {
+			return frames, buf, nil
+		}
+		n := binary.BigEndian.Uint32(buf[5:9])
+		if n > 1<<24 {
+			return frames, nil, fmt.Errorf("socks: frame length %d too large", n)
+		}
+		if uint32(len(buf)-9) < n {
+			return frames, buf, nil
+		}
+		frames = append(frames, Frame{
+			FlowID: binary.BigEndian.Uint32(buf[0:4]),
+			Kind:   buf[4],
+			Data:   append([]byte(nil), buf[9:9+n]...),
+		})
+		buf = buf[9+n:]
+	}
+}
+
+// SendFunc transmits bytes into the anonymous channel (e.g.
+// core.Client.Send).
+type SendFunc func(data []byte)
+
+// Entry is the SOCKS v5 entry node: it accepts proxy connections and
+// frames their traffic into the channel.
+type Entry struct {
+	send SendFunc
+
+	mu     sync.Mutex
+	flows  map[uint32]net.Conn
+	nextID uint32
+	rnd    func() uint32
+}
+
+// NewEntry builds an entry node that transmits via send.
+func NewEntry(send SendFunc) *Entry {
+	var ctr uint32
+	return &Entry{
+		send:  send,
+		flows: make(map[uint32]net.Conn),
+		rnd: func() uint32 {
+			ctr++
+			return ctr ^ 0x5EED1E55
+		},
+	}
+}
+
+// Serve accepts SOCKS connections on ln until it is closed.
+func (e *Entry) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go e.handleConn(conn)
+	}
+}
+
+// handleConn speaks the SOCKS v5 handshake, then pumps client bytes
+// into the channel.
+func (e *Entry) handleConn(conn net.Conn) {
+	defer conn.Close()
+	dst, err := Handshake(conn)
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	id := e.rnd()
+	e.flows[id] = conn
+	e.mu.Unlock()
+
+	e.send(EncodeFrame(Frame{FlowID: id, Kind: FrameOpen, Data: []byte(dst)}))
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			e.send(EncodeFrame(Frame{FlowID: id, Kind: FrameData, Data: buf[:n]}))
+		}
+		if err != nil {
+			break
+		}
+	}
+	e.send(EncodeFrame(Frame{FlowID: id, Kind: FrameClose}))
+	e.mu.Lock()
+	delete(e.flows, id)
+	e.mu.Unlock()
+}
+
+// Deliver hands channel output (response frames from the exit) back to
+// the matching proxy connections.
+func (e *Entry) Deliver(frames []Frame) {
+	for _, f := range frames {
+		e.mu.Lock()
+		conn := e.flows[f.FlowID]
+		e.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		switch f.Kind {
+		case FrameData:
+			conn.Write(f.Data)
+		case FrameClose:
+			conn.Close()
+		}
+	}
+}
+
+// Handshake performs the server side of a SOCKS v5 CONNECT handshake
+// and returns the requested destination as "host:port".
+func Handshake(conn io.ReadWriter) (string, error) {
+	// Greeting: VER, NMETHODS, METHODS...
+	var hdr [2]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return "", err
+	}
+	if hdr[0] != 5 {
+		return "", fmt.Errorf("socks: version %d unsupported", hdr[0])
+	}
+	methods := make([]byte, hdr[1])
+	if _, err := io.ReadFull(conn, methods); err != nil {
+		return "", err
+	}
+	// No authentication.
+	if _, err := conn.Write([]byte{5, 0}); err != nil {
+		return "", err
+	}
+	// Request: VER, CMD, RSV, ATYP, DST.ADDR, DST.PORT.
+	var req [4]byte
+	if _, err := io.ReadFull(conn, req[:]); err != nil {
+		return "", err
+	}
+	if req[1] != 1 { // CONNECT only
+		conn.Write([]byte{5, 7, 0, 1, 0, 0, 0, 0, 0, 0})
+		return "", errors.New("socks: only CONNECT supported")
+	}
+	var host string
+	switch req[3] {
+	case 1: // IPv4
+		var a [4]byte
+		if _, err := io.ReadFull(conn, a[:]); err != nil {
+			return "", err
+		}
+		host = net.IP(a[:]).String()
+	case 3: // domain
+		var l [1]byte
+		if _, err := io.ReadFull(conn, l[:]); err != nil {
+			return "", err
+		}
+		d := make([]byte, l[0])
+		if _, err := io.ReadFull(conn, d); err != nil {
+			return "", err
+		}
+		host = string(d)
+	case 4: // IPv6
+		var a [16]byte
+		if _, err := io.ReadFull(conn, a[:]); err != nil {
+			return "", err
+		}
+		host = net.IP(a[:]).String()
+	default:
+		return "", fmt.Errorf("socks: address type %d unsupported", req[3])
+	}
+	var port [2]byte
+	if _, err := io.ReadFull(conn, port[:]); err != nil {
+		return "", err
+	}
+	// Success reply (bound address zeroed).
+	if _, err := conn.Write([]byte{5, 0, 0, 1, 0, 0, 0, 0, 0, 0}); err != nil {
+		return "", err
+	}
+	return net.JoinHostPort(host, fmt.Sprint(binary.BigEndian.Uint16(port[:]))), nil
+}
+
+// Exit is the non-anonymous exit node (§4.1): it reads tunneled flows
+// from the channel, opens real TCP connections, and frames responses
+// back.
+type Exit struct {
+	send SendFunc
+	// Dial is swappable for tests (default net.Dial).
+	Dial func(network, addr string) (net.Conn, error)
+
+	mu    sync.Mutex
+	flows map[uint32]*exitFlow
+}
+
+// exitFlow tracks one tunneled flow. Data frames arriving while the
+// outbound dial is still in flight (open and data can share a DC-net
+// round) buffer in pending and flush once connected.
+type exitFlow struct {
+	conn    net.Conn
+	pending [][]byte
+	closed  bool
+}
+
+// NewExit builds an exit node responding via send.
+func NewExit(send SendFunc) *Exit {
+	return &Exit{send: send, Dial: net.Dial, flows: make(map[uint32]*exitFlow)}
+}
+
+// Deliver consumes channel output at the exit: open/data/close frames
+// from anonymous clients.
+func (x *Exit) Deliver(frames []Frame) {
+	for _, f := range frames {
+		switch f.Kind {
+		case FrameOpen:
+			x.mu.Lock()
+			if _, dup := x.flows[f.FlowID]; !dup {
+				x.flows[f.FlowID] = &exitFlow{}
+				go x.open(f.FlowID, string(f.Data))
+			}
+			x.mu.Unlock()
+		case FrameData:
+			x.mu.Lock()
+			fl := x.flows[f.FlowID]
+			if fl != nil {
+				if fl.conn != nil {
+					conn := fl.conn
+					x.mu.Unlock()
+					conn.Write(f.Data)
+					continue
+				}
+				fl.pending = append(fl.pending, append([]byte(nil), f.Data...))
+			}
+			x.mu.Unlock()
+		case FrameClose:
+			x.mu.Lock()
+			fl := x.flows[f.FlowID]
+			delete(x.flows, f.FlowID)
+			x.mu.Unlock()
+			if fl != nil && fl.conn != nil {
+				fl.conn.Close()
+			}
+		}
+	}
+}
+
+func (x *Exit) open(id uint32, addr string) {
+	conn, err := x.Dial("tcp", addr)
+	if err != nil {
+		x.mu.Lock()
+		delete(x.flows, id)
+		x.mu.Unlock()
+		x.send(EncodeFrame(Frame{FlowID: id, Kind: FrameClose}))
+		return
+	}
+	x.mu.Lock()
+	fl := x.flows[id]
+	if fl == nil {
+		// Closed while dialing.
+		x.mu.Unlock()
+		conn.Close()
+		return
+	}
+	fl.conn = conn
+	pending := fl.pending
+	fl.pending = nil
+	x.mu.Unlock()
+	for _, p := range pending {
+		conn.Write(p)
+	}
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			x.send(EncodeFrame(Frame{FlowID: id, Kind: FrameData, Data: buf[:n]}))
+		}
+		if err != nil {
+			break
+		}
+	}
+	x.send(EncodeFrame(Frame{FlowID: id, Kind: FrameClose}))
+	x.mu.Lock()
+	delete(x.flows, id)
+	x.mu.Unlock()
+}

@@ -1,0 +1,266 @@
+package socks
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFrameEncodeDecode(t *testing.T) {
+	frames := []Frame{
+		{FlowID: 7, Kind: FrameOpen, Data: []byte("example.com:80")},
+		{FlowID: 7, Kind: FrameData, Data: []byte("GET / HTTP/1.0\r\n\r\n")},
+		{FlowID: 7, Kind: FrameClose},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = append(wire, EncodeFrame(f)...)
+	}
+	got, rest, err := DecodeFrames(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d frames", len(got))
+	}
+	for i := range frames {
+		if got[i].FlowID != frames[i].FlowID || got[i].Kind != frames[i].Kind ||
+			!bytes.Equal(got[i].Data, frames[i].Data) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeFramesPartial(t *testing.T) {
+	f := EncodeFrame(Frame{FlowID: 3, Kind: FrameData, Data: []byte("split payload")})
+	// Split at every boundary: first part decodes nothing, remainder
+	// completes after concatenation.
+	for cut := 1; cut < len(f); cut++ {
+		got, rest, err := DecodeFrames(f[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("cut %d: decoded %d frames from partial data", cut, len(got))
+		}
+		got, rest2, err := DecodeFrames(append(rest, f[cut:]...))
+		if err != nil || len(got) != 1 || len(rest2) != 0 {
+			t.Fatalf("cut %d: reassembly failed", cut)
+		}
+	}
+}
+
+func TestDecodeFramesRejectsHugeLength(t *testing.T) {
+	bad := EncodeFrame(Frame{FlowID: 1, Kind: FrameData})
+	bad[5] = 0xFF // length = huge
+	if _, _, err := DecodeFrames(bad); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+}
+
+func TestSocksHandshakeDomain(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		// Client side: greeting, then CONNECT to example.com:8080.
+		client.Write([]byte{5, 1, 0})
+		var resp [2]byte
+		io.ReadFull(client, resp[:])
+		req := []byte{5, 1, 0, 3, byte(len("example.com"))}
+		req = append(req, "example.com"...)
+		req = append(req, 0x1F, 0x90) // 8080
+		client.Write(req)
+		// Consume the success reply: net.Pipe writes are synchronous,
+		// so Handshake's final write would otherwise block forever.
+		var rep [10]byte
+		io.ReadFull(client, rep[:])
+	}()
+	dst, err := Handshake(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != "example.com:8080" {
+		t.Errorf("dst = %q", dst)
+	}
+}
+
+func TestSocksHandshakeIPv4(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		client.Write([]byte{5, 1, 0})
+		var resp [2]byte
+		io.ReadFull(client, resp[:])
+		client.Write([]byte{5, 1, 0, 1, 127, 0, 0, 1, 0, 80})
+		var rep [10]byte
+		io.ReadFull(client, rep[:])
+	}()
+	dst, err := Handshake(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != "127.0.0.1:80" {
+		t.Errorf("dst = %q", dst)
+	}
+}
+
+func TestSocksHandshakeRejectsBadVersion(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go client.Write([]byte{4, 1, 0})
+	if _, err := Handshake(server); err == nil {
+		t.Error("SOCKS4 accepted")
+	}
+}
+
+// TestEntryExitPipe wires an Entry directly to an Exit (a zero-latency
+// anonymous channel) and tunnels HTTP-ish traffic to a real local TCP
+// echo server.
+func TestEntryExitPipe(t *testing.T) {
+	// Echo server standing in for an origin.
+	origin, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	go func() {
+		for {
+			c, err := origin.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				n, _ := c.Read(buf)
+				c.Write([]byte("ECHO:"))
+				c.Write(buf[:n])
+				c.Close()
+			}()
+		}
+	}()
+
+	// Channel: entry.send -> exit.Deliver; exit.send -> entry.Deliver.
+	var exit *Exit
+	var entry *Entry
+	var mu sync.Mutex
+	var entryBuf, exitBuf []byte
+	entry = NewEntry(func(data []byte) {
+		mu.Lock()
+		exitBuf = append(exitBuf, data...)
+		frames, rest, err := DecodeFrames(exitBuf)
+		exitBuf = rest
+		mu.Unlock()
+		if err == nil {
+			exit.Deliver(frames)
+		}
+	})
+	exit = NewExit(func(data []byte) {
+		mu.Lock()
+		entryBuf = append(entryBuf, data...)
+		frames, rest, err := DecodeFrames(entryBuf)
+		entryBuf = rest
+		mu.Unlock()
+		if err == nil {
+			entry.Deliver(frames)
+		}
+	})
+
+	// SOCKS listener for the entry.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go entry.Serve(ln)
+
+	// Speak SOCKS5 to the entry, CONNECT to the origin, send a request.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte{5, 1, 0})
+	var greet [2]byte
+	if _, err := io.ReadFull(conn, greet[:]); err != nil {
+		t.Fatal(err)
+	}
+	host, portStr, _ := net.SplitHostPort(origin.Addr().String())
+	var port int
+	fmt.Sscanf(portStr, "%d", &port)
+	req := []byte{5, 1, 0, 3, byte(len(host))}
+	req = append(req, host...)
+	req = append(req, byte(port>>8), byte(port))
+	conn.Write(req)
+	var rep [10]byte
+	if _, err := io.ReadFull(conn, rep[:]); err != nil {
+		t.Fatal(err)
+	}
+	if rep[1] != 0 {
+		t.Fatalf("CONNECT refused: %d", rep[1])
+	}
+
+	conn.Write([]byte("hello through the tunnel"))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, _ := io.ReadAll(conn)
+	if !strings.HasPrefix(string(resp), "ECHO:hello through the tunnel") {
+		t.Errorf("response %q", resp)
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	var sent [][]byte
+	api := NewAPI(func(d []byte) { sent = append(sent, d) }, 4)
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/send", "text/plain", strings.NewReader("post me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("POST /send status %d", resp.StatusCode)
+	}
+	if len(sent) != 1 || string(sent[0]) != "post me" {
+		t.Fatalf("send hook got %q", sent)
+	}
+
+	for i := 0; i < 6; i++ {
+		api.Record(uint64(i), i, []byte(fmt.Sprintf("m%d", i)))
+	}
+	resp, err = srv.Client().Get(srv.URL + "/messages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var msgs []APIMessage
+	if err := json.NewDecoder(resp.Body).Decode(&msgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 { // limit trims to the most recent 4
+		t.Fatalf("got %d messages, want 4", len(msgs))
+	}
+	if msgs[len(msgs)-1].Data != "m5" {
+		t.Errorf("last message %q", msgs[len(msgs)-1].Data)
+	}
+
+	// GET on /send rejected.
+	resp, _ = srv.Client().Get(srv.URL + "/send")
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("GET /send status %d", resp.StatusCode)
+	}
+}

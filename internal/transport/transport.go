@@ -1,0 +1,408 @@
+// Package transport runs core engines over real TCP connections: the
+// deployment path for cmd/dissentd and cmd/dissent. Frames are
+// length-prefixed encoded Messages; identity and integrity come from
+// the protocol-level signatures, so connections need no additional
+// handshake. The same engines run unchanged under the discrete-event
+// harness; this package supplies real time, real sockets, and a timer
+// goroutine instead.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dissent/internal/core"
+	"dissent/internal/group"
+)
+
+// maxFrame bounds a single message frame (a 128 KiB bulk slot plus
+// generous protocol overhead).
+const maxFrame = 64 << 20
+
+// Roster maps node IDs to dialable addresses.
+type Roster map[group.NodeID]string
+
+// Node hosts one engine over TCP.
+type Node struct {
+	self   group.NodeID
+	engine core.Engine
+	roster Roster
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[group.NodeID]*lockedConn
+	inbound []net.Conn
+	timer   *time.Timer
+	timerAt time.Time
+	closed  bool
+
+	// OnDelivery and OnEvent observe engine outputs (called with the
+	// node lock released).
+	OnDelivery func(core.Delivery)
+	OnEvent    func(core.Event)
+	// OnError observes engine or transport errors.
+	OnError func(error)
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a node: it binds addr, starts the engine, and serves
+// until Close.
+func Listen(self group.NodeID, addr string, roster Roster, engine core.Engine) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		self:   self,
+		engine: engine,
+		roster: roster,
+		ln:     ln,
+		conns:  make(map[group.NodeID]*lockedConn),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Start invokes the engine's Start and processes its output.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	out, err := n.engine.Start(time.Now())
+	n.mu.Unlock()
+	return n.process(out, err)
+}
+
+// InstallSchedule is invoked by callers performing trusted bootstrap
+// (see core.Server.InstallSchedule); fn runs under the engine lock.
+func (n *Node) WithEngine(fn func(e core.Engine) (*core.Output, error)) error {
+	n.mu.Lock()
+	out, err := fn(n.engine)
+	n.mu.Unlock()
+	return n.process(out, err)
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	if n.timer != nil {
+		n.timer.Stop()
+	}
+	for _, c := range n.conns {
+		c.close()
+	}
+	for _, c := range n.inbound {
+		c.Close()
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound = append(n.inbound, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(conn)
+		}()
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !n.isClosed() {
+				n.reportError(fmt.Errorf("transport: read: %w", err))
+			}
+			return
+		}
+		n.inject(msg)
+	}
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// inject feeds one message to the engine.
+func (n *Node) inject(msg *core.Message) {
+	n.mu.Lock()
+	out, err := n.engine.Handle(time.Now(), msg)
+	n.mu.Unlock()
+	if perr := n.process(out, err); perr != nil {
+		n.reportError(perr)
+	}
+}
+
+// process handles an engine output: transmissions, timer, callbacks.
+func (n *Node) process(out *core.Output, err error) error {
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	for _, d := range out.Deliveries {
+		if n.OnDelivery != nil {
+			n.OnDelivery(d)
+		}
+	}
+	for _, e := range out.Events {
+		if n.OnEvent != nil {
+			n.OnEvent(e)
+		}
+	}
+	for _, env := range out.Send {
+		if serr := n.send(env); serr != nil {
+			n.reportError(serr)
+		}
+	}
+	if !out.Timer.IsZero() {
+		n.armTimer(out.Timer)
+	}
+	return nil
+}
+
+// armTimer keeps the earliest requested wakeup: engines request
+// timers liberally (window close, hard deadline) and ticks are
+// idempotent, so only the soonest pending one matters.
+func (n *Node) armTimer(at time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if !n.timerAt.IsZero() && !at.Before(n.timerAt) {
+		return // an earlier wakeup is already pending
+	}
+	d := time.Until(at)
+	if d < 0 {
+		d = 0
+	}
+	if n.timer != nil {
+		n.timer.Stop()
+	}
+	n.timerAt = at
+	n.timer = time.AfterFunc(d, n.tick)
+}
+
+func (n *Node) tick() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.timerAt = time.Time{}
+	out, err := n.engine.Tick(time.Now())
+	n.mu.Unlock()
+	if perr := n.process(out, err); perr != nil {
+		n.reportError(perr)
+	}
+}
+
+// lockedConn serializes frame writes through a dedicated writer
+// goroutine: engine outputs from different reader goroutines would
+// otherwise interleave partial frames, and synchronous writes from
+// within read handlers could form distributed write-deadlocks when
+// every node's TCP buffers fill simultaneously.
+type lockedConn struct {
+	c      net.Conn
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	err    error
+}
+
+func newLockedConn(c net.Conn) *lockedConn {
+	lc := &lockedConn{c: c}
+	lc.cond = sync.NewCond(&lc.mu)
+	go lc.writeLoop()
+	return lc
+}
+
+func (lc *lockedConn) writeLoop() {
+	for {
+		lc.mu.Lock()
+		for len(lc.queue) == 0 && !lc.closed {
+			lc.cond.Wait()
+		}
+		if lc.closed {
+			lc.mu.Unlock()
+			return
+		}
+		frame := lc.queue[0]
+		lc.queue = lc.queue[1:]
+		lc.mu.Unlock()
+		if _, err := lc.c.Write(frame); err != nil {
+			lc.mu.Lock()
+			lc.err = err
+			lc.closed = true
+			lc.mu.Unlock()
+			lc.c.Close()
+			return
+		}
+	}
+}
+
+// enqueue queues one already-framed message; it reports any write
+// error observed so far so callers can re-dial.
+func (lc *lockedConn) enqueue(frame []byte) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		if lc.err != nil {
+			return lc.err
+		}
+		return errors.New("transport: connection closed")
+	}
+	lc.queue = append(lc.queue, frame)
+	lc.cond.Signal()
+	return nil
+}
+
+// close stops the writer goroutine and closes the socket.
+func (lc *lockedConn) close() {
+	lc.mu.Lock()
+	lc.closed = true
+	lc.cond.Broadcast()
+	lc.mu.Unlock()
+	lc.c.Close()
+}
+
+func (lc *lockedConn) writeFrame(msg *core.Message) error {
+	body := core.EncodeMessage(msg)
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	return lc.enqueue(frame)
+}
+
+// send transmits one envelope, dialing (with retry) as needed.
+func (n *Node) send(env core.Envelope) error {
+	conn, err := n.conn(env.To)
+	if err != nil {
+		return err
+	}
+	if err := conn.writeFrame(env.Msg); err != nil {
+		// Drop the cached connection and retry once on a fresh dial.
+		n.dropConn(env.To)
+		conn, err2 := n.conn(env.To)
+		if err2 != nil {
+			return err2
+		}
+		return conn.writeFrame(env.Msg)
+	}
+	return nil
+}
+
+func (n *Node) dropConn(to group.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.conns[to]; ok {
+		c.close()
+		delete(n.conns, to)
+	}
+}
+
+func (n *Node) conn(to group.NodeID) (*lockedConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.roster[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %s", to)
+	}
+	var conn net.Conn
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[to]; ok {
+		conn.Close()
+		return existing, nil
+	}
+	lc := newLockedConn(conn)
+	n.conns[to] = lc
+	return lc, nil
+}
+
+func (n *Node) reportError(err error) {
+	if n.OnError != nil {
+		n.OnError(err)
+	}
+}
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, msg *core.Message) error {
+	body := core.EncodeMessage(msg)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (*core.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrame {
+		return nil, fmt.Errorf("transport: frame size %d out of range", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return core.DecodeMessage(body)
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dissent/internal/core"
+	"dissent/internal/crypto"
+	"dissent/internal/group"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var from group.NodeID
+	copy(from[:], "nodeid00")
+	msg := &core.Message{From: from, Type: core.MsgClientSubmit, Round: 7,
+		Body: []byte("payload"), Sig: []byte("signature")}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 7 || !bytes.Equal(got.Body, msg.Body) || got.From != from {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	var zero bytes.Buffer
+	zero.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadFrame(&zero); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+// TestTCPGroupEndToEnd runs a complete group — 2 servers, 3 clients —
+// over real localhost TCP, through full setup (pseudonym submission,
+// verifiable scheduling shuffle, certification) and several DC-net
+// rounds, and checks an anonymous message arrives everywhere.
+func TestTCPGroupEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	keyGrp := crypto.P256()
+	msgGrp := crypto.ModP512Test()
+	const m, n = 2, 3
+
+	serverKPs := make([]*crypto.KeyPair, m)
+	serverMsgKPs := make([]*crypto.KeyPair, m)
+	serverKeys := make([]crypto.Element, m)
+	serverMsgKeys := make([]crypto.Element, m)
+	for i := 0; i < m; i++ {
+		serverKPs[i], _ = crypto.GenerateKeyPair(keyGrp, nil)
+		serverMsgKPs[i], _ = crypto.GenerateKeyPair(msgGrp, nil)
+		serverKeys[i] = serverKPs[i].Public
+		serverMsgKeys[i] = serverMsgKPs[i].Public
+	}
+	clientKPs := make([]*crypto.KeyPair, n)
+	clientKeys := make([]crypto.Element, n)
+	for i := 0; i < n; i++ {
+		clientKPs[i], _ = crypto.GenerateKeyPair(keyGrp, nil)
+		clientKeys[i] = clientKPs[i].Public
+	}
+	policy := group.DefaultPolicy()
+	policy.MessageGroup = "modp-512-test"
+	policy.Shadows = 4
+	policy.WindowMin = 20 * time.Millisecond
+	// Short hard timeout: any submission lost to scheduling jitter
+	// self-heals through the §3.7 failed-round path well inside the
+	// test deadline.
+	policy.HardTimeout = 5 * time.Second
+	policy.DefaultOpenLen = 64
+	def, err := group.NewDefinition("tcp-test", serverKeys, serverMsgKeys, clientKeys, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kpByID := map[group.NodeID]*crypto.KeyPair{}
+	msgKPByID := map[group.NodeID]*crypto.KeyPair{}
+	for i := 0; i < m; i++ {
+		id := group.IDFromKey(keyGrp, serverKeys[i])
+		kpByID[id] = serverKPs[i]
+		msgKPByID[id] = serverMsgKPs[i]
+	}
+	for i := 0; i < n; i++ {
+		kpByID[group.IDFromKey(keyGrp, clientKeys[i])] = clientKPs[i]
+	}
+
+	// Reserve ports, build the roster, then listen.
+	roster := Roster{}
+	addrs := map[group.NodeID]string{}
+	var nodes []*Node
+	reserve := func(id group.NodeID) string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		roster[id] = addr
+		addrs[id] = addr
+		return addr
+	}
+	for _, mem := range def.Servers {
+		reserve(mem.ID)
+	}
+	for _, mem := range def.Clients {
+		reserve(mem.ID)
+	}
+
+	opts := core.Options{MessageGroup: msgGrp}
+	var mu sync.Mutex
+	delivered := map[string]int{}
+	var clients []*core.Client
+
+	for _, mem := range def.Servers {
+		srv, err := core.NewServer(def, kpByID[mem.ID], msgKPByID[mem.ID], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := Listen(mem.ID, addrs[mem.ID], roster, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.OnError = func(err error) { t.Logf("server error: %v", err) }
+		idx := len(nodes)
+		node.OnEvent = func(e core.Event) { t.Logf("server %d: r%d %s %s", idx, e.Round, e.Kind, e.Detail) }
+		nodes = append(nodes, node)
+	}
+	for _, mem := range def.Clients {
+		cl, err := core.NewClient(def, kpByID[mem.ID], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cl)
+		node, err := Listen(mem.ID, addrs[mem.ID], roster, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.OnDelivery = func(d core.Delivery) {
+			mu.Lock()
+			delivered[string(d.Data)]++
+			mu.Unlock()
+		}
+		node.OnError = func(err error) { t.Logf("client error: %v", err) }
+		nodes = append(nodes, node)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	clients[1].Send([]byte("over real tcp"))
+	for _, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.After(30 * time.Second)
+	for {
+		mu.Lock()
+		got := delivered["over real tcp"]
+		mu.Unlock()
+		if got >= n {
+			break
+		}
+		select {
+		case <-deadline:
+			mu.Lock()
+			t.Fatalf("message delivered at %d/%d clients after 30s", delivered["over real tcp"], n)
+			mu.Unlock()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
