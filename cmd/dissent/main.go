@@ -11,10 +11,19 @@
 // With -exit the client additionally acts as the group's (single,
 // non-anonymous) SOCKS exit node, forwarding tunneled flows to the
 // public network (§4.1).
+//
+// The beacon subcommand fetches a server's randomness-beacon chain,
+// verifies every share and chain link from genesis with the group's
+// public keys, and prints the requested entry:
+//
+//	dissent beacon -url http://server0:7080 -group group.json [-round N]
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -23,6 +32,7 @@ import (
 	"sync"
 	"syscall"
 
+	"dissent/internal/beacon"
 	"dissent/internal/cli"
 	"dissent/internal/core"
 	"dissent/internal/socks"
@@ -30,33 +40,99 @@ import (
 )
 
 func main() {
-	groupPath := flag.String("group", "group.json", "group definition file")
-	keyPath := flag.String("key", "", "client key file (from keygen)")
-	rosterPath := flag.String("roster", "roster.json", "node address roster")
-	listen := flag.String("listen", ":7100", "protocol listen address")
-	httpAddr := flag.String("http", "", "HTTP API listen address (empty = disabled)")
-	socksAddr := flag.String("socks", "", "SOCKS5 proxy listen address (empty = disabled)")
-	exitNode := flag.Bool("exit", false, "act as the group's SOCKS exit node")
-	post := flag.String("post", "", "post one message after the schedule is ready, then keep running")
-	flag.Parse()
 	log.SetPrefix("dissent: ")
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "beacon" {
+		err = beaconCmd(os.Args[2:], os.Stdout)
+	} else {
+		err = run(os.Args[1:])
+	}
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		log.Fatal(err)
+	}
+}
+
+// beaconCmd implements "dissent beacon": sync a beacon chain over
+// HTTP, verify it end to end, and print one entry.
+func beaconCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dissent beacon", flag.ContinueOnError)
+	url := fs.String("url", "", "beacon endpoint base URL, e.g. http://server0:7080")
+	groupPath := fs.String("group", "group.json", "group definition file (verification keys)")
+	round := fs.Int64("round", -1, "print a specific round (default: latest)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("dissent beacon: -url is required")
+	}
+	def, err := cli.LoadGroup(*groupPath)
+	if err != nil {
+		return err
+	}
+	if def.Policy.BeaconEpochRounds == 0 {
+		return errors.New("dissent beacon: the group policy disables the beacon")
+	}
+
+	chain := beacon.NewChain(def.Group(), def.ServerPubKeys(), beacon.GenesisValue(def.GroupID()))
+	src := &beacon.HTTPSource{URL: *url}
+	// Sync verifies every fetched entry (share signatures and chain
+	// links) as it appends; a completed sync IS a verified chain.
+	added, err := chain.Sync(src)
+	if err != nil {
+		return err
+	}
+	if chain.Len() == 0 {
+		return errors.New("dissent beacon: the server has no beacon entries yet")
+	}
+
+	entry := chain.Latest()
+	if *round >= 0 {
+		if entry = chain.Get(uint64(*round)); entry == nil {
+			return fmt.Errorf("dissent beacon: no entry for round %d (failed round?)", *round)
+		}
+	}
+	fmt.Fprintf(w, "chain verified: %d entries (%d fetched), head round %d\n",
+		chain.Len(), added, chain.Latest().Round)
+	fmt.Fprintf(w, "round  %d\n", entry.Round)
+	fmt.Fprintf(w, "prev   %x\n", entry.Prev)
+	fmt.Fprintf(w, "value  %x\n", entry.Value)
+	fmt.Fprintf(w, "shares %d (all signatures valid)\n", len(entry.Shares))
+	return nil
+}
+
+// run parses flags and serves the client until a signal; it returns an
+// error (instead of exiting) for anything that fails before the
+// serving loop, so tests can exercise argument handling.
+func run(args []string) error {
+	fs := flag.NewFlagSet("dissent", flag.ContinueOnError)
+	groupPath := fs.String("group", "group.json", "group definition file")
+	keyPath := fs.String("key", "", "client key file (from keygen)")
+	rosterPath := fs.String("roster", "roster.json", "node address roster")
+	listen := fs.String("listen", ":7100", "protocol listen address")
+	httpAddr := fs.String("http", "", "HTTP API listen address (empty = disabled)")
+	socksAddr := fs.String("socks", "", "SOCKS5 proxy listen address (empty = disabled)")
+	exitNode := fs.Bool("exit", false, "act as the group's SOCKS exit node")
+	post := fs.String("post", "", "post one message after the schedule is ready, then keep running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	def, err := cli.LoadGroup(*groupPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	roster, err := cli.LoadRoster(*rosterPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	kp, _, err := cli.LoadKeyFile(*keyPath, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	client, err := core.NewClient(def, kp, core.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var node *transport.Node
@@ -84,7 +160,7 @@ func main() {
 
 	node, err = transport.Listen(client.ID(), *listen, roster, client)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer node.Close()
 	node.OnDelivery = func(d core.Delivery) {
@@ -123,7 +199,7 @@ func main() {
 	if *socksAddr != "" {
 		ln, err := net.Listen("tcp", *socksAddr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("SOCKS5 proxy on %s", *socksAddr)
 		go entry.Serve(ln)
@@ -133,11 +209,12 @@ func main() {
 	log.Printf("client %s (index %d) in group %x, upstream server %d",
 		client.ID(), client.Index(), gid[:8], def.UpstreamServer(client.Index()))
 	if err := node.Start(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	return nil
 }

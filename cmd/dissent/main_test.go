@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunRejectsBadInputs checks that every pre-serve failure path
+// returns an error instead of starting the client.
+func TestRunRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.json")
+	badRoster := filepath.Join(dir, "bad-roster.json")
+	if err := os.WriteFile(badRoster, []byte(`{"zz": "not-hex-id"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"missing group file", []string{"-group", missing}},
+		{"missing key file", []string{"-group", missing, "-key", missing}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}
+
+func TestBeaconCmdRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.json")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing url", []string{}},
+		{"unknown flag", []string{"-url", "http://x", "-zzz"}},
+		{"missing group file", []string{"-url", "http://127.0.0.1:1", "-group", missing}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := beaconCmd(tc.args, &out); err == nil {
+				t.Errorf("beaconCmd(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}

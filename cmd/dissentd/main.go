@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	dissentd -group group.json -key server-0.key -roster roster.json -listen :7000
+//	dissentd -group group.json -key server-0.key -roster roster.json -listen :7000 \
+//	         [-beacon :7080] [-beacon-store beacon.jsonl]
 //
 // roster.json maps every member's node ID (hex) to a dialable address:
 //
@@ -11,51 +12,124 @@
 // All servers and clients of a group must share the same group.json
 // and roster. The daemon logs round completions, participation counts,
 // blame verdicts, and protocol violations.
+//
+// With -beacon the daemon additionally serves its randomness-beacon
+// chain over HTTP (GET /beacon/latest, /beacon/{round},
+// /beacon/from/{round}, /beacon/info) so clients and external
+// verifiers can fetch and verify per-round randomness; -beacon-store
+// persists the chain to an append-only file. A chain left by a
+// previous session is archived at startup (DC-net round numbers
+// restart with each session) and a fresh file begun.
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"dissent/internal/beacon"
 	"dissent/internal/cli"
 	"dissent/internal/core"
 	"dissent/internal/transport"
 )
 
 func main() {
-	groupPath := flag.String("group", "group.json", "group definition file")
-	keyPath := flag.String("key", "", "server key file (from keygen)")
-	rosterPath := flag.String("roster", "roster.json", "node address roster")
-	listen := flag.String("listen", ":7000", "listen address")
-	flag.Parse()
 	log.SetPrefix("dissentd: ")
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+// run parses flags, starts the server, and blocks until a signal; it
+// returns an error (instead of exiting) for anything that fails before
+// the serving loop, so tests can exercise argument handling.
+func run(args []string) error {
+	fs := flag.NewFlagSet("dissentd", flag.ContinueOnError)
+	groupPath := fs.String("group", "group.json", "group definition file")
+	keyPath := fs.String("key", "", "server key file (from keygen)")
+	rosterPath := fs.String("roster", "roster.json", "node address roster")
+	listen := fs.String("listen", ":7000", "listen address")
+	beaconAddr := fs.String("beacon", "", "beacon HTTP listen address (empty = disabled)")
+	beaconStore := fs.String("beacon-store", "", "beacon chain file for durable persistence (empty = in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	def, err := cli.LoadGroup(*groupPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	roster, err := cli.LoadRoster(*rosterPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	kp, msgKP, err := cli.LoadKeyFile(*keyPath, def.MsgGroup())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if msgKP == nil {
-		log.Fatal("key file lacks a message-shuffle key (is this a server key?)")
+		return errors.New("key file lacks a message-shuffle key (is this a server key?)")
 	}
 
-	srv, err := core.NewServer(def, kp, msgKP, core.Options{})
-	if err != nil {
-		log.Fatal(err)
+	opts := core.Options{}
+	if *beaconStore != "" {
+		if def.Policy.BeaconEpochRounds == 0 {
+			return errors.New("-beacon-store set but the group policy disables the beacon")
+		}
+		store, err := beacon.OpenFileStore(*beaconStore)
+		if errors.Is(err, beacon.ErrCorruptStore) {
+			// Mid-file corruption (a torn final line is already healed
+			// by OpenFileStore): preserve the damaged file for forensics
+			// and start fresh rather than refusing to boot — the stored
+			// chain is only ever archived, never extended. I/O and
+			// permission errors abort instead: the file may be intact.
+			archived := fmt.Sprintf("%s.corrupt-%d", *beaconStore, time.Now().Unix())
+			if renameErr := os.Rename(*beaconStore, archived); renameErr != nil {
+				return fmt.Errorf("archiving corrupt chain file: %v (%w)", renameErr, err)
+			}
+			log.Printf("beacon chain file corrupt (%v); archived to %s", err, archived)
+			store, err = beacon.OpenFileStore(*beaconStore)
+		}
+		if err != nil {
+			return err
+		}
+		if store.Len() > 0 {
+			// A previous session's chain cannot be extended: DC-net
+			// round numbers restart at 0 with every fresh setup. Archive
+			// it for auditing and start a new chain file.
+			latest, _ := store.Latest()
+			store.Close()
+			archived := fmt.Sprintf("%s.prev-r%d-%d", *beaconStore, latest.Round, time.Now().Unix())
+			if err := os.Rename(*beaconStore, archived); err != nil {
+				return err
+			}
+			log.Printf("beacon chain from a previous session archived to %s", archived)
+			if store, err = beacon.OpenFileStore(*beaconStore); err != nil {
+				return err
+			}
+		}
+		defer store.Close()
+		opts.BeaconStore = store
 	}
+
+	srv, err := core.NewServer(def, kp, msgKP, opts)
+	if err != nil {
+		return err
+	}
+
 	node, err := transport.Listen(srv.ID(), *listen, roster, srv)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer node.Close()
 	node.OnEvent = func(e core.Event) {
@@ -63,15 +137,36 @@ func main() {
 	}
 	node.OnError = func(err error) { log.Printf("error: %v", err) }
 
+	if *beaconAddr != "" {
+		chain := srv.BeaconChain()
+		if chain == nil {
+			return errors.New("-beacon set but the group policy disables the beacon")
+		}
+		// Bind synchronously so a taken port is a startup error, not an
+		// asynchronous abort mid-protocol.
+		ln, err := net.Listen("tcp", *beaconAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		log.Printf("beacon HTTP on %s (GET /beacon/latest, /beacon/{round})", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, beacon.Handler(chain)); err != nil {
+				log.Printf("beacon HTTP: %v", err)
+			}
+		}()
+	}
+
 	gid := def.GroupID()
 	log.Printf("server %s (index %d) in group %x listening on %s",
 		srv.ID(), srv.Index(), gid[:8], node.Addr())
 	if err := node.Start(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	return nil
 }

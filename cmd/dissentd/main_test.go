@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunRejectsBadInputs checks that every pre-serve failure path
+// returns an error instead of starting the daemon.
+func TestRunRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.json")
+	badGroup := filepath.Join(dir, "bad-group.json")
+	if err := os.WriteFile(badGroup, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"missing group file", []string{"-group", missing}},
+		{"malformed group file", []string{"-group", badGroup}},
+		{"missing key file", []string{"-group", missing, "-key", missing}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}

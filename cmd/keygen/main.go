@@ -10,8 +10,10 @@ package main
 
 import (
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -23,36 +25,82 @@ import (
 )
 
 func main() {
-	servers := flag.Int("servers", 3, "number of servers")
-	clients := flag.Int("clients", 8, "number of clients")
-	out := flag.String("out", ".", "output directory")
-	name := flag.String("name", "dissent-group", "group name")
-	msgGroup := flag.String("msggroup", "modp-2048", "message-shuffle group (modp-2048 or modp-512-test)")
-	basePort := flag.Int("baseport", 7000, "first port for the roster template")
-	flag.Parse()
+	log.SetPrefix("keygen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+// run generates the group material, writing progress to w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	servers := fs.Int("servers", 3, "number of servers")
+	clients := fs.Int("clients", 8, "number of clients")
+	out := fs.String("out", ".", "output directory")
+	name := fs.String("name", "dissent-group", "group name")
+	msgGroup := fs.String("msggroup", "modp-2048", "message-shuffle group (modp-2048 or modp-512-test)")
+	basePort := fs.Int("baseport", 7000, "first port for the roster template")
+	epochRounds := fs.Int("epoch", group.DefaultPolicy().BeaconEpochRounds,
+		"beacon epoch length in rounds (0 disables the randomness beacon)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if err := os.MkdirAll(*out, 0o700); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	keyGrp := crypto.P256()
 	mg, err := crypto.GroupByName(*msgGroup)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	serverKeys := make([]crypto.Element, *servers)
 	serverMsgKeys := make([]crypto.Element, *servers)
+	serverKPs := make(map[group.NodeID]*crypto.KeyPair, *servers)
+	serverMsgKPs := make(map[group.NodeID]*crypto.KeyPair, *servers)
 	for i := 0; i < *servers; i++ {
 		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mkp, err := crypto.GenerateKeyPair(mg, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		serverKeys[i] = kp.Public
 		serverMsgKeys[i] = mkp.Public
+		id := group.IDFromKey(keyGrp, kp.Public)
+		serverKPs[id] = kp
+		serverMsgKPs[id] = mkp
+	}
+	clientKeys := make([]crypto.Element, *clients)
+	clientKPs := make(map[group.NodeID]*crypto.KeyPair, *clients)
+	for i := 0; i < *clients; i++ {
+		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
+		if err != nil {
+			return err
+		}
+		clientKeys[i] = kp.Public
+		clientKPs[group.IDFromKey(keyGrp, kp.Public)] = kp
+	}
+
+	policy := group.DefaultPolicy()
+	policy.MessageGroup = *msgGroup
+	policy.BeaconEpochRounds = *epochRounds
+	def, err := group.NewDefinition(*name, serverKeys, serverMsgKeys, clientKeys, policy)
+	if err != nil {
+		return err
+	}
+
+	// Write key files in *definition* order (NewDefinition sorts members
+	// by ID), so server-i.key is def.Servers[i] and lines up with the
+	// i-th roster address below.
+	for i, m := range def.Servers {
+		kp, mkp := serverKPs[m.ID], serverMsgKPs[m.ID]
 		err = cli.WriteKeyFile(filepath.Join(*out, fmt.Sprintf("server-%d.key", i)), cli.KeyFile{
 			Role:       "server",
 			Private:    kp.Private.Text(16),
@@ -61,39 +109,27 @@ func main() {
 			MsgPublic:  hex.EncodeToString(mg.Encode(mkp.Public)),
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	clientKeys := make([]crypto.Element, *clients)
-	for i := 0; i < *clients; i++ {
-		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		clientKeys[i] = kp.Public
+	for i, m := range def.Clients {
+		kp := clientKPs[m.ID]
 		err = cli.WriteKeyFile(filepath.Join(*out, fmt.Sprintf("client-%d.key", i)), cli.KeyFile{
 			Role:    "client",
 			Private: kp.Private.Text(16),
 			Public:  hex.EncodeToString(keyGrp.Encode(kp.Public)),
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-	}
-
-	policy := group.DefaultPolicy()
-	policy.MessageGroup = *msgGroup
-	def, err := group.NewDefinition(*name, serverKeys, serverMsgKeys, clientKeys, policy)
-	if err != nil {
-		log.Fatal(err)
 	}
 	data, err := def.MarshalJSON()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	path := filepath.Join(*out, "group.json")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Roster template: localhost addresses in member order.
@@ -108,11 +144,12 @@ func main() {
 		port++
 	}
 	if err := cli.WriteRoster(filepath.Join(*out, "roster.json"), roster); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	gid := def.GroupID()
-	fmt.Printf("wrote %s (group ID %x)\n", path, gid[:])
-	fmt.Printf("wrote roster.json template and %d server / %d client key files to %s\n",
+	fmt.Fprintf(w, "wrote %s (group ID %x)\n", path, gid[:])
+	fmt.Fprintf(w, "wrote roster.json template and %d server / %d client key files to %s\n",
 		*servers, *clients, *out)
+	return nil
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dissent/internal/cli"
+	"dissent/internal/group"
+)
+
+// TestKeygenProducesLoadableGroup runs the generator end to end and
+// loads everything back through the same cli paths the daemons use.
+func TestKeygenProducesLoadableGroup(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-servers", "2", "-clients", "3", "-out", dir,
+		"-name", "smoke", "-msggroup", "modp-512-test", "-epoch", "8",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "group ID") {
+		t.Errorf("missing group ID in output: %q", out.String())
+	}
+
+	def, err := cli.LoadGroup(filepath.Join(dir, "group.json"))
+	if err != nil {
+		t.Fatalf("generated group does not load: %v", err)
+	}
+	if len(def.Servers) != 2 || len(def.Clients) != 3 {
+		t.Fatalf("group has %d servers / %d clients", len(def.Servers), len(def.Clients))
+	}
+	if def.Policy.BeaconEpochRounds != 8 {
+		t.Errorf("BeaconEpochRounds = %d, want 8", def.Policy.BeaconEpochRounds)
+	}
+
+	roster, err := cli.LoadRoster(filepath.Join(dir, "roster.json"))
+	if err != nil {
+		t.Fatalf("generated roster does not load: %v", err)
+	}
+	if len(roster) != 5 {
+		t.Fatalf("roster has %d entries, want 5", len(roster))
+	}
+
+	// Every key file loads and matches a group member.
+	for i := 0; i < 2; i++ {
+		kp, msgKP, err := cli.LoadKeyFile(filepath.Join(dir, "server-"+string(rune('0'+i))+".key"), def.MsgGroup())
+		if err != nil {
+			t.Fatalf("server key %d: %v", i, err)
+		}
+		if msgKP == nil {
+			t.Fatalf("server key %d lacks a message-shuffle key", i)
+		}
+		// Key files are written in definition order so that server-i.key
+		// pairs with the i-th roster address.
+		if got := def.ServerIndex(group.IDFromKey(def.Group(), kp.Public)); got != i {
+			t.Fatalf("server key %d has definition index %d", i, got)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		kp, _, err := cli.LoadKeyFile(filepath.Join(dir, "client-"+string(rune('0'+i))+".key"), nil)
+		if err != nil {
+			t.Fatalf("client key %d: %v", i, err)
+		}
+		if got := def.ClientIndex(group.IDFromKey(def.Group(), kp.Public)); got != i {
+			t.Fatalf("client key %d has definition index %d", i, got)
+		}
+	}
+}
+
+func TestKeygenRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-servers", "0", "-out", dir},              // no servers
+		{"-clients", "0", "-out", dir},              // no clients
+		{"-msggroup", "no-such-group", "-out", dir}, // unknown group
+		{"-epoch", "-1", "-out", dir},               // invalid policy
+		{"-nonsense"},                               // unknown flag
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("keygen %v succeeded, want error", args)
+		}
+	}
+}

@@ -4,16 +4,19 @@
 // (Wolinsky, Corrigan-Gibbs, Ford, Johnson — OSDI 2012).
 //
 // The library lives under internal/: the anytrust client/server DC-net
-// engines (internal/core), the DC-net slot machinery (internal/dcnet),
-// verifiable shuffles (internal/shuffle), the crypto substrate
-// (internal/crypto), group definitions (internal/group), TCP and
-// simulated transports (internal/transport, internal/simnet), the
-// application interfaces (internal/socks), the evaluation baselines
-// and workloads (internal/relay, internal/browse), and the experiment
-// harnesses regenerating every figure of the paper (internal/bench).
+// engines (internal/core), the DC-net slot machinery and epoch-rotated
+// schedule (internal/dcnet), the anytrust randomness beacon driving
+// that rotation (internal/beacon), verifiable shuffles
+// (internal/shuffle), the crypto substrate (internal/crypto), group
+// definitions (internal/group), TCP and simulated transports
+// (internal/transport, internal/simnet), the application interfaces
+// (internal/socks), the evaluation baselines and workloads
+// (internal/relay, internal/browse), and the experiment harnesses
+// regenerating every figure of the paper (internal/bench).
 //
-// Entry points: cmd/dissentd (server daemon), cmd/dissent (client with
-// HTTP API and SOCKS proxy), cmd/keygen (group creation), and
+// Entry points: cmd/dissentd (server daemon with HTTP beacon
+// endpoints), cmd/dissent (client with HTTP API, SOCKS proxy, and a
+// beacon fetch/verify subcommand), cmd/keygen (group creation), and
 // cmd/dissent-bench (the evaluation). Runnable walkthroughs live in
 // examples/.
 package dissent

@@ -1,0 +1,3 @@
+module dissent
+
+go 1.24

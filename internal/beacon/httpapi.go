@@ -1,0 +1,179 @@
+package beacon
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves a chain over HTTP. Routes (all GET, JSON responses):
+//
+//	/beacon/latest        newest entry (404 on an empty chain)
+//	/beacon/{round}       entry for an exact round (404 when missing)
+//	/beacon/from/{round}  earliest entry with Round >= round
+//	/beacon/range/{from}  JSON array of entries with Round >= from
+//	                      (paged; ?max= caps the page, server limit 1024)
+//	/beacon/info          chain summary: length, head round, genesis
+//
+// cmd/dissentd mounts this next to the protocol transport; HTTPSource
+// is the matching client side.
+func Handler(c *Chain) http.Handler {
+	mux := http.NewServeMux()
+	writeEntry := func(w http.ResponseWriter, e *Entry) {
+		if e == nil {
+			http.Error(w, "no such beacon entry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(encodeEntry(e))
+	}
+	mux.HandleFunc("GET /beacon/latest", func(w http.ResponseWriter, r *http.Request) {
+		writeEntry(w, c.Latest())
+	})
+	mux.HandleFunc("GET /beacon/info", func(w http.ResponseWriter, r *http.Request) {
+		info := struct {
+			Entries   int    `json:"entries"`
+			HeadRound uint64 `json:"head_round"`
+			HeadValue string `json:"head_value"`
+			Genesis   string `json:"genesis"`
+		}{Entries: c.Len(), Genesis: hex.EncodeToString(c.genesis[:])}
+		head := c.Head()
+		info.HeadValue = hex.EncodeToString(head[:])
+		if latest := c.Latest(); latest != nil {
+			info.HeadRound = latest.Round
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
+	})
+	mux.HandleFunc("GET /beacon/range/{from}", func(w http.ResponseWriter, r *http.Request) {
+		from, err := strconv.ParseUint(r.PathValue("from"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad round", http.StatusBadRequest)
+			return
+		}
+		max := 256
+		if q := r.URL.Query().Get("max"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				max = v
+			}
+		}
+		if max > 1024 {
+			max = 1024
+		}
+		page := c.RangeFrom(from, max)
+		out := make([]entryJSON, len(page)) // empty page encodes as [], not null
+		for i, e := range page {
+			out[i] = encodeEntry(e)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("GET /beacon/from/{round}", func(w http.ResponseWriter, r *http.Request) {
+		round, err := strconv.ParseUint(r.PathValue("round"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad round", http.StatusBadRequest)
+			return
+		}
+		writeEntry(w, c.From(round))
+	})
+	mux.HandleFunc("GET /beacon/{round}", func(w http.ResponseWriter, r *http.Request) {
+		round, err := strconv.ParseUint(r.PathValue("round"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad round", http.StatusBadRequest)
+			return
+		}
+		writeEntry(w, c.Get(round))
+	})
+	return mux
+}
+
+// defaultHTTPClient bounds fetches against unresponsive servers so a
+// CLI sync fails instead of hanging forever.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// HTTPSource fetches chain entries from a node serving Handler. It
+// implements Source, so Chain.Sync can catch up (verifying every
+// entry) directly from a server's beacon endpoint.
+type HTTPSource struct {
+	// URL is the base URL, e.g. "http://127.0.0.1:7080".
+	URL string
+	// Client overrides the default 30s-timeout client when non-nil.
+	Client *http.Client
+}
+
+func (s *HTTPSource) get(path string) (*Entry, error) {
+	client := s.Client
+	if client == nil {
+		client = defaultHTTPClient
+	}
+	resp, err := client.Get(strings.TrimSuffix(s.URL, "/") + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("beacon: GET %s: %s", path, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	var j entryJSON
+	if err := json.Unmarshal(body, &j); err != nil {
+		return nil, fmt.Errorf("beacon: GET %s: %w", path, err)
+	}
+	return decodeEntry(j)
+}
+
+// Latest implements Source.
+func (s *HTTPSource) Latest() (*Entry, error) { return s.get("/beacon/latest") }
+
+// Range implements BatchSource: one request fetches a page of entries.
+func (s *HTTPSource) Range(from uint64, max int) ([]*Entry, error) {
+	client := s.Client
+	if client == nil {
+		client = defaultHTTPClient
+	}
+	path := fmt.Sprintf("/beacon/range/%d?max=%d", from, max)
+	resp, err := client.Get(strings.TrimSuffix(s.URL, "/") + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("beacon: GET %s: %s", path, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	var js []entryJSON
+	if err := json.Unmarshal(body, &js); err != nil {
+		return nil, fmt.Errorf("beacon: GET %s: %w", path, err)
+	}
+	entries := make([]*Entry, len(js))
+	for i, j := range js {
+		if entries[i], err = decodeEntry(j); err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+// Entry fetches the entry for an exact round.
+func (s *HTTPSource) Entry(round uint64) (*Entry, error) {
+	return s.get("/beacon/" + strconv.FormatUint(round, 10))
+}
+
+// From implements Source.
+func (s *HTTPSource) From(round uint64) (*Entry, error) {
+	return s.get("/beacon/from/" + strconv.FormatUint(round, 10))
+}

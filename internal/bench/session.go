@@ -135,6 +135,9 @@ func BuildSession(cfg SessionConfig) (*Session, error) {
 	policy.MessageGroup = "modp-512-test"
 	policy.SignMessages = cfg.Sign
 	policy.RetainRounds = 2 // bound memory at 5,000-client scale
+	// The beacon is not part of the paper's measured protocol, and its
+	// per-round Schnorr work would dominate unsigned 5,000-client runs.
+	policy.BeaconEpochRounds = 0
 	if cfg.SlotLen > 0 {
 		policy.DefaultOpenLen = cfg.SlotLen
 	}

@@ -37,6 +37,7 @@ func (s *Server) InstallSchedule(now time.Time, slotKeys []crypto.Element) (*Out
 	if err != nil {
 		return nil, err
 	}
+	s.installRotation(sched)
 	s.sched = sched
 	s.prevCount = len(slotKeys)
 	s.phase = phaseRunning
@@ -74,6 +75,7 @@ func (c *Client) InstallSchedule(now time.Time, numSlots, mySlot int, pseudonym 
 	if err != nil {
 		return nil, err
 	}
+	c.installRotation(sched)
 	c.sched = sched
 	c.ready = true
 	out := &Output{Events: []Event{{Kind: EventScheduleReady,

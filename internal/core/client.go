@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"dissent/internal/beacon"
 	"dissent/internal/crypto"
 	"dissent/internal/dcnet"
 	"dissent/internal/group"
@@ -88,6 +89,15 @@ func (c *Client) Ready() bool { return c.ready }
 // Round returns the next round the client will submit for.
 func (c *Client) Round() uint64 { return c.round }
 
+// SchedulePermutation returns the current slot-layout permutation, or
+// nil before the schedule is established.
+func (c *Client) SchedulePermutation() []int {
+	if c.sched == nil {
+		return nil
+	}
+	return c.sched.Permutation()
+}
+
 // Send queues an application payload for anonymous transmission. Large
 // payloads are fragmented across rounds up to the slot-length cap;
 // reassembly is the application's concern.
@@ -118,11 +128,7 @@ func (c *Client) Start(now time.Time) (*Output, error) {
 }
 
 func (c *Client) serverIdentityKeys() []crypto.Element {
-	pubs := make([]crypto.Element, len(c.def.Servers))
-	for j, srv := range c.def.Servers {
-		pubs[j] = srv.PubKey
-	}
-	return pubs
+	return c.def.ServerPubKeys()
 }
 
 // Handle processes one incoming message.
@@ -191,6 +197,7 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.installRotation(sched)
 	c.sched = sched
 	c.ready = true
 	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("slot %d of %d", c.mySlot, len(p.Keys))}}}
@@ -297,7 +304,15 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 	if len(p.Sigs) != len(c.def.Servers) {
 		return c.violation(errors.New("round output lacks a signature per server")), nil
 	}
-	signed := cleartextSignedBytes(c.grpID, m.Round, int(p.Count), p.Cleartext)
+	// Reconstruct the round's beacon entry from the carried shares: its
+	// chained value is covered by the certification signatures, so a
+	// bogus share set fails the certificate check below before it can
+	// touch our chain replica.
+	var bEntry *beacon.Entry
+	if !p.Failed && c.beaconChain != nil {
+		bEntry = beacon.NewEntry(m.Round, c.beaconChain.Head(), p.Beacon)
+	}
+	signed := cleartextSignedBytes(c.grpID, m.Round, int(p.Count), p.Cleartext, beaconValueBytes(bEntry))
 	for j, srv := range c.def.Servers {
 		sig, err := crypto.DecodeSignature(c.keyGrp, p.Sigs[j])
 		if err != nil {
@@ -336,6 +351,16 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 		}
 	}
 
+	// Extend the beacon chain before advancing the schedule, so an
+	// epoch boundary rotates from this round's certified output on
+	// client and server replicas alike. All m certification signatures
+	// verified above cover the entry's chained value, so the per-share
+	// signatures need no re-verification here.
+	if bEntry != nil {
+		if err := c.beaconChain.AppendTrusted(bEntry); err != nil {
+			return c.violation(fmt.Errorf("round %d beacon: %w", m.Round, err)), nil
+		}
+	}
 	wasClosed := c.sched.SlotLen(c.mySlot) == 0
 	res, err := c.sched.Advance(p.Cleartext)
 	if err != nil {
@@ -348,6 +373,10 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 		if pl != nil && len(pl.Data) > 0 {
 			out.Deliveries = append(out.Deliveries, Delivery{Round: m.Round, Slot: slot, Data: pl.Data})
 		}
+	}
+	if res.Rotated {
+		out.Events = append(out.Events, Event{Kind: EventEpochRotated, Round: m.Round,
+			Detail: fmt.Sprintf("epoch at round %d", c.sched.Round())})
 	}
 	c.round = m.Round + 1
 	if res.ShuffleRequested {

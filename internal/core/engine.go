@@ -5,7 +5,9 @@ import (
 	"io"
 	"time"
 
+	"dissent/internal/beacon"
 	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
 	"dissent/internal/group"
 )
 
@@ -39,6 +41,9 @@ const (
 	// submission window — the boundary between "client submission" and
 	// "server processing" time in the paper's Figures 7–8.
 	EventWindowClosed
+	// EventEpochRotated fires when a node crosses an epoch boundary and
+	// re-derives the slot permutation from the randomness beacon.
+	EventEpochRotated
 )
 
 func (k EventKind) String() string {
@@ -59,6 +64,8 @@ func (k EventKind) String() string {
 		return "protocol-violation"
 	case EventWindowClosed:
 		return "window-closed"
+	case EventEpochRotated:
+		return "epoch-rotated"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -117,6 +124,12 @@ type node struct {
 	rand    io.Reader
 	prng    crypto.PRNGMaker
 	signing bool
+
+	// beaconChain is this node's replica of the anytrust randomness
+	// beacon (nil when Policy.BeaconEpochRounds is 0). Servers extend
+	// it through the round protocol's commit–reveal; clients extend it
+	// from certified round outputs.
+	beaconChain *beacon.Chain
 }
 
 func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
@@ -128,7 +141,7 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 	if prng == nil {
 		prng = crypto.NewAESPRNG
 	}
-	return node{
+	n := node{
 		def:     def,
 		grpID:   def.GroupID(),
 		keyGrp:  def.Group(),
@@ -139,6 +152,46 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 		prng:    prng,
 		signing: def.Policy.SignMessages,
 	}
+	if def.Policy.BeaconEpochRounds > 0 {
+		pubs := def.ServerPubKeys()
+		genesis := beacon.GenesisValue(n.grpID)
+		if opts.BeaconStore != nil {
+			n.beaconChain = beacon.NewChainWithStore(n.keyGrp, pubs, genesis, opts.BeaconStore)
+		} else {
+			n.beaconChain = beacon.NewChain(n.keyGrp, pubs, genesis)
+		}
+	}
+	return n
+}
+
+// BeaconChain returns the node's beacon chain replica, or nil when the
+// beacon is disabled by policy. The chain is safe for concurrent
+// reads, so servers can expose it over HTTP while rounds progress.
+func (n *node) BeaconChain() *beacon.Chain { return n.beaconChain }
+
+// installRotation wires the beacon-driven epoch rotation into a fresh
+// schedule: every BeaconEpochRounds rounds the slot permutation is
+// re-derived from the latest beacon value. All replicas install the
+// same hook over identical chains, so layouts stay in lockstep.
+func (n *node) installRotation(sched *dcnet.Schedule) {
+	if n.beaconChain == nil {
+		return
+	}
+	sched.SetEpochRotation(uint64(n.def.Policy.BeaconEpochRounds), func(round uint64) []byte {
+		if e := n.beaconChain.Latest(); e != nil {
+			return e.Value[:]
+		}
+		return nil // no beacon output yet: keep the current permutation
+	})
+}
+
+// beaconValueBytes renders an entry's value for certification (nil
+// entry -> nil, for failed rounds and beacon-off groups).
+func beaconValueBytes(e *beacon.Entry) []byte {
+	if e == nil {
+		return nil
+	}
+	return e.Value[:]
 }
 
 // Options tunes engine construction.
@@ -157,6 +210,9 @@ type Options struct {
 	// O(N·M) scalar multiplications at setup; both sides must use the
 	// same function. Production deployments leave it nil.
 	PairSeed func(clientIdx, serverIdx int) []byte
+	// BeaconStore backs the node's beacon chain (nil = in-memory).
+	// cmd/dissentd passes a beacon.FileStore for durable chains.
+	BeaconStore beacon.Store
 }
 
 // sign builds a Message, signing it when the policy requires.

@@ -372,10 +372,13 @@ func DecodeInventory(b []byte) (*Inventory, error) {
 
 // Commit is a server's hash commitment to its ciphertext (Algorithm 2
 // step 3), preventing dishonest servers from adapting their share to
-// others'.
+// others'. When the randomness beacon is enabled, the same message
+// carries the server's binding commitment to its beacon share, so the
+// beacon's commit phase rides the round's existing commit exchange.
 type Commit struct {
-	Attempt int32
-	Hash    []byte
+	Attempt      int32
+	Hash         []byte
+	BeaconCommit []byte // H(beacon share); empty when the beacon is off
 }
 
 // Encode serializes the payload.
@@ -383,6 +386,7 @@ func (p *Commit) Encode() []byte {
 	var e encBuf
 	e.u32(uint32(p.Attempt))
 	e.bytes(p.Hash)
+	e.bytes(p.BeaconCommit)
 	return e.b
 }
 
@@ -397,16 +401,24 @@ func DecodeCommit(b []byte) (*Commit, error) {
 	if err != nil {
 		return nil, err
 	}
+	bc, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
-	return &Commit{Attempt: int32(at), Hash: h}, nil
+	return &Commit{Attempt: int32(at), Hash: h, BeaconCommit: bc}, nil
 }
 
-// Share is a server's ciphertext, revealed after all commits.
+// Share is a server's ciphertext, revealed after all commits. It also
+// reveals the server's beacon share (a Schnorr signature over the
+// previous beacon value and round; see internal/beacon), completing
+// the beacon's commit–reveal exchange.
 type Share struct {
-	Attempt int32
-	CT      []byte
+	Attempt     int32
+	CT          []byte
+	BeaconShare []byte // empty when the beacon is off
 }
 
 // Encode serializes the payload.
@@ -414,6 +426,7 @@ func (p *Share) Encode() []byte {
 	var e encBuf
 	e.u32(uint32(p.Attempt))
 	e.bytes(p.CT)
+	e.bytes(p.BeaconShare)
 	return e.b
 }
 
@@ -428,10 +441,14 @@ func DecodeShare(b []byte) (*Share, error) {
 	if err != nil {
 		return nil, err
 	}
+	bs, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
-	return &Share{Attempt: int32(at), CT: ct}, nil
+	return &Share{Attempt: int32(at), CT: ct, BeaconShare: bs}, nil
 }
 
 // Certify is a server's signature over the assembled cleartext.
@@ -466,23 +483,32 @@ func DecodeCertify(b []byte) (*Certify, error) {
 }
 
 // cleartextSignedBytes is the byte string certifying signatures cover.
-func cleartextSignedBytes(groupID [32]byte, round uint64, count int, cleartext []byte) []byte {
+// beaconValue is the round's chained beacon output (nil for failed
+// rounds or when the beacon is off), so certification also pins the
+// beacon chain: a server cannot certify the round yet equivocate about
+// its randomness.
+func cleartextSignedBytes(groupID [32]byte, round uint64, count int, cleartext, beaconValue []byte) []byte {
 	var e encBuf
 	e.b = append(e.b, groupID[:]...)
 	e.u64(round)
 	e.u32(uint32(count))
 	e.bytes(cleartext)
+	e.bytes(beaconValue)
 	return crypto.Hash("dissent/cleartext-cert", e.b)
 }
 
 // RoundOutput carries the certified round result to clients. Failed
 // indicates a hard-timeout round whose ciphertexts were discarded; its
-// Count resets the participation baseline (§3.7).
+// Count resets the participation baseline (§3.7). Beacon holds every
+// server's beacon share for this round (in server-index order) so
+// clients extend and verify their beacon chain replica; it is empty
+// for failed rounds and when the beacon is off.
 type RoundOutput struct {
 	Cleartext []byte
 	Sigs      [][]byte // per server index
 	Count     int32
 	Failed    bool
+	Beacon    [][]byte // per server index
 }
 
 // Encode serializes the payload.
@@ -496,6 +522,7 @@ func (p *RoundOutput) Encode() []byte {
 	} else {
 		e.u8(0)
 	}
+	e.byteSlices(p.Beacon)
 	return e.b
 }
 
@@ -518,10 +545,14 @@ func DecodeRoundOutput(b []byte) (*RoundOutput, error) {
 	if err != nil {
 		return nil, err
 	}
+	bc, err := d.byteSlices()
+	if err != nil {
+		return nil, err
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
-	return &RoundOutput{Cleartext: ct, Sigs: sigs, Count: int32(count), Failed: failed != 0}, nil
+	return &RoundOutput{Cleartext: ct, Sigs: sigs, Count: int32(count), Failed: failed != 0, Beacon: bc}, nil
 }
 
 // BlameStart announces an accusation shuffle session to clients.

@@ -155,17 +155,32 @@ func TestPayloadCodecsRoundTrip(t *testing.T) {
 				}
 				return err
 			}},
-		{"Commit", func() []byte { return (&Commit{Attempt: 1, Hash: []byte("h")}).Encode() },
-			func(b []byte) error { _, err := DecodeCommit(b); return err }},
-		{"Share", func() []byte { return (&Share{Attempt: 1, CT: []byte("share")}).Encode() },
-			func(b []byte) error { _, err := DecodeShare(b); return err }},
+		{"Commit", func() []byte {
+			return (&Commit{Attempt: 1, Hash: []byte("h"), BeaconCommit: []byte("bc")}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeCommit(b)
+			if err == nil && string(p.BeaconCommit) != "bc" {
+				t.Error("beacon commit mismatch")
+			}
+			return err
+		}},
+		{"Share", func() []byte {
+			return (&Share{Attempt: 1, CT: []byte("share"), BeaconShare: []byte("bs")}).Encode()
+		}, func(b []byte) error {
+			p, err := DecodeShare(b)
+			if err == nil && string(p.BeaconShare) != "bs" {
+				t.Error("beacon share mismatch")
+			}
+			return err
+		}},
 		{"Certify", func() []byte { return (&Certify{Attempt: 0, Sig: []byte("sig")}).Encode() },
 			func(b []byte) error { _, err := DecodeCertify(b); return err }},
 		{"RoundOutput", func() []byte {
-			return (&RoundOutput{Cleartext: []byte("clear"), Sigs: [][]byte{[]byte("s")}, Count: 9, Failed: true}).Encode()
+			return (&RoundOutput{Cleartext: []byte("clear"), Sigs: [][]byte{[]byte("s")}, Count: 9, Failed: true,
+				Beacon: [][]byte{[]byte("b0"), []byte("b1")}}).Encode()
 		}, func(b []byte) error {
 			p, err := DecodeRoundOutput(b)
-			if err == nil && (!p.Failed || p.Count != 9) {
+			if err == nil && (!p.Failed || p.Count != 9 || len(p.Beacon) != 2 || string(p.Beacon[1]) != "b1") {
 				t.Error("fields mismatch")
 			}
 			return err

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"dissent/internal/beacon"
 	"dissent/internal/crypto"
 	"dissent/internal/dcnet"
 	"dissent/internal/group"
@@ -63,6 +64,13 @@ type roundState struct {
 	myShare    []byte
 	cleartext  []byte
 	failed     bool
+
+	// Beacon commit–reveal state, riding the round's commit and share
+	// exchanges (nil maps stay empty when the beacon is off).
+	beaconCommits map[int][]byte // server index -> H(beacon share)
+	beaconShares  map[int][]byte // server index -> beacon share
+	myBeaconShare []byte
+	beaconEntry   *beacon.Entry // verified entry, set at combine time
 }
 
 // roundHistory is the retained state needed for accusation tracing.
@@ -218,6 +226,15 @@ func (s *Server) Participation() int { return s.prevCount }
 
 // Excluded reports whether a client index has been expelled.
 func (s *Server) Excluded(clientIdx int) bool { return s.excluded[clientIdx] }
+
+// SchedulePermutation returns the current slot-layout permutation, or
+// nil before the schedule is established.
+func (s *Server) SchedulePermutation() []int {
+	if s.sched == nil {
+		return nil
+	}
+	return s.sched.Permutation()
+}
 
 // Start begins the setup phase: waiting for pseudonym submissions.
 func (s *Server) Start(now time.Time) (*Output, error) {
@@ -471,11 +488,7 @@ func (s *Server) maybeStartShuffle(now time.Time) (*Output, error) {
 
 // serverIdentityKeys returns the server identity public keys.
 func (s *Server) serverIdentityKeys() []crypto.Element {
-	pubs := make([]crypto.Element, len(s.def.Servers))
-	for i, srv := range s.def.Servers {
-		pubs[i] = srv.PubKey
-	}
-	return pubs
+	return s.def.ServerPubKeys()
 }
 
 // maybeRunShuffleStage runs this server's shuffle step if it is next.
@@ -612,6 +625,7 @@ func (s *Server) maybeFinishSetup(now time.Time) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.installRotation(sched)
 	s.sched = sched
 	s.prevCount = len(s.slotKeys)
 	s.phase = phaseRunning
@@ -666,6 +680,9 @@ func (s *Server) startRound(now time.Time, out *Output) {
 		commits: make(map[int][]byte),
 		shares:  make(map[int][]byte),
 		certs:   make(map[int][]byte),
+
+		beaconCommits: make(map[int][]byte),
+		beaconShares:  make(map[int][]byte),
 	}
 	out.merge(&Output{Timer: s.round.hardAt})
 }
@@ -870,6 +887,20 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 
 	out := &Output{}
 	commit := &Commit{Attempt: rs.attempt, Hash: crypto.Hash("dissent/share-commit", share)}
+	if s.beaconChain != nil && rs.myBeaconShare == nil {
+		// Beacon commit phase rides the round's commit broadcast: the
+		// share signs the chain head, and its hash commits us before we
+		// see any peer's reveal (unbiasable with one honest server).
+		bshare, err := beacon.MakeShare(s.kp, rs.r, s.beaconChain.Head(), s.rand)
+		if err != nil {
+			return nil, err
+		}
+		rs.myBeaconShare = bshare
+	}
+	if rs.myBeaconShare != nil {
+		commit.BeaconCommit = beacon.CommitShare(rs.myBeaconShare)
+		rs.beaconCommits[s.idx] = commit.BeaconCommit
+	}
 	if err := s.broadcastServers(MsgCommit, rs.r, commit.Encode(), out); err != nil {
 		return nil, err
 	}
@@ -899,6 +930,9 @@ func (s *Server) onCommit(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	rs.commits[si] = p.Hash
+	if len(p.BeaconCommit) > 0 {
+		rs.beaconCommits[si] = p.BeaconCommit
+	}
 	return s.maybeShare(now)
 }
 
@@ -909,11 +943,14 @@ func (s *Server) maybeShare(now time.Time) (*Output, error) {
 	}
 	rs.phase = rpShare
 	out := &Output{}
-	body := (&Share{Attempt: rs.attempt, CT: rs.myShare}).Encode()
+	body := (&Share{Attempt: rs.attempt, CT: rs.myShare, BeaconShare: rs.myBeaconShare}).Encode()
 	if err := s.broadcastServers(MsgShare, rs.r, body, out); err != nil {
 		return nil, err
 	}
 	rs.shares[s.idx] = rs.myShare
+	if rs.myBeaconShare != nil {
+		rs.beaconShares[s.idx] = rs.myBeaconShare
+	}
 	more, err := s.maybeCombine(now)
 	if err != nil {
 		return nil, err
@@ -939,6 +976,9 @@ func (s *Server) onShare(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	rs.shares[si] = p.CT
+	if len(p.BeaconShare) > 0 {
+		rs.beaconShares[si] = p.BeaconShare
+	}
 	return s.maybeCombine(now)
 }
 
@@ -955,6 +995,25 @@ func (s *Server) maybeCombine(now time.Time) (*Output, error) {
 			return s.violation(rs.r, fmt.Errorf("server %d share does not match its commitment", si)), nil
 		}
 	}
+	if s.beaconChain != nil {
+		// Replay the beacon commit–reveal through a beacon.Round, which
+		// checks every share against its commitment and signature and
+		// assembles the round's chain entry.
+		br := beacon.NewRound(s.keyGrp, s.serverIdentityKeys(), rs.r, s.beaconChain.Head())
+		for si := 0; si < len(s.def.Servers); si++ {
+			if err := br.Commit(si, rs.beaconCommits[si]); err != nil {
+				return s.violation(rs.r, err), nil
+			}
+			if err := br.Reveal(si, rs.beaconShares[si]); err != nil {
+				return s.violation(rs.r, err), nil
+			}
+		}
+		entry, err := br.Entry()
+		if err != nil {
+			return s.violation(rs.r, err), nil
+		}
+		rs.beaconEntry = entry
+	}
 	cleartext := make([]byte, s.sched.Len())
 	for si := 0; si < len(s.def.Servers); si++ {
 		crypto.XORBytes(cleartext, rs.shares[si])
@@ -967,7 +1026,7 @@ func (s *Server) sendCertify(now time.Time) (*Output, error) {
 	rs := s.round
 	rs.phase = rpCertify
 	sig, err := s.kp.Sign("dissent/cleartext",
-		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext), s.rand)
+		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext, beaconValueBytes(rs.beaconEntry)), s.rand)
 	if err != nil {
 		return nil, err
 	}
@@ -1013,7 +1072,7 @@ func (s *Server) onCertify(now time.Time, m *Message) (*Output, error) {
 		return s.violation(rs.r, err), nil
 	}
 	if err := crypto.Verify(s.keyGrp, s.def.Servers[si].PubKey, "dissent/cleartext",
-		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext), sig); err != nil {
+		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext, beaconValueBytes(rs.beaconEntry)), sig); err != nil {
 		return s.violation(rs.r, fmt.Errorf("server %d certify: %w", si, err)), nil
 	}
 	if _, dup := rs.certs[si]; dup {
@@ -1036,13 +1095,16 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 	for i := range sigs {
 		sigs[i] = rs.certs[i]
 	}
-	body := (&RoundOutput{
+	ro := &RoundOutput{
 		Cleartext: rs.cleartext,
 		Sigs:      sigs,
 		Count:     int32(len(rs.included)),
 		Failed:    rs.failed,
-	}).Encode()
-	if err := s.broadcastClients(MsgOutput, rs.r, body, out); err != nil {
+	}
+	if rs.beaconEntry != nil && !rs.failed {
+		ro.Beacon = rs.beaconEntry.Shares
+	}
+	if err := s.broadcastClients(MsgOutput, rs.r, ro.Encode(), out); err != nil {
 		return nil, err
 	}
 
@@ -1076,6 +1138,15 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 		delete(s.history, old-uint64(s.def.Policy.RetainRounds))
 	}
 
+	// Extend the beacon chain before advancing the schedule so an epoch
+	// boundary crossed by this advance rotates on this round's output.
+	// Every share was verified at combine time (beacon.Round.Reveal),
+	// so only the linkage needs checking here.
+	if rs.beaconEntry != nil {
+		if err := s.beaconChain.AppendTrusted(rs.beaconEntry); err != nil {
+			return nil, fmt.Errorf("core: beacon append: %w", err)
+		}
+	}
 	res, err := s.sched.Advance(rs.cleartext)
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule advance: %w", err)
@@ -1087,6 +1158,10 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 	}
 	out.Events = append(out.Events, Event{Kind: EventRoundComplete, Round: rs.r,
 		Detail: fmt.Sprintf("participation %d", len(rs.included))})
+	if res.Rotated {
+		out.Events = append(out.Events, Event{Kind: EventEpochRotated, Round: rs.r,
+			Detail: fmt.Sprintf("epoch at round %d", s.sched.Round())})
+	}
 
 	if res.ShuffleRequested || s.pendingBlame {
 		s.pendingBlame = false

@@ -10,8 +10,11 @@
 package dcnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"dissent/internal/crypto"
 )
 
 // Config fixes the schedule parameters agreed at group creation.
@@ -62,23 +65,100 @@ func (c Config) Validate() error {
 // Schedule tracks the per-slot state that determines each round's
 // cleartext layout. All nodes advance identical Schedule replicas from
 // identical round outputs, so the layout never needs negotiation.
+//
+// The layout orders slot message regions by a permutation that an
+// epoch-rotation hook can re-derive every N rounds from shared
+// randomness (the internal/beacon chain in production), so a slot's
+// byte position in the round vector shifts unpredictably across epochs
+// instead of being fixed for the session's lifetime.
 type Schedule struct {
 	cfg   Config
 	round uint64
 	lens  []int // current message-slot lengths, 0 = closed
 	idle  []int // consecutive all-zero rounds per open slot
+
+	perm []int // perm[position] = slot occupying that layout position
+	pos  []int // pos[slot] = its layout position (inverse of perm)
+
+	epochEvery uint64
+	epochSeed  func(round uint64) []byte
 }
 
-// NewSchedule creates the round-0 schedule: all slots closed.
+// NewSchedule creates the round-0 schedule: all slots closed, identity
+// slot order.
 func NewSchedule(cfg Config) (*Schedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Schedule{
+	s := &Schedule{
 		cfg:  cfg,
 		lens: make([]int, cfg.NumSlots),
 		idle: make([]int, cfg.NumSlots),
-	}, nil
+	}
+	s.setPerm(identityPerm(cfg.NumSlots))
+	return s, nil
+}
+
+// SetEpochRotation installs the epoch hook: starting at each round
+// that is a positive multiple of every, the slot permutation is
+// re-derived from seed(round). All replicas must install equivalent
+// hooks (same epoch length, same seed values) to stay in lockstep; a
+// nil seed return (e.g. no beacon output available yet) keeps the
+// current permutation, deterministically on every replica.
+func (s *Schedule) SetEpochRotation(every uint64, seed func(round uint64) []byte) {
+	s.epochEvery = every
+	s.epochSeed = seed
+}
+
+// Permutation returns a copy of the current layout permutation:
+// element p is the slot whose message region is laid out p-th.
+func (s *Schedule) Permutation() []int {
+	return append([]int(nil), s.perm...)
+}
+
+// setPerm installs a permutation and its inverse.
+func (s *Schedule) setPerm(perm []int) {
+	s.perm = perm
+	if s.pos == nil {
+		s.pos = make([]int, len(perm))
+	}
+	for p, slot := range perm {
+		s.pos[slot] = p
+	}
+}
+
+// identityPerm returns [0, 1, ..., n-1].
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// PermFromSeed derives a permutation of n slots from a shared seed by
+// a Fisher–Yates shuffle over an AES-CTR stream, with rejection
+// sampling so every permutation is equally likely. Identical seeds
+// yield identical permutations on every node.
+func PermFromSeed(seed []byte, n int) []int {
+	perm := identityPerm(n)
+	stream := crypto.NewAESPRNG(crypto.Hash("dissent/epoch-perm", seed))
+	var buf [4]byte
+	for i := n - 1; i > 0; i-- {
+		// Uniform j in [0, i] by rejection on the top of the range.
+		bound := uint32(i + 1)
+		limit := ^uint32(0) - ^uint32(0)%bound
+		for {
+			stream.Read(buf[:])
+			v := binary.BigEndian.Uint32(buf[:])
+			if v < limit {
+				j := int(v % bound)
+				perm[i], perm[j] = perm[j], perm[i]
+				break
+			}
+		}
+	}
+	return perm
 }
 
 // Config returns the schedule's configuration.
@@ -110,10 +190,12 @@ func (s *Schedule) ReqBitRange() (off, n int) { return 0, s.reqBytes() }
 
 // SlotRange returns the byte range of slot i's message region in the
 // current round's cleartext vector. n is zero for closed slots.
+// Message regions are laid out in permutation order; request bits stay
+// indexed by slot.
 func (s *Schedule) SlotRange(i int) (off, n int) {
 	off = s.reqBytes()
-	for j := 0; j < i; j++ {
-		off += s.lens[j]
+	for p := 0; p < s.pos[i]; p++ {
+		off += s.lens[s.perm[p]]
 	}
 	return off, s.lens[i]
 }
@@ -140,6 +222,9 @@ type RoundResult struct {
 	// field was nonzero: the servers must run an accusation shuffle
 	// before the next DC-net round (§3.9).
 	ShuffleRequested bool
+	// Rotated is true when this advance crossed an epoch boundary and
+	// re-derived the slot permutation.
+	Rotated bool
 	// Payloads holds each open slot's decoded payload (nil entry for
 	// closed or idle slots).
 	Payloads []*SlotPayload
@@ -203,14 +288,22 @@ func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
 	}
 	s.lens = next
 	s.round++
+	if s.epochEvery > 0 && s.round%s.epochEvery == 0 && s.epochSeed != nil {
+		if seed := s.epochSeed(s.round); seed != nil {
+			s.setPerm(PermFromSeed(seed, s.cfg.NumSlots))
+			res.Rotated = true
+		}
+	}
 	return res, nil
 }
 
 // Clone returns an independent copy of the schedule, used by clients
 // probing "what would the layout be if this round's output were X".
 func (s *Schedule) Clone() *Schedule {
-	c := &Schedule{cfg: s.cfg, round: s.round}
+	c := &Schedule{cfg: s.cfg, round: s.round,
+		epochEvery: s.epochEvery, epochSeed: s.epochSeed}
 	c.lens = append([]int(nil), s.lens...)
 	c.idle = append([]int(nil), s.idle...)
+	c.setPerm(append([]int(nil), s.perm...))
 	return c
 }

@@ -302,3 +302,173 @@ func TestScheduleGarbledSlotHoldsLength(t *testing.T) {
 		t.Errorf("garbled slot length changed: %d -> %d", want, s.SlotLen(0))
 	}
 }
+
+// --- Epoch rotation ----------------------------------------------------
+
+func TestPermFromSeedDeterministicAndValid(t *testing.T) {
+	seed := []byte("beacon value for epoch 3")
+	a := PermFromSeed(seed, 17)
+	b := PermFromSeed(seed, 17)
+	if len(a) != 17 {
+		t.Fatalf("perm length %d", len(a))
+	}
+	seen := make([]bool, 17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+		if a[i] < 0 || a[i] >= 17 || seen[a[i]] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[a[i]] = true
+	}
+	c := PermFromSeed([]byte("a different beacon value"), 17)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same permutation")
+	}
+}
+
+// openAll opens every slot and returns the post-open schedule.
+func openAll(t *testing.T, s *Schedule) {
+	t.Helper()
+	buf := make([]byte, s.Len())
+	for i := 0; i < s.NumSlots(); i++ {
+		s.SetReqBit(buf, i, true)
+	}
+	if _, err := s.Advance(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochRotationChangesLayout(t *testing.T) {
+	const slots = 12 // 1/12! identity chance: assertions are stable
+	cfg := testConfig(slots)
+	s := mustSchedule(t, cfg)
+	var seeds []uint64
+	s.SetEpochRotation(3, func(round uint64) []byte {
+		seeds = append(seeds, round)
+		return []byte{byte(round)}
+	})
+	openAll(t, s) // round 0 -> 1: no boundary
+	if len(seeds) != 0 {
+		t.Fatal("rotated off-boundary")
+	}
+	before := s.Permutation()
+	offBefore := make([]int, slots)
+	for i := range offBefore {
+		offBefore[i], _ = s.SlotRange(i)
+	}
+
+	// Advance across the round-3 boundary with idle (undecodable) slot
+	// contents: lengths hold, only the permutation may change.
+	for r := uint64(1); r < 3; r++ {
+		res, err := s.Advance(make([]byte, s.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRot := s.Round() == 3
+		if res.Rotated != wantRot {
+			t.Fatalf("round %d: Rotated = %v", s.Round(), res.Rotated)
+		}
+	}
+	if len(seeds) != 1 || seeds[0] != 3 {
+		t.Fatalf("seed hook calls %v, want [3]", seeds)
+	}
+	after := s.Permutation()
+	changed := false
+	for i := range after {
+		if after[i] != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("permutation unchanged at epoch boundary (vanishingly unlikely)")
+	}
+	// Total layout length is permutation-invariant; offsets move.
+	offChanged := false
+	for i := range offBefore {
+		if off, _ := s.SlotRange(i); off != offBefore[i] {
+			offChanged = true
+		}
+	}
+	if !offChanged {
+		t.Fatal("slot offsets unchanged after rotation")
+	}
+}
+
+func TestEpochRotationNilSeedKeepsPerm(t *testing.T) {
+	s := mustSchedule(t, testConfig(5))
+	s.SetEpochRotation(1, func(round uint64) []byte { return nil })
+	openAll(t, s)
+	res, err := s.Advance(make([]byte, s.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rotated {
+		t.Fatal("rotated despite nil seed")
+	}
+	perm := s.Permutation()
+	for i, v := range perm {
+		if v != i {
+			t.Fatalf("identity permutation disturbed: %v", perm)
+		}
+	}
+}
+
+func TestPermutedLayoutRoundTripsPayloads(t *testing.T) {
+	cfg := testConfig(4)
+	s := mustSchedule(t, cfg)
+	s.SetEpochRotation(2, func(round uint64) []byte { return []byte("rot") })
+	openAll(t, s)
+	if _, err := s.Advance(make([]byte, s.Len())); err != nil { // crosses boundary
+		t.Fatal(err)
+	}
+
+	// Write a payload into slot 2's permuted range and advance: the
+	// decoded payload must come back attributed to slot 2.
+	buf := make([]byte, s.Len())
+	off, n := s.SlotRange(2)
+	payload := SlotPayload{Data: []byte("hello"), NextLen: n}
+	if err := EncodeSlot(buf[off:off+n], payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payloads[2] == nil || string(res.Payloads[2].Data) != "hello" {
+		t.Fatalf("slot 2 payload lost under permuted layout: %+v", res.Payloads)
+	}
+	for i, p := range res.Payloads {
+		if i != 2 && p != nil {
+			t.Fatalf("payload misattributed to slot %d", i)
+		}
+	}
+}
+
+func TestCloneCarriesPermutation(t *testing.T) {
+	s := mustSchedule(t, testConfig(5))
+	s.SetEpochRotation(1, func(round uint64) []byte { return []byte("x") })
+	openAll(t, s) // round 1: rotates
+	c := s.Clone()
+	cp, sp := c.Permutation(), s.Permutation()
+	for i := range sp {
+		if cp[i] != sp[i] {
+			t.Fatal("clone lost permutation")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		so, sn := s.SlotRange(i)
+		co, cn := c.SlotRange(i)
+		if so != co || sn != cn {
+			t.Fatalf("clone layout differs at slot %d", i)
+		}
+	}
+}

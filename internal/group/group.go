@@ -64,6 +64,12 @@ type Policy struct {
 	IdleCloseRounds int
 	// RetainRounds bounds per-round state kept for accusation tracing.
 	RetainRounds int
+	// BeaconEpochRounds enables the anytrust randomness beacon
+	// (internal/beacon): servers contribute commit–reveal shares every
+	// round and the slot schedule's layout permutation is re-derived
+	// from the beacon output every BeaconEpochRounds rounds. 0 disables
+	// the beacon entirely (large unsigned simulations).
+	BeaconEpochRounds int
 	// MessageGroup names the group used for general message shuffles
 	// (accusations): "modp-2048" in production, "modp-512-test" in
 	// tests. See crypto.GroupByName.
@@ -77,18 +83,19 @@ type Policy struct {
 // DefaultPolicy returns the policy used in the paper's evaluation.
 func DefaultPolicy() Policy {
 	return Policy{
-		Alpha:            0.95,
-		WindowThreshold:  0.95,
-		WindowMultiplier: 1.1,
-		WindowMin:        50 * time.Millisecond,
-		HardTimeout:      120 * time.Second,
-		Shadows:          16,
-		DefaultOpenLen:   1024,
-		MaxSlotLen:       256 << 10,
-		IdleCloseRounds:  4,
-		RetainRounds:     8,
-		MessageGroup:     "modp-2048",
-		SignMessages:     true,
+		Alpha:             0.95,
+		WindowThreshold:   0.95,
+		WindowMultiplier:  1.1,
+		WindowMin:         50 * time.Millisecond,
+		HardTimeout:       120 * time.Second,
+		Shadows:           16,
+		DefaultOpenLen:    1024,
+		MaxSlotLen:        256 << 10,
+		IdleCloseRounds:   4,
+		RetainRounds:      8,
+		BeaconEpochRounds: 16,
+		MessageGroup:      "modp-2048",
+		SignMessages:      true,
 	}
 }
 
@@ -107,6 +114,8 @@ func (p Policy) Validate() error {
 		return errors.New("group: Shadows must be positive")
 	case p.RetainRounds <= 0:
 		return errors.New("group: RetainRounds must be positive")
+	case p.BeaconEpochRounds < 0:
+		return errors.New("group: BeaconEpochRounds must be non-negative")
 	}
 	if _, err := crypto.GroupByName(p.MessageGroup); err != nil {
 		return fmt.Errorf("group: %w", err)
@@ -184,6 +193,17 @@ func (d *Definition) GroupID() [32]byte {
 	var id [32]byte
 	copy(id[:], crypto.Hash("dissent/group-id", enc))
 	return id
+}
+
+// ServerPubKeys returns the servers' identity public keys in server
+// index order (the verification key set for schedule certificates,
+// round certificates, and beacon shares).
+func (d *Definition) ServerPubKeys() []crypto.Element {
+	pubs := make([]crypto.Element, len(d.Servers))
+	for i, m := range d.Servers {
+		pubs[i] = m.PubKey
+	}
+	return pubs
 }
 
 // ServerIndex returns the index of server id, or -1.

@@ -3,10 +3,12 @@ package transport
 import (
 	"bytes"
 	"net"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"dissent/internal/beacon"
 	"dissent/internal/core"
 	"dissent/internal/crypto"
 	"dissent/internal/group"
@@ -43,17 +45,35 @@ func TestFrameRejectsOversize(t *testing.T) {
 	}
 }
 
-// TestTCPGroupEndToEnd runs a complete group — 2 servers, 3 clients —
-// over real localhost TCP, through full setup (pseudonym submission,
-// verifiable scheduling shuffle, certification) and several DC-net
-// rounds, and checks an anonymous message arrives everywhere.
-func TestTCPGroupEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("real-time TCP test")
+// tcpGroup is a complete group running over real localhost TCP.
+type tcpGroup struct {
+	def       *group.Definition
+	servers   []*core.Server
+	clients   []*core.Client
+	nodes     []*Node
+	mu        sync.Mutex
+	delivered map[string]int
+}
+
+func (g *tcpGroup) close() {
+	for _, nd := range g.nodes {
+		nd.Close()
 	}
+}
+
+// deliveredCount returns how many clients saw the given payload.
+func (g *tcpGroup) deliveredCount(payload string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.delivered[payload]
+}
+
+// startTCPGroup builds an m-server, n-client group over localhost TCP
+// and starts every node. mutate may adjust the policy first.
+func startTCPGroup(t *testing.T, m, n int, mutate func(*group.Policy), firstSend []byte) *tcpGroup {
+	t.Helper()
 	keyGrp := crypto.P256()
 	msgGrp := crypto.ModP512Test()
-	const m, n = 2, 3
 
 	serverKPs := make([]*crypto.KeyPair, m)
 	serverMsgKPs := make([]*crypto.KeyPair, m)
@@ -80,6 +100,9 @@ func TestTCPGroupEndToEnd(t *testing.T) {
 	// test deadline.
 	policy.HardTimeout = 5 * time.Second
 	policy.DefaultOpenLen = 64
+	if mutate != nil {
+		mutate(&policy)
+	}
 	def, err := group.NewDefinition("tcp-test", serverKeys, serverMsgKeys, clientKeys, policy)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +122,6 @@ func TestTCPGroupEndToEnd(t *testing.T) {
 	// Reserve ports, build the roster, then listen.
 	roster := Roster{}
 	addrs := map[group.NodeID]string{}
-	var nodes []*Node
 	reserve := func(id group.NodeID) string {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -119,69 +141,132 @@ func TestTCPGroupEndToEnd(t *testing.T) {
 	}
 
 	opts := core.Options{MessageGroup: msgGrp}
-	var mu sync.Mutex
-	delivered := map[string]int{}
-	var clients []*core.Client
+	g := &tcpGroup{def: def, delivered: map[string]int{}}
 
 	for _, mem := range def.Servers {
 		srv, err := core.NewServer(def, kpByID[mem.ID], msgKPByID[mem.ID], opts)
 		if err != nil {
 			t.Fatal(err)
 		}
+		g.servers = append(g.servers, srv)
 		node, err := Listen(mem.ID, addrs[mem.ID], roster, srv)
 		if err != nil {
 			t.Fatal(err)
 		}
 		node.OnError = func(err error) { t.Logf("server error: %v", err) }
-		idx := len(nodes)
+		idx := len(g.nodes)
 		node.OnEvent = func(e core.Event) { t.Logf("server %d: r%d %s %s", idx, e.Round, e.Kind, e.Detail) }
-		nodes = append(nodes, node)
+		g.nodes = append(g.nodes, node)
 	}
 	for _, mem := range def.Clients {
 		cl, err := core.NewClient(def, kpByID[mem.ID], opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		clients = append(clients, cl)
+		g.clients = append(g.clients, cl)
 		node, err := Listen(mem.ID, addrs[mem.ID], roster, cl)
 		if err != nil {
 			t.Fatal(err)
 		}
 		node.OnDelivery = func(d core.Delivery) {
-			mu.Lock()
-			delivered[string(d.Data)]++
-			mu.Unlock()
+			g.mu.Lock()
+			g.delivered[string(d.Data)]++
+			g.mu.Unlock()
 		}
 		node.OnError = func(err error) { t.Logf("client error: %v", err) }
-		nodes = append(nodes, node)
+		g.nodes = append(g.nodes, node)
 	}
-	defer func() {
-		for _, nd := range nodes {
-			nd.Close()
-		}
-	}()
 
-	clients[1].Send([]byte("over real tcp"))
-	for _, nd := range nodes {
+	if firstSend != nil {
+		g.clients[1%n].Send(firstSend)
+	}
+	for _, nd := range g.nodes {
 		if err := nd.Start(); err != nil {
+			g.close()
 			t.Fatal(err)
 		}
 	}
+	return g
+}
+
+// TestTCPGroupEndToEnd runs a complete group — 2 servers, 3 clients —
+// over real localhost TCP, through full setup (pseudonym submission,
+// verifiable scheduling shuffle, certification) and several DC-net
+// rounds, and checks an anonymous message arrives everywhere.
+func TestTCPGroupEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	const n = 3
+	g := startTCPGroup(t, 2, n, nil, []byte("over real tcp"))
+	defer g.close()
 
 	deadline := time.After(30 * time.Second)
-	for {
-		mu.Lock()
-		got := delivered["over real tcp"]
-		mu.Unlock()
-		if got >= n {
-			break
-		}
+	for g.deliveredCount("over real tcp") < n {
 		select {
 		case <-deadline:
-			mu.Lock()
-			t.Fatalf("message delivered at %d/%d clients after 30s", delivered["over real tcp"], n)
-			mu.Unlock()
+			t.Fatalf("message delivered at %d/%d clients after 30s",
+				g.deliveredCount("over real tcp"), n)
 		case <-time.After(50 * time.Millisecond):
 		}
+	}
+}
+
+// TestBeaconFetchVerifyOverTCP is the beacon's deployment-path
+// integration test: a 2-server, 2-client group runs DC-net rounds over
+// loopback TCP while one server exposes its beacon chain through the
+// same HTTP handler cmd/dissentd mounts; an external client fetches
+// /beacon/latest, syncs the chain, and verifies every share and link
+// from genesis with public keys alone.
+func TestBeaconFetchVerifyOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	g := startTCPGroup(t, 2, 2, func(p *group.Policy) { p.BeaconEpochRounds = 2 }, nil)
+	defer g.close()
+
+	chain := g.servers[0].BeaconChain()
+	if chain == nil {
+		t.Fatal("beacon disabled")
+	}
+	ts := httptest.NewServer(beacon.Handler(chain))
+	defer ts.Close()
+	src := &beacon.HTTPSource{URL: ts.URL, Client: ts.Client()}
+
+	// Wait for the chain to pass a few rounds.
+	deadline := time.After(30 * time.Second)
+	for chain.Len() < 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("beacon chain reached only %d entries after 30s", chain.Len())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	latest, err := src.Latest()
+	if err != nil {
+		t.Fatalf("GET /beacon/latest: %v", err)
+	}
+	if got := chain.Get(latest.Round); got == nil || got.Value != latest.Value {
+		t.Fatalf("served latest (round %d) does not match the chain", latest.Round)
+	}
+	if _, err := src.Entry(latest.Round); err != nil {
+		t.Fatalf("GET /beacon/{round}: %v", err)
+	}
+
+	// An external verifier: fresh chain replica, same group definition.
+	verifier := beacon.NewChain(g.def.Group(), g.def.ServerPubKeys(), beacon.GenesisValue(g.def.GroupID()))
+	added, err := verifier.Sync(src)
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if added < 4 {
+		t.Fatalf("synced only %d entries", added)
+	}
+	if err := verifier.Verify(); err != nil {
+		t.Fatalf("fetched chain failed verification: %v", err)
+	}
+	if verifier.Get(latest.Round).Value != latest.Value {
+		t.Fatal("verifier head does not match served latest")
 	}
 }
