@@ -1,7 +1,7 @@
-// Command dissent runs one Dissent client over TCP, exposing the §4.1
-// application interfaces: an HTTP API for posting raw anonymous
-// messages and (optionally) a SOCKS v5 entry proxy tunneling TCP flows
-// through the group.
+// Command dissent runs one Dissent client over TCP, built on the
+// public dissent SDK and exposing the §4.1 application interfaces: an
+// HTTP API for posting raw anonymous messages and (optionally) a SOCKS
+// v5 entry proxy tunneling TCP flows through the group.
 //
 // Usage:
 //
@@ -13,13 +13,16 @@
 // public network (§4.1).
 //
 // The beacon subcommand fetches a server's randomness-beacon chain,
-// verifies every share and chain link from genesis with the group's
-// public keys, and prints the requested entry:
+// verifies every share and chain link with the group's public keys —
+// anchored, when the server publishes its schedule certificate, at the
+// session-bound genesis so an archived previous-session chain is
+// rejected — and prints the requested entry:
 //
 //	dissent beacon -url http://server0:7080 -group group.json [-round N]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,14 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 
-	"dissent/internal/beacon"
-	"dissent/internal/cli"
-	"dissent/internal/core"
+	"dissent"
+	"dissent/dissentcfg"
 	"dissent/internal/socks"
-	"dissent/internal/transport"
 )
 
 func main() {
@@ -65,22 +65,16 @@ func beaconCmd(args []string, w io.Writer) error {
 	if *url == "" {
 		return errors.New("dissent beacon: -url is required")
 	}
-	def, err := cli.LoadGroup(*groupPath)
+	grp, err := dissentcfg.LoadGroup(*groupPath)
 	if err != nil {
 		return err
-	}
-	if def.Policy.BeaconEpochRounds == 0 {
-		return errors.New("dissent beacon: the group policy disables the beacon")
 	}
 
-	chain := beacon.NewChain(def.Group(), def.ServerPubKeys(), beacon.GenesisValue(def.GroupID()))
-	src := &beacon.HTTPSource{URL: *url}
-	// Sync verifies every fetched entry (share signatures and chain
-	// links) as it appends; a completed sync IS a verified chain.
-	added, err := chain.Sync(src)
+	res, err := dissent.SyncBeacon(*url, grp)
 	if err != nil {
 		return err
 	}
+	chain := res.Chain
 	if chain.Len() == 0 {
 		return errors.New("dissent beacon: the server has no beacon entries yet")
 	}
@@ -92,7 +86,13 @@ func beaconCmd(args []string, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "chain verified: %d entries (%d fetched), head round %d\n",
-		chain.Len(), added, chain.Latest().Round)
+		chain.Len(), res.Added, chain.Latest().Round)
+	if res.SessionBound {
+		fmt.Fprintf(w, "genesis bound to the live session's schedule certificate\n")
+	} else {
+		fmt.Fprintf(w, "warning: no schedule certificate served; verified against the "+
+			"pre-session genesis (an archived chain would verify identically)\n")
+	}
 	fmt.Fprintf(w, "round  %d\n", entry.Round)
 	fmt.Fprintf(w, "prev   %x\n", entry.Prev)
 	fmt.Fprintf(w, "value  %x\n", entry.Value)
@@ -100,9 +100,9 @@ func beaconCmd(args []string, w io.Writer) error {
 	return nil
 }
 
-// run parses flags and serves the client until a signal; it returns an
-// error (instead of exiting) for anything that fails before the
-// serving loop, so tests can exercise argument handling.
+// run parses flags and serves the client until SIGINT/SIGTERM; it
+// returns an error (instead of exiting) for anything that fails before
+// the serving loop, so tests can exercise argument handling.
 func run(args []string) error {
 	fs := flag.NewFlagSet("dissent", flag.ContinueOnError)
 	groupPath := fs.String("group", "group.json", "group definition file")
@@ -112,42 +112,41 @@ func run(args []string) error {
 	httpAddr := fs.String("http", "", "HTTP API listen address (empty = disabled)")
 	socksAddr := fs.String("socks", "", "SOCKS5 proxy listen address (empty = disabled)")
 	exitNode := fs.Bool("exit", false, "act as the group's SOCKS exit node")
-	post := fs.String("post", "", "post one message after the schedule is ready, then keep running")
+	post := fs.String("post", "", "post one message once the session runs, then keep running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	def, err := cli.LoadGroup(*groupPath)
+	grp, err := dissentcfg.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
-	roster, err := cli.LoadRoster(*rosterPath)
+	roster, err := dissentcfg.LoadRoster(*rosterPath)
 	if err != nil {
 		return err
 	}
-	kp, _, err := cli.LoadKeyFile(*keyPath, nil)
-	if err != nil {
-		return err
-	}
-
-	client, err := core.NewClient(def, kp, core.Options{})
+	keys, err := dissentcfg.LoadKeys(*keyPath, grp)
 	if err != nil {
 		return err
 	}
 
-	var node *transport.Node
-	var sendMu sync.Mutex
+	node, err := dissent.NewClient(grp, keys,
+		dissent.WithListenAddr(*listen),
+		dissent.WithRoster(roster),
+		dissent.WithErrorHandler(func(err error) { log.Printf("error: %v", err) }),
+	)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	send := func(data []byte) {
-		// Send is safe to call concurrently with engine activity only
-		// under the node's engine lock.
-		sendMu.Lock()
-		defer sendMu.Unlock()
-		node.WithEngine(func(core.Engine) (*core.Output, error) {
-			client.Send(data)
-			return nil, nil
-		})
+		if err := node.Send(ctx, data); err != nil {
+			log.Printf("send: %v", err)
+		}
 	}
-
 	api := socks.NewAPI(send, 0)
 	entry := socks.NewEntry(send)
 	var exit *socks.Exit
@@ -155,40 +154,39 @@ func run(args []string) error {
 		exit = socks.NewExit(send)
 	}
 
-	// Per-slot reassembly buffers for SOCKS frames.
-	slotBufs := map[int][]byte{}
-
-	node, err = transport.Listen(client.ID(), *listen, roster, client)
-	if err != nil {
-		return err
+	// Consume the anonymous channel: record every message for the HTTP
+	// API and reassemble per-slot SOCKS frames.
+	go func() {
+		slotBufs := map[int][]byte{}
+		for d := range node.Messages() {
+			api.Record(d.Round, d.Slot, d.Data)
+			buf := append(slotBufs[d.Slot], d.Data...)
+			frames, rest, err := socks.DecodeFrames(buf)
+			if err != nil {
+				slotBufs[d.Slot] = nil
+				continue
+			}
+			slotBufs[d.Slot] = rest
+			if len(frames) == 0 {
+				continue
+			}
+			entry.Deliver(frames)
+			if exit != nil {
+				exit.Deliver(frames)
+			}
+		}
+	}()
+	events := node.Subscribe()
+	go func() {
+		for e := range events {
+			log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
+		}
+	}()
+	if *post != "" {
+		// Queued now, transmitted in our pseudonym slot once the
+		// schedule is established.
+		send([]byte(*post))
 	}
-	defer node.Close()
-	node.OnDelivery = func(d core.Delivery) {
-		api.Record(d.Round, d.Slot, d.Data)
-		buf := append(slotBufs[d.Slot], d.Data...)
-		frames, rest, err := socks.DecodeFrames(buf)
-		if err != nil {
-			slotBufs[d.Slot] = nil
-			return
-		}
-		slotBufs[d.Slot] = rest
-		if len(frames) == 0 {
-			return
-		}
-		entry.Deliver(frames)
-		if exit != nil {
-			exit.Deliver(frames)
-		}
-	}
-	posted := false
-	node.OnEvent = func(e core.Event) {
-		log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
-		if e.Kind == core.EventScheduleReady && *post != "" && !posted {
-			posted = true
-			client.Send([]byte(*post)) // called under the engine lock
-		}
-	}
-	node.OnError = func(err error) { log.Printf("error: %v", err) }
 
 	if *httpAddr != "" {
 		go func() {
@@ -205,16 +203,12 @@ func run(args []string) error {
 		go entry.Serve(ln)
 	}
 
-	gid := def.GroupID()
+	gid := grp.GroupID()
 	log.Printf("client %s (index %d) in group %x, upstream server %d",
-		client.ID(), client.Index(), gid[:8], def.UpstreamServer(client.Index()))
-	if err := node.Start(); err != nil {
-		return err
+		node.ID(), node.Index(), gid[:8], grp.UpstreamServer(node.Index()))
+	err = node.Run(ctx)
+	if err == nil {
+		log.Print("shutting down")
 	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	return nil
+	return err
 }

@@ -1,4 +1,5 @@
-// Command dissentd runs one Dissent server over TCP.
+// Command dissentd runs one Dissent server over TCP, built on the
+// public dissent SDK.
 //
 // Usage:
 //
@@ -11,33 +12,32 @@
 //
 // All servers and clients of a group must share the same group.json
 // and roster. The daemon logs round completions, participation counts,
-// blame verdicts, and protocol violations.
+// blame verdicts, and protocol violations, and shuts down cleanly on
+// SIGINT/SIGTERM (flushing and closing the beacon store).
 //
 // With -beacon the daemon additionally serves its randomness-beacon
 // chain over HTTP (GET /beacon/latest, /beacon/{round},
-// /beacon/from/{round}, /beacon/info) so clients and external
-// verifiers can fetch and verify per-round randomness; -beacon-store
-// persists the chain to an append-only file. A chain left by a
-// previous session is archived at startup (DC-net round numbers
-// restart with each session) and a fresh file begun.
+// /beacon/from/{round}, /beacon/info, and /beacon/schedule — the
+// schedule certificate that anchors the chain's session-bound genesis)
+// so clients and external verifiers can fetch and verify per-round
+// randomness; -beacon-store persists the chain to an append-only file.
+// A chain left by a previous session is archived at startup (DC-net
+// round numbers and the session genesis restart with each session) and
+// a fresh file begun.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"dissent/internal/beacon"
-	"dissent/internal/cli"
-	"dissent/internal/core"
-	"dissent/internal/transport"
+	"dissent"
+	"dissent/dissentcfg"
 )
 
 func main() {
@@ -50,9 +50,10 @@ func main() {
 	}
 }
 
-// run parses flags, starts the server, and blocks until a signal; it
-// returns an error (instead of exiting) for anything that fails before
-// the serving loop, so tests can exercise argument handling.
+// run parses flags and serves until SIGINT/SIGTERM cancels the node's
+// context; it returns an error (instead of exiting) for anything that
+// fails before the serving loop, so tests can exercise argument
+// handling.
 func run(args []string) error {
 	fs := flag.NewFlagSet("dissentd", flag.ContinueOnError)
 	groupPath := fs.String("group", "group.json", "group definition file")
@@ -65,108 +66,82 @@ func run(args []string) error {
 		return err
 	}
 
-	def, err := cli.LoadGroup(*groupPath)
+	grp, err := dissentcfg.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
-	roster, err := cli.LoadRoster(*rosterPath)
+	roster, err := dissentcfg.LoadRoster(*rosterPath)
 	if err != nil {
 		return err
 	}
-	kp, msgKP, err := cli.LoadKeyFile(*keyPath, def.MsgGroup())
+	keys, err := dissentcfg.LoadKeys(*keyPath, grp)
 	if err != nil {
 		return err
 	}
-	if msgKP == nil {
+	if keys.MsgShuffle == nil {
 		return errors.New("key file lacks a message-shuffle key (is this a server key?)")
 	}
 
-	opts := core.Options{}
+	opts := []dissent.Option{
+		dissent.WithListenAddr(*listen),
+		dissent.WithRoster(roster),
+		dissent.WithErrorHandler(func(err error) { log.Printf("error: %v", err) }),
+	}
 	if *beaconStore != "" {
-		if def.Policy.BeaconEpochRounds == 0 {
+		if grp.Policy.BeaconEpochRounds == 0 {
 			return errors.New("-beacon-store set but the group policy disables the beacon")
 		}
-		store, err := beacon.OpenFileStore(*beaconStore)
-		if errors.Is(err, beacon.ErrCorruptStore) {
-			// Mid-file corruption (a torn final line is already healed
-			// by OpenFileStore): preserve the damaged file for forensics
-			// and start fresh rather than refusing to boot — the stored
-			// chain is only ever archived, never extended. I/O and
-			// permission errors abort instead: the file may be intact.
-			archived := fmt.Sprintf("%s.corrupt-%d", *beaconStore, time.Now().Unix())
-			if renameErr := os.Rename(*beaconStore, archived); renameErr != nil {
-				return fmt.Errorf("archiving corrupt chain file: %v (%w)", renameErr, err)
-			}
-			log.Printf("beacon chain file corrupt (%v); archived to %s", err, archived)
-			store, err = beacon.OpenFileStore(*beaconStore)
-		}
+		store, archived, err := dissent.OpenBeaconStore(*beaconStore)
 		if err != nil {
 			return err
 		}
-		if store.Len() > 0 {
-			// A previous session's chain cannot be extended: DC-net
-			// round numbers restart at 0 with every fresh setup. Archive
-			// it for auditing and start a new chain file.
-			latest, _ := store.Latest()
-			store.Close()
-			archived := fmt.Sprintf("%s.prev-r%d-%d", *beaconStore, latest.Round, time.Now().Unix())
-			if err := os.Rename(*beaconStore, archived); err != nil {
-				return err
-			}
-			log.Printf("beacon chain from a previous session archived to %s", archived)
-			if store, err = beacon.OpenFileStore(*beaconStore); err != nil {
-				return err
-			}
-		}
+		// Run(ctx) returning is the shutdown point: close (and flush)
+		// the chain file once the node has stopped appending.
 		defer store.Close()
-		opts.BeaconStore = store
+		if archived != "" {
+			log.Printf("previous beacon chain content archived to %s", archived)
+		}
+		opts = append(opts, dissent.WithBeaconStore(store))
 	}
-
-	srv, err := core.NewServer(def, kp, msgKP, opts)
-	if err != nil {
-		return err
-	}
-
-	node, err := transport.Listen(srv.ID(), *listen, roster, srv)
-	if err != nil {
-		return err
-	}
-	defer node.Close()
-	node.OnEvent = func(e core.Event) {
-		log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
-	}
-	node.OnError = func(err error) { log.Printf("error: %v", err) }
-
 	if *beaconAddr != "" {
-		chain := srv.BeaconChain()
-		if chain == nil {
+		if grp.Policy.BeaconEpochRounds == 0 {
 			return errors.New("-beacon set but the group policy disables the beacon")
 		}
-		// Bind synchronously so a taken port is a startup error, not an
-		// asynchronous abort mid-protocol.
-		ln, err := net.Listen("tcp", *beaconAddr)
-		if err != nil {
-			return err
-		}
-		defer ln.Close()
-		log.Printf("beacon HTTP on %s (GET /beacon/latest, /beacon/{round})", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, beacon.Handler(chain)); err != nil {
-				log.Printf("beacon HTTP: %v", err)
-			}
-		}()
+		opts = append(opts, dissent.WithBeaconHTTP(*beaconAddr))
+		log.Printf("beacon HTTP on %s (GET /beacon/latest, /beacon/{round}, /beacon/schedule)", *beaconAddr)
 	}
 
-	gid := def.GroupID()
-	log.Printf("server %s (index %d) in group %x listening on %s",
-		srv.ID(), srv.Index(), gid[:8], node.Addr())
-	if err := node.Start(); err != nil {
+	node, err := dissent.NewServer(grp, keys, opts...)
+	if err != nil {
 		return err
 	}
+	events := node.Subscribe()
+	go func() {
+		for e := range events {
+			log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
+		}
+	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	return nil
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	gid := grp.GroupID()
+	log.Printf("server %s (index %d) in group %x starting on %s",
+		node.ID(), node.Index(), gid[:8], *listen)
+	// Report the actually bound address (meaningful with :0 or
+	// wildcard listen addresses) once Run attaches the transport.
+	go func() {
+		for i := 0; i < 100; i++ {
+			if a := node.Addr(); a != "" {
+				log.Printf("listening on %s", a)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	err = node.Run(ctx)
+	if err == nil {
+		log.Print("shutting down")
+	}
+	return err
 }

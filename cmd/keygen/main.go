@@ -1,7 +1,8 @@
 // Command keygen generates Dissent identities and group definition
 // files (§3.2): one keypair file per participant plus a group.json
 // whose hash is the group's self-certifying identifier, and a roster
-// template for the TCP transport.
+// template for the TCP transport. It is a thin wrapper around
+// dissentcfg.Generate.
 //
 // Usage:
 //
@@ -9,7 +10,6 @@
 package main
 
 import (
-	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,10 +18,8 @@ import (
 	"os"
 	"path/filepath"
 
-	"dissent/internal/cli"
-	"dissent/internal/crypto"
-	"dissent/internal/group"
-	"dissent/internal/transport"
+	"dissent"
+	"dissent/dissentcfg"
 )
 
 func main() {
@@ -43,112 +41,29 @@ func run(args []string, w io.Writer) error {
 	name := fs.String("name", "dissent-group", "group name")
 	msgGroup := fs.String("msggroup", "modp-2048", "message-shuffle group (modp-2048 or modp-512-test)")
 	basePort := fs.Int("baseport", 7000, "first port for the roster template")
-	epochRounds := fs.Int("epoch", group.DefaultPolicy().BeaconEpochRounds,
+	epochRounds := fs.Int("epoch", dissent.DefaultPolicy().BeaconEpochRounds,
 		"beacon epoch length in rounds (0 disables the randomness beacon)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	if err := os.MkdirAll(*out, 0o700); err != nil {
-		return err
+	if *epochRounds < 0 {
+		return errors.New("-epoch must be non-negative")
 	}
-	keyGrp := crypto.P256()
-	mg, err := crypto.GroupByName(*msgGroup)
+
+	grp, err := dissentcfg.Generate(*out, dissentcfg.GenerateConfig{
+		Name:              *name,
+		Servers:           *servers,
+		Clients:           *clients,
+		MessageGroup:      *msgGroup,
+		BeaconEpochRounds: *epochRounds,
+		BasePort:          *basePort,
+	})
 	if err != nil {
 		return err
 	}
 
-	serverKeys := make([]crypto.Element, *servers)
-	serverMsgKeys := make([]crypto.Element, *servers)
-	serverKPs := make(map[group.NodeID]*crypto.KeyPair, *servers)
-	serverMsgKPs := make(map[group.NodeID]*crypto.KeyPair, *servers)
-	for i := 0; i < *servers; i++ {
-		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
-		if err != nil {
-			return err
-		}
-		mkp, err := crypto.GenerateKeyPair(mg, nil)
-		if err != nil {
-			return err
-		}
-		serverKeys[i] = kp.Public
-		serverMsgKeys[i] = mkp.Public
-		id := group.IDFromKey(keyGrp, kp.Public)
-		serverKPs[id] = kp
-		serverMsgKPs[id] = mkp
-	}
-	clientKeys := make([]crypto.Element, *clients)
-	clientKPs := make(map[group.NodeID]*crypto.KeyPair, *clients)
-	for i := 0; i < *clients; i++ {
-		kp, err := crypto.GenerateKeyPair(keyGrp, nil)
-		if err != nil {
-			return err
-		}
-		clientKeys[i] = kp.Public
-		clientKPs[group.IDFromKey(keyGrp, kp.Public)] = kp
-	}
-
-	policy := group.DefaultPolicy()
-	policy.MessageGroup = *msgGroup
-	policy.BeaconEpochRounds = *epochRounds
-	def, err := group.NewDefinition(*name, serverKeys, serverMsgKeys, clientKeys, policy)
-	if err != nil {
-		return err
-	}
-
-	// Write key files in *definition* order (NewDefinition sorts members
-	// by ID), so server-i.key is def.Servers[i] and lines up with the
-	// i-th roster address below.
-	for i, m := range def.Servers {
-		kp, mkp := serverKPs[m.ID], serverMsgKPs[m.ID]
-		err = cli.WriteKeyFile(filepath.Join(*out, fmt.Sprintf("server-%d.key", i)), cli.KeyFile{
-			Role:       "server",
-			Private:    kp.Private.Text(16),
-			Public:     hex.EncodeToString(keyGrp.Encode(kp.Public)),
-			MsgPrivate: mkp.Private.Text(16),
-			MsgPublic:  hex.EncodeToString(mg.Encode(mkp.Public)),
-		})
-		if err != nil {
-			return err
-		}
-	}
-	for i, m := range def.Clients {
-		kp := clientKPs[m.ID]
-		err = cli.WriteKeyFile(filepath.Join(*out, fmt.Sprintf("client-%d.key", i)), cli.KeyFile{
-			Role:    "client",
-			Private: kp.Private.Text(16),
-			Public:  hex.EncodeToString(keyGrp.Encode(kp.Public)),
-		})
-		if err != nil {
-			return err
-		}
-	}
-	data, err := def.MarshalJSON()
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(*out, "group.json")
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-
-	// Roster template: localhost addresses in member order.
-	roster := transport.Roster{}
-	port := *basePort
-	for _, m := range def.Servers {
-		roster[m.ID] = fmt.Sprintf("127.0.0.1:%d", port)
-		port++
-	}
-	for _, m := range def.Clients {
-		roster[m.ID] = fmt.Sprintf("127.0.0.1:%d", port)
-		port++
-	}
-	if err := cli.WriteRoster(filepath.Join(*out, "roster.json"), roster); err != nil {
-		return err
-	}
-
-	gid := def.GroupID()
-	fmt.Fprintf(w, "wrote %s (group ID %x)\n", path, gid[:])
+	gid := grp.GroupID()
+	fmt.Fprintf(w, "wrote %s (group ID %x)\n", filepath.Join(*out, "group.json"), gid[:])
 	fmt.Fprintf(w, "wrote roster.json template and %d server / %d client key files to %s\n",
 		*servers, *clients, *out)
 	return nil

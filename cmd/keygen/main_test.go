@@ -6,12 +6,12 @@ import (
 	"strings"
 	"testing"
 
-	"dissent/internal/cli"
-	"dissent/internal/group"
+	"dissent/dissentcfg"
 )
 
 // TestKeygenProducesLoadableGroup runs the generator end to end and
-// loads everything back through the same cli paths the daemons use.
+// loads everything back through the same dissentcfg paths the daemons
+// use.
 func TestKeygenProducesLoadableGroup(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
@@ -26,18 +26,18 @@ func TestKeygenProducesLoadableGroup(t *testing.T) {
 		t.Errorf("missing group ID in output: %q", out.String())
 	}
 
-	def, err := cli.LoadGroup(filepath.Join(dir, "group.json"))
+	grp, err := dissentcfg.LoadGroup(filepath.Join(dir, "group.json"))
 	if err != nil {
 		t.Fatalf("generated group does not load: %v", err)
 	}
-	if len(def.Servers) != 2 || len(def.Clients) != 3 {
-		t.Fatalf("group has %d servers / %d clients", len(def.Servers), len(def.Clients))
+	if len(grp.Servers) != 2 || len(grp.Clients) != 3 {
+		t.Fatalf("group has %d servers / %d clients", len(grp.Servers), len(grp.Clients))
 	}
-	if def.Policy.BeaconEpochRounds != 8 {
-		t.Errorf("BeaconEpochRounds = %d, want 8", def.Policy.BeaconEpochRounds)
+	if grp.Policy.BeaconEpochRounds != 8 {
+		t.Errorf("BeaconEpochRounds = %d, want 8", grp.Policy.BeaconEpochRounds)
 	}
 
-	roster, err := cli.LoadRoster(filepath.Join(dir, "roster.json"))
+	roster, err := dissentcfg.LoadRoster(filepath.Join(dir, "roster.json"))
 	if err != nil {
 		t.Fatalf("generated roster does not load: %v", err)
 	}
@@ -45,28 +45,28 @@ func TestKeygenProducesLoadableGroup(t *testing.T) {
 		t.Fatalf("roster has %d entries, want 5", len(roster))
 	}
 
-	// Every key file loads and matches a group member.
+	// Every key file loads and matches its member at definition order,
+	// so server-i.key pairs with the i-th roster address.
+	keyGrp := grp.Group()
 	for i := 0; i < 2; i++ {
-		kp, msgKP, err := cli.LoadKeyFile(filepath.Join(dir, "server-"+string(rune('0'+i))+".key"), def.MsgGroup())
+		keys, err := dissentcfg.LoadKeys(filepath.Join(dir, "server-"+string(rune('0'+i))+".key"), grp)
 		if err != nil {
 			t.Fatalf("server key %d: %v", i, err)
 		}
-		if msgKP == nil {
+		if keys.MsgShuffle == nil {
 			t.Fatalf("server key %d lacks a message-shuffle key", i)
 		}
-		// Key files are written in definition order so that server-i.key
-		// pairs with the i-th roster address.
-		if got := def.ServerIndex(group.IDFromKey(def.Group(), kp.Public)); got != i {
-			t.Fatalf("server key %d has definition index %d", i, got)
+		if !keyGrp.Equal(keys.Identity.Public, grp.Servers[i].PubKey) {
+			t.Fatalf("server key %d does not match definition index %d", i, i)
 		}
 	}
 	for i := 0; i < 3; i++ {
-		kp, _, err := cli.LoadKeyFile(filepath.Join(dir, "client-"+string(rune('0'+i))+".key"), nil)
+		keys, err := dissentcfg.LoadKeys(filepath.Join(dir, "client-"+string(rune('0'+i))+".key"), grp)
 		if err != nil {
 			t.Fatalf("client key %d: %v", i, err)
 		}
-		if got := def.ClientIndex(group.IDFromKey(def.Group(), kp.Public)); got != i {
-			t.Fatalf("client key %d has definition index %d", i, got)
+		if !keyGrp.Equal(keys.Identity.Public, grp.Clients[i].PubKey) {
+			t.Fatalf("client key %d does not match definition index %d", i, i)
 		}
 	}
 }

@@ -1,0 +1,288 @@
+package dissentcfg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dissent"
+)
+
+func testPolicy() dissent.Policy {
+	p := dissent.DefaultPolicy()
+	p.MessageGroup = "modp-512-test"
+	return p
+}
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	policy := testPolicy()
+	sk, err := dissent.GenerateServerKeys(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := dissent.GenerateClientKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := dissent.NewGroup("cfg-test", []dissent.Keys{sk}, []dissent.Keys{ck}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sPath := filepath.Join(dir, "server.key")
+	if err := SaveKeys(sPath, sk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadKeys(sPath, grp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyGrp := grp.Group()
+	if !keyGrp.Equal(got.Identity.Public, sk.Identity.Public) {
+		t.Error("identity key changed through the file round trip")
+	}
+	if got.MsgShuffle == nil || !grp.MsgGroup().Equal(got.MsgShuffle.Public, sk.MsgShuffle.Public) {
+		t.Error("message-shuffle key changed through the file round trip")
+	}
+
+	cPath := filepath.Join(dir, "client.key")
+	if err := SaveKeys(cPath, ck); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadKeys(cPath, grp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyGrp.Equal(got2.Identity.Public, ck.Identity.Public) {
+		t.Error("client identity key changed")
+	}
+	if got2.MsgShuffle != nil {
+		t.Error("client key file produced a message-shuffle key")
+	}
+	// A server file loaded without a group skips the message key.
+	got3, err := LoadKeys(sPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3.MsgShuffle != nil {
+		t.Error("nil group should skip the message key")
+	}
+}
+
+func TestLoadKeysCorruptInputs(t *testing.T) {
+	dir := t.TempDir()
+	policy := testPolicy()
+	sk, _ := dissent.GenerateServerKeys(policy)
+	ck, _ := dissent.GenerateClientKeys()
+	grp, err := dissent.NewGroup("corrupt-test", []dissent.Keys{sk}, []dissent.Keys{ck}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"missing file", filepath.Join(dir, "nope.key")},
+		{"not json", write("garbage.key", "{not json at all")},
+		{"bad private hex", write("badpriv.key", `{"role":"client","private":"zz-not-hex"}`)},
+		{"empty private", write("empty.key", `{"role":"client","private":""}`)},
+		{"bad msg private hex", write("badmsg.key",
+			`{"role":"server","private":"2a","msgprivate":"not-hex!"}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadKeys(tc.path, grp); err == nil {
+				t.Errorf("LoadKeys(%s) accepted corrupt input", tc.path)
+			}
+		})
+	}
+}
+
+func TestGroupRoundTripAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	policy := testPolicy()
+	var sKeys, cKeys []dissent.Keys
+	for i := 0; i < 2; i++ {
+		k, _ := dissent.GenerateServerKeys(policy)
+		sKeys = append(sKeys, k)
+	}
+	for i := 0; i < 3; i++ {
+		k, _ := dissent.GenerateClientKeys()
+		cKeys = append(cKeys, k)
+	}
+	grp, err := dissent.NewGroup("cfg-test", sKeys, cKeys, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "group.json")
+	if err := SaveGroup(path, grp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGroup(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GroupID() != grp.GroupID() {
+		t.Error("group ID changed through file round trip")
+	}
+
+	if _, err := LoadGroup(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing group accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadGroup(bad); err == nil {
+		t.Error("malformed JSON group accepted")
+	}
+	// Structurally valid JSON that fails validation: no members.
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"name":"x","servers":[],"clients":[],"policy":{"MessageGroup":"modp-512-test"}}`), 0o644)
+	if _, err := LoadGroup(empty); err == nil {
+		t.Error("memberless group accepted")
+	}
+	// Definitions are self-certifying: tampering with a member key
+	// cannot be hidden, because the group ID (the definition's hash)
+	// changes — a node holding the real ID will not join the group the
+	// tampered file describes.
+	data, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(data), `"pubkey":"02`, `"pubkey":"03`, 1)
+	if tampered == string(data) {
+		tampered = strings.Replace(string(data), `"pubkey":"03`, `"pubkey":"02`, 1)
+	}
+	tpath := filepath.Join(dir, "tampered.json")
+	os.WriteFile(tpath, []byte(tampered), 0o644)
+	if tampered != string(data) {
+		if tgrp, err := LoadGroup(tpath); err == nil && tgrp.GroupID() == grp.GroupID() {
+			t.Error("tampered group file kept the original group ID")
+		}
+	}
+	// A corrupted key that is not even a curve point must fail outright.
+	mangled := strings.Replace(string(data), `"pubkey":"0`, `"pubkey":"ff0`, 1)
+	mpath := filepath.Join(dir, "mangled.json")
+	os.WriteFile(mpath, []byte(mangled), 0o644)
+	if _, err := LoadGroup(mpath); err == nil {
+		t.Error("non-point member key accepted")
+	}
+}
+
+func TestRosterRoundTripAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	policy := testPolicy()
+	ck, _ := dissent.GenerateClientKeys()
+	sk, _ := dissent.GenerateServerKeys(policy)
+	grp, err := dissent.NewGroup("roster-test", []dissent.Keys{sk}, []dissent.Keys{ck}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := grp.Clients[0].ID
+	roster := dissent.Roster{id: "127.0.0.1:7000"}
+	path := filepath.Join(dir, "roster.json")
+	if err := WriteRoster(path, roster); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRoster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[id] != "127.0.0.1:7000" {
+		t.Errorf("roster round trip: %v", got)
+	}
+
+	cases := map[string]string{
+		"not json":     "[",
+		"non-hex id":   `{"zz-not-hex": "127.0.0.1:1"}`,
+		"short hex id": `{"abcd": "127.0.0.1:1"}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(dir, "bad-roster.json")
+			os.WriteFile(p, []byte(content), 0o644)
+			if _, err := LoadRoster(p); err == nil {
+				t.Errorf("corrupt roster (%s) accepted", name)
+			}
+		})
+	}
+	if _, err := LoadRoster(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing roster accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	dir := t.TempDir()
+	grp, err := Generate(dir, GenerateConfig{
+		Name: "gen-test", Servers: 2, Clients: 3,
+		MessageGroup: "modp-512-test", BeaconEpochRounds: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grp.Servers) != 2 || len(grp.Clients) != 3 {
+		t.Fatalf("group has %d servers / %d clients", len(grp.Servers), len(grp.Clients))
+	}
+	if grp.Policy.BeaconEpochRounds != 8 {
+		t.Errorf("BeaconEpochRounds = %d, want 8", grp.Policy.BeaconEpochRounds)
+	}
+
+	loaded, err := LoadGroup(filepath.Join(dir, "group.json"))
+	if err != nil {
+		t.Fatalf("generated group does not load: %v", err)
+	}
+	if loaded.GroupID() != grp.GroupID() {
+		t.Error("generated group ID changed through its own file")
+	}
+	roster, err := LoadRoster(filepath.Join(dir, "roster.json"))
+	if err != nil {
+		t.Fatalf("generated roster does not load: %v", err)
+	}
+	if len(roster) != 5 {
+		t.Fatalf("roster has %d entries, want 5", len(roster))
+	}
+
+	// Key files load, match members, and sit at definition order.
+	keyGrp := grp.Group()
+	for i := 0; i < 2; i++ {
+		keys, err := LoadKeys(filepath.Join(dir, "server-"+string(rune('0'+i))+".key"), grp)
+		if err != nil {
+			t.Fatalf("server key %d: %v", i, err)
+		}
+		if keys.MsgShuffle == nil {
+			t.Fatalf("server key %d lacks a message-shuffle key", i)
+		}
+		if !keyGrp.Equal(keys.Identity.Public, grp.Servers[i].PubKey) {
+			t.Fatalf("server-%d.key does not match definition index %d", i, i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		keys, err := LoadKeys(filepath.Join(dir, "client-"+string(rune('0'+i))+".key"), grp)
+		if err != nil {
+			t.Fatalf("client key %d: %v", i, err)
+		}
+		if !keyGrp.Equal(keys.Identity.Public, grp.Clients[i].PubKey) {
+			t.Fatalf("client-%d.key does not match definition index %d", i, i)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	dir := t.TempDir()
+	cases := []GenerateConfig{
+		{Servers: 0, Clients: 1},
+		{Servers: 1, Clients: 0},
+		{Servers: 1, Clients: 1, MessageGroup: "no-such-group"},
+	}
+	for _, cfg := range cases {
+		if _, err := Generate(dir, cfg); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", cfg)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package dissentcfg
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dissent"
+)
+
+// GenerateConfig sizes a fresh group's material.
+type GenerateConfig struct {
+	// Name is the group name ("" = "dissent-group").
+	Name string
+	// Servers and Clients count the members.
+	Servers, Clients int
+	// MessageGroup names the message-shuffle group ("" = "modp-2048").
+	MessageGroup string
+	// BeaconEpochRounds sets the beacon epoch length in rounds; 0
+	// disables the beacon, negative keeps the policy default.
+	BeaconEpochRounds int
+	// BasePort is the first port of the localhost roster template
+	// (0 = 7000).
+	BasePort int
+}
+
+// Generate creates a complete group in dir: one key file per member
+// (server-N.key / client-N.key, written in definition order so file N
+// pairs with the N-th roster address), group.json, and a localhost
+// roster.json template. It returns the group definition.
+func Generate(dir string, cfg GenerateConfig) (*dissent.Group, error) {
+	if cfg.Servers <= 0 {
+		return nil, errors.New("dissentcfg: need at least one server")
+	}
+	if cfg.Clients <= 0 {
+		return nil, errors.New("dissentcfg: need at least one client")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "dissent-group"
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 7000
+	}
+	policy := dissent.DefaultPolicy()
+	if cfg.MessageGroup != "" {
+		policy.MessageGroup = cfg.MessageGroup
+	}
+	if cfg.BeaconEpochRounds >= 0 {
+		policy.BeaconEpochRounds = cfg.BeaconEpochRounds
+	}
+
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	serverKeys := make([]dissent.Keys, cfg.Servers)
+	clientKeys := make([]dissent.Keys, cfg.Clients)
+	var err error
+	for i := range serverKeys {
+		if serverKeys[i], err = dissent.GenerateServerKeys(policy); err != nil {
+			return nil, err
+		}
+	}
+	for i := range clientKeys {
+		if clientKeys[i], err = dissent.GenerateClientKeys(); err != nil {
+			return nil, err
+		}
+	}
+	grp, err := dissent.NewGroup(cfg.Name, serverKeys, clientKeys, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Write key files in *definition* order (NewGroup sorts members by
+	// ID), so server-i.key is grp.Servers[i] and lines up with the i-th
+	// roster address below.
+	keyGrp := grp.Group()
+	byPub := map[string]dissent.Keys{}
+	for _, k := range serverKeys {
+		byPub[string(keyGrp.Encode(k.Identity.Public))] = k
+	}
+	for _, k := range clientKeys {
+		byPub[string(keyGrp.Encode(k.Identity.Public))] = k
+	}
+	for i, m := range grp.Servers {
+		path := filepath.Join(dir, fmt.Sprintf("server-%d.key", i))
+		if err := SaveKeys(path, byPub[string(keyGrp.Encode(m.PubKey))]); err != nil {
+			return nil, err
+		}
+	}
+	for i, m := range grp.Clients {
+		path := filepath.Join(dir, fmt.Sprintf("client-%d.key", i))
+		if err := SaveKeys(path, byPub[string(keyGrp.Encode(m.PubKey))]); err != nil {
+			return nil, err
+		}
+	}
+	if err := SaveGroup(filepath.Join(dir, "group.json"), grp); err != nil {
+		return nil, err
+	}
+
+	// Roster template: localhost addresses in member order.
+	roster := dissent.Roster{}
+	port := cfg.BasePort
+	for _, m := range grp.Servers {
+		roster[m.ID] = fmt.Sprintf("127.0.0.1:%d", port)
+		port++
+	}
+	for _, m := range grp.Clients {
+		roster[m.ID] = fmt.Sprintf("127.0.0.1:%d", port)
+		port++
+	}
+	if err := WriteRoster(filepath.Join(dir, "roster.json"), roster); err != nil {
+		return nil, err
+	}
+	return grp, nil
+}

@@ -1,25 +1,48 @@
 // Package dissent is a from-scratch Go implementation of Dissent, the
 // scalable traffic-analysis-resistant anonymous group communication
 // system of "Dissent in Numbers: Making Strong Anonymity Scale"
-// (Wolinsky, Corrigan-Gibbs, Ford, Johnson — OSDI 2012).
+// (Wolinsky, Corrigan-Gibbs, Ford, Johnson — OSDI 2012), exposed as an
+// embeddable SDK.
 //
-// The library lives under internal/: the anytrust client/server DC-net
-// engines (internal/core), the DC-net slot machinery and epoch-rotated
-// schedule (internal/dcnet), the anytrust randomness beacon driving
-// that rotation (internal/beacon), verifiable shuffles
-// (internal/shuffle), the crypto substrate (internal/crypto), group
-// definitions (internal/group), TCP and simulated transports
-// (internal/transport, internal/simnet), the application interfaces
-// (internal/socks), the evaluation baselines and workloads
-// (internal/relay, internal/browse), and the experiment harnesses
-// regenerating every figure of the paper (internal/bench).
+// Applications interact with one type: Node. A Node is a group member
+// — anytrust server or anonymity-set client — bound to a Transport,
+// with a context-based lifecycle:
 //
-// Entry points: cmd/dissentd (server daemon with HTTP beacon
-// endpoints), cmd/dissent (client with HTTP API, SOCKS proxy, and a
-// beacon fetch/verify subcommand), cmd/keygen (group creation), and
+//	grp, _ := dissentcfg.LoadGroup("group.json")
+//	keys, _ := dissentcfg.LoadKeys("client-0.key", grp)
+//	node, _ := dissent.NewClient(grp, keys,
+//		dissent.WithListenAddr(":7100"), dissent.WithRoster(roster))
+//	go node.Run(ctx)                       // owns transport, timers, shutdown
+//	node.Send(ctx, []byte("anonymous"))    // queue into our pseudonym slot
+//	for m := range node.Messages() { ... } // the channel's cleartext
+//	for e := range node.Subscribe(dissent.EventRoundComplete) { ... }
+//
+// Rounds, slots, ciphertexts, shuffles, and certification stay behind
+// the API: Send fragments payloads across certified DC-net rounds and
+// Messages surfaces every slot's decoded output, attributed only to an
+// unlinkable pseudonym slot. Two Transport implementations ship —
+// TCP for deployment and SimNet for in-process groups (tests, the
+// quickstart example, embedded simulations) — and custom ones plug in
+// through the same interface.
+//
+// Randomness-beacon access hangs off the Node: BeaconChain returns the
+// verified replica, WithBeaconHTTP serves it (plus the schedule
+// certificate anchoring the chain's session-bound genesis), and
+// SyncBeacon is the external verifier's fetch-and-verify path.
+//
+// Group material lives in the sibling package dissentcfg (key files,
+// group definitions, rosters, generation); the protocol itself — the
+// sans-I/O client/server engines (Algorithms 1–2), DC-net slot
+// machinery, verifiable shuffles, the anytrust beacon, and the
+// evaluation harnesses reproducing the paper's figures — remains under
+// internal/, consumed only through this package.
+//
+// Entry points built on the SDK: cmd/dissentd (server daemon),
+// cmd/dissent (client with HTTP API, SOCKS proxy, and a beacon
+// fetch/verify subcommand), cmd/keygen (group creation), and
 // cmd/dissent-bench (the evaluation). Runnable walkthroughs live in
 // examples/.
 package dissent
 
 // Version identifies this reproduction release.
-const Version = "1.0.0"
+const Version = "2.0.0"

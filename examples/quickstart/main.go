@@ -1,119 +1,81 @@
-// Quickstart: a complete in-process Dissent group — 3 anytrust servers
-// and 8 clients — running the full production path: pseudonym-key
-// submission, the verifiable scheduling shuffle, certified DC-net
-// rounds, and anonymous delivery. Every protocol message is signed and
-// every shuffle proof verified; the group runs over the deterministic
-// event harness so the demo finishes in under a second.
+// Quickstart: a complete Dissent group — 3 anytrust servers and 8
+// clients — on the public SDK, running the full production path:
+// pseudonym-key submission, the verifiable scheduling shuffle,
+// certified DC-net rounds, and anonymous delivery. The group runs over
+// the in-process SimNet transport; swap in dissent.TCP (or just a
+// listen address and roster) and the same code is a deployment.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"dissent/internal/core"
-	"dissent/internal/crypto"
-	"dissent/internal/group"
+	"dissent"
 )
 
 func main() {
-	const servers, clients = 3, 8
-	keyGrp := crypto.P256()
-	msgGrp := crypto.ModP512Test() // small accusation group for the demo
-
-	// 1. Every participant generates a long-term keypair; servers also
-	//    hold a key in the message-shuffle group.
-	serverKPs := make([]*crypto.KeyPair, servers)
-	serverMsgKPs := make([]*crypto.KeyPair, servers)
-	serverKeys := make([]crypto.Element, servers)
-	serverMsgKeys := make([]crypto.Element, servers)
-	for i := 0; i < servers; i++ {
-		serverKPs[i], _ = crypto.GenerateKeyPair(keyGrp, nil)
-		serverMsgKPs[i], _ = crypto.GenerateKeyPair(msgGrp, nil)
-		serverKeys[i] = serverKPs[i].Public
-		serverMsgKeys[i] = serverMsgKPs[i].Public
-	}
-	clientKPs := make([]*crypto.KeyPair, clients)
-	clientKeys := make([]crypto.Element, clients)
-	for i := 0; i < clients; i++ {
-		clientKPs[i], _ = crypto.GenerateKeyPair(keyGrp, nil)
-		clientKeys[i] = clientKPs[i].Public
-	}
-
-	// 2. Someone assembles the group definition — the static key lists
-	//    plus policy — whose hash is the self-certifying group ID.
-	policy := group.DefaultPolicy()
-	policy.MessageGroup = "modp-512-test"
+	// 1. Keys and the group definition, whose hash is the group ID.
+	policy := dissent.DefaultPolicy()
+	policy.MessageGroup = "modp-512-test" // small accusation group for the demo
 	policy.Shadows = 4
 	policy.WindowMin = 10 * time.Millisecond
 	policy.DefaultOpenLen = 128
-	def, err := group.NewDefinition("quickstart", serverKeys, serverMsgKeys, clientKeys, policy)
+	var serverKeys, clientKeys []dissent.Keys
+	for i := 0; i < 3; i++ {
+		k, err := dissent.GenerateServerKeys(policy)
+		must(err)
+		serverKeys = append(serverKeys, k)
+	}
+	for i := 0; i < 8; i++ {
+		k, err := dissent.GenerateClientKeys()
+		must(err)
+		clientKeys = append(clientKeys, k)
+	}
+	grp, err := dissent.NewGroup("quickstart", serverKeys, clientKeys, policy)
+	must(err)
+	gid := grp.GroupID()
+	fmt.Printf("group %x: %d servers, %d clients\n", gid[:8], len(grp.Servers), len(grp.Clients))
+
+	// 2. One Node per member, all sharing an in-process transport.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := dissent.NewSimNet()
+	var watch *dissent.Node // one server's view of the anonymous channel
+	var clients []*dissent.Node
+	for _, k := range serverKeys {
+		n, err := dissent.NewServer(grp, k, dissent.WithTransport(net))
+		must(err)
+		if watch == nil {
+			watch = n
+		}
+		go n.Run(ctx)
+	}
+	for _, k := range clientKeys {
+		n, err := dissent.NewClient(grp, k, dissent.WithTransport(net))
+		must(err)
+		clients = append(clients, n)
+		go n.Run(ctx)
+	}
+	rounds := watch.Subscribe(dissent.EventRoundComplete)
+
+	// 3. Anonymous posts. Deliveries carry only a pseudonym slot —
+	// nothing links a slot to a client.
+	must(clients[2].Send(ctx, []byte("whistleblower report: the numbers were falsified")))
+	must(clients[5].Send(ctx, []byte("meet at the square at noon")))
+
+	for delivered := 0; delivered < 2; {
+		m := <-watch.Messages()
+		fmt.Printf("  round %d, slot %d (anonymous): %q\n", m.Round, m.Slot, m.Data)
+		delivered++
+	}
+	e := <-rounds
+	fmt.Printf("certified DC-net round %d complete — every message signed, every shuffle proof verified\n", e.Round)
+}
+
+func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gid := def.GroupID()
-	fmt.Printf("group %x: %d servers, %d clients\n", gid[:8], servers, clients)
-
-	// 3. Wire the engines over the in-process harness (zero-config
-	//    deterministic transport; cmd/dissentd runs the same engines
-	//    over TCP).
-	kpByID := map[group.NodeID]*crypto.KeyPair{}
-	msgKPByID := map[group.NodeID]*crypto.KeyPair{}
-	for i := 0; i < servers; i++ {
-		id := group.IDFromKey(keyGrp, serverKeys[i])
-		kpByID[id] = serverKPs[i]
-		msgKPByID[id] = serverMsgKPs[i]
-	}
-	for i := 0; i < clients; i++ {
-		kpByID[group.IDFromKey(keyGrp, clientKeys[i])] = clientKPs[i]
-	}
-
-	h := core.NewHarness()
-	h.Latency = func(from, to group.NodeID) time.Duration { return time.Millisecond }
-	opts := core.Options{MessageGroup: msgGrp}
-
-	var clientEngines []*core.Client
-	for _, mem := range def.Servers {
-		srv, err := core.NewServer(def, kpByID[mem.ID], msgKPByID[mem.ID], opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h.AddNode(mem.ID, srv, 0)
-	}
-	for _, mem := range def.Clients {
-		cl, err := core.NewClient(def, kpByID[mem.ID], opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		clientEngines = append(clientEngines, cl)
-		h.AddNode(mem.ID, cl, 0)
-	}
-
-	// 4. Queue some anonymous posts, run the group.
-	clientEngines[2].Send([]byte("whistleblower report: the numbers were falsified"))
-	clientEngines[5].Send([]byte("meet at the square at noon"))
-
-	h.StartAll()
-	h.Run(2_000) // a couple dozen rounds
-	for _, err := range h.Errors {
-		log.Fatalf("harness error: %v", err)
-	}
-
-	// 5. Report: schedule establishment, rounds, and deliveries. Slots
-	//    are pseudonyms — nothing links them to client indices.
-	for _, e := range h.EventsOf(core.EventScheduleReady) {
-		fmt.Printf("  %-12s %s\n", "schedule", e.Detail)
-		break
-	}
-	seen := map[string]bool{}
-	for _, d := range h.Deliveries {
-		key := fmt.Sprintf("%d/%d", d.Round, d.Slot)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		fmt.Printf("  round %d, slot %d (anonymous): %q\n", d.Round, d.Slot, d.Data)
-	}
-	rounds := h.EventsOf(core.EventRoundComplete)
-	fmt.Printf("completed %d certified DC-net rounds\n", len(rounds)/servers)
 }

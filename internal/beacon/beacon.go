@@ -53,18 +53,28 @@ const (
 // input without communication — external verifiers need nothing
 // beyond group.json.
 //
-// The genesis is per-group, not per-session: a group that restarts
-// (round numbers reset with a fresh setup) begins a new chain from
-// the same genesis, so an archived previous-session chain also
-// verifies. Verification therefore proves a chain is genuine for this
-// group, not that it is the live session's; consumers needing
-// liveness must cross-check round progression against a server they
-// talk to. Binding the genesis to a session artifact (the schedule
-// certificate digest) is a ROADMAP item; it would require verifiers
-// to hold that session state too.
+// This group-wide genesis is only the chain's *pre-session* anchor:
+// once a session's slot schedule certifies, nodes rebind their (still
+// empty) chains to SessionGenesis, which folds the schedule
+// certificate digest into the genesis. Trusted-bootstrap harnesses,
+// which certify no schedule, keep this value.
 func GenesisValue(groupID [32]byte) Value {
 	var v Value
 	copy(v[:], crypto.Hash(genesisDomain, groupID[:]))
+	return v
+}
+
+// SessionGenesis binds a chain's genesis to one protocol session: the
+// group ID plus the digest of the session's schedule certificate (the
+// shuffled slot-key list and every server's signature over it). DC-net
+// round numbers restart with each session, so without this binding an
+// archived previous-session chain would verify identically to the live
+// one; with it, a verifier that authenticates the schedule certificate
+// (its signatures check against group.json alone) rejects any chain
+// grown under a different session's certificate.
+func SessionGenesis(groupID [32]byte, certDigest [32]byte) Value {
+	var v Value
+	copy(v[:], crypto.Hash(genesisDomain, groupID[:], certDigest[:]))
 	return v
 }
 

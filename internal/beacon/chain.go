@@ -101,7 +101,27 @@ func NewChainWithStore(g crypto.Group, serverPubs []crypto.Element, genesis Valu
 }
 
 // Genesis returns the chain's genesis value.
-func (c *Chain) Genesis() Value { return c.genesis }
+func (c *Chain) Genesis() Value {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.genesis
+}
+
+// Rebind replaces the chain's genesis value. It is legal only while
+// the chain is empty: nodes create their chain replica at construction
+// under the group-wide GenesisValue and rebind it to the
+// SessionGenesis the moment the slot schedule certifies, before any
+// entry exists. Rebinding a non-empty chain would orphan its entries,
+// so it is refused.
+func (c *Chain) Rebind(genesis Value) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.store.Len(); n > 0 {
+		return fmt.Errorf("beacon: rebind of a chain with %d entries", n)
+	}
+	c.genesis = genesis
+	return nil
+}
 
 // NumServers returns the number of share contributors per entry.
 func (c *Chain) NumServers() int { return len(c.pubs) }

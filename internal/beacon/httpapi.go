@@ -20,9 +20,35 @@ import (
 //	                      (paged; ?max= caps the page, server limit 1024)
 //	/beacon/info          chain summary: length, head round, genesis
 //
-// cmd/dissentd mounts this next to the protocol transport; HTTPSource
-// is the matching client side.
+// The dissent SDK mounts this next to the protocol transport;
+// HTTPSource is the matching client side.
 func Handler(c *Chain) http.Handler {
+	return HandlerWithSchedule(c, nil)
+}
+
+// ScheduleCert is the session artifact a beacon chain's genesis binds
+// to: the certified slot-key list and every server's Schnorr signature
+// over it (verifiable with the group definition alone). Serving it
+// beside the chain lets an external verifier derive the session
+// genesis itself instead of trusting the server's claimed value.
+type ScheduleCert struct {
+	Keys [][]byte // encoded pseudonym public keys, slot order
+	Sigs [][]byte // per server index, over the schedule-cert bytes
+}
+
+type scheduleCertJSON struct {
+	Keys []string `json:"keys"`
+	Sigs []string `json:"sigs"`
+}
+
+// HandlerWithSchedule serves a chain plus, when cert is non-nil,
+//
+//	/beacon/schedule      the session's schedule certificate (404
+//	                      until the schedule certifies)
+//
+// cert is a callback because the certificate only exists once setup
+// completes; it must return nil until then.
+func HandlerWithSchedule(c *Chain, cert func() *ScheduleCert) http.Handler {
 	mux := http.NewServeMux()
 	writeEntry := func(w http.ResponseWriter, e *Entry) {
 		if e == nil {
@@ -41,7 +67,9 @@ func Handler(c *Chain) http.Handler {
 			HeadRound uint64 `json:"head_round"`
 			HeadValue string `json:"head_value"`
 			Genesis   string `json:"genesis"`
-		}{Entries: c.Len(), Genesis: hex.EncodeToString(c.genesis[:])}
+		}{Entries: c.Len()}
+		genesis := c.Genesis()
+		info.Genesis = hex.EncodeToString(genesis[:])
 		head := c.Head()
 		info.HeadValue = hex.EncodeToString(head[:])
 		if latest := c.Latest(); latest != nil {
@@ -89,7 +117,27 @@ func Handler(c *Chain) http.Handler {
 		}
 		writeEntry(w, c.Get(round))
 	})
+	if cert != nil {
+		mux.HandleFunc("GET /beacon/schedule", func(w http.ResponseWriter, r *http.Request) {
+			sc := cert()
+			if sc == nil {
+				http.Error(w, "schedule not yet certified", http.StatusNotFound)
+				return
+			}
+			j := scheduleCertJSON{Keys: hexSlice(sc.Keys), Sigs: hexSlice(sc.Sigs)}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(j)
+		})
+	}
 	return mux
+}
+
+func hexSlice(bs [][]byte) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = hex.EncodeToString(b)
+	}
+	return out
 }
 
 // defaultHTTPClient bounds fetches against unresponsive servers so a
@@ -166,6 +214,56 @@ func (s *HTTPSource) Range(from uint64, max int) ([]*Entry, error) {
 		}
 	}
 	return entries, nil
+}
+
+// Schedule fetches the session's schedule certificate, or ErrNotFound
+// when the server has not certified one (or predates the endpoint).
+// Callers must verify the certificate's signatures themselves before
+// deriving a SessionGenesis from it.
+func (s *HTTPSource) Schedule() (*ScheduleCert, error) {
+	client := s.Client
+	if client == nil {
+		client = defaultHTTPClient
+	}
+	resp, err := client.Get(strings.TrimSuffix(s.URL, "/") + "/beacon/schedule")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("beacon: GET /beacon/schedule: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	var j scheduleCertJSON
+	if err := json.Unmarshal(body, &j); err != nil {
+		return nil, fmt.Errorf("beacon: GET /beacon/schedule: %w", err)
+	}
+	sc := &ScheduleCert{}
+	if sc.Keys, err = unhexSlice(j.Keys); err != nil {
+		return nil, fmt.Errorf("beacon: schedule keys: %w", err)
+	}
+	if sc.Sigs, err = unhexSlice(j.Sigs); err != nil {
+		return nil, fmt.Errorf("beacon: schedule sigs: %w", err)
+	}
+	return sc, nil
+}
+
+func unhexSlice(ss []string) ([][]byte, error) {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		b, err := hex.DecodeString(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
 }
 
 // Entry fetches the entry for an exact round.

@@ -53,7 +53,10 @@ func TestSocksThroughDissent(t *testing.T) {
 	exitClient := s.Clients[3]
 
 	// The exit node: parses frames from the entry's slot, dials the
-	// origin for real, responds through its own slot.
+	// origin for real, responds through its own slot. Its sends arrive
+	// from OS goroutines while the test goroutine drives the same
+	// engine through Step, so both sides hold mu: every engine call
+	// happens inside Step, and Step runs under the lock below.
 	var mu sync.Mutex
 	exit := socks.NewExit(func(data []byte) {
 		mu.Lock()
@@ -104,7 +107,10 @@ func TestSocksThroughDissent(t *testing.T) {
 		// the simulation runs in virtual time; keep stepping and give
 		// the OS side brief chances to catch up.
 		for i := 0; i < 2000; i++ {
-			if !s.H.Net.Step() {
+			mu.Lock()
+			ok := s.H.Net.Step()
+			mu.Unlock()
+			if !ok {
 				break
 			}
 		}

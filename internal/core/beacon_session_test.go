@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dissent/internal/beacon"
 	"dissent/internal/group"
 )
 
@@ -117,6 +118,62 @@ func TestBeaconDrivesScheduleRotation(t *testing.T) {
 	}
 	if delivered == 0 {
 		t.Fatalf("message lost under rotation; violations: %v", f.violations())
+	}
+}
+
+// TestBeaconGenesisBoundToSession checks the replay defence: once the
+// schedule certifies, every replica's chain genesis is the
+// SessionGenesis derived from the schedule-certificate digest — not
+// the group-wide pre-session value — and an external verifier can
+// recompute it from the served certificate with group keys alone. A
+// chain grown under a different session's certificate therefore fails
+// verification against the live genesis.
+func TestBeaconGenesisBoundToSession(t *testing.T) {
+	f := newFixture(t, 2, 3, fixtureOpts{
+		mutatePolicy: func(p *group.Policy) { p.BeaconEpochRounds = 2 },
+	})
+	f.runUntilRound(2, 400_000)
+
+	srv := f.servers[0]
+	keys, sigs := srv.ScheduleCertificate()
+	if keys == nil || sigs == nil {
+		t.Fatal("no schedule certificate after setup")
+	}
+	digest, err := VerifyScheduleCert(f.def, keys, sigs)
+	if err != nil {
+		t.Fatalf("schedule certificate rejected: %v", err)
+	}
+	want := beacon.SessionGenesis(f.def.GroupID(), digest)
+	if got := srv.BeaconChain().Genesis(); got != want {
+		t.Fatalf("server genesis %x, want session genesis %x", got[:8], want[:8])
+	}
+	if pre := beacon.GenesisValue(f.def.GroupID()); srv.BeaconChain().Genesis() == pre {
+		t.Fatal("chain genesis still the pre-session group value")
+	}
+	for _, s := range f.servers[1:] {
+		if s.BeaconChain().Genesis() != want {
+			t.Fatalf("server %d genesis diverged", s.Index())
+		}
+	}
+	for _, cl := range f.clients {
+		if cl.BeaconChain().Genesis() != want {
+			t.Fatalf("client %d genesis diverged", cl.Index())
+		}
+	}
+
+	// A verifier anchored at the pre-session genesis — the situation of
+	// someone replaying an archived chain's context — must reject the
+	// live chain's first entry.
+	stale := beacon.NewChain(f.def.Group(), f.def.ServerPubKeys(), beacon.GenesisValue(f.def.GroupID()))
+	if err := stale.Append(srv.BeaconChain().Get(0)); err == nil {
+		t.Fatal("live entry accepted under the pre-session genesis")
+	}
+	// Tampered certificates must not verify.
+	badSigs := append([][]byte(nil), sigs...)
+	badSigs[0] = append([]byte(nil), badSigs[0]...)
+	badSigs[0][0] ^= 1
+	if _, err := VerifyScheduleCert(f.def, keys, badSigs); err == nil {
+		t.Fatal("tampered schedule certificate verified")
 	}
 }
 

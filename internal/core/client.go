@@ -37,6 +37,10 @@ type Client struct {
 	mySlot    int
 	sched     *dcnet.Schedule
 	ready     bool
+	// certKeys/certSigs retain the verified schedule certificate for
+	// ScheduleCertificate (beacon verifiers fetch it from any node).
+	certKeys [][]byte
+	certSigs [][]byte
 
 	round         uint64 // next round to submit
 	outbox        [][]byte
@@ -88,6 +92,15 @@ func (c *Client) Ready() bool { return c.ready }
 
 // Round returns the next round the client will submit for.
 func (c *Client) Round() uint64 { return c.round }
+
+// ScheduleCertificate returns the verified schedule certificate — the
+// slot-key list and every server's signature over it — or nils before
+// the schedule arrives (including under trusted bootstrap). The
+// dissent SDK serves it beside the beacon chain so external verifiers
+// can derive the session's beacon genesis from any node.
+func (c *Client) ScheduleCertificate() (keys, sigs [][]byte) {
+	return c.certKeys, c.certSigs
+}
 
 // SchedulePermutation returns the current slot-layout permutation, or
 // nil before the schedule is established.
@@ -163,18 +176,9 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 	if err != nil {
 		return c.violation(err), nil
 	}
-	if len(p.Sigs) != len(c.def.Servers) {
-		return c.violation(errors.New("schedule lacks a signature per server")), nil
-	}
-	signed := scheduleSignedBytes(c.grpID, p.Keys)
-	for j, srv := range c.def.Servers {
-		sig, err := crypto.DecodeSignature(c.keyGrp, p.Sigs[j])
-		if err != nil {
-			return c.violation(err), nil
-		}
-		if err := crypto.Verify(c.keyGrp, srv.PubKey, "dissent/schedule", signed, sig); err != nil {
-			return c.violation(fmt.Errorf("schedule cert %d: %w", j, err)), nil
-		}
+	certDigest, err := VerifyScheduleCert(c.def, p.Keys, p.Sigs)
+	if err != nil {
+		return c.violation(err), nil
 	}
 	myKey := c.keyGrp.Encode(c.pseudonym.Public)
 	c.mySlot = -1
@@ -197,9 +201,13 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := c.bindBeaconSession(certDigest); err != nil {
+		return nil, err
+	}
 	c.installRotation(sched)
 	c.sched = sched
 	c.ready = true
+	c.certKeys, c.certSigs = p.Keys, p.Sigs
 	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("slot %d of %d", c.mySlot, len(p.Keys))}}}
 	sub, err := c.submitRound(now)
 	if err != nil {

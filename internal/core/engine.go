@@ -169,6 +169,20 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 // reads, so servers can expose it over HTTP while rounds progress.
 func (n *node) BeaconChain() *beacon.Chain { return n.beaconChain }
 
+// bindBeaconSession rebinds the node's (still empty) beacon chain to
+// the session genesis derived from the freshly certified schedule's
+// digest. Every node runs this with identical inputs — servers from
+// their collected certificates, clients from the verified Schedule
+// message — so all replicas agree on the new genesis before the first
+// entry. Trusted-bootstrap paths (InstallSchedule) certify nothing and
+// keep the group-wide genesis.
+func (n *node) bindBeaconSession(certDigest [32]byte) error {
+	if n.beaconChain == nil {
+		return nil
+	}
+	return n.beaconChain.Rebind(beacon.SessionGenesis(n.grpID, certDigest))
+}
+
 // installRotation wires the beacon-driven epoch rotation into a fresh
 // schedule: every BeaconEpochRounds rounds the slot permutation is
 // re-derived from the latest beacon value. All replicas install the

@@ -313,6 +313,47 @@ func scheduleSignedBytes(groupID [32]byte, keys [][]byte) []byte {
 	return crypto.Hash("dissent/schedule-cert", e.b)
 }
 
+// scheduleCertDigest condenses a complete schedule certificate — the
+// signed key list plus every server's signature in index order — into
+// the session artifact the beacon genesis binds to (§3.2's
+// self-certifying style: the digest authenticates one session's
+// certified schedule and nothing else).
+func scheduleCertDigest(groupID [32]byte, keys, sigs [][]byte) [32]byte {
+	var e encBuf
+	e.b = append(e.b, scheduleSignedBytes(groupID, keys)...)
+	e.byteSlices(sigs)
+	var d [32]byte
+	copy(d[:], crypto.Hash("dissent/schedule-cert-digest", e.b))
+	return d
+}
+
+// VerifyScheduleCert checks a schedule certificate fetched out of band
+// (e.g. from a server's /beacon/schedule endpoint) against the group
+// definition: one signature per server, each a valid Schnorr signature
+// over the key list. It returns the certificate digest that, fed to
+// beacon.SessionGenesis, yields the session's beacon genesis — the
+// path an external verifier uses to reject archived previous-session
+// chains replayed as live.
+func VerifyScheduleCert(def *group.Definition, keys, sigs [][]byte) ([32]byte, error) {
+	if len(sigs) != len(def.Servers) {
+		return [32]byte{}, fmt.Errorf("core: schedule certificate has %d signatures, want %d",
+			len(sigs), len(def.Servers))
+	}
+	grpID := def.GroupID()
+	keyGrp := def.Group()
+	signed := scheduleSignedBytes(grpID, keys)
+	for j, srv := range def.Servers {
+		sig, err := crypto.DecodeSignature(keyGrp, sigs[j])
+		if err != nil {
+			return [32]byte{}, fmt.Errorf("core: schedule cert %d: %w", j, err)
+		}
+		if err := crypto.Verify(keyGrp, srv.PubKey, "dissent/schedule", signed, sig); err != nil {
+			return [32]byte{}, fmt.Errorf("core: schedule cert %d: %w", j, err)
+		}
+	}
+	return scheduleCertDigest(grpID, keys, sigs), nil
+}
+
 // ClientSubmit carries a client's DC-net ciphertext for a round.
 type ClientSubmit struct {
 	CT []byte

@@ -147,6 +147,10 @@ type Server struct {
 	shufStage     int
 	slotKeys      []crypto.Element
 	schedCerts    map[int][]byte
+	// certKeys/certSigs retain the certified schedule (encoded slot
+	// keys + per-server signatures) for ScheduleCertificate.
+	certKeys [][]byte
+	certSigs [][]byte
 
 	// DC-net state.
 	sched     *dcnet.Schedule
@@ -615,6 +619,18 @@ func (s *Server) maybeFinishSetup(now time.Time) (*Output, error) {
 	if s.phase != phaseSetupShuffle || len(s.schedCerts) < len(s.def.Servers) {
 		return &Output{}, nil
 	}
+	// Bind the beacon chain to the certified schedule before any state
+	// commits: a rebind failure (e.g. a non-empty store smuggled past
+	// the SDK's archiving) must not leave the server half-running with
+	// the schedule never broadcast.
+	sigs := make([][]byte, len(s.def.Servers))
+	for i := range sigs {
+		sigs[i] = s.schedCerts[i]
+	}
+	certKeys := s.encodedSlotKeys()
+	if err := s.bindBeaconSession(scheduleCertDigest(s.grpID, certKeys, sigs)); err != nil {
+		return nil, err
+	}
 	cfg := dcnet.Config{
 		NumSlots:        len(s.slotKeys),
 		DefaultOpenLen:  s.def.Policy.DefaultOpenLen,
@@ -629,18 +645,24 @@ func (s *Server) maybeFinishSetup(now time.Time) (*Output, error) {
 	s.sched = sched
 	s.prevCount = len(s.slotKeys)
 	s.phase = phaseRunning
+	s.certKeys, s.certSigs = certKeys, sigs
 
 	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("%d slots", len(s.slotKeys))}}}
-	sigs := make([][]byte, len(s.def.Servers))
-	for i := range sigs {
-		sigs[i] = s.schedCerts[i]
-	}
-	body := (&Schedule{Keys: s.encodedSlotKeys(), Sigs: sigs}).Encode()
+	body := (&Schedule{Keys: s.certKeys, Sigs: sigs}).Encode()
 	if err := s.broadcastClients(MsgSchedule, 0, body, out); err != nil {
 		return nil, err
 	}
 	s.startRound(now, out)
 	return out, nil
+}
+
+// ScheduleCertificate returns the certified schedule — the slot-key
+// list and every server's signature over it — or nils before setup
+// completes (including under trusted bootstrap, which certifies
+// nothing). The dissent SDK serves it beside the beacon chain so
+// external verifiers can derive the session's beacon genesis.
+func (s *Server) ScheduleCertificate() (keys, sigs [][]byte) {
+	return s.certKeys, s.certSigs
 }
 
 // --- DC-net rounds (Algorithm 2) --------------------------------------

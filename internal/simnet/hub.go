@@ -1,0 +1,204 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"dissent/internal/group"
+)
+
+// Hub is the real-time sibling of the discrete-event Network: an
+// in-process message fabric connecting a set of nodes by ID, with an
+// optional latency model, running on the wall clock. It exists so the
+// public dissent SDK can offer the same Transport contract over an
+// in-memory medium as over TCP — tests and the quickstart example run
+// the production Node lifecycle without sockets.
+//
+// Payloads are opaque to the hub. Delivery preserves per-(from,to)
+// FIFO order as long as Latency is a pure function of the endpoint
+// pair: each member drains a deliver-at-ordered queue (sequence
+// numbers break ties), so two messages A→B sent in order are handed
+// to B's callback in order, exactly like a TCP stream.
+type Hub struct {
+	// Latency returns the one-way propagation delay from → to. Nil (or
+	// a zero return) delivers immediately. Set before the first Attach;
+	// it is read concurrently afterwards.
+	Latency func(from, to group.NodeID) time.Duration
+
+	mu      sync.Mutex
+	members map[group.NodeID]*hubMember
+	pending map[group.NodeID][]hubDelivery
+	seq     int64
+	closed  bool
+}
+
+// pendingCap bounds payloads buffered for a member that has not
+// attached yet (the in-process analogue of TCP dial retries: a node
+// may start sending before its peers' Run has dialed the medium).
+const pendingCap = 4096
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		members: make(map[group.NodeID]*hubMember),
+		pending: make(map[group.NodeID][]hubDelivery),
+	}
+}
+
+// Attach registers a member: inbound payloads — including any buffered
+// while the member was not yet attached — are handed to recv, one at a
+// time, from a dedicated dispatcher goroutine.
+func (h *Hub) Attach(id group.NodeID, recv func(payload any)) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("simnet: hub closed")
+	}
+	if _, dup := h.members[id]; dup {
+		return fmt.Errorf("simnet: member %s already attached", id)
+	}
+	m := newHubMember()
+	h.members[id] = m
+	for _, d := range h.pending[id] {
+		m.enqueue(d)
+	}
+	delete(h.pending, id)
+	go m.run(recv)
+	return nil
+}
+
+// Detach removes a member and stops its dispatcher; payloads still in
+// flight to it are dropped.
+func (h *Hub) Detach(id group.NodeID) {
+	h.mu.Lock()
+	m := h.members[id]
+	delete(h.members, id)
+	h.mu.Unlock()
+	if m != nil {
+		m.close()
+	}
+}
+
+// Close detaches every member.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	members := h.members
+	h.members = make(map[group.NodeID]*hubMember)
+	h.mu.Unlock()
+	for _, m := range members {
+		m.close()
+	}
+}
+
+// Send queues one payload for delivery to `to` after the modeled
+// latency. A member that has not attached yet receives buffered
+// payloads upon attaching — group members start in arbitrary order,
+// exactly as on the TCP path, where dials retry until the peer's
+// listener is up. The buffer is bounded; overflow fails the send.
+func (h *Hub) Send(from, to group.NodeID, payload any) error {
+	var lat time.Duration
+	if h.Latency != nil {
+		lat = h.Latency(from, to)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("simnet: hub closed")
+	}
+	h.seq++
+	d := hubDelivery{at: time.Now().Add(lat), seq: h.seq, payload: payload}
+	if m, ok := h.members[to]; ok {
+		m.enqueue(d)
+		return nil
+	}
+	if len(h.pending[to]) >= pendingCap {
+		return fmt.Errorf("simnet: member %s not attached and its buffer is full", to)
+	}
+	h.pending[to] = append(h.pending[to], d)
+	return nil
+}
+
+// hubDelivery is one queued payload with its due time.
+type hubDelivery struct {
+	at      time.Time
+	seq     int64
+	payload any
+}
+
+type deliveryHeap []hubDelivery
+
+func (q deliveryHeap) Len() int { return len(q) }
+func (q deliveryHeap) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deliveryHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deliveryHeap) Push(x any)   { *q = append(*q, x.(hubDelivery)) }
+func (q *deliveryHeap) Pop() (popped any) {
+	old := *q
+	n := len(old)
+	popped = old[n-1]
+	*q = old[:n-1]
+	return
+}
+
+// hubMember is one attached node: a due-time-ordered inbound queue
+// drained by a dispatcher goroutine.
+type hubMember struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  deliveryHeap
+	closed bool
+}
+
+func newHubMember() *hubMember {
+	m := &hubMember{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *hubMember) enqueue(d hubDelivery) {
+	m.mu.Lock()
+	if !m.closed {
+		heap.Push(&m.queue, d)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+func (m *hubMember) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// run drains the queue in due-time order, sleeping until each entry's
+// deadline. Latencies are small (milliseconds), so the bounded sleep
+// between close and exit is negligible.
+func (m *hubMember) run(recv func(any)) {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		next := m.queue[0]
+		if wait := time.Until(next.at); wait > 0 {
+			m.mu.Unlock()
+			time.Sleep(wait)
+			continue // re-check: an earlier delivery may have arrived
+		}
+		heap.Pop(&m.queue)
+		m.mu.Unlock()
+		recv(next.payload)
+	}
+}

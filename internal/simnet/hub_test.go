@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dissent/internal/group"
+)
+
+func hubID(s string) group.NodeID {
+	var id group.NodeID
+	copy(id[:], s)
+	return id
+}
+
+// TestHubDeliversInOrder checks per-pair FIFO under a nonzero latency
+// model: 100 messages A→B arrive in send order.
+func TestHubDeliversInOrder(t *testing.T) {
+	h := NewHub()
+	h.Latency = func(from, to group.NodeID) time.Duration { return time.Millisecond }
+	defer h.Close()
+
+	a, b := hubID("member-A"), hubID("member-B")
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	if err := h.Attach(b, func(p any) {
+		mu.Lock()
+		got = append(got, p.(int))
+		if len(got) == 100 {
+			close(done)
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(a, func(any) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 100; i++ {
+		if err := h.Send(a, b, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		t.Fatalf("only %d/100 delivered", len(got))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d got %d: reordered", i, v)
+		}
+	}
+}
+
+// TestHubBuffersUntilAttach checks the startup-order tolerance: sends
+// to a member that has not attached yet are buffered and delivered
+// once it does — nodes of a group start in arbitrary order.
+func TestHubBuffersUntilAttach(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, b := hubID("early-A"), hubID("late-B")
+	for i := 0; i < 3; i++ {
+		if err := h.Send(a, b, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	if err := h.Attach(b, func(p any) {
+		mu.Lock()
+		got = append(got, p.(int))
+		if len(got) == 3 {
+			close(done)
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("buffered payloads not delivered after attach")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d got %d: reordered", i, v)
+		}
+	}
+}
+
+// TestHubDetachStopsDelivery checks no payloads reach a detached
+// member's callback.
+func TestHubDetachStopsDelivery(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, b := hubID("detach-A"), hubID("detach-B")
+	var mu sync.Mutex
+	n := 0
+	if err := h.Attach(b, func(any) { mu.Lock(); n++; mu.Unlock() }); err != nil {
+		t.Fatal(err)
+	}
+	h.Detach(b)
+	if err := h.Send(a, b, 1); err != nil {
+		t.Fatal(err) // buffered against a possible re-attach
+	}
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d payloads delivered after detach", n)
+	}
+}
+
+// TestHubDuplicateAttach checks double registration is refused.
+func TestHubDuplicateAttach(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	id := hubID("dup")
+	if err := h.Attach(id, func(any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(id, func(any) {}); err == nil {
+		t.Error("duplicate attach succeeded")
+	}
+}

@@ -1,10 +1,10 @@
-// Package transport runs core engines over real TCP connections: the
-// deployment path for cmd/dissentd and cmd/dissent. Frames are
-// length-prefixed encoded Messages; identity and integrity come from
-// the protocol-level signatures, so connections need no additional
-// handshake. The same engines run unchanged under the discrete-event
-// harness; this package supplies real time, real sockets, and a timer
-// goroutine instead.
+// Package transport moves signed protocol messages over real TCP
+// connections: the deployment path under the public dissent SDK.
+// Frames are length-prefixed encoded Messages; identity and integrity
+// come from the protocol-level signatures, so connections need no
+// additional handshake. The package knows nothing about engines — it
+// hands every inbound message to a callback and exposes Send for
+// outbound envelopes; the SDK's Node owns the engine loop and timers.
 package transport
 
 import (
@@ -27,217 +27,185 @@ const maxFrame = 64 << 20
 // Roster maps node IDs to dialable addresses.
 type Roster map[group.NodeID]string
 
-// Node hosts one engine over TCP.
-type Node struct {
-	self   group.NodeID
-	engine core.Engine
-	roster Roster
+// Mesh is one node's view of the group's TCP fabric: a listener
+// accepting inbound connections plus lazily dialed, cached outbound
+// connections to every roster address. Inbound messages are decoded
+// and handed to the recv callback (from per-connection goroutines;
+// the caller serializes). Soft I/O errors go to onError.
+type Mesh struct {
+	roster  Roster
+	recv    func(*core.Message)
+	onError func(error)
 
 	ln net.Listener
 
 	mu      sync.Mutex
 	conns   map[group.NodeID]*lockedConn
 	inbound []net.Conn
-	timer   *time.Timer
-	timerAt time.Time
 	closed  bool
-
-	// OnDelivery and OnEvent observe engine outputs (called with the
-	// node lock released).
-	OnDelivery func(core.Delivery)
-	OnEvent    func(core.Event)
-	// OnError observes engine or transport errors.
-	OnError func(error)
 
 	wg sync.WaitGroup
 }
 
-// Listen starts a node: it binds addr, starts the engine, and serves
-// until Close.
-func Listen(self group.NodeID, addr string, roster Roster, engine core.Engine) (*Node, error) {
+// ListenMesh binds addr and begins accepting and decoding inbound
+// messages into recv. onError observes soft transport errors (may be
+// nil).
+func ListenMesh(addr string, roster Roster, recv func(*core.Message), onError func(error)) (*Mesh, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{
-		self:   self,
-		engine: engine,
-		roster: roster,
-		ln:     ln,
-		conns:  make(map[group.NodeID]*lockedConn),
+	m := &Mesh{
+		roster:  roster,
+		recv:    recv,
+		onError: onError,
+		ln:      ln,
+		conns:   make(map[group.NodeID]*lockedConn),
 	}
-	n.wg.Add(1)
-	go n.acceptLoop()
-	return n, nil
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
 }
 
 // Addr returns the bound listen address.
-func (n *Node) Addr() string { return n.ln.Addr().String() }
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
 
-// Start invokes the engine's Start and processes its output.
-func (n *Node) Start() error {
-	n.mu.Lock()
-	out, err := n.engine.Start(time.Now())
-	n.mu.Unlock()
-	return n.process(out, err)
-}
-
-// InstallSchedule is invoked by callers performing trusted bootstrap
-// (see core.Server.InstallSchedule); fn runs under the engine lock.
-func (n *Node) WithEngine(fn func(e core.Engine) (*core.Output, error)) error {
-	n.mu.Lock()
-	out, err := fn(n.engine)
-	n.mu.Unlock()
-	return n.process(out, err)
-}
-
-// Close shuts the node down.
-func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+// Close shuts the mesh down: the listener, every connection, and all
+// reader goroutines.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
 		return nil
 	}
-	n.closed = true
-	if n.timer != nil {
-		n.timer.Stop()
-	}
-	for _, c := range n.conns {
+	m.closed = true
+	for _, c := range m.conns {
 		c.close()
 	}
-	for _, c := range n.inbound {
+	for _, c := range m.inbound {
 		c.Close()
 	}
-	n.mu.Unlock()
-	err := n.ln.Close()
-	n.wg.Wait()
+	m.mu.Unlock()
+	err := m.ln.Close()
+	m.wg.Wait()
 	return err
 }
 
-func (n *Node) acceptLoop() {
-	defer n.wg.Done()
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
 	for {
-		conn, err := n.ln.Accept()
+		conn, err := m.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
 			conn.Close()
 			return
 		}
-		n.inbound = append(n.inbound, conn)
-		n.mu.Unlock()
-		n.wg.Add(1)
+		m.inbound = append(m.inbound, conn)
+		m.mu.Unlock()
+		m.wg.Add(1)
 		go func() {
-			defer n.wg.Done()
-			n.readLoop(conn)
+			defer m.wg.Done()
+			m.readLoop(conn)
 		}()
 	}
 }
 
-func (n *Node) readLoop(conn net.Conn) {
+func (m *Mesh) readLoop(conn net.Conn) {
 	defer conn.Close()
 	for {
 		msg, err := ReadFrame(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !n.isClosed() {
-				n.reportError(fmt.Errorf("transport: read: %w", err))
+			if !errors.Is(err, io.EOF) && !m.isClosed() {
+				m.reportError(fmt.Errorf("transport: read: %w", err))
 			}
 			return
 		}
-		n.inject(msg)
+		m.recv(msg)
 	}
 }
 
-func (n *Node) isClosed() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.closed
+func (m *Mesh) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
 }
 
-// inject feeds one message to the engine.
-func (n *Node) inject(msg *core.Message) {
-	n.mu.Lock()
-	out, err := n.engine.Handle(time.Now(), msg)
-	n.mu.Unlock()
-	if perr := n.process(out, err); perr != nil {
-		n.reportError(perr)
-	}
-}
-
-// process handles an engine output: transmissions, timer, callbacks.
-func (n *Node) process(out *core.Output, err error) error {
+// Send transmits one message, dialing (with retry) as needed; a stale
+// cached connection is dropped and redialed once.
+func (m *Mesh) Send(to group.NodeID, msg *core.Message) error {
+	conn, err := m.conn(to)
 	if err != nil {
 		return err
 	}
-	if out == nil {
-		return nil
-	}
-	for _, d := range out.Deliveries {
-		if n.OnDelivery != nil {
-			n.OnDelivery(d)
+	if err := conn.writeFrame(msg); err != nil {
+		m.dropConn(to)
+		conn, err2 := m.conn(to)
+		if err2 != nil {
+			return err2
 		}
-	}
-	for _, e := range out.Events {
-		if n.OnEvent != nil {
-			n.OnEvent(e)
-		}
-	}
-	for _, env := range out.Send {
-		if serr := n.send(env); serr != nil {
-			n.reportError(serr)
-		}
-	}
-	if !out.Timer.IsZero() {
-		n.armTimer(out.Timer)
+		return conn.writeFrame(msg)
 	}
 	return nil
 }
 
-// armTimer keeps the earliest requested wakeup: engines request
-// timers liberally (window close, hard deadline) and ticks are
-// idempotent, so only the soonest pending one matters.
-func (n *Node) armTimer(at time.Time) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
+func (m *Mesh) dropConn(to group.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.conns[to]; ok {
+		c.close()
+		delete(m.conns, to)
 	}
-	if !n.timerAt.IsZero() && !at.Before(n.timerAt) {
-		return // an earlier wakeup is already pending
-	}
-	d := time.Until(at)
-	if d < 0 {
-		d = 0
-	}
-	if n.timer != nil {
-		n.timer.Stop()
-	}
-	n.timerAt = at
-	n.timer = time.AfterFunc(d, n.tick)
 }
 
-func (n *Node) tick() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
+func (m *Mesh) conn(to group.NodeID) (*lockedConn, error) {
+	m.mu.Lock()
+	if c, ok := m.conns[to]; ok {
+		m.mu.Unlock()
+		return c, nil
 	}
-	n.timerAt = time.Time{}
-	out, err := n.engine.Tick(time.Now())
-	n.mu.Unlock()
-	if perr := n.process(out, err); perr != nil {
-		n.reportError(perr)
+	addr, ok := m.roster[to]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %s", to)
+	}
+	var conn net.Conn
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.conns[to]; ok {
+		conn.Close()
+		return existing, nil
+	}
+	lc := newLockedConn(conn)
+	m.conns[to] = lc
+	return lc, nil
+}
+
+func (m *Mesh) reportError(err error) {
+	if m.onError != nil {
+		m.onError(err)
 	}
 }
 
 // lockedConn serializes frame writes through a dedicated writer
-// goroutine: engine outputs from different reader goroutines would
-// otherwise interleave partial frames, and synchronous writes from
-// within read handlers could form distributed write-deadlocks when
-// every node's TCP buffers fill simultaneously.
+// goroutine: sends from different goroutines would otherwise
+// interleave partial frames, and synchronous writes from within read
+// handlers could form distributed write-deadlocks when every node's
+// TCP buffers fill simultaneously.
 type lockedConn struct {
 	c      net.Conn
 	mu     sync.Mutex
@@ -309,73 +277,6 @@ func (lc *lockedConn) writeFrame(msg *core.Message) error {
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
 	copy(frame[4:], body)
 	return lc.enqueue(frame)
-}
-
-// send transmits one envelope, dialing (with retry) as needed.
-func (n *Node) send(env core.Envelope) error {
-	conn, err := n.conn(env.To)
-	if err != nil {
-		return err
-	}
-	if err := conn.writeFrame(env.Msg); err != nil {
-		// Drop the cached connection and retry once on a fresh dial.
-		n.dropConn(env.To)
-		conn, err2 := n.conn(env.To)
-		if err2 != nil {
-			return err2
-		}
-		return conn.writeFrame(env.Msg)
-	}
-	return nil
-}
-
-func (n *Node) dropConn(to group.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if c, ok := n.conns[to]; ok {
-		c.close()
-		delete(n.conns, to)
-	}
-}
-
-func (n *Node) conn(to group.NodeID) (*lockedConn, error) {
-	n.mu.Lock()
-	if c, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := n.roster[to]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("transport: no address for node %s", to)
-	}
-	var conn net.Conn
-	var err error
-	for attempt := 0; attempt < 10; attempt++ {
-		conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			break
-		}
-		time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if existing, ok := n.conns[to]; ok {
-		conn.Close()
-		return existing, nil
-	}
-	lc := newLockedConn(conn)
-	n.conns[to] = lc
-	return lc, nil
-}
-
-func (n *Node) reportError(err error) {
-	if n.OnError != nil {
-		n.OnError(err)
-	}
 }
 
 // WriteFrame writes one length-prefixed message.

@@ -1,0 +1,84 @@
+package dissent
+
+import (
+	"log"
+)
+
+// Option tunes Node construction.
+type Option func(*nodeConfig)
+
+type nodeConfig struct {
+	transport  Transport
+	listenAddr string
+	roster     Roster
+	store      BeaconStore
+	beaconAddr string
+	onError    func(error)
+	msgBuf     int
+}
+
+func buildConfig(opts []Option) nodeConfig {
+	cfg := nodeConfig{
+		listenAddr: ":0",
+		msgBuf:     1024,
+		onError:    func(err error) { log.Printf("dissent: %v", err) },
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithTransport selects the message fabric the node runs over (a
+// SimNet, a custom implementation, ...). When omitted, the node uses
+// TCP with the configured listen address and roster.
+func WithTransport(t Transport) Option {
+	return func(c *nodeConfig) { c.transport = t }
+}
+
+// WithListenAddr sets the TCP listen address for the default transport
+// (ignored when WithTransport is given). Default ":0".
+func WithListenAddr(addr string) Option {
+	return func(c *nodeConfig) { c.listenAddr = addr }
+}
+
+// WithRoster supplies the node-ID → address map for the default TCP
+// transport (ignored when WithTransport is given).
+func WithRoster(r Roster) Option {
+	return func(c *nodeConfig) { c.roster = r }
+}
+
+// WithBeaconStore backs the node's beacon chain replica with a durable
+// store (see OpenBeaconStore); omitted, the chain lives in memory. The
+// caller retains ownership: close the store after Run returns.
+func WithBeaconStore(s BeaconStore) Option {
+	return func(c *nodeConfig) { c.store = s }
+}
+
+// WithBeaconHTTP serves the node's beacon chain over HTTP on addr
+// while the node runs: GET /beacon/latest, /beacon/{round},
+// /beacon/from/{round}, /beacon/range/{from}, /beacon/info, and — on
+// servers, once setup completes — /beacon/schedule, the schedule
+// certificate that binds the chain's session genesis.
+func WithBeaconHTTP(addr string) Option {
+	return func(c *nodeConfig) { c.beaconAddr = addr }
+}
+
+// WithErrorHandler observes soft errors — transport read failures,
+// messages the engine rejects — that do not stop the node. The default
+// handler logs them.
+func WithErrorHandler(fn func(error)) Option {
+	return func(c *nodeConfig) { c.onError = fn }
+}
+
+// WithMessageBuffer sets the Messages() channel capacity (default
+// 1024). When the application does not drain the channel, the oldest
+// undelivered outputs are dropped — the protocol never blocks on a
+// slow consumer.
+func WithMessageBuffer(n int) Option {
+	return func(c *nodeConfig) {
+		if n > 0 {
+			c.msgBuf = n
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package dissent
+
+import (
+	"time"
+
+	"dissent/internal/simnet"
+)
+
+// SimNet is the in-process transport: a real-time message fabric with
+// an optional latency model, built on the same hub the discrete-event
+// simulator package provides. A group of Nodes sharing one SimNet runs
+// the full production protocol — signed messages, verifiable shuffle,
+// certified rounds — without sockets, making it the medium for tests,
+// examples, and embedded single-process deployments.
+type SimNet struct {
+	hub *simnet.Hub
+}
+
+// NewSimNet creates an empty in-process network.
+func NewSimNet() *SimNet {
+	return &SimNet{hub: simnet.NewHub()}
+}
+
+// SetLatency installs a one-way propagation delay model (for example,
+// 10 ms server–server and 50 ms client–server to mimic the paper's
+// DeterLab topology). Call before any node runs; fn must be a pure
+// function of the endpoint pair so per-pair delivery order is
+// preserved.
+func (s *SimNet) SetLatency(fn func(from, to NodeID) time.Duration) {
+	s.hub.Latency = fn
+}
+
+// Close tears the network down, detaching every node.
+func (s *SimNet) Close() { s.hub.Close() }
+
+// Dial implements Transport.
+func (s *SimNet) Dial(self NodeID, recv func(*Message), onError func(error)) (Link, error) {
+	if err := s.hub.Attach(self, func(p any) { recv(p.(*Message)) }); err != nil {
+		return nil, err
+	}
+	return &simLink{net: s, self: self}, nil
+}
+
+type simLink struct {
+	net  *SimNet
+	self NodeID
+}
+
+func (l *simLink) Send(to NodeID, m *Message) error {
+	return l.net.hub.Send(l.self, to, m)
+}
+
+func (l *simLink) Addr() string { return "sim:" + l.self.String() }
+
+func (l *simLink) Close() error {
+	l.net.hub.Detach(l.self)
+	return nil
+}

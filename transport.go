@@ -1,0 +1,58 @@
+package dissent
+
+import (
+	"dissent/internal/transport"
+)
+
+// Transport connects a Node to its group's message fabric. The SDK
+// ships two implementations — TCP for deployment and SimNet for
+// in-process groups — and a Node runs identically over either; custom
+// implementations (QUIC, TLS tunnels, test interceptors) plug in the
+// same way.
+type Transport interface {
+	// Dial attaches a node: inbound messages are handed to recv (the
+	// transport may call it from multiple goroutines; the Node
+	// serializes), soft I/O errors to onError (may be nil). The
+	// returned Link carries outbound traffic until closed.
+	Dial(self NodeID, recv func(*Message), onError func(error)) (Link, error)
+}
+
+// Link is one attached node's handle on the transport.
+type Link interface {
+	// Send transmits one protocol message to a group member.
+	Send(to NodeID, m *Message) error
+	// Addr returns the transport-level local address ("" when the
+	// medium has none).
+	Addr() string
+	// Close detaches the node and releases transport resources.
+	Close() error
+}
+
+// TCP returns the deployment transport: a listener on `listen` plus
+// lazily dialed connections to the roster's addresses. The roster must
+// cover every member the node exchanges messages with (servers: all
+// servers and their attached clients; clients: their upstream server).
+// The roster map is read at send time and must not be mutated once the
+// node runs.
+func TCP(listen string, roster Roster) Transport {
+	return &tcpTransport{listen: listen, roster: roster}
+}
+
+type tcpTransport struct {
+	listen string
+	roster Roster
+}
+
+func (t *tcpTransport) Dial(self NodeID, recv func(*Message), onError func(error)) (Link, error) {
+	mesh, err := transport.ListenMesh(t.listen, t.roster, recv, onError)
+	if err != nil {
+		return nil, err
+	}
+	return tcpLink{mesh}, nil
+}
+
+type tcpLink struct{ mesh *transport.Mesh }
+
+func (l tcpLink) Send(to NodeID, m *Message) error { return l.mesh.Send(to, m) }
+func (l tcpLink) Addr() string                     { return l.mesh.Addr() }
+func (l tcpLink) Close() error                     { return l.mesh.Close() }

@@ -1,0 +1,139 @@
+package dissent
+
+import (
+	"errors"
+	"fmt"
+
+	"dissent/internal/beacon"
+	"dissent/internal/core"
+	"dissent/internal/crypto"
+	"dissent/internal/group"
+	"dissent/internal/transport"
+)
+
+// The SDK's vocabulary is defined as aliases over the internal
+// protocol packages: applications import only this package and name
+// every type through it, while the engines, group machinery, and
+// beacon keep their narrow internal boundaries.
+type (
+	// NodeID identifies a group member (first 8 bytes of the SHA-256 of
+	// its public key; self-certifying).
+	NodeID = group.NodeID
+	// Group is a complete group definition: static membership lists
+	// plus policy. Its hash is the group's self-certifying ID.
+	Group = group.Definition
+	// Policy holds the group-creation-time protocol constants.
+	Policy = group.Policy
+	// KeyPair is a private/public keypair in one of the protocol groups.
+	KeyPair = crypto.KeyPair
+	// Roster maps node IDs to dialable TCP addresses.
+	Roster = transport.Roster
+	// Message is an opaque signed protocol message in transit between
+	// members; Transport implementations carry it whole.
+	Message = core.Message
+	// Event is a notable protocol state transition surfaced through
+	// Node.Subscribe.
+	Event = core.Event
+	// EventKind classifies events.
+	EventKind = core.EventKind
+	// RoundOutput is one decoded anonymous message: the certified
+	// round it appeared in, the sender's pseudonym slot (nothing links
+	// a slot to a client), and the payload bytes.
+	RoundOutput = core.Delivery
+	// BeaconChain is a replica of the group's randomness beacon chain.
+	BeaconChain = beacon.Chain
+	// BeaconEntry is one verified link of the beacon chain.
+	BeaconEntry = beacon.Entry
+	// BeaconStore is the persistence contract for beacon chains.
+	BeaconStore = beacon.Store
+	// BeaconFileStore is the append-only durable beacon store.
+	BeaconFileStore = beacon.FileStore
+)
+
+// Event kinds, re-exported for Subscribe filters.
+const (
+	// EventScheduleReady fires when the slot schedule is established.
+	EventScheduleReady = core.EventScheduleReady
+	// EventRoundComplete fires at a server when a round certifies.
+	EventRoundComplete = core.EventRoundComplete
+	// EventRoundFailed fires when a round hits the hard timeout.
+	EventRoundFailed = core.EventRoundFailed
+	// EventDisruptionDetected fires at a client whose slot was garbled.
+	EventDisruptionDetected = core.EventDisruptionDetected
+	// EventBlameStarted fires when an accusation shuffle begins.
+	EventBlameStarted = core.EventBlameStarted
+	// EventBlameVerdict fires when tracing identifies a disruptor.
+	EventBlameVerdict = core.EventBlameVerdict
+	// EventProtocolViolation fires when a signed message or proof fails
+	// verification.
+	EventProtocolViolation = core.EventProtocolViolation
+	// EventWindowClosed fires at a server when it closes a round's
+	// submission window.
+	EventWindowClosed = core.EventWindowClosed
+	// EventEpochRotated fires when a node re-derives the slot
+	// permutation from the randomness beacon at an epoch boundary.
+	EventEpochRotated = core.EventEpochRotated
+)
+
+// DefaultPolicy returns the policy used in the paper's evaluation.
+func DefaultPolicy() Policy { return group.DefaultPolicy() }
+
+// Keys holds one member's private keys. Every member has an identity
+// keypair (P-256); servers additionally hold a keypair in the
+// message-shuffle group named by the policy.
+type Keys struct {
+	Identity   *KeyPair
+	MsgShuffle *KeyPair // servers only
+}
+
+// GenerateServerKeys creates fresh server keys for a group using the
+// given policy's message-shuffle group.
+func GenerateServerKeys(policy Policy) (Keys, error) {
+	mg, err := crypto.GroupByName(policy.MessageGroup)
+	if err != nil {
+		return Keys{}, err
+	}
+	kp, err := crypto.GenerateKeyPair(crypto.P256(), nil)
+	if err != nil {
+		return Keys{}, err
+	}
+	mkp, err := crypto.GenerateKeyPair(mg, nil)
+	if err != nil {
+		return Keys{}, err
+	}
+	return Keys{Identity: kp, MsgShuffle: mkp}, nil
+}
+
+// GenerateClientKeys creates a fresh client identity keypair.
+func GenerateClientKeys() (Keys, error) {
+	kp, err := crypto.GenerateKeyPair(crypto.P256(), nil)
+	if err != nil {
+		return Keys{}, err
+	}
+	return Keys{Identity: kp}, nil
+}
+
+// NewGroup assembles a group definition from member keys. Only public
+// keys enter the definition; the Keys values stay with their owners.
+// Members are sorted by ID internally, so positions in the input
+// slices need not match definition indices — nodes locate themselves
+// by key.
+func NewGroup(name string, serverKeys, clientKeys []Keys, policy Policy) (*Group, error) {
+	sPubs := make([]crypto.Element, len(serverKeys))
+	sMsgPubs := make([]crypto.Element, len(serverKeys))
+	for i, k := range serverKeys {
+		if k.Identity == nil || k.MsgShuffle == nil {
+			return nil, fmt.Errorf("dissent: server keys %d incomplete (need Identity and MsgShuffle)", i)
+		}
+		sPubs[i] = k.Identity.Public
+		sMsgPubs[i] = k.MsgShuffle.Public
+	}
+	cPubs := make([]crypto.Element, len(clientKeys))
+	for i, k := range clientKeys {
+		if k.Identity == nil {
+			return nil, errors.New("dissent: client keys lack an identity keypair")
+		}
+		cPubs[i] = k.Identity.Public
+	}
+	return group.NewDefinition(name, sPubs, sMsgPubs, cPubs, policy)
+}
