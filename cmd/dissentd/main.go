@@ -1,40 +1,59 @@
-// Command dissentd runs one Dissent server over TCP, built on the
-// public dissent SDK.
+// Command dissentd runs one or more Dissent server memberships — one
+// per group — in a single process over one shared TCP listener, built
+// on the public dissent SDK's Host.
 //
 // Usage:
 //
 //	dissentd -group group.json -key server-0.key -roster roster.json -listen :7000 \
-//	         [-beacon :7080] [-beacon-store beacon.jsonl]
+//	         [-beacon :7080] [-beacon-store beacon.jsonl] [-metrics :7090]
 //
-// roster.json maps every member's node ID (hex) to a dialable address:
+// Flags -group, -key, -roster, -beacon, and -beacon-store are
+// repeatable and positional: each -group starts a new session block,
+// and the -key/-roster/-beacon/-beacon-store flags that follow apply
+// to it. One invocation therefore shards many groups behind one
+// listener:
+//
+//	dissentd -listen :7000 \
+//	    -group g1/group.json -key g1/server-0.key -roster g1/roster.json \
+//	    -group g2/group.json -key g2/server-0.key -roster g2/roster.json
+//
+// Every roster maps that group's member node IDs (hex) to dialable
+// addresses; this daemon's entry must point at the shared -listen
+// address:
 //
 //	{"0a1b2c3d4e5f6071": "server0.example.org:7000", ...}
 //
 // All servers and clients of a group must share the same group.json
 // and roster. The daemon logs round completions, participation counts,
-// blame verdicts, and protocol violations, and shuts down cleanly on
-// SIGINT/SIGTERM (flushing and closing the beacon store).
+// blame verdicts, and protocol violations per group, and shuts down
+// cleanly on SIGINT/SIGTERM (flushing and closing every beacon store).
 //
-// With -beacon the daemon additionally serves its randomness-beacon
+// With -beacon a session additionally serves its randomness-beacon
 // chain over HTTP (GET /beacon/latest, /beacon/{round},
 // /beacon/from/{round}, /beacon/info, and /beacon/schedule — the
 // schedule certificate that anchors the chain's session-bound genesis)
 // so clients and external verifiers can fetch and verify per-round
-// randomness; -beacon-store persists the chain to an append-only file.
-// A chain left by a previous session is archived at startup (DC-net
-// round numbers and the session genesis restart with each session) and
-// a fresh file begun.
+// randomness; -beacon-store persists that chain to an append-only
+// file. A chain left by a previous session is archived at startup
+// (DC-net round numbers and the session genesis restart with each
+// session) and a fresh file begun.
+//
+// With -metrics the daemon serves the host's aggregated and
+// per-session counters (rounds/s, bytes in/out, window timings) as
+// JSON at /metrics, expvar style.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"dissent"
 	"dissent/dissentcfg"
@@ -50,31 +69,132 @@ func main() {
 	}
 }
 
-// run parses flags and serves until SIGINT/SIGTERM cancels the node's
-// context; it returns an error (instead of exiting) for anything that
-// fails before the serving loop, so tests can exercise argument
-// handling.
+// sessionSpec is one -group block's file set: a group definition plus
+// the key, roster, and beacon flags that followed it.
+type sessionSpec struct {
+	group, key, roster  string
+	beacon, beaconStore string
+	groupSet            bool
+}
+
+// parseSpecs wires the repeatable session-block flags onto fs. Each
+// -group begins a new block; the other flags apply to the most recent
+// one (or to the implicit default block when they come first).
+func parseSpecs(fs *flag.FlagSet) *[]*sessionSpec {
+	specs := &[]*sessionSpec{}
+	cur := func() *sessionSpec {
+		if len(*specs) == 0 {
+			s := &sessionSpec{group: "group.json", roster: "roster.json"}
+			*specs = append(*specs, s)
+			return s
+		}
+		return (*specs)[len(*specs)-1]
+	}
+	fs.Func("group", "group definition file; repeatable — each use starts a new session block (default group.json)", func(v string) error {
+		s := cur()
+		if s.groupSet {
+			s = &sessionSpec{group: v, roster: "roster.json", groupSet: true}
+			*specs = append(*specs, s)
+			return nil
+		}
+		s.group, s.groupSet = v, true
+		return nil
+	})
+	fs.Func("key", "server key file (from keygen) for the current -group block", func(v string) error {
+		cur().key = v
+		return nil
+	})
+	fs.Func("roster", "node address roster for the current -group block (default roster.json)", func(v string) error {
+		cur().roster = v
+		return nil
+	})
+	fs.Func("beacon", "beacon HTTP listen address for the current -group block (empty = disabled)", func(v string) error {
+		cur().beacon = v
+		return nil
+	})
+	fs.Func("beacon-store", "beacon chain file for the current -group block (empty = in-memory)", func(v string) error {
+		cur().beaconStore = v
+		return nil
+	})
+	return specs
+}
+
+// run parses flags and serves until SIGINT/SIGTERM cancels the host;
+// it returns an error (instead of exiting) for anything that fails
+// before the serving loop, so tests can exercise argument handling.
 func run(args []string) error {
 	fs := flag.NewFlagSet("dissentd", flag.ContinueOnError)
-	groupPath := fs.String("group", "group.json", "group definition file")
-	keyPath := fs.String("key", "", "server key file (from keygen)")
-	rosterPath := fs.String("roster", "roster.json", "node address roster")
-	listen := fs.String("listen", ":7000", "listen address")
-	beaconAddr := fs.String("beacon", "", "beacon HTTP listen address (empty = disabled)")
-	beaconStore := fs.String("beacon-store", "", "beacon chain file for durable persistence (empty = in-memory)")
+	listen := fs.String("listen", ":7000", "shared TCP listen address for every session")
+	metricsAddr := fs.String("metrics", "", "metrics HTTP listen address serving /metrics JSON (empty = disabled)")
+	specs := parseSpecs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if len(*specs) == 0 {
+		*specs = append(*specs, &sessionSpec{group: "group.json", roster: "roster.json"})
+	}
 
-	grp, err := dissentcfg.LoadGroup(*groupPath)
+	host, err := dissent.NewHost(
+		dissent.WithHostListenAddr(*listen),
+		dissent.WithHostErrorHandler(func(err error) { log.Printf("error: %v", err) }),
+	)
 	if err != nil {
 		return err
 	}
-	roster, err := dissentcfg.LoadRoster(*rosterPath)
+	// Teardown order matters: the host closes every session (which
+	// stops appending to the chains) before the store closes flush the
+	// files.
+	var stores []*dissent.BeaconFileStore
+	defer func() {
+		host.Close()
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+
+	for _, spec := range *specs {
+		if err := openSpec(host, spec, &stores); err != nil {
+			return fmt.Errorf("%s: %w", spec.group, err)
+		}
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, host.MetricsVar().String())
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, mux)
+		log.Printf("metrics HTTP on %s (GET /metrics)", ln.Addr())
+	}
+
+	log.Printf("host listening on %s with %d session(s)", host.Addr(), len(host.Sessions()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Print("shutting down")
+	return nil
+}
+
+// openSpec loads one session block's files and opens its membership on
+// the host. Any beacon store it opens is appended to stores; the
+// caller closes them after the host has shut down.
+func openSpec(host *dissent.Host, spec *sessionSpec, stores *[]*dissent.BeaconFileStore) error {
+	grp, err := dissentcfg.LoadGroup(spec.group)
 	if err != nil {
 		return err
 	}
-	keys, err := dissentcfg.LoadKeys(*keyPath, grp)
+	roster, err := dissentcfg.LoadRoster(spec.roster)
+	if err != nil {
+		return err
+	}
+	keys, err := dissentcfg.LoadKeys(spec.key, grp)
 	if err != nil {
 		return err
 	}
@@ -82,66 +202,46 @@ func run(args []string) error {
 		return errors.New("key file lacks a message-shuffle key (is this a server key?)")
 	}
 
-	opts := []dissent.Option{
-		dissent.WithListenAddr(*listen),
-		dissent.WithRoster(roster),
-		dissent.WithErrorHandler(func(err error) { log.Printf("error: %v", err) }),
-	}
-	if *beaconStore != "" {
+	opts := []dissent.Option{dissent.WithRoster(roster)}
+	if spec.beaconStore != "" {
 		if grp.Policy.BeaconEpochRounds == 0 {
 			return errors.New("-beacon-store set but the group policy disables the beacon")
 		}
-		store, archived, err := dissent.OpenBeaconStore(*beaconStore)
+		store, archived, err := dissent.OpenBeaconStore(spec.beaconStore)
 		if err != nil {
 			return err
 		}
-		// Run(ctx) returning is the shutdown point: close (and flush)
-		// the chain file once the node has stopped appending.
-		defer store.Close()
+		*stores = append(*stores, store)
 		if archived != "" {
 			log.Printf("previous beacon chain content archived to %s", archived)
 		}
 		opts = append(opts, dissent.WithBeaconStore(store))
 	}
-	if *beaconAddr != "" {
+	if spec.beacon != "" {
 		if grp.Policy.BeaconEpochRounds == 0 {
 			return errors.New("-beacon set but the group policy disables the beacon")
 		}
-		opts = append(opts, dissent.WithBeaconHTTP(*beaconAddr))
-		log.Printf("beacon HTTP on %s (GET /beacon/latest, /beacon/{round}, /beacon/schedule)", *beaconAddr)
+		opts = append(opts, dissent.WithBeaconHTTP(spec.beacon))
+		log.Printf("beacon HTTP on %s (GET /beacon/latest, /beacon/{round}, /beacon/schedule)", spec.beacon)
 	}
 
-	node, err := dissent.NewServer(grp, keys, opts...)
+	sess, err := host.OpenSession(grp, keys, opts...)
 	if err != nil {
 		return err
 	}
-	events := node.Subscribe()
-	go func() {
-		for e := range events {
-			log.Printf("round %d: %s %s", e.Round, e.Kind, e.Detail)
-		}
-	}()
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if sess.Role() != dissent.RoleServer {
+		sess.Close()
+		return errors.New("key file belongs to a client of this group, not a server")
+	}
 
 	gid := grp.GroupID()
-	log.Printf("server %s (index %d) in group %x starting on %s",
-		node.ID(), node.Index(), gid[:8], *listen)
-	// Report the actually bound address (meaningful with :0 or
-	// wildcard listen addresses) once Run attaches the transport.
+	tag := fmt.Sprintf("group %x", gid[:8])
+	log.Printf("%s: server %s (index %d) session open", tag, sess.ID(), sess.Index())
+	events := sess.Subscribe() // subscribe before the goroutine runs: the session is already live
 	go func() {
-		for i := 0; i < 100; i++ {
-			if a := node.Addr(); a != "" {
-				log.Printf("listening on %s", a)
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
+		for e := range events {
+			log.Printf("%s: round %d: %s %s", tag, e.Round, e.Kind, e.Detail)
 		}
 	}()
-	err = node.Run(ctx)
-	if err == nil {
-		log.Print("shutting down")
-	}
-	return err
+	return nil
 }

@@ -25,6 +25,29 @@
 // quickstart example, embedded simulations) — and custom ones plug in
 // through the same interface.
 //
+// # Hosts and Sessions
+//
+// Processes that serve many groups at once use Host instead of
+// individual Nodes. A Session is the per-group engine unit — its own
+// protocol engine, timers, beacon chain, schedule certificate, and
+// Send/Messages/Subscribe channels — and a Node is exactly one Session
+// bound to a Run(ctx) lifecycle. A Host multiplexes many Sessions over
+// one shared fabric (a single TCP listener, or one SimNet hub):
+//
+//	host, _ := dissent.NewHost(dissent.WithHostListenAddr(":7000"))
+//	a, _ := host.OpenSession(groupA, keysA, dissent.WithRoster(rosterA))
+//	b, _ := host.OpenSession(groupB, keysB, dissent.WithRoster(rosterB))
+//	for m := range a.Messages() { ... }     // sessions never share messages
+//	host.CloseSession(a.SessionID())        // b keeps running
+//
+// Sessions are identified by their group's self-certifying ID; on the
+// wire every frame carries that session tag, so the shared listener
+// routes each message to the right engine and messages can never cross
+// groups (see ARCHITECTURE.md for the design). Per-session and
+// host-aggregated metrics — rounds/s, bytes in and out, submission
+// window timings — are snapshots from Metrics, or expvar-style vars
+// from MetricsVar.
+//
 // Randomness-beacon access hangs off the Node: BeaconChain returns the
 // verified replica, WithBeaconHTTP serves it (plus the schedule
 // certificate anchoring the chain's session-bound genesis), and
@@ -37,12 +60,13 @@
 // evaluation harnesses reproducing the paper's figures — remains under
 // internal/, consumed only through this package.
 //
-// Entry points built on the SDK: cmd/dissentd (server daemon),
-// cmd/dissent (client with HTTP API, SOCKS proxy, and a beacon
-// fetch/verify subcommand), cmd/keygen (group creation), and
+// Entry points built on the SDK: cmd/dissentd (multi-group server
+// daemon), cmd/dissent (client with HTTP API, SOCKS proxy, and a
+// beacon fetch/verify subcommand), cmd/keygen (group creation), and
 // cmd/dissent-bench (the evaluation). Runnable walkthroughs live in
-// examples/.
+// examples/ — examples/quickstart for one group, examples/multitenant
+// for several behind one Host.
 package dissent
 
 // Version identifies this reproduction release.
-const Version = "2.0.0"
+const Version = "2.1.0"

@@ -16,6 +16,12 @@ import (
 // in-memory medium as over TCP — tests and the quickstart example run
 // the production Node lifecycle without sockets.
 //
+// Like the TCP mesh, the hub routes by (session, member): many
+// concurrent Dissent groups share one hub, each under its own session
+// ID, and a payload sent within one session can never surface in
+// another. The session-less Attach/Detach/Send forms address the zero
+// session and remain equivalent to the pre-session behavior.
+//
 // Payloads are opaque to the hub. Delivery preserves per-(from,to)
 // FIFO order as long as Latency is a pure function of the endpoint
 // pair: each member drains a deliver-at-ordered queue (sequence
@@ -28,10 +34,16 @@ type Hub struct {
 	Latency func(from, to group.NodeID) time.Duration
 
 	mu      sync.Mutex
-	members map[group.NodeID]*hubMember
-	pending map[group.NodeID][]hubDelivery
+	members map[hubKey]*hubMember
+	pending map[hubKey][]hubDelivery
 	seq     int64
 	closed  bool
+}
+
+// hubKey addresses one member of one session.
+type hubKey struct {
+	sid [32]byte
+	id  group.NodeID
 }
 
 // pendingCap bounds payloads buffered for a member that has not
@@ -42,67 +54,89 @@ const pendingCap = 4096
 // NewHub creates an empty hub.
 func NewHub() *Hub {
 	return &Hub{
-		members: make(map[group.NodeID]*hubMember),
-		pending: make(map[group.NodeID][]hubDelivery),
+		members: make(map[hubKey]*hubMember),
+		pending: make(map[hubKey][]hubDelivery),
 	}
 }
 
-// Attach registers a member: inbound payloads — including any buffered
-// while the member was not yet attached — are handed to recv, one at a
-// time, from a dedicated dispatcher goroutine.
+// Attach registers a member of the zero session (the single-group
+// form): inbound payloads — including any buffered while the member
+// was not yet attached — are handed to recv, one at a time, from a
+// dedicated dispatcher goroutine.
 func (h *Hub) Attach(id group.NodeID, recv func(payload any)) error {
+	return h.AttachSession([32]byte{}, id, recv)
+}
+
+// AttachSession registers a member of one session. The same node ID
+// may attach under several sessions; each attachment has its own
+// inbound queue and dispatcher.
+func (h *Hub) AttachSession(sid [32]byte, id group.NodeID, recv func(payload any)) error {
+	k := hubKey{sid: sid, id: id}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return fmt.Errorf("simnet: hub closed")
 	}
-	if _, dup := h.members[id]; dup {
-		return fmt.Errorf("simnet: member %s already attached", id)
+	if _, dup := h.members[k]; dup {
+		return fmt.Errorf("simnet: member %s already attached in session %x", id, sid[:4])
 	}
 	m := newHubMember()
-	h.members[id] = m
-	for _, d := range h.pending[id] {
+	h.members[k] = m
+	for _, d := range h.pending[k] {
 		m.enqueue(d)
 	}
-	delete(h.pending, id)
+	delete(h.pending, k)
 	go m.run(recv)
 	return nil
 }
 
-// Detach removes a member and stops its dispatcher; payloads still in
-// flight to it are dropped.
+// Detach removes a zero-session member and stops its dispatcher;
+// payloads still in flight to it are dropped.
 func (h *Hub) Detach(id group.NodeID) {
+	h.DetachSession([32]byte{}, id)
+}
+
+// DetachSession removes one session's member.
+func (h *Hub) DetachSession(sid [32]byte, id group.NodeID) {
+	k := hubKey{sid: sid, id: id}
 	h.mu.Lock()
-	m := h.members[id]
-	delete(h.members, id)
+	m := h.members[k]
+	delete(h.members, k)
 	h.mu.Unlock()
 	if m != nil {
 		m.close()
 	}
 }
 
-// Close detaches every member.
+// Close detaches every member of every session.
 func (h *Hub) Close() {
 	h.mu.Lock()
 	h.closed = true
 	members := h.members
-	h.members = make(map[group.NodeID]*hubMember)
+	h.members = make(map[hubKey]*hubMember)
 	h.mu.Unlock()
 	for _, m := range members {
 		m.close()
 	}
 }
 
-// Send queues one payload for delivery to `to` after the modeled
-// latency. A member that has not attached yet receives buffered
-// payloads upon attaching — group members start in arbitrary order,
-// exactly as on the TCP path, where dials retry until the peer's
-// listener is up. The buffer is bounded; overflow fails the send.
+// Send queues one payload within the zero session.
 func (h *Hub) Send(from, to group.NodeID, payload any) error {
+	return h.SendSession([32]byte{}, from, to, payload)
+}
+
+// SendSession queues one payload for delivery to `to` within a session
+// after the modeled latency. A member that has not attached yet
+// receives buffered payloads upon attaching — group members start in
+// arbitrary order, exactly as on the TCP path, where dials retry until
+// the peer's listener is up. The buffer is bounded; overflow fails the
+// send.
+func (h *Hub) SendSession(sid [32]byte, from, to group.NodeID, payload any) error {
 	var lat time.Duration
 	if h.Latency != nil {
 		lat = h.Latency(from, to)
 	}
+	k := hubKey{sid: sid, id: to}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -110,14 +144,14 @@ func (h *Hub) Send(from, to group.NodeID, payload any) error {
 	}
 	h.seq++
 	d := hubDelivery{at: time.Now().Add(lat), seq: h.seq, payload: payload}
-	if m, ok := h.members[to]; ok {
+	if m, ok := h.members[k]; ok {
 		m.enqueue(d)
 		return nil
 	}
-	if len(h.pending[to]) >= pendingCap {
+	if len(h.pending[k]) >= pendingCap {
 		return fmt.Errorf("simnet: member %s not attached and its buffer is full", to)
 	}
-	h.pending[to] = append(h.pending[to], d)
+	h.pending[k] = append(h.pending[k], d)
 	return nil
 }
 

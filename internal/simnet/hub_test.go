@@ -98,6 +98,80 @@ func TestHubBuffersUntilAttach(t *testing.T) {
 	}
 }
 
+// TestHubSessionIsolation checks the multi-group routing: the same
+// node ID attached under two sessions gets two independent queues, and
+// a payload sent within one session never surfaces in the other.
+func TestHubSessionIsolation(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	var s1, s2 [32]byte
+	s1[0], s2[0] = 1, 2
+	a, b := hubID("member-A"), hubID("member-B")
+
+	type box struct {
+		mu   sync.Mutex
+		got  []string
+		done chan struct{}
+	}
+	mk := func() *box { return &box{done: make(chan struct{})} }
+	recv := func(bx *box, want int) func(any) {
+		return func(p any) {
+			bx.mu.Lock()
+			bx.got = append(bx.got, p.(string))
+			if len(bx.got) == want {
+				close(bx.done)
+			}
+			bx.mu.Unlock()
+		}
+	}
+	in1, in2 := mk(), mk()
+	if err := h.AttachSession(s1, b, recv(in1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AttachSession(s2, b, recv(in2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AttachSession(s1, b, func(any) {}); err == nil {
+		t.Fatal("duplicate (session, id) attach accepted")
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := h.SendSession(s1, a, b, "one"); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SendSession(s2, a, b, "two"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, bx := range []*box{in1, in2} {
+		select {
+		case <-bx.done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("session deliveries incomplete")
+		}
+	}
+	in1.mu.Lock()
+	defer in1.mu.Unlock()
+	in2.mu.Lock()
+	defer in2.mu.Unlock()
+	for _, v := range in1.got {
+		if v != "one" {
+			t.Fatalf("session 1 received %q: crossed sessions", v)
+		}
+	}
+	for _, v := range in2.got {
+		if v != "two" {
+			t.Fatalf("session 2 received %q: crossed sessions", v)
+		}
+	}
+
+	// Detaching one session's member leaves the other attached.
+	h.DetachSession(s1, b)
+	if err := h.SendSession(s2, a, b, "two"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestHubDetachStopsDelivery checks no payloads reach a detached
 // member's callback.
 func TestHubDetachStopsDelivery(t *testing.T) {

@@ -1,10 +1,20 @@
 // Package transport moves signed protocol messages over real TCP
 // connections: the deployment path under the public dissent SDK.
-// Frames are length-prefixed encoded Messages; identity and integrity
-// come from the protocol-level signatures, so connections need no
-// additional handshake. The package knows nothing about engines — it
-// hands every inbound message to a callback and exposes Send for
-// outbound envelopes; the SDK's Node owns the engine loop and timers.
+// Frames are length-prefixed encoded Messages, optionally tagged with
+// a 32-byte session ID so one listener can carry many concurrent
+// Dissent groups; identity and integrity come from the protocol-level
+// signatures, so connections need no additional handshake. The package
+// knows nothing about engines — it hands every inbound message to a
+// per-session callback and exposes SendSession for outbound envelopes;
+// the SDK's Session owns the engine loop and timers.
+//
+// Wire compatibility: the original single-session format is a 4-byte
+// big-endian length followed by the encoded message. Tagged frames set
+// the top bit of the length word and insert the session ID between the
+// length and the body. Because maxFrame is far below 1<<31, a legacy
+// reader confronted with a tagged frame fails immediately with a clear
+// "frame size out of range" error instead of desynchronizing, and a
+// new reader accepts both formats.
 package transport
 
 import (
@@ -24,47 +34,109 @@ import (
 // generous protocol overhead).
 const maxFrame = 64 << 20
 
+// frameTagged marks a session-tagged frame: the top bit of the length
+// word. maxFrame < 1<<31, so the bit is never part of a legacy length.
+const frameTagged = 1 << 31
+
+// SessionID tags frames with the group session they belong to. The SDK
+// uses the group definition's self-certifying ID, so the tag needs no
+// allocation protocol. The zero value (NoSession) selects the legacy
+// untagged wire format.
+type SessionID = [32]byte
+
+// NoSession is the zero session: frames are written untagged and
+// inbound untagged frames route to it.
+var NoSession SessionID
+
 // Roster maps node IDs to dialable addresses.
 type Roster map[group.NodeID]string
 
-// Mesh is one node's view of the group's TCP fabric: a listener
-// accepting inbound connections plus lazily dialed, cached outbound
-// connections to every roster address. Inbound messages are decoded
-// and handed to the recv callback (from per-connection goroutines;
-// the caller serializes). Soft I/O errors go to onError.
+// Mesh is one process's view of the group fabric: a single listener
+// accepting inbound connections for every bound session, plus lazily
+// dialed outbound connections cached by address and shared across
+// sessions. Inbound messages are decoded and routed by their frame's
+// session tag to that session's recv callback (from per-connection
+// goroutines; the caller serializes). Soft I/O errors and frames for
+// unbound sessions go to onError.
 type Mesh struct {
-	roster  Roster
-	recv    func(*core.Message)
 	onError func(error)
 
 	ln net.Listener
 
-	mu      sync.Mutex
-	conns   map[group.NodeID]*lockedConn
-	inbound []net.Conn
-	closed  bool
+	mu       sync.Mutex
+	sessions map[SessionID]*meshSession
+	conns    map[string]*lockedConn // keyed by dial address
+	inbound  []net.Conn
+	closed   bool
 
 	wg sync.WaitGroup
 }
 
-// ListenMesh binds addr and begins accepting and decoding inbound
-// messages into recv. onError observes soft transport errors (may be
-// nil).
-func ListenMesh(addr string, roster Roster, recv func(*core.Message), onError func(error)) (*Mesh, error) {
+// meshSession is one bound session: its roster and inbound sink.
+type meshSession struct {
+	roster Roster
+	recv   func(*core.Message)
+}
+
+// NewMesh binds addr with no sessions attached yet; Bind adds them.
+// onError observes soft transport errors (may be nil).
+func NewMesh(addr string, onError func(error)) (*Mesh, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	m := &Mesh{
-		roster:  roster,
-		recv:    recv,
-		onError: onError,
-		ln:      ln,
-		conns:   make(map[group.NodeID]*lockedConn),
+		onError:  onError,
+		ln:       ln,
+		sessions: make(map[SessionID]*meshSession),
+		conns:    make(map[string]*lockedConn),
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
+}
+
+// ListenMesh binds addr and routes inbound messages to recv — the
+// single-session form, kept for callers that predate session routing.
+// It is NewMesh plus a NoSession bind: frames go out untagged, exactly
+// as before the session tag existed.
+func ListenMesh(addr string, roster Roster, recv func(*core.Message), onError func(error)) (*Mesh, error) {
+	m, err := NewMesh(addr, onError)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Bind(NoSession, roster, recv); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Bind attaches a session to the mesh: outbound SendSession(sid, ...)
+// resolves addresses through roster, and inbound frames tagged sid are
+// handed to recv. Binding NoSession additionally captures legacy
+// untagged traffic. The roster map is read at send time and must not
+// be mutated while the session is bound.
+func (m *Mesh) Bind(sid SessionID, roster Roster, recv func(*core.Message)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("transport: mesh closed")
+	}
+	if _, dup := m.sessions[sid]; dup {
+		return fmt.Errorf("transport: session %x already bound", sid[:4])
+	}
+	m.sessions[sid] = &meshSession{roster: roster, recv: recv}
+	return nil
+}
+
+// Unbind detaches a session; its inbound frames are dropped (reported
+// to onError) from then on. Connections stay cached — they are shared
+// with other sessions.
+func (m *Mesh) Unbind(sid SessionID) {
+	m.mu.Lock()
+	delete(m.sessions, sid)
+	m.mu.Unlock()
 }
 
 // Addr returns the bound listen address.
@@ -117,15 +189,36 @@ func (m *Mesh) acceptLoop() {
 func (m *Mesh) readLoop(conn net.Conn) {
 	defer conn.Close()
 	for {
-		msg, err := ReadFrame(conn)
+		sid, tagged, msg, err := ReadFrameSession(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !m.isClosed() {
 				m.reportError(fmt.Errorf("transport: read: %w", err))
 			}
 			return
 		}
-		m.recv(msg)
+		m.route(sid, tagged, msg)
 	}
+}
+
+// route hands one inbound message to its session. Tagged frames match
+// exactly — a message can never leak into another session. Untagged
+// (legacy) frames go to the NoSession bind or, when exactly one
+// session is bound, to it, so an old single-session peer still reaches
+// a new single-session process.
+func (m *Mesh) route(sid SessionID, tagged bool, msg *core.Message) {
+	m.mu.Lock()
+	ms := m.sessions[sid]
+	if ms == nil && !tagged && len(m.sessions) == 1 {
+		for _, only := range m.sessions {
+			ms = only
+		}
+	}
+	m.mu.Unlock()
+	if ms == nil {
+		m.reportError(fmt.Errorf("transport: dropping %s frame for unbound session %x", msg.Type, sid[:4]))
+		return
+	}
+	ms.recv(msg)
 }
 
 func (m *Mesh) isClosed() bool {
@@ -134,44 +227,63 @@ func (m *Mesh) isClosed() bool {
 	return m.closed
 }
 
-// Send transmits one message, dialing (with retry) as needed; a stale
-// cached connection is dropped and redialed once.
+// Send transmits one message on the NoSession (legacy single-session)
+// bind.
 func (m *Mesh) Send(to group.NodeID, msg *core.Message) error {
-	conn, err := m.conn(to)
+	return m.SendSession(NoSession, to, msg)
+}
+
+// SendSession transmits one message within a bound session, dialing
+// (with retry) as needed; a stale cached connection is dropped and
+// redialed once. The frame carries the session tag unless sid is
+// NoSession.
+func (m *Mesh) SendSession(sid SessionID, to group.NodeID, msg *core.Message) error {
+	m.mu.Lock()
+	ms := m.sessions[sid]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return errors.New("transport: mesh closed")
+	}
+	if ms == nil {
+		return fmt.Errorf("transport: session %x not bound", sid[:4])
+	}
+	addr, ok := ms.roster[to]
+	if !ok {
+		return fmt.Errorf("transport: no address for node %s", to)
+	}
+	frame := encodeFrame(sid, msg)
+	conn, err := m.conn(addr)
 	if err != nil {
 		return err
 	}
-	if err := conn.writeFrame(msg); err != nil {
-		m.dropConn(to)
-		conn, err2 := m.conn(to)
+	if err := conn.enqueue(frame); err != nil {
+		m.dropConn(addr)
+		conn, err2 := m.conn(addr)
 		if err2 != nil {
 			return err2
 		}
-		return conn.writeFrame(msg)
+		return conn.enqueue(frame)
 	}
 	return nil
 }
 
-func (m *Mesh) dropConn(to group.NodeID) {
+func (m *Mesh) dropConn(addr string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if c, ok := m.conns[to]; ok {
+	if c, ok := m.conns[addr]; ok {
 		c.close()
-		delete(m.conns, to)
+		delete(m.conns, addr)
 	}
 }
 
-func (m *Mesh) conn(to group.NodeID) (*lockedConn, error) {
+func (m *Mesh) conn(addr string) (*lockedConn, error) {
 	m.mu.Lock()
-	if c, ok := m.conns[to]; ok {
+	if c, ok := m.conns[addr]; ok {
 		m.mu.Unlock()
 		return c, nil
 	}
-	addr, ok := m.roster[to]
 	m.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("transport: no address for node %s", to)
-	}
 	var conn net.Conn
 	var err error
 	for attempt := 0; attempt < 10; attempt++ {
@@ -186,12 +298,12 @@ func (m *Mesh) conn(to group.NodeID) (*lockedConn, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if existing, ok := m.conns[to]; ok {
+	if existing, ok := m.conns[addr]; ok {
 		conn.Close()
 		return existing, nil
 	}
 	lc := newLockedConn(conn)
-	m.conns[to] = lc
+	m.conns[addr] = lc
 	return lc, nil
 }
 
@@ -271,39 +383,71 @@ func (lc *lockedConn) close() {
 	lc.c.Close()
 }
 
-func (lc *lockedConn) writeFrame(msg *core.Message) error {
+// encodeFrame serializes one message into its on-the-wire frame:
+// legacy untagged for NoSession, session-tagged otherwise.
+func encodeFrame(sid SessionID, msg *core.Message) []byte {
 	body := core.EncodeMessage(msg)
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-	copy(frame[4:], body)
-	return lc.enqueue(frame)
+	if sid == NoSession {
+		frame := make([]byte, 4+len(body))
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+		copy(frame[4:], body)
+		return frame
+	}
+	frame := make([]byte, 4+32+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(32+len(body))|frameTagged)
+	copy(frame[4:36], sid[:])
+	copy(frame[36:], body)
+	return frame
 }
 
-// WriteFrame writes one length-prefixed message.
+// WriteFrame writes one length-prefixed message in the legacy untagged
+// format.
 func WriteFrame(w io.Writer, msg *core.Message) error {
-	body := core.EncodeMessage(msg)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
+	return WriteFrameSession(w, NoSession, msg)
+}
+
+// WriteFrameSession writes one length-prefixed message tagged with
+// sid; NoSession degrades to the untagged legacy format.
+func WriteFrameSession(w io.Writer, sid SessionID, msg *core.Message) error {
+	_, err := w.Write(encodeFrame(sid, msg))
 	return err
 }
 
-// ReadFrame reads one length-prefixed message.
+// ReadFrame reads one message in either frame format, discarding any
+// session tag.
 func ReadFrame(r io.Reader) (*core.Message, error) {
+	_, _, msg, err := ReadFrameSession(r)
+	return msg, err
+}
+
+// ReadFrameSession reads one frame in either format. For tagged frames
+// it returns the session ID and tagged=true; legacy frames return
+// NoSession and tagged=false.
+func ReadFrameSession(r io.Reader) (sid SessionID, tagged bool, msg *core.Message, err error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return NoSession, false, nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:])
+	word := binary.BigEndian.Uint32(hdr[:])
+	tagged = word&frameTagged != 0
+	size := word &^ frameTagged
+	if tagged && size <= 32 {
+		return NoSession, false, nil, fmt.Errorf("transport: tagged frame size %d too short for its session tag", size)
+	}
 	if size == 0 || size > maxFrame {
-		return nil, fmt.Errorf("transport: frame size %d out of range", size)
+		return NoSession, false, nil, fmt.Errorf("transport: frame size %d out of range", size)
 	}
 	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	if _, err = io.ReadFull(r, body); err != nil {
+		return NoSession, false, nil, err
 	}
-	return core.DecodeMessage(body)
+	if tagged {
+		copy(sid[:], body[:32])
+		body = body[32:]
+	}
+	msg, err = core.DecodeMessage(body)
+	if err != nil {
+		return NoSession, false, nil, err
+	}
+	return sid, tagged, msg, nil
 }

@@ -2,6 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -38,6 +43,254 @@ func TestFrameRejectsOversize(t *testing.T) {
 	zero.Write([]byte{0, 0, 0, 0})
 	if _, err := ReadFrame(&zero); err == nil {
 		t.Error("zero-length frame accepted")
+	}
+}
+
+// legacyReadFrame is the pre-session reader, reproduced verbatim so
+// compatibility tests can pin how an OLD peer reacts to new frames.
+func legacyReadFrame(r io.Reader) (*core.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrame {
+		return nil, fmt.Errorf("transport: frame size %d out of range", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return core.DecodeMessage(body)
+}
+
+// TestFrameSessionRoundTrip checks the tagged format carries the
+// session ID and that NoSession degrades to the legacy wire format.
+func TestFrameSessionRoundTrip(t *testing.T) {
+	var from group.NodeID
+	copy(from[:], "nodeid00")
+	var sid SessionID
+	copy(sid[:], "session-tag-0123456789abcdef....")
+	msg := &core.Message{From: from, Type: core.MsgCommit, Round: 42,
+		Body: []byte("tagged payload"), Sig: []byte("sig")}
+
+	var buf bytes.Buffer
+	if err := WriteFrameSession(&buf, sid, msg); err != nil {
+		t.Fatal(err)
+	}
+	gotSID, tagged, got, err := ReadFrameSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tagged || gotSID != sid {
+		t.Fatalf("tag round trip: tagged=%v sid=%x", tagged, gotSID[:8])
+	}
+	if got.Round != 42 || !bytes.Equal(got.Body, msg.Body) || got.From != from {
+		t.Fatalf("message round trip mismatch: %+v", got)
+	}
+
+	// NoSession writes the legacy untagged format byte for byte.
+	var legacy, viaSession bytes.Buffer
+	if err := WriteFrame(&legacy, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrameSession(&viaSession, NoSession, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), viaSession.Bytes()) {
+		t.Fatal("NoSession frame differs from the legacy format")
+	}
+}
+
+// TestFrameCompat pins both directions of wire compatibility: a legacy
+// frame decodes in the new reader as untagged, and a tagged frame
+// fails in the OLD reader with a clear frame-size error instead of
+// desynchronizing or yielding garbage.
+func TestFrameCompat(t *testing.T) {
+	var from group.NodeID
+	copy(from[:], "nodeid00")
+	msg := &core.Message{From: from, Type: core.MsgClientSubmit, Round: 7,
+		Body: []byte("payload"), Sig: []byte("signature")}
+
+	// Old frame → new reader: untagged, NoSession.
+	var old bytes.Buffer
+	if err := WriteFrame(&old, msg); err != nil {
+		t.Fatal(err)
+	}
+	sid, tagged, got, err := ReadFrameSession(&old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged || sid != NoSession {
+		t.Fatalf("legacy frame read as tagged=%v sid=%x", tagged, sid[:8])
+	}
+	if got.Round != 7 || !bytes.Equal(got.Body, msg.Body) {
+		t.Fatalf("legacy frame mismatch: %+v", got)
+	}
+
+	// New tagged frame → old reader: a clear, immediate error.
+	var sid2 SessionID
+	sid2[0] = 0xAB
+	var tb bytes.Buffer
+	if err := WriteFrameSession(&tb, sid2, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacyReadFrame(&tb); err == nil {
+		t.Fatal("old reader accepted a tagged frame")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("old reader failed with %v, want a frame-size error", err)
+	}
+
+	// Truncated tagged frame: size word says tagged but too short to
+	// hold the tag.
+	short := []byte{0x80, 0, 0, 16, 1, 2, 3}
+	if _, _, _, err := ReadFrameSession(bytes.NewReader(short)); err == nil {
+		t.Fatal("undersized tagged frame accepted")
+	}
+}
+
+// TestMeshSessionRouting binds two sessions on one mesh and checks
+// tagged frames route exactly — never across sessions — while frames
+// for unbound sessions are dropped and reported.
+func TestMeshSessionRouting(t *testing.T) {
+	var idA group.NodeID
+	copy(idA[:], "node-AAA")
+	var s1, s2, s3 SessionID
+	s1[0], s2[0], s3[0] = 1, 2, 3
+
+	type recvd struct {
+		mu   sync.Mutex
+		msgs []*core.Message
+	}
+	record := func(r *recvd) func(*core.Message) {
+		return func(m *core.Message) {
+			r.mu.Lock()
+			r.msgs = append(r.msgs, m)
+			r.mu.Unlock()
+		}
+	}
+	var at1, at2 recvd
+	var errMu sync.Mutex
+	var errs []error
+	a, err := NewMesh("127.0.0.1:0", func(e error) {
+		errMu.Lock()
+		errs = append(errs, e)
+		errMu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	roster := Roster{idA: a.Addr()}
+	if err := a.Bind(s1, roster, record(&at1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(s2, roster, record(&at2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(s1, roster, record(&at1)); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+
+	b, err := NewMesh("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for _, sid := range []SessionID{s1, s2, s3} {
+		if err := b.Bind(sid, roster, func(*core.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := b.SendSession(s1, idA, &core.Message{From: idA, Type: core.MsgCommit,
+			Round: uint64(i), Body: []byte("s1")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SendSession(s2, idA, &core.Message{From: idA, Type: core.MsgShare,
+			Round: uint64(i), Body: []byte("s2")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// s3 is bound at the sender but not the receiver: dropped there.
+	if err := b.SendSession(s3, idA, &core.Message{From: idA, Type: core.MsgOutput,
+		Body: []byte("s3")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SendSession(SessionID{0xEE}, idA, &core.Message{From: idA}); err == nil {
+		t.Fatal("send on an unbound session accepted")
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		at1.mu.Lock()
+		got1 := len(at1.msgs)
+		at1.mu.Unlock()
+		at2.mu.Lock()
+		got2 := len(at2.msgs)
+		at2.mu.Unlock()
+		errMu.Lock()
+		dropped := len(errs)
+		errMu.Unlock()
+		if got1 == n && got2 == n && dropped > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("after 10s: s1 %d/%d, s2 %d/%d, dropped %d/1", got1, n, got2, n, dropped)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	at1.mu.Lock()
+	defer at1.mu.Unlock()
+	at2.mu.Lock()
+	defer at2.mu.Unlock()
+	for i, m := range at1.msgs {
+		if string(m.Body) != "s1" || m.Round != uint64(i) {
+			t.Fatalf("session 1 message %d: %q round %d (crossed or reordered)", i, m.Body, m.Round)
+		}
+	}
+	for i, m := range at2.msgs {
+		if string(m.Body) != "s2" || m.Round != uint64(i) {
+			t.Fatalf("session 2 message %d: %q round %d (crossed or reordered)", i, m.Body, m.Round)
+		}
+	}
+}
+
+// TestMeshLegacyFallback checks an untagged (old-peer) frame reaches a
+// mesh's sole bound session even when that session has a real ID.
+func TestMeshLegacyFallback(t *testing.T) {
+	var sid SessionID
+	sid[0] = 9
+	got := make(chan *core.Message, 1)
+	m, err := NewMesh("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Bind(sid, Roster{}, func(msg *core.Message) { got <- msg }); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var from group.NodeID
+	copy(from[:], "old-peer")
+	if err := WriteFrame(conn, &core.Message{From: from, Type: core.MsgOutput, Body: []byte("legacy")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if string(msg.Body) != "legacy" {
+			t.Fatalf("got %q", msg.Body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("legacy frame not routed to the sole session")
 	}
 }
 

@@ -1,0 +1,136 @@
+package dissent
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+
+	"dissent/internal/core"
+)
+
+// SessionMetrics is a point-in-time snapshot of one session's protocol
+// and traffic counters. Byte counts use the protocol's approximate
+// on-the-wire message size (header + body + signature); they track
+// real socket traffic closely but are not an exact octet count.
+type SessionMetrics struct {
+	// Session is the session's identifier (the group ID).
+	Session SessionID `json:"session"`
+	// Group is the group definition's human-readable name.
+	Group string `json:"group"`
+	// Role is "server" or "client".
+	Role string `json:"role"`
+	// Uptime is the time since the session attached to its fabric.
+	Uptime time.Duration `json:"uptime_ns"`
+	// MessagesIn/MessagesOut count protocol messages handled/sent.
+	MessagesIn  uint64 `json:"messages_in"`
+	MessagesOut uint64 `json:"messages_out"`
+	// BytesIn/BytesOut count approximate wire bytes handled/sent.
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+	// RoundsCompleted counts certified DC-net rounds observed;
+	// RoundsFailed counts hard-timeout rounds.
+	RoundsCompleted uint64 `json:"rounds_completed"`
+	RoundsFailed    uint64 `json:"rounds_failed"`
+	// LastRound is the most recently certified round number.
+	LastRound uint64 `json:"last_round"`
+	// RoundsPerSec is RoundsCompleted over the session's uptime.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// WindowsClosed counts submission-window closures at servers, and
+	// WindowTime their cumulative duration (from each round's start —
+	// the previous certification — to its window close): the paper's
+	// "client submission" share of round time.
+	WindowsClosed uint64        `json:"windows_closed"`
+	WindowTime    time.Duration `json:"window_time_ns"`
+}
+
+// HostMetrics aggregates a Host's sessions, including totals carried
+// over from sessions that have since closed.
+type HostMetrics struct {
+	// Addr is the shared listener's address ("sim" on a SimNet host).
+	Addr string `json:"addr"`
+	// Uptime is the time since the host was created.
+	Uptime time.Duration `json:"uptime_ns"`
+	// Sessions is the number of currently open sessions;
+	// SessionsOpened/SessionsClosed are lifetime counts.
+	Sessions       int    `json:"sessions"`
+	SessionsOpened uint64 `json:"sessions_opened"`
+	SessionsClosed uint64 `json:"sessions_closed"`
+	// Aggregated traffic and round counters (open + closed sessions).
+	MessagesIn      uint64 `json:"messages_in"`
+	MessagesOut     uint64 `json:"messages_out"`
+	BytesIn         uint64 `json:"bytes_in"`
+	BytesOut        uint64 `json:"bytes_out"`
+	RoundsCompleted uint64 `json:"rounds_completed"`
+	RoundsFailed    uint64 `json:"rounds_failed"`
+	// PerSession holds a snapshot of every currently open session.
+	PerSession []SessionMetrics `json:"per_session"`
+}
+
+// counters is the live, lock-free counter set behind SessionMetrics.
+type counters struct {
+	openedAt atomic.Int64 // unix-nanos; 0 until the session opens
+
+	msgsIn, msgsOut   atomic.Uint64
+	bytesIn, bytesOut atomic.Uint64
+
+	rounds, failed atomic.Uint64
+	lastRound      atomic.Uint64
+
+	windows     atomic.Uint64
+	windowNanos atomic.Int64
+	phaseStart  atomic.Int64 // unix-nanos of the current round's start
+}
+
+// observe folds one engine event into the counters.
+func (c *counters) observe(e Event) {
+	now := time.Now().UnixNano()
+	switch e.Kind {
+	case core.EventScheduleReady:
+		c.phaseStart.Store(now)
+	case core.EventWindowClosed:
+		c.windows.Add(1)
+		if start := c.phaseStart.Load(); start != 0 {
+			c.windowNanos.Add(now - start)
+		}
+	case core.EventRoundComplete:
+		c.rounds.Add(1)
+		c.lastRound.Store(e.Round)
+		c.phaseStart.Store(now)
+	case core.EventRoundFailed:
+		c.failed.Add(1)
+		c.phaseStart.Store(now)
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the session's counters.
+func (s *Session) Metrics() SessionMetrics {
+	m := SessionMetrics{
+		Session:         s.sid,
+		Group:           s.def.Name,
+		Role:            s.role.String(),
+		MessagesIn:      s.stats.msgsIn.Load(),
+		MessagesOut:     s.stats.msgsOut.Load(),
+		BytesIn:         s.stats.bytesIn.Load(),
+		BytesOut:        s.stats.bytesOut.Load(),
+		RoundsCompleted: s.stats.rounds.Load(),
+		RoundsFailed:    s.stats.failed.Load(),
+		LastRound:       s.stats.lastRound.Load(),
+		WindowsClosed:   s.stats.windows.Load(),
+		WindowTime:      time.Duration(s.stats.windowNanos.Load()),
+	}
+	if opened := s.stats.openedAt.Load(); opened != 0 {
+		m.Uptime = time.Since(time.Unix(0, opened))
+		if secs := m.Uptime.Seconds(); secs > 0 {
+			m.RoundsPerSec = float64(m.RoundsCompleted) / secs
+		}
+	}
+	return m
+}
+
+// MetricsVar wraps the session's metrics as an expvar.Var for
+// publication under a caller-chosen name:
+//
+//	expvar.Publish("dissent.session", sess.MetricsVar())
+func (s *Session) MetricsVar() expvar.Var {
+	return expvar.Func(func() any { return s.Metrics() })
+}

@@ -3,13 +3,6 @@ package dissent
 import (
 	"context"
 	"errors"
-	"net"
-	"net/http"
-	"sync"
-	"time"
-
-	"dissent/internal/beacon"
-	"dissent/internal/core"
 )
 
 // Role distinguishes the two kinds of group members.
@@ -40,38 +33,13 @@ func (r Role) String() string {
 // Run; Send queues anonymous payloads (clients), Messages delivers the
 // anonymous channel's cleartext, Subscribe observes protocol events.
 // All methods are safe for concurrent use.
+//
+// A Node wraps exactly one Session — the per-group engine unit — and
+// owns its lifecycle through Run(ctx). Processes that serve many
+// groups at once use a Host instead, which runs many Sessions over one
+// shared listener.
 type Node struct {
-	role Role
-	def  *Group
-	cfg  nodeConfig
-
-	engine core.Engine
-	server *core.Server // nil for clients
-	client *core.Client // nil for servers
-	id     NodeID
-
-	mu      sync.Mutex // engine lock; guards link/timer/lifecycle below
-	link    Link
-	timer   *time.Timer
-	timerAt time.Time
-	started bool
-	closed  bool
-	// startDone gates inbound delivery: messages arriving between the
-	// transport attach and engine.Start buffer here, else an early
-	// peer's message could advance the engine before Start initializes
-	// it (and Start would then clobber that progress).
-	startDone bool
-	preStart  []*Message
-
-	subMu     sync.Mutex
-	subs      []*subscription
-	msgs      chan RoundOutput
-	chansDone bool
-}
-
-type subscription struct {
-	kinds map[EventKind]bool // nil = all kinds
-	ch    chan Event
+	s *Session
 }
 
 // NewServer builds a server node. keys must hold both the identity
@@ -81,16 +49,11 @@ func NewServer(def *Group, keys Keys, opts ...Option) (*Node, error) {
 	if keys.Identity == nil {
 		return nil, errors.New("dissent: server keys lack an identity keypair")
 	}
-	if keys.MsgShuffle == nil {
-		return nil, errors.New("dissent: server keys lack a message-shuffle keypair")
-	}
-	n := newNode(RoleServer, def, opts)
-	srv, err := core.NewServer(def, keys.Identity, keys.MsgShuffle, n.coreOptions())
+	s, err := newMemberSession(RoleServer, def, keys, opts)
 	if err != nil {
 		return nil, err
 	}
-	n.server, n.engine, n.id = srv, srv, srv.ID()
-	return n, nil
+	return &Node{s: s}, nil
 }
 
 // NewClient builds a client node from an identity keypair.
@@ -98,69 +61,41 @@ func NewClient(def *Group, keys Keys, opts ...Option) (*Node, error) {
 	if keys.Identity == nil {
 		return nil, errors.New("dissent: client keys lack an identity keypair")
 	}
-	n := newNode(RoleClient, def, opts)
-	cl, err := core.NewClient(def, keys.Identity, n.coreOptions())
+	s, err := newMemberSession(RoleClient, def, keys, opts)
 	if err != nil {
 		return nil, err
 	}
-	n.client, n.engine, n.id = cl, cl, cl.ID()
-	return n, nil
+	return &Node{s: s}, nil
 }
 
-func newNode(role Role, def *Group, opts []Option) *Node {
-	cfg := buildConfig(opts)
-	n := &Node{role: role, def: def, cfg: cfg}
-	n.msgs = make(chan RoundOutput, cfg.msgBuf)
-	return n
-}
-
-// coreOptions maps the SDK configuration onto engine options. The
-// message-shuffle group always comes from the policy, so engines and
-// definition can never disagree.
-func (n *Node) coreOptions() core.Options {
-	return core.Options{
-		MessageGroup: n.def.MsgGroup(),
-		BeaconStore:  n.cfg.store,
-	}
-}
+// Session returns the node's underlying per-group engine unit: the
+// same handle a Host hands out from OpenSession.
+func (n *Node) Session() *Session { return n.s }
 
 // ID returns the node's self-certifying member ID.
-func (n *Node) ID() NodeID { return n.id }
+func (n *Node) ID() NodeID { return n.s.ID() }
 
 // Role returns whether this node is a server or a client.
-func (n *Node) Role() Role { return n.role }
+func (n *Node) Role() Role { return n.s.Role() }
 
 // Group returns the group definition the node belongs to.
-func (n *Node) Group() *Group { return n.def }
+func (n *Node) Group() *Group { return n.s.Group() }
 
 // Index returns the node's index within its role's member list.
-func (n *Node) Index() int {
-	if n.server != nil {
-		return n.server.Index()
-	}
-	return n.client.Index()
-}
+func (n *Node) Index() int { return n.s.Index() }
 
 // Addr returns the transport-level address once Run has attached the
 // node, or "".
-func (n *Node) Addr() string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.link == nil {
-		return ""
-	}
-	return n.link.Addr()
-}
+func (n *Node) Addr() string { return n.s.Addr() }
 
 // BeaconChain returns the node's verified randomness-beacon replica,
 // or nil when the group policy disables the beacon. The chain is safe
 // for concurrent reads while the node runs.
-func (n *Node) BeaconChain() *BeaconChain {
-	if n.server != nil {
-		return n.server.BeaconChain()
-	}
-	return n.client.BeaconChain()
-}
+func (n *Node) BeaconChain() *BeaconChain { return n.s.BeaconChain() }
+
+// Metrics returns a point-in-time snapshot of the node's protocol and
+// traffic counters.
+func (n *Node) Metrics() SessionMetrics { return n.s.Metrics() }
 
 // Run attaches the node to its transport, starts the protocol engine,
 // and serves until ctx is cancelled, then shuts down gracefully:
@@ -168,71 +103,39 @@ func (n *Node) BeaconChain() *BeaconChain {
 // closed. It returns nil after a clean ctx-driven shutdown and an
 // error if startup fails. Run may be called once.
 func (n *Node) Run(ctx context.Context) error {
-	n.mu.Lock()
-	if n.started || n.closed {
-		n.mu.Unlock()
-		return errors.New("dissent: Run called twice")
-	}
-	n.started = true
-	n.mu.Unlock()
-
-	tr := n.cfg.transport
+	s := n.s
+	tr := s.cfg.transport
 	if tr == nil {
-		if n.cfg.roster == nil {
-			n.shutdown()
+		if s.cfg.roster == nil {
+			s.mu.Lock()
+			alreadyStarted := s.started || s.closed
+			s.mu.Unlock()
+			if alreadyStarted {
+				return errors.New("dissent: Run called twice")
+			}
+			s.Close()
 			return errors.New("dissent: no transport configured (use WithTransport, or WithListenAddr+WithRoster for TCP)")
 		}
-		tr = TCP(n.cfg.listenAddr, n.cfg.roster)
+		tr = TCP(s.cfg.listenAddr, s.cfg.roster)
 	}
-	link, err := tr.Dial(n.id, n.inject, n.cfg.onError)
-	if err != nil {
-		n.shutdown()
+	// The built-in transports understand session tags; a custom
+	// Transport falls back to the untagged single-session dial.
+	dial := func(recv func(*Message), onError func(error)) (Link, error) {
+		if sd, ok := tr.(sessionDialer); ok {
+			return sd.dialSession(s.sid, s.id, recv, onError)
+		}
+		return tr.Dial(s.id, recv, onError)
+	}
+	if err := s.open(dial); err != nil {
 		return err
 	}
-	n.mu.Lock()
-	if n.closed { // cancelled between Dial and here
-		n.mu.Unlock()
-		link.Close()
-		return nil
+	// The session can also die out-of-band (Session.Close via the
+	// Session() handle); Run must not keep blocking on a dead engine.
+	select {
+	case <-ctx.Done():
+	case <-s.Done():
 	}
-	n.link = link
-	n.mu.Unlock()
-
-	if n.cfg.beaconAddr != "" {
-		chain := n.BeaconChain()
-		if chain == nil {
-			n.shutdown()
-			return errors.New("dissent: beacon HTTP enabled but the group policy disables the beacon")
-		}
-		ln, err := net.Listen("tcp", n.cfg.beaconAddr)
-		if err != nil {
-			n.shutdown()
-			return err
-		}
-		hs := &http.Server{Handler: beacon.HandlerWithSchedule(chain, n.scheduleCert)}
-		go hs.Serve(ln)
-		defer hs.Close()
-	}
-
-	n.mu.Lock()
-	out, err := n.engine.Start(time.Now())
-	if err != nil {
-		n.mu.Unlock()
-		n.shutdown()
-		return err
-	}
-	n.startDone = true
-	buffered := n.preStart
-	n.preStart = nil
-	n.mu.Unlock()
-	n.dispatch(out)
-	// Replay messages that raced ahead of Start, in arrival order.
-	for _, m := range buffered {
-		n.inject(m)
-	}
-
-	<-ctx.Done()
-	n.shutdown()
+	s.Close()
 	return nil
 }
 
@@ -242,19 +145,10 @@ func (n *Node) Run(ctx context.Context) error {
 // application's concern. Queueing succeeds before the schedule is
 // established — the payload rides the first available round.
 func (n *Node) Send(ctx context.Context, data []byte) error {
-	if n.client == nil {
+	if n.s.client == nil {
 		return errors.New("dissent: Send on a server node (servers relay; only clients originate)")
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return errors.New("dissent: node is shut down")
-	}
-	n.client.Send(data)
-	return nil
+	return n.s.Send(ctx, data)
 }
 
 // Messages returns the channel of decoded anonymous messages — every
@@ -262,202 +156,10 @@ func (n *Node) Send(ctx context.Context, data []byte) error {
 // channel closes when the node shuts down. If the application does not
 // drain it, the oldest undelivered outputs are dropped (see
 // WithMessageBuffer).
-func (n *Node) Messages() <-chan RoundOutput { return n.msgs }
+func (n *Node) Messages() <-chan RoundOutput { return n.s.Messages() }
 
 // Subscribe returns a channel of protocol events, filtered to the
 // given kinds (none = every kind). Events are dropped rather than
 // blocking the protocol if the subscriber lags behind its 64-event
 // buffer. The channel closes when the node shuts down.
-func (n *Node) Subscribe(kinds ...EventKind) <-chan Event {
-	sub := &subscription{ch: make(chan Event, 64)}
-	if len(kinds) > 0 {
-		sub.kinds = make(map[EventKind]bool, len(kinds))
-		for _, k := range kinds {
-			sub.kinds[k] = true
-		}
-	}
-	n.subMu.Lock()
-	defer n.subMu.Unlock()
-	if n.chansDone {
-		close(sub.ch)
-		return sub.ch
-	}
-	n.subs = append(n.subs, sub)
-	return sub.ch
-}
-
-// inject feeds one inbound transport message to the engine.
-func (n *Node) inject(m *Message) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
-	}
-	if !n.startDone {
-		n.preStart = append(n.preStart, m)
-		n.mu.Unlock()
-		return
-	}
-	out, err := n.engine.Handle(time.Now(), m)
-	n.mu.Unlock()
-	if err != nil {
-		// Engine rejections are soft: a malformed or mistimed message
-		// from the network must not stop the node.
-		n.cfg.onError(err)
-		return
-	}
-	n.dispatch(out)
-}
-
-// dispatch consumes one engine output: deliveries and events to the
-// application channels, envelopes to the transport, the timer armed.
-func (n *Node) dispatch(out *core.Output) {
-	if out == nil {
-		return
-	}
-	for _, d := range out.Deliveries {
-		n.pushMessage(d)
-	}
-	for _, e := range out.Events {
-		n.pushEvent(e)
-	}
-	if len(out.Send) > 0 {
-		n.mu.Lock()
-		link, closed := n.link, n.closed
-		n.mu.Unlock()
-		if link != nil && !closed {
-			for _, env := range out.Send {
-				if err := link.Send(env.To, env.Msg); err != nil {
-					n.cfg.onError(err)
-				}
-			}
-		}
-	}
-	if !out.Timer.IsZero() {
-		n.armTimer(out.Timer)
-	}
-}
-
-func (n *Node) pushMessage(d RoundOutput) {
-	n.subMu.Lock()
-	defer n.subMu.Unlock()
-	if n.chansDone {
-		return
-	}
-	for {
-		select {
-		case n.msgs <- d:
-			return
-		default:
-			// Full: drop the oldest so fresh rounds win.
-			select {
-			case <-n.msgs:
-			default:
-			}
-		}
-	}
-}
-
-func (n *Node) pushEvent(e Event) {
-	n.subMu.Lock()
-	defer n.subMu.Unlock()
-	if n.chansDone {
-		return
-	}
-	for _, sub := range n.subs {
-		if sub.kinds != nil && !sub.kinds[e.Kind] {
-			continue
-		}
-		select {
-		case sub.ch <- e:
-		default: // lagging subscriber: drop
-		}
-	}
-}
-
-// armTimer keeps the earliest requested engine wakeup: engines request
-// timers liberally (window close, hard deadline) and ticks are
-// idempotent, so only the soonest pending one matters.
-func (n *Node) armTimer(at time.Time) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
-	}
-	if !n.timerAt.IsZero() && !at.Before(n.timerAt) {
-		return // an earlier wakeup is already pending
-	}
-	d := time.Until(at)
-	if d < 0 {
-		d = 0
-	}
-	if n.timer != nil {
-		n.timer.Stop()
-	}
-	n.timerAt = at
-	n.timer = time.AfterFunc(d, n.tick)
-}
-
-func (n *Node) tick() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
-	}
-	n.timerAt = time.Time{}
-	out, err := n.engine.Tick(time.Now())
-	n.mu.Unlock()
-	if err != nil {
-		n.cfg.onError(err)
-		return
-	}
-	n.dispatch(out)
-}
-
-// scheduleCert exposes the node's certified schedule to the beacon
-// HTTP handler (nil until setup completes). Servers retain the
-// certificate they assembled; clients the one they verified — either
-// suffices for an external verifier to derive the session genesis.
-func (n *Node) scheduleCert() *beacon.ScheduleCert {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	var keys, sigs [][]byte
-	if n.server != nil {
-		keys, sigs = n.server.ScheduleCertificate()
-	} else {
-		keys, sigs = n.client.ScheduleCertificate()
-	}
-	if keys == nil {
-		return nil
-	}
-	return &beacon.ScheduleCert{Keys: keys, Sigs: sigs}
-}
-
-// shutdown tears the node down exactly once: transport detached,
-// timer stopped, application channels closed.
-func (n *Node) shutdown() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
-	}
-	n.closed = true
-	if n.timer != nil {
-		n.timer.Stop()
-	}
-	link := n.link
-	n.link = nil
-	n.mu.Unlock()
-
-	if link != nil {
-		link.Close() // joins transport readers; late injects see closed
-	}
-
-	n.subMu.Lock()
-	n.chansDone = true
-	for _, sub := range n.subs {
-		close(sub.ch)
-	}
-	close(n.msgs)
-	n.subMu.Unlock()
-}
+func (n *Node) Subscribe(kinds ...EventKind) <-chan Event { return n.s.Subscribe(kinds...) }

@@ -8,13 +8,14 @@ import (
 type Option func(*nodeConfig)
 
 type nodeConfig struct {
-	transport  Transport
-	listenAddr string
-	roster     Roster
-	store      BeaconStore
-	beaconAddr string
-	onError    func(error)
-	msgBuf     int
+	transport     Transport
+	listenAddr    string
+	listenAddrSet bool // distinguishes an explicit WithListenAddr from the ":0" default
+	roster        Roster
+	store         BeaconStore
+	beaconAddr    string
+	onError       func(error)
+	msgBuf        int
 }
 
 func buildConfig(opts []Option) nodeConfig {
@@ -37,9 +38,10 @@ func WithTransport(t Transport) Option {
 }
 
 // WithListenAddr sets the TCP listen address for the default transport
-// (ignored when WithTransport is given). Default ":0".
+// (ignored when WithTransport is given; rejected by Host.OpenSession,
+// whose sessions share the host's listener). Default ":0".
 func WithListenAddr(addr string) Option {
-	return func(c *nodeConfig) { c.listenAddr = addr }
+	return func(c *nodeConfig) { c.listenAddr, c.listenAddrSet = addr, true }
 }
 
 // WithRoster supplies the node-ID → address map for the default TCP

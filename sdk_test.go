@@ -207,17 +207,13 @@ func TestSDKGroupOverTCP(t *testing.T) {
 	policy := testPolicy(func(p *dissent.Policy) { p.WindowMin = 20 * time.Millisecond })
 	sKeys, cKeys, grp := buildGroup(t, 3, 8, policy)
 
-	// Reserve an address per member; the shared roster is completed
-	// before any node runs (nodes dial lazily at first send).
+	// Reserve an address per member (in one batch, so no duplicates);
+	// the shared roster is completed before any node runs (nodes dial
+	// lazily at first send).
 	roster := dissent.Roster{}
-	sAddrs := make([]string, len(sKeys))
-	cAddrs := make([]string, len(cKeys))
-	for i := range sKeys {
-		sAddrs[i] = reservePort(t)
-	}
-	for i := range cKeys {
-		cAddrs[i] = reservePort(t)
-	}
+	ports := reservePorts(t, len(sKeys)+len(cKeys))
+	sAddrs := ports[:len(sKeys)]
+	cAddrs := ports[len(sKeys):]
 	opts := func(role dissent.Role, i int) []dissent.Option {
 		addr := sAddrs
 		if role == dissent.RoleClient {

@@ -1,0 +1,471 @@
+package dissent
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dissent/internal/beacon"
+	"dissent/internal/core"
+)
+
+// Session is one group membership running inside a process: a protocol
+// engine bound to a message fabric, with its own timers, beacon chain,
+// schedule certificate, and application channels. A Session is the
+// per-group unit of the SDK — a standalone Node wraps exactly one, and
+// a Host runs many concurrently over one shared listener, each
+// isolated from the others. Obtain one from Host.OpenSession (or
+// Node.Session); all methods are safe for concurrent use.
+type Session struct {
+	role Role
+	def  *Group
+	cfg  nodeConfig
+	sid  SessionID
+
+	engine core.Engine
+	server *core.Server // nil for clients
+	client *core.Client // nil for servers
+	id     NodeID
+
+	mu        sync.Mutex // engine lock; guards link/timer/lifecycle below
+	link      Link
+	beaconSrv *http.Server
+	timer     *time.Timer
+	timerAt   time.Time
+	started   bool
+	closed    bool
+	// startDone gates inbound delivery: messages arriving between the
+	// transport attach and engine.Start buffer here, else an early
+	// peer's message could advance the engine before Start initializes
+	// it (and Start would then clobber that progress).
+	startDone bool
+	preStart  []*Message
+
+	subMu     sync.Mutex
+	subs      []*subscription
+	msgs      chan RoundOutput
+	chansDone bool
+
+	// onClose lets a supervising Host unregister the session once it
+	// has fully shut down; nil for standalone Nodes.
+	onClose func(*Session)
+	done    chan struct{}
+
+	stats counters
+}
+
+type subscription struct {
+	kinds map[EventKind]bool // nil = all kinds
+	ch    chan Event
+}
+
+// dialFunc attaches a session to its message fabric.
+type dialFunc func(recv func(*Message), onError func(error)) (Link, error)
+
+// newMemberSession builds the engine and channels for one membership.
+func newMemberSession(role Role, def *Group, keys Keys, opts []Option) (*Session, error) {
+	if keys.Identity == nil {
+		return nil, errors.New("dissent: keys lack an identity keypair")
+	}
+	cfg := buildConfig(opts)
+	s := &Session{
+		role: role,
+		def:  def,
+		cfg:  cfg,
+		sid:  GroupSessionID(def),
+		msgs: make(chan RoundOutput, cfg.msgBuf),
+		done: make(chan struct{}),
+	}
+	coreOpts := core.Options{MessageGroup: def.MsgGroup(), BeaconStore: cfg.store}
+	switch role {
+	case RoleServer:
+		if keys.MsgShuffle == nil {
+			return nil, errors.New("dissent: server keys lack a message-shuffle keypair")
+		}
+		srv, err := core.NewServer(def, keys.Identity, keys.MsgShuffle, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.server, s.engine, s.id = srv, srv, srv.ID()
+	case RoleClient:
+		cl, err := core.NewClient(def, keys.Identity, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.client, s.engine, s.id = cl, cl, cl.ID()
+	default:
+		return nil, errors.New("dissent: unknown role")
+	}
+	return s, nil
+}
+
+// ID returns the member's self-certifying node ID.
+func (s *Session) ID() NodeID { return s.id }
+
+// SessionID returns the session's identifier — the group's
+// self-certifying ID, which also tags the session's frames on shared
+// transports.
+func (s *Session) SessionID() SessionID { return s.sid }
+
+// Role returns whether this membership is a server or a client.
+func (s *Session) Role() Role { return s.role }
+
+// Group returns the group definition the session runs.
+func (s *Session) Group() *Group { return s.def }
+
+// Index returns the member's index within its role's member list.
+func (s *Session) Index() int {
+	if s.server != nil {
+		return s.server.Index()
+	}
+	return s.client.Index()
+}
+
+// Addr returns the transport-level address once the session is
+// attached, or "".
+func (s *Session) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.link == nil {
+		return ""
+	}
+	return s.link.Addr()
+}
+
+// Done returns a channel closed when the session has fully shut down.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// BeaconChain returns the session's verified randomness-beacon
+// replica, or nil when the group policy disables the beacon. The chain
+// is safe for concurrent reads while the session runs.
+func (s *Session) BeaconChain() *BeaconChain {
+	if s.server != nil {
+		return s.server.BeaconChain()
+	}
+	return s.client.BeaconChain()
+}
+
+// open attaches the session to its fabric, starts the beacon HTTP
+// server when configured, and runs the engine's Start. It may be
+// called once; errors shut the session down (channels closed).
+func (s *Session) open(dial dialFunc) error {
+	s.mu.Lock()
+	if s.started || s.closed {
+		s.mu.Unlock()
+		return errors.New("dissent: session already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.stats.openedAt.Store(time.Now().UnixNano())
+
+	link, err := dial(s.inject, s.cfg.onError)
+	if err != nil {
+		s.shutdown()
+		return err
+	}
+	s.mu.Lock()
+	if s.closed { // closed between dial and here
+		s.mu.Unlock()
+		link.Close()
+		return errors.New("dissent: session closed during open")
+	}
+	s.link = link
+	s.mu.Unlock()
+
+	if s.cfg.beaconAddr != "" {
+		chain := s.BeaconChain()
+		if chain == nil {
+			s.shutdown()
+			return errors.New("dissent: beacon HTTP enabled but the group policy disables the beacon")
+		}
+		ln, err := net.Listen("tcp", s.cfg.beaconAddr)
+		if err != nil {
+			s.shutdown()
+			return err
+		}
+		hs := &http.Server{Handler: beacon.HandlerWithSchedule(chain, s.scheduleCert)}
+		s.mu.Lock()
+		if s.closed { // closed while the listener came up: nothing will close hs for us
+			s.mu.Unlock()
+			ln.Close()
+			return errors.New("dissent: session closed during open")
+		}
+		s.beaconSrv = hs
+		s.mu.Unlock()
+		go hs.Serve(ln)
+	}
+
+	s.mu.Lock()
+	if s.closed { // closed while the beacon listener came up
+		s.mu.Unlock()
+		return errors.New("dissent: session closed during open")
+	}
+	out, err := s.engine.Start(time.Now())
+	if err != nil {
+		s.mu.Unlock()
+		s.shutdown()
+		return err
+	}
+	s.startDone = true
+	buffered := s.preStart
+	s.preStart = nil
+	s.mu.Unlock()
+	s.dispatch(out)
+	// Replay messages that raced ahead of Start, in arrival order.
+	for _, m := range buffered {
+		s.inject(m)
+	}
+	return nil
+}
+
+// Send queues an application payload for anonymous transmission in
+// the client's pseudonym slot. Payloads larger than the slot are
+// fragmented across rounds; reassembly (and any framing) is the
+// application's concern. Queueing succeeds before the schedule is
+// established — the payload rides the first available round.
+func (s *Session) Send(ctx context.Context, data []byte) error {
+	if s.client == nil {
+		return errors.New("dissent: Send on a server session (servers relay; only clients originate)")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("dissent: session is shut down")
+	}
+	s.client.Send(data)
+	return nil
+}
+
+// Messages returns the channel of decoded anonymous messages — every
+// certified round's slot payloads, at servers and clients alike. The
+// channel closes when the session shuts down. If the application does
+// not drain it, the oldest undelivered outputs are dropped (see
+// WithMessageBuffer).
+func (s *Session) Messages() <-chan RoundOutput { return s.msgs }
+
+// Subscribe returns a channel of protocol events, filtered to the
+// given kinds (none = every kind). Events are dropped rather than
+// blocking the protocol if the subscriber lags behind its 64-event
+// buffer. The channel closes when the session shuts down.
+func (s *Session) Subscribe(kinds ...EventKind) <-chan Event {
+	sub := &subscription{ch: make(chan Event, 64)}
+	if len(kinds) > 0 {
+		sub.kinds = make(map[EventKind]bool, len(kinds))
+		for _, k := range kinds {
+			sub.kinds[k] = true
+		}
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.chansDone {
+		close(sub.ch)
+		return sub.ch
+	}
+	s.subs = append(s.subs, sub)
+	return sub.ch
+}
+
+// inject feeds one inbound transport message to the engine.
+func (s *Session) inject(m *Message) {
+	s.stats.msgsIn.Add(1)
+	s.stats.bytesIn.Add(uint64(m.WireSize()))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if !s.startDone {
+		s.preStart = append(s.preStart, m)
+		s.mu.Unlock()
+		return
+	}
+	out, err := s.engine.Handle(time.Now(), m)
+	s.mu.Unlock()
+	if err != nil {
+		// Engine rejections are soft: a malformed or mistimed message
+		// from the network must not stop the session.
+		s.cfg.onError(err)
+		return
+	}
+	s.dispatch(out)
+}
+
+// dispatch consumes one engine output: deliveries and events to the
+// application channels, envelopes to the transport, the timer armed.
+func (s *Session) dispatch(out *core.Output) {
+	if out == nil {
+		return
+	}
+	for _, d := range out.Deliveries {
+		s.pushMessage(d)
+	}
+	for _, e := range out.Events {
+		s.stats.observe(e)
+		s.pushEvent(e)
+	}
+	if len(out.Send) > 0 {
+		s.mu.Lock()
+		link, closed := s.link, s.closed
+		s.mu.Unlock()
+		if link != nil && !closed {
+			for _, env := range out.Send {
+				s.stats.msgsOut.Add(1)
+				s.stats.bytesOut.Add(uint64(env.Msg.WireSize()))
+				if err := link.Send(env.To, env.Msg); err != nil {
+					s.cfg.onError(err)
+				}
+			}
+		}
+	}
+	if !out.Timer.IsZero() {
+		s.armTimer(out.Timer)
+	}
+}
+
+func (s *Session) pushMessage(d RoundOutput) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.chansDone {
+		return
+	}
+	for {
+		select {
+		case s.msgs <- d:
+			return
+		default:
+			// Full: drop the oldest so fresh rounds win.
+			select {
+			case <-s.msgs:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Session) pushEvent(e Event) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.chansDone {
+		return
+	}
+	for _, sub := range s.subs {
+		if sub.kinds != nil && !sub.kinds[e.Kind] {
+			continue
+		}
+		select {
+		case sub.ch <- e:
+		default: // lagging subscriber: drop
+		}
+	}
+}
+
+// armTimer keeps the earliest requested engine wakeup: engines request
+// timers liberally (window close, hard deadline) and ticks are
+// idempotent, so only the soonest pending one matters.
+func (s *Session) armTimer(at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if !s.timerAt.IsZero() && !at.Before(s.timerAt) {
+		return // an earlier wakeup is already pending
+	}
+	d := time.Until(at)
+	if d < 0 {
+		d = 0
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timerAt = at
+	s.timer = time.AfterFunc(d, s.tick)
+}
+
+func (s *Session) tick() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.timerAt = time.Time{}
+	out, err := s.engine.Tick(time.Now())
+	s.mu.Unlock()
+	if err != nil {
+		s.cfg.onError(err)
+		return
+	}
+	s.dispatch(out)
+}
+
+// scheduleCert exposes the session's certified schedule to the beacon
+// HTTP handler (nil until setup completes). Servers retain the
+// certificate they assembled; clients the one they verified — either
+// suffices for an external verifier to derive the session genesis.
+func (s *Session) scheduleCert() *beacon.ScheduleCert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys, sigs [][]byte
+	if s.server != nil {
+		keys, sigs = s.server.ScheduleCertificate()
+	} else {
+		keys, sigs = s.client.ScheduleCertificate()
+	}
+	if keys == nil {
+		return nil
+	}
+	return &beacon.ScheduleCert{Keys: keys, Sigs: sigs}
+}
+
+// Close tears the session down: transport detached, timers stopped,
+// beacon HTTP server closed, application channels closed, and — when
+// the session runs under a Host — the host's registry updated. Close
+// is idempotent and returns nil once shutdown completes.
+func (s *Session) Close() error {
+	s.shutdown()
+	return nil
+}
+
+// shutdown tears the session down exactly once.
+func (s *Session) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	link := s.link
+	s.link = nil
+	hs := s.beaconSrv
+	s.beaconSrv = nil
+	s.mu.Unlock()
+
+	if hs != nil {
+		hs.Close()
+	}
+	if link != nil {
+		link.Close() // joins transport readers; late injects see closed
+	}
+
+	s.subMu.Lock()
+	s.chansDone = true
+	for _, sub := range s.subs {
+		close(sub.ch)
+	}
+	close(s.msgs)
+	s.subMu.Unlock()
+
+	close(s.done)
+	if s.onClose != nil {
+		s.onClose(s)
+	}
+}

@@ -12,6 +12,11 @@ import (
 // the full production protocol — signed messages, verifiable shuffle,
 // certified rounds — without sockets, making it the medium for tests,
 // examples, and embedded single-process deployments.
+//
+// Like the TCP fabric, one SimNet carries many concurrent groups: the
+// hub routes by (session, member), so a Host's sessions and standalone
+// Nodes of different groups share one SimNet without their messages
+// ever crossing sessions.
 type SimNet struct {
 	hub *simnet.Hub
 }
@@ -30,29 +35,35 @@ func (s *SimNet) SetLatency(fn func(from, to NodeID) time.Duration) {
 	s.hub.Latency = fn
 }
 
-// Close tears the network down, detaching every node.
+// Close tears the network down, detaching every node of every session.
 func (s *SimNet) Close() { s.hub.Close() }
 
-// Dial implements Transport.
+// Dial implements Transport (the untagged single-session form; the
+// SDK's Node actually attaches through the session-aware dial).
 func (s *SimNet) Dial(self NodeID, recv func(*Message), onError func(error)) (Link, error) {
-	if err := s.hub.Attach(self, func(p any) { recv(p.(*Message)) }); err != nil {
+	return s.dialSession(SessionID{}, self, recv, onError)
+}
+
+func (s *SimNet) dialSession(sid SessionID, self NodeID, recv func(*Message), onError func(error)) (Link, error) {
+	if err := s.hub.AttachSession([32]byte(sid), self, func(p any) { recv(p.(*Message)) }); err != nil {
 		return nil, err
 	}
-	return &simLink{net: s, self: self}, nil
+	return &simLink{net: s, self: self, sid: sid}, nil
 }
 
 type simLink struct {
 	net  *SimNet
 	self NodeID
+	sid  SessionID
 }
 
 func (l *simLink) Send(to NodeID, m *Message) error {
-	return l.net.hub.Send(l.self, to, m)
+	return l.net.hub.SendSession([32]byte(l.sid), l.self, to, m)
 }
 
 func (l *simLink) Addr() string { return "sim:" + l.self.String() }
 
 func (l *simLink) Close() error {
-	l.net.hub.Detach(l.self)
+	l.net.hub.DetachSession([32]byte(l.sid), l.self)
 	return nil
 }

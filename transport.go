@@ -9,12 +9,24 @@ import (
 // in-process groups — and a Node runs identically over either; custom
 // implementations (QUIC, TLS tunnels, test interceptors) plug in the
 // same way.
+//
+// The built-in transports additionally tag every frame with the
+// group's session ID, so a peer serving several groups behind one
+// listener (a Host) routes traffic to the right session; custom
+// Transports carry whole Messages and remain single-session.
 type Transport interface {
 	// Dial attaches a node: inbound messages are handed to recv (the
 	// transport may call it from multiple goroutines; the Node
 	// serializes), soft I/O errors to onError (may be nil). The
 	// returned Link carries outbound traffic until closed.
 	Dial(self NodeID, recv func(*Message), onError func(error)) (Link, error)
+}
+
+// sessionDialer is the session-aware dial the built-in transports
+// implement: frames are tagged with sid so multi-session peers can
+// route them. Node.Run prefers it over Dial when available.
+type sessionDialer interface {
+	dialSession(sid SessionID, self NodeID, recv func(*Message), onError func(error)) (Link, error)
 }
 
 // Link is one attached node's handle on the transport.
@@ -48,11 +60,40 @@ func (t *tcpTransport) Dial(self NodeID, recv func(*Message), onError func(error
 	if err != nil {
 		return nil, err
 	}
-	return tcpLink{mesh}, nil
+	return tcpLink{mesh: mesh, sid: transport.NoSession}, nil
 }
 
-type tcpLink struct{ mesh *transport.Mesh }
+func (t *tcpTransport) dialSession(sid SessionID, self NodeID, recv func(*Message), onError func(error)) (Link, error) {
+	mesh, err := transport.NewMesh(t.listen, onError)
+	if err != nil {
+		return nil, err
+	}
+	tsid := transport.SessionID(sid)
+	if err := mesh.Bind(tsid, t.roster, recv); err != nil {
+		mesh.Close()
+		return nil, err
+	}
+	return tcpLink{mesh: mesh, sid: tsid}, nil
+}
 
-func (l tcpLink) Send(to NodeID, m *Message) error { return l.mesh.Send(to, m) }
+// tcpLink owns its mesh: Close tears the whole listener down.
+type tcpLink struct {
+	mesh *transport.Mesh
+	sid  transport.SessionID
+}
+
+func (l tcpLink) Send(to NodeID, m *Message) error { return l.mesh.SendSession(l.sid, to, m) }
 func (l tcpLink) Addr() string                     { return l.mesh.Addr() }
 func (l tcpLink) Close() error                     { return l.mesh.Close() }
+
+// meshSessionLink is one Host session's handle on the shared mesh:
+// Close unbinds only this session, leaving the listener (and the other
+// sessions) running.
+type meshSessionLink struct {
+	mesh *transport.Mesh
+	sid  transport.SessionID
+}
+
+func (l meshSessionLink) Send(to NodeID, m *Message) error { return l.mesh.SendSession(l.sid, to, m) }
+func (l meshSessionLink) Addr() string                     { return l.mesh.Addr() }
+func (l meshSessionLink) Close() error                     { l.mesh.Unbind(l.sid); return nil }

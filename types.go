@@ -50,6 +50,22 @@ type (
 	BeaconFileStore = beacon.FileStore
 )
 
+// SessionID identifies one session — one group running on a process.
+// It equals the group definition's self-certifying ID and tags the
+// session's frames on shared transports, so many groups can share one
+// listener (see Host) with exact routing and no allocation protocol.
+type SessionID [32]byte
+
+// String renders the ID as hex.
+func (s SessionID) String() string { return fmt.Sprintf("%x", s[:]) }
+
+// MarshalText renders the ID as hex for JSON/metrics output.
+func (s SessionID) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// GroupSessionID returns the session ID under which a group's members
+// run: the group's self-certifying ID.
+func GroupSessionID(def *Group) SessionID { return SessionID(def.GroupID()) }
+
 // Event kinds, re-exported for Subscribe filters.
 const (
 	// EventScheduleReady fires when the slot schedule is established.
