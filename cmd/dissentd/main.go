@@ -40,11 +40,15 @@
 //
 // With -metrics the daemon serves the host's aggregated and
 // per-session counters (rounds/s, bytes in/out, window timings) as
-// JSON at /metrics, expvar style.
+// JSON at /metrics, expvar style, and every session's certified
+// membership roster at /roster: the roster version, hash-chain
+// digest, member list with expulsion state, and the latest certified
+// RosterUpdate (hex), verifiable against the group's server keys.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -164,13 +168,27 @@ func run(args []string) error {
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintln(w, host.MetricsVar().String())
 		})
+		// /roster serves every session's current certified roster: the
+		// version, hash-chain digest, member list with expulsion state,
+		// and the latest certified RosterUpdate (hex), so external
+		// tooling can track membership churn and verify transitions.
+		mux.HandleFunc("/roster", func(w http.ResponseWriter, r *http.Request) {
+			var infos []dissent.RosterInfo
+			for _, sess := range host.Sessions() {
+				infos = append(infos, sess.RosterInfo())
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(infos); err != nil {
+				log.Printf("roster encode: %v", err)
+			}
+		})
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
 		go http.Serve(ln, mux)
-		log.Printf("metrics HTTP on %s (GET /metrics)", ln.Addr())
+		log.Printf("metrics HTTP on %s (GET /metrics, /roster)", ln.Addr())
 	}
 
 	log.Printf("host listening on %s with %d session(s)", host.Addr(), len(host.Sessions()))

@@ -201,6 +201,26 @@ func (h *Host) Sessions() []*Session {
 	return out
 }
 
+// Admit pre-approves an identity key for admission on the session
+// running the given group; see Session.Admit.
+func (h *Host) Admit(sid SessionID, encodedPub []byte) error {
+	s := h.Session(sid)
+	if s == nil {
+		return fmt.Errorf("dissent: no open session %s", sid)
+	}
+	return s.Admit(encodedPub)
+}
+
+// Expel queues a client's removal at the next epoch boundary on the
+// session running the given group; see Session.Expel.
+func (h *Host) Expel(sid SessionID, id NodeID) error {
+	s := h.Session(sid)
+	if s == nil {
+		return fmt.Errorf("dissent: no open session %s", sid)
+	}
+	return s.Expel(id)
+}
+
 // sessionClosed is the Session.onClose hook: unregister and fold the
 // session's final counters into the host's cumulative totals.
 func (h *Host) sessionClosed(s *Session) {

@@ -643,7 +643,16 @@ func (s *Server) blameVerdict(now time.Time, culprit group.NodeID, verdict byte)
 	case 1:
 		ci := s.def.ClientIndex(culprit)
 		if ci >= 0 {
+			// Every server reaches this verdict deterministically from
+			// the same trace data, so immediate exclusion stays
+			// consistent; the removal is additionally recorded in the
+			// next epoch boundary's certified roster update (and the
+			// expulsion round starts the re-admission cooldown).
 			s.excluded[ci] = true
+			s.pendingRemove[ci] = true
+			if _, ok := s.expelRound[ci]; !ok {
+				s.expelRound[ci] = s.roundNum
+			}
 		}
 		out.Events = append(out.Events, Event{Kind: EventBlameVerdict, Round: s.roundNum,
 			Culprit: culprit, Detail: "client expelled"})
@@ -660,6 +669,8 @@ func (s *Server) blameVerdict(now time.Time, culprit group.NodeID, verdict byte)
 	}
 	s.blame = nil
 	s.phase = phaseRunning
-	s.startRound(now, out)
+	if err := s.resumeRounds(now, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -49,6 +49,14 @@ type Client struct {
 	reqPending    bool   // we have an unserved slot request in flight
 	awaitingBlame bool
 
+	// Membership churn state (see roster.go).
+	expelled        bool   // expelled by verdict or certified removal; not submitting
+	joining         bool   // prospective member awaiting admission
+	joinAddr        string // advertised transport address for the join request
+	awaitingRoster  bool   // epoch boundary: hold submission for MsgRosterUpdate
+	resubmitPending bool   // a failed round's vector awaits the roster update
+	pairSeedFn      func(clientIdx, serverIdx int) []byte
+
 	witness          *witnessInfo
 	accusedInSession int32
 }
@@ -75,6 +83,7 @@ func NewClient(def *group.Definition, kp *crypto.KeyPair, opts Options) (*Client
 	}
 	c.pad = dcnet.NewPad(c.prng)
 	c.mySlot = -1
+	c.pairSeedFn = opts.PairSeed
 	return c, nil
 }
 
@@ -121,8 +130,12 @@ func (c *Client) Send(data []byte) {
 // Pending returns the number of queued outbound payloads.
 func (c *Client) Pending() int { return len(c.outbox) }
 
-// Start generates the pseudonym key and submits it for scheduling.
+// Start generates the pseudonym key and submits it for scheduling —
+// or, for a joining engine, sends the join request instead.
 func (c *Client) Start(now time.Time) (*Output, error) {
+	if c.joining {
+		return c.startJoin(now)
+	}
 	pseu, err := crypto.GenerateKeyPair(c.keyGrp, c.rand)
 	if err != nil {
 		return nil, err
@@ -157,13 +170,37 @@ func (c *Client) Handle(now time.Time, m *Message) (*Output, error) {
 		return c.onBlameDone(now, m)
 	case MsgRebuttalRequest:
 		return c.onRebuttalRequest(now, m)
+	case MsgRosterUpdate:
+		return c.onRosterUpdate(now, m)
+	case MsgJoinWelcome:
+		return c.onJoinWelcome(now, m)
 	default:
 		return nil, fmt.Errorf("core: client got unexpected %s", m.Type)
 	}
 }
 
-// Tick is a no-op for clients (they are purely reactive).
-func (c *Client) Tick(now time.Time) (*Output, error) { return &Output{}, nil }
+// Tick re-sends a joiner's pending join request, and — for a client
+// stuck waiting on a roster update past the sync interval — asks its
+// upstream server to replay missed certified updates (the catch-up for
+// a lost MsgRosterUpdate frame). Established clients are otherwise
+// purely reactive.
+func (c *Client) Tick(now time.Time) (*Output, error) {
+	if c.joining && !c.ready && c.pseudonym != nil {
+		return c.sendJoinRequest(now)
+	}
+	if c.ready && c.awaitingRoster {
+		body := (&JoinRequest{Version: c.def.Version}).Encode()
+		m, err := c.sign(MsgJoinRequest, c.round, body)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{
+			Send:  []Envelope{{To: c.upstream, Msg: m}},
+			Timer: now.Add(rosterSyncInterval),
+		}, nil
+	}
+	return &Output{}, nil
+}
 
 func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 	if c.ready {
@@ -336,6 +373,19 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 		c.round = m.Round + 1
 		out := &Output{Events: []Event{{Kind: EventRoundFailed, Round: m.Round,
 			Detail: fmt.Sprintf("participation %d", p.Count)}}}
+		if c.epochBoundary(c.round) {
+			c.awaitingRoster = true
+			out.Timer = now.Add(rosterSyncInterval) // catch-up probe if the update is lost
+		}
+		if c.expelled {
+			return out, nil
+		}
+		if c.awaitingRoster {
+			// The roster update may reshape the schedule; the resubmission
+			// waits for it (resubmitAfterRoster).
+			c.resubmitPending = true
+			return out, nil
+		}
 		sub, err := c.submitVector(now, c.lastVec)
 		if err != nil {
 			return nil, err
@@ -387,10 +437,19 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 			Detail: fmt.Sprintf("epoch at round %d", c.sched.Round())})
 	}
 	c.round = m.Round + 1
+	if c.epochBoundary(c.round) {
+		// Epoch boundary: servers run the roster phase before this round;
+		// hold our submission until the certified MsgRosterUpdate. The
+		// timer probes for a lost update via the catch-up path.
+		c.awaitingRoster = true
+		out.Timer = now.Add(rosterSyncInterval)
+	}
 	if res.ShuffleRequested {
 		// Servers will open an accusation shuffle before the next
 		// round; hold our submission until MsgBlameDone.
 		c.awaitingBlame = true
+	}
+	if c.awaitingBlame || c.awaitingRoster || c.expelled {
 		return out, nil
 	}
 	sub, err := c.submitRound(now)
@@ -466,10 +525,21 @@ func (c *Client) onBlameDone(now time.Time, m *Message) (*Output, error) {
 		// Our accusation was carried and judged; stop re-requesting.
 		c.witness = nil
 	}
+	if p.Verdict == 1 && p.Culprit == c.id {
+		// We were expelled: stop submitting (but keep advancing our
+		// schedule and beacon replicas from certified outputs) until a
+		// roster update re-admits us after the policy cooldown.
+		c.expelled = true
+		c.sentSlot = nil
+		out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: m.Round, Culprit: c.id})
+	}
 	if !c.awaitingBlame {
 		return out, nil
 	}
 	c.awaitingBlame = false
+	if c.awaitingRoster || c.expelled {
+		return out, nil
+	}
 	sub, err := c.submitRound(now)
 	if err != nil {
 		return nil, err

@@ -44,6 +44,16 @@ const (
 	// EventEpochRotated fires when a node crosses an epoch boundary and
 	// re-derives the slot permutation from the randomness beacon.
 	EventEpochRotated
+	// EventMemberJoined fires when a certified roster update admits a
+	// member (new joiner or re-admitted expellee); Culprit carries the
+	// member's ID.
+	EventMemberJoined
+	// EventMemberExpelled fires when a certified roster update removes a
+	// member; Culprit carries the member's ID.
+	EventMemberExpelled
+	// EventRosterChanged fires whenever a certified roster update is
+	// applied; Detail carries the new version.
+	EventRosterChanged
 )
 
 func (k EventKind) String() string {
@@ -66,6 +76,12 @@ func (k EventKind) String() string {
 		return "window-closed"
 	case EventEpochRotated:
 		return "epoch-rotated"
+	case EventMemberJoined:
+		return "member-joined"
+	case EventMemberExpelled:
+		return "member-expelled"
+	case EventRosterChanged:
+		return "roster-changed"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -73,10 +89,19 @@ func (k EventKind) String() string {
 
 // Event is a notable state transition.
 type Event struct {
-	Kind    EventKind
-	Round   uint64
-	Culprit group.NodeID // blame verdict only
+	Kind  EventKind
+	Round uint64
+	// Culprit names the member an event concerns: the disruptor for
+	// blame verdicts, the joined/expelled member for roster events.
+	Culprit group.NodeID
 	Detail  string
+}
+
+// PeerInfo announces a newly admitted member's transport address so
+// address-based fabrics (TCP) can attach it mid-session.
+type PeerInfo struct {
+	ID   group.NodeID
+	Addr string
 }
 
 // Delivery is one decoded anonymous message handed to the application:
@@ -99,6 +124,11 @@ type Output struct {
 	Deliveries []Delivery
 	// Events are notable transitions.
 	Events []Event
+	// NewPeers lists members admitted by a roster update this call,
+	// with their transport addresses. The I/O layer must register them
+	// with the fabric before transmitting Send (the welcome message to
+	// a joiner needs its address already routable).
+	NewPeers []PeerInfo
 }
 
 func (o *Output) merge(other *Output) {
@@ -108,6 +138,7 @@ func (o *Output) merge(other *Output) {
 	o.Send = append(o.Send, other.Send...)
 	o.Deliveries = append(o.Deliveries, other.Deliveries...)
 	o.Events = append(o.Events, other.Events...)
+	o.NewPeers = append(o.NewPeers, other.NewPeers...)
 	if o.Timer.IsZero() || (!other.Timer.IsZero() && other.Timer.Before(o.Timer)) {
 		o.Timer = other.Timer
 	}

@@ -59,6 +59,24 @@ const (
 	// MsgBlameDone: server → its clients; the accusation session ended
 	// (with or without a verdict) and DC-net rounds resume.
 	MsgBlameDone
+	// MsgJoinRequest: prospective member (or expelled client seeking
+	// re-admission) → a server; asks to be proposed for admission at
+	// the next epoch boundary. New members sign with the key embedded
+	// in the request body (self-certifying, like NodeIDs).
+	MsgJoinRequest
+	// MsgRosterPropose: server → all servers; its pending admissions and
+	// removals for the upcoming roster version.
+	MsgRosterPropose
+	// MsgRosterCert: server → all servers; its signature certifying the
+	// canonical roster update assembled from all proposals.
+	MsgRosterCert
+	// MsgRosterUpdate: server → its clients; the fully certified roster
+	// update to apply before the next round.
+	MsgRosterUpdate
+	// MsgJoinWelcome: upstream server → newly admitted member; the
+	// certified update plus the session state snapshot (current roster,
+	// slot keys, schedule, beacon head) a mid-session joiner needs.
+	MsgJoinWelcome
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -81,6 +99,11 @@ var msgTypeNames = map[MsgType]string{
 	MsgRebuttal:        "rebuttal",
 	MsgScheduleCert:    "schedule-cert",
 	MsgBlameDone:       "blame-done",
+	MsgJoinRequest:     "join-request",
+	MsgRosterPropose:   "roster-propose",
+	MsgRosterCert:      "roster-cert",
+	MsgRosterUpdate:    "roster-update",
+	MsgJoinWelcome:     "join-welcome",
 }
 
 func (t MsgType) String() string {

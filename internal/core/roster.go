@@ -1,0 +1,1330 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dissent/internal/beacon"
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+	"dissent/internal/group"
+)
+
+// Membership churn: expulsions, re-admissions, and new joiners become a
+// first-class, beacon-anchored epoch transition. While rounds run,
+// servers accumulate pending churn — blame verdicts and operator Expel
+// calls queue removals, JoinRequests (gated by the admission policy)
+// queue admissions. At every BeaconEpochRounds boundary the servers
+// pause rounds briefly and run the roster phase:
+//
+//	propose:  each server broadcasts its pending admissions/removals
+//	certify:  all M proposals are unioned into one canonical
+//	          group.RosterUpdate (deterministically, so every server
+//	          builds identical bytes) and each server signs it
+//	apply:    with all M signatures collected, every replica applies
+//	          the certified update, grows the slot schedule for new
+//	          members, re-derives the layout permutation from the
+//	          beacon output plus the roster digest, and resumes rounds
+//
+// Clients know the epoch schedule, so at each boundary they hold their
+// next submission until the certified MsgRosterUpdate arrives (exactly
+// as they hold for MsgBlameDone during accusation shuffles). Roster
+// versions increase by one per boundary — also across boundaries with
+// no churn — so any replica can reject stale-version roster traffic
+// outright. Mechanism (the versioned, hash-chained update; see
+// internal/group/roster.go) is shared; policy (who to admit or expel,
+// cooldowns) stays server-side.
+
+// --- Payload codecs ---------------------------------------------------
+
+// JoinRequest asks a server to propose the sender for admission at the
+// next epoch boundary. Expelled members seeking re-admission send it
+// with an empty PubKey (their identity is already in the roster); new
+// members embed their identity key, a pseudonym key to seed their slot,
+// and optionally a dialable address for TCP fabrics.
+type JoinRequest struct {
+	Version uint64 // roster version known to the requester
+	// Rejoin marks an expelled member's explicit request for
+	// re-admission. A known member's request without it is only a
+	// roster-sync probe (catch-up for a lost update) and must never
+	// queue a re-admission — expelled clients probe too.
+	Rejoin  bool
+	PubKey  []byte // encoded identity key; empty for known members
+	PseuKey []byte // encoded pseudonym slot key; new members only
+	Addr    string // transport address; empty on address-less fabrics
+}
+
+// Encode serializes the payload.
+func (p *JoinRequest) Encode() []byte {
+	var e encBuf
+	e.u64(p.Version)
+	if p.Rejoin {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.bytes(p.PubKey)
+	e.bytes(p.PseuKey)
+	e.bytes([]byte(p.Addr))
+	return e.b
+}
+
+// DecodeJoinRequest parses a JoinRequest payload.
+func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
+	d := decBuf{b}
+	v, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	rejoin, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	pub, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	pseu, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	addr, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &JoinRequest{Version: v, Rejoin: rejoin != 0, PubKey: pub, PseuKey: pseu, Addr: string(addr)}, nil
+}
+
+// RosterPropose is one server's pending churn for the upcoming version.
+type RosterPropose struct {
+	Version uint64
+	Admit   []group.RosterMember
+	Remove  []group.NodeID
+}
+
+// Encode serializes the payload (list framing shared with the group
+// package's RosterUpdate codec).
+func (p *RosterPropose) Encode() []byte {
+	var e encBuf
+	e.u64(p.Version)
+	e.b = group.AppendRosterMembers(e.b, p.Admit)
+	e.b = group.AppendNodeIDs(e.b, p.Remove)
+	return e.b
+}
+
+// DecodeRosterPropose parses a RosterPropose payload.
+func DecodeRosterPropose(b []byte) (*RosterPropose, error) {
+	d := decBuf{b}
+	p := &RosterPropose{}
+	var err error
+	if p.Version, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if p.Admit, d.b, err = group.DecodeRosterMembers(d.b); err != nil {
+		return nil, err
+	}
+	if p.Remove, d.b, err = group.DecodeNodeIDs(d.b); err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RosterCert is one server's signature certifying the canonical update.
+type RosterCert struct {
+	Version uint64
+	Sig     []byte
+}
+
+// Encode serializes the payload.
+func (p *RosterCert) Encode() []byte {
+	var e encBuf
+	e.u64(p.Version)
+	e.bytes(p.Sig)
+	return e.b
+}
+
+// DecodeRosterCert parses a RosterCert payload.
+func DecodeRosterCert(b []byte) (*RosterCert, error) {
+	d := decBuf{b}
+	v, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &RosterCert{Version: v, Sig: sig}, nil
+}
+
+// JoinWelcome hands a newly admitted member the replicated session
+// state it missed: the full current client roster (so its definition
+// replica catches up from genesis in one step), the slot key list, the
+// schedule snapshot, and the beacon chain head. It is signed by one
+// server — the upstream at admission time, or whichever server a
+// retry reaches when the original was lost — a trust-on-join
+// simplification relative to the fully certified RosterUpdate chain;
+// the joiner independently verifies the embedded update that admits
+// it.
+type JoinWelcome struct {
+	Version    uint64
+	Digest     [32]byte // roster digest at Version
+	Update     []byte   // encoded certified RosterUpdate admitting the joiner
+	RosterKeys [][]byte // all client identity keys, definition order
+	Expelled   []byte   // 0/1 per client, parallel to RosterKeys
+	SlotKeys   [][]byte // pseudonym slot keys, slot order
+	MySlot     int32
+	Round      uint64 // next engine round to submit
+	// SchedRound is the schedule's internal round counter, which lags
+	// Round by the number of hard-timeout rounds (failed rounds advance
+	// the engine round but never the schedule). The joiner must restore
+	// its schedule replica at this counter or its epoch rotations would
+	// fire at different real rounds than every established replica's.
+	SchedRound uint64
+	Lens       []int32
+	Idle       []int32
+	Perm       []int32
+	BeaconHead []byte // 32-byte chain head the joiner's replica resumes from
+}
+
+// Encode serializes the payload.
+func (p *JoinWelcome) Encode() []byte {
+	var e encBuf
+	e.u64(p.Version)
+	e.b = append(e.b, p.Digest[:]...)
+	e.bytes(p.Update)
+	e.byteSlices(p.RosterKeys)
+	e.bytes(p.Expelled)
+	e.byteSlices(p.SlotKeys)
+	e.u32(uint32(p.MySlot))
+	e.u64(p.Round)
+	e.u64(p.SchedRound)
+	e.ints(p.Lens)
+	e.ints(p.Idle)
+	e.ints(p.Perm)
+	e.bytes(p.BeaconHead)
+	return e.b
+}
+
+// DecodeJoinWelcome parses a JoinWelcome payload.
+func DecodeJoinWelcome(b []byte) (*JoinWelcome, error) {
+	d := decBuf{b}
+	p := &JoinWelcome{}
+	var err error
+	if p.Version, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if len(d.b) < 32 {
+		return nil, errTruncated
+	}
+	copy(p.Digest[:], d.b[:32])
+	d.b = d.b[32:]
+	if p.Update, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if p.RosterKeys, err = d.byteSlices(); err != nil {
+		return nil, err
+	}
+	if p.Expelled, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if p.SlotKeys, err = d.byteSlices(); err != nil {
+		return nil, err
+	}
+	slot, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	p.MySlot = int32(slot)
+	if p.Round, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if p.SchedRound, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if p.Lens, err = d.ints(); err != nil {
+		return nil, err
+	}
+	if p.Idle, err = d.ints(); err != nil {
+		return nil, err
+	}
+	if p.Perm, err = d.ints(); err != nil {
+		return nil, err
+	}
+	if p.BeaconHead, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- Shared helpers ---------------------------------------------------
+
+// churnEnabled reports whether epoch membership churn runs: it is
+// anchored to the beacon epoch schedule, so it requires the beacon.
+func (n *node) churnEnabled() bool { return n.def.Policy.BeaconEpochRounds > 0 }
+
+// epochBoundary reports whether round is an epoch boundary — the round
+// that begins a new epoch, before which the roster phase runs.
+func (n *node) epochBoundary(round uint64) bool {
+	return n.churnEnabled() && round > 0 && round%uint64(n.def.Policy.BeaconEpochRounds) == 0
+}
+
+// rosterPermSeed derives the layout-permutation seed applied with a
+// roster change: the beacon chain head bound to the new roster digest,
+// so the permutation over the enlarged slot set is unpredictable yet
+// identical on every replica. The chain *head* — not Latest(), which
+// is nil on a mid-session joiner whose rebound chain has no entries
+// yet — agrees across established replicas and joiners alike.
+func (n *node) rosterPermSeed(def *group.Definition) []byte {
+	dig := def.RosterDigest()
+	var beaconVal []byte
+	if n.beaconChain != nil {
+		h := n.beaconChain.Head()
+		beaconVal = h[:]
+	}
+	return crypto.Hash("dissent/roster-perm", beaconVal, dig[:])
+}
+
+// Definition returns the node's current (roster-versioned) group
+// definition. Callers must treat it as read-only.
+func (n *node) Definition() *group.Definition { return n.def }
+
+// RosterVersion returns the node's current roster version.
+func (n *node) RosterVersion() uint64 { return n.def.Version }
+
+// RosterDigest returns the node's current roster hash-chain head.
+func (n *node) RosterDigest() [32]byte { return n.def.RosterDigest() }
+
+// --- Server: pending churn and the roster phase -----------------------
+
+// rosterState is one in-flight roster transition at a server.
+type rosterState struct {
+	version  uint64
+	props    map[int]*RosterPropose
+	update   *group.RosterUpdate
+	sigs     map[int][]byte
+	resendAt time.Time // next propose/cert rebroadcast while stuck
+}
+
+// rosterResendFactor scales Policy.WindowMin into the roster phase's
+// rebroadcast interval: peers deduplicate, so re-sending our proposal
+// and certificate heals a lost frame instead of wedging every member
+// until the session dies.
+const rosterResendFactor = 8
+
+// Admit pre-approves an identity key (its canonical encoding) for
+// admission: a JoinRequest bearing it is accepted even when the policy
+// keeps OpenAdmission off. Admission still happens only through a
+// certified roster update at the next epoch boundary.
+func (s *Server) Admit(encodedPub []byte) {
+	if s.allowlist == nil {
+		s.allowlist = make(map[string]bool)
+	}
+	s.allowlist[string(encodedPub)] = true
+}
+
+// Expel queues a client for removal at the next epoch boundary. Unlike
+// a blame verdict — which every server reaches independently and
+// deterministically, so immediate exclusion stays consistent — an
+// operator's Expel is known to this server alone, so the exclusion
+// takes effect only when the certified roster update applies everywhere
+// at once.
+func (s *Server) Expel(id group.NodeID) error {
+	ci := s.def.ClientIndex(id)
+	if ci < 0 {
+		return fmt.Errorf("core: %s is not a client of this group", id)
+	}
+	if s.def.Clients[ci].Expelled {
+		return fmt.Errorf("core: client %s already expelled", id)
+	}
+	if !s.churnEnabled() {
+		return errors.New("core: membership churn requires a nonzero BeaconEpochRounds")
+	}
+	s.pendingRemove[ci] = true
+	return nil
+}
+
+// LatestRosterUpdate returns the most recently applied certified
+// update, or nil before the first boundary.
+func (s *Server) LatestRosterUpdate() *group.RosterUpdate { return s.lastRosterUpdate }
+
+// rosterLogCap bounds the retained certified updates (one per epoch
+// boundary); members further behind than this cannot catch up by
+// replay and must re-bootstrap.
+const rosterLogCap = 64
+
+// resendRosterChain replays the certified updates a version-behind
+// member missed, in order, so it can re-apply the chain and unwedge.
+// The member applies each sequentially (onRosterUpdate requires exact
+// version succession), so envelopes go out oldest-first on one FIFO
+// link.
+func (s *Server) resendRosterChain(to group.NodeID, fromVersion uint64, out *Output) error {
+	for v := fromVersion + 1; v <= s.def.Version; v++ {
+		u := s.rosterLog[v]
+		if u == nil {
+			out.Events = append(out.Events, Event{Kind: EventProtocolViolation, Round: s.roundNum,
+				Detail: fmt.Sprintf("member %s behind retained roster history (asked from %d, log starts past it)", to, fromVersion)})
+			return nil
+		}
+		m, err := s.sign(MsgRosterUpdate, s.roundNum, u.Encode())
+		if err != nil {
+			return err
+		}
+		out.Send = append(out.Send, Envelope{To: to, Msg: m})
+	}
+	return nil
+}
+
+// onJoinRequest validates and queues a join/rejoin request. Known
+// members whose request carries an old roster version are replayed the
+// missed certified updates first (the catch-up path for a client that
+// lost a MsgRosterUpdate frame); their rejoin intent, if any, is
+// re-asserted by the next retry once they are current.
+func (s *Server) onJoinRequest(now time.Time, m *Message) (*Output, error) {
+	if !s.churnEnabled() {
+		return s.violation(m.Round, errors.New("join request but churn is disabled by policy")), nil
+	}
+	if s.def.ServerIndex(m.From) >= 0 {
+		return s.violation(m.Round, fmt.Errorf("join request from server %s", m.From)), nil
+	}
+	if ci := s.def.ClientIndex(m.From); ci >= 0 {
+		// Known member: rejoin (expelled), roster-sync (version-behind),
+		// or an admitted joiner whose welcome was lost — verified like
+		// any client message.
+		if err := s.verify(m, false); err != nil {
+			return s.violation(m.Round, err), nil
+		}
+		p, err := DecodeJoinRequest(m.Body)
+		if err != nil {
+			return s.violation(m.Round, err), nil
+		}
+		if len(p.PubKey) > 0 {
+			// Full join requests from a member already in the roster mean
+			// its JoinWelcome never arrived: it keeps retrying because it
+			// is not bootstrapped. Its upstream re-sends a fresh welcome.
+			return s.rewelcome(now, m.From)
+		}
+		if p.Version > s.def.Version {
+			return s.violation(m.Round, fmt.Errorf("join request from the future roster version %d (current %d)",
+				p.Version, s.def.Version)), nil
+		}
+		if p.Version < s.def.Version {
+			// Expected recovery, not a violation: the member lost roster
+			// updates; replay the chain so it catches up (its rejoin
+			// intent, if any, lands on a retry once current).
+			out := &Output{}
+			if err := s.resendRosterChain(m.From, p.Version, out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		if !p.Rejoin {
+			return &Output{}, nil // sync probe from a current member: nothing to replay
+		}
+		if !s.excluded[ci] && !s.def.Clients[ci].Expelled {
+			return &Output{}, nil // already active
+		}
+		s.pendingRejoin[ci] = true
+		return &Output{}, nil
+	}
+	// New-member path: the request is self-certifying — the sender signs
+	// with the key embedded in the body, and its NodeID must hash from
+	// that key.
+	p, err := DecodeJoinRequest(m.Body)
+	if err != nil {
+		return s.violation(m.Round, err), nil
+	}
+	pub, err := s.keyGrp.Decode(p.PubKey)
+	if err != nil {
+		return s.violation(m.Round, fmt.Errorf("join request key: %w", err)), nil
+	}
+	if group.IDFromKey(s.keyGrp, pub) != m.From {
+		return s.violation(m.Round, fmt.Errorf("join request ID %s does not match its key", m.From)), nil
+	}
+	if s.signing {
+		sig, err := crypto.DecodeSignature(s.keyGrp, m.Sig)
+		if err != nil {
+			return s.violation(m.Round, err), nil
+		}
+		if err := crypto.Verify(s.keyGrp, pub, "dissent/msg", signedBytes(s.grpID, m), sig); err != nil {
+			return s.violation(m.Round, fmt.Errorf("join request signature: %w", err)), nil
+		}
+	}
+	if _, err := s.keyGrp.Decode(p.PseuKey); err != nil {
+		return s.violation(m.Round, fmt.Errorf("join request pseudonym key: %w", err)), nil
+	}
+	if !s.def.Policy.OpenAdmission && !s.allowlist[string(p.PubKey)] {
+		return &Output{Events: []Event{{Kind: EventProtocolViolation, Round: m.Round,
+			Detail: fmt.Sprintf("admission denied for %s (closed admission, not pre-approved)", m.From)}}}, nil
+	}
+	s.pendingJoin[m.From] = p
+	return &Output{}, nil
+}
+
+// rewelcome rebuilds and re-sends the session snapshot to an admitted
+// member whose original JoinWelcome was lost. The snapshot is current
+// (the member bootstraps at the in-flight round); the embedded update
+// is the one that admitted it, so the member can still verify its own
+// admission was certified. Unlike the initial welcome — sent by the
+// member's upstream at apply time — the recovery is served by
+// whichever server the retry reaches (the joiner keeps contacting its
+// original contact point, which may not be its assigned upstream);
+// every server holds the identical replicated state the snapshot
+// needs.
+func (s *Server) rewelcome(now time.Time, id group.NodeID) (*Output, error) {
+	// Rate-limit per member: legitimate retries pace themselves at
+	// joinRetryInterval, while a replayed join request would otherwise
+	// amplify a tiny frame into a full session snapshot every time.
+	if last, ok := s.welcomeSent[id]; ok && now.Sub(last) < joinRetryInterval {
+		return &Output{}, nil
+	}
+	v, ok := s.joinedAt[id]
+	if !ok {
+		return s.violation(s.roundNum, fmt.Errorf("full join request from established member %s", id)), nil
+	}
+	u := s.rosterLog[v]
+	if u == nil {
+		return &Output{Events: []Event{{Kind: EventProtocolViolation, Round: s.roundNum,
+			Detail: fmt.Sprintf("cannot re-welcome %s: admitting update %d evicted from the roster log", id, v)}}}, nil
+	}
+	// Recover the member's slot: its pseudonym key from the admitting
+	// update locates the slot appended for it.
+	slot := -1
+	for _, am := range u.Admit {
+		pub, err := s.keyGrp.Decode(am.PubKey)
+		if err != nil || group.IDFromKey(s.keyGrp, pub) != id {
+			continue
+		}
+		for i, sk := range s.slotKeys {
+			if bytes.Equal(s.keyGrp.Encode(sk), am.PseuKey) {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		return s.violation(s.roundNum, fmt.Errorf("no slot found for admitted member %s", id)), nil
+	}
+	s.welcomeSent[id] = now
+	out := &Output{}
+	if err := s.sendWelcome(u, id, slot, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resumeRounds restarts normal operation after a round completes (or a
+// blame session closes): the roster phase first when an epoch boundary
+// is due, then the next round. Accusation shuffles are dispatched
+// before this runs (maybeOutput starts them directly on a shuffle
+// request), so by the boundary any blame session has already closed.
+func (s *Server) resumeRounds(now time.Time, out *Output) error {
+	if s.rosterDue {
+		more, err := s.startRoster(now)
+		if err != nil {
+			return err
+		}
+		out.merge(more)
+		return nil
+	}
+	s.startRound(now, out)
+	return nil
+}
+
+// buildProposal assembles this server's pending churn for the next
+// version, applying the re-admission cooldown policy.
+func (s *Server) buildProposal() *RosterPropose {
+	p := &RosterPropose{Version: s.def.Version + 1}
+	for _, ci := range sortedKeys(s.pendingRemove) {
+		p.Remove = append(p.Remove, s.def.Clients[ci].ID)
+	}
+	cooldown := uint64(s.def.Policy.ReadmitCooldownRounds)
+	for _, ci := range sortedKeys(s.pendingRejoin) {
+		if s.pendingRemove[ci] {
+			continue
+		}
+		if at, ok := s.expelRound[ci]; ok && s.roundNum < at+cooldown {
+			continue // not yet eligible; stays pending for a later boundary
+		}
+		p.Admit = append(p.Admit, group.RosterMember{
+			PubKey: s.keyGrp.Encode(s.def.Clients[ci].PubKey),
+		})
+	}
+	for _, id := range sortedIDKeys(s.pendingJoin) {
+		req := s.pendingJoin[id]
+		p.Admit = append(p.Admit, group.RosterMember{
+			PubKey:  req.PubKey,
+			PseuKey: req.PseuKey,
+			Addr:    req.Addr,
+		})
+	}
+	return p
+}
+
+// startRoster opens the roster phase for the upcoming epoch boundary.
+func (s *Server) startRoster(now time.Time) (*Output, error) {
+	s.rosterDue = false
+	s.phase = phaseRoster
+	s.roster = &rosterState{
+		version:  s.def.Version + 1,
+		props:    make(map[int]*RosterPropose),
+		sigs:     make(map[int][]byte),
+		resendAt: now.Add(rosterResendFactor * s.def.Policy.WindowMin),
+	}
+	prop := s.buildProposal()
+	out := &Output{Timer: s.roster.resendAt}
+	if err := s.broadcastServers(MsgRosterPropose, s.roundNum, prop.Encode(), out); err != nil {
+		return nil, err
+	}
+	s.roster.props[s.idx] = prop
+	more, err := s.maybeBuildUpdate(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+// rosterTick rebroadcasts this server's proposal (and certificate,
+// once built) while the roster phase is stuck waiting on peers: with
+// duplicate-dropping receivers this is idempotent, and it restores
+// liveness after a lost propose/cert frame.
+func (s *Server) rosterTick(now time.Time) (*Output, error) {
+	r := s.roster
+	if s.phase != phaseRoster || r == nil {
+		return &Output{}, nil
+	}
+	if now.Before(r.resendAt) {
+		return &Output{Timer: r.resendAt}, nil
+	}
+	r.resendAt = now.Add(rosterResendFactor * s.def.Policy.WindowMin)
+	out := &Output{Timer: r.resendAt}
+	if prop := r.props[s.idx]; prop != nil {
+		if err := s.broadcastServers(MsgRosterPropose, s.roundNum, prop.Encode(), out); err != nil {
+			return nil, err
+		}
+	}
+	if r.update != nil {
+		body := (&RosterCert{Version: r.version, Sig: r.sigs[s.idx]}).Encode()
+		if err := s.broadcastServers(MsgRosterCert, s.roundNum, body, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) onRosterPropose(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	p, err := DecodeRosterPropose(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	if p.Version == 0 {
+		return s.violation(s.roundNum, errors.New("roster proposal for version 0")), nil
+	}
+	if p.Version <= s.def.Version {
+		// The peer is rebroadcasting a transition we already completed —
+		// its copy of some cert was lost. Replay the certified chain so
+		// it can apply and resume (the server-to-server analogue of the
+		// client catch-up path).
+		out := &Output{}
+		if err := s.resendRosterChain(m.From, p.Version-1, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if s.phase != phaseRoster || s.roster == nil || p.Version > s.roster.version {
+		// A peer reached the boundary before us; replay once we open our
+		// own roster phase.
+		return s.stashMsg(m), nil
+	}
+	si := s.def.ServerIndex(m.From)
+	if _, dup := s.roster.props[si]; dup {
+		return &Output{}, nil
+	}
+	s.roster.props[si] = p
+	return s.maybeBuildUpdate(now)
+}
+
+// maybeBuildUpdate runs once all proposals are in: union them into the
+// canonical update (identical bytes on every server), sign, and
+// broadcast the certification signature.
+func (s *Server) maybeBuildUpdate(now time.Time) (*Output, error) {
+	r := s.roster
+	if r == nil || r.update != nil || len(r.props) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	removeSet := make(map[group.NodeID]bool)
+	for si := 0; si < len(s.def.Servers); si++ {
+		for _, id := range r.props[si].Remove {
+			ci := s.def.ClientIndex(id)
+			if ci < 0 || s.def.Clients[ci].Expelled {
+				continue // invalid or redundant; dropped identically everywhere
+			}
+			removeSet[id] = true
+		}
+	}
+	cooldown := uint64(s.def.Policy.ReadmitCooldownRounds)
+	admitByID := make(map[group.NodeID]group.RosterMember)
+	for si := 0; si < len(s.def.Servers); si++ {
+		for _, m := range r.props[si].Admit {
+			pub, err := s.keyGrp.Decode(m.PubKey)
+			if err != nil {
+				continue
+			}
+			id := group.IDFromKey(s.keyGrp, pub)
+			if removeSet[id] || s.def.ServerIndex(id) >= 0 {
+				continue
+			}
+			if ci := s.def.ClientIndex(id); ci >= 0 {
+				if !s.def.Clients[ci].Expelled && !s.excluded[ci] {
+					continue // already active
+				}
+				// The re-admission cooldown is group policy over
+				// replicated state (expulsion rounds agree on every
+				// server), so each server enforces it on the union — a
+				// single server cannot short-circuit the cooldown for
+				// the group.
+				if at, ok := s.expelRound[ci]; ok && s.roundNum < at+cooldown {
+					continue
+				}
+			} else if len(m.PseuKey) == 0 {
+				continue // new members need a pseudonym key
+			} else if _, err := s.keyGrp.Decode(m.PseuKey); err != nil {
+				continue
+			}
+			if _, dup := admitByID[id]; !dup {
+				admitByID[id] = m
+			}
+		}
+	}
+	update := &group.RosterUpdate{
+		Version:    r.version,
+		PrevDigest: s.def.RosterDigest(),
+	}
+	for _, id := range sortedIDKeys(removeSet) {
+		update.Remove = append(update.Remove, id)
+	}
+	for _, id := range sortedIDKeys(admitByID) {
+		update.Admit = append(update.Admit, admitByID[id])
+	}
+	sigBytes, err := group.SignRosterUpdate(update, s.grpID, s.kp, s.rand)
+	if err != nil {
+		return nil, err
+	}
+	r.update = update
+	r.sigs[s.idx] = sigBytes
+	out := &Output{}
+	body := (&RosterCert{Version: r.version, Sig: sigBytes}).Encode()
+	if err := s.broadcastServers(MsgRosterCert, s.roundNum, body, out); err != nil {
+		return nil, err
+	}
+	more, err := s.maybeApplyRoster(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(more)
+	return out, nil
+}
+
+func (s *Server) onRosterCert(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	p, err := DecodeRosterCert(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	if p.Version == 0 {
+		return s.violation(s.roundNum, errors.New("roster certificate for version 0")), nil
+	}
+	if p.Version <= s.def.Version {
+		// Stuck peer rebroadcasting a completed transition: replay the
+		// certified chain (see onRosterPropose).
+		out := &Output{}
+		if err := s.resendRosterChain(m.From, p.Version-1, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	r := s.roster
+	if s.phase != phaseRoster || r == nil || r.update == nil || p.Version > r.version {
+		return s.stashMsg(m), nil
+	}
+	si := s.def.ServerIndex(m.From)
+	sig, err := crypto.DecodeSignature(s.keyGrp, p.Sig)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	if err := crypto.Verify(s.keyGrp, s.def.Servers[si].PubKey, group.RosterSignContext,
+		r.update.SignedBytes(s.grpID), sig); err != nil {
+		return s.violation(s.roundNum, fmt.Errorf("server %d roster cert: %w", si, err)), nil
+	}
+	if _, dup := r.sigs[si]; dup {
+		return &Output{}, nil
+	}
+	r.sigs[si] = p.Sig
+	return s.maybeApplyRoster(now)
+}
+
+// onServerRosterUpdate handles a certified update replayed by a peer
+// that completed a transition we are stuck in (our copy of a propose
+// or cert frame was lost): the update carries every server's
+// signature, so it can be verified and applied directly.
+func (s *Server) onServerRosterUpdate(now time.Time, m *Message) (*Output, error) {
+	if err := s.verify(m, true); err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	u, err := group.DecodeRosterUpdate(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	if u.Version <= s.def.Version {
+		return &Output{}, nil // already applied
+	}
+	if s.phase != phaseRoster || u.Version > s.def.Version+1 {
+		return s.stashMsg(m), nil
+	}
+	out := &Output{}
+	if err := s.applyCertifiedRoster(now, u, out); err != nil {
+		// A replayed update that fails verification is a peer fault,
+		// not a local fatal: stay in the phase (retries continue).
+		return s.violation(s.roundNum, err), nil
+	}
+	s.roster = nil
+	s.phase = phaseRunning
+	s.startRound(now, out)
+	return out, nil
+}
+
+// maybeApplyRoster applies the fully certified update and resumes
+// rounds (or a pending blame session).
+func (s *Server) maybeApplyRoster(now time.Time) (*Output, error) {
+	r := s.roster
+	if r == nil || r.update == nil || len(r.sigs) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	update := r.update
+	update.Sigs = make([][]byte, len(s.def.Servers))
+	for i := range update.Sigs {
+		update.Sigs[i] = r.sigs[i]
+	}
+	out := &Output{}
+	if err := s.applyCertifiedRoster(now, update, out); err != nil {
+		return nil, err
+	}
+	s.roster = nil
+	s.phase = phaseRunning
+	s.startRound(now, out)
+	return out, nil
+}
+
+// applyCertifiedRoster applies one certified update to this server's
+// replica: definition swap, seeds and slot keys for new members,
+// exclusion bookkeeping, schedule growth, permutation reseed, welcomes
+// for joiners, and the client broadcast.
+func (s *Server) applyCertifiedRoster(now time.Time, u *group.RosterUpdate, out *Output) error {
+	newDef, err := s.def.ApplyRosterUpdate(u)
+	if err != nil {
+		return fmt.Errorf("core: certified roster update rejected locally: %w", err)
+	}
+	oldN := len(s.def.Clients)
+	s.def = newDef
+
+	for _, id := range u.Remove {
+		ci := newDef.ClientIndex(id)
+		s.excluded[ci] = true
+		if _, ok := s.expelRound[ci]; !ok {
+			s.expelRound[ci] = s.roundNum
+		}
+		delete(s.pendingRemove, ci)
+		// A pending rejoin survives: for a blame-expelled client the
+		// removal here merely formalizes the earlier verdict, and its
+		// rejoin request stays queued behind the cooldown.
+		out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: s.roundNum, Culprit: id})
+	}
+
+	type welcomeTarget struct {
+		id   group.NodeID
+		slot int
+	}
+	var welcomes []welcomeTarget
+	for _, m := range u.Admit {
+		pub, err := s.keyGrp.Decode(m.PubKey)
+		if err != nil {
+			return fmt.Errorf("core: admitted key: %w", err)
+		}
+		id := group.IDFromKey(s.keyGrp, pub)
+		ci := newDef.ClientIndex(id)
+		if ci < oldN {
+			// Re-admission: original seeds and slot survive.
+			delete(s.excluded, ci)
+			delete(s.expelRound, ci)
+			delete(s.pendingRejoin, ci)
+		} else {
+			// New member: pairwise seed, attachment, slot key.
+			var seed []byte
+			if s.pairSeedFn != nil {
+				seed = s.pairSeedFn(ci, s.idx)
+			} else {
+				seed, err = s.pairSeed(pub)
+				if err != nil {
+					return fmt.Errorf("core: joiner %s seed: %w", id, err)
+				}
+			}
+			s.clientSeeds = append(s.clientSeeds, seed)
+			if newDef.UpstreamServer(ci) == s.idx {
+				s.myClients = append(s.myClients, ci)
+			}
+			pseu, err := s.keyGrp.Decode(m.PseuKey)
+			if err != nil {
+				return fmt.Errorf("core: joiner %s pseudonym key: %w", id, err)
+			}
+			s.slotKeys = append(s.slotKeys, pseu)
+			s.joinedAt[id] = u.Version
+			delete(s.pendingJoin, id)
+			if m.Addr != "" {
+				out.NewPeers = append(out.NewPeers, PeerInfo{ID: id, Addr: m.Addr})
+			}
+			if newDef.UpstreamServer(ci) == s.idx {
+				welcomes = append(welcomes, welcomeTarget{id: id, slot: len(s.slotKeys) - 1})
+			}
+		}
+		out.Events = append(out.Events, Event{Kind: EventMemberJoined, Round: s.roundNum, Culprit: id})
+	}
+
+	if len(u.Admit)+len(u.Remove) > 0 {
+		s.sched.Grow(len(newDef.Clients)-oldN, s.rosterPermSeed(newDef))
+	}
+	// Certified removals shrink the α-policy baseline (§3.7) with the
+	// roster: a formally removed member must not count toward the
+	// participation floor of the next round. Identical on every server,
+	// since the update and exclusion set are.
+	if expected := s.expectedClients(); s.prevCount > expected {
+		s.prevCount = expected
+	}
+	s.lastRosterUpdate = u
+	s.rosterLog[u.Version] = u
+	if u.Version > rosterLogCap {
+		delete(s.rosterLog, u.Version-rosterLogCap)
+	}
+	out.Events = append(out.Events, Event{Kind: EventRosterChanged, Round: s.roundNum,
+		Detail: fmt.Sprintf("version %d (%d admitted, %d removed)", newDef.Version, len(u.Admit), len(u.Remove))})
+
+	// Broadcast the certified update to attached clients (including the
+	// joiners just added to myClients — they ignore it and wait for
+	// their welcome, which follows on the same FIFO link).
+	if err := s.broadcastClients(MsgRosterUpdate, s.roundNum, u.Encode(), out); err != nil {
+		return err
+	}
+	for _, w := range welcomes {
+		if err := s.sendWelcome(u, w.id, w.slot, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendWelcome snapshots the session state for one admitted joiner.
+func (s *Server) sendWelcome(u *group.RosterUpdate, id group.NodeID, slot int, out *Output) error {
+	w := &JoinWelcome{
+		Version:  s.def.Version,
+		Digest:   s.def.RosterDigest(),
+		Update:   u.Encode(),
+		SlotKeys: s.encodedSlotKeys(),
+		MySlot:   int32(slot),
+		Round:    s.roundNum,
+	}
+	for _, c := range s.def.Clients {
+		w.RosterKeys = append(w.RosterKeys, s.keyGrp.Encode(c.PubKey))
+		if c.Expelled {
+			w.Expelled = append(w.Expelled, 1)
+		} else {
+			w.Expelled = append(w.Expelled, 0)
+		}
+	}
+	schedRound, lens, idle, perm := s.sched.Snapshot()
+	w.SchedRound = schedRound
+	w.Lens = toInt32(lens)
+	w.Idle = toInt32(idle)
+	w.Perm = toInt32(perm)
+	if s.beaconChain != nil {
+		head := s.beaconChain.Head()
+		w.BeaconHead = append([]byte(nil), head[:]...)
+	}
+	m, err := s.sign(MsgJoinWelcome, s.roundNum, w.Encode())
+	if err != nil {
+		return err
+	}
+	out.Send = append(out.Send, Envelope{To: id, Msg: m})
+	return nil
+}
+
+func toInt32(v []int) []int32 {
+	out := make([]int32, len(v))
+	for i, x := range v {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+func toInt(v []int32) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// sortedIDKeys returns a NodeID-keyed map's keys in canonical order.
+func sortedIDKeys[V any](m map[group.NodeID]V) []group.NodeID {
+	ids := make([]group.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return bytes.Compare(ids[a][:], ids[b][:]) < 0
+	})
+	return ids
+}
+
+// --- Client: roster application, rejoin, joining ----------------------
+
+// Expelled reports whether this client is currently expelled (by blame
+// verdict or certified removal) and therefore not submitting.
+func (c *Client) Expelled() bool { return c.expelled }
+
+// Joining reports whether this engine is a prospective member still
+// awaiting admission.
+func (c *Client) Joining() bool { return c.joining && !c.ready }
+
+// RequestRejoin asks the client's upstream server to propose it for
+// re-admission at the next eligible epoch boundary. The caller
+// transmits the returned envelopes like any engine output.
+func (c *Client) RequestRejoin(now time.Time) (*Output, error) {
+	if !c.churnEnabled() {
+		return nil, errors.New("core: membership churn requires a nonzero BeaconEpochRounds")
+	}
+	if !c.expelled {
+		return nil, errors.New("core: client is not expelled")
+	}
+	body := (&JoinRequest{Version: c.def.Version, Rejoin: true}).Encode()
+	m, err := c.sign(MsgJoinRequest, c.round, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
+}
+
+// onRosterUpdate applies a certified roster transition at the client.
+func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
+	if c.joining && !c.ready {
+		// A joiner's own admission arrives as a JoinWelcome carrying the
+		// same update plus the state snapshot; the broadcast copy is
+		// redundant for it.
+		return &Output{}, nil
+	}
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	u, err := group.DecodeRosterUpdate(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if u.Version <= c.def.Version {
+		// Benign: a catch-up replay racing the slow original (both
+		// apply-able copies of a version we already hold). Same silent
+		// drop as the server-side handler.
+		return &Output{}, nil
+	}
+	if u.Version != c.def.Version+1 {
+		return c.violation(fmt.Errorf("roster update version %d rejected (current %d, chain gap)",
+			u.Version, c.def.Version)), nil
+	}
+	newDef, err := c.def.ApplyRosterUpdate(u)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	grown := len(newDef.Clients) - len(c.def.Clients)
+	reshaped := len(u.Admit)+len(u.Remove) > 0
+	c.def = newDef
+	out := &Output{}
+	for _, id := range u.Remove {
+		if id == c.id {
+			// Emit only on the actual transition: a blame verdict may
+			// have expelled us already (onBlameDone emitted then), and
+			// this removal just formalizes it — applications looping on
+			// EventMemberExpelled → Rejoin must not see a duplicate.
+			if !c.expelled {
+				out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: c.round, Culprit: id})
+			}
+			c.expelled = true
+			c.sentSlot = nil
+			continue
+		}
+		out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: c.round, Culprit: id})
+	}
+	for _, am := range u.Admit {
+		pub, err := c.keyGrp.Decode(am.PubKey)
+		if err != nil {
+			continue
+		}
+		id := group.IDFromKey(c.keyGrp, pub)
+		if id == c.id {
+			c.expelled = false
+		}
+		out.Events = append(out.Events, Event{Kind: EventMemberJoined, Round: c.round, Culprit: id})
+	}
+	if c.ready && len(u.Admit)+len(u.Remove) > 0 {
+		c.sched.Grow(grown, c.rosterPermSeed(newDef))
+	}
+	out.Events = append(out.Events, Event{Kind: EventRosterChanged, Round: c.round,
+		Detail: fmt.Sprintf("version %d (%d admitted, %d removed)", newDef.Version, len(u.Admit), len(u.Remove))})
+
+	c.awaitingRoster = false
+	if !c.ready || c.awaitingBlame || c.expelled {
+		c.resubmitPending = false
+		return out, nil
+	}
+	if c.resubmitPending {
+		c.resubmitPending = false
+		sub, err := c.resubmitAfterRoster(now, reshaped)
+		if err != nil {
+			return nil, err
+		}
+		out.merge(sub)
+		return out, nil
+	}
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}
+
+// resubmitAfterRoster re-sends the vector a failed round discarded. If
+// the roster update reshaped the schedule — any non-empty update
+// reseeds the layout permutation, and admissions grow it — the saved
+// vector was composed under the old layout; the slot payload is
+// recovered and re-queued so the data still rides the next round.
+func (c *Client) resubmitAfterRoster(now time.Time, reshaped bool) (*Output, error) {
+	if !reshaped && c.lastVec != nil && len(c.lastVec) == c.sched.Len() {
+		return c.submitVector(now, c.lastVec)
+	}
+	if c.sentSlot != nil {
+		if payload, idle, err := dcnet.DecodeSlot(c.sentSlot); err == nil && !idle && len(payload.Data) > 0 {
+			c.outbox = append([][]byte{payload.Data}, c.outbox...)
+		}
+	}
+	return c.submitRound(now)
+}
+
+// onJoinWelcome bootstraps a joining client from the admission
+// snapshot.
+func (c *Client) onJoinWelcome(now time.Time, m *Message) (*Output, error) {
+	if !c.joining || c.ready {
+		return &Output{}, nil
+	}
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	w, err := DecodeJoinWelcome(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if len(w.RosterKeys) != len(w.Expelled) {
+		return c.violation(errors.New("join welcome roster shape mismatch")), nil
+	}
+	expelled := make([]bool, len(w.Expelled))
+	for i, b := range w.Expelled {
+		expelled[i] = b != 0
+	}
+	newDef, err := group.RebuildDefinition(c.def, w.Version, w.Digest, w.RosterKeys, expelled)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	// The welcome snapshot is trusted-on-join from the upstream server,
+	// but the admitting transition itself is independently verifiable:
+	// the embedded update must be certified by every server and must
+	// admit us.
+	u, err := group.DecodeRosterUpdate(w.Update)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	// A re-sent welcome (original lost) snapshots a later version than
+	// the admitting update it embeds; the update's version can only lag.
+	if u.Version > w.Version {
+		return c.violation(errors.New("join welcome update version ahead of its snapshot")), nil
+	}
+	if err := c.def.VerifyRosterUpdateSigs(u); err != nil {
+		return c.violation(err), nil
+	}
+	// When the welcome snapshots the admitting version itself, its
+	// digest is fully derivable from the certified update — never trust
+	// the welcome's copy there, or a wrong digest would wedge us out of
+	// every subsequent update's chain check. For later-version re-sends
+	// the digest is trust-on-join like the rest of the snapshot.
+	if u.Version == w.Version && u.Digest(c.grpID) != w.Digest {
+		return c.violation(errors.New("join welcome digest does not match the certified update")), nil
+	}
+	idx := newDef.ClientIndex(c.id)
+	if idx < 0 {
+		return c.violation(errors.New("join welcome roster does not include us")), nil
+	}
+	admitted := false
+	myKey := c.keyGrp.Encode(c.kp.Public)
+	for _, am := range u.Admit {
+		if bytes.Equal(am.PubKey, myKey) {
+			admitted = true
+		}
+	}
+	if !admitted {
+		return c.violation(errors.New("join welcome update does not admit us")), nil
+	}
+	slot := int(w.MySlot)
+	if slot < 0 || slot >= len(w.SlotKeys) ||
+		!bytes.Equal(w.SlotKeys[slot], c.keyGrp.Encode(c.pseudonym.Public)) {
+		return c.violation(errors.New("join welcome slot does not carry our pseudonym key")), nil
+	}
+
+	cfg := dcnet.Config{
+		NumSlots:        len(w.Lens),
+		DefaultOpenLen:  c.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      c.def.Policy.MaxSlotLen,
+		IdleCloseRounds: c.def.Policy.IdleCloseRounds,
+	}
+	if w.SchedRound > w.Round {
+		return c.violation(errors.New("join welcome schedule round ahead of engine round")), nil
+	}
+	sched, err := dcnet.RestoreSchedule(cfg, w.SchedRound, toInt(w.Lens), toInt(w.Idle), toInt(w.Perm))
+	if err != nil {
+		return c.violation(err), nil
+	}
+
+	c.def = newDef
+	c.idx = idx
+	c.upstream = newDef.Servers[newDef.UpstreamServer(idx)].ID
+	c.serverSeeds = make([][]byte, len(newDef.Servers))
+	for j, srv := range newDef.Servers {
+		if c.pairSeedFn != nil {
+			c.serverSeeds[j] = c.pairSeedFn(idx, j)
+		} else {
+			seed, err := c.pairSeed(srv.PubKey)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d seed: %w", j, err)
+			}
+			c.serverSeeds[j] = seed
+		}
+	}
+	if c.beaconChain != nil {
+		if len(w.BeaconHead) != len(beacon.Value{}) {
+			return c.violation(errors.New("join welcome beacon head malformed")), nil
+		}
+		var head beacon.Value
+		copy(head[:], w.BeaconHead)
+		if err := c.beaconChain.Rebind(head); err != nil {
+			return nil, err
+		}
+	}
+	c.installRotation(sched)
+	c.sched = sched
+	c.mySlot = slot
+	c.round = w.Round
+	c.ready = true
+	c.expelled = false
+
+	out := &Output{Events: []Event{
+		{Kind: EventScheduleReady, Round: w.Round, Detail: fmt.Sprintf("slot %d of %d (joined mid-session)", slot, len(w.Lens))},
+		{Kind: EventMemberJoined, Round: w.Round, Culprit: c.id},
+		{Kind: EventRosterChanged, Round: w.Round, Detail: fmt.Sprintf("version %d (joined)", w.Version)},
+	}}
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}
+
+// NewJoinerClient builds a client engine for a prospective member whose
+// key is not (yet) in the group definition. Start sends a JoinRequest
+// instead of a pseudonym submission; once a certified roster update
+// admits the key, the upstream server's JoinWelcome bootstraps the
+// engine mid-session and it begins submitting like any client.
+// advertiseAddr is the dialable address servers should attach for this
+// node (empty on address-less fabrics like SimNet).
+func NewJoinerClient(def *group.Definition, kp *crypto.KeyPair, advertiseAddr string, opts Options) (*Client, error) {
+	if def.Policy.BeaconEpochRounds == 0 {
+		return nil, errors.New("core: joining requires a group with membership churn (BeaconEpochRounds > 0)")
+	}
+	c := &Client{node: newNode(def, kp, opts)}
+	if def.ClientIndex(c.id) >= 0 || def.ServerIndex(c.id) >= 0 {
+		return nil, errors.New("core: key already belongs to this group (use NewClient)")
+	}
+	c.idx = -1
+	c.joining = true
+	c.joinAddr = advertiseAddr
+	c.upstream = def.Servers[0].ID // contact point until admission assigns one
+	c.pad = dcnet.NewPad(c.prng)
+	c.mySlot = -1
+	c.pairSeedFn = opts.PairSeed
+	return c, nil
+}
+
+// joinRetryInterval paces join-request retries: the single frame may
+// be lost, or the operator may Admit the key only after the joiner
+// started. Duplicate requests just overwrite the pending entry.
+const joinRetryInterval = time.Second
+
+// rosterSyncInterval paces a held client's catch-up probes: when the
+// certified update it is waiting for does not arrive (lost frame), it
+// asks its upstream server to replay the missed chain.
+const rosterSyncInterval = time.Second
+
+// startJoin generates the pseudonym key and sends the join request.
+func (c *Client) startJoin(now time.Time) (*Output, error) {
+	pseu, err := crypto.GenerateKeyPair(c.keyGrp, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	c.pseudonym = pseu
+	return c.sendJoinRequest(now)
+}
+
+// sendJoinRequest (re-)sends the join request with the same pseudonym
+// key — the admitting slot must match the key generated at Start — and
+// arms the retry timer.
+func (c *Client) sendJoinRequest(now time.Time) (*Output, error) {
+	body := (&JoinRequest{
+		Version: c.def.Version,
+		PubKey:  c.keyGrp.Encode(c.kp.Public),
+		PseuKey: c.keyGrp.Encode(c.pseudonym.Public),
+		Addr:    c.joinAddr,
+	}).Encode()
+	m, err := c.sign(MsgJoinRequest, 0, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Send:  []Envelope{{To: c.upstream, Msg: m}},
+		Timer: now.Add(joinRetryInterval),
+	}, nil
+}

@@ -26,6 +26,7 @@ const (
 	phaseSetupShuffle
 	phaseRunning
 	phaseBlame
+	phaseRoster
 	phaseHalted
 )
 
@@ -163,7 +164,22 @@ type Server struct {
 
 	blame        *blameState
 	blameSession int32
-	pendingBlame bool
+
+	// Membership churn (see roster.go): pending admissions/removals
+	// accumulated while rounds run, applied through a certified roster
+	// update at each epoch boundary.
+	allowlist        map[string]bool                // pre-approved identity keys (Admit)
+	pendingJoin      map[group.NodeID]*JoinRequest  // new-member requests
+	pendingRejoin    map[int]bool                   // client index → wants re-admission
+	pendingRemove    map[int]bool                   // client index → remove at boundary
+	expelRound       map[int]uint64                 // client index → round excluded
+	rosterDue        bool                           // boundary crossed; roster phase pending
+	roster           *rosterState                   // in-flight transition
+	lastRosterUpdate *group.RosterUpdate            // latest applied certified update
+	rosterLog        map[uint64]*group.RosterUpdate // recent updates by version, for catch-up
+	joinedAt         map[group.NodeID]uint64        // new members → admitting version (welcome re-send)
+	welcomeSent      map[group.NodeID]time.Time     // re-welcome rate limiting
+	pairSeedFn       func(clientIdx, serverIdx int) []byte
 
 	// stash buffers messages that arrived ahead of our local phase
 	// (e.g. a peer's inventory for round r+1 while we still certify r);
@@ -213,6 +229,14 @@ func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (
 	s.pseuSubs = make(map[int][]byte)
 	s.pseuLists = make(map[int]*PseudonymList)
 	s.schedCerts = make(map[int][]byte)
+	s.pendingJoin = make(map[group.NodeID]*JoinRequest)
+	s.pendingRejoin = make(map[int]bool)
+	s.pendingRemove = make(map[int]bool)
+	s.expelRound = make(map[int]uint64)
+	s.rosterLog = make(map[uint64]*group.RosterUpdate)
+	s.joinedAt = make(map[group.NodeID]uint64)
+	s.welcomeSent = make(map[group.NodeID]time.Time)
+	s.pairSeedFn = opts.PairSeed
 	return s, nil
 }
 
@@ -320,6 +344,14 @@ func (s *Server) dispatch(now time.Time, m *Message) (*Output, error) {
 		return s.onTraceBits(now, m)
 	case MsgRebuttal:
 		return s.onRebuttal(now, m)
+	case MsgJoinRequest:
+		return s.onJoinRequest(now, m)
+	case MsgRosterPropose:
+		return s.onRosterPropose(now, m)
+	case MsgRosterCert:
+		return s.onRosterCert(now, m)
+	case MsgRosterUpdate:
+		return s.onServerRosterUpdate(now, m)
 	default:
 		return nil, fmt.Errorf("core: server got unexpected %s", m.Type)
 	}
@@ -342,6 +374,8 @@ func (s *Server) Tick(now time.Time) (*Output, error) {
 		out, err = s.roundTick(now)
 	case phaseBlame:
 		out, err = s.blameTick(now)
+	case phaseRoster:
+		out, err = s.rosterTick(now)
 	default:
 		out, err = &Output{}, nil
 	}
@@ -1132,10 +1166,18 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 
 	s.prevCount = len(rs.included)
 	s.roundNum++
+	// Epoch boundary: the roster phase runs before the boundary round
+	// starts (after any pending blame session), applying this epoch's
+	// membership churn through a certified roster update.
+	if s.epochBoundary(s.roundNum) {
+		s.rosterDue = true
+	}
 	if rs.failed {
 		out.Events = append(out.Events, Event{Kind: EventRoundFailed, Round: rs.r,
 			Detail: fmt.Sprintf("participation %d", len(rs.included))})
-		s.startRound(now, out)
+		if err := s.resumeRounds(now, out); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 
@@ -1185,8 +1227,9 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 			Detail: fmt.Sprintf("epoch at round %d", s.sched.Round())})
 	}
 
-	if res.ShuffleRequested || s.pendingBlame {
-		s.pendingBlame = false
+	if res.ShuffleRequested {
+		// Accusations run before any due roster phase: a verdict reached
+		// now still makes this boundary's roster update.
 		more, err := s.startBlame(now)
 		if err != nil {
 			return nil, err
@@ -1194,7 +1237,9 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 		out.merge(more)
 		return out, nil
 	}
-	s.startRound(now, out)
+	if err := s.resumeRounds(now, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

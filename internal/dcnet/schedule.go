@@ -119,7 +119,7 @@ func (s *Schedule) Permutation() []int {
 // setPerm installs a permutation and its inverse.
 func (s *Schedule) setPerm(perm []int) {
 	s.perm = perm
-	if s.pos == nil {
+	if len(s.pos) != len(perm) {
 		s.pos = make([]int, len(perm))
 	}
 	for p, slot := range perm {
@@ -159,6 +159,32 @@ func PermFromSeed(seed []byte, n int) []int {
 		}
 	}
 	return perm
+}
+
+// Grow appends extra closed slots (membership churn: one per newly
+// admitted member) and re-derives the layout permutation over the
+// enlarged slot set from seed (nil keeps existing slots in place and
+// appends the new ones at the end of the layout). Every replica must
+// call Grow with identical arguments at the same round boundary — the
+// engines do so when applying a certified roster update, seeding from
+// the beacon output and the roster digest.
+func (s *Schedule) Grow(extra int, seed []byte) {
+	if extra <= 0 {
+		if seed != nil {
+			s.setPerm(PermFromSeed(seed, s.cfg.NumSlots))
+		}
+		return
+	}
+	old := s.cfg.NumSlots
+	s.cfg.NumSlots += extra
+	s.lens = append(s.lens, make([]int, extra)...)
+	s.idle = append(s.idle, make([]int, extra)...)
+	if seed != nil {
+		s.setPerm(PermFromSeed(seed, s.cfg.NumSlots))
+		return
+	}
+	perm := append(append([]int(nil), s.perm...), identityPerm(s.cfg.NumSlots)[old:]...)
+	s.setPerm(perm)
 }
 
 // Config returns the schedule's configuration.
@@ -295,6 +321,44 @@ func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// Snapshot returns the schedule's replicated state — round counter,
+// slot lengths, idle counters, layout permutation — so an admitting
+// server can hand a mid-session joiner an exact replica to resume from.
+func (s *Schedule) Snapshot() (round uint64, lens, idle, perm []int) {
+	return s.round,
+		append([]int(nil), s.lens...),
+		append([]int(nil), s.idle...),
+		append([]int(nil), s.perm...)
+}
+
+// RestoreSchedule rebuilds a schedule from a Snapshot, the joiner-side
+// inverse. The config's NumSlots is overridden by the snapshot length.
+func RestoreSchedule(cfg Config, round uint64, lens, idle, perm []int) (*Schedule, error) {
+	cfg.NumSlots = len(lens)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(idle) != len(lens) || len(perm) != len(lens) {
+		return nil, fmt.Errorf("dcnet: snapshot shape mismatch (%d lens, %d idle, %d perm)",
+			len(lens), len(idle), len(perm))
+	}
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			return nil, errors.New("dcnet: snapshot permutation invalid")
+		}
+		seen[v] = true
+	}
+	s := &Schedule{
+		cfg:   cfg,
+		round: round,
+		lens:  append([]int(nil), lens...),
+		idle:  append([]int(nil), idle...),
+	}
+	s.setPerm(append([]int(nil), perm...))
+	return s, nil
 }
 
 // Clone returns an independent copy of the schedule, used by clients

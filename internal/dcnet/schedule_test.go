@@ -472,3 +472,77 @@ func TestCloneCarriesPermutation(t *testing.T) {
 		}
 	}
 }
+
+func TestGrowAppendsSlotsAndReseeds(t *testing.T) {
+	s := mustSchedule(t, testConfig(4))
+	openAll(t, s)
+	s.Grow(2, []byte("roster-seed"))
+	if s.NumSlots() != 6 {
+		t.Fatalf("NumSlots %d after Grow, want 6", s.NumSlots())
+	}
+	// New slots are closed at birth and carry request bits.
+	for i := 4; i < 6; i++ {
+		if s.SlotLen(i) != 0 {
+			t.Fatalf("new slot %d open at birth", i)
+		}
+	}
+	// The permutation covers all six slots exactly once.
+	perm := s.Permutation()
+	seen := make(map[int]bool)
+	for _, v := range perm {
+		if v < 0 || v >= 6 || seen[v] {
+			t.Fatalf("invalid permutation after Grow: %v", perm)
+		}
+		seen[v] = true
+	}
+	// Identical Grow calls on a replica converge to the same layout.
+	r := mustSchedule(t, testConfig(4))
+	openAll(t, r)
+	r.Grow(2, []byte("roster-seed"))
+	rp := r.Permutation()
+	for i := range perm {
+		if rp[i] != perm[i] {
+			t.Fatalf("replica permutation diverged: %v vs %v", rp, perm)
+		}
+	}
+	// A grown schedule still advances (new slots open via request bits).
+	buf := make([]byte, s.Len())
+	s.SetReqBit(buf, 5, true)
+	res, err := s.Advance(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Opened) != 1 || res.Opened[0] != 5 {
+		t.Fatalf("request bit did not open the appended slot: %+v", res.Opened)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := mustSchedule(t, testConfig(5))
+	s.SetEpochRotation(1, func(round uint64) []byte { return []byte("x") })
+	openAll(t, s) // round 1, rotated permutation
+	round, lens, idle, perm := s.Snapshot()
+	r, err := RestoreSchedule(s.Config(), round, lens, idle, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Round() != s.Round() || r.Len() != s.Len() {
+		t.Fatalf("restored round/len %d/%d, want %d/%d", r.Round(), r.Len(), s.Round(), s.Len())
+	}
+	for i := 0; i < s.NumSlots(); i++ {
+		so, sn := s.SlotRange(i)
+		ro, rn := r.SlotRange(i)
+		if so != ro || sn != rn {
+			t.Fatalf("restored layout differs at slot %d", i)
+		}
+	}
+	// Malformed snapshots are rejected.
+	if _, err := RestoreSchedule(s.Config(), round, lens, idle[:2], perm); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	badPerm := append([]int(nil), perm...)
+	badPerm[0] = badPerm[1]
+	if _, err := RestoreSchedule(s.Config(), round, lens, idle, badPerm); err == nil {
+		t.Fatal("invalid permutation accepted")
+	}
+}

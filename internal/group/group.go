@@ -38,6 +38,11 @@ type Member struct {
 	// (general message shuffles run in a mod-p group whose cheap
 	// embedding suits arbitrary byte strings, §3.10). Nil for clients.
 	MsgPubKey crypto.Element
+	// Expelled marks a client removed by a certified RosterUpdate.
+	// Expelled members stay in the list so client indices (and retained
+	// round history) remain stable; they may be re-admitted by a later
+	// update after the policy cooldown.
+	Expelled bool
 }
 
 // Policy holds the group-creation-time protocol constants.
@@ -70,6 +75,16 @@ type Policy struct {
 	// from the beacon output every BeaconEpochRounds rounds. 0 disables
 	// the beacon entirely (large unsigned simulations).
 	BeaconEpochRounds int
+	// ReadmitCooldownRounds is the number of DC-net rounds an expelled
+	// client must wait after its expulsion before a rejoin request is
+	// eligible for re-admission at an epoch boundary (membership churn
+	// runs only when BeaconEpochRounds is nonzero).
+	ReadmitCooldownRounds int
+	// OpenAdmission lets servers accept join requests from keys they
+	// have not explicitly pre-approved with Admit. Admission remains a
+	// per-server policy decision either way: a member enters only via a
+	// certified roster update at an epoch boundary.
+	OpenAdmission bool
 	// MessageGroup names the group used for general message shuffles
 	// (accusations): "modp-2048" in production, "modp-512-test" in
 	// tests. See crypto.GroupByName.
@@ -83,19 +98,21 @@ type Policy struct {
 // DefaultPolicy returns the policy used in the paper's evaluation.
 func DefaultPolicy() Policy {
 	return Policy{
-		Alpha:             0.95,
-		WindowThreshold:   0.95,
-		WindowMultiplier:  1.1,
-		WindowMin:         50 * time.Millisecond,
-		HardTimeout:       120 * time.Second,
-		Shadows:           16,
-		DefaultOpenLen:    1024,
-		MaxSlotLen:        256 << 10,
-		IdleCloseRounds:   4,
-		RetainRounds:      8,
-		BeaconEpochRounds: 16,
-		MessageGroup:      "modp-2048",
-		SignMessages:      true,
+		Alpha:                 0.95,
+		WindowThreshold:       0.95,
+		WindowMultiplier:      1.1,
+		WindowMin:             50 * time.Millisecond,
+		HardTimeout:           120 * time.Second,
+		Shadows:               16,
+		DefaultOpenLen:        1024,
+		MaxSlotLen:            256 << 10,
+		IdleCloseRounds:       4,
+		RetainRounds:          8,
+		BeaconEpochRounds:     16,
+		ReadmitCooldownRounds: 32,
+		OpenAdmission:         false,
+		MessageGroup:          "modp-2048",
+		SignMessages:          true,
 	}
 }
 
@@ -116,6 +133,8 @@ func (p Policy) Validate() error {
 		return errors.New("group: RetainRounds must be positive")
 	case p.BeaconEpochRounds < 0:
 		return errors.New("group: BeaconEpochRounds must be non-negative")
+	case p.ReadmitCooldownRounds < 0:
+		return errors.New("group: ReadmitCooldownRounds must be non-negative")
 	}
 	if _, err := crypto.GroupByName(p.MessageGroup); err != nil {
 		return fmt.Errorf("group: %w", err)
@@ -123,13 +142,27 @@ func (p Policy) Validate() error {
 	return nil
 }
 
-// Definition is a complete group definition: the static membership
-// lists and policy. Its hash is the group's self-certifying ID.
+// Definition is a complete group definition: the membership lists and
+// policy. The hash of the genesis (Version 0) definition is the
+// group's self-certifying ID; the client roster then evolves through
+// certified RosterUpdates (see roster.go), with Version counting
+// applied updates. The server set is fixed for the group's lifetime.
 type Definition struct {
 	Name    string
 	Servers []Member
 	Clients []Member
 	Policy  Policy
+
+	// Version is the roster version: 0 at genesis, incremented by each
+	// applied RosterUpdate.
+	Version uint64
+
+	// genesisID caches the genesis definition's GroupID across roster
+	// evolution; rosterDigest is the roster hash-chain head.
+	genesisID    [32]byte
+	genesisSet   bool
+	rosterDigest [32]byte
+	rosterSet    bool
 }
 
 // Group returns the identity-key group (fixed to P-256).
@@ -183,8 +216,13 @@ func (d *Definition) Validate() error {
 }
 
 // GroupID returns the self-certifying identifier: the hash of the
-// canonical encoding of the definition.
+// canonical encoding of the genesis definition. Definitions evolved by
+// ApplyRosterUpdate keep the genesis ID — the group's identity (and
+// its session tag on shared transports) is stable across churn.
 func (d *Definition) GroupID() [32]byte {
+	if d.genesisSet {
+		return d.genesisID
+	}
 	enc, err := d.MarshalJSON()
 	if err != nil {
 		// Marshal of a validated definition cannot fail.

@@ -1,0 +1,424 @@
+package group
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dissent/internal/crypto"
+)
+
+// Membership churn (§3.7, §3.9 aftermath): the group's client roster is
+// versioned. Version 0 is the genesis definition; every epoch boundary
+// the anytrust server set certifies a RosterUpdate — a delta of
+// admissions (new joiners, re-admitted expellees) and removals — that
+// is hash-chained to the previous version. The server list never
+// changes: churn decisions are server-side policy, the versioned
+// update is the shared mechanism every replica applies in lockstep.
+
+// RosterSignContext is the Schnorr context servers sign roster updates
+// under — shared by the certifying servers (internal/core) and every
+// verifier, so the two sides can never drift apart.
+const RosterSignContext = "dissent/roster"
+
+// RosterMember is one admitted member in a roster update: the identity
+// key, the pseudonym key that seeds the member's message slot (empty
+// for re-admissions, whose original slot survives), and an optional
+// dialable transport address for TCP fabrics.
+type RosterMember struct {
+	PubKey  []byte // encoded identity public key (P-256)
+	PseuKey []byte // encoded pseudonym slot key; empty when re-admitting
+	Addr    string // transport address; empty on address-less fabrics
+}
+
+// RosterUpdate is one certified roster transition: applying it to the
+// definition at Version-1 yields the definition at Version. PrevDigest
+// chains it to the previous version's roster digest, and Sigs holds one
+// Schnorr signature per server (in server index order) over
+// SignedBytes, so a single honest server suffices to prevent a forged
+// transition.
+type RosterUpdate struct {
+	Version    uint64
+	PrevDigest [32]byte
+	Admit      []RosterMember
+	Remove     []NodeID
+	Sigs       [][]byte
+}
+
+// maxRosterList bounds decoded list lengths against hostile inputs.
+const maxRosterList = 1 << 20
+
+// AppendRosterMembers appends a count-prefixed member list in the wire
+// format shared by RosterUpdate and internal/core's RosterPropose —
+// one codec, so the proposal framing and the certified update framing
+// can never drift apart.
+func AppendRosterMembers(b []byte, ms []RosterMember) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ms)))
+	for _, m := range ms {
+		b = appendBytes(b, m.PubKey)
+		b = appendBytes(b, m.PseuKey)
+		b = appendBytes(b, []byte(m.Addr))
+	}
+	return b
+}
+
+// DecodeRosterMembers parses a list written by AppendRosterMembers and
+// returns the remaining bytes.
+func DecodeRosterMembers(data []byte) ([]RosterMember, []byte, error) {
+	d := rosterDec{data}
+	n, err := d.count()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ms []RosterMember
+	for i := 0; i < n; i++ {
+		var m RosterMember
+		if m.PubKey, err = d.bytes(); err != nil {
+			return nil, nil, err
+		}
+		if m.PseuKey, err = d.bytes(); err != nil {
+			return nil, nil, err
+		}
+		addr, err := d.bytes()
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Addr = string(addr)
+		ms = append(ms, m)
+	}
+	return ms, d.b, nil
+}
+
+// AppendNodeIDs appends a count-prefixed node-ID list.
+func AppendNodeIDs(b []byte, ids []NodeID) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = append(b, id[:]...)
+	}
+	return b
+}
+
+// DecodeNodeIDs parses a list written by AppendNodeIDs and returns the
+// remaining bytes.
+func DecodeNodeIDs(data []byte) ([]NodeID, []byte, error) {
+	d := rosterDec{data}
+	n, err := d.count()
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n)*8 > uint64(len(d.b)) {
+		return nil, nil, errRosterTruncated
+	}
+	var ids []NodeID
+	for i := 0; i < n; i++ {
+		var id NodeID
+		copy(id[:], d.b[:8])
+		d.b = d.b[8:]
+		ids = append(ids, id)
+	}
+	return ids, d.b, nil
+}
+
+// encodeBody serializes everything the signatures cover.
+func (u *RosterUpdate) encodeBody() []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint64(b, u.Version)
+	b = append(b, u.PrevDigest[:]...)
+	b = AppendRosterMembers(b, u.Admit)
+	b = AppendNodeIDs(b, u.Remove)
+	return b
+}
+
+// Encode serializes the update, signatures included.
+func (u *RosterUpdate) Encode() []byte {
+	b := u.encodeBody()
+	b = binary.BigEndian.AppendUint32(b, uint32(len(u.Sigs)))
+	for _, s := range u.Sigs {
+		b = appendBytes(b, s)
+	}
+	return b
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// rosterDec is a minimal bounds-checked reader for roster updates.
+type rosterDec struct{ b []byte }
+
+var errRosterTruncated = errors.New("group: truncated roster update")
+
+func (d *rosterDec) u32() (uint32, error) {
+	if len(d.b) < 4 {
+		return 0, errRosterTruncated
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v, nil
+}
+
+func (d *rosterDec) u64() (uint64, error) {
+	if len(d.b) < 8 {
+		return 0, errRosterTruncated
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v, nil
+}
+
+func (d *rosterDec) bytes() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(d.b)) {
+		return nil, errRosterTruncated
+	}
+	v := d.b[:n:n]
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *rosterDec) count() (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxRosterList || uint64(n) > uint64(len(d.b)) {
+		return 0, fmt.Errorf("group: roster list length %d out of range", n)
+	}
+	return int(n), nil
+}
+
+// DecodeRosterUpdate parses an update serialized by Encode.
+func DecodeRosterUpdate(data []byte) (*RosterUpdate, error) {
+	d := rosterDec{data}
+	u := &RosterUpdate{}
+	var err error
+	if u.Version, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if len(d.b) < 32 {
+		return nil, errRosterTruncated
+	}
+	copy(u.PrevDigest[:], d.b[:32])
+	d.b = d.b[32:]
+	if u.Admit, d.b, err = DecodeRosterMembers(d.b); err != nil {
+		return nil, err
+	}
+	if u.Remove, d.b, err = DecodeNodeIDs(d.b); err != nil {
+		return nil, err
+	}
+	nSigs, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nSigs; i++ {
+		s, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		u.Sigs = append(u.Sigs, s)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("group: %d trailing bytes after roster update", len(d.b))
+	}
+	return u, nil
+}
+
+// SignedBytes is the byte string each server signs (and every replica
+// verifies) to certify the update for one group.
+func (u *RosterUpdate) SignedBytes(groupID [32]byte) []byte {
+	return crypto.Hash("dissent/roster-update", groupID[:], u.encodeBody())
+}
+
+// Digest condenses the certified transition into the chain head the
+// next version's PrevDigest must match. Signatures are excluded so the
+// digest is computable before certification completes.
+func (u *RosterUpdate) Digest(groupID [32]byte) [32]byte {
+	var d [32]byte
+	copy(d[:], crypto.Hash("dissent/roster-digest", u.SignedBytes(groupID)))
+	return d
+}
+
+// SignRosterUpdate produces one server's certification signature.
+// rand is the signature randomness source (nil = crypto/rand).
+func SignRosterUpdate(u *RosterUpdate, groupID [32]byte, kp *crypto.KeyPair, rand io.Reader) ([]byte, error) {
+	g := crypto.P256()
+	sig, err := kp.Sign(RosterSignContext, u.SignedBytes(groupID), rand)
+	if err != nil {
+		return nil, err
+	}
+	return crypto.EncodeSignature(g, sig), nil
+}
+
+// RosterDigest returns the hash-chain head authenticating the current
+// roster version: the genesis digest for Version 0, or the digest of
+// the update that produced this version.
+func (d *Definition) RosterDigest() [32]byte {
+	if d.rosterSet {
+		return d.rosterDigest
+	}
+	gid := d.GroupID()
+	var dig [32]byte
+	copy(dig[:], crypto.Hash("dissent/roster-genesis", gid[:]))
+	return dig
+}
+
+// VerifyRosterUpdate checks an update against this definition: the
+// version must follow ours, the chain digest must match, the delta must
+// be well formed, and every server must have signed.
+func (d *Definition) VerifyRosterUpdate(u *RosterUpdate) error {
+	if u.Version != d.Version+1 {
+		return fmt.Errorf("group: roster update version %d, want %d (stale or future)", u.Version, d.Version+1)
+	}
+	if u.PrevDigest != d.RosterDigest() {
+		return errors.New("group: roster update chains from a different roster")
+	}
+	if len(u.Sigs) != len(d.Servers) {
+		return fmt.Errorf("group: roster update has %d signatures, want %d", len(u.Sigs), len(d.Servers))
+	}
+	g := d.Group()
+	removed := make(map[NodeID]bool, len(u.Remove))
+	for _, id := range u.Remove {
+		if removed[id] {
+			return fmt.Errorf("group: duplicate removal of %s", id)
+		}
+		removed[id] = true
+		if ci := d.ClientIndex(id); ci < 0 {
+			return fmt.Errorf("group: removal of unknown client %s", id)
+		}
+	}
+	admitted := make(map[NodeID]bool, len(u.Admit))
+	for _, m := range u.Admit {
+		pub, err := g.Decode(m.PubKey)
+		if err != nil {
+			return fmt.Errorf("group: admitted key: %w", err)
+		}
+		id := IDFromKey(g, pub)
+		if admitted[id] {
+			return fmt.Errorf("group: duplicate admission of %s", id)
+		}
+		admitted[id] = true
+		if removed[id] {
+			return fmt.Errorf("group: %s both admitted and removed", id)
+		}
+		if d.ServerIndex(id) >= 0 {
+			return fmt.Errorf("group: cannot admit server %s as a client", id)
+		}
+		if d.ClientIndex(id) < 0 {
+			// Brand-new member: it needs a pseudonym key to seed a slot.
+			if len(m.PseuKey) == 0 {
+				return fmt.Errorf("group: new member %s lacks a pseudonym key", id)
+			}
+			if _, err := g.Decode(m.PseuKey); err != nil {
+				return fmt.Errorf("group: new member %s pseudonym key: %w", id, err)
+			}
+		}
+	}
+	return d.VerifyRosterUpdateSigs(u)
+}
+
+// VerifyRosterUpdateSigs checks only the certification signatures —
+// one valid Schnorr signature per server over SignedBytes — without
+// the version/digest chain. Mid-session joiners use it directly: they
+// cannot replay the intermediate update chain, but the (static) server
+// set still authenticates the transition that admits them.
+func (d *Definition) VerifyRosterUpdateSigs(u *RosterUpdate) error {
+	if len(u.Sigs) != len(d.Servers) {
+		return fmt.Errorf("group: roster update has %d signatures, want %d", len(u.Sigs), len(d.Servers))
+	}
+	g := d.Group()
+	signed := u.SignedBytes(d.GroupID())
+	for j, srv := range d.Servers {
+		sig, err := crypto.DecodeSignature(g, u.Sigs[j])
+		if err != nil {
+			return fmt.Errorf("group: roster sig %d: %w", j, err)
+		}
+		if err := crypto.Verify(g, srv.PubKey, RosterSignContext, signed, sig); err != nil {
+			return fmt.Errorf("group: roster sig %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// ApplyRosterUpdate verifies u and returns the evolved definition at
+// u.Version. The receiver is not mutated — engine replicas swap in the
+// returned definition at the epoch boundary. Client indices are stable:
+// removals mark members expelled in place, admissions of new members
+// append, re-admissions clear the expelled flag.
+func (d *Definition) ApplyRosterUpdate(u *RosterUpdate) (*Definition, error) {
+	if err := d.VerifyRosterUpdate(u); err != nil {
+		return nil, err
+	}
+	nd := *d
+	nd.Clients = append([]Member(nil), d.Clients...)
+	nd.Version = u.Version
+	nd.genesisID, nd.genesisSet = d.GroupID(), true
+	nd.rosterDigest, nd.rosterSet = u.Digest(nd.genesisID), true
+	for _, id := range u.Remove {
+		nd.Clients[nd.ClientIndex(id)].Expelled = true
+	}
+	g := d.Group()
+	for _, m := range u.Admit {
+		pub, err := g.Decode(m.PubKey)
+		if err != nil {
+			return nil, err
+		}
+		id := IDFromKey(g, pub)
+		if ci := nd.ClientIndex(id); ci >= 0 {
+			nd.Clients[ci].Expelled = false
+		} else {
+			nd.Clients = append(nd.Clients, Member{ID: id, PubKey: pub})
+		}
+	}
+	return &nd, nil
+}
+
+// RebuildDefinition reconstructs a roster-evolved definition from a
+// trusted snapshot: the genesis definition (obtained out of band) plus
+// the full current client key list, expulsion flags, version, and
+// roster digest — the mid-session joiner's path, which cannot replay
+// the intermediate update chain. The genesis clients must survive as a
+// prefix (indices are stable across churn), which guards against a
+// snapshot for a different group.
+func RebuildDefinition(genesis *Definition, version uint64, digest [32]byte, clientKeys [][]byte, expelled []bool) (*Definition, error) {
+	if len(clientKeys) != len(expelled) {
+		return nil, errors.New("group: snapshot shape mismatch")
+	}
+	if len(clientKeys) < len(genesis.Clients) {
+		return nil, errors.New("group: snapshot roster smaller than genesis")
+	}
+	g := genesis.Group()
+	nd := *genesis
+	nd.Clients = make([]Member, len(clientKeys))
+	for i, raw := range clientKeys {
+		pub, err := g.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("group: snapshot client %d key: %w", i, err)
+		}
+		nd.Clients[i] = Member{ID: IDFromKey(g, pub), PubKey: pub, Expelled: expelled[i]}
+	}
+	for i, m := range genesis.Clients {
+		if nd.Clients[i].ID != m.ID {
+			return nil, fmt.Errorf("group: snapshot client %d does not match genesis", i)
+		}
+	}
+	nd.Version = version
+	nd.genesisID, nd.genesisSet = genesis.GroupID(), true
+	nd.rosterDigest, nd.rosterSet = digest, true
+	return &nd, nil
+}
+
+// ActiveClients counts clients not currently expelled from the roster.
+func (d *Definition) ActiveClients() int {
+	n := 0
+	for _, m := range d.Clients {
+		if !m.Expelled {
+			n++
+		}
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package simnet
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -38,6 +39,103 @@ type Hub struct {
 	pending map[hubKey][]hubDelivery
 	seq     int64
 	closed  bool
+
+	// Fault injection (SetLinkFault): per-link specs, a seeded RNG for
+	// reproducible drop/jitter draws, and per-directed-pair last
+	// scheduled delivery times so jitter never reorders a pair's
+	// stream (delivery stays TCP-like FIFO).
+	faults   map[linkKey]FaultSpec
+	faultRNG *rand.Rand
+	lastAt   map[pairKey]time.Time
+}
+
+// FaultSpec models an impaired link for fault-injection tests: fixed
+// extra one-way latency, uniform random jitter on top, a probabilistic
+// drop rate in [0,1], and a hard partition until a wall-clock deadline
+// (every payload dropped before it). Jitter never reorders a directed
+// pair's stream: delivery times are clamped monotonic per (from, to),
+// mirroring TCP's in-order delivery under delay variance.
+type FaultSpec struct {
+	Latency        time.Duration
+	Jitter         time.Duration
+	DropRate       float64
+	PartitionUntil time.Time
+}
+
+// linkKey identifies an undirected member pair.
+type linkKey struct{ a, b group.NodeID }
+
+// pairKey identifies a directed per-session stream.
+type pairKey struct {
+	sid      [32]byte
+	from, to group.NodeID
+}
+
+func normLink(a, b group.NodeID) linkKey {
+	if string(a[:]) > string(b[:]) {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// SetLinkFault installs (or, with a zero spec, effectively clears) a
+// fault model on the undirected link between a and b, applying to both
+// directions and every session. Draws come from a deterministic seeded
+// RNG (SetFaultSeed), so a failing churn test replays identically.
+func (h *Hub) SetLinkFault(a, b group.NodeID, spec FaultSpec) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.faults == nil {
+		h.faults = make(map[linkKey]FaultSpec)
+		h.lastAt = make(map[pairKey]time.Time)
+	}
+	h.faults[normLink(a, b)] = spec
+}
+
+// ClearLinkFault removes the fault model on a link.
+func (h *Hub) ClearLinkFault(a, b group.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.faults, normLink(a, b))
+}
+
+// SetFaultSeed seeds the fault RNG (default 1) for reproducible runs.
+func (h *Hub) SetFaultSeed(seed int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faultRNG = rand.New(rand.NewSource(seed))
+}
+
+// applyFaultLocked folds the link's fault spec into the delivery delay.
+// It returns drop=true when the payload is lost. Callers hold h.mu.
+func (h *Hub) applyFaultLocked(now time.Time, sid [32]byte, from, to group.NodeID, lat time.Duration) (time.Time, bool) {
+	at := now.Add(lat)
+	if spec, ok := h.faults[normLink(from, to)]; ok {
+		if now.Before(spec.PartitionUntil) {
+			return at, true
+		}
+		if h.faultRNG == nil {
+			h.faultRNG = rand.New(rand.NewSource(1))
+		}
+		if spec.DropRate > 0 && h.faultRNG.Float64() < spec.DropRate {
+			return at, true
+		}
+		at = at.Add(spec.Latency)
+		if spec.Jitter > 0 {
+			at = at.Add(time.Duration(h.faultRNG.Int63n(int64(spec.Jitter))))
+		}
+	}
+	// Per-pair monotonic clamp: a later send never arrives before an
+	// earlier one, so jitter cannot reorder the stream. Applied to every
+	// pair once fault injection is in use — clearing or replacing a
+	// link's spec must not let fresh sends overtake jittered in-flight
+	// ones.
+	pk := pairKey{sid: sid, from: from, to: to}
+	if last := h.lastAt[pk]; at.Before(last) {
+		at = last
+	}
+	h.lastAt[pk] = at
+	return at, false
 }
 
 // hubKey addresses one member of one session.
@@ -142,8 +240,16 @@ func (h *Hub) SendSession(sid [32]byte, from, to group.NodeID, payload any) erro
 	if h.closed {
 		return fmt.Errorf("simnet: hub closed")
 	}
+	now := time.Now()
+	at := now.Add(lat)
+	if h.faults != nil {
+		var drop bool
+		if at, drop = h.applyFaultLocked(now, sid, from, to, lat); drop {
+			return nil // lost on the wire, exactly like a dropped packet
+		}
+	}
 	h.seq++
-	d := hubDelivery{at: time.Now().Add(lat), seq: h.seq, payload: payload}
+	d := hubDelivery{at: at, seq: h.seq, payload: payload}
 	if m, ok := h.members[k]; ok {
 		m.enqueue(d)
 		return nil

@@ -115,8 +115,9 @@ func ListenMesh(addr string, roster Roster, recv func(*core.Message), onError fu
 // Bind attaches a session to the mesh: outbound SendSession(sid, ...)
 // resolves addresses through roster, and inbound frames tagged sid are
 // handed to recv. Binding NoSession additionally captures legacy
-// untagged traffic. The roster map is read at send time and must not
-// be mutated while the session is bound.
+// untagged traffic. The roster is copied, so the caller's map is not
+// read afterwards; AddPeer extends the bound copy for members admitted
+// mid-session.
 func (m *Mesh) Bind(sid SessionID, roster Roster, recv func(*core.Message)) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -126,7 +127,25 @@ func (m *Mesh) Bind(sid SessionID, roster Roster, recv func(*core.Message)) erro
 	if _, dup := m.sessions[sid]; dup {
 		return fmt.Errorf("transport: session %x already bound", sid[:4])
 	}
-	m.sessions[sid] = &meshSession{roster: roster, recv: recv}
+	owned := make(Roster, len(roster))
+	for id, addr := range roster {
+		owned[id] = addr
+	}
+	m.sessions[sid] = &meshSession{roster: owned, recv: recv}
+	return nil
+}
+
+// AddPeer registers (or updates) a member's dialable address in a bound
+// session's roster — the mid-session attach path for members admitted
+// by a roster update after the session was bound.
+func (m *Mesh) AddPeer(sid SessionID, id group.NodeID, addr string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms := m.sessions[sid]
+	if ms == nil {
+		return fmt.Errorf("transport: session %x not bound", sid[:4])
+	}
+	ms.roster[id] = addr
 	return nil
 }
 
@@ -241,6 +260,11 @@ func (m *Mesh) SendSession(sid SessionID, to group.NodeID, msg *core.Message) er
 	m.mu.Lock()
 	ms := m.sessions[sid]
 	closed := m.closed
+	var addr string
+	var ok bool
+	if ms != nil {
+		addr, ok = ms.roster[to] // under mu: AddPeer may extend the roster
+	}
 	m.mu.Unlock()
 	if closed {
 		return errors.New("transport: mesh closed")
@@ -248,7 +272,6 @@ func (m *Mesh) SendSession(sid SessionID, to group.NodeID, msg *core.Message) er
 	if ms == nil {
 		return fmt.Errorf("transport: session %x not bound", sid[:4])
 	}
-	addr, ok := ms.roster[to]
 	if !ok {
 		return fmt.Errorf("transport: no address for node %s", to)
 	}
@@ -279,30 +302,27 @@ func (m *Mesh) dropConn(addr string) {
 
 func (m *Mesh) conn(addr string) (*lockedConn, error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if c, ok := m.conns[addr]; ok {
-		m.mu.Unlock()
 		return c, nil
 	}
-	m.mu.Unlock()
-	var conn net.Conn
-	var err error
-	for attempt := 0; attempt < 10; attempt++ {
-		conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			break
+	// Dialing happens on the connection's own goroutine (with retries
+	// for peers that have not started listening yet); frames enqueue
+	// immediately and flush once connected. A member that died must not
+	// stall the caller's engine dispatch loop — that would let one dead
+	// client slow every round for everyone else.
+	lc := newDialingConn(func() (net.Conn, error) {
+		var conn net.Conn
+		var err error
+		for attempt := 0; attempt < 10; attempt++ {
+			conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
+			if err == nil {
+				return conn, nil
+			}
+			time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
 		}
-		time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
-	}
-	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if existing, ok := m.conns[addr]; ok {
-		conn.Close()
-		return existing, nil
-	}
-	lc := newLockedConn(conn)
+	}, m.reportError)
 	m.conns[addr] = lc
 	return lc, nil
 }
@@ -317,21 +337,57 @@ func (m *Mesh) reportError(err error) {
 // goroutine: sends from different goroutines would otherwise
 // interleave partial frames, and synchronous writes from within read
 // handlers could form distributed write-deadlocks when every node's
-// TCP buffers fill simultaneously.
+// TCP buffers fill simultaneously. The connection may still be dialing
+// when frames enqueue; they flush once the dial completes, and a
+// failed dial drops the queue (reported) and marks the conn dead so
+// the next send re-dials.
 type lockedConn struct {
-	c      net.Conn
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  [][]byte
-	closed bool
-	err    error
+	mu      sync.Mutex
+	cond    *sync.Cond
+	c       net.Conn // nil while dialing
+	queue   [][]byte
+	closed  bool
+	err     error
+	onError func(error)
 }
 
-func newLockedConn(c net.Conn) *lockedConn {
-	lc := &lockedConn{c: c}
+// newDialingConn creates a connection that dials in the background.
+func newDialingConn(dial func() (net.Conn, error), onError func(error)) *lockedConn {
+	lc := &lockedConn{onError: onError}
 	lc.cond = sync.NewCond(&lc.mu)
-	go lc.writeLoop()
+	go func() {
+		conn, err := dial()
+		lc.mu.Lock()
+		if lc.closed {
+			lc.mu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		}
+		if err != nil {
+			lc.failLocked(err)
+			lc.mu.Unlock()
+			return
+		}
+		lc.c = conn
+		lc.mu.Unlock()
+		lc.writeLoop()
+	}()
 	return lc
+}
+
+// failLocked marks the connection dead, drops any queued frames, and
+// reports the loss. Callers hold lc.mu.
+func (lc *lockedConn) failLocked(err error) {
+	dropped := len(lc.queue)
+	lc.queue = nil
+	lc.err = err
+	lc.closed = true
+	lc.cond.Broadcast()
+	if lc.onError != nil && dropped > 0 {
+		lc.onError(fmt.Errorf("transport: %d frame(s) dropped: %w", dropped, err))
+	}
 }
 
 func (lc *lockedConn) writeLoop() {
@@ -348,9 +404,11 @@ func (lc *lockedConn) writeLoop() {
 		lc.queue = lc.queue[1:]
 		lc.mu.Unlock()
 		if _, err := lc.c.Write(frame); err != nil {
+			// Frames still queued behind the failed write are lost with
+			// the connection; report them like the dial-failure path so
+			// operators see both loss modes.
 			lc.mu.Lock()
-			lc.err = err
-			lc.closed = true
+			lc.failLocked(err)
 			lc.mu.Unlock()
 			lc.c.Close()
 			return
@@ -374,13 +432,17 @@ func (lc *lockedConn) enqueue(frame []byte) error {
 	return nil
 }
 
-// close stops the writer goroutine and closes the socket.
+// close stops the writer goroutine and closes the socket (if the
+// background dial has produced one).
 func (lc *lockedConn) close() {
 	lc.mu.Lock()
 	lc.closed = true
 	lc.cond.Broadcast()
+	c := lc.c
 	lc.mu.Unlock()
-	lc.c.Close()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // encodeFrame serializes one message into its on-the-wire frame:

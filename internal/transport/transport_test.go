@@ -326,8 +326,17 @@ func TestMeshExchange(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	roster[idA] = a.Addr()
-	roster[idB] = b.Addr()
+	// Bind copies the roster, so late addresses (only known once the
+	// listeners are up) register through AddPeer — the same path members
+	// admitted mid-session by a roster update use.
+	for _, m := range []*Mesh{a, b} {
+		if err := m.AddPeer(NoSession, idA, a.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddPeer(NoSession, idB, b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	const n = 50
 	for i := 0; i < n; i++ {

@@ -14,6 +14,7 @@ type nodeConfig struct {
 	roster        Roster
 	store         BeaconStore
 	beaconAddr    string
+	advertiseAddr string
 	onError       func(error)
 	msgBuf        int
 }
@@ -64,6 +65,13 @@ func WithBeaconStore(s BeaconStore) Option {
 // certificate that binds the chain's session genesis.
 func WithBeaconHTTP(addr string) Option {
 	return func(c *nodeConfig) { c.beaconAddr = addr }
+}
+
+// WithAdvertiseAddr sets the dialable address a joiner embeds in its
+// join request (see NewJoiner), so servers can attach it to the TCP
+// fabric mid-session. Unnecessary on address-less fabrics like SimNet.
+func WithAdvertiseAddr(addr string) Option {
+	return func(c *nodeConfig) { c.advertiseAddr = addr }
 }
 
 // WithErrorHandler observes soft errors — transport read failures,

@@ -65,12 +65,10 @@ type subscription struct {
 // dialFunc attaches a session to its message fabric.
 type dialFunc func(recv func(*Message), onError func(error)) (Link, error)
 
-// newMemberSession builds the engine and channels for one membership.
-func newMemberSession(role Role, def *Group, keys Keys, opts []Option) (*Session, error) {
-	if keys.Identity == nil {
-		return nil, errors.New("dissent: keys lack an identity keypair")
-	}
-	cfg := buildConfig(opts)
+// newSessionShell builds the Session scaffolding (channels, IDs,
+// config) shared by member sessions and joiner sessions, plus the core
+// engine options derived from the config.
+func newSessionShell(role Role, def *Group, cfg nodeConfig) (*Session, core.Options) {
 	s := &Session{
 		role: role,
 		def:  def,
@@ -79,7 +77,15 @@ func newMemberSession(role Role, def *Group, keys Keys, opts []Option) (*Session
 		msgs: make(chan RoundOutput, cfg.msgBuf),
 		done: make(chan struct{}),
 	}
-	coreOpts := core.Options{MessageGroup: def.MsgGroup(), BeaconStore: cfg.store}
+	return s, core.Options{MessageGroup: def.MsgGroup(), BeaconStore: cfg.store}
+}
+
+// newMemberSession builds the engine and channels for one membership.
+func newMemberSession(role Role, def *Group, keys Keys, opts []Option) (*Session, error) {
+	if keys.Identity == nil {
+		return nil, errors.New("dissent: keys lack an identity keypair")
+	}
+	s, coreOpts := newSessionShell(role, def, buildConfig(opts))
 	switch role {
 	case RoleServer:
 		if keys.MsgShuffle == nil {
@@ -308,6 +314,23 @@ func (s *Session) dispatch(out *core.Output) {
 	for _, e := range out.Events {
 		s.stats.observe(e)
 		s.pushEvent(e)
+	}
+	if len(out.NewPeers) > 0 {
+		// Register members admitted mid-session with the fabric before
+		// transmitting: the welcome envelope below needs them routable.
+		s.mu.Lock()
+		link := s.link
+		s.mu.Unlock()
+		if pa, ok := link.(peerAdder); ok {
+			for _, p := range out.NewPeers {
+				if p.Addr == "" {
+					continue
+				}
+				if err := pa.AddPeer(p.ID, p.Addr); err != nil {
+					s.cfg.onError(err)
+				}
+			}
+		}
 	}
 	if len(out.Send) > 0 {
 		s.mu.Lock()

@@ -35,6 +35,25 @@ func (s *SimNet) SetLatency(fn func(from, to NodeID) time.Duration) {
 	s.hub.Latency = fn
 }
 
+// FaultSpec models an impaired link for fault-injection tests: extra
+// latency, uniform jitter on top, a probabilistic drop rate, and a
+// hard partition until a deadline. Jitter never reorders a directed
+// pair's stream — delivery stays TCP-like FIFO.
+type FaultSpec = simnet.FaultSpec
+
+// SetLinkFault installs a fault model on the (undirected) link between
+// two members, applying in both directions. Draws come from a seeded
+// deterministic RNG (SetFaultSeed), so failing tests replay exactly.
+func (s *SimNet) SetLinkFault(a, b NodeID, spec FaultSpec) {
+	s.hub.SetLinkFault(a, b, spec)
+}
+
+// ClearLinkFault removes a link's fault model.
+func (s *SimNet) ClearLinkFault(a, b NodeID) { s.hub.ClearLinkFault(a, b) }
+
+// SetFaultSeed seeds the fault-injection RNG (default 1).
+func (s *SimNet) SetFaultSeed(seed int64) { s.hub.SetFaultSeed(seed) }
+
 // Close tears the network down, detaching every node of every session.
 func (s *SimNet) Close() { s.hub.Close() }
 

@@ -29,6 +29,14 @@ type sessionDialer interface {
 	dialSession(sid SessionID, self NodeID, recv func(*Message), onError func(error)) (Link, error)
 }
 
+// peerAdder is an optional Link extension for address-based fabrics:
+// members admitted by a roster update mid-session are registered so
+// outbound traffic can reach them. SimNet links route by node ID and
+// need no registration.
+type peerAdder interface {
+	AddPeer(id NodeID, addr string) error
+}
+
 // Link is one attached node's handle on the transport.
 type Link interface {
 	// Send transmits one protocol message to a group member.
@@ -85,6 +93,9 @@ type tcpLink struct {
 func (l tcpLink) Send(to NodeID, m *Message) error { return l.mesh.SendSession(l.sid, to, m) }
 func (l tcpLink) Addr() string                     { return l.mesh.Addr() }
 func (l tcpLink) Close() error                     { return l.mesh.Close() }
+func (l tcpLink) AddPeer(id NodeID, addr string) error {
+	return l.mesh.AddPeer(l.sid, id, addr)
+}
 
 // meshSessionLink is one Host session's handle on the shared mesh:
 // Close unbinds only this session, leaving the listener (and the other
@@ -97,3 +108,6 @@ type meshSessionLink struct {
 func (l meshSessionLink) Send(to NodeID, m *Message) error { return l.mesh.SendSession(l.sid, to, m) }
 func (l meshSessionLink) Addr() string                     { return l.mesh.Addr() }
 func (l meshSessionLink) Close() error                     { l.mesh.Unbind(l.sid); return nil }
+func (l meshSessionLink) AddPeer(id NodeID, addr string) error {
+	return l.mesh.AddPeer(l.sid, id, addr)
+}

@@ -48,6 +48,12 @@ type (
 	BeaconStore = beacon.Store
 	// BeaconFileStore is the append-only durable beacon store.
 	BeaconFileStore = beacon.FileStore
+	// RosterUpdate is one certified membership transition: admissions
+	// and removals hash-chained to the previous roster version and
+	// signed by every server.
+	RosterUpdate = group.RosterUpdate
+	// RosterMember is one admitted member inside a RosterUpdate.
+	RosterMember = group.RosterMember
 )
 
 // SessionID identifies one session — one group running on a process.
@@ -89,6 +95,16 @@ const (
 	// EventEpochRotated fires when a node re-derives the slot
 	// permutation from the randomness beacon at an epoch boundary.
 	EventEpochRotated = core.EventEpochRotated
+	// EventMemberJoined fires when a certified roster update admits a
+	// member (new joiner or re-admitted expellee); Event.Culprit carries
+	// the member's ID.
+	EventMemberJoined = core.EventMemberJoined
+	// EventMemberExpelled fires when a member is expelled — by blame
+	// verdict or certified removal; Event.Culprit carries its ID.
+	EventMemberExpelled = core.EventMemberExpelled
+	// EventRosterChanged fires when a certified roster update is
+	// applied; Event.Detail carries the new version.
+	EventRosterChanged = core.EventRosterChanged
 )
 
 // DefaultPolicy returns the policy used in the paper's evaluation.
