@@ -9,6 +9,14 @@
 // Experiments: window-policy (the §5.1 table), fig6, fig7, fig8, fig9,
 // fig10, fig11, all. Output is plain text: one series per block,
 // "x y ..." rows suitable for gnuplot.
+//
+// The additional "perf" experiment measures the DC-net data-plane hot
+// paths (parallel pad expansion, streaming combine critical path,
+// zero-allocation client submit, slot codec) and, with -json FILE,
+// writes a machine-readable report — the repository's BENCH_*.json
+// perf trajectory is recorded this way:
+//
+//	dissent-bench -exp perf -json BENCH_seed.json
 package main
 
 import (
@@ -26,11 +34,16 @@ import (
 var clientsOverride []int
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: window-policy|fig6|fig7|fig8|fig9|fig10|fig11|all")
+	exp := flag.String("exp", "all", "experiment: window-policy|fig6|fig7|fig8|fig9|fig10|fig11|perf|all")
 	quick := flag.Bool("quick", false, "scaled-down configurations")
 	clients := flag.String("clients", "", "comma-separated client counts overriding fig7's sweep")
+	jsonOut := flag.String("json", "", "with -exp perf: write the JSON perf report to this file")
 	flag.Parse()
 	log.SetFlags(0)
+	if *exp == "perf" {
+		runPerf(*quick, *jsonOut)
+		return
+	}
 	if *clients != "" {
 		for _, part := range strings.Split(*clients, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -64,6 +77,30 @@ func main() {
 		os.Exit(2)
 	}
 	fn(*quick)
+}
+
+func runPerf(quick bool, jsonOut string) {
+	fmt.Println("# data-plane perf suite (pad expansion, streaming combine, submit path)")
+	rep := bench.PerfSuite(quick)
+	fmt.Printf("go %s %s/%s GOMAXPROCS=%d\n", rep.GoVersion, rep.GOOS, rep.GOARCH, rep.GOMAXPROCS)
+	fmt.Printf("%-44s %-14s %-12s %-10s %s\n", "benchmark", "ns/op", "MB/s", "allocs/op", "B/op")
+	for _, r := range rep.Results {
+		mbs := "-"
+		if r.MBPerSec > 0 {
+			mbs = fmt.Sprintf("%.1f", r.MBPerSec)
+		}
+		fmt.Printf("%-44s %-14.0f %-12s %-10d %d\n", r.Name, r.NsPerOp, mbs, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if jsonOut != "" {
+		b, err := rep.WriteJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", jsonOut)
+	}
 }
 
 func fig6Config(quick bool) bench.Fig6Config {

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+)
+
+// PerfResult is one data-plane microbenchmark measurement, serialized
+// into the repository's BENCH_*.json perf trajectory.
+type PerfResult struct {
+	// Name identifies the benchmark (e.g. "server-pad/1024clients/4workers").
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerSec is payload throughput, when the benchmark moves bytes.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// AllocsPerOp / BytesPerOp are steady-state allocation counts.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// PerfReport is the JSON document cmd/dissent-bench -exp perf emits:
+// the measured data-plane hot paths plus enough environment to compare
+// runs across machines and PRs.
+type PerfReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Results    []PerfResult `json:"results"`
+}
+
+// perfCase is one benchmark to run.
+type perfCase struct {
+	name  string
+	bytes int64
+	fn    func(b *testing.B)
+}
+
+// PerfSuite measures the DC-net data plane's hot paths: serial vs
+// parallel server pad expansion across worker counts and client
+// counts, the streaming round critical path, the steady-state client
+// submit path, and the slot codec. quick shrinks the sweep for CI
+// smoke runs.
+func PerfSuite(quick bool) PerfReport {
+	const roundLen = 1024
+	clientCounts := []int{128, 1024}
+	workerCounts := []int{1, 2, 4, 8}
+	if quick {
+		clientCounts = []int{128}
+		workerCounts = []int{1}
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			workerCounts = append(workerCounts, w)
+		}
+	}
+
+	var cases []perfCase
+	for _, clients := range clientCounts {
+		seeds := perfSeeds(clients)
+		moved := int64(clients) * roundLen
+		cases = append(cases, perfCase{
+			name:  fmt.Sprintf("server-pad-serial/%dclients", clients),
+			bytes: moved,
+			fn: func(b *testing.B) {
+				pad := dcnet.NewPad(crypto.NewAESPRNG)
+				dst := make([]byte, roundLen)
+				b.SetBytes(moved)
+				for i := 0; i < b.N; i++ {
+					clear(dst)
+					pad.ServerPadInto(dst, seeds, uint64(i))
+				}
+			},
+		})
+		for _, workers := range workerCounts {
+			workers := workers
+			cases = append(cases, perfCase{
+				name:  fmt.Sprintf("server-pad-parallel/%dclients/%dworkers", clients, workers),
+				bytes: moved,
+				fn: func(b *testing.B) {
+					pp := dcnet.NewParallelPad(crypto.NewAESPRNG, workers)
+					dst := make([]byte, roundLen)
+					b.SetBytes(moved)
+					for i := 0; i < b.N; i++ {
+						clear(dst)
+						pp.ServerPadInto(dst, seeds, uint64(i))
+					}
+				},
+			})
+		}
+	}
+
+	cases = append(cases,
+		perfCase{
+			name: "round-critical-path/stream/1024clients",
+			fn:   benchCriticalPathStream,
+		},
+		perfCase{
+			name: "round-critical-path/batch/1024clients",
+			fn:   benchCriticalPathBatch,
+		},
+		perfCase{
+			name: "client-submit-steady-state/16servers",
+			fn:   benchClientSubmit,
+		},
+		perfCase{
+			name: "slot-encode/1KiB",
+			fn:   benchSlotEncode,
+		},
+	)
+
+	rep := PerfReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		res := PerfResult{
+			Name:        c.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if c.bytes > 0 && r.NsPerOp() > 0 {
+			res.MBPerSec = float64(c.bytes) / float64(r.NsPerOp()) * 1e3 / 1.048576
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// WriteJSON renders the report with stable indentation.
+func (r PerfReport) WriteJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func perfSeeds(n int) [][]byte {
+	seeds := make([][]byte, n)
+	for i := range seeds {
+		seeds[i] = crypto.Hash("perf-seed", crypto.HashUint64(uint64(i)))
+	}
+	return seeds
+}
+
+const perfRoundLen = 1024
+
+func benchCriticalPathStream(b *testing.B) {
+	const clients = 1024
+	seeds := perfSeeds(clients)
+	// Staged off the critical path, as the engine does during the
+	// window: full pad prefetch + streaming ciphertext accumulator.
+	pp := dcnet.NewParallelPad(crypto.NewAESPRNG, 0)
+	prefetch := make([]byte, perfRoundLen)
+	pp.ServerPadInto(prefetch, seeds, 1)
+	acc := make([]byte, perfRoundLen)
+	crypto.NewFastPRNG(crypto.Hash("acc", nil)).Read(acc)
+	shares := perfShares(4)
+	work := make([]byte, perfRoundLen)
+	out := make([]byte, perfRoundLen)
+	b.SetBytes(int64(clients) * perfRoundLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, prefetch)
+		crypto.XORBytes(work, acc)
+		clear(out)
+		crypto.XORBytes(out, work)
+		for _, s := range shares {
+			crypto.XORBytes(out, s)
+		}
+	}
+}
+
+func benchCriticalPathBatch(b *testing.B) {
+	const clients = 1024
+	seeds := perfSeeds(clients)
+	pad := dcnet.NewPad(crypto.NewAESPRNG)
+	cts := make([][]byte, clients)
+	for i := range cts {
+		cts[i] = make([]byte, perfRoundLen)
+		crypto.NewFastPRNG(crypto.HashUint64(uint64(i))).Read(cts[i])
+	}
+	shares := perfShares(4)
+	out := make([]byte, perfRoundLen)
+	b.SetBytes(int64(clients) * perfRoundLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		share := pad.ServerPad(seeds, uint64(i), perfRoundLen)
+		for _, ct := range cts {
+			crypto.XORBytes(share, ct)
+		}
+		clear(out)
+		crypto.XORBytes(out, share)
+		for _, s := range shares {
+			crypto.XORBytes(out, s)
+		}
+	}
+}
+
+func benchClientSubmit(b *testing.B) {
+	const servers, slotLen, vecLen = 16, 1024, 4096
+	seeds := perfSeeds(servers)
+	pad := dcnet.NewPad(crypto.NewAESPRNG)
+	vec := make([]byte, vecLen)
+	ct := make([]byte, vecLen)
+	payload := dcnet.SlotPayload{NextLen: slotLen, Data: make([]byte, slotLen-dcnet.MinSlotLen)}
+	rnd := crypto.NewFastPRNG(crypto.Hash("perf-rnd", nil))
+	b.SetBytes(vecLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ps := pad.Prepare(seeds, uint64(i)) // idle-window prefetch
+		b.StartTimer()
+		if err := dcnet.EncodeSlot(vec[:slotLen], payload, rnd); err != nil {
+			b.Fatal(err)
+		}
+		ps.CiphertextInto(ct, vec)
+	}
+}
+
+func benchSlotEncode(b *testing.B) {
+	buf := make([]byte, perfRoundLen)
+	payload := dcnet.SlotPayload{NextLen: perfRoundLen, Data: make([]byte, perfRoundLen-dcnet.MinSlotLen)}
+	rnd := crypto.NewFastPRNG(crypto.Hash("perf-rnd", nil))
+	b.SetBytes(perfRoundLen)
+	for i := 0; i < b.N; i++ {
+		if err := dcnet.EncodeSlot(buf, payload, rnd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func perfShares(m int) [][]byte {
+	shares := make([][]byte, m)
+	for j := range shares {
+		shares[j] = make([]byte, perfRoundLen)
+		crypto.NewFastPRNG(crypto.HashUint64(uint64(5000 + j))).Read(shares[j])
+	}
+	return shares
+}

@@ -183,6 +183,11 @@ func BuildSession(cfg SessionConfig) (*Session, error) {
 			return crypto.Hash("bench-pair", crypto.HashUint64(uint64(cfg.Seed)),
 				crypto.HashUint64(uint64(ci)), crypto.HashUint64(uint64(si)))
 		},
+		// Background prefetch would move pad work outside the engine
+		// calls whose real execution time MeasureCompute charges as
+		// virtual time; keep the simulator's cost accounting
+		// well-defined by expanding pads on-call.
+		NoPadPrefetch: true,
 	}
 
 	s := &Session{

@@ -25,11 +25,11 @@ const blameWindowFactor = 4
 // accusationBytes renders an accusation for embedding.
 func accusationBytes(round uint64, slot, bit int, sig []byte) []byte {
 	var e encBuf
-	e.u64(round)
-	e.u32(uint32(slot))
-	e.u32(uint32(bit))
-	e.b = append(e.b, sig...)
-	return e.b
+	e.U64(round)
+	e.U32(uint32(slot))
+	e.U32(uint32(bit))
+	e.B = append(e.B, sig...)
+	return e.B
 }
 
 // accusationDigest is what the pseudonym key signs.
@@ -45,11 +45,11 @@ func parseAccusation(keyGrp crypto.Group, msg []byte) (round uint64, slot, bit i
 	if len(msg) != want {
 		return 0, 0, 0, nil, false
 	}
-	d := decBuf{msg}
-	r, _ := d.u64()
-	sl, _ := d.u32()
-	b, _ := d.u32()
-	return r, int(sl), int(b), d.b, true
+	d := decBuf{B: msg}
+	r, _ := d.U64()
+	sl, _ := d.U32()
+	b, _ := d.U32()
+	return r, int(sl), int(b), d.B, true
 }
 
 // serverMsgKeys returns the servers' message-shuffle public keys.

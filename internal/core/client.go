@@ -44,10 +44,21 @@ type Client struct {
 
 	round         uint64 // next round to submit
 	outbox        [][]byte
-	lastVec       []byte // message vector submitted for `round` (resend on failure)
-	sentSlot      []byte // our encoded slot region this round (nil if closed)
+	lastVec       []byte // message vector submitted for `round` (resend on failure); pooled
+	sentSlot      []byte // our encoded slot region this round (nil if closed); aliases sentBuf
+	sentBuf       []byte // reusable backing for sentSlot
 	reqPending    bool   // we have an unserved slot request in flight
 	awaitingBlame bool
+
+	// Data-plane hot path: nextStreams holds the (pair, round) streams
+	// prepared during the previous round's idle window — pairwise seeds
+	// are round-independent, so round r+1's AES key schedules can be
+	// built the moment round r is submitted, leaving the submit path
+	// itself allocation-free. bufs recycles message vectors and
+	// ciphertext buffers; perf records pad timings for Metrics.
+	nextStreams *dcnet.PadStreams
+	bufs        bufPool
+	perf        perfCounters
 
 	// Membership churn state (see roster.go).
 	expelled        bool   // expelled by verdict or certified removal; not submitting
@@ -256,8 +267,13 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 
 // composeVector lays out this round's message vector (Algorithm 1
 // step 2) and records what we transmitted for disruption detection.
+// The vector comes from the buffer pool; the previous round's vector
+// (no longer needed once a new one is composed — its round certified)
+// is recycled here.
 func (c *Client) composeVector() ([]byte, error) {
-	vec := make([]byte, c.sched.Len())
+	c.bufs.put(c.lastVec)
+	c.lastVec = nil
+	vec := c.bufs.get(c.sched.Len())
 	slotLen := c.sched.SlotLen(c.mySlot)
 	c.sentSlot = nil
 	if slotLen == 0 {
@@ -314,7 +330,8 @@ func (c *Client) composeVector() ([]byte, error) {
 	if err := dcnet.EncodeSlot(vec[off:off+n], payload, c.rand); err != nil {
 		return nil, err
 	}
-	c.sentSlot = append([]byte(nil), vec[off:off+n]...)
+	c.sentBuf = append(c.sentBuf[:0], vec[off:off+n]...)
+	c.sentSlot = c.sentBuf
 	return vec, nil
 }
 
@@ -329,14 +346,39 @@ func (c *Client) submitRound(now time.Time) (*Output, error) {
 }
 
 func (c *Client) submitVector(now time.Time, vec []byte) (*Output, error) {
-	ct := c.pad.ClientCiphertext(c.serverSeeds, c.round, vec)
+	// Build the ciphertext into a pooled buffer, using the streams
+	// prepared during the previous idle window when they match this
+	// round (pairwise seeds never change with the roster, so a round
+	// match is the only freshness condition). Encode copies the bytes,
+	// so the buffer recycles immediately.
+	ct := c.bufs.get(len(vec))
+	ps := c.nextStreams
+	c.nextStreams = nil
+	t0 := time.Now()
+	if ps != nil && ps.Round() == c.round {
+		ps.CiphertextInto(ct, vec)
+		c.perf.prefetchHits.Add(1)
+	} else {
+		c.pad.ClientCiphertextInto(ct, c.serverSeeds, c.round, vec)
+		c.perf.prefetchMisses.Add(1)
+	}
+	c.perf.addPad(time.Since(t0))
 	body := (&ClientSubmit{CT: ct}).Encode()
+	c.bufs.put(ct)
 	m, err := c.sign(MsgClientSubmit, c.round, body)
 	if err != nil {
 		return nil, err
 	}
+	// Idle-window prefetch: the round output we now wait for will move
+	// us to round+1; build those streams while the network is the
+	// bottleneck.
+	c.nextStreams = c.pad.Prepare(c.serverSeeds, c.round+1)
 	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
 }
+
+// PerfStats returns the client's data-plane timing counters. Safe to
+// call concurrently with engine progress.
+func (c *Client) PerfStats() PerfStats { return c.perf.snapshot() }
 
 func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 	if !c.ready || m.Round != c.round {

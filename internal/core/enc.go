@@ -10,129 +10,17 @@
 package core
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
+	"dissent/internal/wire"
 )
 
 // errTruncated reports a wire payload that ended early.
-var errTruncated = errors.New("core: truncated message")
+var errTruncated = wire.ErrTruncated
 
-// encBuf is a tiny append-only binary writer: all protocol payloads
-// are encoded with length-prefixed fields so signatures cover a
-// canonical byte string.
-type encBuf struct {
-	b []byte
-}
-
-func (e *encBuf) u8(v byte)    { e.b = append(e.b, v) }
-func (e *encBuf) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
-func (e *encBuf) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
-
-func (e *encBuf) bytes(v []byte) {
-	e.u32(uint32(len(v)))
-	e.b = append(e.b, v...)
-}
-
-func (e *encBuf) byteSlices(v [][]byte) {
-	e.u32(uint32(len(v)))
-	for _, s := range v {
-		e.bytes(s)
-	}
-}
-
-func (e *encBuf) ints(v []int32) {
-	e.u32(uint32(len(v)))
-	for _, s := range v {
-		e.u32(uint32(s))
-	}
-}
-
-// decBuf is the matching reader.
-type decBuf struct {
-	b []byte
-}
-
-func (d *decBuf) u8() (byte, error) {
-	if len(d.b) < 1 {
-		return 0, errTruncated
-	}
-	v := d.b[0]
-	d.b = d.b[1:]
-	return v, nil
-}
-
-func (d *decBuf) u32() (uint32, error) {
-	if len(d.b) < 4 {
-		return 0, errTruncated
-	}
-	v := binary.BigEndian.Uint32(d.b)
-	d.b = d.b[4:]
-	return v, nil
-}
-
-func (d *decBuf) u64() (uint64, error) {
-	if len(d.b) < 8 {
-		return 0, errTruncated
-	}
-	v := binary.BigEndian.Uint64(d.b)
-	d.b = d.b[8:]
-	return v, nil
-}
-
-func (d *decBuf) bytes() ([]byte, error) {
-	n, err := d.u32()
-	if err != nil {
-		return nil, err
-	}
-	if uint32(len(d.b)) < n {
-		return nil, errTruncated
-	}
-	v := d.b[:n:n]
-	d.b = d.b[n:]
-	return v, nil
-}
-
-func (d *decBuf) byteSlices() ([][]byte, error) {
-	n, err := d.u32()
-	if err != nil {
-		return nil, err
-	}
-	if uint64(n) > uint64(len(d.b)) { // each element needs >= 4 bytes of length
-		return nil, errTruncated
-	}
-	out := make([][]byte, n)
-	for i := range out {
-		out[i], err = d.bytes()
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-func (d *decBuf) ints() ([]int32, error) {
-	n, err := d.u32()
-	if err != nil {
-		return nil, err
-	}
-	if uint64(n)*4 > uint64(len(d.b)) {
-		return nil, errTruncated
-	}
-	out := make([]int32, n)
-	for i := range out {
-		v, err := d.u32()
-		if err != nil {
-			return nil, err
-		}
-		out[i] = int32(v)
-	}
-	return out, nil
-}
-
-func (d *decBuf) done() error {
-	if len(d.b) != 0 {
-		return fmt.Errorf("core: %d trailing bytes", len(d.b))
-	}
-	return nil
-}
+// encBuf and decBuf are the shared bounds-checked wire codec
+// (internal/wire), which both core's protocol payloads and group's
+// roster updates encode with: length-prefixed fields so signatures
+// cover a canonical byte string.
+type (
+	encBuf = wire.Writer
+	decBuf = wire.Reader
+)

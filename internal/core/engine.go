@@ -258,6 +258,15 @@ type Options struct {
 	// BeaconStore backs the node's beacon chain (nil = in-memory).
 	// cmd/dissentd passes a beacon.FileStore for durable chains.
 	BeaconStore beacon.Store
+	// PadWorkers bounds the DC-net pad expansion worker pool at servers
+	// (0 = GOMAXPROCS). Each worker expands a shard of the per-client
+	// streams into a private lane; see dcnet.ParallelPad.
+	PadWorkers int
+	// NoPadPrefetch disables the servers' background pad expansion
+	// during the submission window. The benchmark harness sets it so
+	// its calibrated per-call compute accounting stays well-defined;
+	// production deployments leave it off.
+	NoPadPrefetch bool
 }
 
 // sign builds a Message, signing it when the policy requires.

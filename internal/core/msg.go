@@ -126,12 +126,12 @@ type Message struct {
 // signedBytes is the byte string a message signature covers.
 func signedBytes(groupID [32]byte, m *Message) []byte {
 	var e encBuf
-	e.b = append(e.b, groupID[:]...)
-	e.u8(byte(m.Type))
-	e.u64(m.Round)
-	e.b = append(e.b, m.From[:]...)
-	e.bytes(m.Body)
-	return e.b
+	e.B = append(e.B, groupID[:]...)
+	e.U8(byte(m.Type))
+	e.U64(m.Round)
+	e.B = append(e.B, m.From[:]...)
+	e.Bytes(m.Body)
+	return e.B
 }
 
 // WireSize returns the message's approximate on-the-wire size in
@@ -151,40 +151,40 @@ func (m *Message) WireSize() int {
 // for inclusion as evidence in tracing.
 func EncodeMessage(m *Message) []byte {
 	var e encBuf
-	e.u8(byte(m.Type))
-	e.u64(m.Round)
-	e.b = append(e.b, m.From[:]...)
-	e.bytes(m.Body)
-	e.bytes(m.Sig)
-	return e.b
+	e.U8(byte(m.Type))
+	e.U64(m.Round)
+	e.B = append(e.B, m.From[:]...)
+	e.Bytes(m.Body)
+	e.Bytes(m.Sig)
+	return e.B
 }
 
 // DecodeMessage parses a message serialized by EncodeMessage.
 func DecodeMessage(data []byte) (*Message, error) {
-	d := decBuf{data}
-	t, err := d.u8()
+	d := decBuf{B: data}
+	t, err := d.U8()
 	if err != nil {
 		return nil, err
 	}
-	round, err := d.u64()
+	round, err := d.U64()
 	if err != nil {
 		return nil, err
 	}
-	if len(d.b) < 8 {
+	if len(d.B) < 8 {
 		return nil, errTruncated
 	}
 	var from group.NodeID
-	copy(from[:], d.b[:8])
-	d.b = d.b[8:]
-	body, err := d.bytes()
+	copy(from[:], d.B[:8])
+	d.B = d.B[8:]
+	body, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	sig, err := d.bytes()
+	sig, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	m := &Message{From: from, Type: MsgType(t), Round: round, Body: body}
@@ -204,18 +204,18 @@ type PseudonymSubmit struct {
 // Encode serializes the payload.
 func (p *PseudonymSubmit) Encode() []byte {
 	var e encBuf
-	e.bytes(p.CT)
-	return e.b
+	e.Bytes(p.CT)
+	return e.B
 }
 
 // DecodePseudonymSubmit parses a PseudonymSubmit payload.
 func DecodePseudonymSubmit(b []byte) (*PseudonymSubmit, error) {
-	d := decBuf{b}
-	ct, err := d.bytes()
+	d := decBuf{B: b}
+	ct, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &PseudonymSubmit{CT: ct}, nil
@@ -231,26 +231,26 @@ type PseudonymList struct {
 // Encode serializes the payload.
 func (p *PseudonymList) Encode() []byte {
 	var e encBuf
-	e.ints(p.Clients)
-	e.byteSlices(p.CTs)
-	return e.b
+	e.Int32s(p.Clients)
+	e.ByteSlices(p.CTs)
+	return e.B
 }
 
 // DecodePseudonymList parses a PseudonymList payload.
 func DecodePseudonymList(b []byte) (*PseudonymList, error) {
-	d := decBuf{b}
-	cs, err := d.ints()
+	d := decBuf{B: b}
+	cs, err := d.Int32s()
 	if err != nil {
 		return nil, err
 	}
-	cts, err := d.byteSlices()
+	cts, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
 	if len(cs) != len(cts) {
 		return nil, fmt.Errorf("core: pseudonym list shape mismatch")
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &PseudonymList{Clients: cs, CTs: cts}, nil
@@ -268,28 +268,28 @@ type ShuffleStep struct {
 // Encode serializes the payload.
 func (p *ShuffleStep) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.u32(uint32(p.Stage))
-	e.bytes(p.Data)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.U32(uint32(p.Stage))
+	e.Bytes(p.Data)
+	return e.B
 }
 
 // DecodeShuffleStep parses a ShuffleStep payload.
 func DecodeShuffleStep(b []byte) (*ShuffleStep, error) {
-	d := decBuf{b}
-	session, err := d.u32()
+	d := decBuf{B: b}
+	session, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	stage, err := d.u32()
+	stage, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	data, err := d.bytes()
+	data, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &ShuffleStep{Session: int32(session), Stage: int32(stage), Data: data}, nil
@@ -305,23 +305,23 @@ type Schedule struct {
 // Encode serializes the payload.
 func (p *Schedule) Encode() []byte {
 	var e encBuf
-	e.byteSlices(p.Keys)
-	e.byteSlices(p.Sigs)
-	return e.b
+	e.ByteSlices(p.Keys)
+	e.ByteSlices(p.Sigs)
+	return e.B
 }
 
 // DecodeSchedule parses a Schedule payload.
 func DecodeSchedule(b []byte) (*Schedule, error) {
-	d := decBuf{b}
-	keys, err := d.byteSlices()
+	d := decBuf{B: b}
+	keys, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
-	sigs, err := d.byteSlices()
+	sigs, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &Schedule{Keys: keys, Sigs: sigs}, nil
@@ -331,9 +331,9 @@ func DecodeSchedule(b []byte) (*Schedule, error) {
 // schedule.
 func scheduleSignedBytes(groupID [32]byte, keys [][]byte) []byte {
 	var e encBuf
-	e.b = append(e.b, groupID[:]...)
-	e.byteSlices(keys)
-	return crypto.Hash("dissent/schedule-cert", e.b)
+	e.B = append(e.B, groupID[:]...)
+	e.ByteSlices(keys)
+	return crypto.Hash("dissent/schedule-cert", e.B)
 }
 
 // scheduleCertDigest condenses a complete schedule certificate — the
@@ -343,10 +343,10 @@ func scheduleSignedBytes(groupID [32]byte, keys [][]byte) []byte {
 // certified schedule and nothing else).
 func scheduleCertDigest(groupID [32]byte, keys, sigs [][]byte) [32]byte {
 	var e encBuf
-	e.b = append(e.b, scheduleSignedBytes(groupID, keys)...)
-	e.byteSlices(sigs)
+	e.B = append(e.B, scheduleSignedBytes(groupID, keys)...)
+	e.ByteSlices(sigs)
 	var d [32]byte
-	copy(d[:], crypto.Hash("dissent/schedule-cert-digest", e.b))
+	copy(d[:], crypto.Hash("dissent/schedule-cert-digest", e.B))
 	return d
 }
 
@@ -385,18 +385,18 @@ type ClientSubmit struct {
 // Encode serializes the payload.
 func (p *ClientSubmit) Encode() []byte {
 	var e encBuf
-	e.bytes(p.CT)
-	return e.b
+	e.Bytes(p.CT)
+	return e.B
 }
 
 // DecodeClientSubmit parses a ClientSubmit payload.
 func DecodeClientSubmit(b []byte) (*ClientSubmit, error) {
-	d := decBuf{b}
-	ct, err := d.bytes()
+	d := decBuf{B: b}
+	ct, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &ClientSubmit{CT: ct}, nil
@@ -412,23 +412,23 @@ type Inventory struct {
 // Encode serializes the payload.
 func (p *Inventory) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Attempt))
-	e.ints(p.Clients)
-	return e.b
+	e.U32(uint32(p.Attempt))
+	e.Int32s(p.Clients)
+	return e.B
 }
 
 // DecodeInventory parses an Inventory payload.
 func DecodeInventory(b []byte) (*Inventory, error) {
-	d := decBuf{b}
-	at, err := d.u32()
+	d := decBuf{B: b}
+	at, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	cs, err := d.ints()
+	cs, err := d.Int32s()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &Inventory{Attempt: int32(at), Clients: cs}, nil
@@ -448,28 +448,28 @@ type Commit struct {
 // Encode serializes the payload.
 func (p *Commit) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Attempt))
-	e.bytes(p.Hash)
-	e.bytes(p.BeaconCommit)
-	return e.b
+	e.U32(uint32(p.Attempt))
+	e.Bytes(p.Hash)
+	e.Bytes(p.BeaconCommit)
+	return e.B
 }
 
 // DecodeCommit parses a Commit payload.
 func DecodeCommit(b []byte) (*Commit, error) {
-	d := decBuf{b}
-	at, err := d.u32()
+	d := decBuf{B: b}
+	at, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	h, err := d.bytes()
+	h, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	bc, err := d.bytes()
+	bc, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &Commit{Attempt: int32(at), Hash: h, BeaconCommit: bc}, nil
@@ -488,28 +488,28 @@ type Share struct {
 // Encode serializes the payload.
 func (p *Share) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Attempt))
-	e.bytes(p.CT)
-	e.bytes(p.BeaconShare)
-	return e.b
+	e.U32(uint32(p.Attempt))
+	e.Bytes(p.CT)
+	e.Bytes(p.BeaconShare)
+	return e.B
 }
 
 // DecodeShare parses a Share payload.
 func DecodeShare(b []byte) (*Share, error) {
-	d := decBuf{b}
-	at, err := d.u32()
+	d := decBuf{B: b}
+	at, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	ct, err := d.bytes()
+	ct, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	bs, err := d.bytes()
+	bs, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &Share{Attempt: int32(at), CT: ct, BeaconShare: bs}, nil
@@ -524,23 +524,23 @@ type Certify struct {
 // Encode serializes the payload.
 func (p *Certify) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Attempt))
-	e.bytes(p.Sig)
-	return e.b
+	e.U32(uint32(p.Attempt))
+	e.Bytes(p.Sig)
+	return e.B
 }
 
 // DecodeCertify parses a Certify payload.
 func DecodeCertify(b []byte) (*Certify, error) {
-	d := decBuf{b}
-	at, err := d.u32()
+	d := decBuf{B: b}
+	at, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	sig, err := d.bytes()
+	sig, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &Certify{Attempt: int32(at), Sig: sig}, nil
@@ -553,12 +553,12 @@ func DecodeCertify(b []byte) (*Certify, error) {
 // its randomness.
 func cleartextSignedBytes(groupID [32]byte, round uint64, count int, cleartext, beaconValue []byte) []byte {
 	var e encBuf
-	e.b = append(e.b, groupID[:]...)
-	e.u64(round)
-	e.u32(uint32(count))
-	e.bytes(cleartext)
-	e.bytes(beaconValue)
-	return crypto.Hash("dissent/cleartext-cert", e.b)
+	e.B = append(e.B, groupID[:]...)
+	e.U64(round)
+	e.U32(uint32(count))
+	e.Bytes(cleartext)
+	e.Bytes(beaconValue)
+	return crypto.Hash("dissent/cleartext-cert", e.B)
 }
 
 // RoundOutput carries the certified round result to clients. Failed
@@ -578,42 +578,42 @@ type RoundOutput struct {
 // Encode serializes the payload.
 func (p *RoundOutput) Encode() []byte {
 	var e encBuf
-	e.bytes(p.Cleartext)
-	e.byteSlices(p.Sigs)
-	e.u32(uint32(p.Count))
+	e.Bytes(p.Cleartext)
+	e.ByteSlices(p.Sigs)
+	e.U32(uint32(p.Count))
 	if p.Failed {
-		e.u8(1)
+		e.U8(1)
 	} else {
-		e.u8(0)
+		e.U8(0)
 	}
-	e.byteSlices(p.Beacon)
-	return e.b
+	e.ByteSlices(p.Beacon)
+	return e.B
 }
 
 // DecodeRoundOutput parses a RoundOutput payload.
 func DecodeRoundOutput(b []byte) (*RoundOutput, error) {
-	d := decBuf{b}
-	ct, err := d.bytes()
+	d := decBuf{B: b}
+	ct, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	sigs, err := d.byteSlices()
+	sigs, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
-	count, err := d.u32()
+	count, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	failed, err := d.u8()
+	failed, err := d.U8()
 	if err != nil {
 		return nil, err
 	}
-	bc, err := d.byteSlices()
+	bc, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &RoundOutput{Cleartext: ct, Sigs: sigs, Count: int32(count), Failed: failed != 0, Beacon: bc}, nil
@@ -627,18 +627,18 @@ type BlameStart struct {
 // Encode serializes the payload.
 func (p *BlameStart) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	return e.b
+	e.U32(uint32(p.Session))
+	return e.B
 }
 
 // DecodeBlameStart parses a BlameStart payload.
 func DecodeBlameStart(b []byte) (*BlameStart, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &BlameStart{Session: int32(s)}, nil
@@ -654,23 +654,23 @@ type BlameSubmit struct {
 // Encode serializes the payload.
 func (p *BlameSubmit) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.bytes(p.CT)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.Bytes(p.CT)
+	return e.B
 }
 
 // DecodeBlameSubmit parses a BlameSubmit payload.
 func DecodeBlameSubmit(b []byte) (*BlameSubmit, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	ct, err := d.bytes()
+	ct, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &BlameSubmit{Session: int32(s), CT: ct}, nil
@@ -686,31 +686,31 @@ type BlameList struct {
 // Encode serializes the payload.
 func (p *BlameList) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.ints(p.Clients)
-	e.byteSlices(p.CTs)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.Int32s(p.Clients)
+	e.ByteSlices(p.CTs)
+	return e.B
 }
 
 // DecodeBlameList parses a BlameList payload.
 func DecodeBlameList(b []byte) (*BlameList, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	cs, err := d.ints()
+	cs, err := d.Int32s()
 	if err != nil {
 		return nil, err
 	}
-	cts, err := d.byteSlices()
+	cts, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
 	if len(cs) != len(cts) {
 		return nil, fmt.Errorf("core: blame list shape mismatch")
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &BlameList{Session: int32(s), Clients: cs, CTs: cts}, nil
@@ -736,43 +736,43 @@ type TraceBits struct {
 // Encode serializes the payload.
 func (p *TraceBits) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.bytes(p.ClientBits)
-	e.u8(p.ServerBit)
-	e.ints(p.Direct)
-	e.bytes(p.DirectBits)
-	e.byteSlices(p.Evidence)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.Bytes(p.ClientBits)
+	e.U8(p.ServerBit)
+	e.Int32s(p.Direct)
+	e.Bytes(p.DirectBits)
+	e.ByteSlices(p.Evidence)
+	return e.B
 }
 
 // DecodeTraceBits parses a TraceBits payload.
 func DecodeTraceBits(b []byte) (*TraceBits, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	cb, err := d.bytes()
+	cb, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	sb, err := d.u8()
+	sb, err := d.U8()
 	if err != nil {
 		return nil, err
 	}
-	direct, err := d.ints()
+	direct, err := d.Int32s()
 	if err != nil {
 		return nil, err
 	}
-	db, err := d.bytes()
+	db, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	ev, err := d.byteSlices()
+	ev, err := d.ByteSlices()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &TraceBits{Session: int32(s), ClientBits: cb, ServerBit: sb, Direct: direct, DirectBits: db, Evidence: ev}, nil
@@ -794,33 +794,33 @@ type RebuttalRequest struct {
 // Encode serializes the payload.
 func (p *RebuttalRequest) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.u64(p.AccRound)
-	e.u32(p.AccBit)
-	e.bytes(p.ServerBits)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.U64(p.AccRound)
+	e.U32(p.AccBit)
+	e.Bytes(p.ServerBits)
+	return e.B
 }
 
 // DecodeRebuttalRequest parses a RebuttalRequest payload.
 func DecodeRebuttalRequest(b []byte) (*RebuttalRequest, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	round, err := d.u64()
+	round, err := d.U64()
 	if err != nil {
 		return nil, err
 	}
-	bit, err := d.u32()
+	bit, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	bits, err := d.bytes()
+	bits, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &RebuttalRequest{Session: int32(s), AccRound: round, AccBit: bit, ServerBits: bits}, nil
@@ -840,38 +840,38 @@ type Rebuttal struct {
 // Encode serializes the payload.
 func (p *Rebuttal) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.u32(uint32(p.ServerIdx))
-	e.bytes(p.Secret)
-	e.bytes(p.ProofC)
-	e.bytes(p.ProofZ)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.U32(uint32(p.ServerIdx))
+	e.Bytes(p.Secret)
+	e.Bytes(p.ProofC)
+	e.Bytes(p.ProofZ)
+	return e.B
 }
 
 // DecodeRebuttal parses a Rebuttal payload.
 func DecodeRebuttal(b []byte) (*Rebuttal, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	idx, err := d.u32()
+	idx, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	secret, err := d.bytes()
+	secret, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	pc, err := d.bytes()
+	pc, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	pz, err := d.bytes()
+	pz, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &Rebuttal{Session: int32(s), ServerIdx: int32(idx), Secret: secret, ProofC: pc, ProofZ: pz}, nil
@@ -890,27 +890,27 @@ type BlameDone struct {
 // Encode serializes the payload.
 func (p *BlameDone) Encode() []byte {
 	var e encBuf
-	e.u32(uint32(p.Session))
-	e.u8(p.Verdict)
-	e.b = append(e.b, p.Culprit[:]...)
-	return e.b
+	e.U32(uint32(p.Session))
+	e.U8(p.Verdict)
+	e.B = append(e.B, p.Culprit[:]...)
+	return e.B
 }
 
 // DecodeBlameDone parses a BlameDone payload.
 func DecodeBlameDone(b []byte) (*BlameDone, error) {
-	d := decBuf{b}
-	s, err := d.u32()
+	d := decBuf{B: b}
+	s, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	v, err := d.u8()
+	v, err := d.U8()
 	if err != nil {
 		return nil, err
 	}
-	if len(d.b) != 8 {
+	if len(d.B) != 8 {
 		return nil, errTruncated
 	}
 	var c group.NodeID
-	copy(c[:], d.b)
+	copy(c[:], d.B)
 	return &BlameDone{Session: int32(s), Verdict: v, Culprit: c}, nil
 }

@@ -10,45 +10,45 @@ import (
 
 func TestEncDecPrimitives(t *testing.T) {
 	var e encBuf
-	e.u8(7)
-	e.u32(1 << 30)
-	e.u64(1 << 60)
-	e.bytes([]byte("hello"))
-	e.byteSlices([][]byte{[]byte("a"), nil, []byte("ccc")})
-	e.ints([]int32{3, -1, 99})
+	e.U8(7)
+	e.U32(1 << 30)
+	e.U64(1 << 60)
+	e.Bytes([]byte("hello"))
+	e.ByteSlices([][]byte{[]byte("a"), nil, []byte("ccc")})
+	e.Int32s([]int32{3, -1, 99})
 
-	d := decBuf{e.b}
-	if v, _ := d.u8(); v != 7 {
+	d := decBuf{B: e.B}
+	if v, _ := d.U8(); v != 7 {
 		t.Fatal("u8")
 	}
-	if v, _ := d.u32(); v != 1<<30 {
+	if v, _ := d.U32(); v != 1<<30 {
 		t.Fatal("u32")
 	}
-	if v, _ := d.u64(); v != 1<<60 {
+	if v, _ := d.U64(); v != 1<<60 {
 		t.Fatal("u64")
 	}
-	if v, _ := d.bytes(); string(v) != "hello" {
+	if v, _ := d.Bytes(); string(v) != "hello" {
 		t.Fatal("bytes")
 	}
-	bs, err := d.byteSlices()
+	bs, err := d.ByteSlices()
 	if err != nil || len(bs) != 3 || string(bs[2]) != "ccc" {
 		t.Fatal("byteSlices")
 	}
-	is, err := d.ints()
+	is, err := d.Int32s()
 	if err != nil || len(is) != 3 || is[1] != -1 {
 		t.Fatal("ints")
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDecBufTruncation(t *testing.T) {
 	var e encBuf
-	e.bytes([]byte("payload"))
-	for cut := 0; cut < len(e.b); cut++ {
-		d := decBuf{e.b[:cut]}
-		if v, err := d.bytes(); err == nil && len(v) == 7 {
+	e.Bytes([]byte("payload"))
+	for cut := 0; cut < len(e.B); cut++ {
+		d := decBuf{B: e.B[:cut]}
+		if v, err := d.Bytes(); err == nil && len(v) == 7 {
 			t.Fatalf("truncation at %d yielded full payload", cut)
 		}
 	}
@@ -57,13 +57,13 @@ func TestDecBufTruncation(t *testing.T) {
 func TestDecBufRejectsHugeCounts(t *testing.T) {
 	// A length prefix claiming 2^31 elements must not allocate.
 	var e encBuf
-	e.u32(1 << 31)
-	d := decBuf{e.b}
-	if _, err := d.byteSlices(); err == nil {
+	e.U32(1 << 31)
+	d := decBuf{B: e.B}
+	if _, err := d.ByteSlices(); err == nil {
 		t.Error("huge byteSlices count accepted")
 	}
-	d = decBuf{e.b}
-	if _, err := d.ints(); err == nil {
+	d = decBuf{B: e.B}
+	if _, err := d.Int32s(); err == nil {
 		t.Error("huge ints count accepted")
 	}
 }

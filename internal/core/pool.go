@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bufPool recycles round-vector-sized byte buffers (client message
+// vectors and ciphertexts, server pad accumulators, shares, and
+// cleartexts). Round vectors dominate steady-state allocation — O(L)
+// per client per round, O(N·L) per server per round — and their size is
+// sticky (sched.Len() changes only when slots open/close), so a
+// sync.Pool turns them into near-zero garbage.
+//
+// Ownership rule: a buffer may be put back only by the engine that got
+// it, and only once nothing else aliases it — for buffers recorded in
+// roundHistory that means at history eviction, not at round certify.
+type bufPool struct {
+	p sync.Pool
+}
+
+// get returns a zeroed buffer of length n.
+func (bp *bufPool) get(n int) []byte {
+	if v, ok := bp.p.Get().(*[]byte); ok && cap(*v) >= n {
+		b := (*v)[:n]
+		clear(b)
+		return b
+	}
+	return make([]byte, n)
+}
+
+// put recycles a buffer. nil (or zero-capacity) buffers are ignored so
+// callers can pass optional fields unconditionally.
+func (bp *bufPool) put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp.p.Put(&b)
+}
+
+// padPrefetch is one in-flight background pad expansion at a server:
+// launched when a round's submission window opens, consumed (or
+// discarded) when the window closes. The goroutine writes only buf and
+// then closes done; the engine reads buf only after receiving done, so
+// the handoff is race-free.
+type padPrefetch struct {
+	round   uint64 // round the pad was expanded for
+	version uint64 // roster version at launch (invalidates across churn)
+	clients []int  // client indices covered, ascending
+	buf     []byte // ⊕_i PRNG(K_i, round) over clients, pooled
+	done    chan struct{}
+}
+
+// perfCounters is the lock-free timing record behind PerfStats.
+// Engines run single-threaded, but metrics snapshots come from other
+// goroutines, hence atomics.
+type perfCounters struct {
+	padNanos       atomic.Int64
+	combineNanos   atomic.Int64
+	prefetchHits   atomic.Uint64
+	prefetchMisses atomic.Uint64
+	// accAdjusts counts ciphertexts XORed out of (or into) the share to
+	// reconcile the streaming accumulator with the deduped direct set —
+	// normally zero; nonzero means stragglers or duplicates were
+	// reconciled.
+	accAdjusts atomic.Uint64
+}
+
+func (p *perfCounters) addPad(d time.Duration)     { p.padNanos.Add(int64(d)) }
+func (p *perfCounters) addCombine(d time.Duration) { p.combineNanos.Add(int64(d)) }
+
+// PerfStats is a point-in-time snapshot of an engine's data-plane
+// timings, surfaced per session by the SDK's Metrics.
+type PerfStats struct {
+	// PadCompute is cumulative time spent expanding DC-net pad streams
+	// on the critical path: for servers, the residual pad work at
+	// window close (waiting out an unfinished prefetch included); for
+	// clients, ciphertext construction at submit.
+	PadCompute time.Duration
+	// Combine is cumulative server combine latency: folding client
+	// ciphertexts into the share and assembling the cleartext from the
+	// M shares. Zero for clients.
+	Combine time.Duration
+	// PrefetchHits counts rounds served from a prefetched pad (servers)
+	// or prefetched streams (clients); PrefetchMisses counts rounds
+	// that had to expand on the critical path instead.
+	PrefetchHits, PrefetchMisses uint64
+}
+
+// snapshot renders the counters as a PerfStats.
+func (p *perfCounters) snapshot() PerfStats {
+	return PerfStats{
+		PadCompute:     time.Duration(p.padNanos.Load()),
+		Combine:        time.Duration(p.combineNanos.Load()),
+		PrefetchHits:   p.prefetchHits.Load(),
+		PrefetchMisses: p.prefetchMisses.Load(),
+	}
+}

@@ -60,42 +60,42 @@ type JoinRequest struct {
 // Encode serializes the payload.
 func (p *JoinRequest) Encode() []byte {
 	var e encBuf
-	e.u64(p.Version)
+	e.U64(p.Version)
 	if p.Rejoin {
-		e.u8(1)
+		e.U8(1)
 	} else {
-		e.u8(0)
+		e.U8(0)
 	}
-	e.bytes(p.PubKey)
-	e.bytes(p.PseuKey)
-	e.bytes([]byte(p.Addr))
-	return e.b
+	e.Bytes(p.PubKey)
+	e.Bytes(p.PseuKey)
+	e.Bytes([]byte(p.Addr))
+	return e.B
 }
 
 // DecodeJoinRequest parses a JoinRequest payload.
 func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
-	d := decBuf{b}
-	v, err := d.u64()
+	d := decBuf{B: b}
+	v, err := d.U64()
 	if err != nil {
 		return nil, err
 	}
-	rejoin, err := d.u8()
+	rejoin, err := d.U8()
 	if err != nil {
 		return nil, err
 	}
-	pub, err := d.bytes()
+	pub, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	pseu, err := d.bytes()
+	pseu, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	addr, err := d.bytes()
+	addr, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &JoinRequest{Version: v, Rejoin: rejoin != 0, PubKey: pub, PseuKey: pseu, Addr: string(addr)}, nil
@@ -112,27 +112,27 @@ type RosterPropose struct {
 // package's RosterUpdate codec).
 func (p *RosterPropose) Encode() []byte {
 	var e encBuf
-	e.u64(p.Version)
-	e.b = group.AppendRosterMembers(e.b, p.Admit)
-	e.b = group.AppendNodeIDs(e.b, p.Remove)
-	return e.b
+	e.U64(p.Version)
+	e.B = group.AppendRosterMembers(e.B, p.Admit)
+	e.B = group.AppendNodeIDs(e.B, p.Remove)
+	return e.B
 }
 
 // DecodeRosterPropose parses a RosterPropose payload.
 func DecodeRosterPropose(b []byte) (*RosterPropose, error) {
-	d := decBuf{b}
+	d := decBuf{B: b}
 	p := &RosterPropose{}
 	var err error
-	if p.Version, err = d.u64(); err != nil {
+	if p.Version, err = d.U64(); err != nil {
 		return nil, err
 	}
-	if p.Admit, d.b, err = group.DecodeRosterMembers(d.b); err != nil {
+	if p.Admit, d.B, err = group.DecodeRosterMembers(d.B); err != nil {
 		return nil, err
 	}
-	if p.Remove, d.b, err = group.DecodeNodeIDs(d.b); err != nil {
+	if p.Remove, d.B, err = group.DecodeNodeIDs(d.B); err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -147,23 +147,23 @@ type RosterCert struct {
 // Encode serializes the payload.
 func (p *RosterCert) Encode() []byte {
 	var e encBuf
-	e.u64(p.Version)
-	e.bytes(p.Sig)
-	return e.b
+	e.U64(p.Version)
+	e.Bytes(p.Sig)
+	return e.B
 }
 
 // DecodeRosterCert parses a RosterCert payload.
 func DecodeRosterCert(b []byte) (*RosterCert, error) {
-	d := decBuf{b}
-	v, err := d.u64()
+	d := decBuf{B: b}
+	v, err := d.U64()
 	if err != nil {
 		return nil, err
 	}
-	sig, err := d.bytes()
+	sig, err := d.Bytes()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return &RosterCert{Version: v, Sig: sig}, nil
@@ -202,71 +202,71 @@ type JoinWelcome struct {
 // Encode serializes the payload.
 func (p *JoinWelcome) Encode() []byte {
 	var e encBuf
-	e.u64(p.Version)
-	e.b = append(e.b, p.Digest[:]...)
-	e.bytes(p.Update)
-	e.byteSlices(p.RosterKeys)
-	e.bytes(p.Expelled)
-	e.byteSlices(p.SlotKeys)
-	e.u32(uint32(p.MySlot))
-	e.u64(p.Round)
-	e.u64(p.SchedRound)
-	e.ints(p.Lens)
-	e.ints(p.Idle)
-	e.ints(p.Perm)
-	e.bytes(p.BeaconHead)
-	return e.b
+	e.U64(p.Version)
+	e.B = append(e.B, p.Digest[:]...)
+	e.Bytes(p.Update)
+	e.ByteSlices(p.RosterKeys)
+	e.Bytes(p.Expelled)
+	e.ByteSlices(p.SlotKeys)
+	e.U32(uint32(p.MySlot))
+	e.U64(p.Round)
+	e.U64(p.SchedRound)
+	e.Int32s(p.Lens)
+	e.Int32s(p.Idle)
+	e.Int32s(p.Perm)
+	e.Bytes(p.BeaconHead)
+	return e.B
 }
 
 // DecodeJoinWelcome parses a JoinWelcome payload.
 func DecodeJoinWelcome(b []byte) (*JoinWelcome, error) {
-	d := decBuf{b}
+	d := decBuf{B: b}
 	p := &JoinWelcome{}
 	var err error
-	if p.Version, err = d.u64(); err != nil {
+	if p.Version, err = d.U64(); err != nil {
 		return nil, err
 	}
-	if len(d.b) < 32 {
+	if len(d.B) < 32 {
 		return nil, errTruncated
 	}
-	copy(p.Digest[:], d.b[:32])
-	d.b = d.b[32:]
-	if p.Update, err = d.bytes(); err != nil {
+	copy(p.Digest[:], d.B[:32])
+	d.B = d.B[32:]
+	if p.Update, err = d.Bytes(); err != nil {
 		return nil, err
 	}
-	if p.RosterKeys, err = d.byteSlices(); err != nil {
+	if p.RosterKeys, err = d.ByteSlices(); err != nil {
 		return nil, err
 	}
-	if p.Expelled, err = d.bytes(); err != nil {
+	if p.Expelled, err = d.Bytes(); err != nil {
 		return nil, err
 	}
-	if p.SlotKeys, err = d.byteSlices(); err != nil {
+	if p.SlotKeys, err = d.ByteSlices(); err != nil {
 		return nil, err
 	}
-	slot, err := d.u32()
+	slot, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
 	p.MySlot = int32(slot)
-	if p.Round, err = d.u64(); err != nil {
+	if p.Round, err = d.U64(); err != nil {
 		return nil, err
 	}
-	if p.SchedRound, err = d.u64(); err != nil {
+	if p.SchedRound, err = d.U64(); err != nil {
 		return nil, err
 	}
-	if p.Lens, err = d.ints(); err != nil {
+	if p.Lens, err = d.Int32s(); err != nil {
 		return nil, err
 	}
-	if p.Idle, err = d.ints(); err != nil {
+	if p.Idle, err = d.Int32s(); err != nil {
 		return nil, err
 	}
-	if p.Perm, err = d.ints(); err != nil {
+	if p.Perm, err = d.Int32s(); err != nil {
 		return nil, err
 	}
-	if p.BeaconHead, err = d.bytes(); err != nil {
+	if p.BeaconHead, err = d.Bytes(); err != nil {
 		return nil, err
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return p, nil

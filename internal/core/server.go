@@ -55,6 +55,17 @@ type roundState struct {
 	subs map[int]*Message // client index -> signed submission (evidence)
 	cts  map[int][]byte   // client index -> ciphertext
 
+	// Streaming combine (§3.4 hot path): ctAcc accumulates the XOR of
+	// accepted ciphertexts as they arrive, so window close pays one
+	// vector XOR instead of O(N). accSet records which clients are
+	// folded in; at commit time the (normally empty) difference against
+	// the deduped direct set is XORed out/in. Raw ciphertexts stay in
+	// cts for blame evidence (§3.9). The accumulator persists across
+	// α-policy window reopens — reopened windows only add submissions,
+	// and the commit-time diff reconciles any inventory drift.
+	ctAcc  []byte       // pooled; recycled when the round retires
+	accSet map[int]bool // client indices folded into ctAcc
+
 	invs    map[int]*Inventory // server index -> inventory (current attempt)
 	commits map[int][]byte
 	shares  map[int][]byte
@@ -83,6 +94,11 @@ type roundHistory struct {
 	subs       map[int]*Message
 	slotOff    []int // slot byte offsets in the round's layout
 	slotLen    []int
+	// ownShare/ownCleartext mark pooled buffers this server created
+	// (its share and the assembled cleartext); they return to the pool
+	// when the history entry is evicted. Peer shares alias received
+	// message bodies and are left to the GC.
+	ownShare, ownCleartext []byte
 }
 
 // blamePhase tracks the accusation sub-protocol (§3.9).
@@ -162,6 +178,20 @@ type Server struct {
 	history   map[uint64]*roundHistory
 	excluded  map[int]bool
 
+	// Data-plane hot path (see ARCHITECTURE.md "Data-plane hot path"):
+	// ppad shards pad expansion across a worker pool for the foreground
+	// (window-close) path; prefetchPad is a second expander owned by the
+	// background prefetcher, because a ParallelPad reuses lane buffers
+	// and is single-caller. prefetch is the at-most-one in-flight
+	// background expansion; bufs recycles round-sized vectors; perf
+	// records hot-path timings for Metrics.
+	ppad        *dcnet.ParallelPad
+	prefetchPad *dcnet.ParallelPad
+	prefetch    *padPrefetch
+	noPrefetch  bool
+	bufs        bufPool
+	perf        perfCounters
+
 	blame        *blameState
 	blameSession int32
 
@@ -224,6 +254,9 @@ func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (
 		}
 	}
 	s.pad = dcnet.NewPad(s.prng)
+	s.ppad = dcnet.NewParallelPad(s.prng, opts.PadWorkers)
+	s.prefetchPad = dcnet.NewParallelPad(s.prng, opts.PadWorkers)
+	s.noPrefetch = opts.NoPadPrefetch
 	s.history = make(map[uint64]*roundHistory)
 	s.excluded = make(map[int]bool)
 	s.pseuSubs = make(map[int][]byte)
@@ -254,6 +287,10 @@ func (s *Server) Participation() int { return s.prevCount }
 
 // Excluded reports whether a client index has been expelled.
 func (s *Server) Excluded(clientIdx int) bool { return s.excluded[clientIdx] }
+
+// PerfStats returns the server's data-plane timing counters. Safe to
+// call concurrently with engine progress.
+func (s *Server) PerfStats() PerfStats { return s.perf.snapshot() }
 
 // SchedulePermutation returns the current slot-layout permutation, or
 // nil before the schedule is established.
@@ -732,6 +769,7 @@ func (s *Server) startRound(now time.Time, out *Output) {
 		hardAt:  now.Add(s.def.Policy.HardTimeout),
 		subs:    make(map[int]*Message),
 		cts:     make(map[int][]byte),
+		accSet:  make(map[int]bool),
 		invs:    make(map[int]*Inventory),
 		commits: make(map[int][]byte),
 		shares:  make(map[int][]byte),
@@ -740,7 +778,114 @@ func (s *Server) startRound(now time.Time, out *Output) {
 		beaconCommits: make(map[int][]byte),
 		beaconShares:  make(map[int][]byte),
 	}
+	s.launchPadPrefetch()
 	out.merge(&Output{Timer: s.round.hardAt})
+}
+
+// launchPadPrefetch starts the background expansion of this round's
+// full-roster server pad: the (pair, round) seeds are known the moment
+// the round number is, so the O(N·L) stream work runs concurrently with
+// the submission window instead of on the critical path at its close.
+// The expansion covers every non-excluded client; window close XORs out
+// the (normally few) absentees. Any unconsumed previous prefetch is
+// reaped first, which is also the epoch-boundary invalidation point:
+// startRound runs after a roster transition applies, so a new prefetch
+// is always expanded over the fresh roster, and takeServerPad double-
+// checks round and roster version before trusting one.
+func (s *Server) launchPadPrefetch() {
+	s.reapPrefetch()
+	if s.noPrefetch || s.sched == nil {
+		return
+	}
+	length := s.sched.Len()
+	clients := make([]int, 0, len(s.def.Clients))
+	seeds := make([][]byte, 0, len(s.def.Clients))
+	for ci := range s.def.Clients {
+		if s.excluded[ci] || s.def.Clients[ci].Expelled {
+			continue
+		}
+		clients = append(clients, ci)
+		seeds = append(seeds, s.clientSeeds[ci])
+	}
+	if len(clients) == 0 || length == 0 {
+		return
+	}
+	pf := &padPrefetch{
+		round:   s.roundNum,
+		version: s.def.Version,
+		clients: clients,
+		buf:     s.bufs.get(length),
+		done:    make(chan struct{}),
+	}
+	s.prefetch = pf
+	pad := s.prefetchPad // dedicated instance; see the field comment
+	go func() {
+		pad.ServerPadInto(pf.buf, seeds, pf.round)
+		close(pf.done)
+	}()
+}
+
+// reapPrefetch retires any in-flight prefetch, recycling its buffer.
+func (s *Server) reapPrefetch() {
+	if pf := s.prefetch; pf != nil {
+		<-pf.done
+		s.bufs.put(pf.buf)
+		s.prefetch = nil
+	}
+}
+
+// takeServerPad produces ⊕_{i∈included} PRNG(K_ij, r) in a pooled
+// buffer: from the prefetched full-roster pad when one is valid and the
+// adjustment (XOR out absentees, XOR in unprefetched members) is
+// cheaper than recomputing over the included set; otherwise by
+// multicore expansion over exactly the included seeds.
+func (s *Server) takeServerPad(rs *roundState, length int) []byte {
+	if pf := s.prefetch; pf != nil && pf.round == rs.r && pf.version == s.def.Version && len(pf.buf) == length {
+		// Both pf.clients and rs.included are ascending: merge-diff.
+		var missing, extra []int
+		i, j := 0, 0
+		for i < len(pf.clients) || j < len(rs.included) {
+			switch {
+			case j == len(rs.included) || (i < len(pf.clients) && pf.clients[i] < rs.included[j]):
+				missing = append(missing, pf.clients[i])
+				i++
+			case i == len(pf.clients) || rs.included[j] < pf.clients[i]:
+				extra = append(extra, rs.included[j])
+				j++
+			default:
+				i, j = i+1, j+1
+			}
+		}
+		if len(missing)+len(extra) < len(rs.included) {
+			s.prefetch = nil
+			<-pf.done
+			s.perf.prefetchHits.Add(1)
+			// The adjustment is just more streams to fold in (XOR toggles
+			// absentees out and latecomers in alike); run it through the
+			// worker pool so a large absentee set costs no more per core
+			// than the recompute path it displaced.
+			adjSeeds := make([][]byte, 0, len(missing)+len(extra))
+			for _, ci := range missing {
+				adjSeeds = append(adjSeeds, s.clientSeeds[ci])
+			}
+			for _, ci := range extra {
+				adjSeeds = append(adjSeeds, s.clientSeeds[ci])
+			}
+			s.ppad.ServerPadInto(pf.buf, adjSeeds, rs.r)
+			return pf.buf
+		}
+		// Participation collapsed below the adjustment break-even:
+		// recompute over the included set; the stale prefetch is reaped
+		// at the next startRound.
+	}
+	s.perf.prefetchMisses.Add(1)
+	share := s.bufs.get(length)
+	seeds := make([][]byte, 0, len(rs.included))
+	for _, ci := range rs.included {
+		seeds = append(seeds, s.clientSeeds[ci])
+	}
+	s.ppad.ServerPadInto(share, seeds, rs.r)
+	return share
 }
 
 func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
@@ -770,6 +915,15 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 	}
 	rs.subs[ci] = m
 	rs.cts[ci] = p.CT
+
+	// Streaming combine: fold the ciphertext into the running
+	// accumulator now, off the round's critical path. Window close then
+	// costs one accumulator XOR regardless of N.
+	if rs.ctAcc == nil {
+		rs.ctAcc = s.bufs.get(s.sched.Len())
+	}
+	crypto.XORBytes(rs.ctAcc, p.CT)
+	rs.accSet[ci] = true
 
 	if rs.phase != rpCollect {
 		return &Output{}, nil
@@ -925,16 +1079,40 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 		return s.sendCertify(now)
 	}
 
-	// Compute s_j = (⊕_{i∈l} PRNG(K_ij)) ⊕ (⊕_{i∈l'_j} c_i).
+	// Compute s_j = (⊕_{i∈l} PRNG(K_ij)) ⊕ (⊕_{i∈l'_j} c_i). The pad
+	// comes from the window-long background prefetch (or multicore
+	// expansion over the included seeds); the ciphertext term is the
+	// streaming accumulator, corrected by the — normally empty — diff
+	// between what we accumulated and the deduped direct set.
 	length := s.sched.Len()
-	seeds := make([][]byte, 0, len(rs.included))
-	for _, ci := range rs.included {
-		seeds = append(seeds, s.clientSeeds[ci])
-	}
-	share := s.pad.ServerPad(seeds, rs.r, length)
+	t0 := time.Now()
+	share := s.takeServerPad(rs, length)
+	s.perf.addPad(time.Since(t0))
+
+	t0 = time.Now()
+	inDirect := make(map[int]bool, len(rs.directSets[s.idx]))
 	for _, ci := range rs.directSets[s.idx] {
-		crypto.XORBytes(share, rs.cts[ci])
+		inDirect[ci] = true
 	}
+	if rs.ctAcc != nil {
+		crypto.XORBytes(share, rs.ctAcc)
+	}
+	for ci := range rs.accSet {
+		if !inDirect[ci] {
+			// Accumulated but not ours after dedup (late submission past
+			// our inventory, a duplicate claimed by a lower-index server,
+			// or a mid-round exclusion): XOR it back out.
+			crypto.XORBytes(share, rs.cts[ci])
+			s.perf.accAdjusts.Add(1)
+		}
+	}
+	for _, ci := range rs.directSets[s.idx] {
+		if !rs.accSet[ci] {
+			crypto.XORBytes(share, rs.cts[ci])
+			s.perf.accAdjusts.Add(1)
+		}
+	}
+	s.perf.addCombine(time.Since(t0))
 	if s.testCorruptShare != nil {
 		s.testCorruptShare(rs.r, share)
 	}
@@ -1070,11 +1248,13 @@ func (s *Server) maybeCombine(now time.Time) (*Output, error) {
 		}
 		rs.beaconEntry = entry
 	}
-	cleartext := make([]byte, s.sched.Len())
+	t0 := time.Now()
+	cleartext := s.bufs.get(s.sched.Len())
 	for si := 0; si < len(s.def.Servers); si++ {
 		crypto.XORBytes(cleartext, rs.shares[si])
 	}
 	rs.cleartext = cleartext
+	s.perf.addCombine(time.Since(t0))
 	return s.sendCertify(now)
 }
 
@@ -1164,6 +1344,11 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 		return nil, err
 	}
 
+	// The accumulator's job ends with the round; recycle it. (Raw
+	// ciphertexts stay in rs.subs/cts for blame evidence.)
+	s.bufs.put(rs.ctAcc)
+	rs.ctAcc = nil
+
 	s.prevCount = len(rs.included)
 	s.roundNum++
 	// Epoch boundary: the roster phase runs before the boundary round
@@ -1194,12 +1379,22 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 	for i := range hist.shares {
 		hist.shares[i] = rs.shares[i]
 	}
+	// Our own share and the assembled cleartext are pooled buffers; the
+	// history entry owns them until eviction (blame tracing may read
+	// them for RetainRounds rounds). Peer shares alias message bodies.
+	hist.ownShare = rs.myShare
+	hist.ownCleartext = rs.cleartext
 	for i := 0; i < s.sched.NumSlots(); i++ {
 		hist.slotOff[i], hist.slotLen[i] = s.sched.SlotRange(i)
 	}
 	s.history[rs.r] = hist
 	if old := rs.r; old >= uint64(s.def.Policy.RetainRounds) {
-		delete(s.history, old-uint64(s.def.Policy.RetainRounds))
+		evict := old - uint64(s.def.Policy.RetainRounds)
+		if h := s.history[evict]; h != nil {
+			s.bufs.put(h.ownShare)
+			s.bufs.put(h.ownCleartext)
+			delete(s.history, evict)
+		}
 	}
 
 	// Extend the beacon chain before advancing the schedule so an epoch

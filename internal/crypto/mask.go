@@ -1,0 +1,60 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// maskBlock is the keystream block size of XORHashStream (one SHA-256
+// digest per block).
+const maskBlock = sha256.Size
+
+// maxMaskHeader bounds len(domain)+len(seed) so the per-block hash
+// input fits a fixed stack buffer (no allocation on the hot path).
+const maxMaskHeader = 96
+
+// XORHashStream XORs a deterministic SHA-256-based keystream derived
+// from (domain, seed) into dst, starting at byte offset off of the
+// stream: dst[i] ^= KS[off+i]. Block b of the keystream is
+// SHA-256(len8(domain) || domain || len8(seed) || seed || ctr64(b)),
+// an injective encoding, so distinct (domain, seed) pairs yield
+// independent streams.
+//
+// Unlike the AES PRNG — whose per-use key schedule forces an
+// allocation — this stream is allocation-free for any one-shot key,
+// which is what the DC-net slot mask needs: every EncodeSlot draws a
+// fresh random seed, and the submit path must stay at 0 allocs/op.
+func XORHashStream(domain string, seed []byte, off int, dst []byte) {
+	if len(domain) > 255 || len(seed) > 255 || len(domain)+len(seed) > maxMaskHeader {
+		panic("crypto: XORHashStream header too long")
+	}
+	if off < 0 {
+		panic("crypto: XORHashStream negative offset")
+	}
+	var in [maxMaskHeader + 10]byte
+	n := 0
+	in[n] = byte(len(domain))
+	n++
+	n += copy(in[n:], domain)
+	in[n] = byte(len(seed))
+	n++
+	n += copy(in[n:], seed)
+	ctrPos := n
+	n += 8
+
+	blk := uint64(off / maskBlock)
+	skip := off % maskBlock
+	for len(dst) > 0 {
+		binary.BigEndian.PutUint64(in[ctrPos:], blk)
+		d := sha256.Sum256(in[:n])
+		ks := d[skip:]
+		m := len(dst)
+		if m > len(ks) {
+			m = len(ks)
+		}
+		XORBytes(dst[:m], ks[:m])
+		dst = dst[m:]
+		skip = 0
+		blk++
+	}
+}

@@ -1,0 +1,74 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestXORHashStreamDeterministic(t *testing.T) {
+	seed := Hash("mask-test", []byte("seed"))
+	a := make([]byte, 200)
+	b := make([]byte, 200)
+	XORHashStream("d", seed, 0, a)
+	XORHashStream("d", seed, 0, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("stream not deterministic")
+	}
+	if allZeroBytes(a) {
+		t.Fatal("stream is all zero")
+	}
+	c := make([]byte, 200)
+	XORHashStream("d2", seed, 0, c)
+	if bytes.Equal(a, c) {
+		t.Fatal("domains share a stream")
+	}
+}
+
+func TestXORHashStreamOffsets(t *testing.T) {
+	// XORing at offset k must match the tail of the full stream, for
+	// offsets around every block boundary.
+	seed := Hash("mask-test", []byte("offsets"))
+	full := make([]byte, 300)
+	XORHashStream("off", seed, 0, full)
+	for _, off := range []int{0, 1, 31, 32, 33, 63, 64, 65, 100, 255, 256, 299} {
+		part := make([]byte, len(full)-off)
+		XORHashStream("off", seed, off, part)
+		if !bytes.Equal(part, full[off:]) {
+			t.Fatalf("offset %d diverges from the sequential stream", off)
+		}
+	}
+}
+
+func TestXORHashStreamXORSemantics(t *testing.T) {
+	// dst ^= KS applied twice restores dst.
+	seed := Hash("mask-test", []byte("xor"))
+	orig := []byte("the mask must be an involution over the payload bytes")
+	buf := append([]byte(nil), orig...)
+	XORHashStream("x", seed, 3, buf)
+	if bytes.Equal(buf, orig) {
+		t.Fatal("mask did nothing")
+	}
+	XORHashStream("x", seed, 3, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("mask is not an involution")
+	}
+}
+
+func TestXORHashStreamZeroAlloc(t *testing.T) {
+	seed := Hash("mask-test", []byte("alloc"))
+	buf := make([]byte, 1024)
+	if avg := testing.AllocsPerRun(100, func() {
+		XORHashStream("alloc", seed, 5, buf)
+	}); avg != 0 {
+		t.Fatalf("XORHashStream allocates %.1f times per run, want 0", avg)
+	}
+}
+
+func allZeroBytes(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

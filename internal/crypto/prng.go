@@ -3,6 +3,7 @@ package crypto
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/subtle"
 	"encoding/binary"
 )
 
@@ -28,11 +29,34 @@ type PRNG interface {
 // the DC-net engines so benchmarks can swap in FastPRNG.
 type PRNGMaker func(seed []byte) PRNG
 
+// SeekableStream is implemented by PRNGs whose keystream supports
+// random access: XORKeyStreamAt XORs keystream bytes [off, off+len(dst))
+// into dst in place, independently of any sequential position. The
+// DC-net's parallel pad expander uses it to let several workers cover
+// disjoint byte ranges of one huge round vector.
+type SeekableStream interface {
+	XORKeyStreamAt(dst []byte, off uint64)
+}
+
 // aesPRNG implements PRNG over AES-256-CTR with a zero IV; the seed is
 // unique per (pair, round, purpose) so IV reuse cannot occur.
+//
+// The hot path is allocation-free: the in-place XOR (dst == src, the
+// DC-net pad accumulate pattern) feeds the stdlib's vectorized CTR
+// directly, and the two-operand form stages keystream chunks through a
+// fixed scratch buffer owned by the stream instead of allocating a
+// temporary per call.
 type aesPRNG struct {
+	block  cipher.Block
 	stream cipher.Stream
+	buf    []byte // lazy keystream scratch for the two-operand XOR path
 }
+
+// aesScratchLen sizes the two-operand XOR path's keystream chunks. The
+// scratch is allocated on first use only: the dominant DC-net pattern
+// (pad accumulate, dst == src) never touches it, keeping per-stream
+// setup small when a server builds one stream per client per round.
+const aesScratchLen = 512
 
 // NewAESPRNG returns the production AES-256-CTR stream for seed.
 func NewAESPRNG(seed []byte) PRNG {
@@ -41,8 +65,8 @@ func NewAESPRNG(seed []byte) PRNG {
 	if err != nil {
 		panic("crypto: aes.NewCipher: " + err.Error())
 	}
-	iv := make([]byte, aes.BlockSize)
-	return &aesPRNG{stream: cipher.NewCTR(block, iv)}
+	var iv [aes.BlockSize]byte
+	return &aesPRNG{block: block, stream: cipher.NewCTR(block, iv[:])}
 }
 
 func (p *aesPRNG) Read(b []byte) (int, error) {
@@ -54,11 +78,48 @@ func (p *aesPRNG) Read(b []byte) (int, error) {
 }
 
 func (p *aesPRNG) XORKeyStream(dst, src []byte) {
-	tmp := make([]byte, len(src))
-	p.stream.XORKeyStream(tmp, tmp)
-	for i := range src {
-		dst[i] = src[i] ^ tmp[i]
+	if len(src) == 0 {
+		return
 	}
+	dst = dst[:len(src)]
+	if &dst[0] == &src[0] {
+		// Entire overlap: CTR's native in-place XOR is exactly dst ^= ks.
+		p.stream.XORKeyStream(dst, src)
+		return
+	}
+	if p.buf == nil {
+		p.buf = make([]byte, aesScratchLen)
+	}
+	for len(src) > 0 {
+		n := len(src)
+		if n > len(p.buf) {
+			n = len(p.buf)
+		}
+		ks := p.buf[:n]
+		for i := range ks {
+			ks[i] = 0
+		}
+		p.stream.XORKeyStream(ks, ks)
+		subtle.XORBytes(dst[:n], src[:n], ks)
+		dst, src = dst[n:], src[n:]
+	}
+}
+
+// XORKeyStreamAt XORs keystream bytes [off, off+len(dst)) into dst,
+// seeking by rebuilding the CTR state at the containing block. It is
+// independent of (and does not disturb) the sequential stream position.
+func (p *aesPRNG) XORKeyStreamAt(dst []byte, off uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[8:], off/aes.BlockSize)
+	s := cipher.NewCTR(p.block, iv[:])
+	if skip := int(off % aes.BlockSize); skip > 0 {
+		var head [aes.BlockSize]byte
+		s.XORKeyStream(head[:skip], head[:skip])
+	}
+	s.XORKeyStream(dst, dst)
 }
 
 // fastPRNG is a xoshiro256** stream: deterministic, uniform-looking,
@@ -147,19 +208,16 @@ func (p *fastPRNG) XORKeyStream(dst, src []byte) {
 }
 
 // XORBytes XORs src into dst in place (dst[i] ^= src[i]) and returns
-// the number of bytes processed (the shorter length).
+// the number of bytes processed (the shorter length). It rides the
+// stdlib's vectorized XOR.
 func XORBytes(dst, src []byte) int {
 	n := len(dst)
 	if len(src) < n {
 		n = len(src)
 	}
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		v := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
-		binary.LittleEndian.PutUint64(dst[i:], v)
+	if n == 0 {
+		return 0
 	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
+	subtle.XORBytes(dst[:n], dst[:n], src[:n])
 	return n
 }

@@ -95,6 +95,61 @@ func TestPRNGXORCancels(t *testing.T) {
 	}
 }
 
+func TestAESPRNGSeekMatchesSequential(t *testing.T) {
+	// XORKeyStreamAt at any offset must agree with the sequential
+	// stream, including across block boundaries and partial blocks.
+	seed := Hash("seed", []byte("seek"))
+	whole := make([]byte, 400)
+	NewAESPRNG(seed).Read(whole)
+
+	sk, ok := NewAESPRNG(seed).(SeekableStream)
+	if !ok {
+		t.Fatal("aes PRNG does not implement SeekableStream")
+	}
+	for _, off := range []int{0, 1, 15, 16, 17, 31, 32, 100, 255, 256, 399} {
+		dst := make([]byte, len(whole)-off)
+		sk.XORKeyStreamAt(dst, uint64(off))
+		if !bytes.Equal(dst, whole[off:]) {
+			t.Fatalf("seek to %d diverges from sequential stream", off)
+		}
+	}
+}
+
+func TestAESPRNGSeekDoesNotDisturbSequential(t *testing.T) {
+	seed := Hash("seed", []byte("interleave"))
+	whole := make([]byte, 128)
+	NewAESPRNG(seed).Read(whole)
+
+	p := NewAESPRNG(seed)
+	head := make([]byte, 64)
+	p.Read(head)
+	scratch := make([]byte, 48)
+	p.(SeekableStream).XORKeyStreamAt(scratch, 1000)
+	tail := make([]byte, 64)
+	p.Read(tail)
+	if !bytes.Equal(append(head, tail...), whole) {
+		t.Fatal("XORKeyStreamAt disturbed the sequential position")
+	}
+}
+
+func TestAESPRNGXORKeyStreamZeroAlloc(t *testing.T) {
+	// Both the in-place and the two-operand XOR paths must not allocate:
+	// the server pad expands one stream per client per round.
+	p := NewAESPRNG(Hash("seed", []byte("alloc")))
+	buf := make([]byte, 4096)
+	if avg := testing.AllocsPerRun(50, func() {
+		p.XORKeyStream(buf, buf)
+	}); avg != 0 {
+		t.Fatalf("in-place XORKeyStream allocates %.1f/run, want 0", avg)
+	}
+	src := make([]byte, 4096)
+	if avg := testing.AllocsPerRun(50, func() {
+		p.XORKeyStream(buf, src)
+	}); avg != 0 {
+		t.Fatalf("two-operand XORKeyStream allocates %.1f/run, want 0", avg)
+	}
+}
+
 func TestXORBytes(t *testing.T) {
 	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
 	b := []byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}

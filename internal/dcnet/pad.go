@@ -9,6 +9,11 @@ import (
 // holds one seed per server (M seeds); a server's Pad holds one seed
 // per client (N seeds) but normally expands only the subset that
 // submitted in a given round (§3.4, §3.6).
+//
+// Buffer ownership: the *Into variants XOR into caller-owned buffers
+// and never retain them, so engines can recycle round vectors through
+// a sync.Pool. The allocating variants remain as the reference
+// implementations the differential tests compare against.
 type Pad struct {
 	maker crypto.PRNGMaker
 }
@@ -42,11 +47,20 @@ func (p *Pad) XORStream(dst []byte, pairSeed []byte, round uint64, length int) {
 // cleartext-length vector (zeros outside the client's own slots); it is
 // not modified.
 func (p *Pad) ClientCiphertext(serverSeeds [][]byte, round uint64, msg []byte) []byte {
-	ct := append([]byte(nil), msg...)
-	for _, seed := range serverSeeds {
-		p.XORStream(ct, seed, round, len(ct))
-	}
+	ct := make([]byte, len(msg))
+	p.ClientCiphertextInto(ct, serverSeeds, round, msg)
 	return ct
+}
+
+// ClientCiphertextInto computes the client ciphertext into dst, which
+// must be len(msg) bytes and may not alias msg. No allocation beyond
+// the per-seed stream setup; pair with Prepare/PadStreams to move even
+// that off the submit path.
+func (p *Pad) ClientCiphertextInto(dst []byte, serverSeeds [][]byte, round uint64, msg []byte) {
+	copy(dst, msg)
+	for _, seed := range serverSeeds {
+		p.XORStream(dst, seed, round, len(msg))
+	}
 }
 
 // ServerPad computes ⊕_i PRNG(K_ij) over the given client seeds — the
@@ -54,21 +68,84 @@ func (p *Pad) ClientCiphertext(serverSeeds [][]byte, round uint64, msg []byte) [
 // (Algorithm 2 step 3). The result has the given length.
 func (p *Pad) ServerPad(clientSeeds [][]byte, round uint64, length int) []byte {
 	pad := make([]byte, length)
-	for _, seed := range clientSeeds {
-		p.XORStream(pad, seed, round, length)
-	}
+	p.ServerPadInto(pad, clientSeeds, round)
 	return pad
+}
+
+// ServerPadInto XOR-accumulates one stream per client seed into dst
+// (XOR semantics: dst need not start zeroed; the streams fold into
+// whatever it already holds). dst is caller-owned and may come from a
+// pool. For multicore expansion see ParallelPad.
+func (p *Pad) ServerPadInto(dst []byte, clientSeeds [][]byte, round uint64) {
+	for _, seed := range clientSeeds {
+		p.XORStream(dst, seed, round, len(dst))
+	}
+}
+
+// PadStreams holds pre-built (pair, round) streams: the AES key
+// schedules and CTR state for one upcoming round, constructed during
+// the idle window so the submit path itself runs allocation-free.
+// Streams are stateful — XOR/CiphertextInto consumes them — so a
+// PadStreams is good for exactly one vector.
+type PadStreams struct {
+	round   uint64
+	streams []crypto.PRNG
+}
+
+// Prepare builds the (seed, round) streams for a future round. Seeds
+// are round-independent, so this needs nothing beyond the round number
+// — the prefetch trick the engines use between rounds.
+func (p *Pad) Prepare(seeds [][]byte, round uint64) *PadStreams {
+	ps := &PadStreams{round: round, streams: make([]crypto.PRNG, len(seeds))}
+	for i, seed := range seeds {
+		ps.streams[i] = p.maker(RoundSeed(seed, round))
+	}
+	return ps
+}
+
+// Round returns the round the streams were prepared for.
+func (ps *PadStreams) Round() uint64 { return ps.round }
+
+// XORInto XORs every prepared stream into dst, consuming len(dst)
+// bytes of each. Allocation-free.
+func (ps *PadStreams) XORInto(dst []byte) {
+	for _, s := range ps.streams {
+		s.XORKeyStream(dst, dst)
+	}
+}
+
+// CiphertextInto computes the client ciphertext for msg into dst using
+// the prepared streams: copy + in-place XOR, 0 allocs/op. dst must be
+// len(msg) bytes and may not alias msg.
+func (ps *PadStreams) CiphertextInto(dst, msg []byte) {
+	copy(dst, msg[:len(dst)])
+	ps.XORInto(dst)
 }
 
 // StreamBit recomputes a single bit of the (pairSeed, round) stream:
 // the accusation trace publishes exactly these bits so the servers can
 // find who XORed an unmatched 1 into the witness position (§3.9).
 func (p *Pad) StreamBit(pairSeed []byte, round uint64, bitIndex int) byte {
-	byteIndex := bitIndex / 8
-	buf := make([]byte, byteIndex+1)
 	s := p.maker(RoundSeed(pairSeed, round))
-	s.XORKeyStream(buf, buf)
-	return (buf[byteIndex] >> (uint(bitIndex) % 8)) & 1
+	byteIndex := bitIndex / 8
+	var b [1]byte
+	if sk, ok := s.(crypto.SeekableStream); ok {
+		sk.XORKeyStreamAt(b[:], uint64(byteIndex))
+	} else {
+		// Sequential fallback: discard the prefix through a bounded
+		// scratch chunk instead of materializing byteIndex bytes.
+		var chunk [256]byte
+		for skip := byteIndex; skip > 0; {
+			n := skip
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			s.Read(chunk[:n])
+			skip -= n
+		}
+		s.Read(b[:])
+	}
+	return (b[0] >> (uint(bitIndex) % 8)) & 1
 }
 
 // Bit extracts bit bitIndex from a byte vector (LSB-first within each

@@ -1,0 +1,152 @@
+package dcnet
+
+import (
+	"runtime"
+	"sync"
+
+	"dissent/internal/crypto"
+)
+
+// ParallelPad expands server pads across a bounded worker pool: the
+// O(N·L) stream expansion of §3.4 is the server data plane's dominant
+// cost, and it is embarrassingly parallel. Seeds are sharded across
+// workers, each XOR-accumulating into a private lane buffer, followed
+// by a parallel tree combine — XOR is associative and commutative, so
+// the output is byte-identical to the serial Pad.ServerPadInto (the
+// differential tests assert this).
+//
+// When there are fewer seeds than workers but a large vector (a small
+// group moving bulk data), and the PRNG supports random access
+// (crypto.SeekableStream, as the production AES-CTR stream does), the
+// expander shards by byte range instead, keeping every core busy on
+// disjoint regions of dst.
+//
+// A ParallelPad reuses its lane buffers across calls and is therefore
+// NOT safe for concurrent use; give each concurrent caller (e.g. a
+// background prefetcher) its own instance.
+type ParallelPad struct {
+	pad      *Pad
+	workers  int
+	seekable bool // the maker's streams support XORKeyStreamAt
+	lanes    [][]byte
+}
+
+// rangeShardMin is the minimum per-worker byte range for range
+// sharding — below this the goroutine handoff and the per-worker
+// stream re-setup cost more than the expansion they parallelize.
+const rangeShardMin = 4096
+
+// NewParallelPad returns an expander over maker with the given worker
+// bound (<= 0 selects GOMAXPROCS). Seekability is a static property of
+// the maker, so it is probed once here rather than per round.
+func NewParallelPad(maker crypto.PRNGMaker, workers int) *ParallelPad {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pad := NewPad(maker)
+	_, seekable := pad.maker(make([]byte, 32)).(crypto.SeekableStream)
+	return &ParallelPad{pad: pad, workers: workers, seekable: seekable}
+}
+
+// ServerPadInto XOR-accumulates one (seed, round) stream per client
+// seed into dst, like Pad.ServerPadInto but sharded across the worker
+// pool. dst is caller-owned; XOR semantics (dst need not be zero).
+func (pp *ParallelPad) ServerPadInto(dst []byte, seeds [][]byte, round uint64) {
+	if len(seeds) == 0 || len(dst) == 0 {
+		return
+	}
+	// Fewer members than workers: seed sharding alone would leave
+	// cores idle, so split the vector by byte range instead (seekable
+	// streams only). Every worker re-derives every seed's key schedule,
+	// so each worker's region must be large enough to amortize that —
+	// hence the per-worker (not total) length floor.
+	if len(seeds) < pp.workers && len(dst) >= pp.workers*rangeShardMin && pp.rangeShard(dst, seeds, round) {
+		return
+	}
+	w := pp.workers
+	if w > len(seeds) {
+		w = len(seeds)
+	}
+	if w <= 1 {
+		pp.pad.ServerPadInto(dst, seeds, round)
+		return
+	}
+
+	// Seed sharding: worker k expands seeds [k*len/w, (k+1)*len/w) into
+	// its private lane; lane 0 is dst itself (the caller owns it for the
+	// duration of the call).
+	lanes := pp.takeLanes(w-1, len(dst))
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := k*len(seeds)/w, (k+1)*len(seeds)/w
+		lane := dst
+		if k > 0 {
+			lane = lanes[k-1]
+		}
+		wg.Add(1)
+		go func(lane []byte, shard [][]byte) {
+			defer wg.Done()
+			pp.pad.ServerPadInto(lane, shard, round)
+		}(lane, seeds[lo:hi])
+	}
+	wg.Wait()
+
+	// Tree combine: fold lanes pairwise in log2(w) parallel passes.
+	all := append([][]byte{dst}, lanes...)
+	for gap := 1; gap < len(all); gap *= 2 {
+		var cwg sync.WaitGroup
+		for i := 0; i+gap < len(all); i += 2 * gap {
+			cwg.Add(1)
+			go func(a, b []byte) {
+				defer cwg.Done()
+				crypto.XORBytes(a, b)
+			}(all[i], all[i+gap])
+		}
+		cwg.Wait()
+	}
+}
+
+// rangeShard splits dst into one contiguous byte range per worker and
+// expands every seed's stream at the matching offset via
+// XORKeyStreamAt. Returns false when the PRNG is not seekable.
+func (pp *ParallelPad) rangeShard(dst []byte, seeds [][]byte, round uint64) bool {
+	if !pp.seekable {
+		return false
+	}
+	w := pp.workers
+	if w > (len(dst)+rangeShardMin-1)/rangeShardMin {
+		w = (len(dst) + rangeShardMin - 1) / rangeShardMin
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := k*len(dst)/w, (k+1)*len(dst)/w
+		wg.Add(1)
+		go func(lo int, region []byte) {
+			defer wg.Done()
+			for _, seed := range seeds {
+				s := pp.pad.maker(RoundSeed(seed, round)).(crypto.SeekableStream)
+				s.XORKeyStreamAt(region, uint64(lo))
+			}
+		}(lo, dst[lo:hi])
+	}
+	wg.Wait()
+	return true
+}
+
+// takeLanes returns n zeroed lane buffers of the given length, reusing
+// prior allocations when the round vector size is stable.
+func (pp *ParallelPad) takeLanes(n, length int) [][]byte {
+	for len(pp.lanes) < n {
+		pp.lanes = append(pp.lanes, nil)
+	}
+	lanes := pp.lanes[:n]
+	for i := range lanes {
+		if cap(lanes[i]) < length {
+			lanes[i] = make([]byte, length)
+			continue
+		}
+		lanes[i] = lanes[i][:length]
+		clear(lanes[i])
+	}
+	return lanes
+}

@@ -1,0 +1,202 @@
+package dcnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dissent/internal/crypto"
+)
+
+// paritySeeds builds n deterministic pair seeds keyed by a tag byte.
+func paritySeeds(tag byte, n int) [][]byte {
+	seeds := make([][]byte, n)
+	for i := range seeds {
+		seeds[i] = crypto.Hash("parity", []byte{tag}, crypto.HashUint64(uint64(i)))
+	}
+	return seeds
+}
+
+func TestParallelPadMatchesSerial(t *testing.T) {
+	for name, maker := range map[string]crypto.PRNGMaker{"aes": crypto.NewAESPRNG, "fast": crypto.NewFastPRNG} {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct {
+				seeds, length, workers int
+			}{
+				{0, 64, 4}, {1, 64, 4}, {2, 33, 2}, {7, 1, 8},
+				{16, 1024, 1}, {16, 1024, 3}, {16, 1024, 8}, {16, 1024, 16},
+				{3, 64 << 10, 8}, // fewer seeds than workers + big vector: range shard
+				{3, 8192, 8},     // same shape but below the per-worker floor: seed shard
+				{100, 4099, 5},   // odd length, uneven shards
+			} {
+				seeds := paritySeeds(byte(tc.seeds), tc.seeds)
+				serial := NewPad(maker).ServerPad(seeds, 42, tc.length)
+				pp := NewParallelPad(maker, tc.workers)
+				got := make([]byte, tc.length)
+				pp.ServerPadInto(got, seeds, 42)
+				if !bytes.Equal(got, serial) {
+					t.Fatalf("seeds=%d len=%d workers=%d: parallel pad diverges from serial",
+						tc.seeds, tc.length, tc.workers)
+				}
+				// Lane reuse across rounds must not leak state.
+				serial2 := NewPad(maker).ServerPad(seeds, 43, tc.length)
+				got2 := make([]byte, tc.length)
+				pp.ServerPadInto(got2, seeds, 43)
+				if !bytes.Equal(got2, serial2) {
+					t.Fatalf("seeds=%d len=%d workers=%d: second round diverges (lane reuse)",
+						tc.seeds, tc.length, tc.workers)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelPadProperty(t *testing.T) {
+	// Fuzz-ish parity: random seed counts, rounds, lengths, and worker
+	// bounds always reproduce the serial reference bit for bit.
+	f := func(tag byte, nSeeds, length uint8, workers uint8, round uint64) bool {
+		n := int(nSeeds) % 24
+		l := 1 + int(length)%513
+		w := 1 + int(workers)%9
+		seeds := paritySeeds(tag, n)
+		serial := NewPad(crypto.NewAESPRNG).ServerPad(seeds, round, l)
+		got := make([]byte, l)
+		NewParallelPad(crypto.NewAESPRNG, w).ServerPadInto(got, seeds, round)
+		return bytes.Equal(got, serial)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientCiphertextIntoMatchesReference(t *testing.T) {
+	seeds := paritySeeds(9, 5)
+	msg := make([]byte, 300)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	pad := NewPad(crypto.NewAESPRNG)
+	want := pad.ClientCiphertext(seeds, 7, msg)
+
+	dst := make([]byte, len(msg))
+	pad.ClientCiphertextInto(dst, seeds, 7, msg)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("ClientCiphertextInto diverges from ClientCiphertext")
+	}
+
+	// The prefetched-streams variant must agree too.
+	ps := pad.Prepare(seeds, 7)
+	if ps.Round() != 7 {
+		t.Fatalf("prepared round = %d", ps.Round())
+	}
+	dst2 := make([]byte, len(msg))
+	ps.CiphertextInto(dst2, msg)
+	if !bytes.Equal(dst2, want) {
+		t.Fatal("PadStreams.CiphertextInto diverges from ClientCiphertext")
+	}
+}
+
+func TestServerPadIntoXORSemantics(t *testing.T) {
+	// ServerPadInto must fold into existing dst contents (XOR
+	// accumulate), the invariant the streaming combine relies on.
+	seeds := paritySeeds(3, 4)
+	base := make([]byte, 128)
+	for i := range base {
+		base[i] = byte(i * 31)
+	}
+	pad := NewPad(crypto.NewAESPRNG)
+	want := pad.ServerPad(seeds, 5, len(base))
+	crypto.XORBytes(want, base)
+
+	got := append([]byte(nil), base...)
+	pad.ServerPadInto(got, seeds, 5)
+	if !bytes.Equal(got, want) {
+		t.Fatal("ServerPadInto is not XOR-accumulating")
+	}
+}
+
+func TestStreamBitMatchesSeekAndSequential(t *testing.T) {
+	// StreamBit's seekable fast path (AES) and sequential fallback
+	// (xoshiro) must both agree with the expanded stream.
+	for name, maker := range map[string]crypto.PRNGMaker{"aes": crypto.NewAESPRNG, "fast": crypto.NewFastPRNG} {
+		t.Run(name, func(t *testing.T) {
+			pad := NewPad(maker)
+			seed := crypto.Hash("pair", []byte("seekbit"))
+			const length = 600
+			buf := make([]byte, length)
+			pad.XORStream(buf, seed, 11, length)
+			for _, bit := range []int{0, 1, 7, 8, 63, 100, 2048, 4000, length*8 - 1} {
+				want := (buf[bit/8] >> (uint(bit) % 8)) & 1
+				if got := pad.StreamBit(seed, 11, bit); got != want {
+					t.Errorf("StreamBit(%d) = %d, want %d", bit, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelPadConcurrentInstancesUnderChurn(t *testing.T) {
+	// Race-detector coverage for the engines' concurrency pattern: a
+	// foreground expander and a prefetching expander (separate
+	// instances, as documented) running over the same seed set across
+	// rounds, with the seed roster growing at epoch boundaries the way
+	// certified roster updates grow it. Run with -race in CI.
+	maker := crypto.NewAESPRNG
+	seeds := paritySeeds(1, 8)
+	serial := NewPad(maker)
+
+	const rounds = 12
+	var wg sync.WaitGroup
+	results := make([][]byte, rounds)
+	roster := make([][][]byte, rounds) // seed snapshot actually used per round
+
+	// Prefetcher: expands round r over a seed snapshot, concurrently
+	// with the foreground expander — the engines' pattern (each side
+	// owns its ParallelPad instance and an immutable seed snapshot).
+	prefetcher := NewParallelPad(maker, 4)
+	foreground := NewParallelPad(maker, 4)
+	type prefetchResult struct {
+		buf   []byte
+		seeds [][]byte
+	}
+	requests := make(chan [][]byte, 1)
+	prefetched := make(chan prefetchResult, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := uint64(0)
+		for snap := range requests {
+			buf := make([]byte, 256)
+			prefetcher.ServerPadInto(buf, snap, r)
+			prefetched <- prefetchResult{buf: buf, seeds: snap}
+			r++
+		}
+	}()
+	requests <- seeds[:len(seeds):len(seeds)]
+	for r := uint64(0); r < rounds; r++ {
+		res := <-prefetched
+		if r%4 == 3 {
+			// Epoch boundary: roster grows; the prefetched buffer was
+			// computed over the old seed set and must be invalidated,
+			// exactly like the engine's roster-version check does.
+			seeds = append(seeds, paritySeeds(byte(100+r), 2)...)
+			buf := make([]byte, 256)
+			foreground.ServerPadInto(buf, seeds, r)
+			results[r], roster[r] = buf, seeds
+		} else {
+			results[r], roster[r] = res.buf, res.seeds
+		}
+		if r+1 < rounds {
+			requests <- seeds[:len(seeds):len(seeds)]
+		}
+	}
+	close(requests)
+	wg.Wait()
+	for r := uint64(0); r < rounds; r++ {
+		want := serial.ServerPad(roster[r], r, 256)
+		if !bytes.Equal(results[r], want) {
+			t.Fatalf("round %d pad diverges under concurrent prefetch", r)
+		}
+	}
+}

@@ -87,22 +87,28 @@ func EncodeSlot(buf []byte, p SlotPayload, rnd io.Reader) error {
 		buf[0] = 1
 	}
 	body := buf[SeedLen:]
-	for i := range body {
-		body[i] = 0
-	}
 	binary.BigEndian.PutUint32(body[0:4], uint32(p.NextLen))
 	body[4] = p.ShuffleReq
 	binary.BigEndian.PutUint32(body[5:9], uint32(len(p.Data)))
-	copy(body[slotHeaderLen:], p.Data)
-	mask := crypto.NewAESPRNG(crypto.Hash("dissent/slot-mask", buf[:SeedLen]))
-	mask.XORKeyStream(body, body)
+	n := copy(body[slotHeaderLen:], p.Data)
+	// Only the padding tail needs zeroing — the header and data regions
+	// were just written in full.
+	clear(body[slotHeaderLen+n:])
+	crypto.XORHashStream(slotMaskDomain, buf[:SeedLen], 0, body)
 	return nil
 }
+
+// slotMaskDomain keys the OAEP-like slot body mask. The mask stream is
+// the allocation-free SHA-256 PRF (crypto.XORHashStream): every encode
+// draws a fresh seed, so a rekeyable-without-allocating stream is what
+// keeps the client submit path at 0 allocs/op.
+const slotMaskDomain = "dissent/slot-mask"
 
 // DecodeSlot parses a slot region from a round's cleartext output.
 // idle is true when the region is all zero — the owner transmitted
 // nothing (offline or silent). An error means the region was garbled,
-// e.g. by a disruptor.
+// e.g. by a disruptor. buf is not modified; the only allocations are
+// the returned payload and its data copy.
 func DecodeSlot(buf []byte) (p *SlotPayload, idle bool, err error) {
 	if len(buf) < MinSlotLen {
 		return nil, false, fmt.Errorf("dcnet: slot too short: %d", len(buf))
@@ -110,17 +116,21 @@ func DecodeSlot(buf []byte) (p *SlotPayload, idle bool, err error) {
 	if allZero(buf) {
 		return nil, true, nil
 	}
-	body := make([]byte, len(buf)-SeedLen)
-	mask := crypto.NewAESPRNG(crypto.Hash("dissent/slot-mask", buf[:SeedLen]))
-	mask.XORKeyStream(body, buf[SeedLen:])
-	dataLen := int(binary.BigEndian.Uint32(body[5:9]))
-	if dataLen < 0 || dataLen > len(body)-slotHeaderLen {
+	seed := buf[:SeedLen]
+	var hdr [slotHeaderLen]byte
+	copy(hdr[:], buf[SeedLen:])
+	crypto.XORHashStream(slotMaskDomain, seed, 0, hdr[:])
+	dataLen := int(binary.BigEndian.Uint32(hdr[5:9]))
+	if dataLen < 0 || dataLen > len(buf)-MinSlotLen {
 		return nil, false, fmt.Errorf("dcnet: slot data length %d exceeds body", dataLen)
 	}
+	data := make([]byte, dataLen)
+	copy(data, buf[SeedLen+slotHeaderLen:])
+	crypto.XORHashStream(slotMaskDomain, seed, slotHeaderLen, data)
 	return &SlotPayload{
-		NextLen:    int(binary.BigEndian.Uint32(body[0:4])),
-		ShuffleReq: body[4],
-		Data:       append([]byte(nil), body[slotHeaderLen:slotHeaderLen+dataLen]...),
+		NextLen:    int(binary.BigEndian.Uint32(hdr[0:4])),
+		ShuffleReq: hdr[4],
+		Data:       data,
 	}, false, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"dissent/internal/crypto"
+	"dissent/internal/wire"
 )
 
 // Membership churn (§3.7, §3.9 aftermath): the group's client roster is
@@ -66,28 +67,28 @@ func AppendRosterMembers(b []byte, ms []RosterMember) []byte {
 // DecodeRosterMembers parses a list written by AppendRosterMembers and
 // returns the remaining bytes.
 func DecodeRosterMembers(data []byte) ([]RosterMember, []byte, error) {
-	d := rosterDec{data}
-	n, err := d.count()
+	d := rosterDec{B: data}
+	n, err := d.Count(maxRosterList)
 	if err != nil {
 		return nil, nil, err
 	}
 	var ms []RosterMember
 	for i := 0; i < n; i++ {
 		var m RosterMember
-		if m.PubKey, err = d.bytes(); err != nil {
+		if m.PubKey, err = d.Bytes(); err != nil {
 			return nil, nil, err
 		}
-		if m.PseuKey, err = d.bytes(); err != nil {
+		if m.PseuKey, err = d.Bytes(); err != nil {
 			return nil, nil, err
 		}
-		addr, err := d.bytes()
+		addr, err := d.Bytes()
 		if err != nil {
 			return nil, nil, err
 		}
 		m.Addr = string(addr)
 		ms = append(ms, m)
 	}
-	return ms, d.b, nil
+	return ms, d.B, nil
 }
 
 // AppendNodeIDs appends a count-prefixed node-ID list.
@@ -102,22 +103,22 @@ func AppendNodeIDs(b []byte, ids []NodeID) []byte {
 // DecodeNodeIDs parses a list written by AppendNodeIDs and returns the
 // remaining bytes.
 func DecodeNodeIDs(data []byte) ([]NodeID, []byte, error) {
-	d := rosterDec{data}
-	n, err := d.count()
+	d := rosterDec{B: data}
+	n, err := d.Count(maxRosterList)
 	if err != nil {
 		return nil, nil, err
 	}
-	if uint64(n)*8 > uint64(len(d.b)) {
+	if uint64(n)*8 > uint64(len(d.B)) {
 		return nil, nil, errRosterTruncated
 	}
 	var ids []NodeID
 	for i := 0; i < n; i++ {
 		var id NodeID
-		copy(id[:], d.b[:8])
-		d.b = d.b[8:]
+		copy(id[:], d.B[:8])
+		d.B = d.B[8:]
 		ids = append(ids, id)
 	}
-	return ids, d.b, nil
+	return ids, d.B, nil
 }
 
 // encodeBody serializes everything the signatures cover.
@@ -145,85 +146,46 @@ func appendBytes(b, v []byte) []byte {
 	return append(b, v...)
 }
 
-// rosterDec is a minimal bounds-checked reader for roster updates.
-type rosterDec struct{ b []byte }
+// rosterDec is the shared bounds-checked wire reader (internal/wire),
+// the same codec internal/core's message payloads decode with.
+type rosterDec = wire.Reader
 
-var errRosterTruncated = errors.New("group: truncated roster update")
-
-func (d *rosterDec) u32() (uint32, error) {
-	if len(d.b) < 4 {
-		return 0, errRosterTruncated
-	}
-	v := binary.BigEndian.Uint32(d.b)
-	d.b = d.b[4:]
-	return v, nil
-}
-
-func (d *rosterDec) u64() (uint64, error) {
-	if len(d.b) < 8 {
-		return 0, errRosterTruncated
-	}
-	v := binary.BigEndian.Uint64(d.b)
-	d.b = d.b[8:]
-	return v, nil
-}
-
-func (d *rosterDec) bytes() ([]byte, error) {
-	n, err := d.u32()
-	if err != nil {
-		return nil, err
-	}
-	if uint64(n) > uint64(len(d.b)) {
-		return nil, errRosterTruncated
-	}
-	v := d.b[:n:n]
-	d.b = d.b[n:]
-	return v, nil
-}
-
-func (d *rosterDec) count() (int, error) {
-	n, err := d.u32()
-	if err != nil {
-		return 0, err
-	}
-	if n > maxRosterList || uint64(n) > uint64(len(d.b)) {
-		return 0, fmt.Errorf("group: roster list length %d out of range", n)
-	}
-	return int(n), nil
-}
+// errRosterTruncated aliases the shared truncation error so existing
+// callers (and errors.Is checks) keep working.
+var errRosterTruncated = wire.ErrTruncated
 
 // DecodeRosterUpdate parses an update serialized by Encode.
 func DecodeRosterUpdate(data []byte) (*RosterUpdate, error) {
-	d := rosterDec{data}
+	d := rosterDec{B: data}
 	u := &RosterUpdate{}
 	var err error
-	if u.Version, err = d.u64(); err != nil {
+	if u.Version, err = d.U64(); err != nil {
 		return nil, err
 	}
-	if len(d.b) < 32 {
+	if len(d.B) < 32 {
 		return nil, errRosterTruncated
 	}
-	copy(u.PrevDigest[:], d.b[:32])
-	d.b = d.b[32:]
-	if u.Admit, d.b, err = DecodeRosterMembers(d.b); err != nil {
+	copy(u.PrevDigest[:], d.B[:32])
+	d.B = d.B[32:]
+	if u.Admit, d.B, err = DecodeRosterMembers(d.B); err != nil {
 		return nil, err
 	}
-	if u.Remove, d.b, err = DecodeNodeIDs(d.b); err != nil {
+	if u.Remove, d.B, err = DecodeNodeIDs(d.B); err != nil {
 		return nil, err
 	}
-	nSigs, err := d.count()
+	nSigs, err := d.Count(maxRosterList)
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < nSigs; i++ {
-		s, err := d.bytes()
+		s, err := d.Bytes()
 		if err != nil {
 			return nil, err
 		}
 		u.Sigs = append(u.Sigs, s)
 	}
-	if len(d.b) != 0 {
-		return nil, fmt.Errorf("group: %d trailing bytes after roster update", len(d.b))
+	if len(d.B) != 0 {
+		return nil, fmt.Errorf("group: %d trailing bytes after roster update", len(d.B))
 	}
 	return u, nil
 }

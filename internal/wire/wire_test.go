@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 40)
+	w.Bytes([]byte("payload"))
+	w.ByteSlices([][]byte{{1}, {}, {2, 3}})
+	w.Int32s([]int32{-1, 0, 42})
+
+	r := Reader{B: w.B}
+	if v, err := r.U8(); err != nil || v != 7 {
+		t.Fatalf("U8 = %d, %v", v, err)
+	}
+	if v, err := r.U32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("U32 = %x, %v", v, err)
+	}
+	if v, err := r.U64(); err != nil || v != 1<<40 {
+		t.Fatalf("U64 = %d, %v", v, err)
+	}
+	if v, err := r.Bytes(); err != nil || string(v) != "payload" {
+		t.Fatalf("Bytes = %q, %v", v, err)
+	}
+	bs, err := r.ByteSlices()
+	if err != nil || len(bs) != 3 || !bytes.Equal(bs[2], []byte{2, 3}) {
+		t.Fatalf("ByteSlices = %v, %v", bs, err)
+	}
+	is, err := r.Int32s()
+	if err != nil || len(is) != 3 || is[0] != -1 || is[2] != 42 {
+		t.Fatalf("Int32s = %v, %v", is, err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTruncationAtEveryPrefix(t *testing.T) {
+	var w Writer
+	w.U64(9)
+	w.Bytes([]byte("abcdef"))
+	w.ByteSlices([][]byte{{1, 2}, {3}})
+	w.Int32s([]int32{5, 6})
+	full := w.B
+
+	decode := func(b []byte) error {
+		r := Reader{B: b}
+		if _, err := r.U64(); err != nil {
+			return err
+		}
+		if _, err := r.Bytes(); err != nil {
+			return err
+		}
+		if _, err := r.ByteSlices(); err != nil {
+			return err
+		}
+		if _, err := r.Int32s(); err != nil {
+			return err
+		}
+		return r.Done()
+	}
+	if err := decode(full); err != nil {
+		t.Fatalf("full payload rejected: %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if decode(full[:cut]) == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if decode(append(append([]byte(nil), full...), 0)) == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestHostileLengthWords(t *testing.T) {
+	// A huge declared length must fail cleanly, without allocating.
+	r := Reader{B: []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}}
+	if _, err := r.Bytes(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("hostile Bytes length: %v", err)
+	}
+	r = Reader{B: []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}}
+	if _, err := r.ByteSlices(); err == nil {
+		t.Fatal("hostile ByteSlices length accepted")
+	}
+	r = Reader{B: []byte{0x00, 0x00, 0x00, 0x08, 1, 2, 3}}
+	if _, err := r.Count(4); err == nil {
+		t.Fatal("count beyond max accepted")
+	}
+}
+
+func TestRawClipsCapacity(t *testing.T) {
+	r := Reader{B: []byte{1, 2, 3, 4, 5}}
+	v, err := r.Raw(2)
+	if err != nil || len(v) != 2 {
+		t.Fatalf("Raw: %v, %v", v, err)
+	}
+	if cap(v) != 2 {
+		t.Fatalf("Raw capacity %d leaks past the field", cap(v))
+	}
+	if _, err := r.Raw(4); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("over-long Raw: %v", err)
+	}
+}
+
+func TestByteSlicesProperty(t *testing.T) {
+	f := func(in [][]byte) bool {
+		var w Writer
+		w.ByteSlices(in)
+		r := Reader{B: w.B}
+		out, err := r.ByteSlices()
+		if err != nil || r.Done() != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !bytes.Equal(out[i], in[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

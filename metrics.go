@@ -41,6 +41,17 @@ type SessionMetrics struct {
 	// "client submission" share of round time.
 	WindowsClosed uint64        `json:"windows_closed"`
 	WindowTime    time.Duration `json:"window_time_ns"`
+	// PadComputeTime is cumulative critical-path DC-net pad expansion
+	// time (server: residual pad work at window close; client:
+	// ciphertext build at submit). CombineTime is the server's
+	// cumulative combine latency (ciphertext fold + share assembly).
+	// PadPrefetchHits/Misses count rounds served from (resp. without) a
+	// prefetched pad. Together they make the PR 5 data-plane speedups
+	// observable from `dissentd -metrics`.
+	PadComputeTime    time.Duration `json:"pad_compute_ns"`
+	CombineTime       time.Duration `json:"combine_ns"`
+	PadPrefetchHits   uint64        `json:"pad_prefetch_hits"`
+	PadPrefetchMisses uint64        `json:"pad_prefetch_misses"`
 }
 
 // HostMetrics aggregates a Host's sessions, including totals carried
@@ -117,6 +128,13 @@ func (s *Session) Metrics() SessionMetrics {
 		LastRound:       s.stats.lastRound.Load(),
 		WindowsClosed:   s.stats.windows.Load(),
 		WindowTime:      time.Duration(s.stats.windowNanos.Load()),
+	}
+	if pr, ok := s.engine.(interface{ PerfStats() core.PerfStats }); ok {
+		ps := pr.PerfStats()
+		m.PadComputeTime = ps.PadCompute
+		m.CombineTime = ps.Combine
+		m.PadPrefetchHits = ps.PrefetchHits
+		m.PadPrefetchMisses = ps.PrefetchMisses
 	}
 	if opened := s.stats.openedAt.Load(); opened != 0 {
 		m.Uptime = time.Since(time.Unix(0, opened))
