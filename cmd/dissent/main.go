@@ -19,6 +19,13 @@
 // rejected — and prints the requested entry:
 //
 //	dissent beacon -url http://server0:7080 -group group.json [-round N]
+//
+// The trace subcommand fetches a daemon's recent per-round span
+// records from its debug endpoint (dissentd -metrics address) and
+// prints the slowest rounds with their phase breakdown — submission
+// window, pad expansion, combine, certification, blame:
+//
+//	dissent trace -url http://server0:7090 [-n 10] [-all]
 package main
 
 import (
@@ -42,9 +49,12 @@ import (
 func main() {
 	log.SetPrefix("dissent: ")
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "beacon" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "beacon":
 		err = beaconCmd(os.Args[2:], os.Stdout)
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "trace":
+		err = traceCmd(os.Args[2:], os.Stdout)
+	default:
 		err = run(os.Args[1:])
 	}
 	if err != nil && !errors.Is(err, flag.ErrHelp) {

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -52,5 +56,63 @@ func TestBeaconCmdRejectsBadInputs(t *testing.T) {
 				t.Errorf("beaconCmd(%v) succeeded, want error", tc.args)
 			}
 		})
+	}
+}
+
+// TestTraceCmd serves a canned /debug/rounds payload and checks the
+// rendered table: slowest-first ordering, -n truncation, and the phase
+// columns and flags.
+func TestTraceCmd(t *testing.T) {
+	payload := `[{"session":"aabbccdd00112233","group":"g1","role":"server","traces":[
+		{"round":1,"start":"2026-08-07T10:00:00Z","window_ns":2000000,"pad_ns":300000,"combine_ns":100000,"certify_ns":400000,"total_ns":3000000,"participation":4,"prefetch_hit":true},
+		{"round":2,"start":"2026-08-07T10:00:01Z","window_ns":5000000,"pad_ns":200000,"combine_ns":90000,"certify_ns":300000,"total_ns":9000000,"participation":3,"stragglers":1,"failed":true}
+	]}]`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/rounds" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := traceCmd([]string{"-url", srv.URL, "-n", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "SESSION") || !strings.Contains(got, "WINDOW") {
+		t.Fatalf("missing table header:\n%s", got)
+	}
+	// -n 1 keeps only the slowest round (round 2, total 9ms).
+	if lines := strings.Count(strings.TrimSpace(got), "\n"); lines != 1 {
+		t.Fatalf("want header + 1 row, got %d rows:\n%s", lines, got)
+	}
+	if !strings.Contains(got, "9ms") || strings.Contains(got, "prefetch") {
+		t.Fatalf("want only round 2 (slowest):\n%s", got)
+	}
+	if !strings.Contains(got, "FAILED") {
+		t.Fatalf("failed flag not rendered:\n%s", got)
+	}
+	if !strings.Contains(got, "aabbccdd") {
+		t.Fatalf("session prefix not rendered:\n%s", got)
+	}
+
+	out.Reset()
+	if err := traceCmd([]string{"-url", srv.URL, "-all"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "prefetch") {
+		t.Fatalf("-all must include round 1's prefetch flag:\n%s", got)
+	}
+}
+
+func TestTraceCmdRejectsBadInputs(t *testing.T) {
+	for _, args := range [][]string{{}, {"-url", "http://x", "-zzz"}} {
+		var out bytes.Buffer
+		if err := traceCmd(args, &out); err == nil {
+			t.Errorf("traceCmd(%v) succeeded, want error", args)
+		}
 	}
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dissent"
+)
+
+// tracedSession mirrors one entry of dissentd's /debug/rounds payload.
+type tracedSession struct {
+	Session string               `json:"session"`
+	Group   string               `json:"group"`
+	Role    string               `json:"role"`
+	Traces  []dissent.RoundTrace `json:"traces"`
+}
+
+// traceRow is one flattened round span with its owning session's tag.
+type traceRow struct {
+	group, role string
+	t           dissent.RoundTrace
+}
+
+// traceCmd implements "dissent trace": fetch a daemon's recent round
+// span records from /debug/rounds and print the slowest ones, so an
+// operator can see where round latency goes (window vs pad vs combine
+// vs certify) without a metrics stack.
+func traceCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dissent trace", flag.ContinueOnError)
+	url := fs.String("url", "", "debug endpoint base URL, e.g. http://server0:7090 (dissentd -metrics address)")
+	n := fs.Int("n", 10, "print the N slowest recent rounds")
+	all := fs.Bool("all", false, "print every retained round, newest first, instead of the slowest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("dissent trace: -url is required")
+	}
+
+	// Always fetch each session's full ring (128 spans): picking the N
+	// slowest needs all of it.
+	resp, err := http.Get(strings.TrimRight(*url, "/") + "/debug/rounds?n=128")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dissent trace: GET /debug/rounds: %s", resp.Status)
+	}
+	var sessions []tracedSession
+	if err := json.NewDecoder(resp.Body).Decode(&sessions); err != nil {
+		return fmt.Errorf("dissent trace: decode /debug/rounds: %w", err)
+	}
+
+	rows := make([]traceRow, 0, 64)
+	for _, s := range sessions {
+		for _, t := range s.Traces {
+			if t.Session == "" {
+				t.Session = s.Session
+			}
+			rows = append(rows, traceRow{group: s.Group, role: s.Role, t: t})
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no round traces yet")
+		return nil
+	}
+	if *all {
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].t.Start.After(rows[j].t.Start) })
+	} else {
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].t.Total > rows[j].t.Total })
+	}
+	if *n > 0 && len(rows) > *n {
+		rows = rows[:*n]
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SESSION\tROLE\tROUND\tTOTAL\tWINDOW\tPAD\tCOMBINE\tCERTIFY\tBLAME\tPART\tSTRAG\tFLAGS")
+	for _, r := range rows {
+		t := r.t
+		sid := t.Session
+		if len(sid) > 8 {
+			sid = sid[:8]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+			sid, r.role, t.Round,
+			fmtDur(t.Total), fmtDur(t.Window), fmtDur(t.Pad), fmtDur(t.Combine),
+			fmtDur(t.Certify), fmtDur(t.Blame),
+			t.Participation, t.Stragglers, traceFlags(t))
+	}
+	return tw.Flush()
+}
+
+// fmtDur renders a phase duration compactly; "-" for phases the role
+// did not run.
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+// traceFlags summarizes a span's booleans: prefetch hit, failed round,
+// window reopenings, blame verdict.
+func traceFlags(t dissent.RoundTrace) string {
+	var fl []string
+	if t.PrefetchHit {
+		fl = append(fl, "prefetch")
+	}
+	if t.Failed {
+		fl = append(fl, "FAILED")
+	}
+	if t.Attempts > 0 {
+		fl = append(fl, fmt.Sprintf("reopened×%d", t.Attempts))
+	}
+	if t.BlameVerdict != "" {
+		fl = append(fl, "blame:"+t.BlameVerdict)
+	}
+	if len(fl) == 0 {
+		return "-"
+	}
+	return strings.Join(fl, ",")
+}

@@ -38,21 +38,24 @@
 // (DC-net round numbers and the session genesis restart with each
 // session) and a fresh file begun.
 //
-// With -metrics the daemon serves the host's aggregated and
-// per-session counters (rounds/s, bytes in/out, window timings) as
-// JSON at /metrics, expvar style, and every session's certified
-// membership roster at /roster: the roster version, hash-chain
-// digest, member list with expulsion state, and the latest certified
-// RosterUpdate (hex), verifiable against the group's server keys.
+// With -metrics the daemon serves the host's operator/debug endpoint:
+// Prometheus text exposition at /metrics (per-session round, traffic,
+// and churn counters plus the dissent_round_phase_seconds latency
+// histograms), the same snapshot as expvar-style JSON at
+// /metrics.json, recent per-round span records at /debug/rounds (the
+// input of `dissent trace`), the standard runtime profiles under
+// /debug/pprof/, and every session's certified membership roster at
+// /roster: the roster version, hash-chain digest, member list with
+// expulsion state, and the latest certified RosterUpdate (hex),
+// verifiable against the group's server keys.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -64,12 +67,12 @@ import (
 )
 
 func main() {
-	log.SetPrefix("dissentd: ")
 	if err := run(os.Args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return
 		}
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "dissentd:", err)
+		os.Exit(1)
 	}
 }
 
@@ -129,7 +132,8 @@ func parseSpecs(fs *flag.FlagSet) *[]*sessionSpec {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dissentd", flag.ContinueOnError)
 	listen := fs.String("listen", ":7000", "shared TCP listen address for every session")
-	metricsAddr := fs.String("metrics", "", "metrics HTTP listen address serving /metrics JSON (empty = disabled)")
+	metricsAddr := fs.String("metrics", "", "debug HTTP listen address serving Prometheus /metrics, /metrics.json, /debug/rounds, /debug/pprof/, /roster (empty = disabled)")
+	logLevel := fs.String("log-level", "info", "log level: debug (per-round engine milestones), info, warn, error")
 	specs := parseSpecs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,9 +142,15 @@ func run(args []string) error {
 		*specs = append(*specs, &sessionSpec{group: "group.json", roster: "roster.json"})
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	host, err := dissent.NewHost(
 		dissent.WithHostListenAddr(*listen),
-		dissent.WithHostErrorHandler(func(err error) { log.Printf("error: %v", err) }),
+		dissent.WithHostLogger(logger),
 	)
 	if err != nil {
 		return err
@@ -157,53 +167,35 @@ func run(args []string) error {
 	}()
 
 	for _, spec := range *specs {
-		if err := openSpec(host, spec, &stores); err != nil {
+		if err := openSpec(host, logger, spec, &stores); err != nil {
 			return fmt.Errorf("%s: %w", spec.group, err)
 		}
 	}
 
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			fmt.Fprintln(w, host.MetricsVar().String())
-		})
-		// /roster serves every session's current certified roster: the
-		// version, hash-chain digest, member list with expulsion state,
-		// and the latest certified RosterUpdate (hex), so external
-		// tooling can track membership churn and verify transitions.
-		mux.HandleFunc("/roster", func(w http.ResponseWriter, r *http.Request) {
-			var infos []dissent.RosterInfo
-			for _, sess := range host.Sessions() {
-				infos = append(infos, sess.RosterInfo())
-			}
-			w.Header().Set("Content-Type", "application/json")
-			if err := json.NewEncoder(w).Encode(infos); err != nil {
-				log.Printf("roster encode: %v", err)
-			}
-		})
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, mux)
-		log.Printf("metrics HTTP on %s (GET /metrics, /roster)", ln.Addr())
+		go http.Serve(ln, host.DebugHandler())
+		logger.Info("debug HTTP up", "addr", ln.Addr().String(),
+			"endpoints", "/metrics /metrics.json /debug/rounds /debug/pprof/ /roster")
 	}
 
-	log.Printf("host listening on %s with %d session(s)", host.Addr(), len(host.Sessions()))
+	logger.Info("host listening", "addr", host.Addr(), "sessions", len(host.Sessions()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	return nil
 }
 
 // openSpec loads one session block's files and opens its membership on
 // the host. Any beacon store it opens is appended to stores; the
 // caller closes them after the host has shut down.
-func openSpec(host *dissent.Host, spec *sessionSpec, stores *[]*dissent.BeaconFileStore) error {
+func openSpec(host *dissent.Host, logger *slog.Logger, spec *sessionSpec, stores *[]*dissent.BeaconFileStore) error {
 	grp, err := dissentcfg.LoadGroup(spec.group)
 	if err != nil {
 		return err
@@ -231,7 +223,7 @@ func openSpec(host *dissent.Host, spec *sessionSpec, stores *[]*dissent.BeaconFi
 		}
 		*stores = append(*stores, store)
 		if archived != "" {
-			log.Printf("previous beacon chain content archived to %s", archived)
+			logger.Info("previous beacon chain content archived", "path", archived)
 		}
 		opts = append(opts, dissent.WithBeaconStore(store))
 	}
@@ -240,7 +232,8 @@ func openSpec(host *dissent.Host, spec *sessionSpec, stores *[]*dissent.BeaconFi
 			return errors.New("-beacon set but the group policy disables the beacon")
 		}
 		opts = append(opts, dissent.WithBeaconHTTP(spec.beacon))
-		log.Printf("beacon HTTP on %s (GET /beacon/latest, /beacon/{round}, /beacon/schedule)", spec.beacon)
+		logger.Info("beacon HTTP up", "addr", spec.beacon,
+			"endpoints", "/beacon/latest /beacon/{round} /beacon/schedule")
 	}
 
 	sess, err := host.OpenSession(grp, keys, opts...)
@@ -253,12 +246,12 @@ func openSpec(host *dissent.Host, spec *sessionSpec, stores *[]*dissent.BeaconFi
 	}
 
 	gid := grp.GroupID()
-	tag := fmt.Sprintf("group %x", gid[:8])
-	log.Printf("%s: server %s (index %d) session open", tag, sess.ID(), sess.Index())
+	glog := logger.With("group", fmt.Sprintf("%x", gid[:8]))
+	glog.Info("session open", "server", sess.ID().String(), "index", sess.Index())
 	events := sess.Subscribe() // subscribe before the goroutine runs: the session is already live
 	go func() {
 		for e := range events {
-			log.Printf("%s: round %d: %s %s", tag, e.Round, e.Kind, e.Detail)
+			glog.Info("event", "round", e.Round, "kind", e.Kind.String(), "detail", e.Detail)
 		}
 	}()
 	return nil

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -21,6 +21,7 @@ import (
 // whole host down. All methods are safe for concurrent use.
 type Host struct {
 	cfg  hostConfig
+	log  *slog.Logger    // host logger, host-addr attr attached
 	mesh *transport.Mesh // TCP fabric; nil when sim is set
 	sim  *SimNet
 
@@ -48,6 +49,8 @@ type hostConfig struct {
 	listenAddr string
 	sim        *SimNet
 	onError    func(error)
+	onErrorSet bool // user-supplied handler: sessions inherit it too
+	logger     *slog.Logger
 }
 
 // WithHostListenAddr sets the shared TCP listen address every session
@@ -65,36 +68,55 @@ func WithHostSimNet(net *SimNet) HostOption {
 
 // WithHostErrorHandler observes soft errors from the shared fabric —
 // read failures, frames for unbound sessions — and is the default
-// error handler for sessions opened without WithErrorHandler. The
-// default logs them.
+// error handler for sessions opened without WithErrorHandler. When
+// omitted, fabric errors log at Warn through the host's structured
+// logger (with the host's address attached), and each session's soft
+// errors log through its own session logger.
 func WithHostErrorHandler(fn func(error)) HostOption {
-	return func(c *hostConfig) { c.onError = fn }
+	return func(c *hostConfig) { c.onError, c.onErrorSet = fn, true }
+}
+
+// WithHostLogger routes the host's structured logs — fabric soft
+// errors, and every hosted session's engine logs unless a session sets
+// its own WithLogger — through the given logger. Default
+// slog.Default().
+func WithHostLogger(l *slog.Logger) HostOption {
+	return func(c *hostConfig) { c.logger = l }
 }
 
 // NewHost creates a host and binds its shared fabric: a TCP listener
 // on the configured address, or the given SimNet.
 func NewHost(opts ...HostOption) (*Host, error) {
-	cfg := hostConfig{
-		listenAddr: ":0",
-		onError:    func(err error) { log.Printf("dissent: %v", err) },
-	}
+	cfg := hostConfig{listenAddr: ":0"}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	base := cfg.logger
+	if base == nil {
+		base = slog.Default()
+	}
 	h := &Host{
 		cfg:      cfg,
+		log:      base,
 		sessions: make(map[SessionID]*Session),
 		openedAt: time.Now(),
 	}
+	if cfg.onError == nil {
+		// Resolved through h.log so the handler picks up the host-addr
+		// attribute attached below, once the fabric is bound.
+		h.cfg.onError = func(err error) { h.log.Warn("host error", "err", err) }
+	}
 	if cfg.sim != nil {
 		h.sim = cfg.sim
+		h.log = base.With("host", h.Addr())
 		return h, nil
 	}
-	mesh, err := transport.NewMesh(cfg.listenAddr, cfg.onError)
+	mesh, err := transport.NewMesh(cfg.listenAddr, h.cfg.onError)
 	if err != nil {
 		return nil, err
 	}
 	h.mesh = mesh
+	h.log = base.With("host", h.Addr())
 	return h, nil
 }
 
@@ -119,7 +141,15 @@ func (h *Host) OpenSession(def *Group, keys Keys, opts ...Option) (*Session, err
 	if err != nil {
 		return nil, err
 	}
-	opts = append([]Option{WithErrorHandler(h.cfg.onError)}, opts...)
+	// Sessions inherit the host's logger (host-addr attr included) and,
+	// when the embedder installed one, its error handler. Prepended, so
+	// per-session WithLogger/WithErrorHandler options still win; with no
+	// handler anywhere, session errors log through the session logger.
+	inherited := []Option{WithLogger(h.log)}
+	if h.cfg.onErrorSet {
+		inherited = append(inherited, WithErrorHandler(h.cfg.onError))
+	}
+	opts = append(inherited, opts...)
 	s, err := newMemberSession(role, def, keys, opts)
 	if err != nil {
 		return nil, err

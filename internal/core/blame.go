@@ -80,6 +80,7 @@ func (s *Server) startBlame(now time.Time) (*Output, error) {
 		traces:  make(map[int]*TraceBits),
 		flagged: -1,
 	}
+	s.log.Debug("blame session opened", "round", s.roundNum, "blame_session", s.blameSession)
 	out := &Output{
 		Timer:  s.blame.closeAt,
 		Events: []Event{{Kind: EventBlameStarted, Round: s.roundNum, Detail: fmt.Sprintf("session %d", s.blameSession)}},
@@ -639,6 +640,8 @@ func (s *Server) judgeRebuttal(now time.Time, ci int, p *Rebuttal) (*Output, err
 func (s *Server) blameVerdict(now time.Time, culprit group.NodeID, verdict byte) (*Output, error) {
 	b := s.blame
 	out := &Output{}
+	s.log.Info("blame verdict", "round", s.roundNum, "blame_session", b.session,
+		"verdict", verdict, "culprit", culprit)
 	switch verdict {
 	case 1:
 		ci := s.def.ClientIndex(culprit)

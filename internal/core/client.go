@@ -12,6 +12,7 @@ import (
 	"dissent/internal/crypto"
 	"dissent/internal/dcnet"
 	"dissent/internal/group"
+	"dissent/internal/obs"
 	"dissent/internal/shuffle"
 )
 
@@ -42,7 +43,9 @@ type Client struct {
 	certKeys [][]byte
 	certSigs [][]byte
 
-	round         uint64 // next round to submit
+	round         uint64    // next round to submit
+	roundStart    time.Time // when `round` opened for us (trace span origin)
+	padDur        time.Duration
 	outbox        [][]byte
 	lastVec       []byte // message vector submitted for `round` (resend on failure); pooled
 	sentSlot      []byte // our encoded slot region this round (nil if closed); aliases sentBuf
@@ -362,7 +365,12 @@ func (c *Client) submitVector(now time.Time, vec []byte) (*Output, error) {
 		c.pad.ClientCiphertextInto(ct, c.serverSeeds, c.round, vec)
 		c.perf.prefetchMisses.Add(1)
 	}
-	c.perf.addPad(time.Since(t0))
+	d := time.Since(t0)
+	c.perf.addPad(d)
+	c.padDur = d
+	if c.roundStart.IsZero() {
+		c.roundStart = now
+	}
 	body := (&ClientSubmit{CT: ct}).Encode()
 	c.bufs.put(ct)
 	m, err := c.sign(MsgClientSubmit, c.round, body)
@@ -379,6 +387,29 @@ func (c *Client) submitVector(now time.Time, vec []byte) (*Output, error) {
 // PerfStats returns the client's data-plane timing counters. Safe to
 // call concurrently with engine progress.
 func (c *Client) PerfStats() PerfStats { return c.perf.snapshot() }
+
+// emitRoundTrace renders the client's view of a certified round as a
+// span record: submit-to-output latency plus the ciphertext-build time.
+// It also re-arms the span origin for the next round.
+func (c *Client) emitRoundTrace(now time.Time, round uint64, participation int, failed bool) {
+	start := c.roundStart
+	c.roundStart = now
+	if c.trace == nil {
+		return
+	}
+	t := obs.RoundTrace{
+		Round:         round,
+		Start:         start,
+		Pad:           c.padDur,
+		Participation: participation,
+		Failed:        failed,
+	}
+	if !start.IsZero() {
+		t.Total = now.Sub(start)
+	}
+	c.padDur = 0
+	c.trace(t)
+}
 
 func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 	if !c.ready || m.Round != c.round {
@@ -413,6 +444,7 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 		// Hard-timeout round: ciphertexts discarded; resubmit the same
 		// vector under the next round number (§3.7).
 		c.round = m.Round + 1
+		c.emitRoundTrace(now, m.Round, int(p.Count), true)
 		out := &Output{Events: []Event{{Kind: EventRoundFailed, Round: m.Round,
 			Detail: fmt.Sprintf("participation %d", p.Count)}}}
 		if c.epochBoundary(c.round) {
@@ -479,6 +511,7 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 			Detail: fmt.Sprintf("epoch at round %d", c.sched.Round())})
 	}
 	c.round = m.Round + 1
+	c.emitRoundTrace(now, m.Round, int(p.Count), false)
 	if c.epochBoundary(c.round) {
 		// Epoch boundary: servers run the roster phase before this round;
 		// hold our submission until the certified MsgRosterUpdate. The

@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"dissent/internal/beacon"
 	"dissent/internal/crypto"
 	"dissent/internal/dcnet"
 	"dissent/internal/group"
+	"dissent/internal/obs"
 )
 
 // Envelope is one outbound message with its destination.
@@ -161,6 +163,12 @@ type node struct {
 	// it through the round protocol's commit–reveal; clients extend it
 	// from certified round outputs.
 	beaconChain *beacon.Chain
+
+	// trace receives one span record per completed round (nil = off);
+	// log carries the engine's structured logger (never nil — a discard
+	// handler when the embedder injects none).
+	trace func(obs.RoundTrace)
+	log   *slog.Logger
 }
 
 func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
@@ -172,6 +180,10 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 	if prng == nil {
 		prng = crypto.NewAESPRNG
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	n := node{
 		def:     def,
 		grpID:   def.GroupID(),
@@ -182,6 +194,8 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 		rand:    opts.Rand,
 		prng:    prng,
 		signing: def.Policy.SignMessages,
+		trace:   opts.OnRoundTrace,
+		log:     logger,
 	}
 	if def.Policy.BeaconEpochRounds > 0 {
 		pubs := def.ServerPubKeys()
@@ -267,6 +281,15 @@ type Options struct {
 	// its calibrated per-call compute accounting stays well-defined;
 	// production deployments leave it off.
 	NoPadPrefetch bool
+	// OnRoundTrace, when non-nil, receives one obs.RoundTrace per
+	// completed round — the engine's phase timestamps as a span record.
+	// It runs on the engine's calling goroutine and must be fast and
+	// non-blocking; the SDK wires it to a bounded per-session ring and
+	// the phase-latency histograms.
+	OnRoundTrace func(obs.RoundTrace)
+	// Logger receives the engine's structured logs (round milestones at
+	// Debug, blame verdicts at Info). nil discards them.
+	Logger *slog.Logger
 }
 
 // sign builds a Message, signing it when the policy requires.

@@ -925,6 +925,8 @@ func (s *Server) applyCertifiedRoster(now time.Time, u *group.RosterUpdate, out 
 	if u.Version > rosterLogCap {
 		delete(s.rosterLog, u.Version-rosterLogCap)
 	}
+	s.log.Info("roster update applied", "round", s.roundNum, "version", newDef.Version,
+		"admitted", len(u.Admit), "removed", len(u.Remove))
 	out.Events = append(out.Events, Event{Kind: EventRosterChanged, Round: s.roundNum,
 		Detail: fmt.Sprintf("version %d (%d admitted, %d removed)", newDef.Version, len(u.Admit), len(u.Remove))})
 

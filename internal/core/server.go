@@ -11,6 +11,7 @@ import (
 	"dissent/internal/crypto"
 	"dissent/internal/dcnet"
 	"dissent/internal/group"
+	"dissent/internal/obs"
 	"dissent/internal/shuffle"
 )
 
@@ -51,6 +52,16 @@ type roundState struct {
 	start   time.Time
 	closeAt time.Time // adaptive window close (zero until threshold)
 	hardAt  time.Time
+
+	// Phase timestamps/durations for the round's trace span: the final
+	// window close, cumulative critical-path pad and combine work, when
+	// our certify signature went out, and whether the pad came from the
+	// background prefetch.
+	windowClosed time.Time
+	certifySent  time.Time
+	padDur       time.Duration
+	combineDur   time.Duration
+	prefetchHit  bool
 
 	subs map[int]*Message // client index -> signed submission (evidence)
 	cts  map[int][]byte   // client index -> ciphertext
@@ -860,6 +871,7 @@ func (s *Server) takeServerPad(rs *roundState, length int) []byte {
 			s.prefetch = nil
 			<-pf.done
 			s.perf.prefetchHits.Add(1)
+			rs.prefetchHit = true
 			// The adjustment is just more streams to fold in (XOR toggles
 			// absentees out and latecomers in alike); run it through the
 			// worker pool so a large absentee set costs no more per core
@@ -980,10 +992,13 @@ func (s *Server) roundTick(now time.Time) (*Output, error) {
 func (s *Server) closeWindow(now time.Time) (*Output, error) {
 	rs := s.round
 	rs.phase = rpInventory
+	rs.windowClosed = now
 	inv := &Inventory{Attempt: rs.attempt}
 	for _, ci := range sortedKeys(rs.subs) {
 		inv.Clients = append(inv.Clients, int32(ci))
 	}
+	s.log.Debug("window closed", "round", rs.r, "submissions", len(rs.subs),
+		"attempt", rs.attempt, "window", now.Sub(rs.start))
 	out := &Output{Events: []Event{{Kind: EventWindowClosed, Round: rs.r,
 		Detail: fmt.Sprintf("%d submissions", len(rs.subs))}}}
 	if err := s.broadcastServers(MsgInventory, rs.r, inv.Encode(), out); err != nil {
@@ -1087,7 +1102,9 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 	length := s.sched.Len()
 	t0 := time.Now()
 	share := s.takeServerPad(rs, length)
-	s.perf.addPad(time.Since(t0))
+	d := time.Since(t0)
+	s.perf.addPad(d)
+	rs.padDur += d
 
 	t0 = time.Now()
 	inDirect := make(map[int]bool, len(rs.directSets[s.idx]))
@@ -1112,7 +1129,9 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 			s.perf.accAdjusts.Add(1)
 		}
 	}
-	s.perf.addCombine(time.Since(t0))
+	d = time.Since(t0)
+	s.perf.addCombine(d)
+	rs.combineDur += d
 	if s.testCorruptShare != nil {
 		s.testCorruptShare(rs.r, share)
 	}
@@ -1254,13 +1273,16 @@ func (s *Server) maybeCombine(now time.Time) (*Output, error) {
 		crypto.XORBytes(cleartext, rs.shares[si])
 	}
 	rs.cleartext = cleartext
-	s.perf.addCombine(time.Since(t0))
+	d := time.Since(t0)
+	s.perf.addCombine(d)
+	rs.combineDur += d
 	return s.sendCertify(now)
 }
 
 func (s *Server) sendCertify(now time.Time) (*Output, error) {
 	rs := s.round
 	rs.phase = rpCertify
+	rs.certifySent = now
 	sig, err := s.kp.Sign("dissent/cleartext",
 		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext, beaconValueBytes(rs.beaconEntry)), s.rand)
 	if err != nil {
@@ -1349,6 +1371,7 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 	s.bufs.put(rs.ctAcc)
 	rs.ctAcc = nil
 
+	s.emitRoundTrace(now, rs)
 	s.prevCount = len(rs.included)
 	s.roundNum++
 	// Epoch boundary: the roster phase runs before the boundary round
@@ -1436,6 +1459,38 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// emitRoundTrace renders the round's phase timestamps as a span record
+// for the trace hook, and logs the certification at Debug.
+func (s *Server) emitRoundTrace(now time.Time, rs *roundState) {
+	total := now.Sub(rs.start)
+	s.log.Debug("round certified", "round", rs.r, "participation", len(rs.included),
+		"failed", rs.failed, "total", total)
+	if s.trace == nil {
+		return
+	}
+	t := obs.RoundTrace{
+		Round:         rs.r,
+		Attempts:      int(rs.attempt),
+		Start:         rs.start,
+		Pad:           rs.padDur,
+		Combine:       rs.combineDur,
+		Total:         total,
+		Participation: len(rs.included),
+		PrefetchHit:   rs.prefetchHit,
+		Failed:        rs.failed,
+	}
+	if !rs.windowClosed.IsZero() {
+		t.Window = rs.windowClosed.Sub(rs.start)
+	}
+	if !rs.certifySent.IsZero() {
+		t.Certify = now.Sub(rs.certifySent)
+	}
+	if n := s.expectedClients() - len(rs.included); n > 0 {
+		t.Stragglers = n
+	}
+	s.trace(t)
 }
 
 // violation wraps a protocol violation into an event output.

@@ -52,6 +52,12 @@ type SessionMetrics struct {
 	CombineTime       time.Duration `json:"combine_ns"`
 	PadPrefetchHits   uint64        `json:"pad_prefetch_hits"`
 	PadPrefetchMisses uint64        `json:"pad_prefetch_misses"`
+	// ChurnJoins/ChurnExpels count members admitted and removed by
+	// certified roster updates this session observed; RosterVersion is
+	// the current certified roster version (see PR 4's epoch churn).
+	ChurnJoins    uint64 `json:"churn_joins"`
+	ChurnExpels   uint64 `json:"churn_expels"`
+	RosterVersion uint64 `json:"roster_version"`
 }
 
 // HostMetrics aggregates a Host's sessions, including totals carried
@@ -90,6 +96,8 @@ type counters struct {
 	windows     atomic.Uint64
 	windowNanos atomic.Int64
 	phaseStart  atomic.Int64 // unix-nanos of the current round's start
+
+	joins, expels atomic.Uint64
 }
 
 // observe folds one engine event into the counters.
@@ -110,6 +118,10 @@ func (c *counters) observe(e Event) {
 	case core.EventRoundFailed:
 		c.failed.Add(1)
 		c.phaseStart.Store(now)
+	case core.EventMemberJoined:
+		c.joins.Add(1)
+	case core.EventMemberExpelled:
+		c.expels.Add(1)
 	}
 }
 
@@ -128,6 +140,9 @@ func (s *Session) Metrics() SessionMetrics {
 		LastRound:       s.stats.lastRound.Load(),
 		WindowsClosed:   s.stats.windows.Load(),
 		WindowTime:      time.Duration(s.stats.windowNanos.Load()),
+		ChurnJoins:      s.stats.joins.Load(),
+		ChurnExpels:     s.stats.expels.Load(),
+		RosterVersion:   s.RosterVersion(),
 	}
 	if pr, ok := s.engine.(interface{ PerfStats() core.PerfStats }); ok {
 		ps := pr.PerfStats()

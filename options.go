@@ -1,7 +1,7 @@
 package dissent
 
 import (
-	"log"
+	"log/slog"
 )
 
 // Option tunes Node construction.
@@ -16,14 +16,17 @@ type nodeConfig struct {
 	beaconAddr    string
 	advertiseAddr string
 	onError       func(error)
+	logger        *slog.Logger
 	msgBuf        int
 }
 
+// buildConfig folds the options over the defaults. onError and logger
+// stay nil here; newSessionShell resolves them together so the default
+// error handler logs through the session's own structured logger.
 func buildConfig(opts []Option) nodeConfig {
 	cfg := nodeConfig{
 		listenAddr: ":0",
 		msgBuf:     1024,
-		onError:    func(err error) { log.Printf("dissent: %v", err) },
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -76,9 +79,19 @@ func WithAdvertiseAddr(addr string) Option {
 
 // WithErrorHandler observes soft errors — transport read failures,
 // messages the engine rejects — that do not stop the node. The default
-// handler logs them.
+// handler logs them at Warn through the session's structured logger
+// (see WithLogger).
 func WithErrorHandler(fn func(error)) Option {
 	return func(c *nodeConfig) { c.onError = fn }
+}
+
+// WithLogger routes the session's structured logs — engine round
+// milestones at Debug, blame verdicts and roster updates at Info, soft
+// errors at Warn — through the given logger, with session, group, and
+// role attributes attached. Default slog.Default(). Host sessions
+// inherit the host's logger unless overridden.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *nodeConfig) { c.logger = l }
 }
 
 // WithMessageBuffer sets the Messages() channel capacity (default

@@ -3,13 +3,16 @@ package dissent
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dissent/internal/beacon"
 	"dissent/internal/core"
+	"dissent/internal/obs"
 )
 
 // Session is one group membership running inside a process: a protocol
@@ -55,7 +58,21 @@ type Session struct {
 	done    chan struct{}
 
 	stats counters
+
+	// Observability state (see obs.go): the session's structured
+	// logger (session/group/role attrs attached), the phase-latency
+	// histograms fed by engine round traces, the bounded ring of recent
+	// round spans, and the wall-clock origin of an in-flight accusation
+	// shuffle (unix-nanos; 0 when no blame is running).
+	log        *slog.Logger
+	hists      *sessionHists
+	traces     *obs.TraceRing
+	blameNanos atomic.Int64
 }
+
+// traceRingCap bounds the per-session ring of recent round spans
+// served at /debug/rounds and by Session.RecentTraces.
+const traceRingCap = 128
 
 type subscription struct {
 	kinds map[EventKind]bool // nil = all kinds
@@ -69,15 +86,72 @@ type dialFunc func(recv func(*Message), onError func(error)) (Link, error)
 // config) shared by member sessions and joiner sessions, plus the core
 // engine options derived from the config.
 func newSessionShell(role Role, def *Group, cfg nodeConfig) (*Session, core.Options) {
-	s := &Session{
-		role: role,
-		def:  def,
-		cfg:  cfg,
-		sid:  GroupSessionID(def),
-		msgs: make(chan RoundOutput, cfg.msgBuf),
-		done: make(chan struct{}),
+	sid := GroupSessionID(def)
+	base := cfg.logger
+	if base == nil {
+		base = slog.Default()
 	}
-	return s, core.Options{MessageGroup: def.MsgGroup(), BeaconStore: cfg.store}
+	logger := base.With("session", sid.String(), "group", def.Name, "role", role.String())
+	if cfg.onError == nil {
+		cfg.onError = func(err error) { logger.Warn("session error", "err", err) }
+	}
+	s := &Session{
+		role:   role,
+		def:    def,
+		cfg:    cfg,
+		sid:    sid,
+		log:    logger,
+		hists:  newSessionHists(),
+		traces: obs.NewTraceRing(traceRingCap),
+		msgs:   make(chan RoundOutput, cfg.msgBuf),
+		done:   make(chan struct{}),
+	}
+	return s, core.Options{
+		MessageGroup: def.MsgGroup(),
+		BeaconStore:  cfg.store,
+		Logger:       logger,
+		OnRoundTrace: s.onRoundTrace,
+	}
+}
+
+// onRoundTrace receives one span record per completed round from the
+// engine (on the engine's goroutine, under the session lock): stamp the
+// session, feed the phase-latency histograms, and retain it in the
+// ring. Histograms are atomics and the ring has its own lock, so this
+// never blocks the engine.
+func (s *Session) onRoundTrace(t obs.RoundTrace) {
+	t.Session = s.sid.String()
+	s.hists.observe(t)
+	s.traces.Push(t)
+}
+
+// observeSpan folds span-relevant events into the observability state:
+// accusation-shuffle wall-clock (blame starts and concludes outside
+// the round state machine, so the engine cannot time it) and the blame
+// histogram plus ring annotation at the verdict.
+func (s *Session) observeSpan(e Event) {
+	switch e.Kind {
+	case core.EventBlameStarted:
+		s.blameNanos.Store(time.Now().UnixNano())
+	case core.EventBlameVerdict:
+		t0 := s.blameNanos.Swap(0)
+		if t0 == 0 {
+			return
+		}
+		d := time.Duration(time.Now().UnixNano() - t0)
+		s.hists.blame.ObserveDuration(d)
+		s.traces.Annotate(e.Round, func(t *obs.RoundTrace) {
+			t.Blame = d
+			t.BlameVerdict = e.Detail
+		})
+	}
+}
+
+// RecentTraces returns up to n of the session's most recent round span
+// records, oldest first (all retained spans when n <= 0). The ring
+// holds the last 128 rounds.
+func (s *Session) RecentTraces(n int) []RoundTrace {
+	return s.traces.Snapshot(n)
 }
 
 // newMemberSession builds the engine and channels for one membership.
@@ -313,6 +387,7 @@ func (s *Session) dispatch(out *core.Output) {
 	}
 	for _, e := range out.Events {
 		s.stats.observe(e)
+		s.observeSpan(e)
 		s.pushEvent(e)
 	}
 	if len(out.NewPeers) > 0 {

@@ -1,6 +1,7 @@
 package dissent
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -67,6 +68,16 @@ func (s SessionID) String() string { return fmt.Sprintf("%x", s[:]) }
 
 // MarshalText renders the ID as hex for JSON/metrics output.
 func (s SessionID) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the hex rendering, so metrics and debug
+// snapshots round-trip through JSON.
+func (s *SessionID) UnmarshalText(b []byte) error {
+	if hex.DecodedLen(len(b)) != len(s) {
+		return fmt.Errorf("dissent: session ID must be %d hex characters", hex.EncodedLen(len(s)))
+	}
+	_, err := hex.Decode(s[:], b)
+	return err
+}
 
 // GroupSessionID returns the session ID under which a group's members
 // run: the group's self-certifying ID.
