@@ -17,6 +17,13 @@
 // perf trajectory is recorded this way:
 //
 //	dissent-bench -exp perf -json BENCH_seed.json
+//
+// With -compare FILE the perf run is additionally gated against a
+// committed baseline report: any benchmark slower than
+// baseline*threshold (default 2x, see -threshold) exits non-zero. CI
+// runs this as the bench regression gate:
+//
+//	dissent-bench -exp perf -quick -compare BENCH_pr7.json
 package main
 
 import (
@@ -38,10 +45,13 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down configurations")
 	clients := flag.String("clients", "", "comma-separated client counts overriding fig7's sweep")
 	jsonOut := flag.String("json", "", "with -exp perf: write the JSON perf report to this file")
+	compare := flag.String("compare", "", "with -exp perf: gate against this baseline BENCH_*.json, exit 1 on regression")
+	threshold := flag.Float64("threshold", 2.0, "with -compare: regression ratio that fails the gate")
+	note := flag.String("note", "", "with -exp perf -json: environment caveat recorded in the report")
 	flag.Parse()
 	log.SetFlags(0)
 	if *exp == "perf" {
-		runPerf(*quick, *jsonOut)
+		runPerf(*quick, *jsonOut, *compare, *threshold, *note)
 		return
 	}
 	if *clients != "" {
@@ -79,9 +89,10 @@ func main() {
 	fn(*quick)
 }
 
-func runPerf(quick bool, jsonOut string) {
+func runPerf(quick bool, jsonOut, compare string, threshold float64, note string) {
 	fmt.Println("# data-plane perf suite (pad expansion, streaming combine, submit path)")
 	rep := bench.PerfSuite(quick)
+	rep.Note = note
 	fmt.Printf("go %s %s/%s GOMAXPROCS=%d\n", rep.GoVersion, rep.GOOS, rep.GOARCH, rep.GOMAXPROCS)
 	fmt.Printf("%-44s %-14s %-12s %-10s %s\n", "benchmark", "ns/op", "MB/s", "allocs/op", "B/op")
 	for _, r := range rep.Results {
@@ -100,6 +111,24 @@ func runPerf(quick bool, jsonOut string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("# wrote %s\n", jsonOut)
+	}
+	if compare != "" {
+		baseline, err := bench.ReadPerfReport(compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regs, skipped := bench.ComparePerf(baseline, rep, threshold)
+		for _, s := range skipped {
+			fmt.Printf("# gate: skipped %s\n", s)
+		}
+		if len(regs) > 0 {
+			fmt.Printf("# gate: %d regression(s) vs %s (threshold %.1fx):\n", len(regs), compare, threshold)
+			for _, r := range regs {
+				fmt.Printf("#   %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("# gate: ok vs %s (threshold %.1fx)\n", compare, threshold)
 	}
 }
 

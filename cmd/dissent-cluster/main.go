@@ -1,0 +1,120 @@
+// Command dissent-cluster runs cluster-scale scenarios: whole Dissent
+// deployments — servers and clients over an in-process SimNet or as
+// separate OS processes on loopback TCP — driven through declarative
+// workload + fault-schedule scenarios, each emitting one
+// BENCH_<scenario>.json benchmark report.
+//
+// Usage:
+//
+//	dissent-cluster -list                      # available scenarios
+//	dissent-cluster -scenario microblog        # run one scenario
+//	dissent-cluster -scenario all -quick       # smoke every scenario
+//	dissent-cluster -scenario microblog -mode tcp
+//
+// In tcp mode the command re-executes itself as the server worker
+// processes (steered by the DISSENT_CLUSTER_WORKER environment
+// variable), so no separate worker binary is needed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dissent/internal/cluster"
+)
+
+func main() {
+	// Worker dispatch first: when the orchestrator spawned this process
+	// as a server, the env var points at its config and no flags apply.
+	if cfg := os.Getenv(cluster.WorkerEnv); cfg != "" {
+		if err := cluster.RunWorkerFile(cfg); err != nil {
+			log.Fatalf("cluster worker: %v", err)
+		}
+		return
+	}
+
+	scenario := flag.String("scenario", "", "scenario name, or 'all'")
+	mode := flag.String("mode", "", "override deployment mode: sim|tcp")
+	servers := flag.Int("servers", 0, "override server count")
+	clients := flag.Int("clients", 0, "override client count")
+	run := flag.Duration("run", 0, "override the measured window")
+	quick := flag.Bool("quick", false, "shrink the scenario for a smoke run")
+	out := flag.String("out", ".", "directory for BENCH_<scenario>.json reports")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	verbose := flag.Bool("v", false, "narrate run phases")
+	flag.Parse()
+	log.SetFlags(0)
+
+	if *list {
+		fmt.Printf("%-16s %-5s %s\n", "scenario", "mode", "description")
+		for _, sc := range cluster.Scenarios() {
+			fmt.Printf("%-16s %-5s %s\n", sc.Name, sc.Mode, sc.Description)
+		}
+		return
+	}
+	if *scenario == "" {
+		fmt.Fprintln(os.Stderr, "need -scenario <name>|all (see -list)")
+		os.Exit(2)
+	}
+
+	var scenarios []cluster.Scenario
+	if *scenario == "all" {
+		scenarios = cluster.Scenarios()
+	} else {
+		sc, err := cluster.Lookup(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios = []cluster.Scenario{sc}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	failed := 0
+	for _, sc := range scenarios {
+		if *servers > 0 {
+			sc.Topology.Servers = *servers
+		}
+		if *clients > 0 {
+			sc.Topology.Clients = *clients
+		}
+		if *run > 0 {
+			sc.Run = *run
+		}
+		opts := cluster.Options{Mode: cluster.Mode(*mode), Quick: *quick}
+		if *verbose {
+			opts.Logf = func(format string, args ...any) {
+				log.Printf("[%s] "+format, append([]any{sc.Name}, args...)...)
+			}
+		}
+		fmt.Printf("=== scenario %s (%s) ===\n", sc.Name, sc.Description)
+		start := time.Now()
+		res, err := cluster.Run(ctx, sc, opts)
+		if err != nil {
+			log.Printf("scenario %s FAILED: %v", sc.Name, err)
+			failed++
+			continue
+		}
+		path, err := res.WriteReport(*out)
+		if err != nil {
+			log.Printf("scenario %s report: %v", sc.Name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%-28s %v\n", "wall time", time.Since(start).Round(time.Millisecond))
+		for _, row := range res.Report().Results {
+			fmt.Printf("%-28s %.2f %s\n", row.Name, row.Value, row.Unit)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -23,6 +23,11 @@ type GenerateConfig struct {
 	// BasePort is the first port of the localhost roster template
 	// (0 = 7000).
 	BasePort int
+	// Policy, when non-nil, replaces the default policy wholesale before
+	// the MessageGroup/BeaconEpochRounds overrides above apply. Scenario
+	// harnesses use it to generate groups under test-grade policies
+	// (small message groups, short windows).
+	Policy *dissent.Policy
 }
 
 // Generate creates a complete group in dir: one key file per member
@@ -43,6 +48,9 @@ func Generate(dir string, cfg GenerateConfig) (*dissent.Group, error) {
 		cfg.BasePort = 7000
 	}
 	policy := dissent.DefaultPolicy()
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+	}
 	if cfg.MessageGroup != "" {
 		policy.MessageGroup = cfg.MessageGroup
 	}

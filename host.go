@@ -324,6 +324,9 @@ func (h *Host) Metrics() HostMetrics {
 		m.RoundsFailed += sm.RoundsFailed
 		m.PerSession = append(m.PerSession, sm)
 	}
+	if h.mesh != nil {
+		m.Transport = transportMetrics(h.mesh.Stats())
+	}
 	return m
 }
 

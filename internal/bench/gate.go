@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// minNsDelta is the absolute floor below which a ratio regression is
+// noise: sub-microsecond benchmarks (the streaming critical path runs
+// in a few hundred ns) can double on timer jitter alone, so a gated
+// regression must also be slower by at least this many ns/op.
+const minNsDelta = 200.0
+
+// Regression is one benchmark that got worse than the committed
+// trajectory allows.
+type Regression struct {
+	// Name is the benchmark, Metric the dimension that regressed
+	// ("ns_per_op" or "allocs_per_op").
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
+	// Baseline and Current are the committed and measured values;
+	// Ratio is Current/Baseline.
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Ratio    float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.0f -> %.0f (%.2fx)",
+		r.Name, r.Metric, r.Baseline, r.Current, r.Ratio)
+}
+
+// ComparePerf gates a fresh perf run against a committed baseline.
+// A benchmark regresses when its ns/op exceeds baseline*threshold AND
+// the absolute slowdown clears minNsDelta (shields sub-µs cases from
+// timer noise), or when its allocs/op exceeds baseline*threshold
+// (allocation counts are deterministic — no noise floor needed).
+// threshold <= 0 defaults to 2.0 — deliberately generous: the gate
+// exists to catch order-of-magnitude accidents (a dropped fast path, an
+// accidental quadratic loop), not to police scheduler variance on
+// shared CI runners. Benchmarks present in only one report are returned
+// in skipped, never gated — renames must not fail the build.
+func ComparePerf(baseline, current PerfReport, threshold float64) (regs []Regression, skipped []string) {
+	if threshold <= 0 {
+		threshold = 2.0
+	}
+	base := make(map[string]PerfResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current.Results))
+	for _, cur := range current.Results {
+		seen[cur.Name] = true
+		if cur.Unit != "" {
+			continue // scenario measurement, informational only
+		}
+		b, ok := base[cur.Name]
+		if !ok {
+			skipped = append(skipped, cur.Name+" (no baseline)")
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*threshold &&
+			cur.NsPerOp-b.NsPerOp > minNsDelta {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "ns_per_op",
+				Baseline: b.NsPerOp, Current: cur.NsPerOp,
+				Ratio: cur.NsPerOp / b.NsPerOp,
+			})
+		}
+		if b.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > float64(b.AllocsPerOp)*threshold {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "allocs_per_op",
+				Baseline: float64(b.AllocsPerOp), Current: float64(cur.AllocsPerOp),
+				Ratio: float64(cur.AllocsPerOp) / float64(b.AllocsPerOp),
+			})
+		}
+	}
+	for _, b := range baseline.Results {
+		if !seen[b.Name] {
+			skipped = append(skipped, b.Name+" (not in current run)")
+		}
+	}
+	return regs, skipped
+}
+
+// ReadPerfReport loads a committed BENCH_*.json perf baseline.
+func ReadPerfReport(path string) (PerfReport, error) {
+	var rep PerfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("bench: %s holds no results", path)
+	}
+	return rep, nil
+}

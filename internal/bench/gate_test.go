@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func gateReport(results ...PerfResult) PerfReport {
+	return PerfReport{GoVersion: "go-test", Results: results}
+}
+
+func TestComparePerfGatesSlowdown(t *testing.T) {
+	base := gateReport(PerfResult{Name: "case-a", NsPerOp: 10_000, AllocsPerOp: 4})
+	cur := gateReport(PerfResult{Name: "case-a", NsPerOp: 25_000, AllocsPerOp: 4})
+	regs, _ := ComparePerf(base, cur, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "ns_per_op" || regs[0].Ratio != 2.5 {
+		t.Fatalf("regression %+v", regs[0])
+	}
+}
+
+func TestComparePerfWithinThresholdPasses(t *testing.T) {
+	base := gateReport(PerfResult{Name: "case-a", NsPerOp: 10_000})
+	cur := gateReport(PerfResult{Name: "case-a", NsPerOp: 19_000})
+	if regs, _ := ComparePerf(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("within-threshold run gated: %v", regs)
+	}
+}
+
+func TestComparePerfNoiseFloorShieldsSubMicrosecond(t *testing.T) {
+	// 240ns -> 520ns is > 2x but below the absolute noise floor: a
+	// sub-µs bench doubling on timer jitter must not fail the build.
+	base := gateReport(PerfResult{Name: "tiny", NsPerOp: 240})
+	cur := gateReport(PerfResult{Name: "tiny", NsPerOp: 420})
+	if regs, _ := ComparePerf(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("sub-µs noise gated: %v", regs)
+	}
+	// But a genuine order-of-magnitude blowup still gates.
+	cur = gateReport(PerfResult{Name: "tiny", NsPerOp: 2_400})
+	if regs, _ := ComparePerf(base, cur, 2.0); len(regs) != 1 {
+		t.Fatal("10x slowdown on a sub-µs bench not gated")
+	}
+}
+
+func TestComparePerfGatesAllocGrowth(t *testing.T) {
+	base := gateReport(PerfResult{Name: "case-a", NsPerOp: 100, AllocsPerOp: 2})
+	cur := gateReport(PerfResult{Name: "case-a", NsPerOp: 100, AllocsPerOp: 9})
+	regs, _ := ComparePerf(base, cur, 2.0)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("alloc growth not gated: %v", regs)
+	}
+}
+
+func TestComparePerfSkipsUnmatchedAndUnits(t *testing.T) {
+	base := gateReport(
+		PerfResult{Name: "renamed-away", NsPerOp: 100},
+		PerfResult{Name: "shared", NsPerOp: 100},
+	)
+	cur := gateReport(
+		PerfResult{Name: "shared", NsPerOp: 100},
+		PerfResult{Name: "brand-new", NsPerOp: 1},
+		PerfResult{Name: "rounds-per-sec", Value: 12.5, Unit: "rounds/s"},
+	)
+	regs, skipped := ComparePerf(base, cur, 2.0)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped %v, want the rename pair", skipped)
+	}
+}
+
+func TestReadPerfReportRoundTrip(t *testing.T) {
+	rep := gateReport(PerfResult{Name: "case-a", NsPerOp: 123})
+	data, err := rep.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Name != "case-a" {
+		t.Fatalf("round trip lost results: %+v", got)
+	}
+	if _, err := ReadPerfReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

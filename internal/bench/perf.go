@@ -22,18 +22,32 @@ type PerfResult struct {
 	// AllocsPerOp / BytesPerOp are steady-state allocation counts.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Value/Unit carry scenario-harness measurements that are not
+	// per-op timings (rounds/s, fan-out ratios, byte totals). Results
+	// with a Unit are informational and never gated.
+	Value float64 `json:"value,omitempty"`
+	Unit  string  `json:"unit,omitempty"`
 }
 
 // PerfReport is the JSON document cmd/dissent-bench -exp perf emits:
 // the measured data-plane hot paths plus enough environment to compare
 // runs across machines and PRs.
 type PerfReport struct {
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Quick      bool         `json:"quick"`
-	Results    []PerfResult `json:"results"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the machine's visible CPU count — read alongside
+	// GOMAXPROCS to spot oversubscribed runs (workers > cores), where
+	// parallel-speedup numbers are not meaningful.
+	NumCPU int  `json:"num_cpu,omitempty"`
+	Quick  bool `json:"quick"`
+	// Scenario names the cluster scenario that produced this report;
+	// empty for microbenchmark runs.
+	Scenario string `json:"scenario,omitempty"`
+	// Note carries free-form environment caveats (CPU limits, etc.).
+	Note    string       `json:"note,omitempty"`
+	Results []PerfResult `json:"results"`
 }
 
 // perfCase is one benchmark to run.
@@ -119,6 +133,7 @@ func PerfSuite(quick bool) PerfReport {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      quick,
 	}
 	for _, c := range cases {

@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dissent/internal/bench"
+)
+
+// TestMain doubles as the tcp-mode worker entry point: the orchestrator
+// re-executes the test binary with WorkerEnv set, so the same binary
+// that drives a tcp scenario also serves as its server processes.
+func TestMain(m *testing.M) {
+	if cfg := os.Getenv(WorkerEnv); cfg != "" {
+		if err := RunWorkerFile(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// --- scenario policy -------------------------------------------------
+
+func TestBuiltinScenariosValidate(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) < 4 {
+		t.Fatalf("only %d built-in scenarios", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", sc.Name, err)
+		}
+		if err := sc.Quick().Validate(); err != nil {
+			t.Errorf("builtin %s (quick): %v", sc.Name, err)
+		}
+		got, err := Lookup(sc.Name)
+		if err != nil || got.Name != sc.Name {
+			t.Errorf("Lookup(%s) = %v, %v", sc.Name, got.Name, err)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Error("Lookup of unknown scenario succeeded")
+	}
+}
+
+func TestQuickShrinks(t *testing.T) {
+	sc, err := Lookup("churn-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sc.Quick()
+	if q.Topology.Clients > 5 {
+		t.Errorf("quick kept %d clients", q.Topology.Clients)
+	}
+	if q.Run > 15*time.Second {
+		t.Errorf("quick kept run window %v", q.Run)
+	}
+	if q.Workload.Storms > 1 || q.Workload.Victims > 1 {
+		t.Errorf("quick kept storms=%d victims=%d", q.Workload.Storms, q.Workload.Victims)
+	}
+	if q.Workload.Kind != sc.Workload.Kind {
+		t.Errorf("quick changed the workload kind to %s", q.Workload.Kind)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Name:     "probe",
+			Mode:     ModeSim,
+			Topology: Topology{Servers: 3, Clients: 6},
+			Workload: Workload{Kind: WorkloadIdle},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"unnamed", func(sc *Scenario) { sc.Name = "" }},
+		{"bad mode", func(sc *Scenario) { sc.Mode = "udp" }},
+		{"no clients", func(sc *Scenario) { sc.Topology.Clients = 0 }},
+		{"too many posters", func(sc *Scenario) {
+			sc.Workload = Workload{Kind: WorkloadMicroblog, Posters: 7}
+		}},
+		{"browsers exceed clients", func(sc *Scenario) {
+			sc.Workload = Workload{Kind: WorkloadSocksBrowse, Browsers: 6, Pages: 1}
+		}},
+		{"churned browse with multi-slot frames", func(sc *Scenario) {
+			sc.Topology.EpochRounds = 4
+			sc.Topology.OpenLen = 1024
+			sc.Workload = Workload{Kind: WorkloadSocksBrowse, Browsers: 1, Pages: 1}
+		}},
+		{"churn without epochs", func(sc *Scenario) {
+			sc.Workload = Workload{Kind: WorkloadChurnStorm, Victims: 1, Storms: 1}
+		}},
+		{"all clients are victims", func(sc *Scenario) {
+			sc.Topology.EpochRounds = 4
+			sc.Workload = Workload{Kind: WorkloadChurnStorm, Victims: 6, Storms: 1}
+		}},
+		{"background churn without epochs", func(sc *Scenario) {
+			sc.Workload.ChurnVictims = 1
+		}},
+		{"background churn overlaps workload", func(sc *Scenario) {
+			sc.Topology.EpochRounds = 4
+			sc.Workload = Workload{Kind: WorkloadMicroblog, Posters: 4, ChurnVictims: 3}
+		}},
+		{"unknown workload", func(sc *Scenario) { sc.Workload.Kind = "torrent" }},
+		{"partition in tcp mode", func(sc *Scenario) {
+			sc.Mode = ModeTCP
+			sc.Faults = []Fault{{Kind: FaultPartitionServer, Server: 0}}
+		}},
+		{"kill in sim mode", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultKillServer, Server: 0}}
+		}},
+		{"fault server out of range", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultPartitionServer, Server: 3}}
+		}},
+		{"unknown fault", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: "meteor", Server: 0}}
+		}},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, sc)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base scenario invalid: %v", err)
+	}
+}
+
+// --- report schema ---------------------------------------------------
+
+func TestValidateReport(t *testing.T) {
+	good := bench.PerfReport{
+		GoVersion: "go1.24.0",
+		Scenario:  "probe",
+		Results: []bench.PerfResult{
+			{Name: "rounds-per-sec", Value: 3.5, Unit: "rounds/s"},
+			{Name: "bytes-moved", Value: 1024, Unit: "bytes"},
+		},
+	}
+	if err := ValidateReport(good); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+
+	bad := good
+	bad.Scenario = ""
+	if err := ValidateReport(bad); err == nil {
+		t.Error("report without scenario accepted")
+	}
+
+	bad = good
+	bad.Results = []bench.PerfResult{{Name: "rounds-per-sec", Value: 2}}
+	if err := ValidateReport(bad); err == nil {
+		t.Error("unitless row accepted (would leak into the microbench gate)")
+	}
+
+	bad = good
+	bad.Results = []bench.PerfResult{{Name: "bytes-moved", Value: 1, Unit: "bytes"}}
+	if err := ValidateReport(bad); err == nil {
+		t.Error("report without rounds-per-sec accepted")
+	}
+
+	bad = good
+	bad.Results[0].Value = 0
+	if err := ValidateReport(bad); err == nil {
+		t.Error("zero rounds-per-sec accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+	samples := []time.Duration{40, 10, 30, 20, 50}
+	if got := percentile(samples, 50); got != 30 {
+		t.Errorf("p50 = %v, want 30", got)
+	}
+	if got := percentile(samples, 99); got != 50 {
+		t.Errorf("p99 = %v, want 50", got)
+	}
+	if got := percentile(samples, 0); got != 10 {
+		t.Errorf("p0 = %v, want 10", got)
+	}
+}
+
+// --- end-to-end scenarios --------------------------------------------
+
+// runScenario executes a scenario with test-friendly options and fails
+// the test on any error.
+func runScenario(t *testing.T, sc Scenario, opts Options) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("cluster scenarios are long; skipped with -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
+	defer cancel()
+	if opts.ScrapeInterval == 0 {
+		opts.ScrapeInterval = 100 * time.Millisecond
+	}
+	opts.Logf = t.Logf
+	res, err := Run(ctx, sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.check(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// row finds a workload/report row by name.
+func row(t *testing.T, res *Result, name string) bench.PerfResult {
+	t.Helper()
+	for _, r := range res.Report().Results {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("report lacks the %q row; have %+v", name, res.Report().Results)
+	return bench.PerfResult{}
+}
+
+func TestScenarioMicroblogSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-microblog",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 4},
+		Workload: Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 96, PostEvery: 100 * time.Millisecond},
+		Run:      6 * time.Second,
+		Drain:    time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if res.Rounds == 0 || res.RoundsPerSec <= 0 {
+		t.Fatalf("no rounds: %+v", res)
+	}
+	if sent := row(t, res, "microblog-posts-sent"); sent.Value < 1 {
+		t.Errorf("posts sent = %v", sent.Value)
+	}
+	if ratio := row(t, res, "microblog-fanout-ratio"); ratio.Value <= 0 {
+		t.Errorf("fan-out ratio = %v", ratio.Value)
+	}
+	if res.BytesMoved == 0 {
+		t.Error("no wire bytes counted")
+	}
+
+	// The emitted report must round-trip through the perf schema.
+	dir := t.TempDir()
+	path, err := res.WriteReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_test-microblog.json" {
+		t.Errorf("unexpected report name %s", path)
+	}
+	rep, err := bench.ReadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioPartitionHealSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-partition-heal",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 4},
+		Workload: Workload{Kind: WorkloadMicroblog, Posters: 1, PostBytes: 96, PostEvery: 100 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultPartitionServer, Server: 2, At: 2 * time.Second, Duration: 2 * time.Second},
+		},
+		Run:   9 * time.Second,
+		Drain: time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	// Certification needs every server, so rounds must have kept going
+	// only because the partition healed: the run still certifies rounds
+	// overall, and healthy-latency percentiles exist.
+	if res.Rounds == 0 {
+		t.Fatal("no rounds certified across the partition window")
+	}
+	if res.HealthyP50 <= 0 {
+		t.Error("no healthy-round latency samples")
+	}
+}
+
+func TestScenarioChurnStormSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-churn-storm",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 6, EpochRounds: 4},
+		Workload: Workload{Kind: WorkloadChurnStorm, Victims: 1, Storms: 1},
+		Run:      60 * time.Second,
+		Drain:    time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if storms := row(t, res, "churn-storms-completed"); storms.Value < 1 {
+		t.Fatalf("no churn storm completed: %v", storms.Value)
+	}
+	if res.ChurnExpels < 1 || res.ChurnJoins < 1 {
+		t.Errorf("scraped churn counters: joins=%d expels=%d", res.ChurnJoins, res.ChurnExpels)
+	}
+}
+
+func TestScenarioSocksBrowseSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-socks-browse",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 3, OpenLen: 1024},
+		Workload: Workload{Kind: WorkloadSocksBrowse, Browsers: 1, Pages: 2},
+		Run:      60 * time.Second,
+		Drain:    time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if pages := row(t, res, "browse-pages-fetched"); pages.Value != 2 {
+		t.Fatalf("pages fetched = %v, want 2", pages.Value)
+	}
+	if p50 := row(t, res, "browse-page-p50"); p50.Value <= 0 {
+		t.Errorf("page p50 = %v", p50.Value)
+	}
+}
+
+// TestSocksBrowseUnderChurn exercises the SOCKS relay end to end while
+// an uninvolved client is repeatedly expelled and rejoined: pages must
+// keep landing across epoch rotations and certified roster updates.
+func TestSocksBrowseUnderChurn(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-browse-under-churn",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 5, EpochRounds: 4},
+		Workload: Workload{Kind: WorkloadSocksBrowse, Browsers: 1, Pages: 2, ChurnVictims: 1},
+		Run:      25 * time.Second,
+		Drain:    time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if pages := row(t, res, "browse-pages-fetched"); pages.Value != 2 {
+		t.Fatalf("pages fetched under churn = %v, want 2", pages.Value)
+	}
+	if cycles := row(t, res, "background-churn-cycles"); cycles.Value < 1 {
+		t.Errorf("background churn cycles = %v, want >= 1", cycles.Value)
+	}
+}
+
+func TestScenarioMicroblogTCP(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-microblog-tcp",
+		Mode:     ModeTCP,
+		Topology: Topology{Servers: 3, Clients: 4},
+		Workload: Workload{Kind: WorkloadMicroblog, Posters: 1, PostBytes: 96, PostEvery: 150 * time.Millisecond},
+		Run:      8 * time.Second,
+		Drain:    time.Second,
+	}
+	// WorkerExe defaults to os.Executable() — the test binary, whose
+	// TestMain dispatches on WorkerEnv.
+	res := runScenario(t, sc, Options{})
+	if res.Rounds == 0 {
+		t.Fatal("no rounds certified over tcp")
+	}
+	if sent := row(t, res, "microblog-posts-sent"); sent.Value < 1 {
+		t.Errorf("posts sent = %v", sent.Value)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"dissent/internal/bench"
+)
+
+// Report renders the result in the repository's BENCH_*.json perf
+// schema. Every row carries a Unit, so the bench regression gate
+// treats scenario reports as informational and never compares them
+// against microbenchmark trajectories.
+func (r *Result) Report() bench.PerfReport {
+	rep := bench.PerfReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scenario:   r.Scenario.Name,
+		Note:       fmt.Sprintf("cluster scenario, mode=%s, %dx%d", r.Scenario.Mode, r.Scenario.Topology.Servers, r.Scenario.Topology.Clients),
+	}
+	add := func(name string, value float64, unit string) {
+		rep.Results = append(rep.Results, bench.PerfResult{Name: name, Value: value, Unit: unit})
+	}
+	add("rounds-completed", float64(r.Rounds), "rounds")
+	add("rounds-per-sec", r.RoundsPerSec, "rounds/s")
+	if r.HealthyP50 > 0 {
+		add("round-latency-healthy-p50", float64(r.HealthyP50.Nanoseconds()), "ns")
+		add("round-latency-healthy-p99", float64(r.HealthyP99.Nanoseconds()), "ns")
+	}
+	if r.FaultP50 > 0 {
+		add("round-latency-fault-p50", float64(r.FaultP50.Nanoseconds()), "ns")
+		add("round-latency-fault-p99", float64(r.FaultP99.Nanoseconds()), "ns")
+	}
+	if r.DegradationRatio > 0 {
+		add("fault-degradation-ratio", r.DegradationRatio, "ratio")
+	}
+	add("bytes-moved", float64(r.BytesMoved), "bytes")
+	if r.ChurnJoins > 0 || r.ChurnExpels > 0 {
+		add("churn-joins", float64(r.ChurnJoins), "members")
+		add("churn-expels", float64(r.ChurnExpels), "members")
+	}
+	if r.DialFailures > 0 {
+		add("transport-dial-failures", float64(r.DialFailures), "dials")
+	}
+	rep.Results = append(rep.Results, r.WorkloadRows...)
+	return rep
+}
+
+// WriteReport writes BENCH_<scenario>.json into dir and returns the
+// path.
+func (r *Result) WriteReport(dir string) (string, error) {
+	if err := r.check(); err != nil {
+		return "", err
+	}
+	rep := r.Report()
+	if err := ValidateReport(rep); err != nil {
+		return "", err
+	}
+	data, err := rep.WriteJSON()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Scenario.Name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ValidateReport checks a scenario report is schema-complete: CI's
+// scenario-smoke job gates on this, and the tests pin it.
+func ValidateReport(rep bench.PerfReport) error {
+	if rep.Scenario == "" {
+		return fmt.Errorf("cluster: report lacks a scenario name")
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("cluster: report lacks the Go version")
+	}
+	var roundsPerSec *bench.PerfResult
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Name == "" {
+			return fmt.Errorf("cluster: report row %d lacks a name", i)
+		}
+		if res.Unit == "" {
+			return fmt.Errorf("cluster: report row %q lacks a unit (scenario rows must not enter the microbench gate)", res.Name)
+		}
+		if res.Name == "rounds-per-sec" {
+			roundsPerSec = res
+		}
+	}
+	if roundsPerSec == nil {
+		return fmt.Errorf("cluster: report lacks the rounds-per-sec row")
+	}
+	if roundsPerSec.Value <= 0 {
+		return fmt.Errorf("cluster: rounds-per-sec is %v — rounds never proceeded", roundsPerSec.Value)
+	}
+	return nil
+}

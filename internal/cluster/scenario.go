@@ -1,0 +1,390 @@
+// Package cluster is the scenario-orchestration subsystem: it runs
+// whole Dissent deployments — N anytrust servers and M clients over an
+// in-process SimNet or as separate OS processes on real loopback TCP —
+// through declarative scenarios combining a workload (microblog
+// fan-out, SOCKS web browsing, bulk filesharing, churn storms) with a
+// timed fault schedule (server partitions, link degradation, process
+// kills), and distills each run into one BENCH_<scenario>.json
+// benchmark report in the repository's perf-trajectory schema.
+//
+// The Scenario type is pure policy: what topology, what traffic, what
+// goes wrong when. The orchestrator (Run) is pure mechanism: it
+// provisions keys and group material through dissentcfg, deploys the
+// topology, supervises member lifecycles through the SDK, scrapes
+// every server's /metrics.json and /debug/rounds during the run, and
+// reduces the samples to a report. cmd/dissent-cluster is the CLI.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode selects the deployment fabric.
+type Mode string
+
+// Deployment modes.
+const (
+	// ModeSim runs every member in-process over one SimNet hub. Link
+	// faults (partitions, degradation) are available; process kills are
+	// not.
+	ModeSim Mode = "sim"
+	// ModeTCP runs each server as a separate OS process over real
+	// loopback TCP, with clients in the driver process. Process kills
+	// are available; link faults are not (loopback has no hub).
+	ModeTCP Mode = "tcp"
+)
+
+// Topology sizes the group and its protocol policy.
+type Topology struct {
+	// Servers and Clients count the members.
+	Servers, Clients int
+	// MessageGroup names the shuffle group ("" = modp-512-test, the
+	// test-grade group every scenario uses by default — scenarios
+	// measure systems behavior, not bignum throughput).
+	MessageGroup string
+	// WindowMin floors the submission window (0 = 15ms).
+	WindowMin time.Duration
+	// HardTimeout bounds a stalled round's collection window (0 = 30s).
+	// Rounds stalled in the server-server phases recover on their own:
+	// servers retransmit the round's phase messages on a WindowMin-scaled
+	// timer, so a healed partition resumes rounds within a few periods.
+	HardTimeout time.Duration
+	// EpochRounds sets BeaconEpochRounds: 0 disables the beacon (slots
+	// never rotate — required for long-lived SOCKS flows), nonzero
+	// enables epochs and therefore churn.
+	EpochRounds int
+	// OpenLen sets the open slot length in bytes (0 = 256).
+	OpenLen int
+}
+
+// WorkloadKind names a traffic driver.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	// WorkloadIdle drives no traffic: rounds still proceed on cover
+	// traffic, measuring the protocol floor.
+	WorkloadIdle WorkloadKind = "idle"
+	// WorkloadMicroblog has a few posters broadcast small payloads on a
+	// period while every client counts deliveries (the paper's
+	// microblogging application, §4.2).
+	WorkloadMicroblog WorkloadKind = "microblog"
+	// WorkloadSocksBrowse replays scaled-down web page downloads
+	// through the SOCKS entry/exit pair over the anonymous channel (the
+	// paper's web-browsing evaluation, Fig. 10).
+	WorkloadSocksBrowse WorkloadKind = "socks-browse"
+	// WorkloadFileshare bulk-transfers one file from a single sender
+	// while an observer measures slot throughput (§4.2 filesharing).
+	WorkloadFileshare WorkloadKind = "fileshare"
+	// WorkloadChurnStorm mass-expels a set of clients and concurrently
+	// rejoins them, repeatedly — epoch-boundary roster machinery under
+	// stress.
+	WorkloadChurnStorm WorkloadKind = "churn-storm"
+)
+
+// Workload configures the traffic driver. Only the fields of the
+// selected Kind matter.
+type Workload struct {
+	Kind WorkloadKind
+
+	// Microblog: Posters clients post PostBytes payloads every
+	// PostEvery.
+	Posters   int
+	PostBytes int
+	PostEvery time.Duration
+
+	// SocksBrowse: Browsers clients each fetch Pages corpus pages
+	// through the exit (the last client).
+	Browsers int
+	Pages    int
+
+	// Fileshare: one sender moves FileBytes in ChunkBytes pieces.
+	FileBytes  int
+	ChunkBytes int
+
+	// ChurnStorm: Victims clients are expelled and rejoined, Storms
+	// times over.
+	Victims int
+	Storms  int
+
+	// ChurnVictims, when nonzero, additionally churns that many clients
+	// (from the end of the client list, never workload participants) in
+	// the background of ANY workload — traffic under membership churn.
+	// Requires Topology.EpochRounds > 0.
+	ChurnVictims int
+}
+
+// Fault kinds.
+const (
+	// FaultPartitionServer cuts one server off from every other server
+	// for the window: certification needs all servers, so rounds stall
+	// until the window heals (sim only).
+	FaultPartitionServer = "partition-server"
+	// FaultDegradeServer impairs one server's links to all other
+	// members with latency/jitter/loss for the window (sim only).
+	FaultDegradeServer = "degrade-server"
+	// FaultKillServer kills one server process at At and restarts it
+	// Duration later (tcp only). NOTE: a restarted server cannot yet
+	// resume a live session (no server-state snapshot bootstrap — see
+	// ROADMAP), so rounds stay stalled after the kill; the fault
+	// measures detection and degradation, not recovery.
+	FaultKillServer = "kill-server"
+)
+
+// Fault is one timed entry of the fault schedule, relative to the
+// workload start.
+type Fault struct {
+	// Kind is one of the Fault* constants.
+	Kind string
+	// At is when the fault opens, measured from workload start;
+	// Duration is how long it lasts (0 = rest of the run).
+	At, Duration time.Duration
+	// Server indexes the affected server in definition order.
+	Server int
+	// Degradation parameters (FaultDegradeServer).
+	Latency, Jitter time.Duration
+	DropRate        float64
+}
+
+// Scenario is one complete, declarative run description.
+type Scenario struct {
+	Name        string
+	Description string
+	Mode        Mode
+	Topology    Topology
+	Workload    Workload
+	Faults      []Fault
+	// Warmup bounds setup: provisioning, deployment, and the shuffle
+	// until every client's schedule is established (0 = 90s).
+	Warmup time.Duration
+	// Run is the measured workload window (0 = 30s). Drivers that
+	// finish their work list early (socks-browse, fileshare) end the
+	// window early.
+	Run time.Duration
+	// Drain is the settle time between workload end and the final
+	// scrape (0 = 2s).
+	Drain time.Duration
+}
+
+// builtin is the scenario registry, in presentation order.
+var builtin = []Scenario{
+	{
+		Name:        "microblog",
+		Description: "3x8 SimNet group; 3 posters broadcast 128B posts; fan-out counted at every client",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 8},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 3, PostBytes: 128, PostEvery: 150 * time.Millisecond},
+		Run:         20 * time.Second,
+	},
+	{
+		Name:        "socks-browse",
+		Description: "3x6 SimNet group; 2 browsers replay scaled web pages through the SOCKS exit (Fig. 10 shape)",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 6, OpenLen: 1024},
+		Workload:    Workload{Kind: WorkloadSocksBrowse, Browsers: 2, Pages: 3},
+		Run:         90 * time.Second,
+	},
+	{
+		Name:        "fileshare",
+		Description: "3x4 SimNet group; one sender bulk-transfers 256KiB; observer measures slot throughput",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 4, OpenLen: 4096},
+		Workload:    Workload{Kind: WorkloadFileshare, FileBytes: 256 << 10, ChunkBytes: 4 << 10},
+		Run:         90 * time.Second,
+	},
+	{
+		Name:        "churn-storm",
+		Description: "3x8 SimNet group with 4-round epochs; 2 clients mass-expelled and rejoined, twice",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 8, EpochRounds: 4},
+		Workload:    Workload{Kind: WorkloadChurnStorm, Victims: 2, Storms: 2},
+		Run:         120 * time.Second,
+	},
+	{
+		Name:        "partition-heal",
+		Description: "3x8 SimNet microblog run; one server partitioned from its peers for 5s mid-run, then healed",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 8},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 150 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultPartitionServer, Server: 2, At: 8 * time.Second, Duration: 5 * time.Second},
+		},
+		Run: 25 * time.Second,
+	},
+	{
+		Name:        "microblog-tcp",
+		Description: "3x6 multi-process group over loopback TCP; servers are separate OS processes; microblog fan-out",
+		Mode:        ModeTCP,
+		Topology:    Topology{Servers: 3, Clients: 6},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 200 * time.Millisecond},
+		Run:         20 * time.Second,
+	},
+}
+
+// Scenarios returns the built-in scenario list.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(builtin))
+	copy(out, builtin)
+	return out
+}
+
+// Lookup finds a built-in scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, sc := range builtin {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("cluster: unknown scenario %q", name)
+}
+
+// Quick shrinks a scenario for CI smoke runs: fewer members, shorter
+// measured window, smaller work lists. The shape (workload kind, fault
+// schedule relative ordering) is preserved.
+func (sc Scenario) Quick() Scenario {
+	if sc.Topology.Clients > 5 {
+		sc.Topology.Clients = 5
+	}
+	if sc.Run > 15*time.Second {
+		sc.Run = 15 * time.Second
+	}
+	if sc.Workload.Pages > 2 {
+		sc.Workload.Pages = 2
+	}
+	if sc.Workload.Browsers > 1 {
+		sc.Workload.Browsers = 1
+	}
+	if sc.Workload.FileBytes > 64<<10 {
+		sc.Workload.FileBytes = 64 << 10
+	}
+	if sc.Workload.Storms > 1 {
+		sc.Workload.Storms = 1
+	}
+	if sc.Workload.Victims > 1 {
+		sc.Workload.Victims = 1
+	}
+	for i := range sc.Faults {
+		if sc.Faults[i].At > 4*time.Second {
+			sc.Faults[i].At = 4 * time.Second
+		}
+		if sc.Faults[i].Duration > 3*time.Second {
+			sc.Faults[i].Duration = 3 * time.Second
+		}
+	}
+	return sc
+}
+
+// Validate rejects impossible scenario combinations before any
+// provisioning work happens.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("cluster: scenario needs a name")
+	}
+	if sc.Mode != ModeSim && sc.Mode != ModeTCP {
+		return fmt.Errorf("cluster: scenario %s: unknown mode %q", sc.Name, sc.Mode)
+	}
+	t := sc.Topology
+	if t.Servers < 1 || t.Clients < 1 {
+		return fmt.Errorf("cluster: scenario %s: need at least 1 server and 1 client", sc.Name)
+	}
+	w := sc.Workload
+	switch w.Kind {
+	case WorkloadIdle:
+	case WorkloadMicroblog:
+		if w.Posters < 1 || w.Posters > t.Clients {
+			return fmt.Errorf("cluster: scenario %s: %d posters out of range for %d clients", sc.Name, w.Posters, t.Clients)
+		}
+	case WorkloadSocksBrowse:
+		// Browsers plus the exit client must fit the topology.
+		if w.Browsers < 1 || w.Browsers+1 > t.Clients {
+			return fmt.Errorf("cluster: scenario %s: %d browsers + 1 exit exceed %d clients", sc.Name, w.Browsers, t.Clients)
+		}
+		if t.EpochRounds > 0 && w.Pages > 0 && t.OpenLen > 512 {
+			// Long flows across rotating slots need single-slot frames;
+			// callers opting into churned browsing keep pages tiny.
+			return fmt.Errorf("cluster: scenario %s: socks-browse with epochs needs OpenLen <= 512 (single-slot frames)", sc.Name)
+		}
+	case WorkloadFileshare:
+		if t.Clients < 2 {
+			return fmt.Errorf("cluster: scenario %s: fileshare needs a sender and an observer", sc.Name)
+		}
+		if w.FileBytes <= 0 {
+			return fmt.Errorf("cluster: scenario %s: fileshare needs FileBytes > 0", sc.Name)
+		}
+	case WorkloadChurnStorm:
+		if t.EpochRounds <= 0 {
+			return fmt.Errorf("cluster: scenario %s: churn needs EpochRounds > 0 (roster updates land at epoch boundaries)", sc.Name)
+		}
+		if w.Victims < 1 || w.Victims >= t.Clients {
+			return fmt.Errorf("cluster: scenario %s: %d victims out of range for %d clients", sc.Name, w.Victims, t.Clients)
+		}
+	default:
+		return fmt.Errorf("cluster: scenario %s: unknown workload %q", sc.Name, w.Kind)
+	}
+	if w.ChurnVictims > 0 {
+		if t.EpochRounds <= 0 {
+			return fmt.Errorf("cluster: scenario %s: background churn needs EpochRounds > 0", sc.Name)
+		}
+		if w.ChurnVictims+workloadClients(w) > t.Clients {
+			return fmt.Errorf("cluster: scenario %s: %d churn victims overlap workload participants", sc.Name, w.ChurnVictims)
+		}
+	}
+	for _, f := range sc.Faults {
+		switch f.Kind {
+		case FaultPartitionServer, FaultDegradeServer:
+			if sc.Mode != ModeSim {
+				return fmt.Errorf("cluster: scenario %s: %s needs sim mode (link faults live in the hub)", sc.Name, f.Kind)
+			}
+		case FaultKillServer:
+			if sc.Mode != ModeTCP {
+				return fmt.Errorf("cluster: scenario %s: kill-server needs tcp mode (sim members are not processes)", sc.Name)
+			}
+		default:
+			return fmt.Errorf("cluster: scenario %s: unknown fault %q", sc.Name, f.Kind)
+		}
+		if f.Server < 0 || f.Server >= t.Servers {
+			return fmt.Errorf("cluster: scenario %s: fault server %d out of range", sc.Name, f.Server)
+		}
+	}
+	return nil
+}
+
+// workloadClients counts the clients the workload itself occupies from
+// the front (and, for socks-browse, the back) of the client list.
+func workloadClients(w Workload) int {
+	switch w.Kind {
+	case WorkloadMicroblog:
+		return w.Posters
+	case WorkloadSocksBrowse:
+		return w.Browsers + 1 // + exit
+	case WorkloadFileshare:
+		return 2 // sender + observer
+	case WorkloadChurnStorm:
+		return w.Victims
+	default:
+		return 0
+	}
+}
+
+// warmup/run/drain with defaults applied.
+func (sc Scenario) warmup() time.Duration {
+	if sc.Warmup > 0 {
+		return sc.Warmup
+	}
+	return 90 * time.Second
+}
+
+func (sc Scenario) run() time.Duration {
+	if sc.Run > 0 {
+		return sc.Run
+	}
+	return 30 * time.Second
+}
+
+func (sc Scenario) drain() time.Duration {
+	if sc.Drain > 0 {
+		return sc.Drain
+	}
+	return 2 * time.Second
+}

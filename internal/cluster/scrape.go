@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dissent"
+)
+
+// snapshot is one server's scraped state at an instant.
+type snapshot struct {
+	ok      bool // scrape succeeded (kill windows make servers vanish)
+	metrics dissent.HostMetrics
+}
+
+// traceKey dedups round traces across scrapes: the /debug/rounds ring
+// re-serves recent rounds every poll.
+type traceKey struct {
+	url     string
+	session string
+	role    string
+	round   uint64
+}
+
+// scrapedTraces mirrors the /debug/rounds payload shape.
+type scrapedTraces struct {
+	Session string               `json:"session"`
+	Group   string               `json:"group"`
+	Role    string               `json:"role"`
+	Traces  []dissent.RoundTrace `json:"traces"`
+}
+
+// scraper polls every server's debug endpoint during a run, keeping
+// the latest metrics snapshot per server and the deduped union of all
+// round traces it saw.
+type scraper struct {
+	urls     []string
+	interval time.Duration
+	client   *http.Client
+
+	mu     sync.Mutex
+	latest map[string]snapshot
+	traces map[traceKey]dissent.RoundTrace
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newScraper(urls []string, interval time.Duration) *scraper {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	return &scraper{
+		urls:     urls,
+		interval: interval,
+		client:   &http.Client{Timeout: 2 * time.Second},
+		latest:   make(map[string]snapshot),
+		traces:   make(map[traceKey]dissent.RoundTrace),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// start launches the poll loop.
+func (s *scraper) start() {
+	go func() {
+		defer close(s.done)
+		for {
+			s.scrapeOnce()
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.interval):
+			}
+		}
+	}()
+}
+
+// halt stops the loop after one final scrape.
+func (s *scraper) halt() {
+	close(s.stop)
+	<-s.done
+	s.scrapeOnce()
+}
+
+// scrapeOnce polls every URL; errors mark the snapshot not-ok and are
+// otherwise tolerated (a killed server is supposed to vanish).
+func (s *scraper) scrapeOnce() {
+	for _, url := range s.urls {
+		var hm dissent.HostMetrics
+		if err := s.getJSON(url+"/metrics.json", &hm); err != nil {
+			s.mu.Lock()
+			s.latest[url] = snapshot{ok: false}
+			s.mu.Unlock()
+			continue
+		}
+		var ts []scrapedTraces
+		_ = s.getJSON(url+"/debug/rounds?n=128", &ts)
+		s.mu.Lock()
+		s.latest[url] = snapshot{ok: true, metrics: hm}
+		for _, st := range ts {
+			for _, tr := range st.Traces {
+				k := traceKey{url: url, session: st.Session, role: st.Role, round: tr.Round}
+				s.traces[k] = tr
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *scraper) getJSON(url string, v any) error {
+	resp, err := s.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// counterState aggregates the monotonic counters a delta is taken
+// over.
+type counterState struct {
+	rounds       uint64 // max across servers (all certify the same chain)
+	bytes        uint64 // sum of BytesIn+BytesOut across servers
+	joins        uint64 // max across servers
+	expels       uint64 // max across servers
+	dialFailures uint64 // sum across servers (tcp only)
+}
+
+// counters reduces the latest snapshots.
+func (s *scraper) counters() counterState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st counterState
+	for _, snap := range s.latest {
+		if !snap.ok {
+			continue
+		}
+		hm := snap.metrics
+		if hm.RoundsCompleted > st.rounds {
+			st.rounds = hm.RoundsCompleted
+		}
+		st.bytes += hm.BytesIn + hm.BytesOut
+		for _, sm := range hm.PerSession {
+			if sm.ChurnJoins > st.joins {
+				st.joins = sm.ChurnJoins
+			}
+			if sm.ChurnExpels > st.expels {
+				st.expels = sm.ChurnExpels
+			}
+		}
+		if hm.Transport != nil {
+			st.dialFailures += hm.Transport.DialFailures
+		}
+	}
+	return st
+}
+
+// window is one absolute fault interval.
+type window struct{ from, to time.Time }
+
+func (w window) contains(t time.Time) bool {
+	if t.Before(w.from) {
+		return false
+	}
+	return w.to.IsZero() || t.Before(w.to)
+}
+
+// overlaps reports whether [from, to) intersects the window.
+func (w window) overlaps(from, to time.Time) bool {
+	if !to.After(w.from) {
+		return false
+	}
+	return w.to.IsZero() || from.Before(w.to)
+}
+
+// latencies splits the scraped server-role round totals observed since
+// `since` into healthy samples and samples whose round overlapped a
+// fault window. Overlap (not just start-inside) matters: a partition
+// stalls the in-flight round, so the degraded sample is a round that
+// STARTED healthy and dragged across the window.
+func (s *scraper) latencies(since time.Time, faults []window) (healthy, faulted []time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, tr := range s.traces {
+		if k.role != "server" || tr.Start.Before(since) || tr.Total <= 0 {
+			continue
+		}
+		inFault := false
+		for _, w := range faults {
+			if w.overlaps(tr.Start, tr.Start.Add(tr.Total)) {
+				inFault = true
+				break
+			}
+		}
+		if inFault {
+			faulted = append(faulted, tr.Total)
+		} else {
+			healthy = append(healthy, tr.Total)
+		}
+	}
+	return healthy, faulted
+}
+
+// percentile returns the p-th percentile (0-100) of the samples.
+func percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Round to the nearest rank so high percentiles of small samples
+	// reach the tail (p99 of 5 samples is the max, not the 4th value).
+	idx := int(math.Round(p / 100 * float64(len(sorted)-1)))
+	return sorted[idx]
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dissent"
+	"dissent/dissentcfg"
+)
+
+// WorkerEnv names the environment variable that turns a process into a
+// cluster worker: its value is the path of a WorkerConfig JSON file.
+// cmd/dissent-cluster (and the package's own tests) check it at
+// startup before normal flag parsing, so the orchestrator can spawn
+// workers by re-executing its own binary.
+const WorkerEnv = "DISSENT_CLUSTER_WORKER"
+
+// WorkerConfig tells a spawned server process what to run.
+type WorkerConfig struct {
+	// GroupFile / KeyFile / RosterFile locate the member's provisioned
+	// material (dissentcfg formats).
+	GroupFile  string `json:"group_file"`
+	KeyFile    string `json:"key_file"`
+	RosterFile string `json:"roster_file"`
+	// Listen is the member's protocol listen address — it must match
+	// the roster's entry for this member's ID.
+	Listen string `json:"listen"`
+	// Debug is where the worker serves its admin/debug mux
+	// (/metrics.json, /debug/rounds, /admin/expel).
+	Debug string `json:"debug"`
+}
+
+// RunWorkerFile is the worker-process entry point: load the config at
+// path, run the member until stdin closes or SIGTERM/SIGINT arrives,
+// then tear down. The orchestrator holds the worker's stdin pipe open
+// for its lifetime, so an orphaned worker exits when the driver dies.
+func RunWorkerFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var cfg WorkerConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("cluster: parse worker config %s: %w", path, err)
+	}
+	return runWorker(cfg)
+}
+
+func runWorker(cfg WorkerConfig) error {
+	grp, err := dissentcfg.LoadGroup(cfg.GroupFile)
+	if err != nil {
+		return err
+	}
+	keys, err := dissentcfg.LoadKeys(cfg.KeyFile, grp)
+	if err != nil {
+		return err
+	}
+	roster, err := dissentcfg.LoadRoster(cfg.RosterFile)
+	if err != nil {
+		return err
+	}
+	host, err := dissent.NewHost(
+		dissent.WithHostListenAddr(cfg.Listen),
+		dissent.WithHostLogger(quietLogger()),
+		dissent.WithHostErrorHandler(func(error) {}),
+	)
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	if _, err := host.OpenSession(grp, keys, dissent.WithRoster(roster)); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.Debug)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: adminHandler(host)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// Exit on stdin EOF (orchestrator died or released us) or signal.
+	eof := make(chan struct{})
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := os.Stdin.Read(buf); err != nil {
+				close(eof)
+				return
+			}
+		}
+	}()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case <-eof:
+	case <-sigs:
+	}
+	return nil
+}

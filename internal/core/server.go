@@ -19,6 +19,12 @@ import (
 // reopen decision is deterministic across servers (§3.7).
 const maxAttempts = 3
 
+// roundResendFactor scales Policy.WindowMin into the round's
+// server-phase retransmission period, mirroring rosterResendFactor: on
+// the healthy fast path rounds certify well inside one period, so the
+// timer never fires.
+const roundResendFactor = 8
+
 // serverPhase tracks a server's top-level protocol phase.
 type serverPhase int
 
@@ -43,6 +49,12 @@ const (
 	rpDone
 )
 
+// castMsg is one recorded server-broadcast of an in-flight round.
+type castMsg struct {
+	t    MsgType
+	body []byte
+}
+
 // roundState is one in-flight round at a server.
 type roundState struct {
 	r       uint64
@@ -52,6 +64,19 @@ type roundState struct {
 	start   time.Time
 	closeAt time.Time // adaptive window close (zero until threshold)
 	hardAt  time.Time
+
+	// Server-phase retransmission (liveness under message loss): every
+	// server-broadcast message of the round's current attempt, re-sent
+	// on a timer while the round sits in a server-server phase waiting
+	// on peers. The whole sequence is re-sent — not just the newest
+	// message — because a peer cut off mid-round can be a full phase
+	// behind and need an earlier one (its commit, say) before the
+	// latest means anything to it. Receivers drop duplicates per
+	// (round, attempt, server), so the re-send is idempotent; it
+	// restores liveness after a partition heals without waiting out the
+	// hard timeout.
+	resendAt time.Time
+	casts    []castMsg
 
 	// Phase timestamps/durations for the round's trace span: the final
 	// window close, cumulative critical-path pad and combine work, when
@@ -450,6 +475,17 @@ func (s *Server) broadcastServers(t MsgType, round uint64, body []byte, out *Out
 		out.Send = append(out.Send, Envelope{To: srv.ID, Msg: m})
 	}
 	return nil
+}
+
+// castServers broadcasts a round-phase message to the peer servers and
+// records it for retransmission (roundTick) while the round waits on
+// them.
+func (s *Server) castServers(now time.Time, t MsgType, body []byte, out *Output) error {
+	rs := s.round
+	rs.casts = append(rs.casts, castMsg{t: t, body: body})
+	rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
+	out.merge(&Output{Timer: rs.resendAt})
+	return s.broadcastServers(t, rs.r, body, out)
 }
 
 // broadcastClients sends a signed message to every attached client.
@@ -985,6 +1021,26 @@ func (s *Server) roundTick(now time.Time) (*Output, error) {
 		}
 		return &Output{Timer: t}, nil
 	}
+	// Server-server phases: re-broadcast the round's phase messages
+	// while peers keep us waiting. The transports are reliable streams
+	// but not reliable links — a peer that reconnected after a partition
+	// missed everything sent meanwhile, and without this the round would
+	// wedge until the operator intervened. The whole cast sequence goes
+	// out, not just the newest message: a peer can be a full phase
+	// behind and needs the earlier ones first.
+	if rs.phase > rpCollect && rs.phase < rpDone && len(rs.casts) > 0 {
+		if now.Before(rs.resendAt) {
+			return &Output{Timer: rs.resendAt}, nil
+		}
+		rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
+		out := &Output{Timer: rs.resendAt}
+		for _, c := range rs.casts {
+			if err := s.broadcastServers(c.t, rs.r, c.body, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
 	return &Output{}, nil
 }
 
@@ -1001,7 +1057,7 @@ func (s *Server) closeWindow(now time.Time) (*Output, error) {
 		"attempt", rs.attempt, "window", now.Sub(rs.start))
 	out := &Output{Events: []Event{{Kind: EventWindowClosed, Round: rs.r,
 		Detail: fmt.Sprintf("%d submissions", len(rs.subs))}}}
-	if err := s.broadcastServers(MsgInventory, rs.r, inv.Encode(), out); err != nil {
+	if err := s.castServers(now, MsgInventory, inv.Encode(), out); err != nil {
 		return nil, err
 	}
 	rs.invs[s.idx] = inv
@@ -1084,6 +1140,9 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 			rs.closeAt = rs.hardAt
 		}
 		rs.invs = make(map[int]*Inventory)
+		// The recorded casts are now a stale attempt; peers would drop
+		// them on the attempt check anyway.
+		rs.casts = nil
 		return &Output{Timer: rs.closeAt}, nil
 	}
 	if len(rs.included) < floor || len(rs.included) == 0 {
@@ -1154,7 +1213,7 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 		commit.BeaconCommit = beacon.CommitShare(rs.myBeaconShare)
 		rs.beaconCommits[s.idx] = commit.BeaconCommit
 	}
-	if err := s.broadcastServers(MsgCommit, rs.r, commit.Encode(), out); err != nil {
+	if err := s.castServers(now, MsgCommit, commit.Encode(), out); err != nil {
 		return nil, err
 	}
 	rs.commits[s.idx] = commit.Hash
@@ -1197,7 +1256,7 @@ func (s *Server) maybeShare(now time.Time) (*Output, error) {
 	rs.phase = rpShare
 	out := &Output{}
 	body := (&Share{Attempt: rs.attempt, CT: rs.myShare, BeaconShare: rs.myBeaconShare}).Encode()
-	if err := s.broadcastServers(MsgShare, rs.r, body, out); err != nil {
+	if err := s.castServers(now, MsgShare, body, out); err != nil {
 		return nil, err
 	}
 	rs.shares[s.idx] = rs.myShare
@@ -1291,7 +1350,7 @@ func (s *Server) sendCertify(now time.Time) (*Output, error) {
 	sigBytes := crypto.EncodeSignature(s.keyGrp, sig)
 	out := &Output{}
 	body := (&Certify{Attempt: rs.attempt, Sig: sigBytes}).Encode()
-	if err := s.broadcastServers(MsgCertify, rs.r, body, out); err != nil {
+	if err := s.castServers(now, MsgCertify, body, out); err != nil {
 		return nil, err
 	}
 	rs.certs[s.idx] = sigBytes

@@ -47,6 +47,10 @@ type Hub struct {
 	faults   map[linkKey]FaultSpec
 	faultRNG *rand.Rand
 	lastAt   map[pairKey]time.Time
+
+	// Timers armed by ScheduleLinkFault; stopped on Close so a
+	// scenario's pre-programmed fault schedule cannot outlive the hub.
+	faultTimers []*time.Timer
 }
 
 // FaultSpec models an impaired link for fault-injection tests: fixed
@@ -85,11 +89,7 @@ func normLink(a, b group.NodeID) linkKey {
 func (h *Hub) SetLinkFault(a, b group.NodeID, spec FaultSpec) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.faults == nil {
-		h.faults = make(map[linkKey]FaultSpec)
-		h.lastAt = make(map[pairKey]time.Time)
-	}
-	h.faults[normLink(a, b)] = spec
+	h.setLinkFaultLocked(a, b, spec)
 }
 
 // ClearLinkFault removes the fault model on a link.
@@ -97,6 +97,50 @@ func (h *Hub) ClearLinkFault(a, b group.NodeID) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	delete(h.faults, normLink(a, b))
+}
+
+// setLinkFaultLocked is SetLinkFault's body for callers holding h.mu.
+func (h *Hub) setLinkFaultLocked(a, b group.NodeID, spec FaultSpec) {
+	if h.faults == nil {
+		h.faults = make(map[linkKey]FaultSpec)
+		h.lastAt = make(map[pairKey]time.Time)
+	}
+	h.faults[normLink(a, b)] = spec
+}
+
+// ScheduleLinkFault arms a timed fault window on the undirected link
+// between a and b: after `after` elapses the spec installs (both
+// directions, every session), and `duration` later it clears again. A
+// zero or negative duration leaves the fault in place until
+// ClearLinkFault. Scenario harnesses use this to pre-program a run's
+// whole fault schedule before the workload starts; pending windows die
+// with the hub on Close.
+func (h *Hub) ScheduleLinkFault(a, b group.NodeID, spec FaultSpec, after, duration time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	apply := time.AfterFunc(after, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.closed {
+			return
+		}
+		h.setLinkFaultLocked(a, b, spec)
+	})
+	h.faultTimers = append(h.faultTimers, apply)
+	if duration > 0 {
+		clear := time.AfterFunc(after+duration, func() {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if h.closed {
+				return
+			}
+			delete(h.faults, normLink(a, b))
+		})
+		h.faultTimers = append(h.faultTimers, clear)
+	}
 }
 
 // SetFaultSeed seeds the fault RNG (default 1) for reproducible runs.
@@ -206,13 +250,19 @@ func (h *Hub) DetachSession(sid [32]byte, id group.NodeID) {
 	}
 }
 
-// Close detaches every member of every session.
+// Close detaches every member of every session and cancels any fault
+// windows still scheduled.
 func (h *Hub) Close() {
 	h.mu.Lock()
 	h.closed = true
 	members := h.members
 	h.members = make(map[hubKey]*hubMember)
+	timers := h.faultTimers
+	h.faultTimers = nil
 	h.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
 	for _, m := range members {
 		m.close()
 	}

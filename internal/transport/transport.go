@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dissent/internal/core"
@@ -69,7 +71,100 @@ type Mesh struct {
 	inbound  []net.Conn
 	closed   bool
 
+	// Connection-health accounting (Stats). The counters are atomics
+	// and the peer map has its own leaf lock, so the dial and writer
+	// goroutines can record failures while holding lockedConn.mu without
+	// ordering against the mesh lock above.
+	dialFailures  atomic.Uint64
+	framesDropped atomic.Uint64
+	peersMu       sync.Mutex
+	peers         map[string]*peerEntry
+
 	wg sync.WaitGroup
+}
+
+// Peer connection states reported by Stats.
+const (
+	PeerDialing   = "dialing"
+	PeerConnected = "connected"
+	PeerFailed    = "failed"
+)
+
+// peerEntry tracks one outbound peer address's connection health across
+// redials. Guarded by Mesh.peersMu.
+type peerEntry struct {
+	dials   uint64
+	state   string
+	lastErr string
+}
+
+// PeerStats is one outbound peer's connection health.
+type PeerStats struct {
+	// Addr is the peer's dial address.
+	Addr string `json:"addr"`
+	// State is "dialing", "connected", or "failed" (the last dial or
+	// write on the connection errored; the next send re-dials).
+	State string `json:"state"`
+	// Dials counts connection attempts to this address, including
+	// retries and re-dials after failure.
+	Dials uint64 `json:"dials"`
+	// LastError is the most recent dial or write error, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the mesh's transport health.
+type Stats struct {
+	// DialFailures counts failed outbound dial attempts (each retry of
+	// a backing-off dial counts).
+	DialFailures uint64 `json:"dial_failures"`
+	// FramesDropped counts outbound frames lost to dial or write
+	// failures.
+	FramesDropped uint64 `json:"frames_dropped"`
+	// Peers holds per-address connection health, sorted by address.
+	Peers []PeerStats `json:"peers,omitempty"`
+}
+
+// Stats returns the mesh's transport-health snapshot: cumulative dial
+// failures and dropped frames, plus per-peer connection state.
+func (m *Mesh) Stats() Stats {
+	s := Stats{
+		DialFailures:  m.dialFailures.Load(),
+		FramesDropped: m.framesDropped.Load(),
+	}
+	m.peersMu.Lock()
+	for addr, pe := range m.peers {
+		s.Peers = append(s.Peers, PeerStats{
+			Addr: addr, State: pe.state, Dials: pe.dials, LastError: pe.lastErr,
+		})
+	}
+	m.peersMu.Unlock()
+	sort.Slice(s.Peers, func(i, j int) bool { return s.Peers[i].Addr < s.Peers[j].Addr })
+	return s
+}
+
+// notePeer folds one connection-health observation into the peer map.
+// dialed increments the attempt count; state and errStr (when
+// non-empty) overwrite the peer's current health.
+func (m *Mesh) notePeer(addr string, dialed bool, state, errStr string) {
+	m.peersMu.Lock()
+	defer m.peersMu.Unlock()
+	if m.peers == nil {
+		m.peers = make(map[string]*peerEntry)
+	}
+	pe := m.peers[addr]
+	if pe == nil {
+		pe = &peerEntry{}
+		m.peers[addr] = pe
+	}
+	if dialed {
+		pe.dials++
+	}
+	if state != "" {
+		pe.state = state
+	}
+	if errStr != "" {
+		pe.lastErr = errStr
+	}
 }
 
 // meshSession is one bound session: its roster and inbound sink.
@@ -315,14 +410,21 @@ func (m *Mesh) conn(addr string) (*lockedConn, error) {
 		var conn net.Conn
 		var err error
 		for attempt := 0; attempt < 10; attempt++ {
+			m.notePeer(addr, true, PeerDialing, "")
 			conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
 			if err == nil {
+				m.notePeer(addr, false, PeerConnected, "")
 				return conn, nil
 			}
+			m.dialFailures.Add(1)
+			m.notePeer(addr, false, PeerDialing, err.Error())
 			time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
 		}
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}, m.reportError)
+	}, m.reportError, func(dropped int, err error) {
+		m.framesDropped.Add(uint64(dropped))
+		m.notePeer(addr, false, PeerFailed, err.Error())
+	})
 	m.conns[addr] = lc
 	return lc, nil
 }
@@ -349,11 +451,16 @@ type lockedConn struct {
 	closed  bool
 	err     error
 	onError func(error)
+	// onFail observes terminal connection failures (dial exhausted or
+	// write error) with the number of queued frames lost; may be nil.
+	// Called with lc.mu held — implementations must only touch leaf
+	// state (atomics, dedicated leaf locks).
+	onFail func(dropped int, err error)
 }
 
 // newDialingConn creates a connection that dials in the background.
-func newDialingConn(dial func() (net.Conn, error), onError func(error)) *lockedConn {
-	lc := &lockedConn{onError: onError}
+func newDialingConn(dial func() (net.Conn, error), onError func(error), onFail func(dropped int, err error)) *lockedConn {
+	lc := &lockedConn{onError: onError, onFail: onFail}
 	lc.cond = sync.NewCond(&lc.mu)
 	go func() {
 		conn, err := dial()
@@ -385,6 +492,9 @@ func (lc *lockedConn) failLocked(err error) {
 	lc.err = err
 	lc.closed = true
 	lc.cond.Broadcast()
+	if lc.onFail != nil {
+		lc.onFail(dropped, err)
+	}
 	if lc.onError != nil && dropped > 0 {
 		lc.onError(fmt.Errorf("transport: %d frame(s) dropped: %w", dropped, err))
 	}

@@ -375,6 +375,99 @@ func TestMeshExchange(t *testing.T) {
 	}
 }
 
+// TestMeshStats checks the connection-health accounting: a reachable
+// peer shows up connected, an unreachable one accumulates dial
+// failures with its last error retained, and the snapshot is sorted by
+// address.
+func TestMeshStats(t *testing.T) {
+	var idA, idB, idDead group.NodeID
+	copy(idA[:], "node-AAA")
+	copy(idB[:], "node-BBB")
+	copy(idDead[:], "node-DED")
+
+	var atB recvd2
+	a, err := ListenMesh("127.0.0.1:0", Roster{}, func(*core.Message) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenMesh("127.0.0.1:0", Roster{}, atB.record(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// A dead address: reserve a port, then close the listener so dials
+	// are refused immediately.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	if err := a.AddPeer(NoSession, idB, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer(NoSession, idDead, deadAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(idB, &core.Message{From: idA, Type: core.MsgOutput, Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(idDead, &core.Message{From: idA, Type: core.MsgOutput, Body: []byte("void")}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		st := a.Stats()
+		var live, gone *PeerStats
+		for i := range st.Peers {
+			switch st.Peers[i].Addr {
+			case b.Addr():
+				live = &st.Peers[i]
+			case deadAddr:
+				gone = &st.Peers[i]
+			}
+		}
+		if live != nil && live.State == PeerConnected &&
+			gone != nil && st.DialFailures >= 1 && gone.LastError != "" {
+			if live.Dials == 0 || gone.Dials == 0 {
+				t.Fatalf("dial counts not recorded: %+v / %+v", live, gone)
+			}
+			if gone.State != PeerDialing && gone.State != PeerFailed {
+				t.Fatalf("dead peer state %q", gone.State)
+			}
+			for i := 1; i < len(st.Peers); i++ {
+				if st.Peers[i-1].Addr > st.Peers[i].Addr {
+					t.Fatalf("peers not sorted: %q > %q", st.Peers[i-1].Addr, st.Peers[i].Addr)
+				}
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stats never settled: %+v", st)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// recvd2 is a small recorder for tests that only need counts.
+type recvd2 struct {
+	mu   sync.Mutex
+	msgs []*core.Message
+}
+
+func (r *recvd2) record() func(*core.Message) {
+	return func(m *core.Message) {
+		r.mu.Lock()
+		r.msgs = append(r.msgs, m)
+		r.mu.Unlock()
+	}
+}
+
 // TestMeshSendUnknownNode checks the roster miss path.
 func TestMeshSendUnknownNode(t *testing.T) {
 	m, err := ListenMesh("127.0.0.1:0", Roster{}, func(*core.Message) {}, nil)

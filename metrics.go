@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dissent/internal/core"
+	"dissent/internal/transport"
 )
 
 // SessionMetrics is a point-in-time snapshot of one session's protocol
@@ -81,6 +82,50 @@ type HostMetrics struct {
 	RoundsFailed    uint64 `json:"rounds_failed"`
 	// PerSession holds a snapshot of every currently open session.
 	PerSession []SessionMetrics `json:"per_session"`
+	// Transport reports the TCP fabric's connection health: dial
+	// failures, dropped frames, and per-peer state. Nil on SimNet hosts
+	// (the in-process fabric has no connections to fail).
+	Transport *TransportMetrics `json:"transport,omitempty"`
+}
+
+// TransportMetrics is the TCP fabric's connection-health snapshot, the
+// SDK face of the mesh transport's internal accounting. Harness runs
+// use it to attribute fault-window degradation to the transport layer.
+type TransportMetrics struct {
+	// DialFailures counts failed outbound dial attempts (retries of a
+	// backing-off dial each count).
+	DialFailures uint64 `json:"dial_failures"`
+	// FramesDropped counts outbound protocol frames lost to dial or
+	// write failures.
+	FramesDropped uint64 `json:"frames_dropped"`
+	// Peers holds per-address connection health, sorted by address.
+	Peers []TransportPeer `json:"peers,omitempty"`
+}
+
+// TransportPeer is one outbound peer's connection health.
+type TransportPeer struct {
+	// Addr is the peer's dial address.
+	Addr string `json:"addr"`
+	// State is "dialing", "connected", or "failed".
+	State string `json:"state"`
+	// Dials counts connection attempts, including retries.
+	Dials uint64 `json:"dials"`
+	// LastError is the most recent dial or write error, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// transportMetrics converts the internal mesh snapshot.
+func transportMetrics(s transport.Stats) *TransportMetrics {
+	tm := &TransportMetrics{
+		DialFailures:  s.DialFailures,
+		FramesDropped: s.FramesDropped,
+	}
+	for _, p := range s.Peers {
+		tm.Peers = append(tm.Peers, TransportPeer{
+			Addr: p.Addr, State: p.State, Dials: p.Dials, LastError: p.LastError,
+		})
+	}
+	return tm
 }
 
 // counters is the live, lock-free counter set behind SessionMetrics.
@@ -158,6 +203,20 @@ func (s *Session) Metrics() SessionMetrics {
 		}
 	}
 	return m
+}
+
+// TransportMetrics returns the session's transport-health snapshot
+// when it is attached to the built-in TCP fabric, or nil (SimNet and
+// custom transports report nothing). Sessions hosted on one Host share
+// its mesh and therefore report the same snapshot.
+func (s *Session) TransportMetrics() *TransportMetrics {
+	s.mu.Lock()
+	link := s.link
+	s.mu.Unlock()
+	if ms, ok := link.(meshStatser); ok {
+		return transportMetrics(ms.meshStats())
+	}
+	return nil
 }
 
 // MetricsVar wraps the session's metrics as an expvar.Var for

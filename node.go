@@ -84,6 +84,14 @@ func (n *Node) Group() *Group { return n.s.Group() }
 // Index returns the node's index within its role's member list.
 func (n *Node) Index() int { return n.s.Index() }
 
+// Slot returns a client's anonymous slot index, or -1 before setup
+// completes (and always -1 for servers); see Session.Slot.
+func (n *Node) Slot() int { return n.s.Slot() }
+
+// ScheduleEstablished reports whether the shuffle setup has completed
+// and rounds can proceed; see Session.ScheduleEstablished.
+func (n *Node) ScheduleEstablished() bool { return n.s.ScheduleEstablished() }
+
 // Addr returns the transport-level address once Run has attached the
 // node, or "".
 func (n *Node) Addr() string { return n.s.Addr() }

@@ -118,6 +118,21 @@ func (h *Host) collectMetrics(w *obs.Writer) {
 	w.Family("dissent_host_rounds_failed_total", "counter", "Hard-timeout rounds, all sessions ever.")
 	w.Sample(nil, float64(hm.RoundsFailed))
 
+	if hm.Transport != nil {
+		w.Family("dissent_transport_dial_failures_total", "counter", "Failed outbound dial attempts on the shared TCP fabric.")
+		w.Sample(nil, float64(hm.Transport.DialFailures))
+		w.Family("dissent_transport_frames_dropped_total", "counter", "Outbound frames lost to dial or write failures.")
+		w.Sample(nil, float64(hm.Transport.FramesDropped))
+		w.Family("dissent_transport_peers", "gauge", "Outbound peer connections by health state.")
+		counts := map[string]int{}
+		for _, p := range hm.Transport.Peers {
+			counts[p.State]++
+		}
+		for _, state := range []string{"dialing", "connected", "failed"} {
+			w.Sample(obs.L("state", state), float64(counts[state]))
+		}
+	}
+
 	perSession := func(name, typ, help string, v func(SessionMetrics) float64) {
 		w.Family(name, typ, help)
 		for _, sm := range hm.PerSession {

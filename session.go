@@ -204,6 +204,27 @@ func (s *Session) Index() int {
 	return s.client.Index()
 }
 
+// Slot returns a client's anonymous slot index in the current
+// transmission schedule, or -1 before setup completes (and always -1
+// for servers). Slots are reassigned at beacon epoch boundaries, so
+// long-lived callers should re-read after EventEpochAdvanced.
+func (s *Session) Slot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client == nil {
+		return -1
+	}
+	return s.client.Slot()
+}
+
+// ScheduleEstablished reports whether the verifiable-shuffle setup has
+// completed and the slot schedule is certified — the point from which
+// Send can actually transmit and rounds proceed. Harness code polls it
+// as the session's readiness signal.
+func (s *Session) ScheduleEstablished() bool {
+	return s.scheduleCert() != nil
+}
+
 // Addr returns the transport-level address once the session is
 // attached, or "".
 func (s *Session) Addr() string {

@@ -51,6 +51,16 @@ func (s *SimNet) SetLinkFault(a, b NodeID, spec FaultSpec) {
 // ClearLinkFault removes a link's fault model.
 func (s *SimNet) ClearLinkFault(a, b NodeID) { s.hub.ClearLinkFault(a, b) }
 
+// ScheduleLinkFault arms a timed fault window on the link between two
+// members: after `after` elapses the spec installs (both directions),
+// and `duration` later it clears again (a zero duration leaves the
+// fault until ClearLinkFault). Scenario harnesses pre-program a run's
+// whole fault schedule this way before the workload starts; windows
+// still pending when the network closes are cancelled.
+func (s *SimNet) ScheduleLinkFault(a, b NodeID, spec FaultSpec, after, duration time.Duration) {
+	s.hub.ScheduleLinkFault(a, b, spec, after, duration)
+}
+
 // SetFaultSeed seeds the fault-injection RNG (default 1).
 func (s *SimNet) SetFaultSeed(seed int64) { s.hub.SetFaultSeed(seed) }
 

@@ -84,6 +84,12 @@ func (t *tcpTransport) dialSession(sid SessionID, self NodeID, recv func(*Messag
 	return tcpLink{mesh: mesh, sid: tsid}, nil
 }
 
+// meshStatser lets the SDK surface connection health from links backed
+// by the built-in TCP mesh (see Session.TransportMetrics).
+type meshStatser interface {
+	meshStats() transport.Stats
+}
+
 // tcpLink owns its mesh: Close tears the whole listener down.
 type tcpLink struct {
 	mesh *transport.Mesh
@@ -96,6 +102,7 @@ func (l tcpLink) Close() error                     { return l.mesh.Close() }
 func (l tcpLink) AddPeer(id NodeID, addr string) error {
 	return l.mesh.AddPeer(l.sid, id, addr)
 }
+func (l tcpLink) meshStats() transport.Stats { return l.mesh.Stats() }
 
 // meshSessionLink is one Host session's handle on the shared mesh:
 // Close unbinds only this session, leaving the listener (and the other
@@ -111,3 +118,4 @@ func (l meshSessionLink) Close() error                     { l.mesh.Unbind(l.sid
 func (l meshSessionLink) AddPeer(id NodeID, addr string) error {
 	return l.mesh.AddPeer(l.sid, id, addr)
 }
+func (l meshSessionLink) meshStats() transport.Stats { return l.mesh.Stats() }
