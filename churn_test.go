@@ -152,9 +152,13 @@ func driveChurnScenario(t *testing.T, grp *dissent.Group, sKeys, cKeys []dissent
 		}
 	}
 
-	// Versions agree across roles.
+	// Versions agree across roles, and pipeline occupancy never exceeds
+	// the configured depth (1 for serial runs).
 	if sv, cv := server.RosterVersion(), observer.RosterVersion(); cv > sv {
 		t.Fatalf("client version %d ahead of server %d", cv, sv)
+	}
+	if m := server.Session().Metrics(); m.RoundsInFlight > m.PipelineDepth {
+		t.Fatalf("rounds in flight %d exceed pipeline depth %d", m.RoundsInFlight, m.PipelineDepth)
 	}
 }
 
@@ -179,6 +183,32 @@ func TestChurnExpelRejoinOverSimNet(t *testing.T) {
 	}
 	driveChurnScenario(t, grp, sKeys, cKeys, func(dissent.Role, int) []dissent.Option {
 		return []dissent.Option{dissent.WithTransport(net)}
+	})
+}
+
+// TestChurnExpelRejoinPipelinedSimNet reruns the churn acceptance
+// scenario with every member at pipeline depth 2: expulsion and
+// re-admission land at epoch boundaries, where the two-deep pipeline
+// must drain to depth 1 before the roster and beacon rotate — a failed
+// drain diverges the group's slot layouts and the scenario stalls. The
+// rejoined member's welcome carries the donor's pending pipeline
+// state, so its payload round-tripping proves mid-pipeline joins too.
+func TestChurnExpelRejoinPipelinedSimNet(t *testing.T) {
+	policy := churnPolicy()
+	sKeys, cKeys, grp := buildGroup(t, 2, 5, policy)
+	net := dissent.NewSimNet()
+	defer net.Close()
+	net.SetFaultSeed(11)
+	net.SetLatency(func(from, to dissent.NodeID) time.Duration { return time.Millisecond })
+	for _, ck := range cKeys {
+		for _, sk := range sKeys {
+			net.SetLinkFault(memberID(grp, ck), memberID(grp, sk), dissent.FaultSpec{
+				Jitter: 2 * time.Millisecond,
+			})
+		}
+	}
+	driveChurnScenario(t, grp, sKeys, cKeys, func(dissent.Role, int) []dissent.Option {
+		return []dissent.Option{dissent.WithTransport(net), dissent.WithPipelineDepth(2)}
 	})
 }
 

@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -88,7 +89,14 @@ func main() {
 		if *run > 0 {
 			sc.Run = *run
 		}
-		opts := cluster.Options{Mode: cluster.Mode(*mode), Quick: *quick}
+		// Provision (and, in tcp mode, worker logs) under the out dir —
+		// not CWD, not a temp dir that vanishes with the evidence — so a
+		// failed run leaves its worker-N.log files inspectable.
+		workDir := filepath.Join(*out, "cluster-work", sc.Name)
+		if err := os.MkdirAll(workDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		opts := cluster.Options{Mode: cluster.Mode(*mode), Quick: *quick, Dir: workDir}
 		if *verbose {
 			opts.Logf = func(format string, args ...any) {
 				log.Printf("[%s] "+format, append([]any{sc.Name}, args...)...)

@@ -149,6 +149,26 @@ func PerfSuite(quick bool) PerfReport {
 		}
 		rep.Results = append(rep.Results, res)
 	}
+
+	// Pipelined-round throughput: virtual-time SimNet rounds/s at depth
+	// 1 (serial) and 2 (window overlapped with certify). Deterministic,
+	// so the depth2/depth1 ratio is a stable trajectory number.
+	pipeRounds := uint64(30)
+	if quick {
+		pipeRounds = 15
+	}
+	for _, depth := range []int{1, 2} {
+		res, err := PipelineThroughput(depth, pipeRounds, 1)
+		if err != nil {
+			rep.Note = fmt.Sprintf("round-pipeline/depth%d failed: %v", depth, err)
+			continue
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:  fmt.Sprintf("round-pipeline/depth%d", depth),
+			Value: res.RoundsPerSec,
+			Unit:  "rounds/s",
+		})
+	}
 	return rep
 }
 

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// PipelineResult is one pipelined-round throughput measurement: how
+// many certified rounds per second of virtual network time a small
+// deployment sustains at the given pipeline depth. Virtual time makes
+// the measurement deterministic — the ratio depth2/depth1 is the
+// tentpole number for the two-deep round pipeline, and approaches
+// (window + certify) / max(window, certify).
+type PipelineResult struct {
+	Depth        int           `json:"depth"`
+	Rounds       uint64        `json:"rounds"`
+	VirtualTime  time.Duration `json:"virtual_time_ns"`
+	RoundsPerSec float64       `json:"rounds_per_sec"`
+}
+
+// PipelineThroughput drives `rounds` certified rounds on a 3-server,
+// 8-client SimNet deployment at the given pipeline depth and returns
+// the virtual-time throughput. The topology is shaped so the
+// certification chain (a few server-server RTTs) is comparable to the
+// submission window — the regime the pipeline targets: with
+// certification hidden behind the next window, depth 2 approaches one
+// round per window instead of one per window-plus-certify.
+func PipelineThroughput(depth int, rounds uint64, seed int64) (PipelineResult, error) {
+	prof := Profile{
+		Name:          "Pipeline",
+		ServerLatency: 25 * time.Millisecond,
+		ClientLatency: 30 * time.Millisecond,
+	}
+	s, err := BuildSession(SessionConfig{
+		Servers:       3,
+		Clients:       8,
+		Profile:       prof,
+		WindowMin:     70 * time.Millisecond,
+		Seed:          seed,
+		PipelineDepth: depth,
+	})
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	s.Bootstrap()
+	start := s.H.Net.Now()
+	s.RunRounds(rounds, 4_000_000)
+	if got := s.Servers[0].Round(); got <= rounds {
+		return PipelineResult{}, fmt.Errorf("bench: pipeline depth %d stalled at round %d of %d", depth, got, rounds)
+	}
+	if len(s.H.Errors) > 0 {
+		return PipelineResult{}, fmt.Errorf("bench: pipeline depth %d: %v", depth, s.H.Errors[0])
+	}
+	el := s.H.Net.Now().Sub(start)
+	res := PipelineResult{Depth: depth, Rounds: rounds, VirtualTime: el}
+	if el > 0 {
+		res.RoundsPerSec = float64(rounds) / el.Seconds()
+	}
+	return res, nil
+}

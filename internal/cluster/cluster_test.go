@@ -295,6 +295,40 @@ func TestScenarioPartitionHealSim(t *testing.T) {
 	}
 }
 
+// TestScenarioPartitionHealPipelinedSim reruns the partition/heal
+// scenario with the whole group at pipeline depth 2 and short epochs:
+// every epoch boundary forces the two-deep pipeline to drain to depth
+// 1 before the beacon rotates, and the healed partition must resume
+// overlapped rounds. A drain failure diverges the group (layout
+// mismatch → protocol violations → no further certified rounds), so
+// rounds certifying across many boundaries is the drain assertion.
+func TestScenarioPartitionHealPipelinedSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-partition-heal-pipelined",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 4, EpochRounds: 6, PipelineDepth: 2},
+		Workload: Workload{Kind: WorkloadMicroblog, Posters: 1, PostBytes: 96, PostEvery: 100 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultPartitionServer, Server: 2, At: 2 * time.Second, Duration: 2 * time.Second},
+		},
+		Run:   9 * time.Second,
+		Drain: time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if res.Rounds == 0 {
+		t.Fatal("no rounds certified across the partition window at depth 2")
+	}
+	// With 6-round epochs the run crosses boundaries both before and
+	// after the heal; surviving them plus the partition means the
+	// pipeline drained and refilled repeatedly.
+	if res.Rounds < 12 {
+		t.Errorf("only %d rounds certified — pipeline likely wedged after the heal", res.Rounds)
+	}
+	if res.HealthyP50 <= 0 {
+		t.Error("no healthy-round latency samples")
+	}
+}
+
 func TestScenarioChurnStormSim(t *testing.T) {
 	sc := Scenario{
 		Name:     "test-churn-storm",

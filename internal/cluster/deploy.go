@@ -128,7 +128,11 @@ func deploySim(ctx context.Context, m *material) (*deployment, error) {
 			return fail(err)
 		}
 		closers = append(closers, func() { host.Close() })
-		if _, err := host.OpenSession(m.grp, keys); err != nil {
+		sessOpts := []dissent.Option{}
+		if m.pipelineDepth > 1 {
+			sessOpts = append(sessOpts, dissent.WithPipelineDepth(m.pipelineDepth))
+		}
+		if _, err := host.OpenSession(m.grp, keys, sessOpts...); err != nil {
 			return fail(fmt.Errorf("cluster: server %d: %w", i, err))
 		}
 		url, closeDebug, err := serveDebug(adminHandler(host))
@@ -146,12 +150,16 @@ func deploySim(ctx context.Context, m *material) (*deployment, error) {
 	cctx, cancelClients := context.WithCancel(ctx)
 	closers = append(closers, cancelClients)
 	for i, keys := range m.clientKeys {
-		node, err := dissent.NewClient(m.grp, keys,
+		cliOpts := []dissent.Option{
 			dissent.WithTransport(sim),
 			dissent.WithMessageBuffer(4096),
 			dissent.WithLogger(quietLogger()),
 			dissent.WithErrorHandler(func(error) {}),
-		)
+		}
+		if m.pipelineDepth > 1 {
+			cliOpts = append(cliOpts, dissent.WithPipelineDepth(m.pipelineDepth))
+		}
+		node, err := dissent.NewClient(m.grp, keys, cliOpts...)
 		if err != nil {
 			return fail(fmt.Errorf("cluster: client %d: %w", i, err))
 		}

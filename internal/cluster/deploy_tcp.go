@@ -164,11 +164,12 @@ func deployTCP(ctx context.Context, m *material, workerExe string) (*deployment,
 
 	for i := range m.grp.Servers {
 		cfg := WorkerConfig{
-			GroupFile:  filepath.Join(m.dir, "group.json"),
-			KeyFile:    filepath.Join(m.dir, fmt.Sprintf("server-%d.key", i)),
-			RosterFile: rosterPath,
-			Listen:     fmt.Sprintf("127.0.0.1:%d", serverPorts[i]),
-			Debug:      fmt.Sprintf("127.0.0.1:%d", debugPorts[i]),
+			GroupFile:     filepath.Join(m.dir, "group.json"),
+			KeyFile:       filepath.Join(m.dir, fmt.Sprintf("server-%d.key", i)),
+			RosterFile:    rosterPath,
+			Listen:        fmt.Sprintf("127.0.0.1:%d", serverPorts[i]),
+			Debug:         fmt.Sprintf("127.0.0.1:%d", debugPorts[i]),
+			PipelineDepth: m.pipelineDepth,
 		}
 		data, err := json.MarshalIndent(cfg, "", "  ")
 		if err != nil {
@@ -209,13 +210,17 @@ func deployTCP(ctx context.Context, m *material, workerExe string) (*deployment,
 	cctx, cancelClients := context.WithCancel(ctx)
 	closers = append(closers, cancelClients)
 	for i, keys := range m.clientKeys {
-		node, err := dissent.NewClient(m.grp, keys,
+		cliOpts := []dissent.Option{
 			dissent.WithListenAddr(fmt.Sprintf("127.0.0.1:%d", clientPorts[i])),
 			dissent.WithRoster(roster),
 			dissent.WithMessageBuffer(4096),
 			dissent.WithLogger(quietLogger()),
 			dissent.WithErrorHandler(func(error) {}),
-		)
+		}
+		if m.pipelineDepth > 1 {
+			cliOpts = append(cliOpts, dissent.WithPipelineDepth(m.pipelineDepth))
+		}
+		node, err := dissent.NewClient(m.grp, keys, cliOpts...)
 		if err != nil {
 			return fail(fmt.Errorf("cluster: client %d: %w", i, err))
 		}

@@ -51,6 +51,9 @@ type material struct {
 	serverKeys []dissent.Keys
 	clientKeys []dissent.Keys
 	dir        string
+	// pipelineDepth is the topology's round pipeline depth, applied to
+	// every member's session options at deployment (0/1 = serial).
+	pipelineDepth int
 }
 
 // provision generates the group's material on disk through dissentcfg
@@ -69,7 +72,7 @@ func provision(dir string, sc Scenario) (*material, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &material{grp: grp, dir: dir}
+	m := &material{grp: grp, dir: dir, pipelineDepth: sc.Topology.PipelineDepth}
 	for i := range grp.Servers {
 		k, err := dissentcfg.LoadKeys(filepath.Join(dir, fmt.Sprintf("server-%d.key", i)), grp)
 		if err != nil {

@@ -56,6 +56,10 @@ type Topology struct {
 	EpochRounds int
 	// OpenLen sets the open slot length in bytes (0 = 256).
 	OpenLen int
+	// PipelineDepth sets every member's round pipeline depth (0 or 1 =
+	// serial rounds; 2 overlaps round r+1's submission window with
+	// round r's combine/certify — see dissent.WithPipelineDepth).
+	PipelineDepth int
 }
 
 // WorkloadKind names a traffic driver.
@@ -213,6 +217,17 @@ var builtin = []Scenario{
 		Run: 25 * time.Second,
 	},
 	{
+		Name:        "partition-heal-pipelined",
+		Description: "partition-heal at pipeline depth 2 with 6-round epochs: overlapped rounds must drain at every boundary and resume after the heal",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 8, EpochRounds: 6, PipelineDepth: 2},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 150 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultPartitionServer, Server: 2, At: 8 * time.Second, Duration: 5 * time.Second},
+		},
+		Run: 25 * time.Second,
+	},
+	{
 		Name:        "microblog-tcp",
 		Description: "3x6 multi-process group over loopback TCP; servers are separate OS processes; microblog fan-out",
 		Mode:        ModeTCP,
@@ -287,6 +302,9 @@ func (sc Scenario) Validate() error {
 	t := sc.Topology
 	if t.Servers < 1 || t.Clients < 1 {
 		return fmt.Errorf("cluster: scenario %s: need at least 1 server and 1 client", sc.Name)
+	}
+	if t.PipelineDepth < 0 {
+		return fmt.Errorf("cluster: scenario %s: negative pipeline depth", sc.Name)
 	}
 	w := sc.Workload
 	switch w.Kind {

@@ -33,6 +33,9 @@ type WorkerConfig struct {
 	// Debug is where the worker serves its admin/debug mux
 	// (/metrics.json, /debug/rounds, /admin/expel).
 	Debug string `json:"debug"`
+	// PipelineDepth is the session's round pipeline depth (0/1 =
+	// serial); it must match the rest of the group.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 }
 
 // RunWorkerFile is the worker-process entry point: load the config at
@@ -73,7 +76,11 @@ func runWorker(cfg WorkerConfig) error {
 		return err
 	}
 	defer host.Close()
-	if _, err := host.OpenSession(grp, keys, dissent.WithRoster(roster)); err != nil {
+	sessOpts := []dissent.Option{dissent.WithRoster(roster)}
+	if cfg.PipelineDepth > 1 {
+		sessOpts = append(sessOpts, dissent.WithPipelineDepth(cfg.PipelineDepth))
+	}
+	if _, err := host.OpenSession(grp, keys, sessOpts...); err != nil {
 		return err
 	}
 

@@ -38,6 +38,7 @@ func (s *Server) InstallSchedule(now time.Time, slotKeys []crypto.Element) (*Out
 		return nil, err
 	}
 	s.installRotation(sched)
+	sched.SetLag(s.depth - 1)
 	s.sched = sched
 	s.prevCount = len(slotKeys)
 	s.phase = phaseRunning
@@ -76,6 +77,7 @@ func (c *Client) InstallSchedule(now time.Time, numSlots, mySlot int, pseudonym 
 		return nil, err
 	}
 	c.installRotation(sched)
+	sched.SetLag(c.depth - 1)
 	c.sched = sched
 	c.ready = true
 	out := &Output{Events: []Event{{Kind: EventScheduleReady,

@@ -23,6 +23,19 @@ type witnessInfo struct {
 	bit   int
 }
 
+// clientRound records one submitted, not-yet-certified round at a
+// client. With pipelining up to depth coexist: the client submits round
+// r+1 while still awaiting round r's certified output.
+type clientRound struct {
+	r      uint64
+	start  time.Time // submit time (trace span origin)
+	padDur time.Duration
+
+	vec      []byte // message vector submitted (resend on failure); pooled
+	sentSlot []byte // our encoded slot region (nil if closed); aliases sentBuf
+	sentBuf  []byte // reusable backing for sentSlot
+}
+
 // Client is the Dissent client engine (Algorithm 1). Applications
 // queue payloads with Send; the engine requests a slot, transmits, and
 // surfaces every slot's decoded payload as Deliveries.
@@ -43,15 +56,30 @@ type Client struct {
 	certKeys [][]byte
 	certSigs [][]byte
 
-	round         uint64    // next round to submit
-	roundStart    time.Time // when `round` opened for us (trace span origin)
-	padDur        time.Duration
+	round   uint64 // next round to submit
+	nextOut uint64 // next round output to process
+	depth   int    // pipeline depth: rounds submitted before an output returns
+	// inflight holds the submitted-but-uncertified rounds, oldest first
+	// (at most depth); spare recycles retired records so the steady-state
+	// submit path stays allocation-free. parked holds a failed round's
+	// vector across an epoch boundary (resubmitAfterRoster).
+	inflight      []*clientRound
+	spare         []*clientRound
+	parked        *clientRound
 	outbox        [][]byte
-	lastVec       []byte // message vector submitted for `round` (resend on failure); pooled
-	sentSlot      []byte // our encoded slot region this round (nil if closed); aliases sentBuf
-	sentBuf       []byte // reusable backing for sentSlot
-	reqPending    bool   // we have an unserved slot request in flight
+	reqPending    bool // we have an unserved slot request in flight
 	awaitingBlame bool
+	// rosterDone is the highest epoch-boundary round whose roster update
+	// has been applied: submission into that boundary may proceed. The
+	// boundary wait is edge-triggered off this watermark (the server
+	// analogue is rosterDue).
+	rosterDone uint64
+	// drain is the first round after the latest pipeline drain the client
+	// has observed (session start, applied roster update, completed blame
+	// session, or the welcome's exported drain point). Rounds ramp their
+	// schedule delta-queue depth up from here, mirroring the servers'
+	// drainRound — see pendingAhead and dcnet.Schedule.SyncPipeline.
+	drain uint64
 
 	// Data-plane hot path: nextStreams holds the (pair, round) streams
 	// prepared during the previous round's idle window — pairwise seeds
@@ -98,7 +126,30 @@ func NewClient(def *group.Definition, kp *crypto.KeyPair, opts Options) (*Client
 	c.pad = dcnet.NewPad(c.prng)
 	c.mySlot = -1
 	c.pairSeedFn = opts.PairSeed
+	c.depth = opts.PipelineDepth
+	if c.depth < 1 {
+		c.depth = 1
+	}
 	return c, nil
+}
+
+// takeRound returns a reset round record, reusing a retired one.
+func (c *Client) takeRound() *clientRound {
+	if n := len(c.spare); n > 0 {
+		cr := c.spare[n-1]
+		c.spare = c.spare[:n-1]
+		*cr = clientRound{sentBuf: cr.sentBuf}
+		return cr
+	}
+	return &clientRound{}
+}
+
+// retireRound recycles a round record's pooled vector and returns the
+// record to the spare list.
+func (c *Client) retireRound(cr *clientRound) {
+	c.bufs.put(cr.vec)
+	cr.vec, cr.sentSlot = nil, nil
+	c.spare = append(c.spare, cr)
 }
 
 // ID returns the client's node ID.
@@ -256,6 +307,7 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 		return nil, err
 	}
 	c.installRotation(sched)
+	sched.SetLag(c.depth - 1)
 	c.sched = sched
 	c.ready = true
 	c.certKeys, c.certSigs = p.Keys, p.Sigs
@@ -268,17 +320,45 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 	return out, nil
 }
 
-// composeVector lays out this round's message vector (Algorithm 1
-// step 2) and records what we transmitted for disruption detection.
-// The vector comes from the buffer pool; the previous round's vector
-// (no longer needed once a new one is composed — its round certified)
-// is recycled here.
-func (c *Client) composeVector() ([]byte, error) {
-	c.bufs.put(c.lastVec)
-	c.lastVec = nil
-	vec := c.bufs.get(c.sched.Len())
-	slotLen := c.sched.SlotLen(c.mySlot)
-	c.sentSlot = nil
+// pendingAhead returns how many of the schedule's queued deltas fall
+// within the layout horizon of round r: round r is composed (and later
+// decoded) against the deltas of rounds ≤ max(drain−1, r−depth). With p
+// deltas queued for the rounds (nextOut−1−p, nextOut−1], the oldest
+// p − ((nextOut−1) − horizon) are within the horizon. The bound matters
+// after a drain ramp and for a freshly welcomed joiner, whose restored
+// queue holds deltas beyond its first round's horizon.
+func (c *Client) pendingAhead(r uint64) int {
+	p := c.sched.PendingDeltas()
+	if p == 0 {
+		return 0
+	}
+	a := int64(c.nextOut) - 1 // every round ≤ this has queued its delta
+	h := int64(r) - int64(c.depth)
+	if d := int64(c.drain) - 1; d > h {
+		h = d
+	}
+	k := p - int(a-h)
+	if k < 0 {
+		k = 0
+	}
+	if k > p {
+		k = p
+	}
+	return k
+}
+
+// composeVector lays out one round's message vector (Algorithm 1
+// step 2) into cr and records what we transmitted for disruption
+// detection. The layout comes from the schedule's ahead view bounded to
+// round cr.r's horizon: under pipelining older rounds' directives are
+// still queued when this round composes, and the bounded view is
+// exactly the layout the servers will decode this round at. The vector
+// comes from the buffer pool.
+func (c *Client) composeVector(cr *clientRound) ([]byte, error) {
+	ahead := c.pendingAhead(cr.r)
+	vec := c.bufs.get(c.sched.AheadLenUpTo(ahead))
+	slotLen := c.sched.AheadSlotLenUpTo(c.mySlot, ahead)
+	cr.sentSlot = nil
 	if slotLen == 0 {
 		if len(c.outbox) > 0 || c.witness != nil {
 			bit := true
@@ -329,26 +409,57 @@ func (c *Client) composeVector() ([]byte, error) {
 	if c.witness != nil {
 		payload.ShuffleReq = randNonzeroByte(c.rand)
 	}
-	off, n := c.sched.SlotRange(c.mySlot)
+	off, n := c.sched.AheadSlotRangeUpTo(c.mySlot, ahead)
 	if err := dcnet.EncodeSlot(vec[off:off+n], payload, c.rand); err != nil {
 		return nil, err
 	}
-	c.sentBuf = append(c.sentBuf[:0], vec[off:off+n]...)
-	c.sentSlot = c.sentBuf
+	cr.sentBuf = append(cr.sentBuf[:0], vec[off:off+n]...)
+	cr.sentSlot = cr.sentBuf
 	return vec, nil
 }
 
-// submitRound builds and sends the ciphertext for the current round.
+// submitRound fills the pipeline: it submits rounds until depth are in
+// flight or a hold (blame, roster wait, expulsion, epoch boundary)
+// stops it. At depth 1 this is exactly the serial one-round submit.
 func (c *Client) submitRound(now time.Time) (*Output, error) {
-	vec, err := c.composeVector()
-	if err != nil {
-		return nil, err
+	out := &Output{}
+	for len(c.inflight) < c.depth {
+		if c.awaitingBlame || c.awaitingRoster || c.expelled {
+			break
+		}
+		if c.epochBoundary(c.round) && c.round > c.rosterDone {
+			// Epoch boundary ahead: servers drain the pipeline and run the
+			// roster phase before this round; hold further submissions
+			// until the certified MsgRosterUpdate. The timer probes for a
+			// lost update via the catch-up path. Only flip to waiting once
+			// the earlier rounds have drained on our side too, so their
+			// outputs are processed under the pre-rotation schedule.
+			if len(c.inflight) == 0 {
+				c.awaitingRoster = true
+				out.Timer = now.Add(rosterSyncInterval)
+			}
+			break
+		}
+		cr := c.takeRound()
+		cr.r = c.round
+		vec, err := c.composeVector(cr)
+		if err != nil {
+			return nil, err
+		}
+		cr.vec = vec
+		sub, err := c.submitVector(now, cr, vec)
+		if err != nil {
+			return nil, err
+		}
+		c.inflight = append(c.inflight, cr)
+		c.round++
+		out.merge(sub)
 	}
-	c.lastVec = vec
-	return c.submitVector(now, vec)
+	c.perf.setRoundsInFlight(len(c.inflight))
+	return out, nil
 }
 
-func (c *Client) submitVector(now time.Time, vec []byte) (*Output, error) {
+func (c *Client) submitVector(now time.Time, cr *clientRound, vec []byte) (*Output, error) {
 	// Build the ciphertext into a pooled buffer, using the streams
 	// prepared during the previous idle window when they match this
 	// round (pairwise seeds never change with the roster, so a round
@@ -358,29 +469,26 @@ func (c *Client) submitVector(now time.Time, vec []byte) (*Output, error) {
 	ps := c.nextStreams
 	c.nextStreams = nil
 	t0 := time.Now()
-	if ps != nil && ps.Round() == c.round {
+	if ps != nil && ps.Round() == cr.r {
 		ps.CiphertextInto(ct, vec)
 		c.perf.prefetchHits.Add(1)
 	} else {
-		c.pad.ClientCiphertextInto(ct, c.serverSeeds, c.round, vec)
+		c.pad.ClientCiphertextInto(ct, c.serverSeeds, cr.r, vec)
 		c.perf.prefetchMisses.Add(1)
 	}
 	d := time.Since(t0)
 	c.perf.addPad(d)
-	c.padDur = d
-	if c.roundStart.IsZero() {
-		c.roundStart = now
-	}
+	cr.padDur = d
+	cr.start = now
 	body := (&ClientSubmit{CT: ct}).Encode()
 	c.bufs.put(ct)
-	m, err := c.sign(MsgClientSubmit, c.round, body)
+	m, err := c.sign(MsgClientSubmit, cr.r, body)
 	if err != nil {
 		return nil, err
 	}
-	// Idle-window prefetch: the round output we now wait for will move
-	// us to round+1; build those streams while the network is the
-	// bottleneck.
-	c.nextStreams = c.pad.Prepare(c.serverSeeds, c.round+1)
+	// Idle-window prefetch: build the next round's streams while the
+	// network is the bottleneck.
+	c.nextStreams = c.pad.Prepare(c.serverSeeds, cr.r+1)
 	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
 }
 
@@ -390,29 +498,29 @@ func (c *Client) PerfStats() PerfStats { return c.perf.snapshot() }
 
 // emitRoundTrace renders the client's view of a certified round as a
 // span record: submit-to-output latency plus the ciphertext-build time.
-// It also re-arms the span origin for the next round.
-func (c *Client) emitRoundTrace(now time.Time, round uint64, participation int, failed bool) {
-	start := c.roundStart
-	c.roundStart = now
+// cr may be nil when the output matched no in-flight record (e.g. an
+// expelled client following outputs without submitting).
+func (c *Client) emitRoundTrace(now time.Time, round uint64, participation int, failed bool, cr *clientRound) {
 	if c.trace == nil {
 		return
 	}
 	t := obs.RoundTrace{
 		Round:         round,
-		Start:         start,
-		Pad:           c.padDur,
 		Participation: participation,
 		Failed:        failed,
 	}
-	if !start.IsZero() {
-		t.Total = now.Sub(start)
+	if cr != nil {
+		t.Start = cr.start
+		t.Pad = cr.padDur
+		if !cr.start.IsZero() {
+			t.Total = now.Sub(cr.start)
+		}
 	}
-	c.padDur = 0
 	c.trace(t)
 }
 
 func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
-	if !c.ready || m.Round != c.round {
+	if !c.ready || m.Round != c.nextOut {
 		return &Output{}, nil
 	}
 	p, err := DecodeRoundOutput(m.Body)
@@ -440,27 +548,86 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 			return c.violation(fmt.Errorf("round %d cert %d: %w", m.Round, j, err)), nil
 		}
 	}
+	// The oldest in-flight record is this round's, unless we were not
+	// submitting (expelled, or following outputs after a join).
+	var cr *clientRound
+	if len(c.inflight) > 0 && c.inflight[0].r == m.Round {
+		cr = c.inflight[0]
+		copy(c.inflight, c.inflight[1:])
+		c.inflight[len(c.inflight)-1] = nil
+		c.inflight = c.inflight[:len(c.inflight)-1]
+		c.perf.setRoundsInFlight(len(c.inflight))
+	}
+	c.nextOut = m.Round + 1
+	if c.round < c.nextOut {
+		// Non-submitting clients track the round counter from outputs so
+		// a later re-admission resumes at the right round.
+		c.round = c.nextOut
+	}
+	// Catch the applied layout up to the one round m.Round was composed
+	// at before decoding: keep exactly q deltas queued, where q ramps up
+	// from the last pipeline drain (see pendingAhead).
+	q := c.depth - 1
+	if d := m.Round - c.drain; d < uint64(q) {
+		q = int(d)
+	}
+	c.sched.SyncPipeline(q)
+
 	if p.Failed {
-		// Hard-timeout round: ciphertexts discarded; resubmit the same
-		// vector under the next round number (§3.7).
-		c.round = m.Round + 1
-		c.emitRoundTrace(now, m.Round, int(p.Count), true)
+		c.emitRoundTrace(now, m.Round, int(p.Count), true, cr)
 		out := &Output{Events: []Event{{Kind: EventRoundFailed, Round: m.Round,
 			Detail: fmt.Sprintf("participation %d", p.Count)}}}
-		if c.epochBoundary(c.round) {
+		// Keep the layout queue aligned with the servers: a failed round
+		// contributes no directives but still consumes a pipeline stage
+		// (no-op at depth 1).
+		c.sched.AdvanceFailed()
+		if c.epochBoundary(c.round) && c.round > c.rosterDone && len(c.inflight) == 0 {
 			c.awaitingRoster = true
 			out.Timer = now.Add(rosterSyncInterval) // catch-up probe if the update is lost
 		}
-		if c.expelled {
+		if cr == nil || c.expelled {
+			if cr != nil {
+				c.retireRound(cr)
+			}
 			return out, nil
 		}
+		if c.depth == 1 {
+			if c.awaitingRoster {
+				// The roster update may reshape the schedule; the
+				// resubmission waits for it (resubmitAfterRoster).
+				c.parked = cr
+				c.resubmitPending = true
+				return out, nil
+			}
+			// Hard-timeout round: ciphertexts discarded; resubmit the same
+			// vector under the next round number (§3.7).
+			cr.r = c.round
+			sub, err := c.submitVector(now, cr, cr.vec)
+			if err != nil {
+				return nil, err
+			}
+			c.inflight = append(c.inflight, cr)
+			c.round++
+			out.merge(sub)
+			return out, nil
+		}
+		// Depth ≥ 2: the identical vector may not match a later layout
+		// (younger rounds composed assuming this stage existed), so
+		// recover the payload bytes and requeue them at the head of the
+		// outbox for the next composition instead.
+		if cr.sentSlot != nil {
+			if pl, idle, err := dcnet.DecodeSlot(cr.sentSlot); err == nil && !idle && len(pl.Data) > 0 {
+				data := append([]byte(nil), pl.Data...)
+				c.outbox = append(c.outbox, nil)
+				copy(c.outbox[1:], c.outbox)
+				c.outbox[0] = data
+			}
+		}
+		c.retireRound(cr)
 		if c.awaitingRoster {
-			// The roster update may reshape the schedule; the resubmission
-			// waits for it (resubmitAfterRoster).
-			c.resubmitPending = true
 			return out, nil
 		}
-		sub, err := c.submitVector(now, c.lastVec)
+		sub, err := c.submitRound(now)
 		if err != nil {
 			return nil, err
 		}
@@ -470,12 +637,13 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 
 	out := &Output{}
 	// Disruption detection (§3.9): compare our slot region against the
-	// certified output.
-	if c.sentSlot != nil && c.witness == nil {
+	// certified output. The applied (pre-Advance) layout is exactly the
+	// layout this round was composed and decoded at, pipelined or not.
+	if cr != nil && cr.sentSlot != nil && c.witness == nil {
 		off, n := c.sched.SlotRange(c.mySlot)
 		got := p.Cleartext[off : off+n]
-		if !bytes.Equal(got, c.sentSlot) {
-			if bit := findWitnessBit(c.sentSlot, got); bit >= 0 {
+		if !bytes.Equal(got, cr.sentSlot) {
+			if bit := findWitnessBit(cr.sentSlot, got); bit >= 0 {
 				c.witness = &witnessInfo{round: m.Round, bit: bit}
 				out.Events = append(out.Events, Event{Kind: EventDisruptionDetected, Round: m.Round,
 					Detail: fmt.Sprintf("slot %d bit %d", c.mySlot, bit)})
@@ -493,12 +661,14 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 			return c.violation(fmt.Errorf("round %d beacon: %w", m.Round, err)), nil
 		}
 	}
-	wasClosed := c.sched.SlotLen(c.mySlot) == 0
+	// The request-bit state concerns rounds we have yet to compose, so
+	// it reads the ahead view (applied plus queued directives).
+	wasClosed := c.sched.AheadSlotLen(c.mySlot) == 0
 	res, err := c.sched.Advance(p.Cleartext)
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule advance: %w", err)
 	}
-	if wasClosed && c.sched.SlotLen(c.mySlot) > 0 {
+	if wasClosed && c.sched.AheadSlotLen(c.mySlot) > 0 {
 		c.reqPending = false
 	}
 	for slot, pl := range res.Payloads {
@@ -510,9 +680,11 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 		out.Events = append(out.Events, Event{Kind: EventEpochRotated, Round: m.Round,
 			Detail: fmt.Sprintf("epoch at round %d", c.sched.Round())})
 	}
-	c.round = m.Round + 1
-	c.emitRoundTrace(now, m.Round, int(p.Count), false)
-	if c.epochBoundary(c.round) {
+	c.emitRoundTrace(now, m.Round, int(p.Count), false, cr)
+	if cr != nil {
+		c.retireRound(cr)
+	}
+	if c.epochBoundary(c.round) && c.round > c.rosterDone && len(c.inflight) == 0 {
 		// Epoch boundary: servers run the roster phase before this round;
 		// hold our submission until the certified MsgRosterUpdate. The
 		// timer probes for a lost update via the catch-up path.
@@ -603,10 +775,18 @@ func (c *Client) onBlameDone(now time.Time, m *Message) (*Output, error) {
 	if p.Verdict == 1 && p.Culprit == c.id {
 		// We were expelled: stop submitting (but keep advancing our
 		// schedule and beacon replicas from certified outputs) until a
-		// roster update re-admits us after the policy cooldown.
+		// roster update re-admits us after the policy cooldown. In-flight
+		// rounds stay queued so their outputs still match and retire.
 		c.expelled = true
-		c.sentSlot = nil
 		out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: m.Round, Culprit: c.id})
+	}
+	// A completed blame session is a pipeline drain point on every
+	// replica — the servers held new windows while it ran — so later
+	// rounds ramp their delta-queue depth from here. Recorded even by
+	// expelled or non-submitting observers, whose decode layouts must
+	// track the group's.
+	if c.ready && c.nextOut > c.drain {
+		c.drain = c.nextOut
 	}
 	if !c.awaitingBlame {
 		return out, nil

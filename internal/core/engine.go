@@ -281,6 +281,16 @@ type Options struct {
 	// its calibrated per-call compute accounting stays well-defined;
 	// production deployments leave it off.
 	NoPadPrefetch bool
+	// PipelineDepth is how many DC-net rounds may be in flight at once
+	// (0 or 1 = serial). At depth d, round r+1's submission window opens
+	// the moment round r's collection closes, overlapping r's pad/
+	// combine/certify work with r+1's collection; clients submit into
+	// r+1 while still awaiting r's certified output. Every node in a
+	// group MUST use the same depth — the schedule's lagged layout
+	// (layout for round k excludes the d−1 most recent rounds' deltas)
+	// is part of the replicated state. The pipeline drains to empty at
+	// epoch boundaries and before accusation shuffles.
+	PipelineDepth int
 	// OnRoundTrace, when non-nil, receives one obs.RoundTrace per
 	// completed round — the engine's phase timestamps as a span record.
 	// It runs on the engine's calling goroutine and must be fast and

@@ -11,7 +11,7 @@ import (
 // fixture wires M server and N client engines over a zero-ish-latency
 // harness with the small test message group.
 type fixture struct {
-	t       *testing.T
+	t       testing.TB
 	def     *group.Definition
 	servers []*Server
 	clients []*Client
@@ -21,13 +21,16 @@ type fixture struct {
 // fixtureOpts tunes fixture construction.
 type fixtureOpts struct {
 	mutatePolicy func(*group.Policy)
+	// mutateOpts adjusts the engine options every node is built with
+	// (e.g. PipelineDepth, which must match across the group).
+	mutateOpts func(*Options)
 	// wrapServer/wrapClient substitute a (possibly malicious) engine
 	// for the node at the given definition index.
 	wrapServer func(idx int, s *Server) Engine
 	wrapClient func(idx int, c *Client) Engine
 }
 
-func newFixture(t *testing.T, m, n int, fo fixtureOpts) *fixture {
+func newFixture(t testing.TB, m, n int, fo fixtureOpts) *fixture {
 	t.Helper()
 	keyGrp := crypto.P256()
 	msgGrp := crypto.ModP512Test()
@@ -78,6 +81,9 @@ func newFixture(t *testing.T, m, n int, fo fixtureOpts) *fixture {
 	f := &fixture{t: t, def: def, h: NewHarness()}
 	f.h.Latency = func(from, to group.NodeID) time.Duration { return time.Millisecond }
 	opts := Options{MessageGroup: msgGrp}
+	if fo.mutateOpts != nil {
+		fo.mutateOpts(&opts)
+	}
 
 	for i, mem := range def.Servers {
 		srv, err := NewServer(def, kpByID[mem.ID], msgKPByKey[string(msgGrp.Encode(mem.MsgPubKey))], opts)

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"dissent/internal/group"
+)
+
+func TestPipelineDepth2Smoke(t *testing.T) {
+	f := newFixture(t, 2, 3, fixtureOpts{
+		mutatePolicy: func(p *group.Policy) { p.BeaconEpochRounds = 5 },
+		mutateOpts:   func(o *Options) { o.PipelineDepth = 2 },
+	})
+	f.clients[0].Send([]byte("hello pipelined world"))
+	f.h.StartAll()
+	f.stepUntilRound(8, 400_000)
+	t.Logf("server rounds: %d %d", f.servers[0].Round(), f.servers[1].Round())
+	for i, c := range f.clients {
+		t.Logf("client %d: round=%d", i, c.Round())
+	}
+	found := false
+	for _, d := range f.h.Deliveries {
+		if string(d.Data) == "hello pipelined world" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("message never delivered; violations: %v, events: %d", f.violations(), len(f.h.Events))
+	}
+}

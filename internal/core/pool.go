@@ -65,10 +65,14 @@ type perfCounters struct {
 	// normally zero; nonzero means stragglers or duplicates were
 	// reconciled.
 	accAdjusts atomic.Uint64
+	// roundsInFlight gauges the pipeline occupancy: how many rounds are
+	// currently between window open and retirement.
+	roundsInFlight atomic.Int64
 }
 
 func (p *perfCounters) addPad(d time.Duration)     { p.padNanos.Add(int64(d)) }
 func (p *perfCounters) addCombine(d time.Duration) { p.combineNanos.Add(int64(d)) }
+func (p *perfCounters) setRoundsInFlight(n int)    { p.roundsInFlight.Store(int64(n)) }
 
 // PerfStats is a point-in-time snapshot of an engine's data-plane
 // timings, surfaced per session by the SDK's Metrics.
@@ -86,6 +90,9 @@ type PerfStats struct {
 	// or prefetched streams (clients); PrefetchMisses counts rounds
 	// that had to expand on the critical path instead.
 	PrefetchHits, PrefetchMisses uint64
+	// RoundsInFlight is the current pipeline occupancy: rounds between
+	// window open and retirement. At PipelineDepth 1 it is 0 or 1.
+	RoundsInFlight int
 }
 
 // snapshot renders the counters as a PerfStats.
@@ -95,5 +102,6 @@ func (p *perfCounters) snapshot() PerfStats {
 		Combine:        time.Duration(p.combineNanos.Load()),
 		PrefetchHits:   p.prefetchHits.Load(),
 		PrefetchMisses: p.prefetchMisses.Load(),
+		RoundsInFlight: int(p.roundsInFlight.Load()),
 	}
 }

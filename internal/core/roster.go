@@ -196,6 +196,15 @@ type JoinWelcome struct {
 	Lens       []int32
 	Idle       []int32
 	Perm       []int32
+	// PendingOps/PendingNs carry the donor schedule's queued, not-yet-
+	// applied round deltas (rows of len(Lens) entries, oldest first) and
+	// DrainRound its latest pipeline drain point. A welcome captured
+	// mid-pipeline needs both so the joiner's replica pops each delta at
+	// the same round as every established replica; at depth 1 and at
+	// epoch-boundary welcomes the queue is empty.
+	DrainRound uint64
+	PendingOps []int32
+	PendingNs  []int32
 	BeaconHead []byte // 32-byte chain head the joiner's replica resumes from
 }
 
@@ -214,6 +223,9 @@ func (p *JoinWelcome) Encode() []byte {
 	e.Int32s(p.Lens)
 	e.Int32s(p.Idle)
 	e.Int32s(p.Perm)
+	e.U64(p.DrainRound)
+	e.Int32s(p.PendingOps)
+	e.Int32s(p.PendingNs)
 	e.Bytes(p.BeaconHead)
 	return e.B
 }
@@ -261,6 +273,15 @@ func DecodeJoinWelcome(b []byte) (*JoinWelcome, error) {
 		return nil, err
 	}
 	if p.Perm, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.DrainRound, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if p.PendingOps, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.PendingNs, err = d.Int32s(); err != nil {
 		return nil, err
 	}
 	if p.BeaconHead, err = d.Bytes(); err != nil {
@@ -967,6 +988,15 @@ func (s *Server) sendWelcome(u *group.RosterUpdate, id group.NodeID, slot int, o
 	w.Lens = toInt32(lens)
 	w.Idle = toInt32(idle)
 	w.Perm = toInt32(perm)
+	// Under pipelining a re-welcome can capture the schedule mid-stream;
+	// the queued deltas and drain point complete the snapshot so the
+	// joiner pops each delta at the same round as every established
+	// replica. Boundary welcomes always export an empty queue: a welcome
+	// implies an admission, so Grow just flushed it.
+	w.DrainRound = s.drainRound
+	pendOps, pendNs := s.sched.PendingSnapshot()
+	w.PendingOps = toInt32(pendOps)
+	w.PendingNs = toInt32(pendNs)
 	if s.beaconChain != nil {
 		head := s.beaconChain.Head()
 		w.BeaconHead = append([]byte(nil), head[:]...)
@@ -1078,7 +1108,6 @@ func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
 				out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: c.round, Culprit: id})
 			}
 			c.expelled = true
-			c.sentSlot = nil
 			continue
 		}
 		out.Events = append(out.Events, Event{Kind: EventMemberExpelled, Round: c.round, Culprit: id})
@@ -1101,6 +1130,16 @@ func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
 		Detail: fmt.Sprintf("version %d (%d admitted, %d removed)", newDef.Version, len(u.Admit), len(u.Remove))})
 
 	c.awaitingRoster = false
+	if c.round > c.rosterDone {
+		c.rosterDone = c.round
+	}
+	// An applied roster update marks a pipeline drain point (the servers
+	// drained before running the roster phase); later rounds ramp their
+	// delta-queue depth from here. Recorded before the not-ready/expelled
+	// early returns so observer replicas track the group's layout too.
+	if c.ready && c.nextOut > c.drain {
+		c.drain = c.nextOut
+	}
 	if !c.ready || c.awaitingBlame || c.expelled {
 		c.resubmitPending = false
 		return out, nil
@@ -1122,20 +1161,34 @@ func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
 	return out, nil
 }
 
-// resubmitAfterRoster re-sends the vector a failed round discarded. If
-// the roster update reshaped the schedule — any non-empty update
-// reseeds the layout permutation, and admissions grow it — the saved
-// vector was composed under the old layout; the slot payload is
-// recovered and re-queued so the data still rides the next round.
+// resubmitAfterRoster re-sends the vector a failed round discarded
+// (parked across the epoch boundary). If the roster update reshaped
+// the schedule — any non-empty update reseeds the layout permutation,
+// and admissions grow it — the saved vector was composed under the old
+// layout; the slot payload is recovered and re-queued so the data
+// still rides the next round.
 func (c *Client) resubmitAfterRoster(now time.Time, reshaped bool) (*Output, error) {
-	if !reshaped && c.lastVec != nil && len(c.lastVec) == c.sched.Len() {
-		return c.submitVector(now, c.lastVec)
+	cr := c.parked
+	c.parked = nil
+	if cr == nil {
+		return c.submitRound(now)
 	}
-	if c.sentSlot != nil {
-		if payload, idle, err := dcnet.DecodeSlot(c.sentSlot); err == nil && !idle && len(payload.Data) > 0 {
-			c.outbox = append([][]byte{payload.Data}, c.outbox...)
+	if !reshaped && cr.vec != nil && len(cr.vec) == c.sched.Len() {
+		cr.r = c.round
+		sub, err := c.submitVector(now, cr, cr.vec)
+		if err != nil {
+			return nil, err
+		}
+		c.inflight = append(c.inflight, cr)
+		c.round++
+		return sub, nil
+	}
+	if cr.sentSlot != nil {
+		if payload, idle, err := dcnet.DecodeSlot(cr.sentSlot); err == nil && !idle && len(payload.Data) > 0 {
+			c.outbox = append([][]byte{append([]byte(nil), payload.Data...)}, c.outbox...)
 		}
 	}
+	c.retireRound(cr)
 	return c.submitRound(now)
 }
 
@@ -1220,6 +1273,9 @@ func (c *Client) onJoinWelcome(now time.Time, m *Message) (*Output, error) {
 	if err != nil {
 		return c.violation(err), nil
 	}
+	if w.DrainRound > w.Round {
+		return c.violation(errors.New("join welcome drain round ahead of engine round")), nil
+	}
 
 	c.def = newDef
 	c.idx = idx
@@ -1247,9 +1303,20 @@ func (c *Client) onJoinWelcome(now time.Time, m *Message) (*Output, error) {
 		}
 	}
 	c.installRotation(sched)
+	sched.SetLag(c.depth - 1)
+	// Restore after SetLag (which flushes the queue): a re-sent welcome
+	// can capture the donor mid-pipeline, and the restored queue plus the
+	// donor's drain point make our replica pop each delta at the same
+	// round as every established one.
+	if err := sched.RestorePending(toInt(w.PendingOps), toInt(w.PendingNs)); err != nil {
+		return c.violation(err), nil
+	}
 	c.sched = sched
 	c.mySlot = slot
 	c.round = w.Round
+	c.nextOut = w.Round
+	c.rosterDone = w.Round
+	c.drain = w.DrainRound
 	c.ready = true
 	c.expelled = false
 
@@ -1288,6 +1355,10 @@ func NewJoinerClient(def *group.Definition, kp *crypto.KeyPair, advertiseAddr st
 	c.pad = dcnet.NewPad(c.prng)
 	c.mySlot = -1
 	c.pairSeedFn = opts.PairSeed
+	c.depth = opts.PipelineDepth
+	if c.depth < 1 {
+		c.depth = 1
+	}
 	return c, nil
 }
 

@@ -55,15 +55,32 @@ type castMsg struct {
 	body []byte
 }
 
-// roundState is one in-flight round at a server.
+// roundState is one in-flight round at a server. With pipelining
+// several coexist, keyed by round number in Server.rounds; only the
+// oldest (the head, Server.roundNum) may run the commit→certify
+// sequence, so server-server phases stay strictly ordered while
+// younger rounds collect submissions concurrently.
 type roundState struct {
 	r       uint64
 	attempt int32
 	phase   roundPhase
 
+	// vecLen is the round's cleartext vector length, captured from the
+	// schedule's ahead view when the window opens. Younger rounds must
+	// not consult the live schedule: the head round's Advance moves it.
+	vecLen int
+	// depthAtStart counts in-flight rounds (this one included) when the
+	// window opened, for the round's trace span.
+	depthAtStart int
+
 	start   time.Time
 	closeAt time.Time // adaptive window close (zero until threshold)
 	hardAt  time.Time
+
+	// prefetch is this round's background full-roster pad expansion,
+	// launched at window open, consumed by takeServerPad at commit, and
+	// reaped at retirement if still unconsumed.
+	prefetch *padPrefetch
 
 	// Server-phase retransmission (liveness under message loss): every
 	// server-broadcast message of the round's current attempt, re-sent
@@ -205,28 +222,43 @@ type Server struct {
 	certKeys [][]byte
 	certSigs [][]byte
 
-	// DC-net state.
+	// DC-net state. rounds holds every in-flight round keyed by round
+	// number; the keys are always the contiguous range
+	// [roundNum, nextOpen). roundNum is the head — the oldest in-flight
+	// round, the only one allowed past inventory collection — and
+	// nextOpen is the next window to open. depth caps len(rounds):
+	// depth 1 is the serial engine, depth 2 overlaps round r+1's
+	// submission window with round r's combine/certify. blameDue defers
+	// a requested accusation shuffle until the pipeline drains.
 	sched     *dcnet.Schedule
 	pad       *dcnet.Pad
 	roundNum  uint64
+	nextOpen  uint64
+	depth     int
+	blameDue  bool
 	prevCount int
-	round     *roundState
-	history   map[uint64]*roundHistory
-	excluded  map[int]bool
+	// drainRound is the first round after the latest pipeline drain
+	// (session start, epoch boundary, post-blame resume). Rounds ramp
+	// their schedule delta-queue depth up from this point — see
+	// pendingAhead and dcnet.Schedule.SyncPipeline.
+	drainRound uint64
+	rounds     map[uint64]*roundState
+	history    map[uint64]*roundHistory
+	excluded   map[int]bool
 
 	// Data-plane hot path (see ARCHITECTURE.md "Data-plane hot path"):
 	// ppad shards pad expansion across a worker pool for the foreground
-	// (window-close) path; prefetchPad is a second expander owned by the
-	// background prefetcher, because a ParallelPad reuses lane buffers
-	// and is single-caller. prefetch is the at-most-one in-flight
-	// background expansion; bufs recycles round-sized vectors; perf
-	// records hot-path timings for Metrics.
-	ppad        *dcnet.ParallelPad
-	prefetchPad *dcnet.ParallelPad
-	prefetch    *padPrefetch
-	noPrefetch  bool
-	bufs        bufPool
-	perf        perfCounters
+	// (window-close) path; prefetchPads are dedicated expanders for the
+	// background prefetchers, one per pipeline lane, because a
+	// ParallelPad reuses lane buffers and is single-caller — round r
+	// uses lane r mod depth, which is quiescent because round r−depth
+	// retired (and reaped its prefetch) before r opened. bufs recycles
+	// round-sized vectors; perf records hot-path timings for Metrics.
+	ppad         *dcnet.ParallelPad
+	prefetchPads []*dcnet.ParallelPad
+	noPrefetch   bool
+	bufs         bufPool
+	perf         perfCounters
 
 	blame        *blameState
 	blameSession int32
@@ -291,8 +323,16 @@ func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (
 	}
 	s.pad = dcnet.NewPad(s.prng)
 	s.ppad = dcnet.NewParallelPad(s.prng, opts.PadWorkers)
-	s.prefetchPad = dcnet.NewParallelPad(s.prng, opts.PadWorkers)
+	s.depth = opts.PipelineDepth
+	if s.depth < 1 {
+		s.depth = 1
+	}
+	s.prefetchPads = make([]*dcnet.ParallelPad, s.depth)
+	for i := range s.prefetchPads {
+		s.prefetchPads[i] = dcnet.NewParallelPad(s.prng, opts.PadWorkers)
+	}
 	s.noPrefetch = opts.NoPadPrefetch
+	s.rounds = make(map[uint64]*roundState)
 	s.history = make(map[uint64]*roundHistory)
 	s.excluded = make(map[int]bool)
 	s.pseuSubs = make(map[int][]byte)
@@ -480,8 +520,7 @@ func (s *Server) broadcastServers(t MsgType, round uint64, body []byte, out *Out
 // castServers broadcasts a round-phase message to the peer servers and
 // records it for retransmission (roundTick) while the round waits on
 // them.
-func (s *Server) castServers(now time.Time, t MsgType, body []byte, out *Output) error {
-	rs := s.round
+func (s *Server) castServers(now time.Time, rs *roundState, t MsgType, body []byte, out *Output) error {
 	rs.casts = append(rs.casts, castMsg{t: t, body: body})
 	rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
 	out.merge(&Output{Timer: rs.resendAt})
@@ -760,6 +799,7 @@ func (s *Server) maybeFinishSetup(now time.Time) (*Output, error) {
 		return nil, err
 	}
 	s.installRotation(sched)
+	sched.SetLag(s.depth - 1)
 	s.sched = sched
 	s.prevCount = len(s.slotKeys)
 	s.phase = phaseRunning
@@ -807,11 +847,78 @@ func (s *Server) myExpected() int {
 	return n
 }
 
-// startRound initializes round state and opens the submission window.
+// startRound (re)fills the round pipeline: it opens submission windows
+// until depth rounds are in flight or a gate blocks. Kept under its
+// historical name — bootstrap and roster code call it wherever the
+// serial engine opened its single round.
 func (s *Server) startRound(now time.Time, out *Output) {
-	s.round = &roundState{
-		r:       s.roundNum,
+	s.maybeOpenRounds(now, out)
+}
+
+// maybeOpenRounds opens submission windows until the pipeline is full.
+// The gates, in order: capacity (at most depth rounds in flight); a due
+// accusation shuffle or roster phase drains the pipeline first; an
+// epoch-boundary round only opens once every earlier round has retired
+// (so the roster phase and permutation rotation build on a settled
+// schedule); and only one submission window collects at a time — round
+// r+1 opens the moment round r's collection closes, which is exactly
+// the overlap that pipelining buys.
+func (s *Server) maybeOpenRounds(now time.Time, out *Output) {
+	if s.phase != phaseRunning || s.sched == nil {
+		return
+	}
+	for len(s.rounds) < s.depth {
+		if s.blameDue || s.rosterDue {
+			return
+		}
+		if s.epochBoundary(s.nextOpen) && len(s.rounds) > 0 {
+			return
+		}
+		if prev, ok := s.rounds[s.nextOpen-1]; ok && prev.phase == rpCollect {
+			return
+		}
+		s.openRound(now, out)
+	}
+}
+
+// pendingAhead returns how many of the schedule's queued deltas fall
+// within the layout horizon of round r: round r is composed (and later
+// decoded) against the deltas of rounds ≤ max(drainRound−1, r−depth).
+// With p deltas queued for the rounds (roundNum−1−p, roundNum−1], the
+// oldest p − ((roundNum−1) − horizon) of them are within the horizon.
+// Bounding compose views this way (rather than consuming the whole
+// queue) keeps compose and decode layouts equal through post-drain
+// ramps, independent of how retirements interleave with window opens.
+func (s *Server) pendingAhead(r uint64) int {
+	p := s.sched.PendingDeltas()
+	if p == 0 {
+		return 0
+	}
+	a := int64(s.roundNum) - 1 // every round ≤ this has queued its delta
+	h := int64(r) - int64(s.depth)
+	if d := int64(s.drainRound) - 1; d > h {
+		h = d
+	}
+	k := p - int(a-h)
+	if k < 0 {
+		k = 0
+	}
+	if k > p {
+		k = p
+	}
+	return k
+}
+
+// openRound initializes round state and opens its submission window.
+// The vector length is pinned from the schedule's ahead view bounded to
+// the round's layout horizon: every delta up to that horizon has been
+// queued (capacity gate), so the bounded view is exactly the layout this
+// round's clients compose against.
+func (s *Server) openRound(now time.Time, out *Output) {
+	rs := &roundState{
+		r:       s.nextOpen,
 		phase:   rpCollect,
+		vecLen:  s.sched.AheadLenUpTo(s.pendingAhead(s.nextOpen)),
 		start:   now,
 		hardAt:  now.Add(s.def.Policy.HardTimeout),
 		subs:    make(map[int]*Message),
@@ -825,26 +932,29 @@ func (s *Server) startRound(now time.Time, out *Output) {
 		beaconCommits: make(map[int][]byte),
 		beaconShares:  make(map[int][]byte),
 	}
-	s.launchPadPrefetch()
-	out.merge(&Output{Timer: s.round.hardAt})
+	s.rounds[rs.r] = rs
+	s.nextOpen++
+	rs.depthAtStart = len(s.rounds)
+	s.perf.setRoundsInFlight(len(s.rounds))
+	s.launchPadPrefetch(rs)
+	out.merge(&Output{Timer: rs.hardAt})
 }
 
-// launchPadPrefetch starts the background expansion of this round's
+// launchPadPrefetch starts the background expansion of a round's
 // full-roster server pad: the (pair, round) seeds are known the moment
 // the round number is, so the O(N·L) stream work runs concurrently with
 // the submission window instead of on the critical path at its close.
 // The expansion covers every non-excluded client; window close XORs out
-// the (normally few) absentees. Any unconsumed previous prefetch is
-// reaped first, which is also the epoch-boundary invalidation point:
-// startRound runs after a roster transition applies, so a new prefetch
-// is always expanded over the fresh roster, and takeServerPad double-
-// checks round and roster version before trusting one.
-func (s *Server) launchPadPrefetch() {
-	s.reapPrefetch()
+// the (normally few) absentees. Epoch-boundary invalidation is
+// structural: openRound runs after a roster transition applies, so a
+// new prefetch is always expanded over the fresh roster, and
+// takeServerPad double-checks round and roster version before trusting
+// one.
+func (s *Server) launchPadPrefetch(rs *roundState) {
 	if s.noPrefetch || s.sched == nil {
 		return
 	}
-	length := s.sched.Len()
+	length := rs.vecLen
 	clients := make([]int, 0, len(s.def.Clients))
 	seeds := make([][]byte, 0, len(s.def.Clients))
 	for ci := range s.def.Clients {
@@ -858,26 +968,27 @@ func (s *Server) launchPadPrefetch() {
 		return
 	}
 	pf := &padPrefetch{
-		round:   s.roundNum,
+		round:   rs.r,
 		version: s.def.Version,
 		clients: clients,
 		buf:     s.bufs.get(length),
 		done:    make(chan struct{}),
 	}
-	s.prefetch = pf
-	pad := s.prefetchPad // dedicated instance; see the field comment
+	rs.prefetch = pf
+	pad := s.prefetchPads[int(rs.r%uint64(s.depth))] // dedicated lane; see the field comment
 	go func() {
 		pad.ServerPadInto(pf.buf, seeds, pf.round)
 		close(pf.done)
 	}()
 }
 
-// reapPrefetch retires any in-flight prefetch, recycling its buffer.
-func (s *Server) reapPrefetch() {
-	if pf := s.prefetch; pf != nil {
+// reapPrefetch retires a round's unconsumed prefetch, recycling its
+// buffer.
+func (s *Server) reapPrefetch(rs *roundState) {
+	if pf := rs.prefetch; pf != nil {
 		<-pf.done
 		s.bufs.put(pf.buf)
-		s.prefetch = nil
+		rs.prefetch = nil
 	}
 }
 
@@ -887,7 +998,7 @@ func (s *Server) reapPrefetch() {
 // cheaper than recomputing over the included set; otherwise by
 // multicore expansion over exactly the included seeds.
 func (s *Server) takeServerPad(rs *roundState, length int) []byte {
-	if pf := s.prefetch; pf != nil && pf.round == rs.r && pf.version == s.def.Version && len(pf.buf) == length {
+	if pf := rs.prefetch; pf != nil && pf.round == rs.r && pf.version == s.def.Version && len(pf.buf) == length {
 		// Both pf.clients and rs.included are ascending: merge-diff.
 		var missing, extra []int
 		i, j := 0, 0
@@ -904,7 +1015,7 @@ func (s *Server) takeServerPad(rs *roundState, length int) []byte {
 			}
 		}
 		if len(missing)+len(extra) < len(rs.included) {
-			s.prefetch = nil
+			rs.prefetch = nil
 			<-pf.done
 			s.perf.prefetchHits.Add(1)
 			rs.prefetchHit = true
@@ -924,7 +1035,7 @@ func (s *Server) takeServerPad(rs *roundState, length int) []byte {
 		}
 		// Participation collapsed below the adjustment break-even:
 		// recompute over the included set; the stale prefetch is reaped
-		// at the next startRound.
+		// when the round retires.
 	}
 	s.perf.prefetchMisses.Add(1)
 	share := s.bufs.get(length)
@@ -940,9 +1051,19 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 	if s.phase != phaseRunning && s.phase != phaseBlame {
 		return &Output{}, nil
 	}
-	rs := s.round
-	if rs == nil || m.Round != rs.r || rs.phase > rpInventory {
+	rs := s.rounds[m.Round]
+	if rs == nil {
+		// A pipelined client submits round r+1 the moment it has sent
+		// round r; that can land here before round r's window closes and
+		// opens r+1. Stash within one pipeline horizon, drop the rest
+		// (retired rounds, or a client claiming an impossible future).
+		if m.Round >= s.nextOpen && m.Round < s.nextOpen+uint64(s.depth) && s.phase == phaseRunning {
+			return s.stashMsg(m), nil
+		}
 		return &Output{}, nil // stale or too late for this round
+	}
+	if rs.phase > rpInventory {
+		return &Output{}, nil // too late for this round
 	}
 	if err := s.verify(m, false); err != nil {
 		return s.violation(rs.r, err), nil
@@ -955,8 +1076,8 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 	if err != nil {
 		return s.violation(rs.r, err), nil
 	}
-	if len(p.CT) != s.sched.Len() {
-		return s.violation(rs.r, fmt.Errorf("client %d ciphertext length %d, want %d", ci, len(p.CT), s.sched.Len())), nil
+	if len(p.CT) != rs.vecLen {
+		return s.violation(rs.r, fmt.Errorf("client %d ciphertext length %d, want %d", ci, len(p.CT), rs.vecLen)), nil
 	}
 	if _, dup := rs.subs[ci]; dup {
 		return &Output{}, nil
@@ -968,7 +1089,7 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 	// accumulator now, off the round's critical path. Window close then
 	// costs one accumulator XOR regardless of N.
 	if rs.ctAcc == nil {
-		rs.ctAcc = s.bufs.get(s.sched.Len())
+		rs.ctAcc = s.bufs.get(rs.vecLen)
 	}
 	crypto.XORBytes(rs.ctAcc, p.CT)
 	rs.accSet[ci] = true
@@ -978,7 +1099,7 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 	}
 	expected := s.myExpected()
 	if len(rs.subs) >= expected {
-		return s.closeWindow(now)
+		return s.closeWindow(now, rs)
 	}
 	threshold := int(float64(expected)*s.def.Policy.WindowThreshold + 0.5)
 	if threshold < 1 {
@@ -995,58 +1116,79 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 			rs.closeAt = rs.hardAt
 		}
 		if !rs.closeAt.After(now) {
-			return s.closeWindow(now)
+			return s.closeWindow(now, rs)
 		}
 		return &Output{Timer: rs.closeAt}, nil
 	}
 	return &Output{}, nil
 }
 
-// roundTick fires window deadlines.
+// roundTick fires window deadlines and retransmission timers for every
+// in-flight round, oldest first.
 func (s *Server) roundTick(now time.Time) (*Output, error) {
-	rs := s.round
-	if rs == nil {
-		return &Output{}, nil
-	}
-	if rs.phase == rpCollect {
-		if !rs.closeAt.IsZero() && !now.Before(rs.closeAt) {
-			return s.closeWindow(now)
+	out := &Output{}
+	for _, r := range sortedRounds(s.rounds) {
+		rs := s.rounds[r]
+		if rs == nil {
+			continue // retired by an earlier round's cascade
 		}
-		if !now.Before(rs.hardAt) {
-			return s.closeWindow(now)
+		if rs.phase == rpCollect {
+			if (!rs.closeAt.IsZero() && !now.Before(rs.closeAt)) || !now.Before(rs.hardAt) {
+				o, err := s.closeWindow(now, rs)
+				if err != nil {
+					return nil, err
+				}
+				out.merge(o)
+				continue
+			}
+			t := rs.hardAt
+			if !rs.closeAt.IsZero() && rs.closeAt.Before(t) {
+				t = rs.closeAt
+			}
+			out.merge(&Output{Timer: t})
+			continue
 		}
-		t := rs.hardAt
-		if !rs.closeAt.IsZero() && rs.closeAt.Before(t) {
-			t = rs.closeAt
-		}
-		return &Output{Timer: t}, nil
-	}
-	// Server-server phases: re-broadcast the round's phase messages
-	// while peers keep us waiting. The transports are reliable streams
-	// but not reliable links — a peer that reconnected after a partition
-	// missed everything sent meanwhile, and without this the round would
-	// wedge until the operator intervened. The whole cast sequence goes
-	// out, not just the newest message: a peer can be a full phase
-	// behind and needs the earlier ones first.
-	if rs.phase > rpCollect && rs.phase < rpDone && len(rs.casts) > 0 {
-		if now.Before(rs.resendAt) {
-			return &Output{Timer: rs.resendAt}, nil
-		}
-		rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
-		out := &Output{Timer: rs.resendAt}
-		for _, c := range rs.casts {
-			if err := s.broadcastServers(c.t, rs.r, c.body, out); err != nil {
-				return nil, err
+		// Server-server phases: re-broadcast the round's phase messages
+		// while peers keep us waiting. The transports are reliable streams
+		// but not reliable links — a peer that reconnected after a partition
+		// missed everything sent meanwhile, and without this the round would
+		// wedge until the operator intervened. The whole cast sequence goes
+		// out, not just the newest message: a peer can be a full phase
+		// behind and needs the earlier ones first.
+		if rs.phase > rpCollect && rs.phase < rpDone && len(rs.casts) > 0 {
+			if now.Before(rs.resendAt) {
+				out.merge(&Output{Timer: rs.resendAt})
+				continue
+			}
+			rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
+			out.merge(&Output{Timer: rs.resendAt})
+			for _, c := range rs.casts {
+				if err := s.broadcastServers(c.t, rs.r, c.body, out); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return out, nil
 	}
-	return &Output{}, nil
+	return out, nil
+}
+
+// sortedRounds returns the in-flight round numbers in ascending order.
+func sortedRounds(m map[uint64]*roundState) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
 }
 
 // closeWindow ends the collection phase and broadcasts the inventory.
-func (s *Server) closeWindow(now time.Time) (*Output, error) {
-	rs := s.round
+// This is also the pipeline trigger: the moment one round stops
+// collecting, the next round's window may open.
+func (s *Server) closeWindow(now time.Time, rs *roundState) (*Output, error) {
+	if rs.phase != rpCollect {
+		return &Output{}, nil
+	}
 	rs.phase = rpInventory
 	rs.windowClosed = now
 	inv := &Inventory{Attempt: rs.attempt}
@@ -1057,25 +1199,26 @@ func (s *Server) closeWindow(now time.Time) (*Output, error) {
 		"attempt", rs.attempt, "window", now.Sub(rs.start))
 	out := &Output{Events: []Event{{Kind: EventWindowClosed, Round: rs.r,
 		Detail: fmt.Sprintf("%d submissions", len(rs.subs))}}}
-	if err := s.castServers(now, MsgInventory, inv.Encode(), out); err != nil {
+	if err := s.castServers(now, rs, MsgInventory, inv.Encode(), out); err != nil {
 		return nil, err
 	}
 	rs.invs[s.idx] = inv
-	more, err := s.maybeCommit(now)
+	more, err := s.maybeCommit(now, rs)
 	if err != nil {
 		return nil, err
 	}
 	out.merge(more)
+	s.maybeOpenRounds(now, out)
 	return out, nil
 }
 
 func (s *Server) onInventory(now time.Time, m *Message) (*Output, error) {
-	rs := s.round
-	if rs == nil || m.Round > rs.r || (rs.phase == rpDone && m.Round == rs.r+1) {
-		return s.stashMsg(m), nil
-	}
-	if m.Round != rs.r {
-		return &Output{}, nil
+	rs := s.rounds[m.Round]
+	if rs == nil {
+		if m.Round >= s.nextOpen {
+			return s.stashMsg(m), nil // a round we haven't opened yet
+		}
+		return &Output{}, nil // retired round
 	}
 	if err := s.verify(m, true); err != nil {
 		return s.violation(rs.r, err), nil
@@ -1099,14 +1242,20 @@ func (s *Server) onInventory(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	rs.invs[si] = p
-	return s.maybeCommit(now)
+	return s.maybeCommit(now, rs)
 }
 
 // maybeCommit runs once all inventories for the attempt are in: apply
 // the α-policy, then compute and commit this server's ciphertext.
-func (s *Server) maybeCommit(now time.Time) (*Output, error) {
-	rs := s.round
+// Gate B: only the head round (the oldest in flight) proceeds — its
+// commit/share/certify sequence consumes the schedule and the beacon
+// chain head, so those must run in round order. A younger round that
+// has every inventory simply waits; retiring the head re-invokes this.
+func (s *Server) maybeCommit(now time.Time, rs *roundState) (*Output, error) {
 	if rs.phase != rpInventory || len(rs.invs) < len(s.def.Servers) {
+		return &Output{}, nil
+	}
+	if rs.r != s.roundNum {
 		return &Output{}, nil
 	}
 	// Union and dedup (lowest server index keeps a duplicate client).
@@ -1150,7 +1299,7 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 		// carrying the fresh participation count (§3.7).
 		rs.failed = true
 		rs.cleartext = nil
-		return s.sendCertify(now)
+		return s.sendCertify(now, rs)
 	}
 
 	// Compute s_j = (⊕_{i∈l} PRNG(K_ij)) ⊕ (⊕_{i∈l'_j} c_i). The pad
@@ -1158,7 +1307,7 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 	// expansion over the included seeds); the ciphertext term is the
 	// streaming accumulator, corrected by the — normally empty — diff
 	// between what we accumulated and the deduped direct set.
-	length := s.sched.Len()
+	length := rs.vecLen
 	t0 := time.Now()
 	share := s.takeServerPad(rs, length)
 	d := time.Since(t0)
@@ -1213,11 +1362,11 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 		commit.BeaconCommit = beacon.CommitShare(rs.myBeaconShare)
 		rs.beaconCommits[s.idx] = commit.BeaconCommit
 	}
-	if err := s.castServers(now, MsgCommit, commit.Encode(), out); err != nil {
+	if err := s.castServers(now, rs, MsgCommit, commit.Encode(), out); err != nil {
 		return nil, err
 	}
 	rs.commits[s.idx] = commit.Hash
-	more, err := s.maybeShare(now)
+	more, err := s.maybeShare(now, rs)
 	if err != nil {
 		return nil, err
 	}
@@ -1226,8 +1375,8 @@ func (s *Server) maybeCommit(now time.Time) (*Output, error) {
 }
 
 func (s *Server) onCommit(now time.Time, m *Message) (*Output, error) {
-	rs := s.round
-	if rs == nil || m.Round != rs.r {
+	rs := s.rounds[m.Round]
+	if rs == nil {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
@@ -1245,25 +1394,24 @@ func (s *Server) onCommit(now time.Time, m *Message) (*Output, error) {
 	if len(p.BeaconCommit) > 0 {
 		rs.beaconCommits[si] = p.BeaconCommit
 	}
-	return s.maybeShare(now)
+	return s.maybeShare(now, rs)
 }
 
-func (s *Server) maybeShare(now time.Time) (*Output, error) {
-	rs := s.round
+func (s *Server) maybeShare(now time.Time, rs *roundState) (*Output, error) {
 	if rs.phase != rpCommit || len(rs.commits) < len(s.def.Servers) {
 		return &Output{}, nil
 	}
 	rs.phase = rpShare
 	out := &Output{}
 	body := (&Share{Attempt: rs.attempt, CT: rs.myShare, BeaconShare: rs.myBeaconShare}).Encode()
-	if err := s.castServers(now, MsgShare, body, out); err != nil {
+	if err := s.castServers(now, rs, MsgShare, body, out); err != nil {
 		return nil, err
 	}
 	rs.shares[s.idx] = rs.myShare
 	if rs.myBeaconShare != nil {
 		rs.beaconShares[s.idx] = rs.myBeaconShare
 	}
-	more, err := s.maybeCombine(now)
+	more, err := s.maybeCombine(now, rs)
 	if err != nil {
 		return nil, err
 	}
@@ -1272,8 +1420,8 @@ func (s *Server) maybeShare(now time.Time) (*Output, error) {
 }
 
 func (s *Server) onShare(now time.Time, m *Message) (*Output, error) {
-	rs := s.round
-	if rs == nil || m.Round != rs.r {
+	rs := s.rounds[m.Round]
+	if rs == nil {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
@@ -1291,12 +1439,11 @@ func (s *Server) onShare(now time.Time, m *Message) (*Output, error) {
 	if len(p.BeaconShare) > 0 {
 		rs.beaconShares[si] = p.BeaconShare
 	}
-	return s.maybeCombine(now)
+	return s.maybeCombine(now, rs)
 }
 
 // maybeCombine verifies commitments and assembles the cleartext.
-func (s *Server) maybeCombine(now time.Time) (*Output, error) {
-	rs := s.round
+func (s *Server) maybeCombine(now time.Time, rs *roundState) (*Output, error) {
 	if rs.phase != rpShare || len(rs.shares) < len(s.def.Servers) {
 		return &Output{}, nil
 	}
@@ -1327,7 +1474,7 @@ func (s *Server) maybeCombine(now time.Time) (*Output, error) {
 		rs.beaconEntry = entry
 	}
 	t0 := time.Now()
-	cleartext := s.bufs.get(s.sched.Len())
+	cleartext := s.bufs.get(rs.vecLen)
 	for si := 0; si < len(s.def.Servers); si++ {
 		crypto.XORBytes(cleartext, rs.shares[si])
 	}
@@ -1335,11 +1482,10 @@ func (s *Server) maybeCombine(now time.Time) (*Output, error) {
 	d := time.Since(t0)
 	s.perf.addCombine(d)
 	rs.combineDur += d
-	return s.sendCertify(now)
+	return s.sendCertify(now, rs)
 }
 
-func (s *Server) sendCertify(now time.Time) (*Output, error) {
-	rs := s.round
+func (s *Server) sendCertify(now time.Time, rs *roundState) (*Output, error) {
 	rs.phase = rpCertify
 	rs.certifySent = now
 	sig, err := s.kp.Sign("dissent/cleartext",
@@ -1350,11 +1496,11 @@ func (s *Server) sendCertify(now time.Time) (*Output, error) {
 	sigBytes := crypto.EncodeSignature(s.keyGrp, sig)
 	out := &Output{}
 	body := (&Certify{Attempt: rs.attempt, Sig: sigBytes}).Encode()
-	if err := s.castServers(now, MsgCertify, body, out); err != nil {
+	if err := s.castServers(now, rs, MsgCertify, body, out); err != nil {
 		return nil, err
 	}
 	rs.certs[s.idx] = sigBytes
-	more, err := s.maybeOutput(now)
+	more, err := s.maybeOutput(now, rs)
 	if err != nil {
 		return nil, err
 	}
@@ -1363,8 +1509,8 @@ func (s *Server) sendCertify(now time.Time) (*Output, error) {
 }
 
 func (s *Server) onCertify(now time.Time, m *Message) (*Output, error) {
-	rs := s.round
-	if rs == nil || m.Round != rs.r {
+	rs := s.rounds[m.Round]
+	if rs == nil {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
@@ -1396,13 +1542,14 @@ func (s *Server) onCertify(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	rs.certs[si] = p.Sig
-	return s.maybeOutput(now)
+	return s.maybeOutput(now, rs)
 }
 
 // maybeOutput completes the round: distribute the certified output,
-// advance the schedule, and begin the next round or a blame session.
-func (s *Server) maybeOutput(now time.Time) (*Output, error) {
-	rs := s.round
+// retire the round from the pipeline, advance the schedule, and let
+// the next head proceed (or start a deferred blame/roster phase once
+// the pipeline drains).
+func (s *Server) maybeOutput(now time.Time, rs *roundState) (*Output, error) {
 	if rs.phase != rpCertify || len(rs.certs) < len(s.def.Servers) {
 		return &Output{}, nil
 	}
@@ -1426,23 +1573,44 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 	}
 
 	// The accumulator's job ends with the round; recycle it. (Raw
-	// ciphertexts stay in rs.subs/cts for blame evidence.)
+	// ciphertexts stay in rs.subs/cts for blame evidence.) Retire the
+	// round from the pipeline; an unconsumed prefetch (failed round, or
+	// participation below the adjustment break-even) is reaped here.
 	s.bufs.put(rs.ctAcc)
 	rs.ctAcc = nil
+	s.reapPrefetch(rs)
+	delete(s.rounds, rs.r)
+	s.perf.setRoundsInFlight(len(s.rounds))
 
 	s.emitRoundTrace(now, rs)
 	s.prevCount = len(rs.included)
 	s.roundNum++
 	// Epoch boundary: the roster phase runs before the boundary round
 	// starts (after any pending blame session), applying this epoch's
-	// membership churn through a certified roster update.
+	// membership churn through a certified roster update. Gate A stops
+	// opening rounds the moment rosterDue is set, so the pipeline
+	// drains; the roster phase itself starts when it has.
 	if s.epochBoundary(s.roundNum) {
 		s.rosterDue = true
 	}
+	// Catch the applied layout up to the one round rs.r was composed at
+	// before decoding: keep exactly q deltas queued, where q ramps up
+	// from the last pipeline drain (the first post-drain round was
+	// composed with every delta applied, the next with one withheld, and
+	// so on up to the steady-state depth−1).
+	q := s.depth - 1
+	if d := rs.r - s.drainRound; d < uint64(q) {
+		q = int(d)
+	}
+	s.sched.SyncPipeline(q)
 	if rs.failed {
 		out.Events = append(out.Events, Event{Kind: EventRoundFailed, Round: rs.r,
 			Detail: fmt.Sprintf("participation %d", len(rs.included))})
-		if err := s.resumeRounds(now, out); err != nil {
+		// A failed round contributes no schedule deltas, but the delta
+		// queue must stay aligned with round numbers (exact no-op at
+		// depth 1).
+		s.sched.AdvanceFailed()
+		if err := s.retireResume(now, out); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -1506,18 +1674,50 @@ func (s *Server) maybeOutput(now time.Time) (*Output, error) {
 
 	if res.ShuffleRequested {
 		// Accusations run before any due roster phase: a verdict reached
-		// now still makes this boundary's roster update.
-		more, err := s.startBlame(now)
-		if err != nil {
-			return nil, err
-		}
-		out.merge(more)
-		return out, nil
+		// now still makes this boundary's roster update. The shuffle
+		// itself waits for the pipeline to drain — younger rounds were
+		// composed before anyone saw the request and complete normally.
+		s.blameDue = true
 	}
-	if err := s.resumeRounds(now, out); err != nil {
+	if err := s.retireResume(now, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// retireResume decides what runs after a round retires. While younger
+// rounds remain in flight, the new head (which may already hold every
+// inventory, blocked only by Gate B) gets to proceed and the pipeline
+// refills. Once drained, a deferred accusation shuffle runs first,
+// then resumeRounds handles any due roster phase or reopens windows.
+func (s *Server) retireResume(now time.Time, out *Output) error {
+	if len(s.rounds) == 0 {
+		// The pipeline has drained: whatever runs next (accusation
+		// shuffle, roster phase, or plain window reopening), rounds
+		// restart with one in flight and ramp back up. Record the drain
+		// point — it drives the per-round delta-queue depth, and
+		// welcomes export it so joiners ramp identically.
+		s.drainRound = s.nextOpen
+		if s.blameDue {
+			s.blameDue = false
+			more, err := s.startBlame(now)
+			if err != nil {
+				return err
+			}
+			out.merge(more)
+			return nil
+		}
+		return s.resumeRounds(now, out)
+	}
+	if rs := s.rounds[s.roundNum]; rs != nil {
+		more, err := s.maybeCommit(now, rs)
+		if err != nil {
+			return err
+		}
+		out.merge(more)
+	}
+	s.maybeOpenRounds(now, out)
+	return nil
 }
 
 // emitRoundTrace renders the round's phase timestamps as a span record
@@ -1539,6 +1739,7 @@ func (s *Server) emitRoundTrace(now time.Time, rs *roundState) {
 		Participation: len(rs.included),
 		PrefetchHit:   rs.prefetchHit,
 		Failed:        rs.failed,
+		Depth:         rs.depthAtStart,
 	}
 	if !rs.windowClosed.IsZero() {
 		t.Window = rs.windowClosed.Sub(rs.start)

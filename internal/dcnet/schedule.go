@@ -80,8 +80,40 @@ type Schedule struct {
 	perm []int // perm[position] = slot occupying that layout position
 	pos  []int // pos[slot] = its layout position (inverse of perm)
 
+	// Pipelined rounds: with lag λ > 0, the layout used for round k
+	// incorporates only the deltas extracted from rounds ≤ k−1−λ, so a
+	// participant can compose round k's vector before round k−1's
+	// output is known. Advance still decodes each round's cleartext the
+	// moment it certifies, but the per-slot directives it extracts are
+	// queued in pending (FIFO, ≤ λ entries) and applied λ rounds later.
+	// λ = 0 (the default) reproduces the serial semantics exactly.
+	lag     int
+	pending [][]slotDelta
+
 	epochEvery uint64
 	epochSeed  func(round uint64) []byte
+}
+
+// deltaOp classifies one slot's observational directive extracted from
+// a decoded round.
+type deltaOp uint8
+
+const (
+	dNone deltaOp = iota
+	dOpen         // closed slot's request bit was set
+	dIdle         // open slot produced idle output
+	dHold         // open slot was garbled: hold length, reset idle
+	dSet          // open slot set its next length (already clamped)
+)
+
+// slotDelta is one slot's directive. Directives are observational —
+// extracted against the layout the round was decoded at — and guarded
+// at application time (e.g. dOpen on an already-open slot is a no-op),
+// so applying the queue in FIFO order is deterministic on every
+// replica regardless of what happened in the lag gap.
+type slotDelta struct {
+	op deltaOp
+	n  int // target length for dSet
 }
 
 // NewSchedule creates the round-0 schedule: all slots closed, identity
@@ -169,6 +201,11 @@ func PermFromSeed(seed []byte, n int) []int {
 // engines do so when applying a certified roster update, seeding from
 // the beacon output and the roster digest.
 func (s *Schedule) Grow(extra int, seed []byte) {
+	// Roster changes build on a settled layout: the engines drain the
+	// round pipeline before applying a certified roster update, so any
+	// still-queued deltas belong to rounds that have already certified
+	// and are due — apply them now.
+	s.FlushPipeline()
 	if extra <= 0 {
 		if seed != nil {
 			s.setPerm(PermFromSeed(seed, s.cfg.NumSlots))
@@ -260,20 +297,26 @@ type RoundResult struct {
 // slot, and moves the schedule to round r+1. Undecodable slots (owner
 // disrupted or garbled) keep their length and count as idle; this is
 // deliberate: a disruptor must not be able to collapse the schedule.
+//
+// The cleartext is always decoded against the applied layout (Len,
+// SlotRange), which under pipelining is exactly the layout the round
+// was composed at: the engines guarantee round r's vector is composed
+// from the layout that excludes the deltas of the λ rounds still in
+// flight, and those same λ deltas sit queued here when r certifies.
+// The extracted directives are queued; the oldest queued delta is
+// applied, moving the compose-side layout forward by one round.
 func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
 	if len(cleartext) != s.Len() {
 		return nil, fmt.Errorf("dcnet: cleartext length %d, want %d", len(cleartext), s.Len())
 	}
 	res := &RoundResult{Payloads: make([]*SlotPayload, s.cfg.NumSlots)}
-	next := make([]int, s.cfg.NumSlots)
+	delta := make([]slotDelta, s.cfg.NumSlots)
 	for i := 0; i < s.cfg.NumSlots; i++ {
 		off, n := s.SlotRange(i)
 		if n == 0 {
 			// Closed slot: a set request bit opens it next round.
 			if s.ReqBit(cleartext, i) {
-				next[i] = s.cfg.DefaultOpenLen
-				s.idle[i] = 0
-				res.Opened = append(res.Opened, i)
+				delta[i] = slotDelta{op: dOpen}
 			}
 			continue
 		}
@@ -281,20 +324,11 @@ func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
 		payload, idle, err := DecodeSlot(region)
 		switch {
 		case idle:
-			s.idle[i]++
-			if s.idle[i] >= s.cfg.IdleCloseRounds {
-				next[i] = 0
-				s.idle[i] = 0
-				res.Closed = append(res.Closed, i)
-			} else {
-				next[i] = n
-			}
+			delta[i] = slotDelta{op: dIdle}
 		case err != nil:
 			// Garbled (possibly disrupted) slot: hold the length.
-			s.idle[i] = 0
-			next[i] = n
+			delta[i] = slotDelta{op: dHold}
 		default:
-			s.idle[i] = 0
 			res.Payloads[i] = payload
 			if payload.ShuffleReq != 0 {
 				res.ShuffleRequested = true
@@ -306,13 +340,13 @@ func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
 			if nl > s.cfg.MaxSlotLen {
 				nl = s.cfg.MaxSlotLen
 			}
-			next[i] = nl
-			if nl == 0 {
-				res.Closed = append(res.Closed, i)
-			}
+			delta[i] = slotDelta{op: dSet, n: nl}
 		}
 	}
-	s.lens = next
+	s.pending = append(s.pending, delta)
+	if len(s.pending) > s.lag {
+		s.popDelta(res)
+	}
 	s.round++
 	if s.epochEvery > 0 && s.round%s.epochEvery == 0 && s.epochSeed != nil {
 		if seed := s.epochSeed(s.round); seed != nil {
@@ -321,6 +355,249 @@ func (s *Schedule) Advance(cleartext []byte) (*RoundResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// AdvanceFailed records a failed (uncertified) round: it contributes no
+// directives, but the delta queue must stay aligned with round numbers
+// so the decode layout for each later certified round is still the one
+// it was composed at. A nil delta is queued and the oldest delta
+// applied; the round counter does not move (failed rounds never reach
+// Advance, so the counter only tracks certified outputs, exactly as in
+// serial operation). With λ = 0 this is an exact no-op, so engines call
+// it unconditionally on failed rounds.
+func (s *Schedule) AdvanceFailed() {
+	s.pending = append(s.pending, nil)
+	if len(s.pending) > s.lag {
+		s.popDelta(nil)
+	}
+}
+
+// popDelta applies the oldest queued delta to the applied layout.
+func (s *Schedule) popDelta(res *RoundResult) {
+	d := s.pending[0]
+	copy(s.pending, s.pending[1:])
+	s.pending[len(s.pending)-1] = nil
+	s.pending = s.pending[:len(s.pending)-1]
+	s.applyDeltaTo(s.lens, s.idle, d, res)
+}
+
+// applyDeltaTo applies one round's directives to a lens/idle pair in
+// place. Guards make directives observational: a directive that no
+// longer matches the slot's state (opened or closed in the lag gap) is
+// dropped, identically on every replica. res may be nil (ahead-view
+// simulation, queue flush); when non-nil, Opened/Closed transitions are
+// reported on it.
+func (s *Schedule) applyDeltaTo(lens, idle []int, delta []slotDelta, res *RoundResult) {
+	for i, d := range delta {
+		switch d.op {
+		case dOpen:
+			if lens[i] != 0 {
+				continue
+			}
+			lens[i] = s.cfg.DefaultOpenLen
+			idle[i] = 0
+			if res != nil {
+				res.Opened = append(res.Opened, i)
+			}
+		case dIdle:
+			if lens[i] == 0 {
+				continue
+			}
+			idle[i]++
+			if idle[i] >= s.cfg.IdleCloseRounds {
+				lens[i] = 0
+				idle[i] = 0
+				if res != nil {
+					res.Closed = append(res.Closed, i)
+				}
+			}
+		case dHold:
+			if lens[i] == 0 {
+				continue
+			}
+			idle[i] = 0
+		case dSet:
+			if lens[i] == 0 {
+				continue
+			}
+			idle[i] = 0
+			lens[i] = d.n
+			if d.n == 0 && res != nil {
+				res.Closed = append(res.Closed, i)
+			}
+		}
+	}
+}
+
+// SyncPipeline applies queued deltas, oldest first, until at most q
+// remain. The engines call it immediately before decoding round r with
+// q = min(λ, r − D), where D is the protocol's latest drain point (the
+// session's first round, an epoch-boundary round, the resume round
+// after an accusation shuffle): a drained pipeline restarts with one
+// round in flight, so the first post-drain rounds were composed against
+// a layout with fewer deltas withheld than the steady-state λ. Syncing
+// to the per-round queue depth keeps the decode layout equal to the
+// compose layout across drains; with a full pipeline (q = λ) and at
+// λ = 0 it is a no-op.
+func (s *Schedule) SyncPipeline(q int) {
+	if q < 0 {
+		q = 0
+	}
+	for len(s.pending) > q {
+		s.popDelta(nil)
+	}
+}
+
+// SetLag sets the pipeline lag λ: the layout used to compose round k
+// excludes the directives of the λ most recent certified rounds, which
+// is what lets λ+1 rounds be in flight at once. Any queued deltas are
+// flushed first, so SetLag is only safe when no round is in flight.
+// Every replica in a group must use the same lag.
+func (s *Schedule) SetLag(lag int) {
+	if lag < 0 {
+		lag = 0
+	}
+	s.FlushPipeline()
+	s.lag = lag
+}
+
+// Lag returns the pipeline lag.
+func (s *Schedule) Lag() int { return s.lag }
+
+// PendingDeltas returns the number of queued, not-yet-applied round
+// deltas.
+func (s *Schedule) PendingDeltas() int { return len(s.pending) }
+
+// FlushPipeline applies every queued delta immediately, bringing the
+// applied layout up to the ahead view. The engines call it (via Grow)
+// when the pipeline has drained at an epoch boundary, so roster and
+// permutation changes always build on a fully settled layout.
+func (s *Schedule) FlushPipeline() {
+	for _, d := range s.pending {
+		s.applyDeltaTo(s.lens, s.idle, d, nil)
+	}
+	s.pending = s.pending[:0]
+}
+
+// simulatePending returns copies of lens/idle with every queued delta
+// applied — the layout of the next round to be composed.
+func (s *Schedule) simulatePending() (lens, idle []int) {
+	return s.simulatePendingUpTo(len(s.pending))
+}
+
+// simulatePendingUpTo applies only the oldest k queued deltas: the
+// compose-side layout at a bounded horizon. A freshly welcomed joiner
+// composes its first round against fewer queued deltas than it holds
+// (the donor captured them mid-pipeline), so compose views take an
+// explicit horizon rather than always consuming the whole queue.
+func (s *Schedule) simulatePendingUpTo(k int) (lens, idle []int) {
+	lens = append([]int(nil), s.lens...)
+	idle = append([]int(nil), s.idle...)
+	if k > len(s.pending) {
+		k = len(s.pending)
+	}
+	for _, d := range s.pending[:k] {
+		s.applyDeltaTo(lens, idle, d, nil)
+	}
+	return lens, idle
+}
+
+// AheadLen returns the total cleartext vector length for the next
+// round to be composed: the applied layout plus every queued delta.
+// With an empty queue (always true at λ = 0) it equals Len.
+func (s *Schedule) AheadLen() int {
+	return s.AheadLenUpTo(len(s.pending))
+}
+
+// AheadLenUpTo is AheadLen at a bounded horizon: only the oldest k
+// queued deltas are included.
+func (s *Schedule) AheadLenUpTo(k int) int {
+	if len(s.pending) == 0 || k <= 0 {
+		return s.Len()
+	}
+	lens, _ := s.simulatePendingUpTo(k)
+	n := s.reqBytes()
+	for _, l := range lens {
+		n += l
+	}
+	return n
+}
+
+// AheadSlotLen is SlotLen on the compose-side (ahead) view.
+func (s *Schedule) AheadSlotLen(i int) int {
+	return s.AheadSlotLenUpTo(i, len(s.pending))
+}
+
+// AheadSlotLenUpTo is AheadSlotLen at a bounded horizon.
+func (s *Schedule) AheadSlotLenUpTo(i, k int) int {
+	if len(s.pending) == 0 || k <= 0 {
+		return s.lens[i]
+	}
+	lens, _ := s.simulatePendingUpTo(k)
+	return lens[i]
+}
+
+// AheadSlotRange is SlotRange on the compose-side (ahead) view.
+func (s *Schedule) AheadSlotRange(i int) (off, n int) {
+	return s.AheadSlotRangeUpTo(i, len(s.pending))
+}
+
+// AheadSlotRangeUpTo is AheadSlotRange at a bounded horizon.
+func (s *Schedule) AheadSlotRangeUpTo(i, k int) (off, n int) {
+	if len(s.pending) == 0 || k <= 0 {
+		return s.SlotRange(i)
+	}
+	lens, _ := s.simulatePendingUpTo(k)
+	off = s.reqBytes()
+	for p := 0; p < s.pos[i]; p++ {
+		off += lens[s.perm[p]]
+	}
+	return off, lens[i]
+}
+
+// PendingSnapshot flattens the queued round deltas, oldest first, into
+// parallel op and length rows of NumSlots entries each, completing the
+// Snapshot state for a welcome captured mid-pipeline. A queued failed
+// round (nil delta) becomes an all-zero row, which applies as the same
+// no-op.
+func (s *Schedule) PendingSnapshot() (ops, ns []int) {
+	for _, row := range s.pending {
+		o := make([]int, s.cfg.NumSlots)
+		n := make([]int, s.cfg.NumSlots)
+		for i, d := range row {
+			o[i], n[i] = int(d.op), d.n
+		}
+		ops = append(ops, o...)
+		ns = append(ns, n...)
+	}
+	return ops, ns
+}
+
+// RestorePending replaces the delta queue from a PendingSnapshot, the
+// joiner-side inverse. Must be called before the restored schedule's
+// first Advance.
+func (s *Schedule) RestorePending(ops, ns []int) error {
+	if len(ops) != len(ns) || len(ops)%s.cfg.NumSlots != 0 {
+		return fmt.Errorf("dcnet: pending snapshot shape mismatch (%d ops, %d ns, %d slots)",
+			len(ops), len(ns), s.cfg.NumSlots)
+	}
+	s.pending = s.pending[:0]
+	for off := 0; off < len(ops); off += s.cfg.NumSlots {
+		row := make([]slotDelta, s.cfg.NumSlots)
+		for i := range row {
+			op := ops[off+i]
+			if op < int(dNone) || op > int(dSet) {
+				return fmt.Errorf("dcnet: pending snapshot op %d invalid", op)
+			}
+			n := ns[off+i]
+			if n < 0 || n > s.cfg.MaxSlotLen {
+				return fmt.Errorf("dcnet: pending snapshot length %d invalid", n)
+			}
+			row[i] = slotDelta{op: deltaOp(op), n: n}
+		}
+		s.pending = append(s.pending, row)
+	}
+	return nil
 }
 
 // Snapshot returns the schedule's replicated state — round counter,
@@ -364,10 +641,16 @@ func RestoreSchedule(cfg Config, round uint64, lens, idle, perm []int) (*Schedul
 // Clone returns an independent copy of the schedule, used by clients
 // probing "what would the layout be if this round's output were X".
 func (s *Schedule) Clone() *Schedule {
-	c := &Schedule{cfg: s.cfg, round: s.round,
+	c := &Schedule{cfg: s.cfg, round: s.round, lag: s.lag,
 		epochEvery: s.epochEvery, epochSeed: s.epochSeed}
 	c.lens = append([]int(nil), s.lens...)
 	c.idle = append([]int(nil), s.idle...)
+	if len(s.pending) > 0 {
+		c.pending = make([][]slotDelta, len(s.pending))
+		for i, d := range s.pending {
+			c.pending[i] = append([]slotDelta(nil), d...)
+		}
+	}
 	c.setPerm(append([]int(nil), s.perm...))
 	return c
 }

@@ -44,6 +44,10 @@ type RoundTrace struct {
 	PrefetchHit bool `json:"prefetch_hit,omitempty"`
 	// Failed marks a hard-timeout round (participation below α·prev).
 	Failed bool `json:"failed,omitempty"`
+	// Depth is the pipeline occupancy when this round's window opened
+	// (this round included): 1 for serial operation, up to
+	// Options.PipelineDepth when rounds overlap.
+	Depth int `json:"depth,omitempty"`
 }
 
 // TraceRing is a bounded, concurrency-safe ring of the most recent

@@ -53,6 +53,12 @@ type SessionMetrics struct {
 	CombineTime       time.Duration `json:"combine_ns"`
 	PadPrefetchHits   uint64        `json:"pad_prefetch_hits"`
 	PadPrefetchMisses uint64        `json:"pad_prefetch_misses"`
+	// PipelineDepth is the configured round pipeline depth (see
+	// WithPipelineDepth); RoundsInFlight is the current occupancy —
+	// rounds between window open and retirement (servers; clients report
+	// their submitted-but-uncertified count).
+	PipelineDepth  int `json:"pipeline_depth"`
+	RoundsInFlight int `json:"rounds_in_flight"`
 	// ChurnJoins/ChurnExpels count members admitted and removed by
 	// certified roster updates this session observed; RosterVersion is
 	// the current certified roster version (see PR 4's epoch churn).
@@ -189,12 +195,17 @@ func (s *Session) Metrics() SessionMetrics {
 		ChurnExpels:     s.stats.expels.Load(),
 		RosterVersion:   s.RosterVersion(),
 	}
+	m.PipelineDepth = s.cfg.pipelineDepth
+	if m.PipelineDepth < 1 {
+		m.PipelineDepth = 1
+	}
 	if pr, ok := s.engine.(interface{ PerfStats() core.PerfStats }); ok {
 		ps := pr.PerfStats()
 		m.PadComputeTime = ps.PadCompute
 		m.CombineTime = ps.Combine
 		m.PadPrefetchHits = ps.PrefetchHits
 		m.PadPrefetchMisses = ps.PrefetchMisses
+		m.RoundsInFlight = ps.RoundsInFlight
 	}
 	if opened := s.stats.openedAt.Load(); opened != 0 {
 		m.Uptime = time.Since(time.Unix(0, opened))

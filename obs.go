@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"sync"
 
 	"dissent/internal/obs"
 )
@@ -23,13 +25,57 @@ type RoundTrace = obs.RoundTrace
 type sessionHists struct {
 	window, pad, combine, certify, blame, total *obs.Histogram
 	stragglers                                  obs.Counter
+
+	// byDepth buckets round total latency by the pipeline occupancy at
+	// the round's start (the dissent_round_duration_by_depth_seconds
+	// family): under WithPipelineDepth it separates overlapped rounds
+	// from drain/ramp rounds. Guarded by mu because scrapes read it
+	// concurrently with the engine goroutine creating entries; the
+	// histograms themselves are atomic.
+	mu      sync.Mutex
+	byDepth map[int]*obs.Histogram
 }
 
 func newSessionHists() *sessionHists {
 	h := func() *obs.Histogram { return obs.NewHistogram(obs.LatencyBuckets...) }
 	return &sessionHists{
 		window: h(), pad: h(), combine: h(), certify: h(), blame: h(), total: h(),
+		byDepth: make(map[int]*obs.Histogram),
 	}
+}
+
+// depthHist returns the latency histogram for pipeline occupancy d,
+// creating it on first use.
+func (sh *sessionHists) depthHist(d int) *obs.Histogram {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h := sh.byDepth[d]
+	if h == nil {
+		h = obs.NewHistogram(obs.LatencyBuckets...)
+		sh.byDepth[d] = h
+	}
+	return h
+}
+
+// depths returns the per-occupancy histograms in ascending depth order.
+func (sh *sessionHists) depths() (out []struct {
+	depth int
+	hist  *obs.Histogram
+}) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ds := make([]int, 0, len(sh.byDepth))
+	for d := range sh.byDepth {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	for _, d := range ds {
+		out = append(out, struct {
+			depth int
+			hist  *obs.Histogram
+		}{d, sh.byDepth[d]})
+	}
+	return out
 }
 
 // observe folds one round span into the histograms. Zero durations are
@@ -50,6 +96,9 @@ func (sh *sessionHists) observe(t obs.RoundTrace) {
 	}
 	if t.Total > 0 {
 		sh.total.ObserveDuration(t.Total)
+		if t.Depth > 0 {
+			sh.depthHist(t.Depth).ObserveDuration(t.Total)
+		}
 	}
 	if t.Stragglers > 0 {
 		sh.stragglers.Add(uint64(t.Stragglers))
@@ -169,6 +218,10 @@ func (h *Host) collectMetrics(w *obs.Writer) {
 		func(sm SessionMetrics) float64 { return float64(sm.ChurnExpels) })
 	perSession("dissent_roster_version", "gauge", "Current certified roster version.",
 		func(sm SessionMetrics) float64 { return float64(sm.RosterVersion) })
+	perSession("dissent_pipeline_depth", "gauge", "Configured round pipeline depth (WithPipelineDepth).",
+		func(sm SessionMetrics) float64 { return float64(sm.PipelineDepth) })
+	perSession("dissent_rounds_in_flight", "gauge", "Current pipeline occupancy: rounds between window open and retirement.",
+		func(sm SessionMetrics) float64 { return float64(sm.RoundsInFlight) })
 
 	w.Family("dissent_pad_prefetch_total", "counter", "Rounds served from (hit) or without (miss) a prefetched server pad.")
 	for _, sm := range hm.PerSession {
@@ -185,6 +238,13 @@ func (h *Host) collectMetrics(w *obs.Writer) {
 		ls := s.promLabels()
 		for _, p := range s.hists.phases() {
 			w.Hist(ls.With("phase", p.name), p.hist.Snapshot())
+		}
+	}
+	w.Family("dissent_round_duration_by_depth_seconds", "histogram", "Round total latency by pipeline occupancy at round start.")
+	for _, s := range sessions {
+		ls := s.promLabels()
+		for _, d := range s.hists.depths() {
+			w.Hist(ls.With("depth", strconv.Itoa(d.depth)), d.hist.Snapshot())
 		}
 	}
 	w.Family("dissent_round_stragglers_total", "counter", "Expected members the submission window closed without.")

@@ -18,6 +18,7 @@ type nodeConfig struct {
 	onError       func(error)
 	logger        *slog.Logger
 	msgBuf        int
+	pipelineDepth int
 }
 
 // buildConfig folds the options over the defaults. onError and logger
@@ -25,8 +26,9 @@ type nodeConfig struct {
 // error handler logs through the session's own structured logger.
 func buildConfig(opts []Option) nodeConfig {
 	cfg := nodeConfig{
-		listenAddr: ":0",
-		msgBuf:     1024,
+		listenAddr:    ":0",
+		msgBuf:        1024,
+		pipelineDepth: 1,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -92,6 +94,22 @@ func WithErrorHandler(fn func(error)) Option {
 // inherit the host's logger unless overridden.
 func WithLogger(l *slog.Logger) Option {
 	return func(c *nodeConfig) { c.logger = l }
+}
+
+// WithPipelineDepth sets the round pipeline depth — how many DC-net
+// rounds the node keeps in flight (default 1, the serial engine). At
+// depth 2 servers open round r+1's submission window the moment round
+// r's collection closes, running r's pad/combine/certify concurrently
+// with r+1's collection, and clients submit into r+1 while awaiting
+// r's output; when certification is the bottleneck this roughly
+// doubles round throughput. Every member of a group must run the same
+// depth. Values below 1 are ignored.
+func WithPipelineDepth(d int) Option {
+	return func(c *nodeConfig) {
+		if d > 0 {
+			c.pipelineDepth = d
+		}
+	}
 }
 
 // WithMessageBuffer sets the Messages() channel capacity (default

@@ -107,10 +107,11 @@ func newSessionShell(role Role, def *Group, cfg nodeConfig) (*Session, core.Opti
 		done:   make(chan struct{}),
 	}
 	return s, core.Options{
-		MessageGroup: def.MsgGroup(),
-		BeaconStore:  cfg.store,
-		Logger:       logger,
-		OnRoundTrace: s.onRoundTrace,
+		MessageGroup:  def.MsgGroup(),
+		BeaconStore:   cfg.store,
+		Logger:        logger,
+		OnRoundTrace:  s.onRoundTrace,
+		PipelineDepth: cfg.pipelineDepth,
 	}
 }
 
