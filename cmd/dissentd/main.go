@@ -5,12 +5,12 @@
 // Usage:
 //
 //	dissentd -group group.json -key server-0.key -roster roster.json -listen :7000 \
-//	         [-beacon :7080] [-beacon-store beacon.jsonl] [-metrics :7090]
+//	         [-store state.kv] [-beacon :7080] [-beacon-store beacon.jsonl] [-metrics :7090]
 //
-// Flags -group, -key, -roster, -beacon, and -beacon-store are
+// Flags -group, -key, -roster, -store, -beacon, and -beacon-store are
 // repeatable and positional: each -group starts a new session block,
-// and the -key/-roster/-beacon/-beacon-store flags that follow apply
-// to it. One invocation therefore shards many groups behind one
+// and the -key/-roster/-store/-beacon/-beacon-store flags that follow
+// apply to it. One invocation therefore shards many groups behind one
 // listener:
 //
 //	dissentd -listen :7000 \
@@ -26,7 +26,18 @@
 // All servers and clients of a group must share the same group.json
 // and roster. The daemon logs round completions, participation counts,
 // blame verdicts, and protocol violations per group, and shuts down
-// cleanly on SIGINT/SIGTERM (flushing and closing every beacon store).
+// cleanly on SIGINT/SIGTERM (sessions drain first, then every store is
+// flushed and closed).
+//
+// With -store the session persists its durable state — the certified
+// roster-update log, blame transcripts, the restart snapshot, and
+// (unless -beacon-store overrides it) the beacon chain — to a single
+// crash-safe embedded store file. A daemon killed mid-epoch and
+// restarted against the same -store file resumes its live session from
+// the snapshot: it re-announces itself to the group, reopens in-flight
+// rounds, and catches up on rounds certified without it, with no
+// manual rejoin. A store whose snapshot predates a different group or
+// an abandoned run is cleared at startup.
 //
 // With -beacon a session additionally serves its randomness-beacon
 // chain over HTTP (GET /beacon/latest, /beacon/{round},
@@ -77,10 +88,11 @@ func main() {
 }
 
 // sessionSpec is one -group block's file set: a group definition plus
-// the key, roster, and beacon flags that followed it.
+// the key, roster, beacon, and store flags that followed it.
 type sessionSpec struct {
 	group, key, roster  string
 	beacon, beaconStore string
+	store               string
 	groupSet            bool
 }
 
@@ -123,6 +135,10 @@ func parseSpecs(fs *flag.FlagSet) *[]*sessionSpec {
 		cur().beaconStore = v
 		return nil
 	})
+	fs.Func("store", "durable state store file for the current -group block; a server restarted against it resumes its session (empty = in-memory)", func(v string) error {
+		cur().store = v
+		return nil
+	})
 	return specs
 }
 
@@ -156,9 +172,9 @@ func run(args []string) error {
 		return err
 	}
 	// Teardown order matters: the host closes every session (which
-	// stops appending to the chains) before the store closes flush the
-	// files.
-	var stores []*dissent.BeaconFileStore
+	// stops appending to the chains, roster logs, and snapshots) before
+	// the store closes flush the files.
+	var stores []interface{ Close() error }
 	defer func() {
 		host.Close()
 		for _, st := range stores {
@@ -193,9 +209,9 @@ func run(args []string) error {
 }
 
 // openSpec loads one session block's files and opens its membership on
-// the host. Any beacon store it opens is appended to stores; the
-// caller closes them after the host has shut down.
-func openSpec(host *dissent.Host, logger *slog.Logger, spec *sessionSpec, stores *[]*dissent.BeaconFileStore) error {
+// the host. Any store it opens (beacon or state) is appended to
+// stores; the caller closes them after the host has shut down.
+func openSpec(host *dissent.Host, logger *slog.Logger, spec *sessionSpec, stores *[]interface{ Close() error }) error {
 	grp, err := dissentcfg.LoadGroup(spec.group)
 	if err != nil {
 		return err
@@ -213,6 +229,15 @@ func openSpec(host *dissent.Host, logger *slog.Logger, spec *sessionSpec, stores
 	}
 
 	opts := []dissent.Option{dissent.WithRoster(roster)}
+	if spec.store != "" {
+		kv, err := dissent.OpenStateStore(spec.store)
+		if err != nil {
+			return err
+		}
+		*stores = append(*stores, kv)
+		opts = append(opts, dissent.WithStateStore(kv))
+		logger.Info("state store open", "path", kv.Path(), "records", kv.Len())
+	}
 	if spec.beaconStore != "" {
 		if grp.Policy.BeaconEpochRounds == 0 {
 			return errors.New("-beacon-store set but the group policy disables the beacon")

@@ -30,6 +30,23 @@ type Store interface {
 	Len() int
 }
 
+// Pruner is an optional Store extension for checkpoint compaction:
+// a store that can drop a verified prefix of the chain.
+type Pruner interface {
+	// DropBefore removes every entry with Round < round.
+	DropBefore(round uint64) error
+}
+
+// Anchored is an optional Store extension that persists the
+// checkpoint anchor — the round of the first retained entry after a
+// compaction — so a reopened chain remembers where Verify roots.
+type Anchored interface {
+	// AnchorRound returns the persisted anchor, if any.
+	AnchorRound() (uint64, bool)
+	// SetAnchor durably records the anchor.
+	SetAnchor(round uint64) error
+}
+
 // MemStore is the default in-memory Store: a round-ordered slice.
 type MemStore struct {
 	entries []*Entry
@@ -75,6 +92,13 @@ func (s *MemStore) Latest() (*Entry, bool) {
 // Len implements Store.
 func (s *MemStore) Len() int { return len(s.entries) }
 
+// DropBefore implements Pruner.
+func (s *MemStore) DropBefore(round uint64) error {
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Round >= round })
+	s.entries = append(s.entries[:0:0], s.entries[i:]...)
+	return nil
+}
+
 // Chain is a node's replica of the beacon chain: the verification
 // context (group, server keys, genesis) plus a Store. All methods are
 // safe for concurrent use, so an HTTP serving goroutine can read while
@@ -86,6 +110,15 @@ type Chain struct {
 
 	mu    sync.RWMutex
 	store Store
+
+	// anchor, when anchored, is the round of the chain's checkpoint:
+	// the first retained entry after a prefix compaction (or a
+	// BootstrapFrom). Verify roots trust at the anchor entry — its
+	// internal consistency (m share signatures, value recompute) is
+	// checked but its Prev link points at a discarded prefix and is
+	// trusted — and verifies linkage onward from there.
+	anchor   uint64
+	anchored bool
 }
 
 // NewChain creates a chain over an empty in-memory store.
@@ -97,7 +130,13 @@ func NewChain(g crypto.Group, serverPubs []crypto.Element, genesis Value) *Chain
 // already present (e.g. loaded by a FileStore) are trusted as-is;
 // call Verify to re-check them.
 func NewChainWithStore(g crypto.Group, serverPubs []crypto.Element, genesis Value, store Store) *Chain {
-	return &Chain{g: g, pubs: serverPubs, genesis: genesis, store: store}
+	c := &Chain{g: g, pubs: serverPubs, genesis: genesis, store: store}
+	if a, ok := store.(Anchored); ok {
+		if r, ok := a.AnchorRound(); ok {
+			c.anchor, c.anchored = r, true
+		}
+	}
+	return c
 }
 
 // Genesis returns the chain's genesis value.
@@ -120,6 +159,108 @@ func (c *Chain) Rebind(genesis Value) error {
 		return fmt.Errorf("beacon: rebind of a chain with %d entries", n)
 	}
 	c.genesis = genesis
+	c.anchored = false
+	return nil
+}
+
+// RebindTrusted replaces the genesis value even when entries exist.
+// It exists for the restart path: a server reopening its durable
+// store holds entries it verified before persisting them, and the
+// resumed session's genesis is recomputed from the restored snapshot's
+// certified schedule digest. Trusting one's own disk here matches the
+// FileStore contract ("entries already present are trusted as-is");
+// Verify still re-checks lineage from the new genesis, or from the
+// checkpoint anchor when the prefix was compacted away.
+func (c *Chain) RebindTrusted(genesis Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.genesis = genesis
+}
+
+// ResetTrusted drops every stored entry and rebinds the chain to a new
+// genesis — the established-replica re-sync path: a client adopting a
+// certified session snapshot discards its (possibly diverged) chain
+// replica and resumes appending from the snapshot's head value. The
+// store must support pruning; both MemStore and KVStore do.
+func (c *Chain) ResetTrusted(genesis Value) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if latest, ok := c.store.Latest(); ok {
+		p, okp := c.store.(Pruner)
+		if !okp {
+			return fmt.Errorf("beacon: store %T cannot reset", c.store)
+		}
+		if err := p.DropBefore(latest.Round + 1); err != nil {
+			return err
+		}
+	}
+	c.genesis = genesis
+	c.anchored = false
+	return nil
+}
+
+// Anchor returns the checkpoint anchor round, if the chain has one.
+func (c *Chain) Anchor() (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.anchor, c.anchored
+}
+
+// BootstrapFrom seeds an empty chain with a checkpoint entry obtained
+// from a peer, so a node can join (or catch up to) a long-lived chain
+// without replaying every entry from genesis. The entry's internal
+// consistency — all m share signatures over (prev, round) and the
+// value recomputation — is verified, so at least one honest server
+// endorsed its lineage; its Prev link itself is trusted as the
+// checkpoint boundary. The entry becomes the chain's anchor.
+func (c *Chain) BootstrapFrom(e *Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e == nil {
+		return errors.New("beacon: nil checkpoint entry")
+	}
+	if n := c.store.Len(); n > 0 {
+		return fmt.Errorf("beacon: bootstrap of a chain with %d entries", n)
+	}
+	if err := VerifyEntry(c.g, c.pubs, e.Prev, e); err != nil {
+		return fmt.Errorf("beacon: checkpoint entry %d: %w", e.Round, err)
+	}
+	if err := c.store.Append(e); err != nil {
+		return err
+	}
+	return c.setAnchorLocked(e.Round)
+}
+
+// CompactBefore drops every entry with Round < round from the store
+// (which must implement Pruner) and anchors verification at the first
+// retained entry. A caller checkpoints a long chain this way — e.g.
+// retaining the last few epochs — so neither storage nor Verify cost
+// grows with session lifetime. Compaction never drops the newest
+// entry: an empty suffix is refused.
+func (c *Chain) CompactBefore(round uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.store.(Pruner)
+	if !ok {
+		return fmt.Errorf("beacon: store %T cannot compact", c.store)
+	}
+	first, ok := c.store.From(round)
+	if !ok {
+		return fmt.Errorf("beacon: compacting before round %d would empty the chain", round)
+	}
+	if err := p.DropBefore(first.Round); err != nil {
+		return err
+	}
+	return c.setAnchorLocked(first.Round)
+}
+
+// setAnchorLocked records the anchor in memory and, when the store
+// supports it, durably.
+func (c *Chain) setAnchorLocked(round uint64) error {
+	c.anchor, c.anchored = round, true
+	if a, ok := c.store.(Anchored); ok {
+		return a.SetAnchor(round)
+	}
 	return nil
 }
 
@@ -238,13 +379,28 @@ func (c *Chain) AppendShares(round uint64, shares [][]byte) (*Entry, error) {
 	return e, nil
 }
 
-// Verify re-checks the entire chain from genesis: every link, every
+// Verify re-checks the entire retained chain: every link, every
 // share. It detects any after-the-fact tampering with stored entries.
+// On an unanchored chain verification starts at genesis; on a
+// checkpointed chain it roots at the anchor entry, whose internal
+// consistency is checked but whose Prev link (into the compacted-away
+// prefix) is trusted.
 func (c *Chain) Verify() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	prev := c.genesis
 	next := uint64(0)
+	if c.anchored {
+		e, ok := c.store.Get(c.anchor)
+		if !ok {
+			return fmt.Errorf("beacon: anchor entry %d missing", c.anchor)
+		}
+		if err := VerifyEntry(c.g, c.pubs, e.Prev, e); err != nil {
+			return fmt.Errorf("beacon: anchor entry %d: %w", c.anchor, err)
+		}
+		prev = e.Value
+		next = e.Round + 1
+	}
 	for {
 		e, ok := c.store.From(next)
 		if !ok {

@@ -1,0 +1,182 @@
+package beacon
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dissent/internal/crypto"
+	"dissent/internal/store"
+)
+
+func openKV(t *testing.T, path string) *store.KV {
+	t.Helper()
+	kv, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	return kv
+}
+
+func TestKVStoreChainSurvivesReopen(t *testing.T) {
+	kps, pubs := testServers(t, 3)
+	var gid [32]byte
+	copy(gid[:], "beacon-kvstore-group------------")
+	genesis := GenesisValue(gid)
+	path := filepath.Join(t.TempDir(), "state.kv")
+
+	kv := openKV(t, path)
+	st, err := NewKVStore(kv, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChainWithStore(crypto.P256(), pubs, genesis, st)
+	for r := uint64(0); r < 6; r++ {
+		runRound(t, kps, pubs, r, chain)
+	}
+	head := chain.Head()
+	kv.Close()
+
+	kv2 := openKV(t, path)
+	st2, err := NewKVStore(kv2, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain2 := NewChainWithStore(crypto.P256(), pubs, genesis, st2)
+	if chain2.Len() != 6 {
+		t.Fatalf("reopened chain has %d entries, want 6", chain2.Len())
+	}
+	if chain2.Head() != head {
+		t.Fatal("reopened chain head differs")
+	}
+	if err := chain2.Verify(); err != nil {
+		t.Fatalf("reopened chain fails verification: %v", err)
+	}
+	// And it keeps extending.
+	runRound(t, kps, pubs, 6, chain2)
+}
+
+func TestChainCheckpointCompaction(t *testing.T) {
+	kps, pubs := testServers(t, 3)
+	var gid [32]byte
+	copy(gid[:], "beacon-checkpoint-group---------")
+	genesis := GenesisValue(gid)
+	path := filepath.Join(t.TempDir(), "state.kv")
+
+	kv := openKV(t, path)
+	st, err := NewKVStore(kv, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChainWithStore(crypto.P256(), pubs, genesis, st)
+	for r := uint64(0); r < 10; r++ {
+		runRound(t, kps, pubs, r, chain)
+	}
+	if err := chain.CompactBefore(6); err != nil {
+		t.Fatalf("CompactBefore: %v", err)
+	}
+	if chain.Len() != 4 {
+		t.Fatalf("compacted chain has %d entries, want 4", chain.Len())
+	}
+	if a, ok := chain.Anchor(); !ok || a != 6 {
+		t.Fatalf("anchor = %d,%v, want 6,true", a, ok)
+	}
+	if chain.Get(3) != nil {
+		t.Fatal("compacted-away entry still readable")
+	}
+	if err := chain.Verify(); err != nil {
+		t.Fatalf("anchored verification failed: %v", err)
+	}
+	// Compacting away the whole chain is refused.
+	if err := chain.CompactBefore(100); err == nil {
+		t.Fatal("CompactBefore past the head succeeded")
+	}
+	kv.Close()
+
+	// The anchor survives reopen: verification still roots at round 6
+	// instead of expecting genesis linkage.
+	kv2 := openKV(t, path)
+	st2, err := NewKVStore(kv2, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain2 := NewChainWithStore(crypto.P256(), pubs, genesis, st2)
+	if a, ok := chain2.Anchor(); !ok || a != 6 {
+		t.Fatalf("reopened anchor = %d,%v, want 6,true", a, ok)
+	}
+	if err := chain2.Verify(); err != nil {
+		t.Fatalf("reopened anchored verification failed: %v", err)
+	}
+	// Tampering with a retained entry is still caught.
+	raw, ok := kv2.Get("beacon", roundKey(8))
+	if !ok {
+		t.Fatal("entry 8 missing from KV")
+	}
+	tampered := []byte(string(raw))
+	for i := range tampered {
+		if tampered[i] == '7' {
+			tampered[i] = '8'
+			break
+		} else if tampered[i] == '8' {
+			tampered[i] = '7'
+			break
+		}
+	}
+	if err := kv2.Put("beacon", roundKey(8), tampered); err != nil {
+		t.Fatal(err)
+	}
+	kv2.Close()
+	kv3 := openKV(t, path)
+	st3, err := NewKVStore(kv3, "beacon")
+	if err != nil {
+		t.Skipf("tampered entry no longer parses: %v", err)
+	}
+	chain3 := NewChainWithStore(crypto.P256(), pubs, genesis, st3)
+	if err := chain3.Verify(); err == nil {
+		t.Fatal("tampered chain passed verification")
+	}
+}
+
+func TestBootstrapFromCheckpoint(t *testing.T) {
+	kps, pubs := testServers(t, 3)
+	var gid [32]byte
+	copy(gid[:], "beacon-bootstrap-group----------")
+	genesis := GenesisValue(gid)
+	full := NewChain(crypto.P256(), pubs, genesis)
+	for r := uint64(0); r < 10; r++ {
+		runRound(t, kps, pubs, r, full)
+	}
+
+	// A node bootstraps at round 7's checkpoint entry and syncs only
+	// the suffix — no genesis replay.
+	fresh := NewChain(crypto.P256(), pubs, genesis)
+	if err := fresh.BootstrapFrom(full.Get(7)); err != nil {
+		t.Fatalf("BootstrapFrom: %v", err)
+	}
+	added, err := fresh.Sync(chainSource{full})
+	if err != nil {
+		t.Fatalf("sync after bootstrap: %v", err)
+	}
+	if added != 2 {
+		t.Fatalf("sync added %d entries, want 2", added)
+	}
+	if fresh.Len() != 3 {
+		t.Fatalf("bootstrapped chain has %d entries, want 3", fresh.Len())
+	}
+	if fresh.Head() != full.Head() {
+		t.Fatal("bootstrapped chain head differs from source")
+	}
+	if err := fresh.Verify(); err != nil {
+		t.Fatalf("bootstrapped chain fails verification: %v", err)
+	}
+
+	// A forged checkpoint entry (bad share signatures) is rejected.
+	forged := *full.Get(7)
+	forged.Shares = append([][]byte(nil), forged.Shares...)
+	forged.Shares[0] = append([]byte(nil), forged.Shares[0]...)
+	forged.Shares[0][len(forged.Shares[0])-1] ^= 1
+	empty := NewChain(crypto.P256(), pubs, genesis)
+	if err := empty.BootstrapFrom(&forged); err == nil {
+		t.Fatal("forged checkpoint entry accepted")
+	}
+}

@@ -171,6 +171,9 @@ func deployTCP(ctx context.Context, m *material, workerExe string) (*deployment,
 			Debug:         fmt.Sprintf("127.0.0.1:%d", debugPorts[i]),
 			PipelineDepth: m.pipelineDepth,
 		}
+		if m.durableStores {
+			cfg.StoreFile = filepath.Join(m.dir, fmt.Sprintf("server-%d.kv", i))
+		}
 		data, err := json.MarshalIndent(cfg, "", "  ")
 		if err != nil {
 			return fail(err)

@@ -54,6 +54,10 @@ type Result struct {
 	// the window; DialFailures counts transport dial failures (tcp).
 	ChurnJoins, ChurnExpels uint64
 	DialFailures            uint64
+	// StateRestores counts live-session resumes from durable state
+	// stores during the window (kill-server faults with
+	// Topology.DurableStores).
+	StateRestores uint64
 	// WorkloadRows carries the traffic driver's own measurements.
 	WorkloadRows []bench.PerfResult
 }
@@ -147,13 +151,14 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
 
 	final := scr.counters()
 	res := &Result{
-		Scenario:     sc,
-		Rounds:       final.rounds - base.rounds,
-		BytesMoved:   final.bytes - base.bytes,
-		ChurnJoins:   final.joins - base.joins,
-		ChurnExpels:  final.expels - base.expels,
-		DialFailures: final.dialFailures - base.dialFailures,
-		WorkloadRows: ws.rows,
+		Scenario:      sc,
+		Rounds:        final.rounds - base.rounds,
+		BytesMoved:    final.bytes - base.bytes,
+		ChurnJoins:    final.joins - base.joins,
+		ChurnExpels:   final.expels - base.expels,
+		DialFailures:  final.dialFailures - base.dialFailures,
+		StateRestores: final.restores - base.restores,
+		WorkloadRows:  ws.rows,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.RoundsPerSec = float64(res.Rounds) / secs

@@ -54,6 +54,9 @@ type material struct {
 	// pipelineDepth is the topology's round pipeline depth, applied to
 	// every member's session options at deployment (0/1 = serial).
 	pipelineDepth int
+	// durableStores gives each tcp-mode server worker a state store
+	// file beside its other material (Topology.DurableStores).
+	durableStores bool
 }
 
 // provision generates the group's material on disk through dissentcfg
@@ -72,7 +75,7 @@ func provision(dir string, sc Scenario) (*material, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &material{grp: grp, dir: dir, pipelineDepth: sc.Topology.PipelineDepth}
+	m := &material{grp: grp, dir: dir, pipelineDepth: sc.Topology.PipelineDepth, durableStores: sc.Topology.DurableStores}
 	for i := range grp.Servers {
 		k, err := dissentcfg.LoadKeys(filepath.Join(dir, fmt.Sprintf("server-%d.key", i)), grp)
 		if err != nil {

@@ -47,6 +47,9 @@ func (r *Result) Report() bench.PerfReport {
 	if r.DialFailures > 0 {
 		add("transport-dial-failures", float64(r.DialFailures), "dials")
 	}
+	if r.StateRestores > 0 {
+		add("state-restores", float64(r.StateRestores), "restores")
+	}
 	rep.Results = append(rep.Results, r.WorkloadRows...)
 	return rep
 }

@@ -60,6 +60,10 @@ type Topology struct {
 	// serial rounds; 2 overlaps round r+1's submission window with
 	// round r's combine/certify — see dissent.WithPipelineDepth).
 	PipelineDepth int
+	// DurableStores gives each server process a durable state store
+	// file (tcp mode), so a FaultKillServer restart resumes the live
+	// session from its snapshot instead of stalling the group.
+	DurableStores bool
 }
 
 // WorkloadKind names a traffic driver.
@@ -129,10 +133,12 @@ const (
 	// members with latency/jitter/loss for the window (sim only).
 	FaultDegradeServer = "degrade-server"
 	// FaultKillServer kills one server process at At and restarts it
-	// Duration later (tcp only). NOTE: a restarted server cannot yet
-	// resume a live session (no server-state snapshot bootstrap — see
-	// ROADMAP), so rounds stay stalled after the kill; the fault
-	// measures detection and degradation, not recovery.
+	// Duration later (tcp only). With Topology.DurableStores the
+	// restarted process resumes the live session from its state-store
+	// snapshot — rounds wedge during the outage and recover after the
+	// restart. Without durable stores the restarted process cannot
+	// rejoin and rounds stay stalled; the fault then measures detection
+	// and degradation only.
 	FaultKillServer = "kill-server"
 )
 
@@ -224,6 +230,17 @@ var builtin = []Scenario{
 		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 150 * time.Millisecond},
 		Faults: []Fault{
 			{Kind: FaultPartitionServer, Server: 2, At: 8 * time.Second, Duration: 5 * time.Second},
+		},
+		Run: 25 * time.Second,
+	},
+	{
+		Name:        "kill-restart-tcp",
+		Description: "3x6 multi-process TCP group with durable stores; server 1 killed mid-run and restarted 4s later, resuming from its snapshot",
+		Mode:        ModeTCP,
+		Topology:    Topology{Servers: 3, Clients: 6, EpochRounds: 8, DurableStores: true},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 200 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultKillServer, Server: 1, At: 6 * time.Second, Duration: 4 * time.Second},
 		},
 		Run: 25 * time.Second,
 	},

@@ -129,6 +129,7 @@ type counterState struct {
 	joins        uint64 // max across servers
 	expels       uint64 // max across servers
 	dialFailures uint64 // sum across servers (tcp only)
+	restores     uint64 // sum across servers (durable-store restarts)
 }
 
 // counters reduces the latest snapshots.
@@ -152,6 +153,7 @@ func (s *scraper) counters() counterState {
 			if sm.ChurnExpels > st.expels {
 				st.expels = sm.ChurnExpels
 			}
+			st.restores += sm.StateRestores
 		}
 		if hm.Transport != nil {
 			st.dialFailures += hm.Transport.DialFailures

@@ -36,6 +36,10 @@ type WorkerConfig struct {
 	// PipelineDepth is the session's round pipeline depth (0/1 =
 	// serial); it must match the rest of the group.
 	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// StoreFile, when set, backs the session with a durable state
+	// store at that path: a worker restarted against the same file
+	// resumes its live session from the snapshot (kill-server faults).
+	StoreFile string `json:"store_file,omitempty"`
 }
 
 // RunWorkerFile is the worker-process entry point: load the config at
@@ -67,6 +71,17 @@ func runWorker(cfg WorkerConfig) error {
 	if err != nil {
 		return err
 	}
+	// The store opens (and its close defers) before the host, so the
+	// LIFO defer order drains every session before the store flushes
+	// and closes.
+	var kv *dissent.StateStore
+	if cfg.StoreFile != "" {
+		kv, err = dissent.OpenStateStore(cfg.StoreFile)
+		if err != nil {
+			return err
+		}
+		defer kv.Close()
+	}
 	host, err := dissent.NewHost(
 		dissent.WithHostListenAddr(cfg.Listen),
 		dissent.WithHostLogger(quietLogger()),
@@ -79,6 +94,9 @@ func runWorker(cfg WorkerConfig) error {
 	sessOpts := []dissent.Option{dissent.WithRoster(roster)}
 	if cfg.PipelineDepth > 1 {
 		sessOpts = append(sessOpts, dissent.WithPipelineDepth(cfg.PipelineDepth))
+	}
+	if kv != nil {
+		sessOpts = append(sessOpts, dissent.WithStateStore(kv))
 	}
 	if _, err := host.OpenSession(grp, keys, sessOpts...); err != nil {
 		return err

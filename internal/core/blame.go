@@ -460,6 +460,12 @@ func (s *Server) maybeEvaluateTrace(now time.Time) (*Output, error) {
 		return &Output{}, nil
 	}
 	hist := s.history[b.acc.round]
+	if hist == nil {
+		// History evicted (or never recorded — an adopted post-restart
+		// round): the accusation cannot be traced. Close inconclusively;
+		// the victim re-accuses on a traceable round.
+		return s.blameVerdict(now, group.NodeID{}, 0)
+	}
 	k := b.acc.bit
 	n := len(hist.included)
 	pos := make(map[int]int, n) // client index -> position in included
@@ -620,6 +626,9 @@ func (s *Server) judgeRebuttal(now time.Time, ci int, p *Rebuttal) (*Output, err
 	seed := crypto.SecretSeed(s.keyGrp, secret, clientPub, serverPub)
 	trueBit := s.pad.StreamBit(seed, b.acc.round, b.acc.bit)
 	hist := s.history[b.acc.round]
+	if hist == nil {
+		return s.blameVerdict(now, group.NodeID{}, 0)
+	}
 	var posCI int
 	for p2, c := range hist.included {
 		if c == ci {
@@ -633,6 +642,37 @@ func (s *Server) judgeRebuttal(now time.Time, ci int, p *Rebuttal) (*Output, err
 	}
 	// The server told the truth: the client's mismatch stands.
 	return s.blameVerdict(now, s.def.Clients[ci].ID, 1)
+}
+
+// persistBlameTranscript records the closed session's verdict and the
+// traced accusation in the durable store so an operator (or a restarted
+// node) can audit why a member is excluded. The per-round evidence
+// itself (histories, traces) is deliberately not persisted — it is
+// pooled hot-path memory, and the verdict is what outlives the session.
+// Also refreshes the session snapshot: a verdict can change the
+// excluded set between round retirements, and a crash in that gap must
+// not resurrect the culprit.
+func (s *Server) persistBlameTranscript(b *blameState, culprit group.NodeID, verdict byte) {
+	if s.store == nil {
+		return
+	}
+	var e encBuf
+	e.U64(s.roundNum)
+	e.U8(verdict)
+	e.Bytes(culprit[:])
+	if b.acc != nil {
+		e.U8(1)
+		e.U64(b.acc.round)
+		e.U32(uint32(b.acc.slot))
+		e.U32(uint32(b.acc.bit))
+	} else {
+		e.U8(0)
+	}
+	key := fmt.Sprintf("%010d", b.session)
+	if err := s.store.Put(bucketBlame, key, e.B); err != nil {
+		s.log.Error("blame transcript persist failed", "blame_session", b.session, "err", err)
+	}
+	s.persistSnapshot()
 }
 
 // blameVerdict closes the blame session, applies expulsion, notifies
@@ -670,6 +710,7 @@ func (s *Server) blameVerdict(now time.Time, culprit group.NodeID, verdict byte)
 	if err := s.broadcastClients(MsgBlameDone, s.roundNum, body, out); err != nil {
 		return nil, err
 	}
+	s.persistBlameTranscript(b, culprit, verdict)
 	s.blame = nil
 	s.phase = phaseRunning
 	if err := s.resumeRounds(now, out); err != nil {

@@ -42,6 +42,8 @@ func (s *Server) InstallSchedule(now time.Time, slotKeys []crypto.Element) (*Out
 	s.sched = sched
 	s.prevCount = len(slotKeys)
 	s.phase = phaseRunning
+	s.rosterDigests[s.def.Version] = sched.Digest()
+	s.persistSnapshot()
 	out := &Output{Events: []Event{{Kind: EventScheduleReady,
 		Detail: fmt.Sprintf("%d slots (trusted bootstrap)", len(slotKeys))}}}
 	s.startRound(now, out)
@@ -80,6 +82,8 @@ func (c *Client) InstallSchedule(now time.Time, numSlots, mySlot int, pseudonym 
 	sched.SetLag(c.depth - 1)
 	c.sched = sched
 	c.ready = true
+	dig := sched.Digest()
+	c.applyDigest = dig[:]
 	out := &Output{Events: []Event{{Kind: EventScheduleReady,
 		Detail: fmt.Sprintf("slot %d of %d (trusted bootstrap)", mySlot, numSlots)}}}
 	sub, err := c.submitRound(now)

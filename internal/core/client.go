@@ -34,6 +34,12 @@ type clientRound struct {
 	vec      []byte // message vector submitted (resend on failure); pooled
 	sentSlot []byte // our encoded slot region (nil if closed); aliases sentBuf
 	sentBuf  []byte // reusable backing for sentSlot
+	// sub retains the signed submission so Tick can resend it while the
+	// round stays uncertified. A resend is idempotent at the server
+	// (duplicate submissions drop), and for a round that retired while we
+	// were unreachable it elicits the retained certified output — the
+	// catch-up ladder a client behind the group climbs back up on.
+	sub *Message
 }
 
 // Client is the Dissent client engine (Algorithm 1). Applications
@@ -98,6 +104,13 @@ type Client struct {
 	awaitingRoster  bool   // epoch boundary: hold submission for MsgRosterUpdate
 	resubmitPending bool   // a failed round's vector awaits the roster update
 	pairSeedFn      func(clientIdx, serverIdx int) []byte
+	// applyDigest is the schedule digest captured when the current
+	// roster version was applied (or at schedule install for the initial
+	// version); nil when no apply-point digest is known (mid-stream
+	// welcome or snapshot re-sync). It rides the catch-up probe so the
+	// upstream server can detect a silently diverged replica and force a
+	// certified snapshot re-sync.
+	applyDigest []byte
 
 	witness          *witnessInfo
 	accusedInSession int32
@@ -148,7 +161,7 @@ func (c *Client) takeRound() *clientRound {
 // record to the spare list.
 func (c *Client) retireRound(cr *clientRound) {
 	c.bufs.put(cr.vec)
-	cr.vec, cr.sentSlot = nil, nil
+	cr.vec, cr.sentSlot, cr.sub = nil, nil, nil
 	c.spare = append(c.spare, cr)
 }
 
@@ -239,22 +252,34 @@ func (c *Client) Handle(now time.Time, m *Message) (*Output, error) {
 		return c.onRosterUpdate(now, m)
 	case MsgJoinWelcome:
 		return c.onJoinWelcome(now, m)
+	case MsgSnapshotSync:
+		return c.onSnapshotSync(now, m)
 	default:
 		return nil, fmt.Errorf("core: client got unexpected %s", m.Type)
 	}
 }
 
-// Tick re-sends a joiner's pending join request, and — for a client
-// stuck waiting on a roster update past the sync interval — asks its
+// submitResendInterval bounds how long a submitted round may sit
+// uncertified before the client re-sends it. Healthy rounds certify
+// well inside the interval, so the steady-state cost is one no-op
+// timer per interval; a round the group retired while the client was
+// unreachable answers the resend with the retained certified output
+// (onClientSubmit's stale path), which is what lets a behind client
+// ladder back up to the live round instead of wedging.
+const submitResendInterval = 2 * time.Second
+
+// Tick re-sends a joiner's pending join request; for a client stuck
+// waiting on a roster update past the sync interval it asks its
 // upstream server to replay missed certified updates (the catch-up for
-// a lost MsgRosterUpdate frame). Established clients are otherwise
-// purely reactive.
+// a lost MsgRosterUpdate frame); and for a submitted round uncertified
+// past submitResendInterval it re-sends the submission (lost frame, or
+// a round certified while our upstream server was down).
 func (c *Client) Tick(now time.Time) (*Output, error) {
 	if c.joining && !c.ready && c.pseudonym != nil {
 		return c.sendJoinRequest(now)
 	}
 	if c.ready && c.awaitingRoster {
-		body := (&JoinRequest{Version: c.def.Version}).Encode()
+		body := (&JoinRequest{Version: c.def.Version, SchedDigest: c.applyDigest}).Encode()
 		m, err := c.sign(MsgJoinRequest, c.round, body)
 		if err != nil {
 			return nil, err
@@ -263,6 +288,13 @@ func (c *Client) Tick(now time.Time) (*Output, error) {
 			Send:  []Envelope{{To: c.upstream, Msg: m}},
 			Timer: now.Add(rosterSyncInterval),
 		}, nil
+	}
+	if c.ready && !c.awaitingBlame && !c.expelled && len(c.inflight) > 0 {
+		out := &Output{Timer: now.Add(submitResendInterval)}
+		if cr := c.inflight[0]; cr.sub != nil && now.Sub(cr.start) >= submitResendInterval {
+			out.Send = append(out.Send, Envelope{To: c.upstream, Msg: cr.sub})
+		}
+		return out, nil
 	}
 	return &Output{}, nil
 }
@@ -311,6 +343,8 @@ func (c *Client) onSchedule(now time.Time, m *Message) (*Output, error) {
 	c.sched = sched
 	c.ready = true
 	c.certKeys, c.certSigs = p.Keys, p.Sigs
+	dig := sched.Digest()
+	c.applyDigest = dig[:]
 	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("slot %d of %d", c.mySlot, len(p.Keys))}}}
 	sub, err := c.submitRound(now)
 	if err != nil {
@@ -486,10 +520,18 @@ func (c *Client) submitVector(now time.Time, cr *clientRound, vec []byte) (*Outp
 	if err != nil {
 		return nil, err
 	}
+	cr.sub = m
 	// Idle-window prefetch: build the next round's streams while the
 	// network is the bottleneck.
 	c.nextStreams = c.pad.Prepare(c.serverSeeds, cr.r+1)
-	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
+	// The timer sustains the stale-submission resend loop (Tick): if the
+	// round goes uncertified past the interval — lost frame, or a round
+	// the group certified while our upstream was down — the resend either
+	// drops as a duplicate or pulls back the retained certified output.
+	return &Output{
+		Send:  []Envelope{{To: c.upstream, Msg: m}},
+		Timer: now.Add(submitResendInterval),
+	}, nil
 }
 
 // PerfStats returns the client's data-plane timing counters. Safe to
@@ -639,14 +681,27 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 	// Disruption detection (§3.9): compare our slot region against the
 	// certified output. The applied (pre-Advance) layout is exactly the
 	// layout this round was composed and decoded at, pipelined or not.
-	if cr != nil && cr.sentSlot != nil && c.witness == nil {
+	if cr != nil && cr.sentSlot != nil {
 		off, n := c.sched.SlotRange(c.mySlot)
 		got := p.Cleartext[off : off+n]
 		if !bytes.Equal(got, cr.sentSlot) {
-			if bit := findWitnessBit(cr.sentSlot, got); bit >= 0 {
-				c.witness = &witnessInfo{round: m.Round, bit: bit}
-				out.Events = append(out.Events, Event{Kind: EventDisruptionDetected, Round: m.Round,
-					Detail: fmt.Sprintf("slot %d bit %d", c.mySlot, bit)})
+			if c.witness == nil {
+				if bit := findWitnessBit(cr.sentSlot, got); bit >= 0 {
+					c.witness = &witnessInfo{round: m.Round, bit: bit}
+					out.Events = append(out.Events, Event{Kind: EventDisruptionDetected, Round: m.Round,
+						Detail: fmt.Sprintf("slot %d bit %d", c.mySlot, bit)})
+				}
+			}
+			// Whatever the cause — a disruptor's flips, or a round that
+			// certified on an attempt excluding us (our upstream server
+			// crashed with our ciphertext) — our payload did not reach the
+			// group intact. Requeue it at the head of the outbox instead
+			// of silently losing it.
+			if pl, idle, err := dcnet.DecodeSlot(cr.sentSlot); err == nil && !idle && len(pl.Data) > 0 {
+				data := append([]byte(nil), pl.Data...)
+				c.outbox = append(c.outbox, nil)
+				copy(c.outbox[1:], c.outbox)
+				c.outbox[0] = data
 			}
 		}
 	}

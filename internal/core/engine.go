@@ -56,6 +56,14 @@ const (
 	// EventRosterChanged fires whenever a certified roster update is
 	// applied; Detail carries the new version.
 	EventRosterChanged
+	// EventStateRestored fires when a restarted server resumes a live
+	// session from its durable state store instead of running setup.
+	EventStateRestored
+	// EventReplicaResynced fires when a client replaces its diverged
+	// schedule replica with a certified snapshot from its upstream
+	// server (the forced re-sync after a schedule-digest mismatch or a
+	// catch-up past the retained roster history).
+	EventReplicaResynced
 )
 
 func (k EventKind) String() string {
@@ -84,6 +92,10 @@ func (k EventKind) String() string {
 		return "member-expelled"
 	case EventRosterChanged:
 		return "roster-changed"
+	case EventStateRestored:
+		return "state-restored"
+	case EventReplicaResynced:
+		return "replica-resynced"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -146,6 +158,45 @@ func (o *Output) merge(other *Output) {
 	}
 }
 
+// StateStore is the durable key-value surface the engines persist
+// protocol state through — satisfied by *store.KV. Mutations must be
+// durable before they return. The engines use fixed buckets: "roster"
+// for certified roster updates keyed by version, "roster-digest" for
+// the post-apply schedule digests beside them, "blame" for completed
+// blame-session transcripts, and "snapshot" for the server's restart
+// snapshot.
+type StateStore interface {
+	Put(bucket, key string, value []byte) error
+	Get(bucket, key string) ([]byte, bool)
+	List(bucket string) []string
+	Delete(bucket, key string) error
+}
+
+// StateStore bucket names.
+const (
+	bucketRoster       = "roster"
+	bucketRosterDigest = "roster-digest"
+	bucketBlame        = "blame"
+	bucketSnapshot     = "snapshot"
+)
+
+// snapshotKey names the single server restart snapshot record.
+const snapshotKey = "server"
+
+// HasSnapshot reports whether st holds a server restart snapshot —
+// i.e. whether a server session can resume from it.
+func HasSnapshot(st StateStore) bool {
+	if st == nil {
+		return false
+	}
+	_, ok := st.Get(bucketSnapshot, snapshotKey)
+	return ok
+}
+
+// versionKey renders a roster version as a fixed-width store key so
+// the store's sorted key listing is numeric version order.
+func versionKey(v uint64) string { return fmt.Sprintf("%020d", v) }
+
 // node is state common to client and server engines.
 type node struct {
 	def     *group.Definition
@@ -163,6 +214,11 @@ type node struct {
 	// it through the round protocol's commit–reveal; clients extend it
 	// from certified round outputs.
 	beaconChain *beacon.Chain
+
+	// store is the durable state store (nil = memory-only operation;
+	// catch-up then serves only the in-memory roster log and restart
+	// recovery is unavailable).
+	store StateStore
 
 	// trace receives one span record per completed round (nil = off);
 	// log carries the engine's structured logger (never nil — a discard
@@ -194,6 +250,7 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 		rand:    opts.Rand,
 		prng:    prng,
 		signing: def.Policy.SignMessages,
+		store:   opts.StateStore,
 		trace:   opts.OnRoundTrace,
 		log:     logger,
 	}
@@ -270,8 +327,15 @@ type Options struct {
 	// same function. Production deployments leave it nil.
 	PairSeed func(clientIdx, serverIdx int) []byte
 	// BeaconStore backs the node's beacon chain (nil = in-memory).
-	// cmd/dissentd passes a beacon.FileStore for durable chains.
+	// cmd/dissentd passes a beacon.KVStore over the node's embedded
+	// state store for durable, checkpointable chains.
 	BeaconStore beacon.Store
+	// StateStore backs the engine's durable protocol state: the
+	// certified roster-update log (with post-apply schedule digests),
+	// blame transcripts, and the server restart snapshot. nil keeps
+	// everything in memory — catch-up is then limited to the bounded
+	// in-memory roster log and crash recovery is unavailable.
+	StateStore StateStore
 	// PadWorkers bounds the DC-net pad expansion worker pool at servers
 	// (0 = GOMAXPROCS). Each worker expands a shard of the per-client
 	// streams into a private lane; see dcnet.ParallelPad.

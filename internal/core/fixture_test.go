@@ -16,6 +16,10 @@ type fixture struct {
 	servers []*Server
 	clients []*Client
 	h       *Harness
+	// kpByID/msgKPByIdx retain the identity material so restart tests
+	// can rebuild an engine for an existing member.
+	kpByID     map[group.NodeID]*crypto.KeyPair
+	msgKPByIdx map[int]*crypto.KeyPair
 }
 
 // fixtureOpts tunes fixture construction.
@@ -24,6 +28,10 @@ type fixtureOpts struct {
 	// mutateOpts adjusts the engine options every node is built with
 	// (e.g. PipelineDepth, which must match across the group).
 	mutateOpts func(*Options)
+	// serverOpts adjusts one server's options after mutateOpts (e.g. a
+	// per-server StateStore for restart tests). idx is the definition
+	// index.
+	serverOpts func(idx int, o *Options)
 	// wrapServer/wrapClient substitute a (possibly malicious) engine
 	// for the node at the given definition index.
 	wrapServer func(idx int, s *Server) Engine
@@ -78,7 +86,8 @@ func newFixture(t testing.TB, m, n int, fo fixtureOpts) *fixture {
 		kpByID[group.IDFromKey(keyGrp, clientKeys[i])] = clientKPs[i]
 	}
 
-	f := &fixture{t: t, def: def, h: NewHarness()}
+	f := &fixture{t: t, def: def, h: NewHarness(),
+		kpByID: kpByID, msgKPByIdx: make(map[int]*crypto.KeyPair)}
 	f.h.Latency = func(from, to group.NodeID) time.Duration { return time.Millisecond }
 	opts := Options{MessageGroup: msgGrp}
 	if fo.mutateOpts != nil {
@@ -86,7 +95,13 @@ func newFixture(t testing.TB, m, n int, fo fixtureOpts) *fixture {
 	}
 
 	for i, mem := range def.Servers {
-		srv, err := NewServer(def, kpByID[mem.ID], msgKPByKey[string(msgGrp.Encode(mem.MsgPubKey))], opts)
+		srvOpts := opts
+		if fo.serverOpts != nil {
+			fo.serverOpts(i, &srvOpts)
+		}
+		msgKP := msgKPByKey[string(msgGrp.Encode(mem.MsgPubKey))]
+		f.msgKPByIdx[i] = msgKP
+		srv, err := NewServer(def, kpByID[mem.ID], msgKP, srvOpts)
 		if err != nil {
 			t.Fatal(err)
 		}

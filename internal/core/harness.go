@@ -103,6 +103,17 @@ func (h *Harness) Node(id group.NodeID) Engine {
 	return nil
 }
 
+// SwapEngine replaces the engine behind a node id in place. In-flight
+// messages and timers target the node, not the engine, so they reach
+// whichever engine is installed when they fire — which is exactly the
+// crash/restart model: swap in a black hole while the process is down
+// (its traffic is lost), then the restored engine.
+func (h *Harness) SwapEngine(id group.NodeID, e Engine) {
+	if n, ok := h.nodes[id]; ok {
+		n.engine = e
+	}
+}
+
 // StartAll invokes Start on every engine at the current virtual time.
 func (h *Harness) StartAll() {
 	for _, n := range h.nodes {

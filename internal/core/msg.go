@@ -77,6 +77,11 @@ const (
 	// certified update plus the session state snapshot (current roster,
 	// slot keys, schedule, beacon head) a mid-session joiner needs.
 	MsgJoinWelcome
+	// MsgSnapshotSync: upstream server → an established member whose
+	// replica diverged or fell behind the retained roster history; a
+	// JoinWelcome-shaped certified snapshot the member re-syncs its
+	// schedule replica from instead of wedging.
+	MsgSnapshotSync
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -104,6 +109,7 @@ var msgTypeNames = map[MsgType]string{
 	MsgRosterCert:      "roster-cert",
 	MsgRosterUpdate:    "roster-update",
 	MsgJoinWelcome:     "join-welcome",
+	MsgSnapshotSync:    "snapshot-sync",
 }
 
 func (t MsgType) String() string {

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dissent/internal/beacon"
+	"dissent/internal/crypto"
+	"dissent/internal/dcnet"
+	"dissent/internal/group"
+)
+
+// Durable server state (see ARCHITECTURE.md "Durability & restart").
+// The server persists a compact session snapshot into its StateStore at
+// every round retirement and roster apply; RestoreFromStore rebuilds a
+// freshly constructed engine from that snapshot plus the durable
+// certified roster-update log, so a killed server resumes certifying
+// rounds without operator intervention or a manual rejoin.
+//
+// What is NOT snapshotted, and why restart still converges:
+//   - In-flight (unretired) rounds: certification requires every
+//     server, so a surviving peer's copy of such a round is wedged at
+//     its pre-crash attempt until we return. The restored server
+//     reopens those rounds at a recovery attempt strictly above any
+//     the α-policy can reach (openRound); peers abandon the wedged
+//     attempt and rejoin ours, keeping the client submissions they
+//     hold (escalateAttempt), so the round certifies over the union of
+//     surviving submissions — or fails consistently, in which case
+//     clients recover their payloads from the output and resubmit.
+//     Rounds the peers certified without us (we crashed after signing)
+//     come back as certified outputs we adopt wholesale (onPeerOutput).
+//   - Round history and any in-flight blame session: accusations
+//     against pre-restart rounds cannot be traced afterwards. A
+//     disrupted slot owner simply re-accuses on a post-restart round.
+//   - Pending join requests: joiners re-send on their retry timer.
+
+// ServerSnapshot is the durable image of a server's session state at a
+// round boundary — everything needed to resume that is not already
+// derivable from the group definition, the stored roster-update chain,
+// or the beacon chain's own store.
+type ServerSnapshot struct {
+	Version    uint64 // roster version the snapshot was taken at
+	Round      uint64 // first unretired round: resume point
+	PrevCount  uint32 // previous round's participation (α baseline)
+	DrainRound uint64 // latest pipeline drain point (delta-queue ramp)
+	RosterDue  byte   // boundary crossed; roster phase pending
+	CertKeys   [][]byte
+	CertSigs   [][]byte // certified schedule; empty under trusted bootstrap
+	SlotKeys   [][]byte // current slot pseudonym keys, slot order
+	SchedRound uint64   // schedule's internal round counter
+	Lens       []int32
+	Idle       []int32
+	Perm       []int32
+	PendingOps []int32 // queued, not-yet-applied round deltas
+	PendingNs  []int32
+	ExpelIdx   []int32  // excluded client indices…
+	ExpelAt    []uint64 // …and the round each was excluded at
+}
+
+// Encode serializes the snapshot.
+func (p *ServerSnapshot) Encode() []byte {
+	var e encBuf
+	e.U64(p.Version)
+	e.U64(p.Round)
+	e.U32(p.PrevCount)
+	e.U64(p.DrainRound)
+	e.U8(p.RosterDue)
+	e.ByteSlices(p.CertKeys)
+	e.ByteSlices(p.CertSigs)
+	e.ByteSlices(p.SlotKeys)
+	e.U64(p.SchedRound)
+	e.Int32s(p.Lens)
+	e.Int32s(p.Idle)
+	e.Int32s(p.Perm)
+	e.Int32s(p.PendingOps)
+	e.Int32s(p.PendingNs)
+	e.Int32s(p.ExpelIdx)
+	e.U32(uint32(len(p.ExpelAt)))
+	for _, r := range p.ExpelAt {
+		e.U64(r)
+	}
+	return e.B
+}
+
+// DecodeServerSnapshot parses a ServerSnapshot.
+func DecodeServerSnapshot(b []byte) (*ServerSnapshot, error) {
+	d := decBuf{B: b}
+	p := &ServerSnapshot{}
+	var err error
+	if p.Version, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if p.Round, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if p.PrevCount, err = d.U32(); err != nil {
+		return nil, err
+	}
+	if p.DrainRound, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if p.RosterDue, err = d.U8(); err != nil {
+		return nil, err
+	}
+	if p.CertKeys, err = d.ByteSlices(); err != nil {
+		return nil, err
+	}
+	if p.CertSigs, err = d.ByteSlices(); err != nil {
+		return nil, err
+	}
+	if p.SlotKeys, err = d.ByteSlices(); err != nil {
+		return nil, err
+	}
+	if p.SchedRound, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if p.Lens, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.Idle, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.Perm, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.PendingOps, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.PendingNs, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	if p.ExpelIdx, err = d.Int32s(); err != nil {
+		return nil, err
+	}
+	n, err := d.Count(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	p.ExpelAt = make([]uint64, n)
+	for i := range p.ExpelAt {
+		if p.ExpelAt[i], err = d.U64(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// persistSnapshot writes the current session state to the durable
+// store. Called at every round retirement and roster apply; a persist
+// failure is logged but never fails the round — durability degrades,
+// the protocol does not.
+func (s *Server) persistSnapshot() {
+	if s.store == nil || s.sched == nil {
+		return
+	}
+	sn := &ServerSnapshot{
+		Version:    s.def.Version,
+		Round:      s.roundNum,
+		PrevCount:  uint32(s.prevCount),
+		DrainRound: s.drainRound,
+		CertKeys:   s.certKeys,
+		CertSigs:   s.certSigs,
+		SlotKeys:   s.encodedSlotKeys(),
+	}
+	if s.rosterDue {
+		sn.RosterDue = 1
+	}
+	schedRound, lens, idle, perm := s.sched.Snapshot()
+	sn.SchedRound = schedRound
+	sn.Lens = toInt32(lens)
+	sn.Idle = toInt32(idle)
+	sn.Perm = toInt32(perm)
+	ops, ns := s.sched.PendingSnapshot()
+	sn.PendingOps = toInt32(ops)
+	sn.PendingNs = toInt32(ns)
+	for _, ci := range sortedKeys(s.expelRound) {
+		sn.ExpelIdx = append(sn.ExpelIdx, int32(ci))
+		sn.ExpelAt = append(sn.ExpelAt, s.expelRound[ci])
+	}
+	if err := s.store.Put(bucketSnapshot, snapshotKey, sn.Encode()); err != nil {
+		s.log.Error("session snapshot persist failed", "round", s.roundNum, "err", err)
+	}
+}
+
+// RestoreFromStore rebuilds a freshly constructed server engine from
+// its durable store and resumes rounds. It must be called instead of
+// Start (or InstallSchedule), on a Server built with the same genesis
+// definition and keys as the crashed instance. Returns ok=false, with
+// the engine untouched, when the store holds no snapshot — the caller
+// then runs the normal setup path.
+func (s *Server) RestoreFromStore(now time.Time) (out *Output, ok bool, err error) {
+	if s.store == nil {
+		return nil, false, nil
+	}
+	raw, have := s.store.Get(bucketSnapshot, snapshotKey)
+	if !have {
+		return nil, false, nil
+	}
+	if s.sched != nil || s.phase != phaseSetupCollect || s.roundNum != 0 {
+		return nil, false, errors.New("core: restore on an already-started engine")
+	}
+	sn, err := DecodeServerSnapshot(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: session snapshot: %w", err)
+	}
+	if sn.Version < s.def.Version {
+		return nil, false, fmt.Errorf("core: snapshot version %d below definition version %d", sn.Version, s.def.Version)
+	}
+
+	// Replay the certified roster-update chain from the durable log to
+	// rebuild the definition, pairwise seeds, attachments, and the
+	// welcome bookkeeping. Each update is signature-verified against
+	// the definition it extends, so a corrupted store cannot smuggle in
+	// membership.
+	for v := s.def.Version + 1; v <= sn.Version; v++ {
+		ub, have := s.store.Get(bucketRoster, versionKey(v))
+		if !have {
+			return nil, false, fmt.Errorf("core: roster log truncated: missing version %d below snapshot version %d", v, sn.Version)
+		}
+		u, err := group.DecodeRosterUpdate(ub)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: stored roster update %d: %w", v, err)
+		}
+		if err := s.def.VerifyRosterUpdateSigs(u); err != nil {
+			return nil, false, fmt.Errorf("core: stored roster update %d: %w", v, err)
+		}
+		if err := s.replayRosterUpdate(u); err != nil {
+			return nil, false, err
+		}
+		if v+rosterLogCap > sn.Version {
+			s.rosterLog[v] = u
+		}
+		s.lastRosterUpdate = u
+	}
+
+	if len(sn.SlotKeys) != len(sn.Lens) || len(sn.ExpelIdx) != len(sn.ExpelAt) {
+		return nil, false, errors.New("core: session snapshot shape mismatch")
+	}
+	slotKeys := make([]crypto.Element, len(sn.SlotKeys))
+	for i, kb := range sn.SlotKeys {
+		k, err := s.keyGrp.Decode(kb)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: snapshot slot key %d: %w", i, err)
+		}
+		slotKeys[i] = k
+	}
+	s.slotKeys = slotKeys
+	s.certKeys, s.certSigs = sn.CertKeys, sn.CertSigs
+
+	// The beacon chain reloaded its entries from its own store during
+	// construction; only the session genesis binding is in-memory. A
+	// certified-setup session rebinds to the schedule-derived genesis
+	// (trusted: the chain is non-empty, and its entries were verified
+	// when first appended); a trusted-bootstrap session never rebound.
+	if s.beaconChain != nil && len(sn.CertKeys) > 0 {
+		s.beaconChain.RebindTrusted(beacon.SessionGenesis(s.grpID, scheduleCertDigest(s.grpID, sn.CertKeys, sn.CertSigs)))
+	}
+
+	cfg := dcnet.Config{
+		NumSlots:        len(sn.Lens),
+		DefaultOpenLen:  s.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      s.def.Policy.MaxSlotLen,
+		IdleCloseRounds: s.def.Policy.IdleCloseRounds,
+	}
+	sched, err := dcnet.RestoreSchedule(cfg, sn.SchedRound, toInt(sn.Lens), toInt(sn.Idle), toInt(sn.Perm))
+	if err != nil {
+		return nil, false, fmt.Errorf("core: snapshot schedule: %w", err)
+	}
+	s.installRotation(sched)
+	sched.SetLag(s.depth - 1)
+	if err := sched.RestorePending(toInt(sn.PendingOps), toInt(sn.PendingNs)); err != nil {
+		return nil, false, fmt.Errorf("core: snapshot pipeline queue: %w", err)
+	}
+	s.sched = sched
+	if dig, have := s.rosterDigestFor(sn.Version); have {
+		s.rosterDigests[sn.Version] = dig
+	}
+
+	for i, ci := range sn.ExpelIdx {
+		idx := int(ci)
+		if idx < 0 || idx >= len(s.def.Clients) {
+			return nil, false, fmt.Errorf("core: snapshot expelled index %d out of range", idx)
+		}
+		s.excluded[idx] = true
+		s.expelRound[idx] = sn.ExpelAt[i]
+		// An exclusion not yet formalized in the definition was pending
+		// removal at the next boundary; re-queue it so the restart does
+		// not strand the client excluded-but-never-removed.
+		if !s.def.Clients[idx].Expelled {
+			s.pendingRemove[idx] = true
+		}
+	}
+
+	s.prevCount = int(sn.PrevCount)
+	s.drainRound = sn.DrainRound
+	s.rosterDue = sn.RosterDue != 0
+	s.roundNum = sn.Round
+	s.nextOpen = sn.Round
+	s.phase = phaseRunning
+	// Every round that could have been in flight at the crash reopens as
+	// a recovery round (see the file comment and openRound). Peers may
+	// have certified our snapshot head without us — our own pre-crash
+	// certify completed it — putting their heads one past ours, with in
+	// flight rounds up to snapshot+depth; cover all of them.
+	s.recoverUntil = sn.Round + uint64(s.depth) + 1
+
+	out = &Output{Events: []Event{{Kind: EventStateRestored, Round: sn.Round,
+		Detail: fmt.Sprintf("version %d, round %d, %d slots", sn.Version, sn.Round, len(sn.Lens))}}}
+	s.log.Info("session state restored", "round", sn.Round, "version", sn.Version,
+		"slots", len(sn.Lens), "rosterDue", s.rosterDue)
+	if err := s.resumeRounds(now, out); err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// replayRosterUpdate applies one stored certified update during
+// restore: the quiet subset of applyCertifiedRoster — definition swap,
+// seeds, attachments, and admit bookkeeping — without welcomes,
+// broadcasts, schedule growth (the snapshot carries the final
+// schedule), or events.
+func (s *Server) replayRosterUpdate(u *group.RosterUpdate) error {
+	newDef, err := s.def.ApplyRosterUpdate(u)
+	if err != nil {
+		return fmt.Errorf("core: stored roster update %d rejected: %w", u.Version, err)
+	}
+	oldN := len(s.def.Clients)
+	s.def = newDef
+	for _, m := range u.Admit {
+		pub, err := s.keyGrp.Decode(m.PubKey)
+		if err != nil {
+			return fmt.Errorf("core: stored admitted key: %w", err)
+		}
+		id := group.IDFromKey(s.keyGrp, pub)
+		ci := newDef.ClientIndex(id)
+		if ci >= oldN {
+			var seed []byte
+			if s.pairSeedFn != nil {
+				seed = s.pairSeedFn(ci, s.idx)
+			} else {
+				seed, err = s.pairSeed(pub)
+				if err != nil {
+					return fmt.Errorf("core: stored joiner %s seed: %w", id, err)
+				}
+			}
+			s.clientSeeds = append(s.clientSeeds, seed)
+			if newDef.UpstreamServer(ci) == s.idx {
+				s.myClients = append(s.myClients, ci)
+			}
+			s.joinedAt[id] = u.Version
+		}
+	}
+	return nil
+}
+
+// resetRoundAttempt rewinds a round to the collection state of a fresh
+// attempt, discarding every server-phase artifact of the old one. The
+// client submissions (subs/cts and the streaming accumulator) are kept:
+// they re-enter through our new inventory, so surviving clients' data
+// rides the recovery attempt instead of being dropped. The pooled
+// share/cleartext buffers are deliberately released to GC rather than
+// the pool — the shares map may alias them and recovery is rare.
+func (s *Server) resetRoundAttempt(rs *roundState, attempt int32) {
+	rs.attempt = attempt
+	rs.phase = rpCollect
+	rs.invs = make(map[int]*Inventory)
+	rs.commits = make(map[int][]byte)
+	rs.shares = make(map[int][]byte)
+	rs.certs = make(map[int][]byte)
+	rs.beaconCommits = make(map[int][]byte)
+	rs.beaconShares = make(map[int][]byte)
+	rs.myBeaconShare = nil
+	rs.beaconEntry = nil
+	rs.myShare = nil
+	rs.cleartext = nil
+	rs.included = nil
+	rs.directSets = nil
+	rs.failed = false
+	rs.casts = nil
+}
+
+// escalateAttempt abandons the attempt a round was wedged on and rejoins
+// the strictly-higher recovery attempt a restarted peer reopened it at.
+// Our window closes immediately — the clients we carry already submitted
+// pre-crash, and the restarted peer's own window bounds how long its
+// direct clients had to reach it.
+func (s *Server) escalateAttempt(now time.Time, rs *roundState, p *Inventory, si int) (*Output, error) {
+	s.log.Info("round attempt escalated for peer recovery", "round", rs.r,
+		"from", rs.attempt, "to", p.Attempt)
+	s.resetRoundAttempt(rs, p.Attempt)
+	out, err := s.closeWindow(now, rs)
+	if err != nil {
+		return nil, err
+	}
+	if si >= 0 {
+		if _, dup := rs.invs[si]; !dup {
+			rs.invs[si] = p
+			more, err := s.maybeCommit(now, rs)
+			if err != nil {
+				return nil, err
+			}
+			out.merge(more)
+		}
+	}
+	return out, nil
+}
+
+// onPeerOutput adopts a certified round output forwarded by a peer
+// (onInventory's retired-round reply): the peers certified this round
+// while we were down — our own pre-crash certify signature completed it
+// — so our reopened copy can never certify again. All m certification
+// signatures make the output self-authenticating; adopting it replays
+// exactly the retirement the crash interrupted, minus blame history
+// (adopted rounds cannot be traced — see the file comment).
+func (s *Server) onPeerOutput(now time.Time, m *Message) (*Output, error) {
+	if s.def.ServerIndex(m.From) < 0 {
+		return s.violation(m.Round, fmt.Errorf("MsgOutput from non-server %s", m.From)), nil
+	}
+	if err := s.verify(m, true); err != nil {
+		return s.violation(m.Round, err), nil
+	}
+	if s.phase != phaseRunning || m.Round < s.roundNum {
+		return &Output{}, nil // already retired, or not in the round loop
+	}
+	if m.Round > s.roundNum {
+		return s.stashMsg(m), nil // adoption must run in round order
+	}
+	ro, err := DecodeRoundOutput(m.Body)
+	if err != nil {
+		return s.violation(m.Round, err), nil
+	}
+	if len(ro.Sigs) != len(s.def.Servers) {
+		return s.violation(m.Round, fmt.Errorf("adopted round %d carries %d certs", m.Round, len(ro.Sigs))), nil
+	}
+	var entry *beacon.Entry
+	if !ro.Failed && s.beaconChain != nil {
+		entry = beacon.NewEntry(m.Round, s.beaconChain.Head(), ro.Beacon)
+	}
+	signed := cleartextSignedBytes(s.grpID, m.Round, int(ro.Count), ro.Cleartext, beaconValueBytes(entry))
+	for j, srv := range s.def.Servers {
+		sig, err := crypto.DecodeSignature(s.keyGrp, ro.Sigs[j])
+		if err != nil {
+			return s.violation(m.Round, err), nil
+		}
+		if err := crypto.Verify(s.keyGrp, srv.PubKey, "dissent/cleartext", signed, sig); err != nil {
+			return s.violation(m.Round, fmt.Errorf("adopted round %d cert %d: %w", m.Round, j, err)), nil
+		}
+	}
+
+	out := &Output{}
+	if rs := s.rounds[m.Round]; rs != nil {
+		s.bufs.put(rs.ctAcc)
+		rs.ctAcc = nil
+		s.reapPrefetch(rs)
+		delete(s.rounds, m.Round)
+		s.perf.setRoundsInFlight(len(s.rounds))
+	}
+	s.prevCount = int(ro.Count)
+	s.roundNum++
+	if s.epochBoundary(s.roundNum) {
+		s.rosterDue = true
+	}
+	// Same delta-queue catch-up as maybeOutput: the adopted round was
+	// composed at the same layout horizon ours would have been.
+	q := s.depth - 1
+	if d := m.Round - s.drainRound; d < uint64(q) {
+		q = int(d)
+	}
+	s.sched.SyncPipeline(q)
+	s.outMsgs[m.Round] = m.Body
+	if m.Round >= uint64(s.def.Policy.RetainRounds) {
+		delete(s.outMsgs, m.Round-uint64(s.def.Policy.RetainRounds))
+	}
+	// Our downstream clients never saw this output — the peers certified
+	// it while we were down, and clients consume outputs strictly in
+	// round order. Forward it so they re-sequence past the round instead
+	// of wedging on it (the output is self-authenticating either way).
+	if err := s.broadcastClients(MsgOutput, m.Round, m.Body, out); err != nil {
+		return nil, err
+	}
+	s.log.Info("adopted certified output", "round", m.Round, "from", m.From,
+		"failed", ro.Failed, "participation", ro.Count)
+	if ro.Failed {
+		out.Events = append(out.Events, Event{Kind: EventRoundFailed, Round: m.Round,
+			Detail: fmt.Sprintf("adopted, participation %d", ro.Count)})
+		s.sched.AdvanceFailed()
+		if err := s.retireResume(now, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if entry != nil {
+		if err := s.beaconChain.AppendTrusted(entry); err != nil {
+			return nil, fmt.Errorf("core: beacon append: %w", err)
+		}
+	}
+	res, err := s.sched.Advance(ro.Cleartext)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule advance: %w", err)
+	}
+	for slot, pl := range res.Payloads {
+		if pl != nil && len(pl.Data) > 0 {
+			out.Deliveries = append(out.Deliveries, Delivery{Round: m.Round, Slot: slot, Data: pl.Data})
+		}
+	}
+	out.Events = append(out.Events, Event{Kind: EventRoundComplete, Round: m.Round,
+		Detail: fmt.Sprintf("adopted, participation %d", ro.Count)})
+	if res.Rotated {
+		out.Events = append(out.Events, Event{Kind: EventEpochRotated, Round: m.Round,
+			Detail: fmt.Sprintf("epoch at round %d", s.sched.Round())})
+	}
+	if res.ShuffleRequested {
+		s.blameDue = true
+	}
+	if err := s.retireResume(now, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -55,6 +55,15 @@ type JoinRequest struct {
 	PubKey  []byte // encoded identity key; empty for known members
 	PseuKey []byte // encoded pseudonym slot key; new members only
 	Addr    string // transport address; empty on address-less fabrics
+	// SchedDigest carries an established member's post-apply schedule
+	// digest for its Version (dcnet.Schedule.Digest captured right after
+	// the version's roster update was applied). Empty when the member
+	// holds no apply-point digest (fresh joiner, pre-churn session). A
+	// server that retains the digest for that version compares: mismatch
+	// means the member's replica silently diverged, and chain replay
+	// would grow a wrong layout — it gets a certified snapshot re-sync
+	// instead.
+	SchedDigest []byte
 }
 
 // Encode serializes the payload.
@@ -69,6 +78,7 @@ func (p *JoinRequest) Encode() []byte {
 	e.Bytes(p.PubKey)
 	e.Bytes(p.PseuKey)
 	e.Bytes([]byte(p.Addr))
+	e.Bytes(p.SchedDigest)
 	return e.B
 }
 
@@ -95,10 +105,15 @@ func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
 	if err != nil {
 		return nil, err
 	}
+	dig, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
 	if err := d.Done(); err != nil {
 		return nil, err
 	}
-	return &JoinRequest{Version: v, Rejoin: rejoin != 0, PubKey: pub, PseuKey: pseu, Addr: string(addr)}, nil
+	return &JoinRequest{Version: v, Rejoin: rejoin != 0, PubKey: pub, PseuKey: pseu,
+		Addr: string(addr), SchedDigest: dig}, nil
 }
 
 // RosterPropose is one server's pending churn for the upcoming version.
@@ -167,6 +182,46 @@ func DecodeRosterCert(b []byte) (*RosterCert, error) {
 		return nil, err
 	}
 	return &RosterCert{Version: v, Sig: sig}, nil
+}
+
+// RosterUpdateMsg is the MsgRosterUpdate transport body: the certified
+// update plus the sender's post-apply schedule digest. The digest
+// cannot live inside the certified update material (the proposer
+// cannot predict the beacon head at apply time, and the group codec is
+// strict), so it rides the server-signed transport wrapper instead —
+// sufficient for divergence *detection*, since a mismatch only ever
+// triggers a fully verified snapshot re-sync.
+type RosterUpdateMsg struct {
+	Update []byte // encoded certified group.RosterUpdate
+	// SchedDigest is dcnet.Schedule.Digest() captured right after the
+	// sender applied Update; empty when unrecorded (e.g. replay from a
+	// store predating digest tracking).
+	SchedDigest []byte
+}
+
+// Encode serializes the payload.
+func (p *RosterUpdateMsg) Encode() []byte {
+	var e encBuf
+	e.Bytes(p.Update)
+	e.Bytes(p.SchedDigest)
+	return e.B
+}
+
+// DecodeRosterUpdateMsg parses a RosterUpdateMsg payload.
+func DecodeRosterUpdateMsg(b []byte) (*RosterUpdateMsg, error) {
+	d := decBuf{B: b}
+	u, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	dig, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return &RosterUpdateMsg{Update: u, SchedDigest: dig}, nil
 }
 
 // JoinWelcome hands a newly admitted member the replicated session
@@ -384,25 +439,108 @@ func (s *Server) Expel(id group.NodeID) error {
 // update, or nil before the first boundary.
 func (s *Server) LatestRosterUpdate() *group.RosterUpdate { return s.lastRosterUpdate }
 
-// rosterLogCap bounds the retained certified updates (one per epoch
-// boundary); members further behind than this cannot catch up by
-// replay and must re-bootstrap.
+// rosterLogCap bounds the in-memory certified-update mirror (one entry
+// per epoch boundary). With a durable StateStore configured the full
+// chain persists there, so members arbitrarily far behind still catch
+// up by replay; without one, members behind the cap fall back to a
+// certified snapshot re-sync instead of wedging.
 const rosterLogCap = 64
+
+// persistRosterUpdate records a certified update and its post-apply
+// schedule digest in the durable store. Persistence failures are
+// logged, not fatal: the in-memory mirror still serves the hot path,
+// and durability degrades rather than halting rounds.
+func (s *Server) persistRosterUpdate(u *group.RosterUpdate, dig [32]byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(bucketRoster, versionKey(u.Version), u.Encode()); err != nil {
+		s.log.Error("roster update persist failed", "version", u.Version, "err", err)
+		return
+	}
+	if err := s.store.Put(bucketRosterDigest, versionKey(u.Version), dig[:]); err != nil {
+		s.log.Error("roster digest persist failed", "version", u.Version, "err", err)
+	}
+}
+
+// lookupRosterUpdate returns the certified update for one version from
+// the in-memory mirror, falling back to the durable store — the fix
+// for the rosterLogCap catch-up wedge: eviction from the mirror no
+// longer strands version-behind members.
+func (s *Server) lookupRosterUpdate(v uint64) *group.RosterUpdate {
+	if u := s.rosterLog[v]; u != nil {
+		return u
+	}
+	if s.store == nil {
+		return nil
+	}
+	raw, ok := s.store.Get(bucketRoster, versionKey(v))
+	if !ok {
+		return nil
+	}
+	u, err := group.DecodeRosterUpdate(raw)
+	if err != nil {
+		s.log.Error("stored roster update corrupt", "version", v, "err", err)
+		return nil
+	}
+	return u
+}
+
+// rosterDigestFor returns the recorded post-apply schedule digest for
+// one roster version (in-memory mirror first, then the durable store).
+func (s *Server) rosterDigestFor(v uint64) ([32]byte, bool) {
+	if dig, ok := s.rosterDigests[v]; ok {
+		return dig, true
+	}
+	if s.store != nil {
+		if raw, ok := s.store.Get(bucketRosterDigest, versionKey(v)); ok && len(raw) == 32 {
+			var dig [32]byte
+			copy(dig[:], raw)
+			return dig, true
+		}
+	}
+	return [32]byte{}, false
+}
+
+// schedDigestDiverged reports whether a member's claimed post-apply
+// schedule digest for one version provably disagrees with ours. Either
+// side lacking a digest (fresh joiner, pre-churn session, unrecorded
+// version) is inconclusive, not divergence.
+func (s *Server) schedDigestDiverged(version uint64, memberDigest []byte) bool {
+	if len(memberDigest) != 32 {
+		return false
+	}
+	dig, ok := s.rosterDigestFor(version)
+	if !ok {
+		return false
+	}
+	return !bytes.Equal(memberDigest, dig[:])
+}
 
 // resendRosterChain replays the certified updates a version-behind
 // member missed, in order, so it can re-apply the chain and unwedge.
 // The member applies each sequentially (onRosterUpdate requires exact
 // version succession), so envelopes go out oldest-first on one FIFO
-// link.
-func (s *Server) resendRosterChain(to group.NodeID, fromVersion uint64, out *Output) error {
+// link. When the history is genuinely truncated (no durable store and
+// the mirror evicted the version), a client falls back to a certified
+// snapshot re-sync at the current version instead of staying wedged.
+func (s *Server) resendRosterChain(now time.Time, to group.NodeID, fromVersion uint64, out *Output) error {
 	for v := fromVersion + 1; v <= s.def.Version; v++ {
-		u := s.rosterLog[v]
+		u := s.lookupRosterUpdate(v)
 		if u == nil {
+			if s.def.ClientIndex(to) >= 0 {
+				return s.sendSnapshotSync(now, to, out)
+			}
 			out.Events = append(out.Events, Event{Kind: EventProtocolViolation, Round: s.roundNum,
 				Detail: fmt.Sprintf("member %s behind retained roster history (asked from %d, log starts past it)", to, fromVersion)})
 			return nil
 		}
-		m, err := s.sign(MsgRosterUpdate, s.roundNum, u.Encode())
+		var digBytes []byte // empty when unrecorded; receivers skip the self-check
+		if dig, ok := s.rosterDigestFor(v); ok {
+			digBytes = dig[:]
+		}
+		body := (&RosterUpdateMsg{Update: u.Encode(), SchedDigest: digBytes}).Encode()
+		m, err := s.sign(MsgRosterUpdate, s.roundNum, body)
 		if err != nil {
 			return err
 		}
@@ -447,15 +585,36 @@ func (s *Server) onJoinRequest(now time.Time, m *Message) (*Output, error) {
 		if p.Version < s.def.Version {
 			// Expected recovery, not a violation: the member lost roster
 			// updates; replay the chain so it catches up (its rejoin
-			// intent, if any, lands on a retry once current).
+			// intent, if any, lands on a retry once current). But first
+			// validate the member's post-apply schedule digest for its
+			// version: replaying onto a silently diverged base would Grow
+			// a wrong layout and cement the divergence — a diverged
+			// member gets a certified snapshot re-sync instead.
 			out := &Output{}
-			if err := s.resendRosterChain(m.From, p.Version, out); err != nil {
+			if s.schedDigestDiverged(p.Version, p.SchedDigest) {
+				if err := s.sendSnapshotSync(now, m.From, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
+			if err := s.resendRosterChain(now, m.From, p.Version, out); err != nil {
 				return nil, err
 			}
 			return out, nil
 		}
 		if !p.Rejoin {
-			return &Output{}, nil // sync probe from a current member: nothing to replay
+			// Sync probe from a current member: nothing to replay — unless
+			// its post-apply schedule digest disagrees with ours for this
+			// version, which means its replica diverged and only a
+			// certified snapshot re-sync converges it.
+			if s.schedDigestDiverged(p.Version, p.SchedDigest) {
+				out := &Output{}
+				if err := s.sendSnapshotSync(now, m.From, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
+			return &Output{}, nil
 		}
 		if !s.excluded[ci] && !s.def.Clients[ci].Expelled {
 			return &Output{}, nil // already active
@@ -518,8 +677,12 @@ func (s *Server) rewelcome(now time.Time, id group.NodeID) (*Output, error) {
 	if !ok {
 		return s.violation(s.roundNum, fmt.Errorf("full join request from established member %s", id)), nil
 	}
-	u := s.rosterLog[v]
+	u := s.lookupRosterUpdate(v)
 	if u == nil {
+		// Without a durable store the admitting update can age out of the
+		// in-memory mirror; a joiner needs exactly that update (its
+		// admission proof), so this stays a hard error there. With a
+		// store the chain never truncates and this is unreachable.
 		return &Output{Events: []Event{{Kind: EventProtocolViolation, Round: s.roundNum,
 			Detail: fmt.Sprintf("cannot re-welcome %s: admitting update %d evicted from the roster log", id, v)}}}, nil
 	}
@@ -666,7 +829,7 @@ func (s *Server) onRosterPropose(now time.Time, m *Message) (*Output, error) {
 		// it can apply and resume (the server-to-server analogue of the
 		// client catch-up path).
 		out := &Output{}
-		if err := s.resendRosterChain(m.From, p.Version-1, out); err != nil {
+		if err := s.resendRosterChain(now, m.From, p.Version-1, out); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -780,7 +943,7 @@ func (s *Server) onRosterCert(now time.Time, m *Message) (*Output, error) {
 		// Stuck peer rebroadcasting a completed transition: replay the
 		// certified chain (see onRosterPropose).
 		out := &Output{}
-		if err := s.resendRosterChain(m.From, p.Version-1, out); err != nil {
+		if err := s.resendRosterChain(now, m.From, p.Version-1, out); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -813,7 +976,11 @@ func (s *Server) onServerRosterUpdate(now time.Time, m *Message) (*Output, error
 	if err := s.verify(m, true); err != nil {
 		return s.violation(s.roundNum, err), nil
 	}
-	u, err := group.DecodeRosterUpdate(m.Body)
+	p, err := DecodeRosterUpdateMsg(m.Body)
+	if err != nil {
+		return s.violation(s.roundNum, err), nil
+	}
+	u, err := group.DecodeRosterUpdate(p.Update)
 	if err != nil {
 		return s.violation(s.roundNum, err), nil
 	}
@@ -945,7 +1112,16 @@ func (s *Server) applyCertifiedRoster(now time.Time, u *group.RosterUpdate, out 
 	s.rosterLog[u.Version] = u
 	if u.Version > rosterLogCap {
 		delete(s.rosterLog, u.Version-rosterLogCap)
+		delete(s.rosterDigests, u.Version-rosterLogCap)
 	}
+	// The post-apply schedule digest: captured after Grow and before any
+	// further round advances, so every replica applying this update at
+	// its boundary computes the identical value. It anchors divergence
+	// detection (schedDigestDiverged) and rides every MsgRosterUpdate.
+	dig := s.sched.Digest()
+	s.rosterDigests[u.Version] = dig
+	s.persistRosterUpdate(u, dig)
+	s.persistSnapshot()
 	s.log.Info("roster update applied", "round", s.roundNum, "version", newDef.Version,
 		"admitted", len(u.Admit), "removed", len(u.Remove))
 	out.Events = append(out.Events, Event{Kind: EventRosterChanged, Round: s.roundNum,
@@ -954,7 +1130,8 @@ func (s *Server) applyCertifiedRoster(now time.Time, u *group.RosterUpdate, out 
 	// Broadcast the certified update to attached clients (including the
 	// joiners just added to myClients — they ignore it and wait for
 	// their welcome, which follows on the same FIFO link).
-	if err := s.broadcastClients(MsgRosterUpdate, s.roundNum, u.Encode(), out); err != nil {
+	body := (&RosterUpdateMsg{Update: u.Encode(), SchedDigest: dig[:]}).Encode()
+	if err := s.broadcastClients(MsgRosterUpdate, s.roundNum, body, out); err != nil {
 		return err
 	}
 	for _, w := range welcomes {
@@ -965,8 +1142,14 @@ func (s *Server) applyCertifiedRoster(now time.Time, u *group.RosterUpdate, out 
 	return nil
 }
 
-// sendWelcome snapshots the session state for one admitted joiner.
-func (s *Server) sendWelcome(u *group.RosterUpdate, id group.NodeID, slot int, out *Output) error {
+// buildSnapshot assembles the JoinWelcome-shaped session snapshot: the
+// certified update u as the verifiable anchor, the full roster, slot
+// keys, schedule replica, pipeline queue, and beacon head. slot is the
+// recipient's slot when the server knows it (a joiner, whose admitting
+// update links key to slot) or -1 for an established member re-sync —
+// the server cannot link an established member to its anonymous slot,
+// so the member locates it by its own pseudonym key.
+func (s *Server) buildSnapshot(u *group.RosterUpdate, slot int) *JoinWelcome {
 	w := &JoinWelcome{
 		Version:  s.def.Version,
 		Digest:   s.def.RosterDigest(),
@@ -1001,11 +1184,48 @@ func (s *Server) sendWelcome(u *group.RosterUpdate, id group.NodeID, slot int, o
 		head := s.beaconChain.Head()
 		w.BeaconHead = append([]byte(nil), head[:]...)
 	}
-	m, err := s.sign(MsgJoinWelcome, s.roundNum, w.Encode())
+	return w
+}
+
+// sendWelcome snapshots the session state for one admitted joiner.
+func (s *Server) sendWelcome(u *group.RosterUpdate, id group.NodeID, slot int, out *Output) error {
+	m, err := s.sign(MsgJoinWelcome, s.roundNum, s.buildSnapshot(u, slot).Encode())
 	if err != nil {
 		return err
 	}
 	out.Send = append(out.Send, Envelope{To: id, Msg: m})
+	return nil
+}
+
+// sendSnapshotSync ships an established member the certified session
+// snapshot (the JoinWelcome shape under MsgSnapshotSync) so it can
+// replace a diverged or behind-retained-history schedule replica
+// instead of wedging. The anchor is the latest certified update: the
+// member verifies all m signatures over it and checks the snapshot's
+// roster digest against the update's before adopting anything.
+func (s *Server) sendSnapshotSync(now time.Time, id group.NodeID, out *Output) error {
+	u := s.lastRosterUpdate
+	if u == nil {
+		// Pre-churn session: no certified update exists to anchor a
+		// snapshot. Nothing diverged either — the schedule is still the
+		// certified setup one — so there is nothing to re-sync.
+		out.Events = append(out.Events, Event{Kind: EventProtocolViolation, Round: s.roundNum,
+			Detail: fmt.Sprintf("cannot snapshot-sync %s before the first certified roster update", id)})
+		return nil
+	}
+	// Rate-limit per member like rewelcome: re-sync probes pace at
+	// rosterSyncInterval, and a replayed probe must not amplify into a
+	// full session snapshot every time.
+	if last, ok := s.welcomeSent[id]; ok && now.Sub(last) < joinRetryInterval {
+		return nil
+	}
+	s.welcomeSent[id] = now
+	m, err := s.sign(MsgSnapshotSync, s.roundNum, s.buildSnapshot(u, -1).Encode())
+	if err != nil {
+		return err
+	}
+	out.Send = append(out.Send, Envelope{To: id, Msg: m})
+	s.log.Info("snapshot re-sync sent", "member", id.String(), "version", s.def.Version, "round", s.roundNum)
 	return nil
 }
 
@@ -1076,7 +1296,11 @@ func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
 	if err := c.verify(m, true); err != nil {
 		return c.violation(err), nil
 	}
-	u, err := group.DecodeRosterUpdate(m.Body)
+	p, err := DecodeRosterUpdateMsg(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	u, err := group.DecodeRosterUpdate(p.Update)
 	if err != nil {
 		return c.violation(err), nil
 	}
@@ -1126,6 +1350,19 @@ func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
 	if c.ready && len(u.Admit)+len(u.Remove) > 0 {
 		c.sched.Grow(grown, c.rosterPermSeed(newDef))
 	}
+	diverged := false
+	if c.ready {
+		// Capture the post-apply schedule digest — the replication point
+		// every replica reaches with identical state — and compare it to
+		// the server's copy riding the update. A mismatch means our
+		// replica silently diverged before this boundary (e.g. we applied
+		// a caught-up update before draining the rounds it presupposed);
+		// submitting under the wrong layout would disrupt rounds, so we
+		// hold and probe for a certified snapshot re-sync instead.
+		dig := c.sched.Digest()
+		c.applyDigest = dig[:]
+		diverged = len(p.SchedDigest) == 32 && !bytes.Equal(p.SchedDigest, dig[:])
+	}
 	out.Events = append(out.Events, Event{Kind: EventRosterChanged, Round: c.round,
 		Detail: fmt.Sprintf("version %d (%d admitted, %d removed)", newDef.Version, len(u.Admit), len(u.Remove))})
 
@@ -1139,6 +1376,18 @@ func (c *Client) onRosterUpdate(now time.Time, m *Message) (*Output, error) {
 	// early returns so observer replicas track the group's layout too.
 	if c.ready && c.nextOut > c.drain {
 		c.drain = c.nextOut
+	}
+	if diverged {
+		c.awaitingRoster = true
+		c.resubmitPending = false
+		out.Events = append(out.Events, Event{Kind: EventProtocolViolation, Round: c.round,
+			Detail: fmt.Sprintf("schedule replica diverged at roster version %d (post-apply digest mismatch); requesting snapshot re-sync", newDef.Version)})
+		probe, err := c.Tick(now) // the catch-up probe carries our digest; the server answers with MsgSnapshotSync
+		if err != nil {
+			return nil, err
+		}
+		out.merge(probe)
+		return out, nil
 	}
 	if !c.ready || c.awaitingBlame || c.expelled {
 		c.resubmitPending = false
@@ -1319,12 +1568,181 @@ func (c *Client) onJoinWelcome(now time.Time, m *Message) (*Output, error) {
 	c.drain = w.DrainRound
 	c.ready = true
 	c.expelled = false
+	if u.Version == w.Version {
+		// Apply-time welcome: the donor snapshotted its schedule at the
+		// admitting version's apply point, so the restored digest IS that
+		// version's post-apply digest. A later re-sent welcome snapshots
+		// mid-stream and leaves no apply-point digest (probes omit it).
+		dig := sched.Digest()
+		c.applyDigest = dig[:]
+	} else {
+		c.applyDigest = nil
+	}
 
 	out := &Output{Events: []Event{
 		{Kind: EventScheduleReady, Round: w.Round, Detail: fmt.Sprintf("slot %d of %d (joined mid-session)", slot, len(w.Lens))},
 		{Kind: EventMemberJoined, Round: w.Round, Culprit: c.id},
 		{Kind: EventRosterChanged, Round: w.Round, Detail: fmt.Sprintf("version %d (joined)", w.Version)},
 	}}
+	sub, err := c.submitRound(now)
+	if err != nil {
+		return nil, err
+	}
+	out.merge(sub)
+	return out, nil
+}
+
+// onSnapshotSync replaces an established client's schedule replica
+// with a certified snapshot from a server — the forced re-sync after a
+// post-apply digest mismatch or a catch-up past the retained roster
+// history. Verification mirrors onJoinWelcome: the embedded update
+// carries every server's signature and (at equal versions) fully
+// determines the snapshot's roster digest; only current membership is
+// required, not admission by the update, and the anonymous slot is
+// located by our own pseudonym key because the server cannot link an
+// established member to its slot.
+func (c *Client) onSnapshotSync(now time.Time, m *Message) (*Output, error) {
+	if !c.ready || c.joining || c.pseudonym == nil {
+		return &Output{}, nil
+	}
+	if err := c.verify(m, true); err != nil {
+		return c.violation(err), nil
+	}
+	w, err := DecodeJoinWelcome(m.Body)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if w.Version < c.def.Version {
+		return &Output{}, nil // stale snapshot racing updates we already applied
+	}
+	if len(w.RosterKeys) != len(w.Expelled) {
+		return c.violation(errors.New("snapshot sync roster shape mismatch")), nil
+	}
+	expelled := make([]bool, len(w.Expelled))
+	for i, b := range w.Expelled {
+		expelled[i] = b != 0
+	}
+	newDef, err := group.RebuildDefinition(c.def, w.Version, w.Digest, w.RosterKeys, expelled)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	u, err := group.DecodeRosterUpdate(w.Update)
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if u.Version > w.Version {
+		return c.violation(errors.New("snapshot sync update version ahead of its snapshot")), nil
+	}
+	if err := c.def.VerifyRosterUpdateSigs(u); err != nil {
+		return c.violation(err), nil
+	}
+	if u.Version == w.Version && u.Digest(c.grpID) != w.Digest {
+		return c.violation(errors.New("snapshot sync digest does not match the certified update")), nil
+	}
+	idx := newDef.ClientIndex(c.id)
+	if idx < 0 {
+		return c.violation(errors.New("snapshot sync roster does not include us")), nil
+	}
+	slot := -1
+	myPseu := c.keyGrp.Encode(c.pseudonym.Public)
+	for i, sk := range w.SlotKeys {
+		if bytes.Equal(sk, myPseu) {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return c.violation(errors.New("snapshot sync slot keys do not carry our pseudonym key")), nil
+	}
+	cfg := dcnet.Config{
+		NumSlots:        len(w.Lens),
+		DefaultOpenLen:  c.def.Policy.DefaultOpenLen,
+		MaxSlotLen:      c.def.Policy.MaxSlotLen,
+		IdleCloseRounds: c.def.Policy.IdleCloseRounds,
+	}
+	if w.SchedRound > w.Round {
+		return c.violation(errors.New("snapshot sync schedule round ahead of engine round")), nil
+	}
+	sched, err := dcnet.RestoreSchedule(cfg, w.SchedRound, toInt(w.Lens), toInt(w.Idle), toInt(w.Perm))
+	if err != nil {
+		return c.violation(err), nil
+	}
+	if w.DrainRound > w.Round {
+		return c.violation(errors.New("snapshot sync drain round ahead of engine round")), nil
+	}
+
+	// Recover queued payload bytes from in-flight (and parked) rounds
+	// before dropping them: their vectors were composed under the
+	// replaced layout and can never match a certified output now.
+	reclaim := func(cr *clientRound) {
+		if cr.sentSlot != nil {
+			if pl, idle, err := dcnet.DecodeSlot(cr.sentSlot); err == nil && !idle && len(pl.Data) > 0 {
+				c.outbox = append([][]byte{append([]byte(nil), pl.Data...)}, c.outbox...)
+			}
+		}
+		c.retireRound(cr)
+	}
+	for i := len(c.inflight) - 1; i >= 0; i-- { // newest first, so reclaimed bytes land oldest-first
+		reclaim(c.inflight[i])
+	}
+	c.inflight = c.inflight[:0]
+	if c.parked != nil {
+		reclaim(c.parked)
+		c.parked = nil
+	}
+	c.resubmitPending = false
+	c.reqPending = false
+
+	c.def = newDef
+	c.idx = idx
+	c.upstream = newDef.Servers[newDef.UpstreamServer(idx)].ID
+	c.serverSeeds = make([][]byte, len(newDef.Servers))
+	for j, srv := range newDef.Servers {
+		if c.pairSeedFn != nil {
+			c.serverSeeds[j] = c.pairSeedFn(idx, j)
+		} else {
+			seed, err := c.pairSeed(srv.PubKey)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d seed: %w", j, err)
+			}
+			c.serverSeeds[j] = seed
+		}
+	}
+	if c.beaconChain != nil {
+		if len(w.BeaconHead) != len(beacon.Value{}) {
+			return c.violation(errors.New("snapshot sync beacon head malformed")), nil
+		}
+		var head beacon.Value
+		copy(head[:], w.BeaconHead)
+		// Our chain replica may have diverged with the schedule: discard
+		// it and resume from the snapshot's head, trusted like the rest
+		// of the server-signed snapshot (the certified update anchors the
+		// roster; round outputs re-verify every appended entry).
+		if err := c.beaconChain.ResetTrusted(head); err != nil {
+			return nil, err
+		}
+	}
+	c.installRotation(sched)
+	sched.SetLag(c.depth - 1)
+	if err := sched.RestorePending(toInt(w.PendingOps), toInt(w.PendingNs)); err != nil {
+		return c.violation(err), nil
+	}
+	c.sched = sched
+	c.mySlot = slot
+	c.round = w.Round
+	c.nextOut = w.Round
+	c.rosterDone = w.Round
+	c.drain = w.DrainRound
+	c.awaitingRoster = false
+	c.applyDigest = nil // mid-stream snapshot: no apply-point digest until the next boundary
+	c.expelled = expelled[idx]
+	c.nextStreams = nil
+
+	out := &Output{Events: []Event{{Kind: EventReplicaResynced, Round: w.Round,
+		Detail: fmt.Sprintf("version %d, slot %d of %d", w.Version, slot, len(w.Lens))}}}
+	if c.awaitingBlame || c.expelled {
+		return out, nil
+	}
 	sub, err := c.submitRound(now)
 	if err != nil {
 		return nil, err

@@ -504,7 +504,7 @@ func TestStaleRosterVersionMessagesRejected(t *testing.T) {
 			t.Fatal("no logged update to replay")
 		}
 		out, err := srv.Handle(now, &Message{From: peer, Type: MsgRosterUpdate,
-			Round: srv.Round(), Body: staleUpdate.Encode()})
+			Round: srv.Round(), Body: (&RosterUpdateMsg{Update: staleUpdate.Encode()}).Encode()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -522,7 +522,7 @@ func TestStaleRosterVersionMessagesRejected(t *testing.T) {
 		beforeVer := cl.RosterVersion()
 		stale := &group.RosterUpdate{Version: beforeVer}
 		_, err := cl.Handle(now, &Message{From: cl.def.Servers[cl.def.UpstreamServer(cl.Index())].ID,
-			Type: MsgRosterUpdate, Round: cl.Round(), Body: stale.Encode()})
+			Type: MsgRosterUpdate, Round: cl.Round(), Body: (&RosterUpdateMsg{Update: stale.Encode()}).Encode()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -537,7 +537,7 @@ func TestStaleRosterVersionMessagesRejected(t *testing.T) {
 		beforeVer := cl.RosterVersion()
 		gap := &group.RosterUpdate{Version: beforeVer + 3}
 		out, err := cl.Handle(now, &Message{From: cl.def.Servers[cl.def.UpstreamServer(cl.Index())].ID,
-			Type: MsgRosterUpdate, Round: cl.Round(), Body: gap.Encode()})
+			Type: MsgRosterUpdate, Round: cl.Round(), Body: (&RosterUpdateMsg{Update: gap.Encode()}).Encode()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -562,7 +562,11 @@ func TestStaleRosterVersionMessagesRejected(t *testing.T) {
 		replayed := 0
 		for _, env := range out.Send {
 			if env.Msg.Type == MsgRosterUpdate && env.To == f.clients[1].ID() {
-				u, err := group.DecodeRosterUpdate(env.Msg.Body)
+				wrap, err := DecodeRosterUpdateMsg(env.Msg.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				u, err := group.DecodeRosterUpdate(wrap.Update)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -245,6 +245,13 @@ type Server struct {
 	rounds     map[uint64]*roundState
 	history    map[uint64]*roundHistory
 	excluded   map[int]bool
+	// Crash-recovery state (see restore.go): rounds below recoverUntil
+	// reopen at a fresh, strictly-higher attempt so surviving peers
+	// abandon the pre-crash attempt they are wedged on; outMsgs retains
+	// recent certified round outputs so a restarted peer that missed a
+	// certification can adopt it.
+	recoverUntil uint64
+	outMsgs      map[uint64][]byte
 
 	// Data-plane hot path (see ARCHITECTURE.md "Data-plane hot path"):
 	// ppad shards pad expansion across a worker pool for the foreground
@@ -275,6 +282,7 @@ type Server struct {
 	roster           *rosterState                   // in-flight transition
 	lastRosterUpdate *group.RosterUpdate            // latest applied certified update
 	rosterLog        map[uint64]*group.RosterUpdate // recent updates by version, for catch-up
+	rosterDigests    map[uint64][32]byte            // version → post-apply schedule digest
 	joinedAt         map[group.NodeID]uint64        // new members → admitting version (welcome re-send)
 	welcomeSent      map[group.NodeID]time.Time     // re-welcome rate limiting
 	pairSeedFn       func(clientIdx, serverIdx int) []byte
@@ -334,6 +342,7 @@ func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (
 	s.noPrefetch = opts.NoPadPrefetch
 	s.rounds = make(map[uint64]*roundState)
 	s.history = make(map[uint64]*roundHistory)
+	s.outMsgs = make(map[uint64][]byte)
 	s.excluded = make(map[int]bool)
 	s.pseuSubs = make(map[int][]byte)
 	s.pseuLists = make(map[int]*PseudonymList)
@@ -343,6 +352,7 @@ func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (
 	s.pendingRemove = make(map[int]bool)
 	s.expelRound = make(map[int]uint64)
 	s.rosterLog = make(map[uint64]*group.RosterUpdate)
+	s.rosterDigests = make(map[uint64][32]byte)
 	s.joinedAt = make(map[group.NodeID]uint64)
 	s.welcomeSent = make(map[group.NodeID]time.Time)
 	s.pairSeedFn = opts.PairSeed
@@ -465,6 +475,8 @@ func (s *Server) dispatch(now time.Time, m *Message) (*Output, error) {
 		return s.onRosterCert(now, m)
 	case MsgRosterUpdate:
 		return s.onServerRosterUpdate(now, m)
+	case MsgOutput:
+		return s.onPeerOutput(now, m)
 	default:
 		return nil, fmt.Errorf("core: server got unexpected %s", m.Type)
 	}
@@ -804,6 +816,11 @@ func (s *Server) maybeFinishSetup(now time.Time) (*Output, error) {
 	s.prevCount = len(s.slotKeys)
 	s.phase = phaseRunning
 	s.certKeys, s.certSigs = certKeys, sigs
+	// Record the base version's post-apply digest (the freshly built
+	// schedule) so divergence checks work before any churn, and persist
+	// the first restartable snapshot.
+	s.rosterDigests[s.def.Version] = sched.Digest()
+	s.persistSnapshot()
 
 	out := &Output{Events: []Event{{Kind: EventScheduleReady, Detail: fmt.Sprintf("%d slots", len(s.slotKeys))}}}
 	body := (&Schedule{Keys: s.certKeys, Sigs: sigs}).Encode()
@@ -932,6 +949,16 @@ func (s *Server) openRound(now time.Time, out *Output) {
 		beaconCommits: make(map[int][]byte),
 		beaconShares:  make(map[int][]byte),
 	}
+	if rs.r < s.recoverUntil {
+		// Crash recovery (restore.go): surviving peers may hold this round
+		// wedged at some pre-crash attempt we cannot know. Reopen strictly
+		// above any attempt the α-policy can reach, so the moment our
+		// inventory arrives their escalation reset (onInventory) abandons
+		// the wedged attempt and rejoins ours.
+		rs.attempt = maxAttempts + 1
+		rs.closeAt = now.Add(s.def.Policy.WindowMin)
+		out.merge(&Output{Timer: rs.closeAt})
+	}
 	s.rounds[rs.r] = rs
 	s.nextOpen++
 	rs.depthAtStart = len(s.rounds)
@@ -1059,6 +1086,25 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 		// (retired rounds, or a client claiming an impossible future).
 		if m.Round >= s.nextOpen && m.Round < s.nextOpen+uint64(s.depth) && s.phase == phaseRunning {
 			return s.stashMsg(m), nil
+		}
+		// A submission for an already-retired round means the client
+		// missed that round's output (its upstream crashed mid-epoch, or
+		// it is laddering back after one did) — clients consume outputs
+		// strictly in round order, so without help it would wedge here
+		// forever. Replay the retained certified output; the client's
+		// next submission lands one round later, repeating until it
+		// reaches an open window.
+		if body, ok := s.outMsgs[m.Round]; ok && m.Round < s.nextOpen {
+			if ci := s.def.ClientIndex(m.From); ci >= 0 && !s.excluded[ci] {
+				if err := s.verify(m, false); err != nil {
+					return s.violation(m.Round, err), nil
+				}
+				reply, err := s.sign(MsgOutput, m.Round, body)
+				if err != nil {
+					return nil, err
+				}
+				return &Output{Send: []Envelope{{To: m.From, Msg: reply}}}, nil
+			}
 		}
 		return &Output{}, nil // stale or too late for this round
 	}
@@ -1218,7 +1264,20 @@ func (s *Server) onInventory(now time.Time, m *Message) (*Output, error) {
 		if m.Round >= s.nextOpen {
 			return s.stashMsg(m), nil // a round we haven't opened yet
 		}
-		return &Output{}, nil // retired round
+		// Retired round. A server still inventorying it missed the
+		// certification (it was down when the certs flew): hand it the
+		// retained certified output so it adopts instead of wedging.
+		if body, ok := s.outMsgs[m.Round]; ok && s.def.ServerIndex(m.From) >= 0 {
+			if err := s.verify(m, true); err != nil {
+				return s.violation(m.Round, err), nil
+			}
+			reply, err := s.sign(MsgOutput, m.Round, body)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Send: []Envelope{{To: m.From, Msg: reply}}}, nil
+		}
+		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
 		return s.violation(rs.r, err), nil
@@ -1228,13 +1287,15 @@ func (s *Server) onInventory(now time.Time, m *Message) (*Output, error) {
 		return s.violation(rs.r, err), nil
 	}
 	if p.Attempt != rs.attempt {
-		// Inventories from a newer attempt can arrive while we are
-		// still collecting for it; only same-attempt ones are used.
-		if p.Attempt > rs.attempt {
-			si := s.def.ServerIndex(m.From)
-			// Buffer by replacing: we'll re-request via our own send.
-			_ = si
+		if p.Attempt > maxAttempts && p.Attempt > rs.attempt {
+			// A restarted peer reopened this round at a recovery attempt
+			// (openRound); abandon the attempt we were wedged on and
+			// rejoin. Kept submissions ride the new attempt through our
+			// fresh inventory.
+			return s.escalateAttempt(now, rs, p, s.def.ServerIndex(m.From))
 		}
+		// Inventories from a newer α-reopen attempt can arrive while we
+		// are still collecting for it; only same-attempt ones are used.
 		return &Output{}, nil
 	}
 	si := s.def.ServerIndex(m.From)
@@ -1568,8 +1629,17 @@ func (s *Server) maybeOutput(now time.Time, rs *roundState) (*Output, error) {
 	if rs.beaconEntry != nil && !rs.failed {
 		ro.Beacon = rs.beaconEntry.Shares
 	}
-	if err := s.broadcastClients(MsgOutput, rs.r, ro.Encode(), out); err != nil {
+	roBody := ro.Encode()
+	if err := s.broadcastClients(MsgOutput, rs.r, roBody, out); err != nil {
 		return nil, err
+	}
+	// Retain the certified output so a peer that was down when the certs
+	// flew can request it via a stale inventory and adopt (onPeerOutput).
+	// Unlike history this covers failed rounds, which a recovering peer
+	// must also sequence through.
+	s.outMsgs[rs.r] = roBody
+	if rs.r >= uint64(s.def.Policy.RetainRounds) {
+		delete(s.outMsgs, rs.r-uint64(s.def.Policy.RetainRounds))
 	}
 
 	// The accumulator's job ends with the round; recycle it. (Raw
@@ -1698,6 +1768,7 @@ func (s *Server) retireResume(now time.Time, out *Output) error {
 		// point — it drives the per-round delta-queue depth, and
 		// welcomes export it so joiners ramp identically.
 		s.drainRound = s.nextOpen
+		s.persistSnapshot()
 		if s.blameDue {
 			s.blameDue = false
 			more, err := s.startBlame(now)
@@ -1709,6 +1780,7 @@ func (s *Server) retireResume(now time.Time, out *Output) error {
 		}
 		return s.resumeRounds(now, out)
 	}
+	s.persistSnapshot()
 	if rs := s.rounds[s.roundNum]; rs != nil {
 		more, err := s.maybeCommit(now, rs)
 		if err != nil {

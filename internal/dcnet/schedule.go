@@ -610,6 +610,33 @@ func (s *Schedule) Snapshot() (round uint64, lens, idle, perm []int) {
 		append([]int(nil), s.perm...)
 }
 
+// Digest hashes the schedule's full replicated state — round counter,
+// slot lengths, idle counters, permutation, and the queued pipeline
+// deltas. Replicas that processed the same certified outputs hold
+// identical schedules and therefore equal digests; a client whose
+// digest differs from its server's at the same replication point has
+// silently diverged and must re-sync from a certified snapshot.
+func (s *Schedule) Digest() [32]byte {
+	buf := make([]byte, 0, 16+12*len(s.lens))
+	buf = binary.BigEndian.AppendUint64(buf, s.round)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.lens)))
+	for i := range s.lens {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.lens[i]))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.idle[i]))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.perm[i]))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.pending)))
+	for _, row := range s.pending {
+		for _, d := range row {
+			buf = append(buf, byte(d.op))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(d.n))
+		}
+	}
+	var d [32]byte
+	copy(d[:], crypto.Hash("dissent/sched-digest", buf))
+	return d
+}
+
 // RestoreSchedule rebuilds a schedule from a Snapshot, the joiner-side
 // inverse. The config's NumSlots is overridden by the snapshot length.
 func RestoreSchedule(cfg Config, round uint64, lens, idle, perm []int) (*Schedule, error) {

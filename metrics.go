@@ -65,6 +65,11 @@ type SessionMetrics struct {
 	ChurnJoins    uint64 `json:"churn_joins"`
 	ChurnExpels   uint64 `json:"churn_expels"`
 	RosterVersion uint64 `json:"roster_version"`
+	// StateRestores counts live-session resumes from the durable state
+	// store (servers); ReplicaResyncs counts schedule-replica
+	// replacements from a certified snapshot (clients).
+	StateRestores  uint64 `json:"state_restores"`
+	ReplicaResyncs uint64 `json:"replica_resyncs"`
 }
 
 // HostMetrics aggregates a Host's sessions, including totals carried
@@ -149,6 +154,8 @@ type counters struct {
 	phaseStart  atomic.Int64 // unix-nanos of the current round's start
 
 	joins, expels atomic.Uint64
+
+	restores, resyncs atomic.Uint64
 }
 
 // observe folds one engine event into the counters.
@@ -173,6 +180,10 @@ func (c *counters) observe(e Event) {
 		c.joins.Add(1)
 	case core.EventMemberExpelled:
 		c.expels.Add(1)
+	case core.EventStateRestored:
+		c.restores.Add(1)
+	case core.EventReplicaResynced:
+		c.resyncs.Add(1)
 	}
 }
 
@@ -194,6 +205,8 @@ func (s *Session) Metrics() SessionMetrics {
 		ChurnJoins:      s.stats.joins.Load(),
 		ChurnExpels:     s.stats.expels.Load(),
 		RosterVersion:   s.RosterVersion(),
+		StateRestores:   s.stats.restores.Load(),
+		ReplicaResyncs:  s.stats.resyncs.Load(),
 	}
 	m.PipelineDepth = s.cfg.pipelineDepth
 	if m.PipelineDepth < 1 {

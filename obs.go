@@ -218,6 +218,10 @@ func (h *Host) collectMetrics(w *obs.Writer) {
 		func(sm SessionMetrics) float64 { return float64(sm.ChurnExpels) })
 	perSession("dissent_roster_version", "gauge", "Current certified roster version.",
 		func(sm SessionMetrics) float64 { return float64(sm.RosterVersion) })
+	perSession("dissent_state_restores_total", "counter", "Live-session resumes from the durable state store.",
+		func(sm SessionMetrics) float64 { return float64(sm.StateRestores) })
+	perSession("dissent_replica_resyncs_total", "counter", "Schedule-replica replacements from a certified snapshot.",
+		func(sm SessionMetrics) float64 { return float64(sm.ReplicaResyncs) })
 	perSession("dissent_pipeline_depth", "gauge", "Configured round pipeline depth (WithPipelineDepth).",
 		func(sm SessionMetrics) float64 { return float64(sm.PipelineDepth) })
 	perSession("dissent_rounds_in_flight", "gauge", "Current pipeline occupancy: rounds between window open and retirement.",

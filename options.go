@@ -13,6 +13,7 @@ type nodeConfig struct {
 	listenAddrSet bool // distinguishes an explicit WithListenAddr from the ":0" default
 	roster        Roster
 	store         BeaconStore
+	stateStore    *StateStore
 	beaconAddr    string
 	advertiseAddr string
 	onError       func(error)
@@ -61,6 +62,18 @@ func WithRoster(r Roster) Option {
 // caller retains ownership: close the store after Run returns.
 func WithBeaconStore(s BeaconStore) Option {
 	return func(c *nodeConfig) { c.store = s }
+}
+
+// WithStateStore backs the node's session state — the certified
+// roster-update log, blame transcripts, the restart snapshot, and
+// (unless WithBeaconStore overrides it) the beacon chain — with a
+// durable embedded store (see OpenStateStore). A server restarted
+// against a store holding a live session snapshot resumes that
+// session instead of waiting out a fresh setup; a client gains a
+// durable roster log it can replay to stragglers. The caller retains
+// ownership: close the store after Run returns.
+func WithStateStore(s *StateStore) Option {
+	return func(c *nodeConfig) { c.stateStore = s }
 }
 
 // WithBeaconHTTP serves the node's beacon chain over HTTP on addr

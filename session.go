@@ -3,6 +3,7 @@ package dissent
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -106,13 +107,31 @@ func newSessionShell(role Role, def *Group, cfg nodeConfig) (*Session, core.Opti
 		msgs:   make(chan RoundOutput, cfg.msgBuf),
 		done:   make(chan struct{}),
 	}
-	return s, core.Options{
+	coreOpts := core.Options{
 		MessageGroup:  def.MsgGroup(),
 		BeaconStore:   cfg.store,
 		Logger:        logger,
 		OnRoundTrace:  s.onRoundTrace,
 		PipelineDepth: cfg.pipelineDepth,
 	}
+	if cfg.stateStore != nil {
+		// Guard the typed-nil: a nil *StateStore inside the interface
+		// would pass the engine's == nil checks and panic on first use.
+		coreOpts.StateStore = cfg.stateStore
+		if cfg.store == nil {
+			// The beacon chain rides the same store file unless the
+			// caller supplied a dedicated beacon store. A state store
+			// fresh from OpenStateStore always yields a readable (if
+			// empty) beacon bucket; treat failure as content damage.
+			bs, err := beacon.NewKVStore(cfg.stateStore, "beacon")
+			if err != nil {
+				logger.Warn("state store beacon bucket unreadable; beacon chain stays in-memory", "err", err)
+			} else {
+				coreOpts.BeaconStore = bs
+			}
+		}
+	}
+	return s, coreOpts
 }
 
 // onRoundTrace receives one span record per completed round from the
@@ -305,11 +324,28 @@ func (s *Session) open(dial dialFunc) error {
 		s.mu.Unlock()
 		return errors.New("dissent: session closed during open")
 	}
-	out, err := s.engine.Start(time.Now())
-	if err != nil {
-		s.mu.Unlock()
-		s.shutdown()
-		return err
+	// A server whose state store holds a live session snapshot resumes
+	// that session instead of starting a fresh setup: RestoreFromStore
+	// rebuilds the engine from the snapshot plus the durable roster
+	// log, and its output re-announces us to the group. A store with no
+	// snapshot falls through to the normal Start.
+	var out *core.Output
+	var restored bool
+	if s.server != nil {
+		out, restored, err = s.server.RestoreFromStore(time.Now())
+		if err != nil {
+			s.mu.Unlock()
+			s.shutdown()
+			return fmt.Errorf("dissent: session restore: %w", err)
+		}
+	}
+	if !restored {
+		out, err = s.engine.Start(time.Now())
+		if err != nil {
+			s.mu.Unlock()
+			s.shutdown()
+			return err
+		}
 	}
 	s.startDone = true
 	buffered := s.preStart

@@ -1,0 +1,187 @@
+package dissent_test
+
+// SDK-level durability tests: a server node backed by WithStateStore
+// is killed mid-session and a fresh process (a new Node over the same
+// store file) resumes the live session — through the public API alone.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dissent"
+)
+
+// TestSDKServerRestartResumesFromStateStore kills a state-store-backed
+// server after the group has certified rounds, then restarts it as a
+// brand-new Node against the same store file. The restarted node must
+// fire EventStateRestored, rejoin the round pipeline without a fresh
+// setup, and observe new certified rounds — including a payload sent
+// only after the restart.
+func TestSDKServerRestartResumesFromStateStore(t *testing.T) {
+	policy := testPolicy(func(p *dissent.Policy) { p.BeaconEpochRounds = 4 })
+	sKeys, cKeys, grp := buildGroup(t, 3, 4, policy)
+	net := dissent.NewSimNet()
+	defer net.Close()
+	net.SetLatency(func(from, to dissent.NodeID) time.Duration { return time.Millisecond })
+
+	storePath := filepath.Join(t.TempDir(), "srv0.kv")
+	kv, err := dissent.OpenStateStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server 0 runs under its own context so it can be killed alone;
+	// the rest of the group shares one.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx0, kill0 := context.WithCancel(ctx)
+	defer kill0()
+
+	simOpts := func(dissent.Role, int) []dissent.Option {
+		return []dissent.Option{dissent.WithTransport(net)}
+	}
+	srv0, err := dissent.NewServer(grp, sKeys[0], dissent.WithTransport(net), dissent.WithStateStore(kv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run0 := make(chan error, 1)
+	go func() { run0 <- srv0.Run(ctx0) }()
+	var rest []*dissent.Node
+	for i, k := range sKeys[1:] {
+		n, err := dissent.NewServer(grp, k, simOpts(dissent.RoleServer, i+1)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, n)
+	}
+	for i, k := range cKeys {
+		n, err := dissent.NewClient(grp, k, simOpts(dissent.RoleClient, i)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, n)
+	}
+	runRest := make(chan error, len(rest))
+	for _, n := range rest {
+		n := n
+		go func() { runRest <- n.Run(ctx) }()
+	}
+
+	// Let the session establish its schedule and certify a few rounds
+	// so the store holds a mid-session snapshot worth resuming.
+	waitRounds := func(node *dissent.Node, n int, what string) {
+		t.Helper()
+		ch := node.Subscribe(dissent.EventRoundComplete)
+		deadline := time.After(60 * time.Second)
+		for i := 0; i < n; i++ {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					t.Fatalf("%s: subscription closed early", what)
+				}
+			case <-deadline:
+				t.Fatalf("%s: only %d/%d rounds after 60s", what, i, n)
+			}
+		}
+	}
+	waitRounds(srv0, 3, "pre-kill rounds")
+
+	// Kill server 0 the way a crash looks to everyone else: its Run
+	// returns, its link detaches, its store file stays behind.
+	kill0()
+	select {
+	case err := <-run0:
+		if err != nil {
+			t.Fatalf("killed server Run returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("killed server did not stop")
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a brand-new Node (fresh process in real life) over the
+	// same store file. OpenStateStore must keep the snapshot — a wiped
+	// store here would silently fall back to a fresh setup and hang.
+	kv2, err := dissent.OpenStateStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if kv2.Len() == 0 {
+		t.Fatal("state store was cleared on reopen despite holding a session snapshot")
+	}
+	srv0b, err := dissent.NewServer(grp, sKeys[0], dissent.WithTransport(net), dissent.WithStateStore(kv2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := srv0b.Subscribe(dissent.EventStateRestored)
+	run0b := make(chan error, 1)
+	go func() { run0b <- srv0b.Run(ctx) }()
+
+	select {
+	case e, ok := <-restored:
+		if !ok {
+			t.Fatal("restore subscription closed early")
+		}
+		t.Logf("restored: round %d, %s", e.Round, e.Detail)
+	case <-time.After(20 * time.Second):
+		t.Fatal("restarted server never fired EventStateRestored")
+	}
+
+	// The restarted server certifies new rounds with the group...
+	waitRounds(srv0b, 3, "post-restart rounds")
+
+	// ...and a payload sent only after the restart flows end to end,
+	// surfacing at the restarted server itself.
+	const payload = "sent after the restart"
+	if err := rest[len(rest)-1].Send(context.Background(), []byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case m, ok := <-srv0b.Messages():
+			if !ok {
+				t.Fatal("message channel closed early")
+			}
+			if string(m.Data) == payload {
+				if srv0b.Metrics().StateRestores != 1 {
+					t.Errorf("StateRestores = %d, want 1", srv0b.Metrics().StateRestores)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("post-restart payload never surfaced at the restarted server")
+		}
+	}
+}
+
+// TestOpenStateStoreClearsStaleContent pins the fresh-session
+// semantics: a store file with content but no session snapshot (e.g.
+// an abandoned run's beacon bucket) is cleared at open so it cannot
+// poison the new session's replica.
+func TestOpenStateStoreClearsStaleContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.kv")
+	kv, err := dissent.OpenStateStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("beacon", "0001", []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kv2, err := dissent.OpenStateStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if n := kv2.Len(); n != 0 {
+		t.Fatalf("stale snapshot-less store reopened with %d records, want 0", n)
+	}
+}

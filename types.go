@@ -116,6 +116,12 @@ const (
 	// EventRosterChanged fires when a certified roster update is
 	// applied; Event.Detail carries the new version.
 	EventRosterChanged = core.EventRosterChanged
+	// EventStateRestored fires when a restarted server resumes a live
+	// session from its durable state store.
+	EventStateRestored = core.EventStateRestored
+	// EventReplicaResynced fires when a client replaces its diverged
+	// schedule replica with a certified snapshot from a server.
+	EventReplicaResynced = core.EventReplicaResynced
 )
 
 // DefaultPolicy returns the policy used in the paper's evaluation.
