@@ -129,7 +129,17 @@ func traceFlags(t dissent.RoundTrace) string {
 		fl = append(fl, fmt.Sprintf("reopened×%d", t.Attempts))
 	}
 	if t.BlameVerdict != "" {
-		fl = append(fl, "blame:"+t.BlameVerdict)
+		v := "blame:" + t.BlameVerdict
+		if t.BlameAccused != "" {
+			// Verdict plus the accused member, e.g.
+			// "blame:client expelled(3f2a9c01…)".
+			acc := t.BlameAccused
+			if len(acc) > 8 {
+				acc = acc[:8] + "…"
+			}
+			v += "(" + acc + ")"
+		}
+		fl = append(fl, v)
 	}
 	if len(fl) == 0 {
 		return "-"

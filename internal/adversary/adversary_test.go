@@ -1,0 +1,203 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+
+	"dissent/internal/core"
+	"dissent/internal/group"
+)
+
+func id(b byte) group.NodeID {
+	var n group.NodeID
+	n[7] = b
+	return n
+}
+
+// passthrough resign marks the message so tests can verify mutated
+// frames went through re-signing.
+func passthrough(m *core.Message) *core.Message {
+	m.Sig = []byte{0xAA}
+	return m
+}
+
+func env(t core.MsgType, round uint64, to byte, body ...byte) core.Envelope {
+	return core.Envelope{To: id(to), Msg: &core.Message{Type: t, Round: round, Body: body}}
+}
+
+func TestNewRejectsUnknownKind(t *testing.T) {
+	if _, err := New(Behavior{Kind: "tickle"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := New(Behavior{Kind: SlotJam}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBehaviorSchedule(t *testing.T) {
+	b := Behavior{Kind: Withhold, FromRound: 10, ToRound: 20, Every: 5}
+	for round, want := range map[uint64]bool{
+		9: false, 10: true, 11: false, 15: true, 20: true, 21: false, 25: false,
+	} {
+		if got := b.active(round); got != want {
+			t.Errorf("round %d: active=%v, want %v", round, got, want)
+		}
+	}
+	open := Behavior{Kind: Withhold, FromRound: 3}
+	if !open.active(1 << 40) {
+		t.Error("ToRound 0 should mean unbounded")
+	}
+}
+
+func TestSlotJamDeterministicAndTargetsOthers(t *testing.T) {
+	mk := func() *Adversary { return MustNew(Behavior{Kind: SlotJam, Seed: 7}) }
+	info := core.VectorInfo{
+		Round:    5,
+		OwnSlot:  1,
+		NumSlots: 3,
+		SlotRange: func(s int) (int, int) {
+			return s * 10, 10
+		},
+	}
+	vec1 := make([]byte, 30)
+	vec2 := make([]byte, 30)
+	mk().Interdict().Vector(info, vec1)
+	mk().Interdict().Vector(info, vec2)
+	if !bytes.Equal(vec1, vec2) {
+		t.Fatal("jam is not deterministic for a fixed seed")
+	}
+	diff := 0
+	for i, b := range vec1 {
+		if b != 0 {
+			diff++
+			if i >= 10 && i < 20 {
+				t.Fatalf("jam hit the jammer's own slot at byte %d", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("jam flipped %d bytes, want exactly 1", diff)
+	}
+	// A different seed eventually picks a different position.
+	other := make([]byte, 30)
+	MustNew(Behavior{Kind: SlotJam, Seed: 8}).Interdict().Vector(info, other)
+	if bytes.Equal(vec1, other) {
+		t.Log("seeds 7 and 8 collided on one round (possible, not fatal)")
+	}
+}
+
+func TestCorruptShare(t *testing.T) {
+	a := MustNew(Behavior{Kind: CorruptShare, FromRound: 2, ToRound: 2})
+	share := make([]byte, 64)
+	a.Interdict().Share(1, share)
+	if !bytes.Equal(share, make([]byte, 64)) {
+		t.Fatal("corrupted outside the round range")
+	}
+	a.Interdict().Share(2, share)
+	if bytes.Equal(share, make([]byte, 64)) {
+		t.Fatal("share not corrupted in range")
+	}
+}
+
+func TestWithholdDropsAndTargets(t *testing.T) {
+	all := MustNew(Behavior{Kind: Withhold})
+	if got := all.Interdict().Outbound(env(core.MsgShare, 1, 9, 1, 2), passthrough); len(got) != 0 {
+		t.Fatalf("untargeted withhold kept %d envelopes", len(got))
+	}
+	// Setup traffic is never touched.
+	if got := all.Interdict().Outbound(env(core.MsgSchedule, 1, 9, 1), passthrough); len(got) != 1 {
+		t.Fatal("withhold must leave setup traffic alone")
+	}
+	sel := MustNew(Behavior{Kind: Withhold, Targets: []group.NodeID{id(5)}})
+	if got := sel.Interdict().Outbound(env(core.MsgShare, 1, 5, 1), passthrough); len(got) != 0 {
+		t.Fatal("targeted peer not starved")
+	}
+	if got := sel.Interdict().Outbound(env(core.MsgShare, 1, 6, 1), passthrough); len(got) != 1 {
+		t.Fatal("untargeted peer starved")
+	}
+}
+
+func TestEquivocateClientDoubleSubmits(t *testing.T) {
+	a := MustNew(Behavior{Kind: Equivocate})
+	orig := env(core.MsgClientSubmit, 3, 1, 10, 20, 30)
+	got := a.Interdict().Outbound(orig, passthrough)
+	if len(got) != 2 {
+		t.Fatalf("client equivocation produced %d envelopes, want 2", len(got))
+	}
+	if got[0].Msg != orig.Msg {
+		t.Fatal("first envelope must be the original")
+	}
+	alt := got[1].Msg
+	if bytes.Equal(alt.Body, orig.Msg.Body) {
+		t.Fatal("variant is not distinct")
+	}
+	if len(alt.Body) != len(orig.Msg.Body) || alt.Sig == nil {
+		t.Fatal("variant must be same-length and re-signed")
+	}
+	if orig.Msg.Body[2] != 30 {
+		t.Fatal("original message mutated in place")
+	}
+}
+
+func TestEquivocateServerSplitsPeers(t *testing.T) {
+	a := MustNew(Behavior{Kind: Equivocate, Targets: []group.NodeID{id(2)}})
+	fed := a.Interdict().Outbound(env(core.MsgShare, 3, 2, 1, 2, 3), passthrough)
+	honest := a.Interdict().Outbound(env(core.MsgShare, 3, 4, 1, 2, 3), passthrough)
+	if len(fed) != 1 || len(honest) != 1 {
+		t.Fatal("server equivocation must keep one envelope per peer")
+	}
+	if bytes.Equal(fed[0].Msg.Body, honest[0].Msg.Body) {
+		t.Fatal("both peers saw the same payload — no equivocation")
+	}
+}
+
+func TestBadCertSigOnlyCertify(t *testing.T) {
+	a := MustNew(Behavior{Kind: BadCertSig})
+	cert := a.Interdict().Outbound(env(core.MsgCertify, 2, 1, 9, 9, 9), passthrough)
+	if len(cert) != 1 || bytes.Equal(cert[0].Msg.Body, []byte{9, 9, 9}) {
+		t.Fatal("certificate not corrupted")
+	}
+	if cert[0].Msg.Sig == nil {
+		t.Fatal("corrupted certificate not re-signed")
+	}
+	share := a.Interdict().Outbound(env(core.MsgShare, 2, 1, 9), passthrough)
+	if len(share) != 1 || !bytes.Equal(share[0].Msg.Body, []byte{9}) {
+		t.Fatal("non-certify traffic touched")
+	}
+}
+
+func TestReplayDuplicatesAndReemits(t *testing.T) {
+	a := MustNew(Behavior{Kind: Replay, Copies: 4})
+	first := env(core.MsgClientSubmit, 1, 1, 1)
+	got := a.Interdict().Outbound(first, passthrough)
+	if len(got) != 5 { // original + 4 copies; nothing retained yet
+		t.Fatalf("first send produced %d envelopes, want 5", len(got))
+	}
+	second := env(core.MsgClientSubmit, 2, 1, 2)
+	got = a.Interdict().Outbound(second, passthrough)
+	if len(got) != 6 { // original + 4 copies + replayed round-1 frame
+		t.Fatalf("second send produced %d envelopes, want 6", len(got))
+	}
+	if got[5].Msg != first.Msg {
+		t.Fatal("retained frame is not the round-1 original")
+	}
+}
+
+func TestMalformKeepsLengthAndResigns(t *testing.T) {
+	a := MustNew(Behavior{Kind: Malform, Seed: 3})
+	orig := env(core.MsgCommit, 2, 1, 7, 7, 7, 7)
+	got := a.Interdict().Outbound(orig, passthrough)
+	if len(got) != 1 {
+		t.Fatalf("malform produced %d envelopes", len(got))
+	}
+	m := got[0].Msg
+	if len(m.Body) != 4 || bytes.Equal(m.Body, orig.Msg.Body) {
+		t.Fatal("body must be distinct garbage of the same length")
+	}
+	if m.Sig == nil {
+		t.Fatal("malformed frame must be re-signed")
+	}
+	if !bytes.Equal(orig.Msg.Body, []byte{7, 7, 7, 7}) {
+		t.Fatal("original mutated in place")
+	}
+}

@@ -124,6 +124,29 @@ func TestValidateRejections(t *testing.T) {
 		{"unknown fault", func(sc *Scenario) {
 			sc.Faults = []Fault{{Kind: "meteor", Server: 0}}
 		}},
+		{"byzantine in tcp mode", func(sc *Scenario) {
+			sc.Mode = ModeTCP
+			sc.Topology.EpochRounds = 4
+			sc.Faults = []Fault{{Kind: FaultByzantineClient, Client: 1, Attack: "slot-jam"}}
+		}},
+		{"byzantine unknown attack", func(sc *Scenario) {
+			sc.Topology.EpochRounds = 4
+			sc.Faults = []Fault{{Kind: FaultByzantineClient, Client: 1, Attack: "ddos"}}
+		}},
+		{"byzantine client without epochs", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultByzantineClient, Client: 1, Attack: "slot-jam"}}
+		}},
+		{"byzantine client out of range", func(sc *Scenario) {
+			sc.Topology.EpochRounds = 4
+			sc.Faults = []Fault{{Kind: FaultByzantineClient, Client: 6, Attack: "slot-jam"}}
+		}},
+		{"two byzantine faults on one member", func(sc *Scenario) {
+			sc.Topology.EpochRounds = 4
+			sc.Faults = []Fault{
+				{Kind: FaultByzantineClient, Client: 1, Attack: "slot-jam"},
+				{Kind: FaultByzantineClient, Client: 1, Attack: "equivocate"},
+			}
+		}},
 	}
 	for _, tc := range cases {
 		sc := base()
@@ -383,6 +406,85 @@ func TestSocksBrowseUnderChurn(t *testing.T) {
 	}
 	if cycles := row(t, res, "background-churn-cycles"); cycles.Value < 1 {
 		t.Errorf("background churn cycles = %v, want >= 1", cycles.Value)
+	}
+}
+
+// TestScenarioByzantineServerSim runs a corrupt-share byzantine server
+// through the scenario harness: the blame path must expose the server
+// while honest rounds keep certifying, and the report must carry the
+// byzantine outcome rows.
+func TestScenarioByzantineServerSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-byzantine-server",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 4},
+		Workload: Workload{Kind: WorkloadMicroblog, Posters: 1, PostBytes: 96, PostEvery: 100 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultByzantineServer, Server: 1, Attack: "corrupt-share", At: 2 * time.Second, Duration: 3 * time.Second},
+		},
+		Run:   12 * time.Second,
+		Drain: time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if res.Byzantine == nil {
+		t.Fatal("no byzantine outcome recorded")
+	}
+	if !res.Byzantine.Expelled {
+		t.Fatalf("byzantine server never exposed: %+v (blame=%d misbehavior=%v)",
+			res.Byzantine, res.BlameRounds, res.Misbehavior)
+	}
+	if res.Byzantine.TimeToExpel <= 0 {
+		t.Errorf("time-to-exposure = %v", res.Byzantine.TimeToExpel)
+	}
+	if res.BlameRounds == 0 {
+		t.Error("no blame rounds scraped during the attack")
+	}
+	if res.Rounds == 0 {
+		t.Fatal("honest traffic never recovered: no rounds certified")
+	}
+	if row(t, res, "byzantine-expelled").Value != 1 {
+		t.Error("report lacks byzantine-expelled = 1")
+	}
+	if row(t, res, "time-to-expel-seconds").Value <= 0 {
+		t.Error("report lacks a positive time-to-expel-seconds")
+	}
+}
+
+// TestScenarioSlotJammerSim runs the full client attack arc at cluster
+// scale: the last client jams a victim slot, the accusation shuffle
+// pins it, and the certified roster removal lands at an epoch boundary
+// while rounds keep turning over.
+func TestScenarioSlotJammerSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "test-slot-jammer",
+		Mode:     ModeSim,
+		Topology: Topology{Servers: 3, Clients: 5, EpochRounds: 4},
+		Workload: Workload{Kind: WorkloadMicroblog, Posters: 1, PostBytes: 96, PostEvery: 100 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultByzantineClient, Client: 4, Attack: "slot-jam", At: 2 * time.Second},
+		},
+		Run:   25 * time.Second,
+		Drain: time.Second,
+	}
+	res := runScenario(t, sc, Options{})
+	if res.Byzantine == nil || !res.Byzantine.Expelled {
+		t.Fatalf("slot jammer never expelled: %+v (blame=%d misbehavior=%v expels=%d)",
+			res.Byzantine, res.BlameRounds, res.Misbehavior, res.ChurnExpels)
+	}
+	if res.Byzantine.TimeToExpel <= 0 || res.Byzantine.RoundsToExpel == 0 {
+		t.Errorf("time-to-expel = %v / %d rounds", res.Byzantine.TimeToExpel, res.Byzantine.RoundsToExpel)
+	}
+	if res.Byzantine.AttackRoundsPerSec <= 0 {
+		t.Errorf("no honest goodput measured under attack: %+v", res.Byzantine)
+	}
+	if res.ChurnExpels == 0 {
+		t.Error("no certified expulsion scraped")
+	}
+	if row(t, res, "time-to-expel-rounds").Value <= 0 {
+		t.Error("report lacks a positive time-to-expel-rounds")
+	}
+	if row(t, res, "honest-goodput-under-attack").Value <= 0 {
+		t.Error("report lacks honest-goodput-under-attack")
 	}
 }
 

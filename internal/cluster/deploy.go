@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"dissent"
@@ -40,6 +41,12 @@ type deployment struct {
 // links and kills processes, and the resulting warn-spam would bury
 // the driver's own narration.
 func quietLogger() *slog.Logger {
+	if path := os.Getenv("DISSENT_CLUSTER_DEBUG_LOG"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			return slog.New(slog.NewTextHandler(f, &slog.HandlerOptions{Level: slog.LevelInfo}))
+		}
+	}
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
@@ -132,6 +139,11 @@ func deploySim(ctx context.Context, m *material) (*deployment, error) {
 		if m.pipelineDepth > 1 {
 			sessOpts = append(sessOpts, dissent.WithPipelineDepth(m.pipelineDepth))
 		}
+		if m.byz != nil {
+			if g, ok := m.byz.serverGates[i]; ok {
+				sessOpts = append(sessOpts, dissent.WithInterdict(g.interdict()))
+			}
+		}
 		if _, err := host.OpenSession(m.grp, keys, sessOpts...); err != nil {
 			return fail(fmt.Errorf("cluster: server %d: %w", i, err))
 		}
@@ -158,6 +170,11 @@ func deploySim(ctx context.Context, m *material) (*deployment, error) {
 		}
 		if m.pipelineDepth > 1 {
 			cliOpts = append(cliOpts, dissent.WithPipelineDepth(m.pipelineDepth))
+		}
+		if m.byz != nil {
+			if g, ok := m.byz.clientGates[i]; ok {
+				cliOpts = append(cliOpts, dissent.WithInterdict(g.interdict()))
+			}
 		}
 		node, err := dissent.NewClient(m.grp, keys, cliOpts...)
 		if err != nil {

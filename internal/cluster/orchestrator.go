@@ -58,6 +58,14 @@ type Result struct {
 	// stores during the window (kill-server faults with
 	// Topology.DurableStores).
 	StateRestores uint64
+	// BlameRounds counts accusation shuffles during the window (max
+	// across servers); Misbehavior counts attributed protocol offenses
+	// by kind over the same span.
+	BlameRounds uint64
+	Misbehavior map[string]uint64
+	// Byzantine is the scripted-adversary outcome: time-to-expel and
+	// goodput under attack (nil without byzantine faults).
+	Byzantine *ByzantineOutcome
 	// WorkloadRows carries the traffic driver's own measurements.
 	WorkloadRows []bench.PerfResult
 }
@@ -89,6 +97,9 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
 	opts.logf("provisioning %d servers, %d clients in %s", sc.Topology.Servers, sc.Topology.Clients, dir)
 	m, err := provision(dir, sc)
 	if err != nil {
+		return nil, err
+	}
+	if m.byz, err = buildByzantine(sc); err != nil {
 		return nil, err
 	}
 
@@ -129,6 +140,14 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
 	}
 	stopFaults := dep.armFaults(sc)
 	defer stopFaults()
+	var byz *byzRun
+	if m.byz != nil {
+		byz, err = startByzantine(dep, m.byz, scr)
+		if err != nil {
+			return nil, err
+		}
+		defer byz.halt()
+	}
 
 	opts.logf("running %s workload for up to %v (%d fault(s) armed)", sc.Workload.Kind, sc.run(), len(sc.Faults))
 	wctx, cancel := context.WithTimeout(ctx, sc.run())
@@ -158,7 +177,15 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
 		ChurnExpels:   final.expels - base.expels,
 		DialFailures:  final.dialFailures - base.dialFailures,
 		StateRestores: final.restores - base.restores,
+		BlameRounds:   final.blame - base.blame,
+		Misbehavior:   misbehaviorDelta(base.misbehavior, final.misbehavior),
 		WorkloadRows:  ws.rows,
+	}
+	if byz != nil {
+		res.Byzantine = byz.outcome()
+		opts.logf("byzantine outcome: expelled=%v time-to-expel=%v rounds-to-expel=%d goodput-under-attack=%.1f rounds/s",
+			res.Byzantine.Expelled, res.Byzantine.TimeToExpel.Round(time.Millisecond),
+			res.Byzantine.RoundsToExpel, res.Byzantine.AttackRoundsPerSec)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.RoundsPerSec = float64(res.Rounds) / secs

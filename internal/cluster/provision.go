@@ -34,6 +34,12 @@ func (t Topology) policy() dissent.Policy {
 	if t.OpenLen > 0 {
 		p.DefaultOpenLen = t.OpenLen
 	}
+	// Cluster rounds turn over in single-digit milliseconds, so the
+	// default 8-round trace retention is ~50ms of wall clock — shorter
+	// than a victim's detect-accuse-shuffle arc under load, which
+	// squashes accusations into inconclusive verdicts. Scale retention
+	// to the round rate instead of the paper's seconds-per-round pace.
+	p.RetainRounds = 64
 	p.BeaconEpochRounds = t.EpochRounds
 	if t.EpochRounds > 0 {
 		p.ReadmitCooldownRounds = 0
@@ -57,6 +63,9 @@ type material struct {
 	// durableStores gives each tcp-mode server worker a state store
 	// file beside its other material (Topology.DurableStores).
 	durableStores bool
+	// byz is the compiled byzantine fault schedule: deployment installs
+	// its gated interdicts on the targeted members (nil = none).
+	byz *byzPlan
 }
 
 // provision generates the group's material on disk through dissentcfg

@@ -50,6 +50,31 @@ func (r *Result) Report() bench.PerfReport {
 	if r.StateRestores > 0 {
 		add("state-restores", float64(r.StateRestores), "restores")
 	}
+	if r.BlameRounds > 0 {
+		add("blame-rounds", float64(r.BlameRounds), "rounds")
+	}
+	if len(r.Misbehavior) > 0 {
+		var total uint64
+		for _, n := range r.Misbehavior {
+			total += n
+		}
+		add("misbehavior-observed", float64(total), "events")
+	}
+	if b := r.Byzantine; b != nil {
+		expelled := 0.0
+		if b.Expelled {
+			expelled = 1.0
+		}
+		add("byzantine-expelled", expelled, "bool")
+		if b.Expelled {
+			add("time-to-expel-seconds", b.TimeToExpel.Seconds(), "s")
+			add("time-to-expel-rounds", float64(b.RoundsToExpel), "rounds")
+		}
+		if b.TimeToVerdict > 0 {
+			add("time-to-verdict-seconds", b.TimeToVerdict.Seconds(), "s")
+		}
+		add("honest-goodput-under-attack", b.AttackRoundsPerSec, "rounds/s")
+	}
 	rep.Results = append(rep.Results, r.WorkloadRows...)
 	return rep
 }

@@ -152,6 +152,11 @@ type Fault struct {
 	At, Duration time.Duration
 	// Server indexes the affected server in definition order.
 	Server int
+	// Client indexes the affected client (FaultByzantineClient).
+	Client int
+	// Attack names the adversary behavior a byzantine fault arms
+	// (internal/adversary kind, e.g. "slot-jam", "corrupt-share").
+	Attack string
 	// Degradation parameters (FaultDegradeServer).
 	Latency, Jitter time.Duration
 	DropRate        float64
@@ -245,6 +250,39 @@ var builtin = []Scenario{
 		Run: 25 * time.Second,
 	},
 	{
+		Name:        "byzantine-server",
+		Description: "3x6 SimNet microblog; server 1 corrupts its DC-net shares for 4s mid-run; time-to-exposure and recovery measured",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 6},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 150 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultByzantineServer, Server: 1, Attack: "corrupt-share", At: 6 * time.Second, Duration: 4 * time.Second},
+		},
+		Run: 20 * time.Second,
+	},
+	{
+		Name:        "slot-jammer",
+		Description: "3x6 SimNet group with 6-round epochs; the last client jams a victim slot from t=4s until the blame path expels it; time-to-expel measured",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 6, EpochRounds: 6},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 150 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultByzantineClient, Client: 5, Attack: "slot-jam", At: 4 * time.Second},
+		},
+		Run: 30 * time.Second,
+	},
+	{
+		Name:        "equivocator",
+		Description: "3x6 SimNet group with 6-round epochs; the last client double-submits conflicting ciphertexts until the misbehavior ledger escalates to certified removal",
+		Mode:        ModeSim,
+		Topology:    Topology{Servers: 3, Clients: 6, EpochRounds: 6},
+		Workload:    Workload{Kind: WorkloadMicroblog, Posters: 2, PostBytes: 128, PostEvery: 150 * time.Millisecond},
+		Faults: []Fault{
+			{Kind: FaultByzantineClient, Client: 5, Attack: "equivocate", At: 4 * time.Second},
+		},
+		Run: 30 * time.Second,
+	},
+	{
 		Name:        "microblog-tcp",
 		Description: "3x6 multi-process group over loopback TCP; servers are separate OS processes; microblog fan-out",
 		Mode:        ModeTCP,
@@ -302,6 +340,10 @@ func (sc Scenario) Quick() Scenario {
 		}
 		if sc.Faults[i].Duration > 3*time.Second {
 			sc.Faults[i].Duration = 3 * time.Second
+		}
+		// Shrinking the client list must not orphan a byzantine client.
+		if sc.Faults[i].Kind == FaultByzantineClient && sc.Faults[i].Client >= sc.Topology.Clients {
+			sc.Faults[i].Client = sc.Topology.Clients - 1
 		}
 	}
 	return sc
@@ -375,12 +417,30 @@ func (sc Scenario) Validate() error {
 			if sc.Mode != ModeTCP {
 				return fmt.Errorf("cluster: scenario %s: kill-server needs tcp mode (sim members are not processes)", sc.Name)
 			}
+		case FaultByzantineServer, FaultByzantineClient:
+			if sc.Mode != ModeSim {
+				return fmt.Errorf("cluster: scenario %s: %s needs sim mode (the scripted member runs in-process)", sc.Name, f.Kind)
+			}
+			if err := validAttack(f.Attack); err != nil {
+				return fmt.Errorf("cluster: scenario %s: %w", sc.Name, err)
+			}
+			if f.Kind == FaultByzantineClient {
+				if f.Client < 0 || f.Client >= t.Clients {
+					return fmt.Errorf("cluster: scenario %s: byzantine client %d out of range", sc.Name, f.Client)
+				}
+				if t.EpochRounds <= 0 {
+					return fmt.Errorf("cluster: scenario %s: byzantine-client needs EpochRounds > 0 (certified removal lands at epoch boundaries)", sc.Name)
+				}
+			}
 		default:
 			return fmt.Errorf("cluster: scenario %s: unknown fault %q", sc.Name, f.Kind)
 		}
 		if f.Server < 0 || f.Server >= t.Servers {
 			return fmt.Errorf("cluster: scenario %s: fault server %d out of range", sc.Name, f.Server)
 		}
+	}
+	if _, err := buildByzantine(sc); err != nil {
+		return err
 	}
 	return nil
 }

@@ -130,13 +130,19 @@ type counterState struct {
 	expels       uint64 // max across servers
 	dialFailures uint64 // sum across servers (tcp only)
 	restores     uint64 // sum across servers (durable-store restarts)
+	blame        uint64 // max across servers (all run the same shuffles)
+	lastRound    uint64 // max across servers: the newest certified round number
+	// misbehavior holds per-kind attribution counts, max across servers
+	// (each server attributes the same offender's offenses itself; the
+	// max is the most-complete observer, not a double count).
+	misbehavior map[string]uint64
 }
 
 // counters reduces the latest snapshots.
 func (s *scraper) counters() counterState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var st counterState
+	st := counterState{misbehavior: make(map[string]uint64)}
 	for _, snap := range s.latest {
 		if !snap.ok {
 			continue
@@ -153,6 +159,17 @@ func (s *scraper) counters() counterState {
 			if sm.ChurnExpels > st.expels {
 				st.expels = sm.ChurnExpels
 			}
+			if sm.BlameRounds > st.blame {
+				st.blame = sm.BlameRounds
+			}
+			if sm.LastRound > st.lastRound {
+				st.lastRound = sm.LastRound
+			}
+			for kind, n := range sm.Misbehavior {
+				if n > st.misbehavior[kind] {
+					st.misbehavior[kind] = n
+				}
+			}
 			st.restores += sm.StateRestores
 		}
 		if hm.Transport != nil {
@@ -160,6 +177,41 @@ func (s *scraper) counters() counterState {
 		}
 	}
 	return st
+}
+
+// roundAt returns the newest server-role round that had started by t,
+// from the deduped trace union. It recovers "what round was the
+// cluster on at time t" after the fact, without a synchronous scrape
+// on the timing-critical path.
+func (s *scraper) roundAt(t time.Time) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var r uint64
+	for k, tr := range s.traces {
+		if k.role != "server" || tr.Start.After(t) {
+			continue
+		}
+		if tr.Round > r {
+			r = tr.Round
+		}
+	}
+	return r
+}
+
+// misbehaviorDelta subtracts a baseline's per-kind counts, dropping
+// kinds that saw nothing during the window; nil when the window saw no
+// misbehavior at all.
+func misbehaviorDelta(base, final map[string]uint64) map[string]uint64 {
+	var out map[string]uint64
+	for kind, n := range final {
+		if d := n - base[kind]; d > 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[kind] = d
+		}
+	}
+	return out
 }
 
 // window is one absolute fault interval.

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dissent/internal/dcnet"
+	"dissent/internal/group"
+)
+
+// These tests exercise each scripted byzantine behavior class through
+// the Options.Interdict hook (the same surface internal/adversary
+// compiles to — that package cannot be imported here without a cycle)
+// and assert the hardened ingress path both DETECTS the behavior and
+// ATTRIBUTES it to the right culprit.
+
+// misbehaviorCount counts EventMisbehavior occurrences whose detail is
+// prefixed by kind and whose culprit matches, observed at servers.
+func (f *fixture) misbehaviorCount(kind string, culprit group.NodeID) int {
+	n := 0
+	for _, ev := range f.h.EventsOf(EventMisbehavior) {
+		if ev.Culprit == culprit && strings.HasPrefix(ev.Detail, kind+":") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRetryPolicyBackoff pins the unified retransmission backoff:
+// exponential growth, cap, deterministic jitter within bounds, and the
+// Options override reaching both engine roles.
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{}.withDefaults(100 * time.Millisecond)
+	if p.Base != 100*time.Millisecond || p.Cap != 800*time.Millisecond {
+		t.Fatalf("defaults: %+v", p)
+	}
+	prev := time.Duration(0)
+	for a := 0; a < 6; a++ {
+		d := p.delay(a, 42)
+		lo := time.Duration(float64(p.Base) * 0.9)
+		hi := time.Duration(float64(p.Cap) * 1.1)
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", a, d, lo, hi)
+		}
+		if d != p.delay(a, 42) {
+			t.Fatalf("attempt %d: delay not deterministic", a)
+		}
+		if a > 0 && a < 3 && d <= prev {
+			t.Fatalf("attempt %d: delay %v did not grow from %v", a, d, prev)
+		}
+		prev = d
+	}
+	// Jitter decorrelates seeds.
+	if p.delay(1, 1) == p.delay(1, 2) && p.delay(2, 1) == p.delay(2, 2) {
+		t.Fatal("jitter ignores the seed")
+	}
+
+	custom := &RetryPolicy{Base: 7 * time.Millisecond, Cap: 14 * time.Millisecond, Jitter: -1}
+	f := newFixture(t, 2, 2, fixtureOpts{mutateOpts: func(o *Options) { o.Retry = custom }})
+	if got := f.servers[0].retry.Base; got != 7*time.Millisecond {
+		t.Fatalf("server retry base %v, want 7ms", got)
+	}
+	if got := f.clients[0].retry.Cap; got != 14*time.Millisecond {
+		t.Fatalf("client retry cap %v, want 14ms", got)
+	}
+	if d := f.servers[0].retry.delay(5, 9); d != 14*time.Millisecond {
+		t.Fatalf("disabled jitter: delay %v, want exact cap", d)
+	}
+}
+
+// TestInterdictSlotJamTracedAndExpelled drives the catalog's slot-jam
+// shape — a Vector interdict flipping a bit inside the victim's slot
+// range before padding/signing — and asserts the full §3.9 pipeline:
+// victim detection, accusation, trace, and a client-expelled verdict
+// against the jammer at every server.
+func TestInterdictSlotJamTracedAndExpelled(t *testing.T) {
+	var victim *Client
+	jam := &Interdict{Vector: func(info VectorInfo, vec []byte) {
+		if victim == nil || victim.Slot() < 0 {
+			return
+		}
+		off, n := info.SlotRange(victim.Slot())
+		if n <= dcnet.SeedLen+13 {
+			return
+		}
+		vec[off+dcnet.SeedLen+12] ^= 0xFF
+	}}
+	f := newFixture(t, 3, 5, fixtureOpts{
+		clientOpts: func(idx int, o *Options) {
+			if idx == 4 {
+				o.Interdict = jam
+			}
+		},
+	})
+	victim = f.clients[0]
+	victim.Send(bytes.Repeat([]byte("censored speech "), 20))
+
+	f.runUntilRound(14, 3_000_000)
+
+	if len(f.h.EventsOf(EventDisruptionDetected)) == 0 {
+		t.Error("victim never detected the jam")
+	}
+	expelled := 0
+	for _, v := range f.h.EventsOf(EventBlameVerdict) {
+		if v.Culprit == f.clients[4].ID() && f.def.ServerIndex(v.Node) >= 0 {
+			expelled++
+		}
+	}
+	if expelled < 3 {
+		t.Fatalf("jammer expelled at %d/3 servers; violations: %v", expelled, f.violations())
+	}
+	for _, s := range f.servers {
+		if !s.Excluded(4) {
+			t.Errorf("server %d did not exclude the jammer", s.Index())
+		}
+	}
+}
+
+// TestInterdictCorruptShareExposesServer installs the corrupt-share
+// behavior on one server: its commit and share stay consistent, so
+// only the blame trace's bit check can pin the garble — and it must
+// yield a server-exposed verdict, not a client expulsion.
+func TestInterdictCorruptShareExposesServer(t *testing.T) {
+	var victim *Client
+	var f *fixture
+	corrupted := false
+	f = newFixture(t, 3, 4, fixtureOpts{
+		serverOpts: func(idx int, o *Options) {
+			if idx == 2 {
+				o.Interdict = &Interdict{Share: func(round uint64, share []byte) {
+					if corrupted || victim == nil || victim.Slot() < 0 {
+						return
+					}
+					off, n := f.servers[2].sched.SlotRange(victim.Slot())
+					if n == 0 {
+						return
+					}
+					share[off+dcnet.SeedLen+12] ^= 0xFF
+					corrupted = true
+				}}
+			}
+		},
+	})
+	victim = f.clients[0]
+	victim.Send(bytes.Repeat([]byte("exposed traffic "), 20))
+
+	f.runUntilRound(14, 3_000_000)
+
+	if !corrupted {
+		t.Fatal("the share interdict never fired")
+	}
+	exposed := 0
+	for _, v := range f.h.EventsOf(EventBlameVerdict) {
+		if v.Culprit == f.def.Servers[2].ID && f.def.ServerIndex(v.Node) >= 0 {
+			exposed++
+		}
+	}
+	if exposed < 2 {
+		t.Fatalf("corrupting server exposed at %d servers; verdicts: %+v violations: %v",
+			exposed, f.h.EventsOf(EventBlameVerdict), f.violations())
+	}
+	for i := range f.clients {
+		if f.servers[0].Excluded(i) {
+			t.Errorf("client %d was scapegoated for the server's corruption", i)
+		}
+	}
+}
+
+// TestInterdictEquivocatingClientEscalatesToExpulsion: a client that
+// double-submits distinct signed ciphertexts every round is provably
+// equivocating; the misbehavior ledger must attribute each offense and,
+// past the escalation threshold, queue the client for certified
+// removal at the next roster boundary.
+func TestInterdictEquivocatingClientEscalatesToExpulsion(t *testing.T) {
+	const epoch = 6
+	equiv := &Interdict{Outbound: func(env Envelope, resign func(*Message) *Message) []Envelope {
+		if env.Msg.Type != MsgClientSubmit {
+			return []Envelope{env}
+		}
+		body := append([]byte(nil), env.Msg.Body...)
+		body[len(body)-1] ^= 0xFF
+		alt := resign(&Message{Type: MsgClientSubmit, Round: env.Msg.Round, Body: body})
+		return []Envelope{env, {To: env.To, Msg: alt}}
+	}}
+	f := newFixture(t, 2, 4, fixtureOpts{
+		mutatePolicy: func(p *group.Policy) {
+			p.BeaconEpochRounds = epoch
+			p.Alpha = 0.5
+		},
+		clientOpts: func(idx int, o *Options) {
+			if idx == 3 {
+				o.Interdict = equiv
+			}
+		},
+	})
+	f.runUntilRound(4*epoch, 4_000_000)
+
+	culprit := f.clients[3].ID()
+	if n := f.misbehaviorCount("equivocation", culprit); n < misbehaviorEscalateThreshold {
+		t.Fatalf("equivocation attributed %d times, want >= %d; violations: %v",
+			n, misbehaviorEscalateThreshold, f.violations())
+	}
+	if f.misbehaviorCount("escalated", culprit) == 0 {
+		t.Fatal("equivocator never escalated to removal")
+	}
+	expelled := false
+	for _, ev := range f.h.EventsOf(EventMemberExpelled) {
+		if ev.Culprit == culprit {
+			expelled = true
+		}
+	}
+	if !expelled {
+		t.Fatalf("equivocator was not expelled by a certified roster update; violations: %v", f.violations())
+	}
+	// Honest members keep communicating after the expulsion.
+	f.clients[0].Send([]byte("after the expulsion"))
+	f.stepUntilRound(f.servers[0].Round()+epoch, 2_000_000)
+	found := false
+	for _, d := range f.h.Deliveries {
+		if string(d.Data) == "after the expulsion" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("honest traffic did not survive the expulsion")
+	}
+}
+
+// TestInterdictBadCertSigDetected: a server that corrupts the
+// certificate signature inside its MsgCertify (outer envelope
+// re-signed, so only payload validation can catch it) is attributed
+// "bad-certificate" by every peer, and rounds heal once the behavior's
+// round range ends.
+func TestInterdictBadCertSigDetected(t *testing.T) {
+	bad := &Interdict{Outbound: func(env Envelope, resign func(*Message) *Message) []Envelope {
+		if env.Msg.Type != MsgCertify || env.Msg.Round < 1 || env.Msg.Round > 2 {
+			return []Envelope{env}
+		}
+		body := append([]byte(nil), env.Msg.Body...)
+		body[len(body)-1] ^= 0xFF
+		return []Envelope{{To: env.To, Msg: resign(&Message{Type: MsgCertify, Round: env.Msg.Round, Body: body})}}
+	}}
+	f := newFixture(t, 3, 3, fixtureOpts{
+		serverOpts: func(idx int, o *Options) {
+			if idx == 1 {
+				o.Interdict = bad
+			}
+		},
+	})
+	f.runUntilRound(6, 3_000_000)
+
+	if n := f.misbehaviorCount("bad-certificate", f.def.Servers[1].ID); n == 0 {
+		t.Fatalf("bad certificate never attributed; violations: %v", f.violations())
+	}
+	if got := f.servers[0].Round(); got <= 6 {
+		t.Fatalf("rounds did not heal after the behavior window: at %d", got)
+	}
+}
+
+// TestInterdictWithholdingSuspected: a server that silently drops its
+// MsgShare broadcasts wedges the round — in an anytrust group no round
+// completes without every server's share, so a forever-silent server
+// halts the group by design. The test drops the first several share
+// transmissions of round 1: after the retransmission backoff runs out
+// of patience the waiting peers must attribute "withholding" to
+// exactly the silent server, and the round must heal once the
+// server's own backoff rebroadcast finally passes the interdict.
+func TestInterdictWithholdingSuspected(t *testing.T) {
+	dropped := 0
+	withhold := &Interdict{Outbound: func(env Envelope, resign func(*Message) *Message) []Envelope {
+		if env.Msg.Type == MsgShare && env.Msg.Round == 1 && dropped < 8 {
+			dropped++
+			return nil
+		}
+		return []Envelope{env}
+	}}
+	f := newFixture(t, 3, 3, fixtureOpts{
+		serverOpts: func(idx int, o *Options) {
+			if idx == 2 {
+				o.Interdict = withhold
+			}
+		},
+	})
+	f.runUntilRound(6, 3_000_000)
+
+	silent := f.def.Servers[2].ID
+	if n := f.misbehaviorCount("withholding", silent); n == 0 {
+		t.Fatalf("withholding never attributed; violations: %v", f.violations())
+	}
+	// No HONEST server may accuse another honest server. (The byzantine
+	// server itself is free to emit bogus accusations — it is wedged
+	// waiting on peers its own withholding wedged — which is exactly why
+	// consumers must weigh accusations by observer.)
+	for _, ev := range f.h.EventsOf(EventMisbehavior) {
+		obs := f.def.ServerIndex(ev.Node)
+		acc := f.def.ServerIndex(ev.Culprit)
+		if obs >= 0 && obs != 2 && acc >= 0 && acc != 2 && strings.HasPrefix(ev.Detail, "withholding:") {
+			t.Errorf("honest server %d attributed withholding to honest server %d", obs, acc)
+		}
+	}
+	if got := f.servers[0].Round(); got <= 6 {
+		t.Fatalf("rounds did not heal after the withholding window: at %d", got)
+	}
+}
+
+// TestInterdictReplayFloodDetected: identical duplicates are tolerated
+// up to the per-round allowance (honest retransmission), then
+// attributed as "replay".
+func TestInterdictReplayFloodDetected(t *testing.T) {
+	replay := &Interdict{Outbound: func(env Envelope, resign func(*Message) *Message) []Envelope {
+		if env.Msg.Type != MsgClientSubmit {
+			return []Envelope{env}
+		}
+		out := make([]Envelope, 0, dupFloodAllowance+4)
+		for i := 0; i < dupFloodAllowance+4; i++ {
+			out = append(out, env)
+		}
+		return out
+	}}
+	f := newFixture(t, 2, 3, fixtureOpts{
+		clientOpts: func(idx int, o *Options) {
+			if idx == 2 {
+				o.Interdict = replay
+			}
+		},
+	})
+	f.runUntilRound(4, 2_000_000)
+
+	if n := f.misbehaviorCount("replay", f.clients[2].ID()); n == 0 {
+		t.Fatalf("replay flood never attributed; violations: %v", f.violations())
+	}
+	if got := f.servers[0].Round(); got <= 4 {
+		t.Fatalf("rounds wedged under the replay flood: at %d", got)
+	}
+}
+
+// TestInterdictMalformedDetected: an authentically-signed frame whose
+// body is garbage must be attributed "malformed" to its sender, and
+// the session must ride through (the slot simply stays unproven that
+// round).
+func TestInterdictMalformedDetected(t *testing.T) {
+	malform := &Interdict{Outbound: func(env Envelope, resign func(*Message) *Message) []Envelope {
+		if env.Msg.Type != MsgClientSubmit || env.Msg.Round < 1 || env.Msg.Round > 2 {
+			return []Envelope{env}
+		}
+		body := make([]byte, len(env.Msg.Body))
+		for i := range body {
+			body[i] = byte(i * 31)
+		}
+		return []Envelope{{To: env.To, Msg: resign(&Message{Type: MsgClientSubmit, Round: env.Msg.Round, Body: body})}}
+	}}
+	f := newFixture(t, 2, 3, fixtureOpts{
+		mutatePolicy: func(p *group.Policy) { p.Alpha = 0.5 },
+		clientOpts: func(idx int, o *Options) {
+			if idx == 1 {
+				o.Interdict = malform
+			}
+		},
+	})
+	f.runUntilRound(6, 3_000_000)
+
+	if n := f.misbehaviorCount("malformed", f.clients[1].ID()); n == 0 {
+		t.Fatalf("malformed frames never attributed; violations: %v", f.violations())
+	}
+	if got := f.servers[0].Round(); got <= 6 {
+		t.Fatalf("rounds did not heal after the malform window: at %d", got)
+	}
+}

@@ -354,6 +354,8 @@ func (s *Server) finishBlameShuffle(now time.Time) (*Output, error) {
 	if b.acc == nil {
 		// No valid accusation survived (victim squashed or none sent):
 		// resume rounds; the victim will re-request (§3.9).
+		s.log.Info("blame shuffle carried no valid accusation",
+			"round", s.roundNum, "blame_session", b.session)
 		return s.blameVerdict(now, group.NodeID{}, 0)
 	}
 	b.phase = bpTrace
@@ -461,9 +463,12 @@ func (s *Server) maybeEvaluateTrace(now time.Time) (*Output, error) {
 	}
 	hist := s.history[b.acc.round]
 	if hist == nil {
-		// History evicted (or never recorded — an adopted post-restart
-		// round): the accusation cannot be traced. Close inconclusively;
-		// the victim re-accuses on a traceable round.
+		// History never recorded — an adopted post-restart round (live
+		// rounds stay pinned while a blame session is open): the
+		// accusation cannot be traced. Close inconclusively; the victim
+		// re-accuses on a traceable round.
+		s.log.Info("blame trace lacks round history",
+			"round", s.roundNum, "accused_round", b.acc.round, "blame_session", b.session)
 		return s.blameVerdict(now, group.NodeID{}, 0)
 	}
 	k := b.acc.bit
@@ -656,20 +661,15 @@ func (s *Server) persistBlameTranscript(b *blameState, culprit group.NodeID, ver
 	if s.store == nil {
 		return
 	}
-	var e encBuf
-	e.U64(s.roundNum)
-	e.U8(verdict)
-	e.Bytes(culprit[:])
+	t := &BlameTranscript{Round: s.roundNum, Verdict: verdict, Culprit: culprit}
 	if b.acc != nil {
-		e.U8(1)
-		e.U64(b.acc.round)
-		e.U32(uint32(b.acc.slot))
-		e.U32(uint32(b.acc.bit))
-	} else {
-		e.U8(0)
+		t.HasAccusation = true
+		t.AccRound = b.acc.round
+		t.AccSlot = uint32(b.acc.slot)
+		t.AccBit = uint32(b.acc.bit)
 	}
 	key := fmt.Sprintf("%010d", b.session)
-	if err := s.store.Put(bucketBlame, key, e.B); err != nil {
+	if err := s.store.Put(bucketBlame, key, t.Encode()); err != nil {
 		s.log.Error("blame transcript persist failed", "blame_session", b.session, "err", err)
 	}
 	s.persistSnapshot()

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"dissent/internal/group"
+)
+
+// BlameTranscript is the durable record of one closed blame session:
+// the verdict, the culprit (zero for inconclusive sessions), and — when
+// tracing got that far — the accusation that drove it. Servers persist
+// one per session in the state store's "blame" bucket (see
+// persistBlameTranscript) so an operator or a restarted node can audit
+// why a member is excluded.
+type BlameTranscript struct {
+	// Round is the server's round number when the session closed.
+	Round uint64
+	// Verdict is 0 (inconclusive), 1 (client expelled), or 2 (server
+	// exposed).
+	Verdict byte
+	// Culprit names the member the verdict fell on (zero when
+	// inconclusive).
+	Culprit group.NodeID
+	// HasAccusation reports whether tracing reached a valid
+	// accusation; the Acc fields below are meaningful only then.
+	HasAccusation bool
+	AccRound      uint64
+	AccSlot       uint32
+	AccBit        uint32
+}
+
+// Encode renders the transcript in the persisted wire form.
+func (t *BlameTranscript) Encode() []byte {
+	var e encBuf
+	e.U64(t.Round)
+	e.U8(t.Verdict)
+	e.Bytes(t.Culprit[:])
+	if t.HasAccusation {
+		e.U8(1)
+		e.U64(t.AccRound)
+		e.U32(t.AccSlot)
+		e.U32(t.AccBit)
+	} else {
+		e.U8(0)
+	}
+	return e.B
+}
+
+// DecodeBlameTranscript parses a persisted blame transcript. It never
+// panics on hostile input: every field read is bounds-checked, the
+// culprit must be exactly one node ID wide, the accusation flag must
+// be 0 or 1, and trailing bytes are rejected.
+func DecodeBlameTranscript(b []byte) (*BlameTranscript, error) {
+	d := decBuf{B: b}
+	t := &BlameTranscript{}
+	var err error
+	if t.Round, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if t.Verdict, err = d.U8(); err != nil {
+		return nil, err
+	}
+	if t.Verdict > 2 {
+		return nil, fmt.Errorf("core: blame transcript verdict %d out of range", t.Verdict)
+	}
+	culprit, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(culprit) != len(t.Culprit) {
+		return nil, fmt.Errorf("core: blame transcript culprit length %d, want %d", len(culprit), len(t.Culprit))
+	}
+	copy(t.Culprit[:], culprit)
+	hasAcc, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	switch hasAcc {
+	case 0:
+	case 1:
+		t.HasAccusation = true
+		if t.AccRound, err = d.U64(); err != nil {
+			return nil, err
+		}
+		if t.AccSlot, err = d.U32(); err != nil {
+			return nil, err
+		}
+		if t.AccBit, err = d.U32(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: blame transcript accusation flag %d", hasAcc)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BlameTranscripts decodes every persisted blame transcript from a
+// state store in session order. Undecodable records are skipped — the
+// store may hold records from a newer version — rather than failing
+// the whole listing.
+func BlameTranscripts(st StateStore) []*BlameTranscript {
+	if st == nil {
+		return nil
+	}
+	var out []*BlameTranscript
+	for _, key := range st.List(bucketBlame) {
+		raw, ok := st.Get(bucketBlame, key)
+		if !ok {
+			continue
+		}
+		t, err := DecodeBlameTranscript(raw)
+		if err != nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

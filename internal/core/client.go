@@ -39,7 +39,10 @@ type clientRound struct {
 	// (duplicate submissions drop), and for a round that retired while we
 	// were unreachable it elicits the retained certified output — the
 	// catch-up ladder a client behind the group climbs back up on.
-	sub *Message
+	// resendAt/resendN drive the resend backoff.
+	sub      *Message
+	resendAt time.Time
+	resendN  int
 }
 
 // Client is the Dissent client engine (Algorithm 1). Applications
@@ -114,6 +117,9 @@ type Client struct {
 
 	witness          *witnessInfo
 	accusedInSession int32
+
+	// retry is the resolved stale-submission resend backoff.
+	retry RetryPolicy
 }
 
 // NewClient builds a client engine for the given identity key.
@@ -143,6 +149,11 @@ func NewClient(def *group.Definition, kp *crypto.KeyPair, opts Options) (*Client
 	if c.depth < 1 {
 		c.depth = 1
 	}
+	var retry RetryPolicy
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
+	c.retry = retry.withDefaults(submitResendInterval)
 	return c, nil
 }
 
@@ -228,7 +239,9 @@ func (c *Client) Start(now time.Time) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}, nil
+	out := &Output{Send: []Envelope{{To: c.upstream, Msg: m}}}
+	c.applyInterdict(out)
+	return out, nil
 }
 
 func (c *Client) serverIdentityKeys() []crypto.Element {
@@ -237,6 +250,15 @@ func (c *Client) serverIdentityKeys() []crypto.Element {
 
 // Handle processes one incoming message.
 func (c *Client) Handle(now time.Time, m *Message) (*Output, error) {
+	out, err := c.dispatch(now, m)
+	if err != nil {
+		return out, err
+	}
+	c.applyInterdict(out)
+	return out, nil
+}
+
+func (c *Client) dispatch(now time.Time, m *Message) (*Output, error) {
 	switch m.Type {
 	case MsgSchedule:
 		return c.onSchedule(now, m)
@@ -290,10 +312,23 @@ func (c *Client) Tick(now time.Time) (*Output, error) {
 		}, nil
 	}
 	if c.ready && !c.awaitingBlame && !c.expelled && len(c.inflight) > 0 {
-		out := &Output{Timer: now.Add(submitResendInterval)}
-		if cr := c.inflight[0]; cr.sub != nil && now.Sub(cr.start) >= submitResendInterval {
-			out.Send = append(out.Send, Envelope{To: c.upstream, Msg: cr.sub})
+		cr := c.inflight[0]
+		if cr.resendAt.IsZero() {
+			cr.resendAt = cr.start.Add(c.retry.delay(0, c.retrySeed^cr.r))
 		}
+		out := &Output{Timer: cr.resendAt}
+		if !now.Before(cr.resendAt) {
+			// Reschedule past due timers even when there is nothing to
+			// resend yet (a round inflight before its submission is
+			// built), so the returned timer is always in the future.
+			if cr.sub != nil {
+				out.Send = append(out.Send, Envelope{To: c.upstream, Msg: cr.sub})
+			}
+			cr.resendN++
+			cr.resendAt = now.Add(c.retry.delay(cr.resendN, c.retrySeed^cr.r))
+			out.Timer = cr.resendAt
+		}
+		c.applyInterdict(out)
 		return out, nil
 	}
 	return &Output{}, nil
@@ -494,6 +529,20 @@ func (c *Client) submitRound(now time.Time) (*Output, error) {
 }
 
 func (c *Client) submitVector(now time.Time, cr *clientRound, vec []byte) (*Output, error) {
+	// Adversary injection (slot jamming): mutate the cleartext vector
+	// before the pads go on and the submission is signed, so the
+	// tampering rides a perfectly well-formed, authentic submission.
+	if c.interdict != nil && c.interdict.Vector != nil {
+		ahead := c.pendingAhead(cr.r)
+		c.interdict.Vector(VectorInfo{
+			Round:    cr.r,
+			OwnSlot:  c.mySlot,
+			NumSlots: c.sched.NumSlots(),
+			SlotRange: func(slot int) (int, int) {
+				return c.sched.AheadSlotRangeUpTo(slot, ahead)
+			},
+		}, vec)
+	}
 	// Build the ciphertext into a pooled buffer, using the streams
 	// prepared during the previous idle window when they match this
 	// round (pairwise seeds never change with the roster, so a round
@@ -521,16 +570,19 @@ func (c *Client) submitVector(now time.Time, cr *clientRound, vec []byte) (*Outp
 		return nil, err
 	}
 	cr.sub = m
+	cr.resendN = 0
+	cr.resendAt = now.Add(c.retry.delay(0, c.retrySeed^cr.r))
 	// Idle-window prefetch: build the next round's streams while the
 	// network is the bottleneck.
 	c.nextStreams = c.pad.Prepare(c.serverSeeds, cr.r+1)
 	// The timer sustains the stale-submission resend loop (Tick): if the
-	// round goes uncertified past the interval — lost frame, or a round
-	// the group certified while our upstream was down — the resend either
-	// drops as a duplicate or pulls back the retained certified output.
+	// round goes uncertified past the backoff delay — lost frame, or a
+	// round the group certified while our upstream was down — the resend
+	// either drops as a duplicate or pulls back the retained certified
+	// output.
 	return &Output{
 		Send:  []Envelope{{To: c.upstream, Msg: m}},
-		Timer: now.Add(submitResendInterval),
+		Timer: cr.resendAt,
 	}, nil
 }
 
@@ -685,12 +737,19 @@ func (c *Client) onOutput(now time.Time, m *Message) (*Output, error) {
 		off, n := c.sched.SlotRange(c.mySlot)
 		got := p.Cleartext[off : off+n]
 		if !bytes.Equal(got, cr.sentSlot) {
-			if c.witness == nil {
-				if bit := findWitnessBit(cr.sentSlot, got); bit >= 0 {
-					c.witness = &witnessInfo{round: m.Round, bit: bit}
+			if bit := findWitnessBit(cr.sentSlot, got); bit >= 0 {
+				if c.witness == nil {
 					out.Events = append(out.Events, Event{Kind: EventDisruptionDetected, Round: m.Round,
 						Detail: fmt.Sprintf("slot %d bit %d", c.mySlot, bit)})
 				}
+				// Always witness the NEWEST disrupted round. Servers evict
+				// trace history after RetainRounds, so under a continuous
+				// disruptor an accusation pinned to the first disruption
+				// goes stale: every shuffle squashes it, every verdict is
+				// inconclusive, and the blame path livelocks. Refreshing
+				// keeps the accused round within the servers' retention
+				// window however long the accusation takes to be carried.
+				c.witness = &witnessInfo{round: m.Round, bit: bit}
 			}
 			// Whatever the cause — a disruptor's flips, or a round that
 			// certified on an attempt excluding us (our upstream server

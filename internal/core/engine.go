@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"log/slog"
@@ -64,6 +65,14 @@ const (
 	// server (the forced re-sync after a schedule-digest mismatch or a
 	// catch-up past the retained roster history).
 	EventReplicaResynced
+	// EventMisbehavior fires when a server attributes a protocol
+	// violation to a specific roster member: Culprit names the peer
+	// and Detail is "<kind>: <cause>", where kind is a stable label
+	// (bad-signature, malformed, equivocation, bad-certificate,
+	// withholding, replay, flood, escalated). Repeated misbehavior
+	// past the escalation threshold queues a client for certified
+	// removal at the next epoch boundary.
+	EventMisbehavior
 )
 
 func (k EventKind) String() string {
@@ -96,6 +105,8 @@ func (k EventKind) String() string {
 		return "state-restored"
 	case EventReplicaResynced:
 		return "replica-resynced"
+	case EventMisbehavior:
+		return "misbehavior"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -225,6 +236,12 @@ type node struct {
 	// handler when the embedder injects none).
 	trace func(obs.RoundTrace)
 	log   *slog.Logger
+
+	// interdict is the adversary-injection hook (nil on honest nodes);
+	// retrySeed feeds the retransmission policy's deterministic jitter,
+	// derived from the node identity so peers decorrelate.
+	interdict *Interdict
+	retrySeed uint64
 }
 
 func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
@@ -254,6 +271,8 @@ func newNode(def *group.Definition, kp *crypto.KeyPair, opts Options) node {
 		trace:   opts.OnRoundTrace,
 		log:     logger,
 	}
+	n.interdict = opts.Interdict
+	n.retrySeed = binary.BigEndian.Uint64(n.id[:8])
 	if def.Policy.BeaconEpochRounds > 0 {
 		pubs := def.ServerPubKeys()
 		genesis := beacon.GenesisValue(n.grpID)
@@ -355,6 +374,19 @@ type Options struct {
 	// is part of the replicated state. The pipeline drains to empty at
 	// epoch boundaries and before accusation shuffles.
 	PipelineDepth int
+	// Retry tunes the unified retransmission backoff applied to the
+	// servers' round-phase and roster-phase rebroadcasts and the
+	// clients' stale-submission resend. nil (or the zero value) keeps
+	// the engines' legacy first-retry delays — 8×Policy.WindowMin at
+	// servers, 2 s at clients — and adds capped exponential backoff
+	// with deterministic jitter on top, so sustained loss or a wedged
+	// peer triggers a decaying retransmit stream instead of a fixed-
+	// period storm.
+	Retry *RetryPolicy
+	// Interdict installs the adversary-injection hook (see Interdict).
+	// Robustness tests and the internal/adversary catalog use it to
+	// script byzantine members; production nodes leave it nil.
+	Interdict *Interdict
 	// OnRoundTrace, when non-nil, receives one obs.RoundTrace per
 	// completed round — the engine's phase timestamps as a span record.
 	// It runs on the engine's calling goroutine and must be fast and

@@ -32,6 +32,9 @@ type fixtureOpts struct {
 	// per-server StateStore for restart tests). idx is the definition
 	// index.
 	serverOpts func(idx int, o *Options)
+	// clientOpts adjusts one client's options after mutateOpts (e.g. an
+	// Interdict for a scripted byzantine client).
+	clientOpts func(idx int, o *Options)
 	// wrapServer/wrapClient substitute a (possibly malicious) engine
 	// for the node at the given definition index.
 	wrapServer func(idx int, s *Server) Engine
@@ -115,7 +118,11 @@ func newFixture(t testing.TB, m, n int, fo fixtureOpts) *fixture {
 		f.h.AddNode(mem.ID, eng, 0)
 	}
 	for i, mem := range def.Clients {
-		cl, err := NewClient(def, kpByID[mem.ID], opts)
+		cliOpts := opts
+		if fo.clientOpts != nil {
+			fo.clientOpts(i, &cliOpts)
+		}
+		cl, err := NewClient(def, kpByID[mem.ID], cliOpts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -395,13 +395,8 @@ type rosterState struct {
 	update   *group.RosterUpdate
 	sigs     map[int][]byte
 	resendAt time.Time // next propose/cert rebroadcast while stuck
+	resendN  int       // rebroadcasts so far (drives the backoff)
 }
-
-// rosterResendFactor scales Policy.WindowMin into the roster phase's
-// rebroadcast interval: peers deduplicate, so re-sending our proposal
-// and certificate heals a lost frame instead of wedging every member
-// until the session dies.
-const rosterResendFactor = 8
 
 // Admit pre-approves an identity key (its canonical encoding) for
 // admission: a JoinRequest bearing it is accepted even when the policy
@@ -768,7 +763,7 @@ func (s *Server) startRoster(now time.Time) (*Output, error) {
 		version:  s.def.Version + 1,
 		props:    make(map[int]*RosterPropose),
 		sigs:     make(map[int][]byte),
-		resendAt: now.Add(rosterResendFactor * s.def.Policy.WindowMin),
+		resendAt: now.Add(s.retry.delay(0, s.retrySeed^(s.def.Version+1))),
 	}
 	prop := s.buildProposal()
 	out := &Output{Timer: s.roster.resendAt}
@@ -787,7 +782,9 @@ func (s *Server) startRoster(now time.Time) (*Output, error) {
 // rosterTick rebroadcasts this server's proposal (and certificate,
 // once built) while the roster phase is stuck waiting on peers: with
 // duplicate-dropping receivers this is idempotent, and it restores
-// liveness after a lost propose/cert frame.
+// liveness after a lost propose/cert frame. Retries follow the unified
+// retransmission backoff, so a dead peer draws a decaying rebroadcast
+// stream rather than a fixed-period storm.
 func (s *Server) rosterTick(now time.Time) (*Output, error) {
 	r := s.roster
 	if s.phase != phaseRoster || r == nil {
@@ -796,7 +793,8 @@ func (s *Server) rosterTick(now time.Time) (*Output, error) {
 	if now.Before(r.resendAt) {
 		return &Output{Timer: r.resendAt}, nil
 	}
-	r.resendAt = now.Add(rosterResendFactor * s.def.Policy.WindowMin)
+	r.resendN++
+	r.resendAt = now.Add(s.retry.delay(r.resendN, s.retrySeed^r.version))
 	out := &Output{Timer: r.resendAt}
 	if prop := r.props[s.idx]; prop != nil {
 		if err := s.broadcastServers(MsgRosterPropose, s.roundNum, prop.Encode(), out); err != nil {
@@ -1777,6 +1775,11 @@ func NewJoinerClient(def *group.Definition, kp *crypto.KeyPair, advertiseAddr st
 	if c.depth < 1 {
 		c.depth = 1
 	}
+	var retry RetryPolicy
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
+	c.retry = retry.withDefaults(submitResendInterval)
 	return c, nil
 }
 

@@ -19,11 +19,50 @@ import (
 // reopen decision is deterministic across servers (§3.7).
 const maxAttempts = 3
 
-// roundResendFactor scales Policy.WindowMin into the round's
-// server-phase retransmission period, mirroring rosterResendFactor: on
-// the healthy fast path rounds certify well inside one period, so the
-// timer never fires.
-const roundResendFactor = 8
+// serverRetryBase scales Policy.WindowMin into the first retry delay
+// of the server's retransmission backoff (rounds and roster phases
+// alike): on the healthy fast path rounds certify well inside one
+// period, so the timer never fires. Subsequent retries back off per
+// the resolved RetryPolicy.
+const serverRetryBase = 8
+
+// misbehaviorEscalateThreshold is how many attributed violations a
+// member may accumulate before this server escalates: a client
+// crossing it is queued for removal in the next certified roster
+// update (any single server's pending removals propagate through the
+// all-server proposal union), so repeated disruption guarantees
+// expulsion even when no single incident reaches a blame verdict.
+// Servers past the threshold are reported but cannot be removed — the
+// anytrust server set is fixed at genesis.
+const misbehaviorEscalateThreshold = 8
+
+// dupFloodAllowance is how many identical duplicates of one client's
+// round submission a server tolerates before attributing a replay
+// flood. Honest resend loops are capped well below it by the
+// retransmission backoff; only deliberate replay crosses it.
+const dupFloodAllowance = 8
+
+// withholdSuspectAfter is the retransmission attempt at which a round
+// wedged in a server-server phase attributes withholding to the peers
+// whose contributions are still missing. The first retries are
+// ordinary loss recovery; by the third the silence is deliberate or
+// indistinguishable from it.
+const withholdSuspectAfter = 3
+
+// stashMaxBytes bounds the total body bytes buffered for early
+// messages, alongside the per-message count cap: a flooding adversary
+// can otherwise grow the stash to arbitrary memory with large frames
+// that never replay.
+const stashMaxBytes = 8 << 20
+
+// peerRecord is one member's misbehavior ledger at this server. The
+// map is keyed by roster identity — only verified members are
+// attributable — so its size is bounded by the roster.
+type peerRecord struct {
+	kinds     map[string]int
+	total     int
+	escalated bool
+}
 
 // serverPhase tracks a server's top-level protocol phase.
 type serverPhase int
@@ -93,7 +132,15 @@ type roundState struct {
 	// restores liveness after a partition heals without waiting out the
 	// hard timeout.
 	resendAt time.Time
+	resendN  int // retransmissions so far (drives the backoff)
 	casts    []castMsg
+
+	// dups counts identical duplicate submissions per client this
+	// round; past dupFloodAllowance the excess is attributed as a
+	// replay flood. suspected marks peers already attributed for
+	// withholding this round, so the wedge check fires once per peer.
+	dups      map[int]int
+	suspected map[int]bool
 
 	// Phase timestamps/durations for the round's trace span: the final
 	// window close, cumulative critical-path pad and combine work, when
@@ -289,8 +336,16 @@ type Server struct {
 
 	// stash buffers messages that arrived ahead of our local phase
 	// (e.g. a peer's inventory for round r+1 while we still certify r);
-	// they replay after each state transition.
-	stash []*Message
+	// they replay after each state transition. stashBytes tracks the
+	// buffered body bytes against stashMaxBytes.
+	stash      []*Message
+	stashBytes int
+
+	// retry is the resolved retransmission backoff policy;
+	// misbehavior is the per-member violation ledger (bounded by the
+	// roster: only verified members are attributable).
+	retry       RetryPolicy
+	misbehavior map[group.NodeID]*peerRecord
 
 	// Test hooks, nil in production: testCorruptShare lets a test
 	// server disrupt the channel by mutating its ciphertext before
@@ -356,7 +411,25 @@ func NewServer(def *group.Definition, kp, msgKP *crypto.KeyPair, opts Options) (
 	s.joinedAt = make(map[group.NodeID]uint64)
 	s.welcomeSent = make(map[group.NodeID]time.Time)
 	s.pairSeedFn = opts.PairSeed
+	s.misbehavior = make(map[group.NodeID]*peerRecord)
+	var retry RetryPolicy
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
+	s.retry = retry.withDefaults(serverRetryBase * def.Policy.WindowMin)
 	return s, nil
+}
+
+// MisbehaviorCounts returns a copy of the server's per-kind
+// misbehavior tallies across all attributed peers.
+func (s *Server) MisbehaviorCounts() map[string]int {
+	out := make(map[string]int)
+	for _, rec := range s.misbehavior {
+		for k, n := range rec.kinds {
+			out[k] += n
+		}
+	}
+	return out
 }
 
 // ID returns the server's node ID.
@@ -404,6 +477,7 @@ func (s *Server) Handle(now time.Time, m *Message) (*Output, error) {
 	if err := s.drainStash(now, out); err != nil {
 		return out, err
 	}
+	s.applyInterdict(out)
 	return out, nil
 }
 
@@ -413,6 +487,7 @@ func (s *Server) drainStash(now time.Time, out *Output) error {
 	for len(s.stash) > 0 {
 		pending := s.stash
 		s.stash = nil
+		s.stashBytes = 0
 		for _, pm := range pending {
 			o, err := s.dispatch(now, pm)
 			if err != nil {
@@ -427,13 +502,17 @@ func (s *Server) drainStash(now time.Time, out *Output) error {
 	return nil
 }
 
-// stashMsg buffers an early message for replay, bounding memory.
+// stashMsg buffers an early message for replay, bounding both message
+// count and total body bytes so a flooding peer cannot grow the stash
+// to arbitrary memory.
 func (s *Server) stashMsg(m *Message) *Output {
 	const stashCap = 4096
-	if len(s.stash) >= stashCap {
-		return s.violation(m.Round, fmt.Errorf("stash overflow dropping %s from %s", m.Type, m.From))
+	if len(s.stash) >= stashCap || s.stashBytes+len(m.Body) > stashMaxBytes {
+		return s.misbehave(m.Round, m.From, "flood",
+			fmt.Errorf("stash overflow dropping %s from %s", m.Type, m.From))
 	}
 	s.stash = append(s.stash, m)
+	s.stashBytes += len(m.Body)
 	return &Output{}
 }
 
@@ -510,6 +589,7 @@ func (s *Server) Tick(now time.Time) (*Output, error) {
 	if err := s.drainStash(now, out); err != nil {
 		return out, err
 	}
+	s.applyInterdict(out)
 	return out, nil
 }
 
@@ -534,7 +614,8 @@ func (s *Server) broadcastServers(t MsgType, round uint64, body []byte, out *Out
 // them.
 func (s *Server) castServers(now time.Time, rs *roundState, t MsgType, body []byte, out *Output) error {
 	rs.casts = append(rs.casts, castMsg{t: t, body: body})
-	rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
+	rs.resendN = 0
+	rs.resendAt = now.Add(s.retry.delay(0, s.retrySeed^rs.r))
 	out.merge(&Output{Timer: rs.resendAt})
 	return s.broadcastServers(t, rs.r, body, out)
 }
@@ -1112,7 +1193,7 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil // too late for this round
 	}
 	if err := s.verify(m, false); err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "bad-signature", err), nil
 	}
 	ci := s.def.ClientIndex(m.From)
 	if s.excluded[ci] {
@@ -1120,12 +1201,30 @@ func (s *Server) onClientSubmit(now time.Time, m *Message) (*Output, error) {
 	}
 	p, err := DecodeClientSubmit(m.Body)
 	if err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "malformed", err), nil
 	}
 	if len(p.CT) != rs.vecLen {
-		return s.violation(rs.r, fmt.Errorf("client %d ciphertext length %d, want %d", ci, len(p.CT), rs.vecLen)), nil
+		return s.misbehave(rs.r, m.From, "malformed",
+			fmt.Errorf("client %d ciphertext length %d, want %d", ci, len(p.CT), rs.vecLen)), nil
 	}
 	if _, dup := rs.subs[ci]; dup {
+		// A duplicate is usually an honest retransmission and drops
+		// silently — but two *distinct* signed submissions for one
+		// round are provable equivocation, and a stream of identical
+		// duplicates past the allowance is a replay flood (honest
+		// resend loops are capped far below it by the backoff).
+		if !bytes.Equal(rs.cts[ci], p.CT) {
+			return s.misbehave(rs.r, m.From, "equivocation",
+				fmt.Errorf("client %d submitted two distinct ciphertexts for round %d", ci, rs.r)), nil
+		}
+		if rs.dups == nil {
+			rs.dups = make(map[int]int)
+		}
+		rs.dups[ci]++
+		if rs.dups[ci] > dupFloodAllowance {
+			return s.misbehave(rs.r, m.From, "replay",
+				fmt.Errorf("client %d replayed round %d submission %d times", ci, rs.r, rs.dups[ci])), nil
+		}
 		return &Output{}, nil
 	}
 	rs.subs[ci] = m
@@ -1206,12 +1305,19 @@ func (s *Server) roundTick(now time.Time) (*Output, error) {
 				out.merge(&Output{Timer: rs.resendAt})
 				continue
 			}
-			rs.resendAt = now.Add(roundResendFactor * s.def.Policy.WindowMin)
+			rs.resendN++
+			rs.resendAt = now.Add(s.retry.delay(rs.resendN, s.retrySeed^rs.r))
 			out.merge(&Output{Timer: rs.resendAt})
 			for _, c := range rs.casts {
 				if err := s.broadcastServers(c.t, rs.r, c.body, out); err != nil {
 					return nil, err
 				}
+			}
+			// A round still wedged after several retries is being
+			// withheld from: attribute the silence to the peers whose
+			// phase contribution is missing (once per peer per round).
+			if rs.resendN >= withholdSuspectAfter {
+				out.merge(s.suspectWithholding(rs))
 			}
 		}
 	}
@@ -1280,11 +1386,11 @@ func (s *Server) onInventory(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "bad-signature", err), nil
 	}
 	p, err := DecodeInventory(m.Body)
 	if err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "malformed", err), nil
 	}
 	if p.Attempt != rs.attempt {
 		if p.Attempt > maxAttempts && p.Attempt > rs.attempt {
@@ -1404,6 +1510,9 @@ func (s *Server) maybeCommit(now time.Time, rs *roundState) (*Output, error) {
 	if s.testCorruptShare != nil {
 		s.testCorruptShare(rs.r, share)
 	}
+	if s.interdict != nil && s.interdict.Share != nil {
+		s.interdict.Share(rs.r, share)
+	}
 	rs.myShare = share
 	rs.phase = rpCommit
 
@@ -1441,14 +1550,21 @@ func (s *Server) onCommit(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "bad-signature", err), nil
 	}
 	p, err := DecodeCommit(m.Body)
-	if err != nil || p.Attempt != rs.attempt {
+	if err != nil {
+		return s.misbehave(rs.r, m.From, "malformed", err), nil
+	}
+	if p.Attempt != rs.attempt {
 		return &Output{}, nil
 	}
 	si := s.def.ServerIndex(m.From)
-	if _, dup := rs.commits[si]; dup {
+	if prev, dup := rs.commits[si]; dup {
+		if !bytes.Equal(prev, p.Hash) {
+			return s.misbehave(rs.r, m.From, "equivocation",
+				fmt.Errorf("server %d sent two distinct commitments for round %d", si, rs.r)), nil
+		}
 		return &Output{}, nil
 	}
 	rs.commits[si] = p.Hash
@@ -1486,14 +1602,21 @@ func (s *Server) onShare(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "bad-signature", err), nil
 	}
 	p, err := DecodeShare(m.Body)
-	if err != nil || p.Attempt != rs.attempt {
+	if err != nil {
+		return s.misbehave(rs.r, m.From, "malformed", err), nil
+	}
+	if p.Attempt != rs.attempt {
 		return &Output{}, nil
 	}
 	si := s.def.ServerIndex(m.From)
-	if _, dup := rs.shares[si]; dup {
+	if prev, dup := rs.shares[si]; dup {
+		if !bytes.Equal(prev, p.CT) {
+			return s.misbehave(rs.r, m.From, "equivocation",
+				fmt.Errorf("server %d sent two distinct shares for round %d", si, rs.r)), nil
+		}
 		return &Output{}, nil
 	}
 	rs.shares[si] = p.CT
@@ -1512,7 +1635,12 @@ func (s *Server) maybeCombine(now time.Time, rs *roundState) (*Output, error) {
 		want := rs.commits[si]
 		got := crypto.Hash("dissent/share-commit", rs.shares[si])
 		if !bytes.Equal(want, got) {
-			return s.violation(rs.r, fmt.Errorf("server %d share does not match its commitment", si)), nil
+			// The share this server distributed is not the one it
+			// committed to: ciphertext equivocation (every honest peer
+			// compares against the same broadcast commitment, so all
+			// reach this verdict for the same sender).
+			return s.misbehave(rs.r, s.def.Servers[si].ID, "equivocation",
+				fmt.Errorf("server %d share does not match its commitment", si)), nil
 		}
 	}
 	if s.beaconChain != nil {
@@ -1575,10 +1703,13 @@ func (s *Server) onCertify(now time.Time, m *Message) (*Output, error) {
 		return &Output{}, nil
 	}
 	if err := s.verify(m, true); err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "bad-signature", err), nil
 	}
 	p, err := DecodeCertify(m.Body)
-	if err != nil || p.Attempt > rs.attempt {
+	if err != nil {
+		return s.misbehave(rs.r, m.From, "malformed", err), nil
+	}
+	if p.Attempt > rs.attempt {
 		return &Output{}, nil
 	}
 	if rs.phase < rpCertify {
@@ -1593,11 +1724,12 @@ func (s *Server) onCertify(now time.Time, m *Message) (*Output, error) {
 	si := s.def.ServerIndex(m.From)
 	sig, err := crypto.DecodeSignature(s.keyGrp, p.Sig)
 	if err != nil {
-		return s.violation(rs.r, err), nil
+		return s.misbehave(rs.r, m.From, "bad-certificate", err), nil
 	}
 	if err := crypto.Verify(s.keyGrp, s.def.Servers[si].PubKey, "dissent/cleartext",
 		cleartextSignedBytes(s.grpID, rs.r, len(rs.included), rs.cleartext, beaconValueBytes(rs.beaconEntry)), sig); err != nil {
-		return s.violation(rs.r, fmt.Errorf("server %d certify: %w", si, err)), nil
+		return s.misbehave(rs.r, m.From, "bad-certificate",
+			fmt.Errorf("server %d certify: %w", si, err)), nil
 	}
 	if _, dup := rs.certs[si]; dup {
 		return &Output{}, nil
@@ -1708,12 +1840,22 @@ func (s *Server) maybeOutput(now time.Time, rs *roundState) (*Output, error) {
 		hist.slotOff[i], hist.slotLen[i] = s.sched.SlotRange(i)
 	}
 	s.history[rs.r] = hist
-	if old := rs.r; old >= uint64(s.def.Policy.RetainRounds) {
-		evict := old - uint64(s.def.Policy.RetainRounds)
-		if h := s.history[evict]; h != nil {
-			s.bufs.put(h.ownShare)
-			s.bufs.put(h.ownCleartext)
-			delete(s.history, evict)
+	// Evict everything older than the retention window — but never
+	// while an accusation shuffle is open: the accusation names its
+	// round only when the shuffle finishes, and evicting it mid-session
+	// squashes the accusation into an inconclusive verdict (and, under
+	// a continuous disruptor, a re-accuse livelock). Rounds mostly hold
+	// during blame, so the map outgrows RetainRounds by at most the
+	// in-flight pipeline depth; the first post-verdict completion
+	// sweeps the backlog.
+	if s.blame == nil && rs.r >= uint64(s.def.Policy.RetainRounds) {
+		floor := rs.r - uint64(s.def.Policy.RetainRounds)
+		for rnd, h := range s.history {
+			if rnd <= floor {
+				s.bufs.put(h.ownShare)
+				s.bufs.put(h.ownCleartext)
+				delete(s.history, rnd)
+			}
 		}
 	}
 
@@ -1828,6 +1970,73 @@ func (s *Server) emitRoundTrace(now time.Time, rs *roundState) {
 // violation wraps a protocol violation into an event output.
 func (s *Server) violation(round uint64, err error) *Output {
 	return &Output{Events: []Event{{Kind: EventProtocolViolation, Round: round, Detail: err.Error()}}}
+}
+
+// misbehave records an attributed protocol violation against a roster
+// member and emits EventMisbehavior ("<kind>: <cause>"). A client
+// accumulating misbehaviorEscalateThreshold attributed violations is
+// queued for removal in the next certified roster update — the
+// guaranteed escalation path for disruption that never produces a
+// single blame-traceable incident. Unattributable senders (not in the
+// roster) fall back to a plain violation event; the ledger only ever
+// holds verified member identities, so its memory is roster-bounded.
+func (s *Server) misbehave(round uint64, from group.NodeID, kind string, err error) *Output {
+	if s.def.ServerIndex(from) < 0 && s.def.ClientIndex(from) < 0 {
+		return s.violation(round, err)
+	}
+	rec := s.misbehavior[from]
+	if rec == nil {
+		rec = &peerRecord{kinds: make(map[string]int)}
+		s.misbehavior[from] = rec
+	}
+	rec.kinds[kind]++
+	rec.total++
+	s.log.Warn("misbehavior observed", "peer", from, "kind", kind,
+		"count", rec.total, "round", round, "err", err)
+	out := &Output{Events: []Event{{Kind: EventMisbehavior, Round: round, Culprit: from,
+		Detail: kind + ": " + err.Error()}}}
+	if rec.total >= misbehaviorEscalateThreshold && !rec.escalated {
+		if ci := s.def.ClientIndex(from); ci >= 0 && s.churnEnabled() && !s.excluded[ci] {
+			rec.escalated = true
+			s.pendingRemove[ci] = true
+			s.log.Warn("misbehavior threshold crossed; client queued for certified removal",
+				"peer", from, "violations", rec.total)
+			out.Events = append(out.Events, Event{Kind: EventMisbehavior, Round: round,
+				Culprit: from, Detail: fmt.Sprintf("escalated: %d violations, queued for removal", rec.total)})
+		}
+	}
+	return out
+}
+
+// suspectWithholding attributes a wedged server-server phase to the
+// peers whose contribution for the round's current phase is missing.
+func (s *Server) suspectWithholding(rs *roundState) *Output {
+	var has func(si int) bool
+	switch rs.phase {
+	case rpInventory:
+		has = func(si int) bool { _, ok := rs.invs[si]; return ok }
+	case rpCommit:
+		has = func(si int) bool { _, ok := rs.commits[si]; return ok }
+	case rpShare:
+		has = func(si int) bool { _, ok := rs.shares[si]; return ok }
+	case rpCertify:
+		has = func(si int) bool { _, ok := rs.certs[si]; return ok }
+	default:
+		return &Output{}
+	}
+	if rs.suspected == nil {
+		rs.suspected = make(map[int]bool)
+	}
+	out := &Output{}
+	for si := range s.def.Servers {
+		if si == s.idx || rs.suspected[si] || has(si) {
+			continue
+		}
+		rs.suspected[si] = true
+		out.merge(s.misbehave(rs.r, s.def.Servers[si].ID, "withholding",
+			fmt.Errorf("server %d silent in round %d phase %d after %d retries", si, rs.r, rs.phase, rs.resendN)))
+	}
+	return out
 }
 
 // sortedKeys returns the sorted keys of an int-keyed map.

@@ -30,9 +30,11 @@ type RoundTrace struct {
 	Certify time.Duration `json:"certify_ns"`
 	// Blame is the accusation-shuffle duration when one followed this
 	// round, annotated after the verdict; BlameVerdict carries the
-	// outcome ("client expelled", "server exposed", "inconclusive").
+	// outcome ("client expelled", "server exposed", "inconclusive") and
+	// BlameAccused the culprit's node ID (hex; empty when inconclusive).
 	Blame        time.Duration `json:"blame_ns,omitempty"`
 	BlameVerdict string        `json:"blame_verdict,omitempty"`
+	BlameAccused string        `json:"blame_accused,omitempty"`
 	// Total is round open to certified output.
 	Total time.Duration `json:"total_ns"`
 	// Participation is the certified include-set size; Stragglers counts

@@ -2,6 +2,8 @@ package dissent
 
 import (
 	"expvar"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +72,15 @@ type SessionMetrics struct {
 	// replacements from a certified snapshot (clients).
 	StateRestores  uint64 `json:"state_restores"`
 	ReplicaResyncs uint64 `json:"replica_resyncs"`
+	// BlameRounds counts accusation shuffles this session observed
+	// opening (blame is a round-schedule interruption, so this is also
+	// the count of rounds sacrificed to tracing).
+	BlameRounds uint64 `json:"blame_rounds"`
+	// Misbehavior counts attributed protocol offenses by kind (the
+	// EventMisbehavior detail prefix: bad-signature, malformed,
+	// equivocation, bad-certificate, withholding, replay, flood,
+	// escalated). Empty on sessions that never observed an offense.
+	Misbehavior map[string]uint64 `json:"misbehavior_observed,omitempty"`
 }
 
 // HostMetrics aggregates a Host's sessions, including totals carried
@@ -156,6 +167,47 @@ type counters struct {
 	joins, expels atomic.Uint64
 
 	restores, resyncs atomic.Uint64
+
+	blameRounds atomic.Uint64
+
+	// misbehavior counts attributed offenses by kind. The map is
+	// mutex-guarded (not atomic like its siblings): writes come one
+	// event at a time off the engine and reads are scrapes.
+	misMu       sync.Mutex
+	misbehavior map[string]uint64
+}
+
+// misbehaviorKind extracts the kind prefix from an EventMisbehavior
+// detail ("<kind>: <cause>").
+func misbehaviorKind(detail string) string {
+	if i := strings.IndexByte(detail, ':'); i > 0 {
+		return detail[:i]
+	}
+	return detail
+}
+
+func (c *counters) observeMisbehavior(kind string) {
+	c.misMu.Lock()
+	if c.misbehavior == nil {
+		c.misbehavior = make(map[string]uint64)
+	}
+	c.misbehavior[kind]++
+	c.misMu.Unlock()
+}
+
+// misbehaviorSnapshot copies the per-kind offense counts (nil when
+// none were observed).
+func (c *counters) misbehaviorSnapshot() map[string]uint64 {
+	c.misMu.Lock()
+	defer c.misMu.Unlock()
+	if len(c.misbehavior) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(c.misbehavior))
+	for k, v := range c.misbehavior {
+		out[k] = v
+	}
+	return out
 }
 
 // observe folds one engine event into the counters.
@@ -184,6 +236,10 @@ func (c *counters) observe(e Event) {
 		c.restores.Add(1)
 	case core.EventReplicaResynced:
 		c.resyncs.Add(1)
+	case core.EventBlameStarted:
+		c.blameRounds.Add(1)
+	case core.EventMisbehavior:
+		c.observeMisbehavior(misbehaviorKind(e.Detail))
 	}
 }
 
@@ -207,6 +263,8 @@ func (s *Session) Metrics() SessionMetrics {
 		RosterVersion:   s.RosterVersion(),
 		StateRestores:   s.stats.restores.Load(),
 		ReplicaResyncs:  s.stats.resyncs.Load(),
+		BlameRounds:     s.stats.blameRounds.Load(),
+		Misbehavior:     s.stats.misbehaviorSnapshot(),
 	}
 	m.PipelineDepth = s.cfg.pipelineDepth
 	if m.PipelineDepth < 1 {

@@ -226,6 +226,16 @@ func (h *Host) collectMetrics(w *obs.Writer) {
 		func(sm SessionMetrics) float64 { return float64(sm.PipelineDepth) })
 	perSession("dissent_rounds_in_flight", "gauge", "Current pipeline occupancy: rounds between window open and retirement.",
 		func(sm SessionMetrics) float64 { return float64(sm.RoundsInFlight) })
+	perSession("dissent_blame_rounds_total", "counter", "Accusation shuffles observed opening (rounds sacrificed to disruptor tracing).",
+		func(sm SessionMetrics) float64 { return float64(sm.BlameRounds) })
+
+	w.Family("dissent_misbehavior_observed_total", "counter", "Attributed protocol offenses by kind (EventMisbehavior detail prefix).")
+	for _, sm := range hm.PerSession {
+		ls := sessionLabels(sm)
+		for _, kind := range sortedKinds(sm.Misbehavior) {
+			w.Sample(ls.With("kind", kind), float64(sm.Misbehavior[kind]))
+		}
+	}
 
 	w.Family("dissent_pad_prefetch_total", "counter", "Rounds served from (hit) or without (miss) a prefetched server pad.")
 	for _, sm := range hm.PerSession {
@@ -311,6 +321,17 @@ func (h *Host) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// sortedKinds returns a misbehavior map's keys in stable order, so the
+// exposition does not jitter between scrapes.
+func sortedKinds(m map[string]uint64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

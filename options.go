@@ -2,6 +2,8 @@ package dissent
 
 import (
 	"log/slog"
+
+	"dissent/internal/core"
 )
 
 // Option tunes Node construction.
@@ -20,6 +22,8 @@ type nodeConfig struct {
 	logger        *slog.Logger
 	msgBuf        int
 	pipelineDepth int
+	retry         *core.RetryPolicy
+	interdict     *core.Interdict
 }
 
 // buildConfig folds the options over the defaults. onError and logger
@@ -123,6 +127,26 @@ func WithPipelineDepth(d int) Option {
 			c.pipelineDepth = d
 		}
 	}
+}
+
+// WithRetryPolicy overrides the engine's retransmission backoff — the
+// capped exponential-with-jitter discipline behind server round-phase
+// rebroadcasts, roster-phase rebroadcasts, and client stale-submission
+// resends. Zero fields keep their defaults (first retry at the
+// engine's legacy period, cap 8× that, factor 2, jitter 0.2). All
+// members may run different policies; only liveness, not correctness,
+// depends on them.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *nodeConfig) { c.retry = &p }
+}
+
+// WithInterdict installs a scripted byzantine behavior hook (see
+// Interdict and the internal adversary catalog behind the byzantine
+// harness scenarios): the node runs the honest protocol and the
+// interdict tampers with what it computes or sends. Robustness
+// harnesses only — production nodes must leave this unset.
+func WithInterdict(i *Interdict) Option {
+	return func(c *nodeConfig) { c.interdict = i }
 }
 
 // WithMessageBuffer sets the Messages() channel capacity (default

@@ -113,6 +113,8 @@ func newSessionShell(role Role, def *Group, cfg nodeConfig) (*Session, core.Opti
 		Logger:        logger,
 		OnRoundTrace:  s.onRoundTrace,
 		PipelineDepth: cfg.pipelineDepth,
+		Retry:         cfg.retry,
+		Interdict:     cfg.interdict,
 	}
 	if cfg.stateStore != nil {
 		// Guard the typed-nil: a nil *StateStore inside the interface
@@ -163,6 +165,9 @@ func (s *Session) observeSpan(e Event) {
 		s.traces.Annotate(e.Round, func(t *obs.RoundTrace) {
 			t.Blame = d
 			t.BlameVerdict = e.Detail
+			if e.Culprit != (NodeID{}) {
+				t.BlameAccused = e.Culprit.String()
+			}
 		})
 	}
 }

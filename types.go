@@ -55,6 +55,19 @@ type (
 	RosterUpdate = group.RosterUpdate
 	// RosterMember is one admitted member inside a RosterUpdate.
 	RosterMember = group.RosterMember
+	// RetryPolicy tunes the engine's retransmission backoff (see
+	// WithRetryPolicy).
+	RetryPolicy = core.RetryPolicy
+	// Interdict is the scripted-byzantine-behavior hook robustness
+	// harnesses install via WithInterdict; production nodes leave it
+	// unset.
+	Interdict = core.Interdict
+	// VectorInfo hands an Interdict.Vector hook the round's slot
+	// geometry.
+	VectorInfo = core.VectorInfo
+	// BlameTranscript is the durable record of one closed blame
+	// session, persisted per session in the state store.
+	BlameTranscript = core.BlameTranscript
 )
 
 // SessionID identifies one session — one group running on a process.
@@ -122,6 +135,13 @@ const (
 	// EventReplicaResynced fires when a client replaces its diverged
 	// schedule replica with a certified snapshot from a server.
 	EventReplicaResynced = core.EventReplicaResynced
+	// EventMisbehavior fires when ingress validation attributes a
+	// protocol offense to a verified sender; Event.Culprit carries the
+	// offender and Event.Detail is "<kind>: <cause>" with kind one of
+	// bad-signature, malformed, equivocation, bad-certificate,
+	// withholding, replay, flood, or escalated (the offender crossed
+	// the removal threshold).
+	EventMisbehavior = core.EventMisbehavior
 )
 
 // DefaultPolicy returns the policy used in the paper's evaluation.
